@@ -1,0 +1,250 @@
+(* The benchmark harness.
+
+   Two complementary views of every experiment in EXPERIMENTS.md:
+
+   1. The deterministic counter tables from [Edb_experiments] — exact,
+      machine-independent operation counts reproducing the shape of the
+      paper's §6 complexity claims and §8 comparisons.
+
+   2. One Bechamel wall-clock micro-benchmark per experiment table,
+      timing the protocol operation at that experiment's core, so the
+      asymptotic claims are confirmed in real time units too. *)
+
+open Bechamel
+open Toolkit
+module Cluster = Edb_core.Cluster
+module Node = Edb_core.Node
+module Message = Edb_core.Message
+module Operation = Edb_store.Operation
+module Workload = Edb_workload.Workload
+module Demers = Edb_baselines.Demers
+module Driver = Edb_baselines.Driver
+module Vv = Edb_vv.Version_vector
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures shared by the micro-benchmarks                             *)
+(* ------------------------------------------------------------------ *)
+
+let seeded_pair ~n_items ~dirty =
+  let cluster = Cluster.create ~n:2 () in
+  for rank = 0 to n_items - 1 do
+    Cluster.update cluster ~node:0 ~item:(Workload.item_name rank) (Operation.Set "s")
+  done;
+  let (_ : Node.pull_result) = Cluster.pull cluster ~recipient:1 ~source:0 in
+  for rank = 0 to dirty - 1 do
+    Cluster.update cluster ~node:0 ~item:(Workload.item_name rank) (Operation.Set "d")
+  done;
+  cluster
+
+(* SendPropagation is read-only apart from the IsSelected scratch flags
+   (which it resets), so it can be timed repeatedly against a frozen
+   recipient DBVV. *)
+let bench_send_propagation ~n_items ~dirty =
+  let cluster = seeded_pair ~n_items ~dirty in
+  let source = Cluster.node cluster 0 in
+  let request = Node.propagation_request (Cluster.node cluster 1) in
+  Staged.stage (fun () -> ignore (Node.handle_propagation_request source request))
+
+(* E1 — m = 64 dirty items in a 16k-item database. *)
+let test_e1 =
+  Test.make ~name:"e1 send-propagation N=16384 m=64"
+    (bench_send_propagation ~n_items:16_384 ~dirty:64)
+
+(* E1 baseline — the per-item O(N) scan of classic anti-entropy on an
+   already-converged pair. *)
+let test_e1_baseline =
+  let demers = Demers.create ~n:2 ~universe:(Workload.universe 16_384) in
+  Demers.session demers ~src:0 ~dst:1;
+  Test.make ~name:"e1-baseline demers scan N=16384"
+    (Staged.stage (fun () -> Demers.session demers ~src:0 ~dst:1))
+
+(* E2 — same database, 16x the dirty items: time should scale ~16x
+   relative to e1. *)
+let test_e2 =
+  Test.make ~name:"e2 send-propagation N=16384 m=1024"
+    (bench_send_propagation ~n_items:16_384 ~dirty:1_024)
+
+(* E3 — identical replicas: the constant-time you-are-current answer. *)
+let test_e3 =
+  let cluster = seeded_pair ~n_items:16_384 ~dirty:0 in
+  let source = Cluster.node cluster 0 in
+  let request = Node.propagation_request (Cluster.node cluster 1) in
+  Test.make ~name:"e3 you-are-current N=16384"
+    (Staged.stage (fun () -> ignore (Node.handle_propagation_request source request)))
+
+(* E4 — the constant-size log record hot path: AddLogRecord with its
+   O(1) unlink-and-append (paper Fig. 1). *)
+let test_e4 =
+  let component = Edb_log.Log_component.create () in
+  let seq = ref 0 in
+  Test.make ~name:"e4 add-log-record (dedup)"
+    (Staged.stage (fun () ->
+         incr seq;
+         Edb_log.Log_component.add component
+           ~item:(if !seq land 1 = 0 then "x" else "y")
+           ~seq:!seq))
+
+(* E5 — serving an out-of-bound request is O(1) in the database size. *)
+let test_e5 =
+  let cluster = seeded_pair ~n_items:16_384 ~dirty:0 in
+  let source = Cluster.node cluster 0 in
+  let request = { Message.item = Workload.item_name 7 } in
+  Test.make ~name:"e5 serve-out-of-bound N=16384"
+    (Staged.stage (fun () -> ignore (Node.serve_out_of_bound source request)))
+
+(* E6/E7 — a full no-op anti-entropy round across 16 converged nodes:
+   the steady-state cost the epidemic schedule pays forever. *)
+let test_e7 =
+  let cluster = Cluster.create ~n:16 () in
+  Cluster.update cluster ~node:0 ~item:"x" (Operation.Set "v");
+  ignore (Cluster.sync_until_converged cluster);
+  Test.make ~name:"e7 idle anti-entropy round n=16"
+    (Staged.stage (fun () -> Cluster.random_pull_round cluster))
+
+(* E8 — the per-update bookkeeping: apply + IVV + DBVV + log record. *)
+let test_e8 =
+  let cluster = Cluster.create ~n:2 () in
+  let node = Cluster.node cluster 0 in
+  Test.make ~name:"e8 update bookkeeping"
+    (Staged.stage (fun () -> Node.update node "hot" (Operation.Set "v")))
+
+(* E9 — the pairwise version-vector comparison every adoption and
+   conflict check performs. *)
+let test_e9 =
+  let a = Vv.of_array (Array.init 16 (fun i -> i)) in
+  let b = Vv.of_array (Array.init 16 (fun i -> 16 - i)) in
+  Test.make ~name:"e9 vv-compare dim=16"
+    (Staged.stage (fun () -> ignore (Vv.compare_vv a b)))
+
+(* E10 — extracting a log tail is linear in the records selected, not
+   the log size. *)
+let test_e10 =
+  let component = Edb_log.Log_component.create () in
+  for seq = 1 to 16_384 do
+    Edb_log.Log_component.add component ~item:(Workload.item_name seq) ~seq
+  done;
+  Test.make ~name:"e10 tail-after selecting 64 of 16384"
+    (Staged.stage (fun () ->
+         ignore (Edb_log.Log_component.tail_after component ~seq:16_320)))
+
+(* E11 — the op-log transport's unit of work: applying one splice to a
+   4KB value (vs adopting the 4KB whole copy). *)
+let test_e11 =
+  let base = String.make 4_096 'a' in
+  let op = Operation.Splice { offset = 2_000; data = "EDITEDIT" } in
+  Test.make ~name:"e11 apply 8B splice to 4KB value"
+    (Staged.stage (fun () -> ignore (Operation.apply base op)))
+
+(* E12 — a full pull round-trip between converged nodes: request build,
+   you-are-current answer, accept. The steady-state session cost that a
+   short anti-entropy period multiplies. *)
+let test_e12 =
+  let cluster = seeded_pair ~n_items:1_024 ~dirty:0 in
+  let a = Cluster.node cluster 0 and b = Cluster.node cluster 1 in
+  Test.make ~name:"e12 idle pull round-trip N=1024"
+    (Staged.stage (fun () -> ignore (Node.pull ~recipient:b ~source:a)))
+
+(* E13 — the histogram hot path used while tracking delays. A fresh
+   histogram every 4096 adds keeps memory bounded across millions of
+   benchmark iterations. *)
+let test_e13 =
+  let h = ref (Edb_metrics.Histogram.create ()) in
+  let i = ref 0 in
+  Test.make ~name:"e13 histogram add"
+    (Staged.stage (fun () ->
+         incr i;
+         if !i land 0xFFF = 0 then h := Edb_metrics.Histogram.create ();
+         Edb_metrics.Histogram.add !h (float_of_int (!i land 0xFF))))
+
+(* E14 — token ping-pong between two nodes, including the out-of-bound
+   copy that travels with each grant. *)
+let test_e14 =
+  let cluster = Cluster.create ~n:2 () in
+  let tokens = Edb_tokens.Token_manager.create cluster in
+  Cluster.update cluster ~node:0 ~item:"t" (Operation.Set "v");
+  let turn = ref 0 in
+  Test.make ~name:"e14 token transfer (ping-pong)"
+    (Staged.stage (fun () ->
+         turn := 1 - !turn;
+         match Edb_tokens.Token_manager.acquire tokens ~node:!turn ~item:"t" with
+         | Ok _ -> ()
+         | Error (`Cycle _) -> assert false))
+
+let micro_tests =
+  [
+    test_e1;
+    test_e1_baseline;
+    test_e2;
+    test_e3;
+    test_e4;
+    test_e5;
+    test_e7;
+    test_e8;
+    test_e9;
+    test_e10;
+    test_e11;
+    test_e12;
+    test_e13;
+    test_e14;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel driver                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_micro_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:3_000 ~quota:(Time.second 0.5) ~stabilize:false
+      ~kde:(Some 1_000) ()
+  in
+  let grouped = Test.make_grouped ~name:"edb" ~fmt:"%s %s" micro_tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  let table =
+    Edb_metrics.Table.create ~title:"Wall-clock micro-benchmarks (monotonic clock)"
+      ~columns:[ "benchmark"; "ns/op"; "r^2" ]
+  in
+  let clock_results = Hashtbl.find merged (Measure.label Instance.monotonic_clock) in
+  let rows =
+    Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) clock_results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, ols_result) ->
+      let ns_per_op =
+        match Analyze.OLS.estimates ols_result with
+        | Some (value :: _) -> Printf.sprintf "%.1f" value
+        | Some [] | None -> "n/a"
+      in
+      let r_square =
+        match Analyze.OLS.r_square ols_result with
+        | Some value -> Printf.sprintf "%.4f" value
+        | None -> "n/a"
+      in
+      Edb_metrics.Table.add_row table [ name; ns_per_op; r_square ])
+    rows;
+  Edb_metrics.Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  print_endline "=== Experiment tables (deterministic operation counts) ===";
+  print_newline ();
+  List.iter
+    (fun (id, table) ->
+      Printf.printf "[%s]\n" id;
+      Edb_metrics.Table.print table)
+    (Edb_experiments.Experiments.all ~quick ());
+  print_endline "=== Bechamel micro-benchmarks ===";
+  print_newline ();
+  run_micro_benchmarks ()

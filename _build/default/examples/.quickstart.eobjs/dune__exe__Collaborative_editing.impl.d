@@ -1,0 +1,1 @@
+examples/collaborative_editing.ml: Edb_core Edb_sessions Edb_store Edb_tokens Format Option Printf

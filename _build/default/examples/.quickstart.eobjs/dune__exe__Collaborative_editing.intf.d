@@ -1,0 +1,1 @@
+examples/collaborative_editing.mli:

@@ -1,0 +1,1 @@
+examples/conflict_detection.ml: Edb_baselines Edb_core Edb_store Format Option Printf

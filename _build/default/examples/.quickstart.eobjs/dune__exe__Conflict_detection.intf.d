@@ -1,0 +1,1 @@
+examples/conflict_detection.mli:

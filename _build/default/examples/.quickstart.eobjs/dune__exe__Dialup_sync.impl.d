@@ -1,0 +1,1 @@
+examples/dialup_sync.ml: Edb_core Edb_log Edb_metrics Edb_store Edb_workload List Option Printf

@@ -1,0 +1,1 @@
+examples/dialup_sync.mli:

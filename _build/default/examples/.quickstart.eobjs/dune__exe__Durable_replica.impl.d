@@ -1,0 +1,1 @@
+examples/durable_replica.ml: Array Edb_core Edb_persist Edb_store Filename List Option Printf Sys

@@ -1,0 +1,1 @@
+examples/failure_recovery.ml: Edb_baselines Edb_sim Edb_store Option Printf

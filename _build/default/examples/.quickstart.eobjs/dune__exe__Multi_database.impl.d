@@ -1,0 +1,1 @@
+examples/multi_database.ml: Array Edb_server Edb_store Filename List Option Printf String Sys

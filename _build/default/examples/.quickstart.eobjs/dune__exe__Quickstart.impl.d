@@ -1,0 +1,1 @@
+examples/quickstart.ml: Edb_core Edb_store Edb_vv List Printf

@@ -1,0 +1,72 @@
+(* Originator failure during update propagation (paper §8.2).
+
+   Oracle-style push replication ships updates from the originating
+   server to everyone else and never forwards. If the originator crashes
+   mid-propagation, the nodes it missed stay obsolete until it recovers.
+   The epidemic protocol forwards through whoever already has the data,
+   so the same crash barely delays convergence.
+
+   Run with: dune exec examples/failure_recovery.exe *)
+
+module Driver = Edb_baselines.Driver
+module Oracle = Edb_baselines.Oracle_push
+module Engine = Edb_sim.Engine
+module Operation = Edb_store.Operation
+
+let n = 10
+
+let reached_before_crash = 3
+
+let () =
+  Printf.printf
+    "Scenario: %d replicas; the originator updates one item, reaches %d nodes, \
+     then crashes.\n\n"
+    n reached_before_crash;
+
+  (* ---- Oracle-style push ---- *)
+  print_endline "[Oracle Symmetric Replication - push to all, no forwarding]";
+  let oracle = Oracle.create ~n in
+  Oracle.update oracle ~node:0 ~item:"x" (Operation.Set "v");
+  for dst = 1 to reached_before_crash do
+    Oracle.push_to oracle ~origin:0 ~dst
+  done;
+  Oracle.crash oracle ~node:0;
+  (* The nodes that have the data push their (empty) queues forever. *)
+  for origin = 1 to n - 1 do
+    Oracle.push_all oracle ~origin
+  done;
+  let stale = ref 0 in
+  for node = 0 to n - 1 do
+    if Oracle.is_stale oracle ~node then incr stale
+  done;
+  Printf.printf "  after the crash: %d node(s) stuck with the obsolete version\n" !stale;
+  Printf.printf "  they stay stale until the originator recovers...\n";
+  Oracle.recover oracle ~node:0;
+  Oracle.push_all oracle ~origin:0;
+  Printf.printf "  after recovery + one push round: converged = %b\n\n"
+    (Oracle.converged oracle);
+
+  (* ---- The paper's epidemic protocol ---- *)
+  print_endline "[DBVV epidemic protocol - pull-based anti-entropy with forwarding]";
+  let _, driver = Edb_baselines.Epidemic_driver.create ~seed:3 ~n () in
+  let engine = Engine.create ~seed:4 ~driver () in
+  driver.Driver.update ~node:0 ~item:"x" ~op:(Operation.Set "v");
+  for dst = 1 to reached_before_crash do
+    driver.Driver.session ~src:0 ~dst
+  done;
+  Engine.schedule engine ~at:0.0 (Engine.Crash 0);
+  Engine.schedule engine ~at:0.5
+    (Engine.Anti_entropy_round { period = 1.0; policy = Engine.Random_peer });
+  (match Engine.run_until_converged engine ~check_every:1.0 ~deadline:500.0 with
+  | Some time ->
+    Printf.printf
+      "  periodic DBVV comparison notices the gap; survivors forward the data\n";
+    Printf.printf "  all surviving replicas converged at t = %.0f (period = 1.0)\n" time
+  | None -> print_endline "  did not converge (unexpected)");
+  for node = n - 3 to n - 1 do
+    Printf.printf "  node %d reads %S\n" node
+      (Option.value ~default:"<absent>" (driver.Driver.read ~node ~item:"x"))
+  done;
+  print_endline
+    "\nThe price of this resilience is one DBVV comparison per idle session - \
+     constant, not O(N)."

@@ -1,0 +1,1 @@
+lib/baselines/demers.ml: Array Driver Edb_metrics Edb_store Edb_vv List Option String

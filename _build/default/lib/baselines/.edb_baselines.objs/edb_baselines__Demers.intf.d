@@ -1,0 +1,1 @@
+lib/baselines/demers.mli: Driver Edb_store

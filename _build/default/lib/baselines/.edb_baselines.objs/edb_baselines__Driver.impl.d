@@ -1,0 +1,1 @@
+lib/baselines/driver.ml: Array Edb_metrics Edb_store

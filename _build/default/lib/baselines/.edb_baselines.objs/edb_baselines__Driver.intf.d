@@ -1,0 +1,1 @@
+lib/baselines/driver.mli: Edb_metrics Edb_store

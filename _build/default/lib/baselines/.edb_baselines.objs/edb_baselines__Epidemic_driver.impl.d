@@ -1,0 +1,1 @@
+lib/baselines/epidemic_driver.ml: Driver Edb_core

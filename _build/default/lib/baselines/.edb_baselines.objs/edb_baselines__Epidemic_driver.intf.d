@@ -1,0 +1,1 @@
+lib/baselines/epidemic_driver.mli: Driver Edb_core

@@ -1,0 +1,1 @@
+lib/baselines/ficus.ml: Array Driver Edb_metrics Edb_store Edb_vv List Option String

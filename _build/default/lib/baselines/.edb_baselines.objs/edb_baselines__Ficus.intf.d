@@ -1,0 +1,1 @@
+lib/baselines/ficus.mli: Driver Edb_store

@@ -1,0 +1,1 @@
+lib/baselines/lotus.ml: Array Driver Edb_metrics Edb_store Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/baselines/lotus.mli: Driver Edb_store

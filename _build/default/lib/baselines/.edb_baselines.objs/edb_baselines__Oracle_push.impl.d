@@ -1,0 +1,1 @@
+lib/baselines/oracle_push.ml: Array Driver Edb_metrics Edb_store Hashtbl List Option

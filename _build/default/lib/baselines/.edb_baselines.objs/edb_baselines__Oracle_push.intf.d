@@ -1,0 +1,1 @@
+lib/baselines/oracle_push.mli: Driver Edb_store

@@ -1,0 +1,1 @@
+lib/baselines/two_phase_gossip.ml: Array Driver Edb_metrics Edb_store Hashtbl List Option

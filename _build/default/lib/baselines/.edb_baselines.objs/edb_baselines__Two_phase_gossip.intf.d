@@ -1,0 +1,1 @@
+lib/baselines/two_phase_gossip.mli: Driver Edb_store

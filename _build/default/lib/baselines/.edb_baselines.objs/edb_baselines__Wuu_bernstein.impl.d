@@ -1,0 +1,1 @@
+lib/baselines/wuu_bernstein.ml: Array Driver Edb_metrics Edb_store Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/baselines/wuu_bernstein.mli: Driver Edb_store

@@ -1,0 +1,34 @@
+(** Demers-style per-item anti-entropy (the "existing epidemic
+    protocols" of the paper's §1 and §8.3).
+
+    Each replica keeps an IVV per data item; an anti-entropy session
+    performs a "periodic pair-wise comparison of version information of
+    data item copies" — one comparison {e per item in the database} —
+    and copies the items whose source copy dominates. Correct and
+    convergent, but every session costs O(N) in the total number of
+    items, which is exactly the scalability problem the paper attacks.
+
+    The full item universe must be declared up front ([universe]) so
+    that the session really examines every item, as the real protocol
+    would, even those never updated. *)
+
+type t
+
+val create : n:int -> universe:string list -> t
+(** [create ~n ~universe] is a cluster of [n] replicas over the given
+    item universe. *)
+
+val update : t -> node:int -> item:string -> Edb_store.Operation.t -> unit
+
+val session : t -> src:int -> dst:int -> unit
+(** Pull from [src] into [dst]: compare every item's IVVs, copy items
+    where [src] strictly dominates, declare conflicts on concurrent
+    pairs. *)
+
+val read : t -> node:int -> item:string -> string option
+
+val conflicts_detected : t -> int
+
+val driver : t -> Driver.t
+
+val converged : t -> bool

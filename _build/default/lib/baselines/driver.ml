@@ -1,0 +1,20 @@
+module Counters = Edb_metrics.Counters
+
+type t = {
+  name : string;
+  n : int;
+  update : node:int -> item:string -> op:Edb_store.Operation.t -> unit;
+  session : src:int -> dst:int -> unit;
+  read : node:int -> item:string -> string option;
+  counters : node:int -> Counters.t;
+  total_counters : unit -> Counters.t;
+  reset_counters : unit -> unit;
+  converged : unit -> bool;
+}
+
+let total_of_nodes counters =
+  let acc = Counters.create () in
+  Array.iter (fun c -> Counters.add_into acc c) counters;
+  acc
+
+let reset_nodes counters = Array.iter Counters.reset counters

@@ -1,0 +1,34 @@
+(** A uniform facade over replication protocols.
+
+    The experiment harness compares the paper's protocol against the
+    §8 baselines by driving each through this record: perform user
+    updates, run one propagation session between two nodes, read
+    values, and collect cost counters. Each implementation also exposes
+    a richer module-specific API for the experiments that need protocol
+    particulars (e.g. Oracle push-cursor control for the failure
+    experiment). *)
+
+type t = {
+  name : string;  (** Short label used in table headers. *)
+  n : int;  (** Cluster size. *)
+  update : node:int -> item:string -> op:Edb_store.Operation.t -> unit;
+      (** Perform a user update at a node. *)
+  session : src:int -> dst:int -> unit;
+      (** One update-propagation session carrying [src]'s knowledge to
+          [dst] (a pull by [dst] or a push by [src], whichever the
+          protocol does natively). *)
+  read : node:int -> item:string -> string option;
+      (** The user-visible value at a node. *)
+  counters : node:int -> Edb_metrics.Counters.t;
+  total_counters : unit -> Edb_metrics.Counters.t;
+  reset_counters : unit -> unit;
+  converged : unit -> bool;
+      (** Whether all replicas are identical under the protocol's own
+          notion of state. *)
+}
+
+val total_of_nodes : Edb_metrics.Counters.t array -> Edb_metrics.Counters.t
+(** Helper for implementations: the field-wise sum of per-node
+    counters. *)
+
+val reset_nodes : Edb_metrics.Counters.t array -> unit

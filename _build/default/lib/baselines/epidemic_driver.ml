@@ -1,0 +1,22 @@
+module Cluster = Edb_core.Cluster
+module Node = Edb_core.Node
+
+let create ?seed ?policy ?mode ~n () =
+  let cluster = Cluster.create ?seed ?policy ?mode ~n () in
+  let driver =
+    {
+      Driver.name = "dbvv";
+      n;
+      update = (fun ~node ~item ~op -> Cluster.update cluster ~node ~item op);
+      session =
+        (fun ~src ~dst ->
+          let (_ : Node.pull_result) = Cluster.pull cluster ~recipient:dst ~source:src in
+          ());
+      read = (fun ~node ~item -> Cluster.read cluster ~node ~item);
+      counters = (fun ~node -> Node.counters (Cluster.node cluster node));
+      total_counters = (fun () -> Cluster.total_counters cluster);
+      reset_counters = (fun () -> Cluster.reset_counters cluster);
+      converged = (fun () -> Cluster.converged cluster);
+    }
+  in
+  (cluster, driver)

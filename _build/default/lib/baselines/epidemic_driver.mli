@@ -1,0 +1,13 @@
+(** The paper's protocol behind the common {!Driver} facade, so the
+    experiment harness can sweep it against the baselines with one code
+    path. *)
+
+val create :
+  ?seed:int ->
+  ?policy:Edb_core.Node.resolution_policy ->
+  ?mode:Edb_core.Node.propagation_mode ->
+  n:int ->
+  unit ->
+  Edb_core.Cluster.t * Driver.t
+(** [create ~n ()] is a fresh {!Edb_core.Cluster.t} and its driver.
+    The driver's [session ~src ~dst] makes [dst] pull from [src]. *)

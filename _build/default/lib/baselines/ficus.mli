@@ -1,0 +1,42 @@
+(** Ficus-style replication (paper §8.3, reference [5]): single-shot
+    update notification plus periodic per-item reconciliation.
+
+    After a local update, the node notifies every peer once; notified
+    peers pull the new copy from the updater. A peer that is down at
+    notification time is never re-notified — "this notification is
+    attempted only once, and no indirect copying ... occurs" — so a
+    separate reconciliation pass periodically compares the version
+    vectors of {e every} file pair, O(N) per session, to mop up.
+
+    The paper's point stands reproduced: notification keeps most data
+    fresh cheaply, but the safety net still costs O(N) per
+    reconciliation, which the DBVV protocol avoids. *)
+
+type t
+
+val create : n:int -> universe:string list -> t
+
+val update : t -> node:int -> item:string -> Edb_store.Operation.t -> unit
+
+val notify : t -> origin:int -> unit
+(** Send the pending update notifications of [origin] to every alive
+    peer; each notified peer pulls the named items immediately. Pending
+    notifications are cleared whether or not peers were reachable. *)
+
+val reconcile : t -> src:int -> dst:int -> unit
+(** One reconciliation session: compare every item's IVVs and pull
+    newer copies from [src] into [dst]. *)
+
+val crash : t -> node:int -> unit
+
+val recover : t -> node:int -> unit
+
+val read : t -> node:int -> item:string -> string option
+
+val conflicts_detected : t -> int
+
+val converged : t -> bool
+
+val driver : t -> Driver.t
+(** Driver whose [session] is {!reconcile}; [update] performs the
+    update {e and} its one-shot notification, as Ficus does. *)

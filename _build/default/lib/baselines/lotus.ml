@@ -1,0 +1,134 @@
+module Operation = Edb_store.Operation
+module Counters = Edb_metrics.Counters
+
+type item = { mutable value : string; mutable seq : int; mutable modified_at : int }
+
+type node = {
+  items : (string, item) Hashtbl.t;
+  mutable clock : int;  (** Local logical time, advanced on every change. *)
+  mutable last_modified : int;
+      (** Time of the latest change anywhere in the replica — the only
+          thing that lets Lotus answer "nothing to do" in O(1). *)
+  last_prop_to : int array;  (** Per-peer time of the last propagation. *)
+}
+
+type t = {
+  n : int;
+  universe : string array;
+  nodes : node array;
+  counters : Counters.t array;
+}
+
+let create ~n ~universe =
+  let make_node _ =
+    let items = Hashtbl.create 64 in
+    List.iter
+      (fun name -> Hashtbl.add items name { value = ""; seq = 0; modified_at = 0 })
+      universe;
+    { items; clock = 0; last_modified = 0; last_prop_to = Array.make n 0 }
+  in
+  {
+    n;
+    universe = Array.of_list universe;
+    nodes = Array.init n make_node;
+    counters = Array.init n (fun _ -> Counters.create ());
+  }
+
+let touch node item =
+  node.clock <- node.clock + 1;
+  item.modified_at <- node.clock;
+  node.last_modified <- node.clock
+
+let find node name =
+  match Hashtbl.find_opt node.items name with
+  | Some item -> item
+  | None ->
+    let item = { value = ""; seq = 0; modified_at = 0 } in
+    Hashtbl.add node.items name item;
+    item
+
+let update t ~node ~item op =
+  let c = t.counters.(node) in
+  c.updates_applied <- c.updates_applied + 1;
+  let nd = t.nodes.(node) in
+  let it = find nd item in
+  it.value <- Operation.apply it.value op;
+  it.seq <- it.seq + 1;
+  touch nd it
+
+let session t ~src ~dst =
+  let source = t.nodes.(src) and target = t.nodes.(dst) in
+  let csrc = t.counters.(src) and cdst = t.counters.(dst) in
+  if source.last_modified <= source.last_prop_to.(dst) then begin
+    (* Constant-time only in the lucky case: nothing at all changed at
+       the source since the last propagation to this peer. *)
+    csrc.noop_sessions <- csrc.noop_sessions + 1;
+    csrc.messages <- csrc.messages + 1;
+    csrc.bytes_sent <- csrc.bytes_sent + 8
+  end
+  else begin
+    (* Step 1: scan the modification time of every item (O(N)) to build
+       the modified-since list. *)
+    let since = source.last_prop_to.(dst) in
+    let modified = ref [] in
+    Array.iter
+      (fun name ->
+        csrc.items_examined <- csrc.items_examined + 1;
+        let it = find source name in
+        if it.modified_at > since then modified := (name, it) :: !modified)
+      t.universe;
+    csrc.messages <- csrc.messages + 1;
+    csrc.bytes_sent <- csrc.bytes_sent + 8 + (16 * List.length !modified);
+    (* Step 2: the recipient compares every listed sequence number and
+       copies the items whose source seqno is greater. Note the flaw:
+       with concurrent updates the higher seqno silently wins. *)
+    let copied = ref false in
+    List.iter
+      (fun (name, (sx : item)) ->
+        cdst.vv_comparisons <- cdst.vv_comparisons + 1;
+        let dx = find target name in
+        if sx.seq > dx.seq then begin
+          dx.value <- sx.value;
+          dx.seq <- sx.seq;
+          touch target dx;
+          cdst.items_copied <- cdst.items_copied + 1;
+          csrc.bytes_sent <- csrc.bytes_sent + String.length sx.value;
+          copied := true
+        end)
+      !modified;
+    if !copied then csrc.propagation_sessions <- csrc.propagation_sessions + 1
+    else csrc.noop_sessions <- csrc.noop_sessions + 1;
+    source.last_prop_to.(dst) <- source.clock
+  end
+
+let read t ~node ~item =
+  Option.map (fun it -> it.value) (Hashtbl.find_opt t.nodes.(node).items item)
+
+let sequence_number t ~node ~item =
+  match Hashtbl.find_opt t.nodes.(node).items item with
+  | Some it -> it.seq
+  | None -> 0
+
+let converged t =
+  let reference = t.nodes.(0) in
+  Array.for_all
+    (fun node ->
+      Array.for_all
+        (fun name ->
+          let a = find reference name and b = find node name in
+          String.equal a.value b.value && a.seq = b.seq)
+        t.universe)
+    t.nodes
+
+let driver t =
+  {
+    Driver.name = "lotus";
+    n = t.n;
+    update = (fun ~node ~item ~op -> update t ~node ~item op);
+    session = (fun ~src ~dst -> session t ~src ~dst);
+    read = (fun ~node ~item -> read t ~node ~item);
+    counters = (fun ~node -> t.counters.(node));
+    total_counters = (fun () -> Driver.total_of_nodes t.counters);
+    reset_counters = (fun () -> Driver.reset_nodes t.counters);
+    converged = (fun () -> converged t);
+  }

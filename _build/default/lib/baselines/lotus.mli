@@ -1,0 +1,41 @@
+(** The Lotus Notes replication protocol as described in the paper's
+    §8.1.
+
+    Every data item copy carries a {e sequence number} — the count of
+    updates it has seen — and every server records, per peer, the time
+    of the last update propagation to that peer. A session from [j] to
+    [i]:
+
+    + [j] checks whether anything changed since the last propagation to
+      [i]. Only if {e nothing at all} changed is this O(1); otherwise
+      [j] scans the modification time of {e every} item (O(N)) to build
+      the list of items modified since then, and ships their
+      (name, seqno) pairs.
+    + [i] compares each listed seqno with its own copy's and pulls the
+      items where [j]'s is greater.
+
+    Two deficiencies the paper calls out, both reproduced here:
+
+    - replicas that became identical {e indirectly} (through third
+      nodes) still pay the O(N) scan and exchange a useless list;
+    - concurrent updates are not detected: the copy with the higher
+      sequence number silently wins, violating correctness criterion 2
+      (an update can be lost, §8.1 last paragraph). *)
+
+type t
+
+val create : n:int -> universe:string list -> t
+
+val update : t -> node:int -> item:string -> Edb_store.Operation.t -> unit
+
+val session : t -> src:int -> dst:int -> unit
+(** Propagate from [src] to [dst] (the direction Lotus calls "i invokes
+    anti-entropy to catch up from j"). *)
+
+val read : t -> node:int -> item:string -> string option
+
+val sequence_number : t -> node:int -> item:string -> int
+
+val driver : t -> Driver.t
+
+val converged : t -> bool

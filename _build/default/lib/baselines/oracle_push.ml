@@ -1,0 +1,109 @@
+module Operation = Edb_store.Operation
+module Counters = Edb_metrics.Counters
+
+type update_record = { item : string; op : Operation.t }
+
+type node = {
+  values : (string, string) Hashtbl.t;
+  mutable outbound : update_record list;  (** Newest first. *)
+  mutable outbound_len : int;
+  shipped_to : int array;  (** Per-peer count of records already shipped. *)
+  mutable alive : bool;
+}
+
+type t = { n : int; nodes : node array; counters : Counters.t array }
+
+let create ~n =
+  let make _ =
+    {
+      values = Hashtbl.create 64;
+      outbound = [];
+      outbound_len = 0;
+      shipped_to = Array.make n 0;
+      alive = true;
+    }
+  in
+  { n; nodes = Array.init n make; counters = Array.init n (fun _ -> Counters.create ()) }
+
+let apply node record =
+  let current = Option.value ~default:"" (Hashtbl.find_opt node.values record.item) in
+  Hashtbl.replace node.values record.item (Operation.apply current record.op)
+
+let update t ~node ~item op =
+  let c = t.counters.(node) in
+  c.updates_applied <- c.updates_applied + 1;
+  let nd = t.nodes.(node) in
+  let record = { item; op } in
+  apply nd record;
+  nd.outbound <- record :: nd.outbound;
+  nd.outbound_len <- nd.outbound_len + 1;
+  nd.shipped_to.(node) <- nd.outbound_len
+
+let push_to t ~origin ~dst =
+  let src_node = t.nodes.(origin) and dst_node = t.nodes.(dst) in
+  if src_node.alive && dst_node.alive && origin <> dst then begin
+    let c = t.counters.(origin) in
+    let missing = src_node.outbound_len - src_node.shipped_to.(dst) in
+    c.messages <- c.messages + 1;
+    c.bytes_sent <- c.bytes_sent + 8;
+    if missing = 0 then c.noop_sessions <- c.noop_sessions + 1
+    else begin
+      c.propagation_sessions <- c.propagation_sessions + 1;
+      (* [outbound] is newest-first; the records [dst] misses are the
+         first [missing] ones, applied oldest-first. *)
+      let rec take k records acc =
+        if k = 0 then acc
+        else
+          match records with
+          | [] -> acc
+          | r :: rest -> take (k - 1) rest (r :: acc)
+      in
+      let to_ship = take missing src_node.outbound [] in
+      List.iter
+        (fun record ->
+          apply dst_node record;
+          c.items_copied <- c.items_copied + 1;
+          c.bytes_sent <- c.bytes_sent + 16 + Operation.size_bytes record.op)
+        to_ship;
+      src_node.shipped_to.(dst) <- src_node.outbound_len
+    end
+  end
+
+let push_all t ~origin =
+  for dst = 0 to t.n - 1 do
+    if dst <> origin then push_to t ~origin ~dst
+  done
+
+let crash t ~node = t.nodes.(node).alive <- false
+
+let recover t ~node = t.nodes.(node).alive <- true
+
+let is_stale t ~node =
+  let any = ref false in
+  Array.iteri
+    (fun origin nd ->
+      if origin <> node && nd.shipped_to.(node) < nd.outbound_len then any := true)
+    t.nodes;
+  !any
+
+let read t ~node ~item = Hashtbl.find_opt t.nodes.(node).values item
+
+let converged t =
+  let all = ref true in
+  for node = 0 to t.n - 1 do
+    if is_stale t ~node then all := false
+  done;
+  !all
+
+let driver t =
+  {
+    Driver.name = "oracle";
+    n = t.n;
+    update = (fun ~node ~item ~op -> update t ~node ~item op);
+    session = (fun ~src ~dst -> push_to t ~origin:src ~dst);
+    read = (fun ~node ~item -> read t ~node ~item);
+    counters = (fun ~node -> t.counters.(node));
+    total_counters = (fun () -> Driver.total_of_nodes t.counters);
+    reset_counters = (fun () -> Driver.reset_nodes t.counters);
+    converged = (fun () -> converged t);
+  }

@@ -1,0 +1,41 @@
+(** Oracle 7 Symmetric Replication as described in the paper's §8.2.
+
+    "Every server keeps track of the updates it performs and
+    periodically ships them to all other servers. No forwarding of
+    updates is performed." Efficient in the failure-free case — only
+    the data that changed travels — but a crash of the originating
+    server mid-propagation strands the nodes it had not reached yet:
+    they stay obsolete until the originator recovers, because nobody
+    else forwards on its behalf (reproduced by experiment E6).
+
+    The push cursor is explicit so the failure experiment can crash the
+    originator after reaching an arbitrary subset of peers. *)
+
+type t
+
+val create : n:int -> t
+
+val update : t -> node:int -> item:string -> Edb_store.Operation.t -> unit
+(** Apply locally and enqueue the update record for shipping. *)
+
+val push_to : t -> origin:int -> dst:int -> unit
+(** Ship to [dst] every update record of [origin] that [dst] has not
+    received yet. No-op when either node is crashed. *)
+
+val push_all : t -> origin:int -> unit
+(** {!push_to} every other (alive) node — one periodic shipping round. *)
+
+val crash : t -> node:int -> unit
+
+val recover : t -> node:int -> unit
+
+val is_stale : t -> node:int -> bool
+(** Whether some other node holds update records [node] has not
+    received — i.e. [node] observably lags. *)
+
+val read : t -> node:int -> item:string -> string option
+
+val driver : t -> Driver.t
+(** Driver whose [session ~src ~dst] is [push_to ~origin:src ~dst]. *)
+
+val converged : t -> bool

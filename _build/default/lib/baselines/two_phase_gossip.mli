@@ -1,0 +1,40 @@
+(** Two-phase gossip (Heddaya, Hsu & Weihl 1989 — paper §8.3).
+
+    An improvement over Wuu–Bernstein's protocol [15] along two axes the
+    paper names: "sending fewer version vectors in a gossip message"
+    and "a more general method for garbage-collecting log records".
+
+    Modelled here as a log-gossip protocol whose messages carry only
+    two vectors — the sender's own version vector and the sender's
+    belief about the receiver's — instead of the full [n × n]
+    knowledge matrix. Garbage collection runs in a second phase: an
+    acknowledgement vector is piggybacked on the reverse gossip, and a
+    record is discarded once every node has acknowledged it, which the
+    sender tracks with one per-peer acknowledged-vector (still cheaper
+    than the full matrix on the wire).
+
+    The overhead property the paper cares about is unchanged from [15]:
+    building a message examines every retained log record, so the cost
+    grows with the number of updates exchanged — only the {e vector}
+    overhead shrinks from [n²] to [2n] per message (visible in
+    experiment E10's byte columns). *)
+
+type t
+
+val create : n:int -> t
+
+val update : t -> node:int -> item:string -> Edb_store.Operation.t -> unit
+
+val session : t -> src:int -> dst:int -> unit
+(** One gossip message from [src] to [dst], carrying [src]'s version
+    vector, its belief about [dst]'s, and the events [dst] may miss;
+    [dst] replies (conceptually) with its acknowledgement vector, which
+    we deliver immediately since sessions are synchronous here. *)
+
+val read : t -> node:int -> item:string -> string option
+
+val log_length : t -> node:int -> int
+
+val driver : t -> Driver.t
+
+val converged : t -> bool

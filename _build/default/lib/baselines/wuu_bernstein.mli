@@ -1,0 +1,38 @@
+(** Wuu & Bernstein's replicated-log gossip protocol (paper §8.3,
+    reference [15]).
+
+    Each node keeps a {e full log} of update events and an [n × n]
+    knowledge matrix [T]: row [i] is the node's own version vector, row
+    [k] its belief about node [k]'s version vector. A gossip message
+    from [src] to [dst] carries the events [src] cannot prove [dst]
+    already has, plus the matrix; events known by everybody are
+    garbage-collected.
+
+    The overhead property the paper contrasts against (§8.3 footnote 4):
+    building a gossip message examines {e every retained log record},
+    so the cost grows with the number of updates exchanged, not just
+    with the number of distinct items — unlike the paper's log vector,
+    which keeps one record per (origin, item). Experiment E10 measures
+    exactly this difference.
+
+    Values converge by last-writer-wins over the total order
+    [(seq, origin)], which keeps replicas comparable without modelling
+    the original paper's dictionary semantics. *)
+
+type t
+
+val create : n:int -> t
+
+val update : t -> node:int -> item:string -> Edb_store.Operation.t -> unit
+
+val session : t -> src:int -> dst:int -> unit
+(** One gossip message from [src] to [dst]. *)
+
+val read : t -> node:int -> item:string -> string option
+
+val log_length : t -> node:int -> int
+(** Retained (not yet garbage-collected) event count at a node. *)
+
+val driver : t -> Driver.t
+
+val converged : t -> bool

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Edb_metrics Edb_store Edb_util Edb_vv Hashtbl List Node Printf String

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Edb_metrics Edb_store Node

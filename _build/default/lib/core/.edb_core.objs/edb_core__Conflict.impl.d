@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Edb_vv Format

@@ -1,0 +1,1 @@
+lib/core/message.ml: Array Edb_log Edb_store Edb_vv List String

@@ -1,0 +1,1 @@
+lib/core/message.mli: Edb_log Edb_store Edb_vv

@@ -1,0 +1,1 @@
+lib/core/node.ml: Array Conflict Edb_log Edb_metrics Edb_store Edb_vv Hashtbl List Logs Message Option Printf

@@ -1,0 +1,1 @@
+lib/core/node.mli: Conflict Edb_log Edb_metrics Edb_store Edb_vv Message

@@ -1,0 +1,122 @@
+module Vv = Edb_vv.Version_vector
+module Prng = Edb_util.Prng
+module Counters = Edb_metrics.Counters
+
+type t = { nodes : Node.t array; prng : Prng.t }
+
+let create ?(seed = 42) ?policy ?mode ~n () =
+  let make id = Node.create ?policy ?mode ~id ~n () in
+  { nodes = Array.init n make; prng = Prng.create ~seed }
+
+let n t = Array.length t.nodes
+
+let node t i = t.nodes.(i)
+
+let nodes t = t.nodes
+
+let replace_node t i node =
+  if Node.id node <> i then invalid_arg "Cluster.replace_node: id mismatch";
+  if Node.dimension node <> Array.length t.nodes then
+    invalid_arg "Cluster.replace_node: dimension mismatch";
+  t.nodes.(i) <- node
+
+let update t ~node ~item op = Node.update t.nodes.(node) item op
+
+let read t ~node ~item = Node.read t.nodes.(node) item
+
+let pull t ~recipient ~source =
+  Node.pull ~recipient:t.nodes.(recipient) ~source:t.nodes.(source)
+
+let fetch_out_of_bound t ~recipient ~source item =
+  Node.fetch_out_of_bound ~recipient:t.nodes.(recipient) ~source:t.nodes.(source) item
+
+let random_peer t ~self =
+  let peer = Prng.int t.prng (n t - 1) in
+  if peer >= self then peer + 1 else peer
+
+let random_pull_round t =
+  for i = 0 to n t - 1 do
+    let source = random_peer t ~self:i in
+    let (_ : Node.pull_result) = pull t ~recipient:i ~source in
+    ()
+  done
+
+let ring_pull_round t =
+  let size = n t in
+  for i = 0 to size - 1 do
+    let source = (i + size - 1) mod size in
+    let (_ : Node.pull_result) = pull t ~recipient:i ~source in
+    ()
+  done
+
+let all_item_names t =
+  let names = Hashtbl.create 64 in
+  Array.iter
+    (fun node ->
+      Edb_store.Store.iter
+        (fun item -> Hashtbl.replace names item.Edb_store.Item.name ())
+        (Node.store node))
+    t.nodes;
+  Hashtbl.fold (fun name () acc -> name :: acc) names []
+
+let converged t =
+  let reference = t.nodes.(0) in
+  let dbvv_equal =
+    Array.for_all (fun node -> Vv.equal (Node.dbvv node) (Node.dbvv reference)) t.nodes
+  in
+  let no_aux =
+    Array.for_all
+      (fun node ->
+        not
+          (List.exists (fun name -> Node.has_aux node name) (all_item_names t)))
+      t.nodes
+  in
+  let zero = Vv.create ~n:(n t) in
+  let item_state node name =
+    match (Node.read_regular node name, Node.item_vv node name) with
+    | Some value, Some ivv -> (value, ivv)
+    | None, _ | _, None -> ("", zero)
+  in
+  let items_equal =
+    List.for_all
+      (fun name ->
+        let ref_value, ref_ivv = item_state reference name in
+        Array.for_all
+          (fun node ->
+            let value, ivv = item_state node name in
+            String.equal value ref_value && Vv.equal ivv ref_ivv)
+          t.nodes)
+      (all_item_names t)
+  in
+  dbvv_equal && no_aux && items_equal
+
+let sync_until_converged ?(max_rounds = 10_000) t =
+  let rec loop rounds =
+    if converged t then rounds
+    else if rounds >= max_rounds then
+      failwith
+        (Printf.sprintf "Cluster.sync_until_converged: not converged after %d rounds"
+           max_rounds)
+    else begin
+      random_pull_round t;
+      loop (rounds + 1)
+    end
+  in
+  loop 0
+
+let total_counters t =
+  let acc = Counters.create () in
+  Array.iter (fun node -> Counters.add_into acc (Node.counters node)) t.nodes;
+  acc
+
+let reset_counters t = Array.iter (fun node -> Counters.reset (Node.counters node)) t.nodes
+
+let check_invariants t =
+  let rec loop i =
+    if i >= n t then Ok ()
+    else
+      match Node.check_invariants t.nodes.(i) with
+      | Ok () -> loop (i + 1)
+      | Error msg -> Error (Printf.sprintf "node %d: %s" i msg)
+  in
+  loop 0

@@ -1,0 +1,67 @@
+(** An in-process cluster of protocol nodes.
+
+    Convenience layer used by tests, examples and the deterministic
+    experiment tables: all nodes live in one address space and exchange
+    messages synchronously. The discrete-event simulator in [edb_sim]
+    layers virtual time, latency, loss and crashes on top of the same
+    {!Node} API. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?policy:Node.resolution_policy ->
+  ?mode:Node.propagation_mode ->
+  n:int ->
+  unit ->
+  t
+(** [create ~n ()] is a cluster of [n] fresh nodes. [seed] (default 42)
+    drives peer selection in the random rounds; [mode] selects
+    whole-item or op-log propagation for every node. *)
+
+val n : t -> int
+
+val node : t -> int -> Node.t
+(** [node t i] is node [i]. *)
+
+val nodes : t -> Node.t array
+
+val replace_node : t -> int -> Node.t -> unit
+(** [replace_node t i node] installs [node] as member [i] — used by the
+    persistence layer to swap in a node recovered from a checkpoint.
+    The node's id and dimension must match. *)
+
+val update : t -> node:int -> item:string -> Edb_store.Operation.t -> unit
+(** [update t ~node ~item op] performs a user update at that node. *)
+
+val read : t -> node:int -> item:string -> string option
+
+val pull : t -> recipient:int -> source:int -> Node.pull_result
+(** One propagation session between two cluster nodes. *)
+
+val fetch_out_of_bound : t -> recipient:int -> source:int -> string -> Node.oob_result
+
+val random_pull_round : t -> unit
+(** Every node pulls from one uniformly random other node — one round of
+    randomized anti-entropy. *)
+
+val ring_pull_round : t -> unit
+(** Node [i] pulls from node [(i + n - 1) mod n] — a deterministic
+    schedule in which every node eventually propagates transitively from
+    every other (paper Theorem 5 hypothesis). *)
+
+val converged : t -> bool
+(** Whether all regular replicas are identical (equal DBVVs, equal item
+    values and IVVs) and no auxiliary copies remain pending. *)
+
+val sync_until_converged : ?max_rounds:int -> t -> int
+(** Runs {!random_pull_round} until {!converged}; returns the number of
+    rounds used. Raises [Failure] after [max_rounds] (default 10_000). *)
+
+val total_counters : t -> Edb_metrics.Counters.t
+(** The field-wise sum of all nodes' counters. *)
+
+val reset_counters : t -> unit
+
+val check_invariants : t -> (unit, string) result
+(** Every node's {!Node.check_invariants}. *)

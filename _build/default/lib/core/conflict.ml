@@ -1,0 +1,37 @@
+module Vv = Edb_vv.Version_vector
+
+type origin =
+  | Propagation of { source : int }
+  | Out_of_bound of { source : int }
+  | Intra_node
+
+type t = {
+  item : string;
+  node : int;
+  local_vv : Vv.t;
+  remote_vv : Vv.t;
+  origin : origin;
+  culprits : (int * int) option;
+}
+
+let make ~item ~node ~local_vv ~remote_vv ~origin =
+  {
+    item;
+    node;
+    local_vv = Vv.copy local_vv;
+    remote_vv = Vv.copy remote_vv;
+    origin;
+    culprits = Vv.conflicting_components local_vv remote_vv;
+  }
+
+let pp_origin fmt = function
+  | Propagation { source } -> Format.fprintf fmt "propagation from node %d" source
+  | Out_of_bound { source } -> Format.fprintf fmt "out-of-bound copy from node %d" source
+  | Intra_node -> Format.pp_print_string fmt "intra-node propagation"
+
+let pp fmt t =
+  Format.fprintf fmt "conflict on %S at node %d (%a): local %a vs remote %a" t.item
+    t.node pp_origin t.origin Vv.pp t.local_vv Vv.pp t.remote_vv;
+  match t.culprits with
+  | Some (k, l) -> Format.fprintf fmt " [sites %d and %d hold inconsistent replicas]" k l
+  | None -> ()

@@ -1,0 +1,42 @@
+(** Inconsistency reports.
+
+    The paper's correctness criterion 1 (§2.1) requires inconsistent
+    replicas to be {e detected}; resolution is application-specific and
+    out of scope ("alerts the system administrator", §5.1). A conflict
+    report captures where the inconsistency was observed and, when the
+    version vectors pinpoint them, which two sites performed the
+    conflicting updates (§5.1 footnote 3). *)
+
+type origin =
+  | Propagation of { source : int }
+      (** Detected by [AcceptPropagation] comparing a shipped item
+          against the local regular copy. *)
+  | Out_of_bound of { source : int }
+      (** Detected when an out-of-bound reply conflicts with the local
+          (auxiliary or regular) copy. *)
+  | Intra_node
+      (** Detected by [IntraNodePropagation]: the regular copy's IVV
+          conflicts with the IVV stored in the earliest auxiliary log
+          record. *)
+
+type t = {
+  item : string;
+  node : int;  (** The node that detected the inconsistency. *)
+  local_vv : Edb_vv.Version_vector.t;
+  remote_vv : Edb_vv.Version_vector.t;
+  origin : origin;
+  culprits : (int * int) option;
+      (** [(k, l)] such that sites [k] and [l] hold inconsistent
+          replicas, when derivable from the conflicting components. *)
+}
+
+val make :
+  item:string ->
+  node:int ->
+  local_vv:Edb_vv.Version_vector.t ->
+  remote_vv:Edb_vv.Version_vector.t ->
+  origin:origin ->
+  t
+(** [make] copies both vectors and computes {!field-culprits}. *)
+
+val pp : Format.formatter -> t -> unit

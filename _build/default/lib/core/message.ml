@@ -1,0 +1,53 @@
+module Vv = Edb_vv.Version_vector
+
+type delta_op = { origin : int; seq : int; op : Edb_store.Operation.t }
+
+type payload = Whole of string | Delta of delta_op list
+
+type shipped_item = { name : string; payload : payload; ivv : Vv.t }
+
+let whole_value s = match s.payload with Whole v -> Some v | Delta _ -> None
+
+type propagation_request = { recipient : int; recipient_dbvv : Vv.t }
+
+type propagation_reply =
+  | You_are_current
+  | Propagate of {
+      tails : Edb_log.Log_record.t list array;
+      items : shipped_item list;
+    }
+
+type oob_request = { item : string }
+
+type oob_reply = { item : string; value : string; ivv : Vv.t }
+
+let id_bytes = 8
+
+let vv_bytes vv = 8 * Vv.dimension vv
+
+let request_bytes r = id_bytes + vv_bytes r.recipient_dbvv
+
+let payload_bytes = function
+  | Whole value -> String.length value
+  | Delta ops ->
+    List.fold_left
+      (fun acc { op; _ } -> acc + 16 + Edb_store.Operation.size_bytes op)
+      0 ops
+
+let shipped_item_bytes (s : shipped_item) =
+  id_bytes + payload_bytes s.payload + vv_bytes s.ivv
+
+let reply_bytes = function
+  | You_are_current -> id_bytes
+  | Propagate { tails; items } ->
+    let record_bytes =
+      Array.fold_left
+        (fun acc tail -> acc + (Edb_log.Log_record.wire_size * List.length tail))
+        0 tails
+    in
+    let item_bytes = List.fold_left (fun acc s -> acc + shipped_item_bytes s) 0 items in
+    id_bytes + record_bytes + item_bytes
+
+let oob_request_bytes (_ : oob_request) = 2 * id_bytes
+
+let oob_reply_bytes r = id_bytes + String.length r.value + vv_bytes r.ivv

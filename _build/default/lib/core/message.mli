@@ -1,0 +1,73 @@
+(** Wire messages of the update-propagation protocol (paper §5), with the
+    explicit byte-size model used by the cost counters.
+
+    Size model: node and item identifiers are 8 bytes, version-vector
+    components 8 bytes each, regular log records
+    {!Edb_log.Log_record.wire_size} bytes, and item values their string
+    length. The absolute constants are arbitrary; every protocol
+    (ours and the baselines) is charged under the same model, so
+    comparisons are meaningful. *)
+
+type delta_op = {
+  origin : int;
+  seq : int;  (** The origin's global update sequence number. *)
+  op : Edb_store.Operation.t;
+}
+(** One update record, for op-log propagation (paper §2's second
+    transport). *)
+
+type payload =
+  | Whole of string  (** The full item value (paper's presentation default). *)
+  | Delta of delta_op list
+      (** Exactly the operations the recipient misses, in the source's
+          application order. Only sent when the source can prove the
+          set complete from its bounded history (see
+          [Node.propagation_mode]). *)
+
+type shipped_item = {
+  name : string;
+  payload : payload;
+  ivv : Edb_vv.Version_vector.t;
+      (** The source's IVV for the item, sent along with every item in
+          [S] (paper §5.1 step 1). *)
+}
+
+val whole_value : shipped_item -> string option
+(** [whole_value s] is the value when the payload is [Whole]. *)
+
+type propagation_request = {
+  recipient : int;  (** The node asking to be brought up to date. *)
+  recipient_dbvv : Edb_vv.Version_vector.t;  (** Its DBVV [V_i]. *)
+}
+
+type propagation_reply =
+  | You_are_current
+      (** [V_i] dominates or equals [V_j]: nothing to propagate
+          (paper Fig. 2, first test). *)
+  | Propagate of {
+      tails : Edb_log.Log_record.t list array;
+          (** The tail vector [D]: component [k] holds the records of
+              updates originated at [k] that the recipient misses,
+              oldest first. *)
+      items : shipped_item list;
+          (** The set [S] of (regular copies of) items referenced by
+              records in [D], each with its IVV. *)
+    }
+
+type oob_request = { item : string }
+(** Out-of-bound request for a single item (paper §5.2). *)
+
+type oob_reply = { item : string; value : string; ivv : Edb_vv.Version_vector.t }
+(** The source's freshest copy — auxiliary if it has one, else regular —
+    with the corresponding IVV. No log records ever travel out of bound
+    (paper §5.2). *)
+
+val vv_bytes : Edb_vv.Version_vector.t -> int
+
+val request_bytes : propagation_request -> int
+
+val reply_bytes : propagation_reply -> int
+
+val oob_request_bytes : oob_request -> int
+
+val oob_reply_bytes : oob_reply -> int

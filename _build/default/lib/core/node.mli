@@ -1,0 +1,233 @@
+(** A replication node running the paper's protocol (§4–§5).
+
+    Per-node state (paper §4): the store of regular data item replicas
+    with their IVVs, the database version vector [V_i] (§4.1), the log
+    vector [L_i] (§4.2), and the auxiliary structures for out-of-bound
+    data — auxiliary copies with auxiliary IVVs (§4.3) and the auxiliary
+    log (§4.4).
+
+    The protocol procedures map one-to-one onto the paper's figures:
+
+    - {!update} — §5.3;
+    - {!handle_propagation_request} — [SendPropagation], Figure 2,
+      including the [IsSelected] O(m) set-union trick of §6;
+    - {!accept_propagation} — [AcceptPropagation], Figure 3, followed by
+      [IntraNodePropagation], Figure 4;
+    - {!serve_out_of_bound} / {!accept_out_of_bound} — §5.2.
+
+    All computational work is charged to the node's
+    {!Edb_metrics.Counters.t}; message counts and bytes are charged by
+    the session helpers {!pull} and {!fetch_out_of_bound} (or by the
+    simulator when it delivers messages itself). *)
+
+type t
+
+type resolution_policy =
+  | Report_only
+      (** The paper's behaviour: declare the conflict, skip the item,
+          drop its records from the received tails (Fig. 3). *)
+  | Resolve of (local:Message.shipped_item -> remote:Message.shipped_item -> string)
+      (** Extension (see DESIGN.md §5): on a propagation conflict, adopt
+          the merged version vector, set the value returned by the
+          resolver, and record the resolution as a fresh local update so
+          it propagates and dominates both ancestors. Resolvers receive
+          [Whole] payloads; a conflicting [Delta] item (op-log mode) is
+          always report-only, since the remote value cannot be
+          reconstructed from operations against a diverged base. *)
+
+type propagation_mode =
+  | Whole_item
+      (** Ship full item values — the paper's presentation choice
+          ("We chose whole data copying as the presentation context",
+          §2). *)
+  | Op_log of { depth : int }
+      (** Ship update records instead (the paper's alternative
+          transport, §2; what Oracle Symmetric Replication does). Each
+          replica retains the last [depth] operations per item, tagged
+          with origin and global sequence number. An item is shipped as
+          a [Delta] when the source can prove, from the recipient's
+          DBVV and its retained history, that the shipped operations
+          are exactly the missing suffix; otherwise it falls back to a
+          [Whole] copy (counted in [Counters.whole_fallbacks]). All
+          nodes of a cluster must use the same mode. *)
+
+type accept_result = {
+  copied : string list;  (** Items adopted from the source, in arrival order. *)
+  conflicts : int;  (** Conflicts declared while accepting. *)
+  resolved : int;  (** Conflicts auto-resolved (only with [Resolve _]). *)
+}
+
+type pull_result =
+  | Already_current  (** The source answered "you-are-current". *)
+  | Pulled of accept_result
+
+type oob_result = [ `Adopted | `Already_current | `Conflict ]
+
+val create :
+  ?policy:resolution_policy ->
+  ?conflict_handler:(Conflict.t -> unit) ->
+  ?mode:propagation_mode ->
+  id:int ->
+  n:int ->
+  unit ->
+  t
+(** [create ~id ~n ()] is a fresh node [id] in a replica set of size
+    [n], with empty database. [id] must lie in [\[0, n)]. *)
+
+(** {1 Accessors} *)
+
+val id : t -> int
+
+val dimension : t -> int
+
+val mode : t -> propagation_mode
+
+val dbvv : t -> Edb_vv.Version_vector.t
+(** [dbvv t] is a snapshot copy of the node's database version vector. *)
+
+val counters : t -> Edb_metrics.Counters.t
+(** The node's live cost counters (mutable; reset between experiments). *)
+
+val store : t -> Edb_store.Store.t
+(** The regular item store. Exposed read-only by convention — mutating
+    it directly bypasses version accounting. *)
+
+val log_vector : t -> Edb_log.Log_vector.t
+
+val aux_log : t -> Edb_log.Aux_log.t
+
+val read : t -> string -> string option
+(** [read t item] is the user-visible value: the auxiliary copy when one
+    exists (user operations use auxiliary data, §5.2–5.3), else the
+    regular copy. [None] if the item was never materialized. *)
+
+val read_regular : t -> string -> string option
+(** The regular copy's value only, ignoring auxiliary data. *)
+
+val item_vv : t -> string -> Edb_vv.Version_vector.t option
+(** The regular copy's IVV (a snapshot copy). *)
+
+val has_aux : t -> string -> bool
+(** Whether an auxiliary copy of the item currently exists. *)
+
+val aux_vv : t -> string -> Edb_vv.Version_vector.t option
+(** The auxiliary copy's IVV, when one exists (a snapshot copy). *)
+
+val conflicts : t -> Conflict.t list
+(** All conflicts declared at this node, most recent first. *)
+
+val clear_conflicts : t -> unit
+
+(** {1 User operations (§5.3)} *)
+
+val update : t -> string -> Edb_store.Operation.t -> unit
+(** [update t item op] performs a user update: on the auxiliary copy —
+    appending an auxiliary log record carrying the pre-update IVV and
+    the operation — if one exists, otherwise on the regular copy,
+    bumping the IVV and DBVV own-components and appending the regular
+    log record [(item, V_ii)]. *)
+
+(** {1 Update propagation (§5.1)} *)
+
+val propagation_request : t -> Message.propagation_request
+(** The request the recipient sends to start a session: its DBVV. *)
+
+val handle_propagation_request :
+  t -> Message.propagation_request -> Message.propagation_reply
+(** [SendPropagation] (Fig. 2), executed at the source. O(1) when the
+    recipient is current, O(m) otherwise (§6). *)
+
+val accept_propagation : t -> source:int -> Message.propagation_reply -> accept_result
+(** [AcceptPropagation] (Fig. 3) followed by [IntraNodePropagation]
+    (Fig. 4), executed at the recipient. Records referring to
+    conflicting items are dropped from the tails before they are
+    appended to the local logs; stale records (sequence number not above
+    the local component's newest — possible only after an earlier,
+    already-reported conflict) are skipped. *)
+
+val intra_node_propagation : t -> string list -> unit
+(** [IntraNodePropagation] (Fig. 4) over the given items. Called
+    automatically by {!accept_propagation} on the items it copied;
+    exposed for direct testing. *)
+
+(** {1 Out-of-bound copying (§5.2)} *)
+
+val serve_out_of_bound : t -> Message.oob_request -> Message.oob_reply
+(** The source's answer: its auxiliary copy if one exists (never older
+    than the regular copy), else the regular copy. *)
+
+val accept_out_of_bound : t -> source:int -> Message.oob_reply -> oob_result
+(** Adopt the reply as the new auxiliary copy if it strictly dominates
+    the local freshest copy; ignore it if equal or older; declare a
+    conflict otherwise. Regular structures are never touched. *)
+
+(** {1 Whole sessions between in-process nodes} *)
+
+val pull : recipient:t -> source:t -> pull_result
+(** One propagation session: recipient sends its DBVV, source runs
+    [SendPropagation], recipient runs [AcceptPropagation]. Message
+    counts and bytes are charged to each sender's counters. *)
+
+val sync_pair : t -> t -> unit
+(** [sync_pair a b] pulls in both directions ([a] from [b], then [b]
+    from [a]), the usual full anti-entropy exchange. *)
+
+val fetch_out_of_bound : recipient:t -> source:t -> string -> oob_result
+(** One out-of-bound session for the given item. *)
+
+(** {1 State export / import}
+
+    A faithful, self-contained value representation of a node's entire
+    durable state, used by the persistence layer ([edb_persist]) to
+    checkpoint and recover nodes. Export and re-import round-trips
+    every structure the protocol depends on: items with IVVs, the DBVV,
+    the log vector (in origin order), auxiliary copies and the
+    auxiliary log (in arrival order). *)
+
+module State : sig
+  type item = { name : string; value : string; ivv : int array }
+
+  type aux_record = { item : string; ivv : int array; op : Edb_store.Operation.t }
+
+  type t = {
+    id : int;
+    n : int;
+    items : item list;
+    dbvv : int array;
+    logs : (string * int) list array;  (** Per origin, [(item, seq)] oldest first. *)
+    aux_items : item list;
+    aux_log : aux_record list;  (** Oldest first. *)
+  }
+end
+
+val export_state : t -> State.t
+(** [export_state t] is a deep copy of [t]'s durable state. Volatile
+    state (counters, conflict reports, scratch flags) is not part of
+    it. *)
+
+val import_state :
+  ?policy:resolution_policy ->
+  ?conflict_handler:(Conflict.t -> unit) ->
+  ?mode:propagation_mode ->
+  State.t ->
+  t
+(** [import_state state] reconstructs a node. Raises [Invalid_argument]
+    if the state is structurally inconsistent (bad dimensions,
+    non-monotonic log sequences). The reconstructed node satisfies
+    {!check_invariants} whenever the exported one did. Per-item op
+    histories are volatile and not part of the state: a node restored
+    in [Op_log] mode starts with empty histories and safely falls back
+    to whole-item shipping until new updates refill them. *)
+
+(** {1 Introspection} *)
+
+val check_invariants : t -> (unit, string) result
+(** Verifies the node-local structural invariants:
+    - [V_i\[l\] = Σ_x v_i(x)\[l\]] for every origin [l] — the DBVV counts
+      exactly the updates reflected by the regular items (§4.1);
+    - every log component is ordered and deduplicated with a consistent
+      pointer map (§4.2);
+    - when the node has seen no conflicts, component [k]'s newest record
+      has sequence number at most [V_i\[k\]];
+    - no item carries a stray [IsSelected] flag outside a propagation
+      computation (§6). *)

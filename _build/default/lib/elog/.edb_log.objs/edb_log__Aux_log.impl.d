@@ -1,0 +1,1 @@
+lib/elog/aux_log.ml: Edb_store Edb_util Edb_vv Hashtbl Queue

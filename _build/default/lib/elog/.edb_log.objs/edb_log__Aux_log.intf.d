@@ -1,0 +1,1 @@
+lib/elog/aux_log.mli: Edb_store Edb_vv

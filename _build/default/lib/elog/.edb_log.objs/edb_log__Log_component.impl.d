@@ -1,0 +1,1 @@
+lib/elog/log_component.ml: Edb_util Format Hashtbl List Log_record Option String

@@ -1,0 +1,1 @@
+lib/elog/log_component.mli: Log_record

@@ -1,0 +1,1 @@
+lib/elog/log_record.ml: Format String

@@ -1,0 +1,1 @@
+lib/elog/log_vector.ml: Array Log_component Printf

@@ -1,0 +1,1 @@
+lib/elog/log_vector.mli: Log_component

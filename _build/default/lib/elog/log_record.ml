@@ -1,0 +1,10 @@
+type t = { item : string; seq : int }
+
+(* 8 bytes of item identifier + 8 bytes of sequence number. Item names in
+   a real system would be fixed-width ids; charging a constant keeps the
+   cost model aligned with the paper's "records are very short" (§4.2). *)
+let wire_size = 16
+
+let equal a b = String.equal a.item b.item && a.seq = b.seq
+
+let pp fmt { item; seq } = Format.fprintf fmt "(%s,%d)" item seq

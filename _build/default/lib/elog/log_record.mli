@@ -1,0 +1,18 @@
+(** Regular log records (paper §4.2).
+
+    A record [(x, m)] only registers {e that} data item [x] was updated
+    and that the update was the [m]-th performed by its origin node
+    ([m] is the origin's DBVV self-component at update time). It carries
+    no operation payload, so records are constant-size — the property
+    §6 relies on to bound message overhead at "constant amount of
+    information per data item". *)
+
+type t = { item : string; seq : int }
+
+val wire_size : int
+(** [wire_size] is the byte cost charged per record by the cost model:
+    a fixed item-id slot plus a 64-bit sequence number. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

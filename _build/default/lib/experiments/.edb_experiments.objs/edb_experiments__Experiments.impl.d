@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Edb_baselines Edb_core Edb_log Edb_metrics Edb_sim Edb_store Edb_tokens Edb_util Edb_workload Fun Hashtbl List Option Printf Scanf String

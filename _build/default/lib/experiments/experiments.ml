@@ -1,0 +1,779 @@
+module Cluster = Edb_core.Cluster
+module Node = Edb_core.Node
+module Operation = Edb_store.Operation
+module Counters = Edb_metrics.Counters
+module Table = Edb_metrics.Table
+module Workload = Edb_workload.Workload
+module Demers = Edb_baselines.Demers
+module Lotus = Edb_baselines.Lotus
+module Oracle = Edb_baselines.Oracle_push
+module Wuu = Edb_baselines.Wuu_bernstein
+module Driver = Edb_baselines.Driver
+module Engine = Edb_sim.Engine
+
+let item = Workload.item_name
+
+let payload ~rank ~seq = Workload.payload ~item:(item rank) ~seq ~size:64
+
+(* Update the first [m] items of the universe at [node], stamping them
+   with [seq] so repeated dirtying produces fresh values. *)
+let dirty_first_m ~update ~node ~m ~seq =
+  for rank = 0 to m - 1 do
+    update ~node ~item:(item rank) ~op:(Operation.Set (payload ~rank ~seq))
+  done
+
+(* A two-node epidemic cluster pre-converged on a universe of [n_items]
+   items (every item updated once at node 0 and propagated to node 1). *)
+let seeded_pair ~n_items =
+  let cluster = Cluster.create ~n:2 () in
+  dirty_first_m
+    ~update:(fun ~node ~item ~op -> Cluster.update cluster ~node ~item op)
+    ~node:0 ~m:n_items ~seq:1;
+  let (_ : Node.pull_result) = Cluster.pull cluster ~recipient:1 ~source:0 in
+  Cluster.reset_counters cluster;
+  cluster
+
+(* ------------------------------------------------------------------ *)
+(* E1 — propagation overhead vs database size N (m fixed)              *)
+(* ------------------------------------------------------------------ *)
+
+let e1_cost_vs_database_size ?(quick = false) () =
+  let sizes = if quick then [ 200; 800 ] else [ 1_000; 4_000; 16_000; 64_000 ] in
+  let m = if quick then 8 else 64 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E1: one propagation round, %d dirty items, growing database size N \
+            (work = vv comparisons + items examined + log records + items copied)"
+           m)
+      ~columns:[ "N"; "dbvv work"; "demers work"; "lotus work" ]
+  in
+  List.iter
+    (fun n_items ->
+      (* The paper's protocol. *)
+      let cluster = seeded_pair ~n_items in
+      dirty_first_m
+        ~update:(fun ~node ~item ~op -> Cluster.update cluster ~node ~item op)
+        ~node:0 ~m ~seq:2;
+      Cluster.reset_counters cluster;
+      let (_ : Node.pull_result) = Cluster.pull cluster ~recipient:1 ~source:0 in
+      let dbvv_work = Counters.total_work (Cluster.total_counters cluster) in
+      (* Demers-style per-item anti-entropy. *)
+      let demers = Demers.create ~n:2 ~universe:(Workload.universe n_items) in
+      dirty_first_m
+        ~update:(fun ~node ~item ~op -> Demers.update demers ~node ~item op)
+        ~node:0 ~m ~seq:1;
+      (Demers.driver demers).Driver.reset_counters ();
+      Demers.session demers ~src:0 ~dst:1;
+      let demers_work =
+        Counters.total_work ((Demers.driver demers).Driver.total_counters ())
+      in
+      (* Lotus Notes. *)
+      let lotus = Lotus.create ~n:2 ~universe:(Workload.universe n_items) in
+      dirty_first_m
+        ~update:(fun ~node ~item ~op -> Lotus.update lotus ~node ~item op)
+        ~node:0 ~m ~seq:1;
+      (Lotus.driver lotus).Driver.reset_counters ();
+      Lotus.session lotus ~src:0 ~dst:1;
+      let lotus_work =
+        Counters.total_work ((Lotus.driver lotus).Driver.total_counters ())
+      in
+      Table.add_int_row table ~label:(string_of_int n_items)
+        [ dbvv_work; demers_work; lotus_work ])
+    sizes;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E2 — propagation overhead vs items copied m (N fixed)               *)
+(* ------------------------------------------------------------------ *)
+
+let e2_cost_vs_items_copied ?(quick = false) () =
+  let n_items = if quick then 1_024 else 16_384 in
+  let ms = if quick then [ 16; 64 ] else [ 16; 64; 256; 1_024; 4_096 ] in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E2: dbvv propagation overhead vs items copied m (N = %d fixed)" n_items)
+      ~columns:[ "m"; "work"; "work/m"; "records shipped"; "items copied" ]
+  in
+  List.iter
+    (fun m ->
+      let cluster = seeded_pair ~n_items in
+      dirty_first_m
+        ~update:(fun ~node ~item ~op -> Cluster.update cluster ~node ~item op)
+        ~node:0 ~m ~seq:2;
+      Cluster.reset_counters cluster;
+      let (_ : Node.pull_result) = Cluster.pull cluster ~recipient:1 ~source:0 in
+      let total = Cluster.total_counters cluster in
+      let work = Counters.total_work total in
+      Table.add_int_row table ~label:(string_of_int m)
+        [ work; work / m; total.log_records_examined; total.items_copied ])
+    ms;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E3 — replicas identical through indirect propagation                *)
+(* ------------------------------------------------------------------ *)
+
+let e3_identical_replicas ?(quick = false) () =
+  let sizes = if quick then [ 256 ] else [ 1_000; 4_000; 16_000 ] in
+  let table =
+    Table.create
+      ~title:
+        "E3: session between replicas made identical indirectly (via a third \
+         node); work to discover there is nothing to do"
+      ~columns:[ "N"; "dbvv work"; "lotus work" ]
+  in
+  List.iter
+    (fun n_items ->
+      let m = min 64 n_items in
+      (* The paper's protocol: 3 nodes, b and c catch up from a, then c
+         pulls from b. *)
+      let cluster = Cluster.create ~n:3 () in
+      dirty_first_m
+        ~update:(fun ~node ~item ~op -> Cluster.update cluster ~node ~item op)
+        ~node:0 ~m:n_items ~seq:1;
+      let (_ : Node.pull_result) = Cluster.pull cluster ~recipient:1 ~source:0 in
+      let (_ : Node.pull_result) = Cluster.pull cluster ~recipient:2 ~source:0 in
+      ignore m;
+      Cluster.reset_counters cluster;
+      let (_ : Node.pull_result) = Cluster.pull cluster ~recipient:2 ~source:1 in
+      let dbvv_work = Counters.total_work (Cluster.total_counters cluster) in
+      (* Lotus: same topology. *)
+      let lotus = Lotus.create ~n:3 ~universe:(Workload.universe n_items) in
+      dirty_first_m
+        ~update:(fun ~node ~item ~op -> Lotus.update lotus ~node ~item op)
+        ~node:0 ~m:n_items ~seq:1;
+      Lotus.session lotus ~src:0 ~dst:1;
+      Lotus.session lotus ~src:0 ~dst:2;
+      (Lotus.driver lotus).Driver.reset_counters ();
+      Lotus.session lotus ~src:1 ~dst:2;
+      let lotus_work =
+        Counters.total_work ((Lotus.driver lotus).Driver.total_counters ())
+      in
+      Table.add_int_row table ~label:(string_of_int n_items) [ dbvv_work; lotus_work ])
+    sizes;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E4 — message bytes vs items copied                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e4_message_bytes ?(quick = false) () =
+  let n_items = if quick then 512 else 4_096 in
+  let ms = if quick then [ 16; 64 ] else [ 16; 64; 256; 1_024 ] in
+  let value_size = 64 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E4: propagation message size vs m (N = %d, %d-byte values); overhead = \
+            bytes beyond the item payloads, constant per item"
+           n_items value_size)
+      ~columns:[ "m"; "total bytes"; "payload bytes"; "overhead"; "overhead/m" ]
+  in
+  List.iter
+    (fun m ->
+      let cluster = seeded_pair ~n_items in
+      dirty_first_m
+        ~update:(fun ~node ~item ~op -> Cluster.update cluster ~node ~item op)
+        ~node:0 ~m ~seq:2;
+      Cluster.reset_counters cluster;
+      let (_ : Node.pull_result) = Cluster.pull cluster ~recipient:1 ~source:0 in
+      (* Bytes the source shipped (the recipient only sent its DBVV). *)
+      let source_bytes = (Node.counters (Cluster.node cluster 0)).Counters.bytes_sent in
+      let payload_bytes = m * value_size in
+      let overhead = source_bytes - payload_bytes in
+      Table.add_int_row table ~label:(string_of_int m)
+        [ source_bytes; payload_bytes; overhead; overhead / m ])
+    ms;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E5 — out-of-bound copying and intra-node propagation                *)
+(* ------------------------------------------------------------------ *)
+
+let e5_out_of_bound ?(quick = false) () =
+  let table =
+    Table.create
+      ~title:
+        "E5: out-of-bound copy cost is O(1) in N; intra-node propagation is \
+         linear in the deferred updates k"
+      ~columns:[ "scenario"; "vv comparisons"; "aux replays"; "total work" ]
+  in
+  (* Part A: OOB fetch cost against database size. *)
+  let fetch_sizes = if quick then [ 256 ] else [ 1_024; 16_384 ] in
+  List.iter
+    (fun n_items ->
+      let cluster = seeded_pair ~n_items in
+      Cluster.update cluster ~node:0 ~item:(item 0)
+        (Operation.Set (payload ~rank:0 ~seq:2));
+      Cluster.reset_counters cluster;
+      let (_ : Node.oob_result) =
+        Cluster.fetch_out_of_bound cluster ~recipient:1 ~source:0 (item 0)
+      in
+      let total = Cluster.total_counters cluster in
+      Table.add_row table
+        [
+          Printf.sprintf "oob fetch, N=%d" n_items;
+          string_of_int total.vv_comparisons;
+          string_of_int total.aux_replays;
+          string_of_int (Counters.total_work total);
+        ])
+    fetch_sizes;
+  (* Part B: intra-node replay cost against deferred update count. *)
+  let ks = if quick then [ 1; 8 ] else [ 1; 8; 64; 512 ] in
+  List.iter
+    (fun k ->
+      let cluster = Cluster.create ~n:2 () in
+      Cluster.update cluster ~node:0 ~item:"hot" (Operation.Set "h0");
+      let (_ : Node.oob_result) =
+        Cluster.fetch_out_of_bound cluster ~recipient:1 ~source:0 "hot"
+      in
+      for i = 1 to k do
+        Cluster.update cluster ~node:1 ~item:"hot"
+          (Operation.Set (Printf.sprintf "h%d" i))
+      done;
+      Cluster.reset_counters cluster;
+      let (_ : Node.pull_result) = Cluster.pull cluster ~recipient:1 ~source:0 in
+      let total = Cluster.total_counters cluster in
+      Table.add_row table
+        [
+          Printf.sprintf "intra-node, k=%d" k;
+          string_of_int total.vv_comparisons;
+          string_of_int total.aux_replays;
+          string_of_int (Counters.total_work total);
+        ])
+    ks;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E6 — originator failure: epidemic forwarding vs Oracle push         *)
+(* ------------------------------------------------------------------ *)
+
+let e6_failure_resilience ?(quick = false) () =
+  let n = if quick then 6 else 16 in
+  let fs = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let recovery_time = 100.0 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E6: originator of an update crashes after reaching f of %d nodes \
+            (anti-entropy period 1.0; Oracle originator recovers at t=%.0f)"
+           n recovery_time)
+      ~columns:
+        [ "f"; "dbvv converge time"; "dbvv stale nodes @t=50"; "oracle stale nodes @t=50"; "oracle converge time" ]
+  in
+  List.iter
+    (fun f ->
+      (* The paper's protocol under the simulator. *)
+      let _, driver = Edb_baselines.Epidemic_driver.create ~seed:(100 + f) ~n () in
+      let engine = Engine.create ~seed:(200 + f) ~driver () in
+      driver.Driver.update ~node:0 ~item:"x" ~op:(Operation.Set "v");
+      (* The originator reaches f nodes, then crashes. *)
+      for dst = 1 to f do
+        driver.Driver.session ~src:0 ~dst
+      done;
+      Engine.schedule engine ~at:0.0 (Engine.Crash 0);
+      Engine.schedule engine ~at:0.5
+        (Engine.Anti_entropy_round { period = 1.0; policy = Engine.Random_peer });
+      let converge_time =
+        Engine.run_until_converged engine ~check_every:1.0 ~deadline:1_000.0
+      in
+      let dbvv_time =
+        match converge_time with
+        | Some t -> Printf.sprintf "%.0f" t
+        | None -> "never"
+      in
+      let dbvv_stale_at_50 =
+        match converge_time with
+        | Some t when t <= 50.0 -> 0
+        | Some _ | None -> n - 1 - f
+      in
+      (* Oracle push: nobody forwards; the stranded nodes wait for the
+         originator to recover. *)
+      let oracle = Oracle.create ~n in
+      Oracle.update oracle ~node:0 ~item:"x" (Operation.Set "v");
+      for dst = 1 to f do
+        Oracle.push_to oracle ~origin:0 ~dst
+      done;
+      Oracle.crash oracle ~node:0;
+      (* Between the crash and the recovery, the reached nodes keep
+         "pushing" — they have nothing queued, so nothing changes. *)
+      let stale_at_50 = ref 0 in
+      for node = 0 to n - 1 do
+        if Oracle.is_stale oracle ~node then incr stale_at_50
+      done;
+      Oracle.recover oracle ~node:0;
+      Oracle.push_all oracle ~origin:0;
+      let oracle_time =
+        if Oracle.converged oracle then Printf.sprintf "%.0f" recovery_time else "never"
+      in
+      Table.add_row table
+        [
+          string_of_int f;
+          dbvv_time;
+          string_of_int dbvv_stale_at_50;
+          string_of_int !stale_at_50;
+          oracle_time;
+        ])
+    fs;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E7 — epidemic convergence rounds vs cluster size                    *)
+(* ------------------------------------------------------------------ *)
+
+let e7_convergence_rounds ?(quick = false) () =
+  let ns = if quick then [ 4; 8 ] else [ 4; 8; 16; 32; 64 ] in
+  let seeds = [ 1; 2; 3 ] in
+  let table =
+    Table.create
+      ~title:
+        "E7: random-peer anti-entropy rounds until one update reaches every \
+         node (3 seeds averaged); expected O(log n) epidemic spread"
+      ~columns:[ "n"; "avg rounds"; "max rounds"; "avg item copies"; "log2 n" ]
+  in
+  List.iter
+    (fun n ->
+      let results =
+        List.map
+          (fun seed ->
+            let cluster = Cluster.create ~seed ~n () in
+            Cluster.update cluster ~node:0 ~item:"x" (Operation.Set "v");
+            let rounds = Cluster.sync_until_converged cluster in
+            let copies = (Cluster.total_counters cluster).Counters.items_copied in
+            (rounds, copies))
+          seeds
+      in
+      let rounds = List.map fst results and copies = List.map snd results in
+      let avg xs = List.fold_left ( + ) 0 xs / List.length xs in
+      let max_rounds = List.fold_left max 0 rounds in
+      let log2 = int_of_float (ceil (log (float_of_int n) /. log 2.0)) in
+      Table.add_int_row table ~label:(string_of_int n)
+        [ avg rounds; max_rounds; avg copies; log2 ])
+    ns;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E8 — log vector deduplication under a skewed update stream          *)
+(* ------------------------------------------------------------------ *)
+
+let e8_log_dedup ?(quick = false) () =
+  let n_items = if quick then 200 else 1_000 in
+  let counts = if quick then [ 500; 2_000 ] else [ 1_000; 4_000; 16_000 ] in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E8: retained log records after U zipf(1.0) updates over %d items \
+            (single node; bound is N = %d)"
+           n_items n_items)
+      ~columns:[ "U updates"; "retained records"; "distinct items"; "bound n*N" ]
+  in
+  List.iter
+    (fun count ->
+      let cluster = Cluster.create ~n:2 () in
+      let selector = Workload.Selector.zipfian ~n:n_items ~exponent:1.0 in
+      let steps =
+        Workload.update_stream ~seed:42 ~selector ~nodes:1 ~count ~value_size:16
+      in
+      let touched = Hashtbl.create 64 in
+      List.iter
+        (fun (step : Workload.step) ->
+          Hashtbl.replace touched step.item ();
+          Cluster.update cluster ~node:0 ~item:step.item step.op)
+        steps;
+      let retained =
+        Edb_log.Log_vector.total_records (Node.log_vector (Cluster.node cluster 0))
+      in
+      Table.add_int_row table ~label:(string_of_int count)
+        [ retained; Hashtbl.length touched; 2 * n_items ])
+    counts;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E9 — conflict detection vs Lotus's silent override                  *)
+(* ------------------------------------------------------------------ *)
+
+let e9_conflict_detection ?quick:(_ = false) () =
+  let table =
+    Table.create
+      ~title:
+        "E9: the paper's §8.1 scenario — node i updates x twice, node j once \
+         (concurrently), then propagation i->j"
+      ~columns:[ "protocol"; "conflicts detected"; "value at j afterwards"; "j's update lost" ]
+  in
+  (* The paper's protocol. *)
+  let cluster = Cluster.create ~n:2 () in
+  Cluster.update cluster ~node:0 ~item:"x" (Operation.Set "i-v1");
+  Cluster.update cluster ~node:0 ~item:"x" (Operation.Set "i-v2");
+  Cluster.update cluster ~node:1 ~item:"x" (Operation.Set "j-v1");
+  let (_ : Node.pull_result) = Cluster.pull cluster ~recipient:1 ~source:0 in
+  let total = Cluster.total_counters cluster in
+  let j_value = Option.value ~default:"<none>" (Cluster.read cluster ~node:1 ~item:"x") in
+  Table.add_row table
+    [
+      "dbvv";
+      string_of_int total.conflicts_detected;
+      j_value;
+      (if String.equal j_value "j-v1" then "no" else "yes");
+    ];
+  (* Lotus: the higher sequence number silently wins. *)
+  let lotus = Lotus.create ~n:2 ~universe:[ "x" ] in
+  Lotus.update lotus ~node:0 ~item:"x" (Operation.Set "i-v1");
+  Lotus.update lotus ~node:0 ~item:"x" (Operation.Set "i-v2");
+  Lotus.update lotus ~node:1 ~item:"x" (Operation.Set "j-v1");
+  Lotus.session lotus ~src:0 ~dst:1;
+  let lotus_total = (Lotus.driver lotus).Driver.total_counters () in
+  let lotus_j = Option.value ~default:"<none>" (Lotus.read lotus ~node:1 ~item:"x") in
+  Table.add_row table
+    [
+      "lotus";
+      string_of_int lotus_total.conflicts_detected;
+      lotus_j;
+      (if String.equal lotus_j "j-v1" then "no" else "yes");
+    ];
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E10 — overhead vs raw update count (log-based gossip comparison)    *)
+(* ------------------------------------------------------------------ *)
+
+let e10_log_based_gossip ?(quick = false) () =
+  let m = 32 in
+  let counts = if quick then [ 64; 256 ] else [ 32; 128; 512; 2_048 ] in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E10: one session after U updates spread over %d hot items: dbvv \
+            cost tracks items, Wuu-Bernstein tracks updates (records examined)"
+           m)
+      ~columns:
+        [ "U updates"; "dbvv records"; "dbvv work"; "wuu records"; "wuu work";
+          "2pg records"; "2pg bytes"; "wuu bytes" ]
+  in
+  List.iter
+    (fun count ->
+      (* The paper's protocol. *)
+      let cluster = Cluster.create ~n:2 () in
+      for i = 0 to count - 1 do
+        let rank = i mod m in
+        Cluster.update cluster ~node:0 ~item:(item rank)
+          (Operation.Set (payload ~rank ~seq:i))
+      done;
+      Cluster.reset_counters cluster;
+      let (_ : Node.pull_result) = Cluster.pull cluster ~recipient:1 ~source:0 in
+      let total = Cluster.total_counters cluster in
+      (* Wuu-Bernstein. *)
+      let wuu = Wuu.create ~n:2 in
+      for i = 0 to count - 1 do
+        let rank = i mod m in
+        Wuu.update wuu ~node:0 ~item:(item rank) (Operation.Set (payload ~rank ~seq:i))
+      done;
+      (Wuu.driver wuu).Driver.reset_counters ();
+      Wuu.session wuu ~src:0 ~dst:1;
+      let wuu_total = (Wuu.driver wuu).Driver.total_counters () in
+      (* Two-phase gossip: same linear-in-updates scan, smaller vector
+         overhead on the wire. *)
+      let tpg = Edb_baselines.Two_phase_gossip.create ~n:2 in
+      for i = 0 to count - 1 do
+        let rank = i mod m in
+        Edb_baselines.Two_phase_gossip.update tpg ~node:0 ~item:(item rank)
+          (Operation.Set (payload ~rank ~seq:i))
+      done;
+      (Edb_baselines.Two_phase_gossip.driver tpg).Driver.reset_counters ();
+      Edb_baselines.Two_phase_gossip.session tpg ~src:0 ~dst:1;
+      let tpg_total =
+        (Edb_baselines.Two_phase_gossip.driver tpg).Driver.total_counters ()
+      in
+      Table.add_int_row table ~label:(string_of_int count)
+        [
+          total.log_records_examined;
+          Counters.total_work total;
+          wuu_total.log_records_examined;
+          Counters.total_work wuu_total;
+          tpg_total.log_records_examined;
+          tpg_total.bytes_sent;
+          wuu_total.bytes_sent;
+        ])
+    counts;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E11 — op-log vs whole-item transport (extension; paper §2)          *)
+(* ------------------------------------------------------------------ *)
+
+let e11_oplog_transport ?(quick = false) () =
+  let m = if quick then 4 else 16 in
+  let value_bytes = 4_096 in
+  let edits_per_item = 8 in
+  let edit_sizes = if quick then [ 8; 512 ] else [ 8; 64; 512; 2_048 ] in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E11: transport comparison - %d items of %d bytes, %d edits each; \
+            bytes for one propagation session"
+           m value_bytes edits_per_item)
+      ~columns:
+        [ "edit bytes"; "whole-item bytes"; "op-log bytes"; "ratio"; "fallbacks" ]
+  in
+  let run_one ~mode ~edit_size =
+    let cluster = Cluster.create ?mode ~n:2 () in
+    (* Converge on the initial big values first. *)
+    for rank = 0 to m - 1 do
+      Cluster.update cluster ~node:0 ~item:(item rank)
+        (Operation.Set (String.make value_bytes 'a'))
+    done;
+    let (_ : Node.pull_result) = Cluster.pull cluster ~recipient:1 ~source:0 in
+    (* Small in-place edits. *)
+    for rank = 0 to m - 1 do
+      for e = 0 to edits_per_item - 1 do
+        Cluster.update cluster ~node:0 ~item:(item rank)
+          (Operation.Splice { offset = e * edit_size; data = String.make edit_size 'b' })
+      done
+    done;
+    Cluster.reset_counters cluster;
+    let (_ : Node.pull_result) = Cluster.pull cluster ~recipient:1 ~source:0 in
+    let total = Cluster.total_counters cluster in
+    (total.bytes_sent, total.whole_fallbacks)
+  in
+  List.iter
+    (fun edit_size ->
+      let whole_bytes, _ = run_one ~mode:None ~edit_size in
+      let delta_bytes, fallbacks =
+        run_one ~mode:(Some (Node.Op_log { depth = 16 })) ~edit_size
+      in
+      Table.add_row table
+        [
+          string_of_int edit_size;
+          string_of_int whole_bytes;
+          string_of_int delta_bytes;
+          Printf.sprintf "%.1fx" (float_of_int whole_bytes /. float_of_int delta_bytes);
+          string_of_int fallbacks;
+        ])
+    edit_sizes;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E12 — timeliness vs anti-entropy period (extension)                 *)
+(* ------------------------------------------------------------------ *)
+
+let e12_timeliness_vs_period ?(quick = false) () =
+  let n = if quick then 6 else 16 in
+  let updates = if quick then 40 else 200 in
+  let window = 100.0 in
+  let periods = if quick then [ 1.0; 4.0 ] else [ 0.5; 1.0; 2.0; 4.0; 8.0 ] in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E12: anti-entropy period vs timeliness - %d nodes, %d single-writer \
+            updates over %.0f time units; lag = time from last update to full \
+            convergence"
+           n updates window)
+      ~columns:[ "period"; "convergence lag"; "sessions"; "bytes sent"; "noop sessions" ]
+  in
+  List.iter
+    (fun period ->
+      let _, driver = Edb_baselines.Epidemic_driver.create ~seed:77 ~n () in
+      let engine = Engine.create ~seed:78 ~driver () in
+      let selector = Workload.Selector.zipfian ~n:200 ~exponent:1.0 in
+      let steps =
+        Workload.update_stream ~seed:79 ~selector ~nodes:n ~count:updates ~value_size:64
+      in
+      List.iteri
+        (fun i (step : Workload.step) ->
+          (* Single-writer discipline keeps the run conflict-free. *)
+          let rank = Scanf.sscanf step.item "item-%d" Fun.id in
+          let at = window *. float_of_int i /. float_of_int updates in
+          Engine.schedule engine ~at
+            (Engine.User_update { node = rank mod n; item = step.item; op = step.op }))
+        steps;
+      Engine.schedule engine ~at:(period /. 2.0)
+        (Engine.Anti_entropy_round { period; policy = Engine.Random_peer });
+      Engine.run_until engine window;
+      let lag =
+        match
+          Engine.run_until_converged engine ~check_every:(period /. 2.0)
+            ~deadline:(window +. 500.0)
+        with
+        | Some t -> Printf.sprintf "%.1f" (t -. window)
+        | None -> "never"
+      in
+      let total = driver.Driver.total_counters () in
+      Table.add_row table
+        [
+          Printf.sprintf "%.1f" period;
+          lag;
+          string_of_int (Engine.sessions_attempted engine);
+          string_of_int total.bytes_sent;
+          string_of_int total.noop_sessions;
+        ])
+    periods;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E13 — update propagation delay distribution (extension)             *)
+(* ------------------------------------------------------------------ *)
+
+let e13_propagation_delay ?(quick = false) () =
+  let ns = if quick then [ 8 ] else [ 8; 16; 32 ] in
+  let updates = if quick then 30 else 100 in
+  let issue_window = 20 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E13: rounds from update to full visibility on every replica - %d \
+            one-shot updates issued over %d random-pull rounds"
+           updates issue_window)
+      ~columns:[ "n"; "mean"; "p50"; "p90"; "max" ]
+  in
+  List.iter
+    (fun n ->
+      let cluster = Cluster.create ~seed:(300 + n) ~n () in
+      let prng = Edb_util.Prng.create ~seed:(400 + n) in
+      let delays = Edb_metrics.Histogram.create () in
+      (* Distinct item per update so visibility is unambiguous. *)
+      let schedule =
+        List.init updates (fun i ->
+            (Edb_util.Prng.int prng issue_window, i, Edb_util.Prng.int prng n))
+      in
+      let pending = ref [] in
+      let round = ref 0 in
+      let max_rounds = 400 in
+      while (!pending <> [] || !round < issue_window) && !round < max_rounds do
+        List.iter
+          (fun (at, i, node) ->
+            if at = !round then begin
+              let name = item i in
+              Cluster.update cluster ~node ~item:name
+                (Operation.Set (payload ~rank:i ~seq:1));
+              pending := (name, payload ~rank:i ~seq:1, !round) :: !pending
+            end)
+          schedule;
+        Cluster.random_pull_round cluster;
+        let visible (name, value, _) =
+          let all = ref true in
+          for node = 0 to n - 1 do
+            match Cluster.read cluster ~node ~item:name with
+            | Some v when String.equal v value -> ()
+            | Some _ | None -> all := false
+          done;
+          !all
+        in
+        let done_, still = List.partition visible !pending in
+        List.iter
+          (fun (_, _, issued) ->
+            Edb_metrics.Histogram.add delays (float_of_int (!round - issued + 1)))
+          done_;
+        pending := still;
+        incr round
+      done;
+      let pct p = Printf.sprintf "%.0f" (Edb_metrics.Histogram.percentile delays p) in
+      Table.add_row table
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" (Edb_metrics.Histogram.mean delays);
+          pct 50.0;
+          pct 90.0;
+          Printf.sprintf "%.0f" (Edb_metrics.Histogram.max_value delays);
+        ])
+    ns;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* E14 — token ablation: pessimistic vs optimistic under contention    *)
+(* ------------------------------------------------------------------ *)
+
+let e14_token_ablation ?(quick = false) () =
+  let n = if quick then 3 else 6 in
+  let rounds = if quick then 4 else 12 in
+  let hot_items = 4 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E14: %d nodes all updating %d hot items for %d rounds - optimistic \
+            (paper default) vs token-protected (paper SS2's pessimistic option)"
+           n hot_items rounds)
+      ~columns:
+        [ "regime"; "conflicts"; "token transfers"; "hint hops"; "converged"; "work" ]
+  in
+  let workload update_fn cluster =
+    for round = 1 to rounds do
+      for node = 0 to n - 1 do
+        let name = item ((node + round) mod hot_items) in
+        update_fn ~node ~item:name
+          (Operation.Set (Printf.sprintf "r%d-n%d" round node))
+      done;
+      Cluster.random_pull_round cluster
+    done
+  in
+  (* Optimistic: the paper's default, conflicts detected and reported. *)
+  let cluster = Cluster.create ~seed:50 ~n () in
+  workload (fun ~node ~item op -> Cluster.update cluster ~node ~item op) cluster;
+  let converged =
+    match Cluster.sync_until_converged ~max_rounds:50 cluster with
+    | _ -> "yes"
+    | exception Failure _ -> "no (conflicts pending)"
+  in
+  let total = Cluster.total_counters cluster in
+  Table.add_row table
+    [
+      "optimistic";
+      string_of_int total.conflicts_detected;
+      "0";
+      "0";
+      converged;
+      string_of_int (Counters.total_work total);
+    ];
+  (* Pessimistic: every update acquires the item's token first. *)
+  let cluster = Cluster.create ~seed:50 ~n () in
+  let tokens = Edb_tokens.Token_manager.create cluster in
+  workload
+    (fun ~node ~item op ->
+      match Edb_tokens.Token_manager.update tokens ~node ~item op with
+      | Ok _ -> ()
+      | Error (`Cycle _) -> failwith "token cycle")
+    cluster;
+  let converged =
+    match Cluster.sync_until_converged ~max_rounds:200 cluster with
+    | _ -> "yes"
+    | exception Failure _ -> "no"
+  in
+  let total = Cluster.total_counters cluster in
+  Table.add_row table
+    [
+      "tokens";
+      string_of_int total.conflicts_detected;
+      string_of_int (Edb_tokens.Token_manager.transfers tokens);
+      string_of_int (Edb_tokens.Token_manager.hops_followed tokens);
+      converged;
+      string_of_int (Counters.total_work total);
+    ];
+  table
+
+let all ?(quick = false) () =
+  [
+    ("E1", e1_cost_vs_database_size ~quick ());
+    ("E2", e2_cost_vs_items_copied ~quick ());
+    ("E3", e3_identical_replicas ~quick ());
+    ("E4", e4_message_bytes ~quick ());
+    ("E5", e5_out_of_bound ~quick ());
+    ("E6", e6_failure_resilience ~quick ());
+    ("E7", e7_convergence_rounds ~quick ());
+    ("E8", e8_log_dedup ~quick ());
+    ("E9", e9_conflict_detection ~quick ());
+    ("E10", e10_log_based_gossip ~quick ());
+    ("E11", e11_oplog_transport ~quick ());
+    ("E12", e12_timeliness_vs_period ~quick ());
+    ("E13", e13_propagation_delay ~quick ());
+    ("E14", e14_token_ablation ~quick ());
+  ]

@@ -1,0 +1,1 @@
+lib/metrics/histogram.ml: Array List Printf

@@ -1,0 +1,124 @@
+type t = {
+  mutable vv_comparisons : int;
+  mutable items_examined : int;
+  mutable log_records_examined : int;
+  mutable items_copied : int;
+  mutable messages : int;
+  mutable bytes_sent : int;
+  mutable updates_applied : int;
+  mutable conflicts_detected : int;
+  mutable propagation_sessions : int;
+  mutable noop_sessions : int;
+  mutable aux_replays : int;
+  mutable oob_copies : int;
+  mutable delta_ops_applied : int;
+  mutable whole_fallbacks : int;
+}
+
+let create () =
+  {
+    vv_comparisons = 0;
+    items_examined = 0;
+    log_records_examined = 0;
+    items_copied = 0;
+    messages = 0;
+    bytes_sent = 0;
+    updates_applied = 0;
+    conflicts_detected = 0;
+    propagation_sessions = 0;
+    noop_sessions = 0;
+    aux_replays = 0;
+    oob_copies = 0;
+    delta_ops_applied = 0;
+    whole_fallbacks = 0;
+  }
+
+let reset t =
+  t.vv_comparisons <- 0;
+  t.items_examined <- 0;
+  t.log_records_examined <- 0;
+  t.items_copied <- 0;
+  t.messages <- 0;
+  t.bytes_sent <- 0;
+  t.updates_applied <- 0;
+  t.conflicts_detected <- 0;
+  t.propagation_sessions <- 0;
+  t.noop_sessions <- 0;
+  t.aux_replays <- 0;
+  t.oob_copies <- 0;
+  t.delta_ops_applied <- 0;
+  t.whole_fallbacks <- 0
+
+let copy t =
+  {
+    vv_comparisons = t.vv_comparisons;
+    items_examined = t.items_examined;
+    log_records_examined = t.log_records_examined;
+    items_copied = t.items_copied;
+    messages = t.messages;
+    bytes_sent = t.bytes_sent;
+    updates_applied = t.updates_applied;
+    conflicts_detected = t.conflicts_detected;
+    propagation_sessions = t.propagation_sessions;
+    noop_sessions = t.noop_sessions;
+    aux_replays = t.aux_replays;
+    oob_copies = t.oob_copies;
+    delta_ops_applied = t.delta_ops_applied;
+    whole_fallbacks = t.whole_fallbacks;
+  }
+
+let add_into acc t =
+  acc.vv_comparisons <- acc.vv_comparisons + t.vv_comparisons;
+  acc.items_examined <- acc.items_examined + t.items_examined;
+  acc.log_records_examined <- acc.log_records_examined + t.log_records_examined;
+  acc.items_copied <- acc.items_copied + t.items_copied;
+  acc.messages <- acc.messages + t.messages;
+  acc.bytes_sent <- acc.bytes_sent + t.bytes_sent;
+  acc.updates_applied <- acc.updates_applied + t.updates_applied;
+  acc.conflicts_detected <- acc.conflicts_detected + t.conflicts_detected;
+  acc.propagation_sessions <- acc.propagation_sessions + t.propagation_sessions;
+  acc.noop_sessions <- acc.noop_sessions + t.noop_sessions;
+  acc.aux_replays <- acc.aux_replays + t.aux_replays;
+  acc.oob_copies <- acc.oob_copies + t.oob_copies;
+  acc.delta_ops_applied <- acc.delta_ops_applied + t.delta_ops_applied;
+  acc.whole_fallbacks <- acc.whole_fallbacks + t.whole_fallbacks
+
+let diff ~after ~before =
+  {
+    vv_comparisons = after.vv_comparisons - before.vv_comparisons;
+    items_examined = after.items_examined - before.items_examined;
+    log_records_examined = after.log_records_examined - before.log_records_examined;
+    items_copied = after.items_copied - before.items_copied;
+    messages = after.messages - before.messages;
+    bytes_sent = after.bytes_sent - before.bytes_sent;
+    updates_applied = after.updates_applied - before.updates_applied;
+    conflicts_detected = after.conflicts_detected - before.conflicts_detected;
+    propagation_sessions = after.propagation_sessions - before.propagation_sessions;
+    noop_sessions = after.noop_sessions - before.noop_sessions;
+    aux_replays = after.aux_replays - before.aux_replays;
+    oob_copies = after.oob_copies - before.oob_copies;
+    delta_ops_applied = after.delta_ops_applied - before.delta_ops_applied;
+    whole_fallbacks = after.whole_fallbacks - before.whole_fallbacks;
+  }
+
+let total_work t =
+  t.vv_comparisons + t.items_examined + t.log_records_examined + t.items_copied
+
+let pp fmt t =
+  let field name v = if v <> 0 then Format.fprintf fmt "  %-22s %d@," name v in
+  Format.fprintf fmt "@[<v>";
+  field "vv_comparisons" t.vv_comparisons;
+  field "items_examined" t.items_examined;
+  field "log_records_examined" t.log_records_examined;
+  field "items_copied" t.items_copied;
+  field "messages" t.messages;
+  field "bytes_sent" t.bytes_sent;
+  field "updates_applied" t.updates_applied;
+  field "conflicts_detected" t.conflicts_detected;
+  field "propagation_sessions" t.propagation_sessions;
+  field "noop_sessions" t.noop_sessions;
+  field "aux_replays" t.aux_replays;
+  field "oob_copies" t.oob_copies;
+  field "delta_ops_applied" t.delta_ops_applied;
+  field "whole_fallbacks" t.whole_fallbacks;
+  Format.fprintf fmt "@]"

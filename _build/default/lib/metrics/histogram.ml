@@ -1,0 +1,48 @@
+type t = { mutable samples : float list; mutable sorted : float array option }
+
+let create () = { samples = []; sorted = None }
+
+let add t v =
+  t.samples <- v :: t.samples;
+  t.sorted <- None
+
+let count t = List.length t.samples
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list t.samples in
+    Array.sort compare a;
+    t.sorted <- Some a;
+    a
+
+let mean t =
+  match t.samples with
+  | [] -> 0.0
+  | samples ->
+    List.fold_left ( +. ) 0.0 samples /. float_of_int (List.length samples)
+
+let min_value t =
+  let a = sorted t in
+  if Array.length a = 0 then invalid_arg "Histogram.min_value: empty" else a.(0)
+
+let max_value t =
+  let a = sorted t in
+  if Array.length a = 0 then invalid_arg "Histogram.max_value: empty"
+  else a.(Array.length a - 1)
+
+let percentile t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p out of range";
+  let a = sorted t in
+  let len = Array.length a in
+  if len = 0 then invalid_arg "Histogram.percentile: empty";
+  (* Nearest-rank. *)
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int len)) in
+  a.(max 0 (min (len - 1) (rank - 1)))
+
+let summary t =
+  if count t = 0 then "empty"
+  else
+    Printf.sprintf "n=%d mean=%.1f p50=%.1f p90=%.1f max=%.1f" (count t) (mean t)
+      (percentile t 50.0) (percentile t 90.0) (max_value t)

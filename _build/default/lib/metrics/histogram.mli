@@ -1,0 +1,28 @@
+(** Sample collection with percentile queries.
+
+    Used for distributions the experiments report — update-propagation
+    delay, session cost spread — where a mean alone hides the tail
+    behaviour epidemic protocols are judged on. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** [mean t] is 0 for an empty histogram. *)
+
+val min_value : t -> float
+
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]], by nearest-rank on the
+    sorted samples. Raises [Invalid_argument] on an empty histogram or
+    out-of-range [p]. *)
+
+val summary : t -> string
+(** ["n=… mean=… p50=… p90=… max=…"] — or ["empty"]. *)

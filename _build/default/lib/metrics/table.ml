@@ -1,0 +1,41 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count does not match column count";
+  t.rows <- t.rows @ [ cells ]
+
+let add_int_row t ~label vs = add_row t (label :: List.map string_of_int vs)
+
+let render t =
+  let all = t.columns :: t.rows in
+  let ncols = List.length t.columns in
+  let width col =
+    List.fold_left (fun w row -> max w (String.length (List.nth row col))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad ~left s w =
+    let fill = String.make (w - String.length s) ' ' in
+    if left then s ^ fill else fill ^ s
+  in
+  let render_row row =
+    let cells =
+      List.mapi (fun col cell -> pad ~left:(col = 0) cell (List.nth widths col)) row
+    in
+    "  " ^ String.concat "  " cells
+  in
+  let rule =
+    "  " ^ String.concat "--" (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (t.title ^ "\n");
+  Buffer.add_string buf (render_row t.columns ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) t.rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,23 @@
+(** Plain-text table rendering for experiment output.
+
+    Every experiment in [bench/main.ml] prints one of these tables; the
+    same rows are recorded in EXPERIMENTS.md. Columns are right-aligned
+    except the first, which is left-aligned. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** [create ~title ~columns] is an empty table. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row. The number of cells must match the
+    number of columns. *)
+
+val add_int_row : t -> label:string -> int list -> unit
+(** [add_int_row t ~label vs] appends [label :: List.map string_of_int vs]. *)
+
+val render : t -> string
+(** [render t] is the formatted table, with title, header and rule. *)
+
+val print : t -> unit
+(** [print t] writes {!render} to stdout followed by a blank line. *)

@@ -1,0 +1,1 @@
+lib/persist/codec.ml: Array Buffer Bytes Char Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/persist/durable_node.ml: Codec Edb_core Filename Printf Snapshot Sys Wal Wire

@@ -1,0 +1,1 @@
+lib/persist/durable_node.mli: Edb_core Edb_store Wal

@@ -1,0 +1,1 @@
+lib/persist/snapshot.ml: Codec Edb_core Printexc Printf String Sys Wire

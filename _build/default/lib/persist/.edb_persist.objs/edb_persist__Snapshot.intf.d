@@ -1,0 +1,1 @@
+lib/persist/snapshot.mli: Edb_core

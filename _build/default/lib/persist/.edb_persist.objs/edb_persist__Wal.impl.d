@@ -1,0 +1,1 @@
+lib/persist/wal.ml: Bytes Char Int32 Int64 String Sys

@@ -1,0 +1,1 @@
+lib/persist/wire.ml: Codec Edb_core Edb_log Edb_store Edb_vv Printf

@@ -1,0 +1,102 @@
+(* Adler-32 (RFC 1950): simple, fast, and good enough to catch the
+   truncation/corruption failure modes a snapshot file meets. *)
+let adler32 data =
+  let modulus = 65_521 in
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod modulus;
+      b := (!b + !a) mod modulus)
+    data;
+  (!b lsl 16) lor !a
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 4_096
+
+  let int t v = Buffer.add_int64_le t (Int64.of_int v)
+
+  let string t s =
+    int t (String.length s);
+    Buffer.add_string t s
+
+  let bool t v = Buffer.add_char t (if v then '\001' else '\000')
+
+  let list t encode xs =
+    int t (List.length xs);
+    List.iter (encode t) xs
+
+  let array t encode xs =
+    int t (Array.length xs);
+    Array.iter (encode t) xs
+
+  let contents t =
+    let payload = Buffer.contents t in
+    let trailer = Bytes.create 4 in
+    Bytes.set_int32_le trailer 0 (Int32.of_int (adler32 payload));
+    payload ^ Bytes.to_string trailer
+end
+
+module Reader = struct
+  type t = { data : string; limit : int; mutable pos : int }
+
+  exception Corrupt of string
+
+  let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt msg)) fmt
+
+  let create data =
+    let len = String.length data in
+    if len < 4 then corrupt "snapshot shorter than its checksum trailer";
+    let payload_len = len - 4 in
+    let payload = String.sub data 0 payload_len in
+    let stored =
+      Int32.to_int (String.get_int32_le data payload_len) land 0xFFFFFFFF
+    in
+    let actual = adler32 payload in
+    if stored <> actual then
+      corrupt "checksum mismatch: stored %08x, computed %08x" stored actual;
+    { data; limit = payload_len; pos = 0 }
+
+  let need t n =
+    if t.pos + n > t.limit then
+      corrupt "truncated payload: need %d bytes at offset %d, have %d" n t.pos
+        (t.limit - t.pos)
+
+  let int t =
+    need t 8;
+    let v = Int64.to_int (String.get_int64_le t.data t.pos) in
+    t.pos <- t.pos + 8;
+    v
+
+  let string t =
+    let len = int t in
+    if len < 0 then corrupt "negative string length";
+    need t len;
+    let s = String.sub t.data t.pos len in
+    t.pos <- t.pos + len;
+    s
+
+  let bool t =
+    need t 1;
+    let c = t.data.[t.pos] in
+    t.pos <- t.pos + 1;
+    match c with
+    | '\000' -> false
+    | '\001' -> true
+    | other -> corrupt "invalid boolean byte %C" other
+
+  let list t decode =
+    let len = int t in
+    if len < 0 then corrupt "negative list length";
+    List.init len (fun _ -> decode t)
+
+  let array t decode =
+    let len = int t in
+    if len < 0 then corrupt "negative array length";
+    Array.init len (fun _ -> decode t)
+
+  let expect_end t =
+    if t.pos <> t.limit then
+      corrupt "trailing garbage: %d unread payload bytes" (t.limit - t.pos)
+end

@@ -1,0 +1,53 @@
+(** A small self-describing binary codec.
+
+    Used by {!Snapshot} to serialize node state. Deliberately simple
+    and dependency-free: length-prefixed strings, varint-free fixed
+    64-bit integers (node state is dominated by values, not integers),
+    and an Adler-32 style checksum trailer so a truncated or corrupted
+    snapshot is rejected instead of silently loaded. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val int : t -> int -> unit
+  (** Little-endian 64-bit. *)
+
+  val string : t -> string -> unit
+  (** Length-prefixed bytes. *)
+
+  val bool : t -> bool -> unit
+
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  (** Count-prefixed sequence. *)
+
+  val array : t -> (t -> 'a -> unit) -> 'a array -> unit
+
+  val contents : t -> string
+  (** The payload followed by a 4-byte checksum trailer. *)
+end
+
+module Reader : sig
+  type t
+
+  exception Corrupt of string
+  (** Raised on truncation, trailing garbage, or checksum mismatch. *)
+
+  val create : string -> t
+  (** [create data] validates the checksum trailer immediately and
+      raises {!Corrupt} if it does not match. *)
+
+  val int : t -> int
+
+  val string : t -> string
+
+  val bool : t -> bool
+
+  val list : t -> (t -> 'a) -> 'a list
+
+  val array : t -> (t -> 'a) -> 'a array
+
+  val expect_end : t -> unit
+  (** Raises {!Corrupt} unless every payload byte was consumed. *)
+end

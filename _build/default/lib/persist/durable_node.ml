@@ -1,0 +1,115 @@
+module Node = Edb_core.Node
+module Message = Edb_core.Message
+
+type t = {
+  node : Node.t;
+  dir : string;
+  mutable wal : Wal.writer;
+  mutable journal_records : int;
+}
+
+let snapshot_path dir = Filename.concat dir "node.snap"
+
+let wal_path dir = Filename.concat dir "node.wal"
+
+(* Journal entries. *)
+
+let encode_update item op =
+  let w = Codec.Writer.create () in
+  Codec.Writer.int w 0;
+  Codec.Writer.string w item;
+  Wire.encode_operation w op;
+  Codec.Writer.contents w
+
+let encode_reply ~source reply =
+  let w = Codec.Writer.create () in
+  Codec.Writer.int w 1;
+  Codec.Writer.int w source;
+  Wire.encode_propagation_reply w reply;
+  Codec.Writer.contents w
+
+let encode_oob ~source reply =
+  let w = Codec.Writer.create () in
+  Codec.Writer.int w 2;
+  Codec.Writer.int w source;
+  Wire.encode_oob_reply w reply;
+  Codec.Writer.contents w
+
+let apply_journal_record node record =
+  let r = Codec.Reader.create record in
+  (match Codec.Reader.int r with
+  | 0 ->
+    let item = Codec.Reader.string r in
+    let op = Wire.decode_operation r in
+    Node.update node item op
+  | 1 ->
+    let source = Codec.Reader.int r in
+    let reply = Wire.decode_propagation_reply r in
+    let (_ : Node.accept_result) = Node.accept_propagation node ~source reply in
+    ()
+  | 2 ->
+    let source = Codec.Reader.int r in
+    let reply = Wire.decode_oob_reply r in
+    let (_ : Node.oob_result) = Node.accept_out_of_bound node ~source reply in
+    ()
+  | tag -> raise (Codec.Reader.Corrupt (Printf.sprintf "unknown journal tag %d" tag)));
+  Codec.Reader.expect_end r
+
+let open_or_create ?policy ?mode ~dir ~id ~n () =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let from_checkpoint =
+    if Sys.file_exists (snapshot_path dir) then
+      Snapshot.load ?policy ?mode ~path:(snapshot_path dir) ()
+    else Ok (Node.create ?policy ?mode ~id ~n ())
+  in
+  match from_checkpoint with
+  | Error _ as e -> e
+  | Ok node ->
+    if Node.id node <> id || Node.dimension node <> n then
+      Error
+        (Printf.sprintf "checkpoint is for node %d/%d, requested %d/%d" (Node.id node)
+           (Node.dimension node) id n)
+    else (
+      match Wal.replay ~path:(wal_path dir) ~f:(apply_journal_record node) with
+      | Error _ as e -> e
+      | exception Codec.Reader.Corrupt msg -> Error ("corrupt journal record: " ^ msg)
+      | Ok replay_result ->
+        let wal = Wal.open_writer ~path:(wal_path dir) in
+        Ok ({ node; dir; wal; journal_records = replay_result.records }, replay_result))
+
+let node t = t.node
+
+let journal t record =
+  Wal.append t.wal record;
+  t.journal_records <- t.journal_records + 1
+
+let update t item op =
+  journal t (encode_update item op);
+  Node.update t.node item op
+
+let pull_from t ~source =
+  let request = Node.propagation_request t.node in
+  let reply = Node.handle_propagation_request source request in
+  match reply with
+  | Message.You_are_current -> Node.Already_current
+  | Message.Propagate _ ->
+    (* Journal before applying: a crash between the two re-applies the
+       reply on recovery; a crash before the append loses nothing. *)
+    journal t (encode_reply ~source:(Node.id source) reply);
+    Node.Pulled (Node.accept_propagation t.node ~source:(Node.id source) reply)
+
+let fetch_out_of_bound_from t ~source item =
+  let reply = Node.serve_out_of_bound source { Message.item } in
+  journal t (encode_oob ~source:(Node.id source) reply);
+  Node.accept_out_of_bound t.node ~source:(Node.id source) reply
+
+let checkpoint t =
+  Snapshot.save t.node ~path:(snapshot_path t.dir);
+  Wal.close_writer t.wal;
+  Wal.reset ~path:(wal_path t.dir);
+  t.wal <- Wal.open_writer ~path:(wal_path t.dir);
+  t.journal_records <- 0
+
+let journal_records t = t.journal_records
+
+let close t = Wal.close_writer t.wal

@@ -1,0 +1,58 @@
+(** A protocol node with crash-consistent durability.
+
+    Combines {!Snapshot} checkpoints with a {!Wal} redo journal: every
+    state-mutating protocol step — user updates, accepted propagation
+    replies, adopted out-of-bound replies — is journaled {e before}
+    being applied, and {!checkpoint} folds the journal into a fresh
+    snapshot. {!open_or_create} recovers by loading the latest
+    checkpoint and re-executing the journal, reconstructing the exact
+    pre-crash state.
+
+    Exactness matters for more than durability: a node's update
+    sequence numbers are globally meaningful (other replicas may
+    already hold log records naming them), so recovery must reproduce
+    the same updates under the same numbers — which deterministic
+    replay guarantees — rather than restart numbering from the
+    checkpoint.
+
+    Mutations must go through this wrapper's entry points; driving the
+    wrapped {!node} directly bypasses the journal. *)
+
+type t
+
+val open_or_create :
+  ?policy:Edb_core.Node.resolution_policy ->
+  ?mode:Edb_core.Node.propagation_mode ->
+  dir:string ->
+  id:int ->
+  n:int ->
+  unit ->
+  (t * Wal.replay_result, string) result
+(** [open_or_create ~dir ~id ~n ()] loads the checkpoint in [dir] (or
+    starts fresh) and replays the journal. The directory is created if
+    missing. Fails if the checkpoint is unreadable or does not match
+    [id]/[n]. The replay result reports recovered records and whether a
+    torn tail was discarded. *)
+
+val node : t -> Edb_core.Node.t
+(** The live node. Read through it freely; mutate only through the
+    wrapper. *)
+
+val update : t -> string -> Edb_store.Operation.t -> unit
+(** Journal, then apply, a user update (§5.3). *)
+
+val pull_from : t -> source:Edb_core.Node.t -> Edb_core.Node.pull_result
+(** One propagation session pulling from [source]: the source's reply
+    is journaled, then accepted. *)
+
+val fetch_out_of_bound_from :
+  t -> source:Edb_core.Node.t -> string -> Edb_core.Node.oob_result
+(** One out-of-bound fetch; the reply is journaled, then accepted. *)
+
+val checkpoint : t -> unit
+(** Write a fresh snapshot atomically and reset the journal. *)
+
+val journal_records : t -> int
+(** Records appended to the journal since the last checkpoint. *)
+
+val close : t -> unit

@@ -1,0 +1,112 @@
+module Node = Edb_core.Node
+
+(* Bump when the layout changes; decode refuses newer/older layouts
+   explicitly rather than misparsing them. *)
+let format_version = 1
+
+let magic = "EDBSNAP1"
+
+let encode_operation = Wire.encode_operation
+
+let decode_operation = Wire.decode_operation
+
+let encode_item w (item : Node.State.item) =
+  Codec.Writer.string w item.name;
+  Codec.Writer.string w item.value;
+  Codec.Writer.array w Codec.Writer.int item.ivv
+
+let decode_item r =
+  let name = Codec.Reader.string r in
+  let value = Codec.Reader.string r in
+  let ivv = Codec.Reader.array r Codec.Reader.int in
+  { Node.State.name; value; ivv }
+
+let encode_log_record w (item, seq) =
+  Codec.Writer.string w item;
+  Codec.Writer.int w seq
+
+let decode_log_record r =
+  let item = Codec.Reader.string r in
+  let seq = Codec.Reader.int r in
+  (item, seq)
+
+let encode_aux_record w (record : Node.State.aux_record) =
+  Codec.Writer.string w record.item;
+  Codec.Writer.array w Codec.Writer.int record.ivv;
+  encode_operation w record.op
+
+let decode_aux_record r =
+  let item = Codec.Reader.string r in
+  let ivv = Codec.Reader.array r Codec.Reader.int in
+  let op = decode_operation r in
+  { Node.State.item; ivv; op }
+
+let encode node =
+  let state = Node.export_state node in
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w magic;
+  Codec.Writer.int w format_version;
+  Codec.Writer.int w state.id;
+  Codec.Writer.int w state.n;
+  Codec.Writer.list w encode_item state.items;
+  Codec.Writer.array w Codec.Writer.int state.dbvv;
+  Codec.Writer.array w (fun w records -> Codec.Writer.list w encode_log_record records)
+    state.logs;
+  Codec.Writer.list w encode_item state.aux_items;
+  Codec.Writer.list w encode_aux_record state.aux_log;
+  Codec.Writer.contents w
+
+let decode ?policy ?conflict_handler ?mode blob =
+  match
+    let r = Codec.Reader.create blob in
+    let file_magic = Codec.Reader.string r in
+    if not (String.equal file_magic magic) then
+      raise (Codec.Reader.Corrupt (Printf.sprintf "bad magic %S" file_magic));
+    let version = Codec.Reader.int r in
+    if version <> format_version then
+      raise
+        (Codec.Reader.Corrupt
+           (Printf.sprintf "unsupported snapshot version %d (expected %d)" version
+              format_version));
+    let id = Codec.Reader.int r in
+    let n = Codec.Reader.int r in
+    let items = Codec.Reader.list r decode_item in
+    let dbvv = Codec.Reader.array r Codec.Reader.int in
+    let logs = Codec.Reader.array r (fun r -> Codec.Reader.list r decode_log_record) in
+    let aux_items = Codec.Reader.list r decode_item in
+    let aux_log = Codec.Reader.list r decode_aux_record in
+    Codec.Reader.expect_end r;
+    Node.import_state ?policy ?conflict_handler ?mode
+      { Node.State.id; n; items; dbvv; logs; aux_items; aux_log }
+  with
+  | node -> Ok node
+  | exception Codec.Reader.Corrupt msg -> Error ("corrupt snapshot: " ^ msg)
+  | exception Invalid_argument msg -> Error ("inconsistent snapshot: " ^ msg)
+
+let save node ~path =
+  let blob = encode node in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc blob;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path
+
+let load ?policy ?conflict_handler ?mode ~path () =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error ("cannot open snapshot: " ^ msg)
+  | ic ->
+    let read () =
+      let len = in_channel_length ic in
+      really_input_string ic len
+    in
+    (match read () with
+    | blob ->
+      close_in ic;
+      decode ?policy ?conflict_handler ?mode blob
+    | exception e ->
+      close_in_noerr ic;
+      Error ("cannot read snapshot: " ^ Printexc.to_string e))

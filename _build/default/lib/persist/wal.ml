@@ -1,0 +1,63 @@
+(* Adler-32, matching Codec's trailer algorithm. *)
+let adler32 data =
+  let modulus = 65_521 in
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod modulus;
+      b := (!b + !a) mod modulus)
+    data;
+  (!b lsl 16) lor !a
+
+type writer = { channel : out_channel; path : string }
+
+let open_writer ~path =
+  let channel = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  { channel; path }
+
+let append w record =
+  let header = Bytes.create 8 in
+  Bytes.set_int64_le header 0 (Int64.of_int (String.length record));
+  output_bytes w.channel header;
+  output_string w.channel record;
+  let trailer = Bytes.create 4 in
+  Bytes.set_int32_le trailer 0 (Int32.of_int (adler32 record));
+  output_bytes w.channel trailer;
+  flush w.channel
+
+let close_writer w = close_out w.channel
+
+type replay_result = { records : int; torn_tail : bool }
+
+let replay ~path ~f =
+  if not (Sys.file_exists path) then Ok { records = 0; torn_tail = false }
+  else
+    match open_in_bin path with
+    | exception Sys_error msg -> Error ("cannot open WAL: " ^ msg)
+    | ic ->
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let limit = String.length data in
+      let rec loop pos count =
+        if pos = limit then { records = count; torn_tail = false }
+        else if pos + 8 > limit then { records = count; torn_tail = true }
+        else
+          let len = Int64.to_int (String.get_int64_le data pos) in
+          if len < 0 || pos + 8 + len + 4 > limit then
+            { records = count; torn_tail = true }
+          else
+            let record = String.sub data (pos + 8) len in
+            let stored =
+              Int32.to_int (String.get_int32_le data (pos + 8 + len)) land 0xFFFFFFFF
+            in
+            if stored <> adler32 record then { records = count; torn_tail = true }
+            else begin
+              f record;
+              loop (pos + 8 + len + 4) (count + 1)
+            end
+      in
+      Ok (loop 0 0)
+
+let reset ~path =
+  let oc = open_out_gen [ Open_trunc; Open_creat; Open_binary ] 0o644 path in
+  close_out oc

@@ -1,0 +1,39 @@
+(** A write-ahead (redo) log of opaque records.
+
+    Framing per record: 8-byte length, payload, 4-byte Adler-32 of the
+    payload. {!replay} applies complete, checksummed records in order
+    and stops at the first damaged frame — which, after a crash, is the
+    torn tail of the last write; everything before it is recovered.
+    The number of records recovered and whether a torn tail was
+    discarded are both reported, so callers can log the data-loss
+    window.
+
+    {!Durable_node} journals protocol mutations here between
+    checkpoints; on recovery the snapshot is loaded and the journal
+    re-executed, reconstructing the exact pre-crash state (including
+    sequence numbers other replicas may already have observed —
+    re-assigning those to different updates would corrupt the
+    epidemic, which is why recovery must replay rather than restart). *)
+
+type writer
+
+val open_writer : path:string -> writer
+(** [open_writer ~path] opens (creating if needed) the log for
+    appending. *)
+
+val append : writer -> string -> unit
+(** [append w record] frames, writes and flushes one record. *)
+
+val close_writer : writer -> unit
+
+type replay_result = {
+  records : int;  (** Complete records applied. *)
+  torn_tail : bool;  (** Whether a damaged final frame was discarded. *)
+}
+
+val replay : path:string -> f:(string -> unit) -> (replay_result, string) result
+(** [replay ~path ~f] applies [f] to every intact record in order. A
+    missing file is an empty log ([Ok {records = 0; _}]). *)
+
+val reset : path:string -> unit
+(** [reset ~path] truncates the log to empty (after a checkpoint). *)

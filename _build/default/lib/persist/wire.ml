@@ -1,0 +1,105 @@
+module Operation = Edb_store.Operation
+module Vv = Edb_vv.Version_vector
+module Message = Edb_core.Message
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Codec.Reader.Corrupt msg)) fmt
+
+let encode_operation w (op : Operation.t) =
+  match op with
+  | Operation.Set v ->
+    Codec.Writer.int w 0;
+    Codec.Writer.string w v
+  | Operation.Splice { offset; data } ->
+    Codec.Writer.int w 1;
+    Codec.Writer.int w offset;
+    Codec.Writer.string w data
+
+let decode_operation r =
+  match Codec.Reader.int r with
+  | 0 -> Operation.Set (Codec.Reader.string r)
+  | 1 ->
+    let offset = Codec.Reader.int r in
+    let data = Codec.Reader.string r in
+    Operation.Splice { offset; data }
+  | tag -> corrupt "unknown operation tag %d" tag
+
+let encode_vv w vv = Codec.Writer.array w Codec.Writer.int (Vv.to_array vv)
+
+let decode_vv r = Vv.of_array (Codec.Reader.array r Codec.Reader.int)
+
+let encode_log_record w (record : Edb_log.Log_record.t) =
+  Codec.Writer.string w record.item;
+  Codec.Writer.int w record.seq
+
+let decode_log_record r =
+  let item = Codec.Reader.string r in
+  let seq = Codec.Reader.int r in
+  { Edb_log.Log_record.item; seq }
+
+let encode_payload w (payload : Message.payload) =
+  match payload with
+  | Message.Whole value ->
+    Codec.Writer.int w 0;
+    Codec.Writer.string w value
+  | Message.Delta ops ->
+    Codec.Writer.int w 1;
+    Codec.Writer.list w
+      (fun w (dop : Message.delta_op) ->
+        Codec.Writer.int w dop.origin;
+        Codec.Writer.int w dop.seq;
+        encode_operation w dop.op)
+      ops
+
+let decode_payload r =
+  match Codec.Reader.int r with
+  | 0 -> Message.Whole (Codec.Reader.string r)
+  | 1 ->
+    let decode_delta_op r =
+      let origin = Codec.Reader.int r in
+      let seq = Codec.Reader.int r in
+      let op = decode_operation r in
+      { Message.origin; seq; op }
+    in
+    Message.Delta (Codec.Reader.list r decode_delta_op)
+  | tag -> corrupt "unknown payload tag %d" tag
+
+let encode_shipped_item w (s : Message.shipped_item) =
+  Codec.Writer.string w s.name;
+  encode_payload w s.payload;
+  encode_vv w s.ivv
+
+let decode_shipped_item r =
+  let name = Codec.Reader.string r in
+  let payload = decode_payload r in
+  let ivv = decode_vv r in
+  { Message.name; payload; ivv }
+
+let encode_propagation_reply w (reply : Message.propagation_reply) =
+  match reply with
+  | Message.You_are_current -> Codec.Writer.int w 0
+  | Message.Propagate { tails; items } ->
+    Codec.Writer.int w 1;
+    Codec.Writer.array w
+      (fun w records -> Codec.Writer.list w encode_log_record records)
+      tails;
+    Codec.Writer.list w encode_shipped_item items
+
+let decode_propagation_reply r =
+  match Codec.Reader.int r with
+  | 0 -> Message.You_are_current
+  | 1 ->
+    let tails = Codec.Reader.array r (fun r -> Codec.Reader.list r decode_log_record) in
+    let items = Codec.Reader.list r decode_shipped_item in
+    Message.Propagate { tails; items }
+  | tag -> corrupt "unknown reply tag %d" tag
+
+let encode_oob_reply w (reply : Message.oob_reply) =
+  Codec.Writer.string w reply.item;
+  Codec.Writer.string w reply.value;
+  encode_vv w reply.ivv
+
+let decode_oob_reply r =
+  let item = Codec.Reader.string r in
+  let value = Codec.Reader.string r in
+  let ivv = decode_vv r in
+  { Message.item; value; ivv }

@@ -1,0 +1,29 @@
+(** Shared binary codecs for protocol values.
+
+    Used by {!Snapshot} (node state) and {!Wal} (journaled mutations).
+    Every decoder raises {!Codec.Reader.Corrupt} on malformed input. *)
+
+val encode_operation : Codec.Writer.t -> Edb_store.Operation.t -> unit
+
+val decode_operation : Codec.Reader.t -> Edb_store.Operation.t
+
+val encode_vv : Codec.Writer.t -> Edb_vv.Version_vector.t -> unit
+
+val decode_vv : Codec.Reader.t -> Edb_vv.Version_vector.t
+
+val encode_log_record : Codec.Writer.t -> Edb_log.Log_record.t -> unit
+
+val decode_log_record : Codec.Reader.t -> Edb_log.Log_record.t
+
+val encode_shipped_item : Codec.Writer.t -> Edb_core.Message.shipped_item -> unit
+
+val decode_shipped_item : Codec.Reader.t -> Edb_core.Message.shipped_item
+
+val encode_propagation_reply :
+  Codec.Writer.t -> Edb_core.Message.propagation_reply -> unit
+
+val decode_propagation_reply : Codec.Reader.t -> Edb_core.Message.propagation_reply
+
+val encode_oob_reply : Codec.Writer.t -> Edb_core.Message.oob_reply -> unit
+
+val decode_oob_reply : Codec.Reader.t -> Edb_core.Message.oob_reply

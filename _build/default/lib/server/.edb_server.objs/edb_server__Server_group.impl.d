@@ -1,0 +1,1 @@
+lib/server/server_group.ml: Edb_core Edb_metrics Edb_persist Filename Hashtbl List Printf Result String Sys

@@ -1,0 +1,1 @@
+lib/server/server_group.mli: Edb_core Edb_metrics Edb_store

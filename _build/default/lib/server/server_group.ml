@@ -1,0 +1,153 @@
+module Cluster = Edb_core.Cluster
+module Node = Edb_core.Node
+module Counters = Edb_metrics.Counters
+module Snapshot = Edb_persist.Snapshot
+module Codec = Edb_persist.Codec
+
+type database = { cluster : Cluster.t; mode : Node.propagation_mode option }
+
+type t = {
+  n : int;
+  seed : int;
+  databases : (string, database) Hashtbl.t;
+  mutable next_db_seed : int;
+}
+
+let create ?(seed = 42) ~n () =
+  if n <= 0 then invalid_arg "Server_group.create: n must be positive";
+  { n; seed; databases = Hashtbl.create 4; next_db_seed = seed }
+
+let n t = t.n
+
+let create_database ?policy ?mode t name =
+  if Hashtbl.mem t.databases name then
+    Error (Printf.sprintf "database %S already exists" name)
+  else begin
+    t.next_db_seed <- t.next_db_seed + 1;
+    let cluster = Cluster.create ~seed:t.next_db_seed ?policy ?mode ~n:t.n () in
+    Hashtbl.add t.databases name { cluster; mode };
+    Ok ()
+  end
+
+let drop_database t name =
+  if Hashtbl.mem t.databases name then begin
+    Hashtbl.remove t.databases name;
+    Ok ()
+  end
+  else Error (Printf.sprintf "no database %S" name)
+
+let databases t =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.databases [])
+
+let find t name =
+  match Hashtbl.find_opt t.databases name with
+  | Some db -> Ok db
+  | None -> Error (Printf.sprintf "no database %S" name)
+
+let cluster t name = Result.map (fun db -> db.cluster) (find t name)
+
+let update t ~db ~node ~item op =
+  Result.map (fun c -> Cluster.update c ~node ~item op) (cluster t db)
+
+let read t ~db ~node ~item =
+  Result.map (fun c -> Cluster.read c ~node ~item) (cluster t db)
+
+let pull t ~db ~recipient ~source =
+  Result.map (fun c -> Cluster.pull c ~recipient ~source) (cluster t db)
+
+let anti_entropy_round t ~db =
+  Result.map (fun c -> Cluster.random_pull_round c) (cluster t db)
+
+let sync_database t ~db =
+  Result.map (fun c -> Cluster.sync_until_converged c) (cluster t db)
+
+let sync_all t =
+  List.map
+    (fun name ->
+      match sync_database t ~db:name with
+      | Ok rounds -> (name, rounds)
+      | Error _ -> (name, -1))
+    (databases t)
+
+let converged t =
+  Hashtbl.fold (fun _ db acc -> acc && Cluster.converged db.cluster) t.databases true
+
+let total_counters t =
+  let acc = Counters.create () in
+  Hashtbl.iter
+    (fun _ db -> Counters.add_into acc (Cluster.total_counters db.cluster))
+    t.databases;
+  acc
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing one server across all databases                       *)
+(* ------------------------------------------------------------------ *)
+
+let manifest_path dir = Filename.concat dir "MANIFEST"
+
+let snapshot_path dir index = Filename.concat dir (Printf.sprintf "db-%04d.snap" index)
+
+let save_server t ~dir ~node =
+  if node < 0 || node >= t.n then Error "node out of range"
+  else begin
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let names = databases t in
+    (* Manifest first into a buffer; written last so a crash mid-save
+       leaves no valid manifest pointing at incomplete snapshots. *)
+    let w = Codec.Writer.create () in
+    Codec.Writer.int w node;
+    Codec.Writer.list w Codec.Writer.string names;
+    List.iteri
+      (fun index name ->
+        match Hashtbl.find_opt t.databases name with
+        | None -> ()
+        | Some db ->
+          Snapshot.save (Cluster.node db.cluster node) ~path:(snapshot_path dir index))
+      names;
+    let oc = open_out_bin (manifest_path dir ^ ".tmp") in
+    output_string oc (Codec.Writer.contents w);
+    close_out oc;
+    Sys.rename (manifest_path dir ^ ".tmp") (manifest_path dir);
+    Ok ()
+  end
+
+let read_manifest dir =
+  match open_in_bin (manifest_path dir) with
+  | exception Sys_error msg -> Error ("cannot open manifest: " ^ msg)
+  | ic ->
+    let blob = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    (match Codec.Reader.create blob with
+    | exception Codec.Reader.Corrupt msg -> Error ("corrupt manifest: " ^ msg)
+    | r ->
+      let node = Codec.Reader.int r in
+      let names = Codec.Reader.list r Codec.Reader.string in
+      Codec.Reader.expect_end r;
+      Ok (node, names))
+
+let restore_server t ~dir ~node =
+  match read_manifest dir with
+  | Error _ as e -> e
+  | Ok (saved_node, names) ->
+    if saved_node <> node then
+      Error
+        (Printf.sprintf "checkpoint is for server %d, not %d" saved_node node)
+    else
+      let restore_one index name =
+        match Hashtbl.find_opt t.databases name with
+        | None -> Error (Printf.sprintf "database %S no longer exists" name)
+        | Some db -> (
+          match Snapshot.load ?mode:db.mode ~path:(snapshot_path dir index) () with
+          | Error msg -> Error (Printf.sprintf "database %S: %s" name msg)
+          | Ok restored ->
+            Cluster.replace_node db.cluster node restored;
+            Ok ())
+      in
+      let rec loop index = function
+        | [] -> Ok ()
+        | name :: rest -> (
+          match restore_one index name with
+          | Ok () -> loop (index + 1) rest
+          | Error _ as e -> e)
+      in
+      loop 0 names

@@ -1,0 +1,1 @@
+lib/sessions/session.ml: Edb_core Edb_vv Format List

@@ -1,0 +1,1 @@
+lib/sessions/session.mli: Edb_core Edb_store Edb_vv Format

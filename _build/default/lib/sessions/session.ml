@@ -1,0 +1,83 @@
+module Cluster = Edb_core.Cluster
+module Node = Edb_core.Node
+module Vv = Edb_vv.Version_vector
+
+type guarantee =
+  | Read_your_writes
+  | Monotonic_reads
+  | Writes_follow_reads
+  | Monotonic_writes
+
+type denial = [ `Violates of guarantee | `Aux_pending of string ]
+
+type t = {
+  cluster : Cluster.t;
+  guarantees : guarantee list;
+  read_vector : Vv.t;
+  write_vector : Vv.t;
+}
+
+let all_guarantees =
+  [ Read_your_writes; Monotonic_reads; Writes_follow_reads; Monotonic_writes ]
+
+let create ?(guarantees = all_guarantees) cluster =
+  let n = Cluster.n cluster in
+  { cluster; guarantees; read_vector = Vv.create ~n; write_vector = Vv.create ~n }
+
+let guarantees t = t.guarantees
+
+let enforced t g = List.mem g t.guarantees
+
+(* [server_vv ≥ required]? *)
+let current_enough ~server_vv ~required = Vv.dominates_or_equal server_vv required
+
+let first_violation t ~server_vv ~for_op =
+  let candidates =
+    match for_op with
+    | `Read ->
+      [ (Read_your_writes, t.write_vector); (Monotonic_reads, t.read_vector) ]
+    | `Write ->
+      [ (Writes_follow_reads, t.read_vector); (Monotonic_writes, t.write_vector) ]
+  in
+  List.find_map
+    (fun (g, required) ->
+      if enforced t g && not (current_enough ~server_vv ~required) then Some g
+      else None)
+    candidates
+
+let read t ~node ~item =
+  let server = Cluster.node t.cluster node in
+  let server_vv = Node.dbvv server in
+  match first_violation t ~server_vv ~for_op:`Read with
+  | Some g -> Error (`Violates g)
+  | None ->
+    (* The session has now observed everything this server reflects. *)
+    Vv.merge_into t.read_vector ~from:server_vv;
+    Ok (Node.read_regular server item)
+
+let write t ~node ~item op =
+  let server = Cluster.node t.cluster node in
+  if Node.has_aux server item then Error (`Aux_pending item)
+  else
+    let server_vv = Node.dbvv server in
+    match first_violation t ~server_vv ~for_op:`Write with
+    | Some g -> Error (`Violates g)
+    | None ->
+      Cluster.update t.cluster ~node ~item op;
+      (* The write is the server's latest own update; covering the
+         server's whole post-write DBVV keeps the vector sound (any
+         server dominating it has certainly seen this write). *)
+      Vv.merge_into t.write_vector ~from:(Node.dbvv server);
+      Ok ()
+
+let read_vector t = Vv.copy t.read_vector
+
+let write_vector t = Vv.copy t.write_vector
+
+let pp_guarantee fmt g =
+  Format.pp_print_string fmt
+    (match g with
+    | Read_your_writes -> "read-your-writes"
+    | Monotonic_reads -> "monotonic-reads"
+    | Writes_follow_reads -> "writes-follow-reads"
+    | Monotonic_writes -> "monotonic-writes")

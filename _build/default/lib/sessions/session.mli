@@ -1,0 +1,72 @@
+(** Session guarantees for weakly consistent reads and writes.
+
+    Implements the four guarantees of Terry et al., "Session Guarantees
+    for Weakly Consistent Replicated Data" (PDIS 1994) — reference [14]
+    of the paper, discussed in §8.3 — on top of the epidemic cluster.
+    A session belongs to one client that may contact a different server
+    on every operation (the paper's motivating mobile/dial-up setting);
+    the guarantees constrain which servers are {e sufficiently current}
+    for the session, not how replicas converge.
+
+    The database version vector is exactly the "session vector"
+    structure [14] calls for: the session accumulates
+
+    - a {e read vector} — the merge of the DBVVs of every server it has
+      read from, and
+    - a {e write vector} — covering every write the session has made;
+
+    and a server [S] with DBVV [V_S] is acceptable for:
+
+    - {b Read-your-writes}: reads require [V_S ≥ write_vector];
+    - {b Monotonic reads}: reads require [V_S ≥ read_vector];
+    - {b Writes-follow-reads}: writes require [V_S ≥ read_vector];
+    - {b Monotonic writes}: writes require [V_S ≥ write_vector].
+
+    Denied operations return the first violated guarantee; the caller
+    retries at another server or after more anti-entropy, which is the
+    protocol [14] prescribes.
+
+    Limitation (documented): session writes go to {e regular} copies
+    only. If the chosen server holds an auxiliary (out-of-bound) copy
+    of the item, the write is refused with [`Aux_pending] — deferred
+    auxiliary updates are invisible to DBVV ordering until intra-node
+    propagation replays them, so no vector-based guarantee could be
+    given. *)
+
+type guarantee =
+  | Read_your_writes
+  | Monotonic_reads
+  | Writes_follow_reads
+  | Monotonic_writes
+
+type denial =
+  [ `Violates of guarantee  (** The server is not current enough. *)
+  | `Aux_pending of string
+    (** The server holds an auxiliary copy of this item (writes only). *)
+  ]
+
+type t
+
+val create : ?guarantees:guarantee list -> Edb_core.Cluster.t -> t
+(** [create cluster] opens a session enforcing all four guarantees;
+    pass [~guarantees] to enforce a subset (possibly none). *)
+
+val guarantees : t -> guarantee list
+
+val read : t -> node:int -> item:string -> (string option, denial) result
+(** [read t ~node ~item] reads the item's regular copy at that server
+    if the session's guarantees admit it, folding the server's DBVV
+    into the session's read vector on success. *)
+
+val write :
+  t -> node:int -> item:string -> Edb_store.Operation.t -> (unit, denial) result
+(** [write t ~node ~item op] performs the update at that server if
+    admitted, extending the session's write vector on success. *)
+
+val read_vector : t -> Edb_vv.Version_vector.t
+(** A snapshot of the session's accumulated read vector. *)
+
+val write_vector : t -> Edb_vv.Version_vector.t
+(** A snapshot of the session's accumulated write vector. *)
+
+val pp_guarantee : Format.formatter -> guarantee -> unit

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Edb_baselines Edb_store Edb_util Event_queue Network

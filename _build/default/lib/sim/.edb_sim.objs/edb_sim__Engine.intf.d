@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Edb_baselines Edb_store Network

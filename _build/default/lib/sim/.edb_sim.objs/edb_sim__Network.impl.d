@@ -1,0 +1,1 @@
+lib/sim/network.ml: Edb_util Hashtbl

@@ -1,0 +1,131 @@
+module Prng = Edb_util.Prng
+module Driver = Edb_baselines.Driver
+
+type peer_policy = Random_peer | Ring
+
+type event =
+  | User_update of { node : int; item : string; op : Edb_store.Operation.t }
+  | Session of { src : int; dst : int }
+  | Session_delivery of { src : int; dst : int }
+  | Crash of int
+  | Recover of int
+  | Anti_entropy_round of { period : float; policy : peer_policy }
+  | Custom of (t -> unit)
+
+and t = {
+  queue : event Event_queue.t;
+  mutable now : float;
+  prng : Prng.t;
+  driver : Driver.t;
+  network : Network.t;
+  alive : bool array;
+  mutable sessions_attempted : int;
+  mutable sessions_lost : int;
+}
+
+let create ?(seed = 1) ?network ~driver () =
+  let network = match network with Some n -> n | None -> Network.create () in
+  {
+    queue = Event_queue.create ();
+    now = 0.0;
+    prng = Prng.create ~seed;
+    driver;
+    network;
+    alive = Array.make driver.Driver.n true;
+    sessions_attempted = 0;
+    sessions_lost = 0;
+  }
+
+let driver t = t.driver
+
+let now t = t.now
+
+let alive t node = t.alive.(node)
+
+let schedule t ~at event =
+  if at < t.now then invalid_arg "Engine.schedule: event in the past";
+  Event_queue.push t.queue ~time:at event
+
+let schedule_after t ~delay event = schedule t ~at:(t.now +. delay) event
+
+let random_peer t ~self =
+  let n = t.driver.Driver.n in
+  let peer = Prng.int t.prng (n - 1) in
+  if peer >= self then peer + 1 else peer
+
+let rec execute t event =
+  match event with
+  | User_update { node; item; op } ->
+    if t.alive.(node) then t.driver.Driver.update ~node ~item ~op
+  | Session { src; dst } ->
+    (* A session only begins if the initiating endpoints are up and the
+       pair is not partitioned; the network may still lose it. *)
+    if
+      t.alive.(src) && t.alive.(dst)
+      && (not (Network.blocked t.network src dst))
+      && not (Network.lost t.network t.prng)
+    then
+      schedule_after t ~delay:(Network.delay t.network t.prng)
+        (Session_delivery { src; dst })
+    else t.sessions_lost <- t.sessions_lost + 1
+  | Session_delivery { src; dst } ->
+    (* Endpoints may have died while the session was in flight. *)
+    if t.alive.(src) && t.alive.(dst) then begin
+      t.sessions_attempted <- t.sessions_attempted + 1;
+      t.driver.Driver.session ~src ~dst
+    end
+    else t.sessions_lost <- t.sessions_lost + 1
+  | Crash node -> t.alive.(node) <- false
+  | Recover node -> t.alive.(node) <- true
+  | Anti_entropy_round { period; policy } ->
+    let n = t.driver.Driver.n in
+    for dst = 0 to n - 1 do
+      if t.alive.(dst) then begin
+        let src =
+          match policy with
+          | Random_peer -> random_peer t ~self:dst
+          | Ring -> (dst + n - 1) mod n
+        in
+        execute_session_start t ~src ~dst
+      end
+    done;
+    schedule_after t ~delay:period (Anti_entropy_round { period; policy })
+  | Custom f -> f t
+
+and execute_session_start t ~src ~dst = execute t (Session { src; dst })
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, event) ->
+    t.now <- max t.now time;
+    execute t event;
+    true
+
+let run_until t deadline =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= deadline ->
+      let (_ : bool) = step t in
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  t.now <- max t.now deadline
+
+let run_until_converged t ~check_every ~deadline =
+  let rec loop checkpoint =
+    if checkpoint > deadline then None
+    else begin
+      run_until t checkpoint;
+      if t.driver.Driver.converged () then Some checkpoint
+      else loop (checkpoint +. check_every)
+    end
+  in
+  (* Always process at least one checkpoint: convergence is only
+     meaningful once the events due now have executed. *)
+  loop (t.now +. check_every)
+
+let sessions_attempted t = t.sessions_attempted
+
+let sessions_lost t = t.sessions_lost

@@ -1,0 +1,71 @@
+(** The discrete-event simulation engine.
+
+    Drives any replication protocol (through
+    {!Edb_baselines.Driver.t}) over virtual time: user updates arrive,
+    anti-entropy sessions fire on schedules, nodes crash and recover,
+    the network delays or drops sessions. Determinism: all randomness
+    comes from one seeded generator, and simultaneous events run in
+    scheduling order.
+
+    A session scheduled at time [T] between alive, connected endpoints
+    executes at [T + delay]; if either endpoint is down at execution
+    time, or the network loses the attempt, nothing happens — there is
+    no retransmission, matching the paper's model where anti-entropy
+    simply runs again later. *)
+
+type t
+
+type peer_policy =
+  | Random_peer  (** Each node pulls from one uniformly random peer. *)
+  | Ring  (** Node [i] pulls from node [i-1 mod n]. *)
+
+type event =
+  | User_update of { node : int; item : string; op : Edb_store.Operation.t }
+  | Session of { src : int; dst : int }
+      (** Begin one propagation session carrying [src]'s knowledge to
+          [dst]. *)
+  | Session_delivery of { src : int; dst : int }
+      (** Internal: the session's network delay has elapsed; execute
+          it. *)
+  | Crash of int
+  | Recover of int
+  | Anti_entropy_round of { period : float; policy : peer_policy }
+      (** Fire one round for every alive node and reschedule itself
+          after [period]. *)
+  | Custom of (t -> unit)  (** Escape hatch for experiment-specific logic. *)
+
+val create :
+  ?seed:int -> ?network:Network.t -> driver:Edb_baselines.Driver.t -> unit -> t
+
+val driver : t -> Edb_baselines.Driver.t
+
+val now : t -> float
+
+val alive : t -> int -> bool
+
+val schedule : t -> at:float -> event -> unit
+(** [schedule t ~at e] enqueues [e] at absolute virtual time [at]
+    (which must not precede {!now}). *)
+
+val schedule_after : t -> delay:float -> event -> unit
+
+val run_until : t -> float -> unit
+(** [run_until t deadline] processes events with time <= [deadline] and
+    advances the clock to [deadline]. *)
+
+val step : t -> bool
+(** [step t] processes the single earliest event; [false] when the
+    queue is empty. *)
+
+val run_until_converged :
+  t -> check_every:float -> deadline:float -> float option
+(** [run_until_converged t ~check_every ~deadline] runs the simulation,
+    testing [driver.converged] every [check_every] time units; returns
+    the first check time at which it held, or [None] if the deadline
+    passed first. *)
+
+val sessions_attempted : t -> int
+(** Total sessions that reached execution (delivered, both ends up). *)
+
+val sessions_lost : t -> int
+(** Session attempts dropped by the network or a dead endpoint. *)

@@ -1,0 +1,24 @@
+(** A priority queue of timestamped events (binary min-heap).
+
+    Ties in time are broken by insertion order, so simulations are
+    fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** [push t ~time e] schedules [e] at [time]. O(log n). *)
+
+val pop : 'a t -> (float * 'a) option
+(** [pop t] removes and returns the earliest event. O(log n). *)
+
+val peek_time : 'a t -> float option
+(** [peek_time t] is the time of the earliest event without removing
+    it. *)
+
+val clear : 'a t -> unit

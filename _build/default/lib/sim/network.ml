@@ -1,0 +1,27 @@
+module Prng = Edb_util.Prng
+
+type t = {
+  base_latency : float;
+  jitter_mean : float;
+  loss_probability : float;
+  blocked_pairs : (int * int, unit) Hashtbl.t;
+}
+
+let create ?(base_latency = 1.0) ?(jitter_mean = 0.0) ?(loss_probability = 0.0) () =
+  { base_latency; jitter_mean; loss_probability; blocked_pairs = Hashtbl.create 8 }
+
+let delay t prng =
+  if t.jitter_mean <= 0.0 then t.base_latency
+  else t.base_latency +. Prng.exponential prng ~mean:t.jitter_mean
+
+let lost t prng = Prng.chance prng t.loss_probability
+
+let key a b = if a <= b then (a, b) else (b, a)
+
+let partition t a b = Hashtbl.replace t.blocked_pairs (key a b) ()
+
+let heal t a b = Hashtbl.remove t.blocked_pairs (key a b)
+
+let heal_all t = Hashtbl.reset t.blocked_pairs
+
+let blocked t a b = Hashtbl.mem t.blocked_pairs (key a b)

@@ -1,0 +1,37 @@
+(** The virtual network between replication nodes.
+
+    Models the properties the paper's setting cares about: anti-entropy
+    over slow or intermittent links ("during the next dial-up session",
+    §1), lossy transport, and partitions. Sessions between partitioned
+    or crashed endpoints simply do not happen — the epidemic process
+    routes around them, which is exactly what experiment E6
+    demonstrates. *)
+
+type t
+
+val create :
+  ?base_latency:float ->
+  ?jitter_mean:float ->
+  ?loss_probability:float ->
+  unit ->
+  t
+(** [create ()] is a reliable zero-jitter network with
+    [base_latency = 1.0] time units. *)
+
+val delay : t -> Edb_util.Prng.t -> float
+(** [delay t prng] samples one session's network delay: base latency
+    plus exponential jitter. *)
+
+val lost : t -> Edb_util.Prng.t -> bool
+(** [lost t prng] decides whether a session attempt is lost. *)
+
+val partition : t -> int -> int -> unit
+(** [partition t a b] blocks sessions between [a] and [b] (both
+    directions). Idempotent. *)
+
+val heal : t -> int -> int -> unit
+(** [heal t a b] unblocks the pair. *)
+
+val heal_all : t -> unit
+
+val blocked : t -> int -> int -> bool

@@ -1,0 +1,1 @@
+lib/store/item.ml: Edb_vv Format Operation String

@@ -1,0 +1,1 @@
+lib/store/item.mli: Edb_vv Format Operation

@@ -1,0 +1,1 @@
+lib/store/item_history.ml: Array List Operation Queue

@@ -1,0 +1,1 @@
+lib/store/item_history.mli: Operation

@@ -1,0 +1,1 @@
+lib/store/operation.ml: Bytes Format String

@@ -1,0 +1,1 @@
+lib/store/operation.mli: Format

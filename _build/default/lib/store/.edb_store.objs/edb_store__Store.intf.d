@@ -1,0 +1,1 @@
+lib/store/store.mli: Item

@@ -1,0 +1,19 @@
+module Vv = Edb_vv.Version_vector
+
+type t = {
+  name : string;
+  mutable value : string;
+  mutable ivv : Vv.t;
+  mutable is_selected : bool;
+}
+
+let create ~name ~n = { name; value = ""; ivv = Vv.create ~n; is_selected = false }
+
+let apply item op = item.value <- Operation.apply item.value op
+
+let value_size item = String.length item.value
+
+let snapshot item = (item.value, Vv.copy item.ivv)
+
+let pp fmt item =
+  Format.fprintf fmt "%s=%S %a" item.name item.value Vv.pp item.ivv

@@ -1,0 +1,32 @@
+(** A replica of one data item, with its item version vector.
+
+    Carries the per-item control state the protocol needs: the IVV
+    (paper §3) and the [IsSelected] flag used by [SendPropagation] to
+    compute the set [S] of items to ship in O(m) (paper §6). *)
+
+type t = {
+  name : string;
+  mutable value : string;
+  mutable ivv : Edb_vv.Version_vector.t;
+  mutable is_selected : bool;
+      (** Scratch flag owned by [SendPropagation]; always [false]
+          outside a propagation computation (§6). *)
+}
+
+val create : name:string -> n:int -> t
+(** [create ~name ~n] is a fresh item with empty value and zero IVV of
+    dimension [n]. *)
+
+val apply : t -> Operation.t -> unit
+(** [apply item op] updates the value only; version accounting is the
+    caller's (the protocol's) responsibility. *)
+
+val value_size : t -> int
+(** [value_size item] is the byte size of the current value, charged by
+    the cost model when the item is copied. *)
+
+val snapshot : t -> string * Edb_vv.Version_vector.t
+(** [snapshot item] is an immutable copy [(value, ivv)] — what travels
+    in a propagation or out-of-bound message. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+type entry = { origin : int; seq : int; op : Operation.t }
+
+type t = { entries : entry Queue.t; depth : int }
+
+let create ~depth =
+  if depth < 1 then invalid_arg "Item_history.create: depth must be >= 1";
+  { entries = Queue.create (); depth }
+
+let depth t = t.depth
+
+let push t e =
+  Queue.add e t.entries;
+  if Queue.length t.entries > t.depth then ignore (Queue.pop t.entries)
+
+let clear t = Queue.clear t.entries
+
+let length t = Queue.length t.entries
+
+let entries t = List.of_seq (Queue.to_seq t.entries)
+
+let oldest_seq_of_origin t ~origin =
+  Queue.fold
+    (fun acc e ->
+      match acc with
+      | Some _ -> acc
+      | None -> if e.origin = origin then Some e.seq else None)
+    None t.entries
+
+let entries_after t ~threshold =
+  Queue.fold
+    (fun acc e -> if e.seq > threshold.(e.origin) then e :: acc else acc)
+    [] t.entries
+  |> List.rev

@@ -1,0 +1,46 @@
+(** Bounded per-item update history, for op-log ("delta") propagation.
+
+    The paper (§2) treats whole-item copying and update-record shipping
+    as interchangeable transports for the same protocol. Delta shipping
+    needs each replica to remember the recent operations applied to an
+    item, tagged with their origin and the origin's global update
+    sequence number (the same numbers the log vector uses), so a source
+    can ship exactly the operations a recipient misses — and can {e
+    prove} the shipped set complete, falling back to a whole copy when
+    the history horizon has passed the recipient by.
+
+    The history is a FIFO bounded at [depth] entries; pushing beyond
+    the bound drops the oldest entry (advancing the horizon). *)
+
+type entry = { origin : int; seq : int; op : Operation.t }
+(** One applied update: originated at [origin] as its [seq]-th update
+    (the origin's DBVV self-component at update time). *)
+
+type t
+
+val create : depth:int -> t
+(** [create ~depth] is an empty history bounded at [depth] ≥ 1. *)
+
+val depth : t -> int
+
+val push : t -> entry -> unit
+(** [push t e] appends [e], evicting the oldest entry if full. *)
+
+val clear : t -> unit
+(** Forget everything (used when a whole copy overwrites the value and
+    the local history no longer describes it). *)
+
+val length : t -> int
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val oldest_seq_of_origin : t -> origin:int -> int option
+(** [oldest_seq_of_origin t ~origin] is the sequence number of the
+    oldest retained entry from [origin], if any. *)
+
+val entries_after : t -> threshold:int array -> entry list
+(** [entries_after t ~threshold] is the retained entries whose
+    [seq > threshold.(origin)], in history (application) order — the
+    operations a recipient with per-origin knowledge [threshold]
+    misses. *)

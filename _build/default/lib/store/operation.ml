@@ -1,0 +1,29 @@
+type t = Set of string | Splice of { offset : int; data : string }
+
+let apply value op =
+  match op with
+  | Set v -> v
+  | Splice { offset; data } ->
+    if offset < 0 then invalid_arg "Operation.apply: negative offset";
+    let value_len = String.length value in
+    let data_len = String.length data in
+    let result_len = max value_len (offset + data_len) in
+    let buf = Bytes.make result_len '\000' in
+    Bytes.blit_string value 0 buf 0 value_len;
+    Bytes.blit_string data 0 buf offset data_len;
+    Bytes.to_string buf
+
+let size_bytes = function
+  | Set v -> String.length v
+  | Splice { data; _ } -> 8 + String.length data
+
+let equal a b =
+  match (a, b) with
+  | Set x, Set y -> String.equal x y
+  | Splice { offset = o1; data = d1 }, Splice { offset = o2; data = d2 } ->
+    o1 = o2 && String.equal d1 d2
+  | Set _, Splice _ | Splice _, Set _ -> false
+
+let pp fmt = function
+  | Set v -> Format.fprintf fmt "set(%S)" v
+  | Splice { offset; data } -> Format.fprintf fmt "splice(@%d,%S)" offset data

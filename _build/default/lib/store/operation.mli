@@ -1,0 +1,29 @@
+(** Update operations on data item values.
+
+    The paper supports both whole-value replacement and byte-range
+    updates ("the byte range of the update and the new value of data in
+    the range", §4.4). Regular log records never carry operations — only
+    [(item, seq)] — but auxiliary log records must store enough to
+    {e re-do} the update during intra-node propagation, so operations
+    are explicit, deterministic values. *)
+
+type t =
+  | Set of string  (** Replace the whole value. *)
+  | Splice of { offset : int; data : string }
+      (** Overwrite [data] at [offset], zero-padding any gap if the
+          current value is shorter than [offset]. *)
+
+val apply : string -> t -> string
+(** [apply value op] is the value after [op]. Total and deterministic:
+    replaying the same operations in the same order from the same state
+    always yields the same value, which is what makes auxiliary-log
+    replay sound. *)
+
+val size_bytes : t -> int
+(** [size_bytes op] is the payload size charged to the byte-cost model
+    when an operation travels in a message or sits in the auxiliary
+    log. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

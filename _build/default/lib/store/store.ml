@@ -1,0 +1,29 @@
+type t = { items : (string, Item.t) Hashtbl.t; n : int }
+
+let create ~n =
+  if n <= 0 then invalid_arg "Store.create: dimension must be positive";
+  { items = Hashtbl.create 64; n }
+
+let dimension t = t.n
+
+let find_opt t name = Hashtbl.find_opt t.items name
+
+let find_or_create t name =
+  match Hashtbl.find_opt t.items name with
+  | Some item -> item
+  | None ->
+    let item = Item.create ~name ~n:t.n in
+    Hashtbl.add t.items name item;
+    item
+
+let mem t name = Hashtbl.mem t.items name
+
+let size t = Hashtbl.length t.items
+
+let iter f t = Hashtbl.iter (fun _ item -> f item) t.items
+
+let fold f init t = Hashtbl.fold (fun _ item acc -> f acc item) t.items init
+
+let names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.items []
+
+let total_value_bytes t = fold (fun acc item -> acc + Item.value_size item) 0 t

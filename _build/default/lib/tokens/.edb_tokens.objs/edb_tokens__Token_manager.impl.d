@@ -1,0 +1,1 @@
+lib/tokens/token_manager.ml: Array Edb_core Fun Hashtbl List Printf

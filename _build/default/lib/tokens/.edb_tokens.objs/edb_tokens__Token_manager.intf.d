@@ -1,0 +1,1 @@
+lib/tokens/token_manager.mli: Edb_core Edb_store

@@ -1,0 +1,128 @@
+module Cluster = Edb_core.Cluster
+module Node = Edb_core.Node
+
+type ownership = Held | Hint of int
+
+type t = {
+  cluster : Cluster.t;
+  (* Per node: item -> ownership. Entries are lazy; an absent entry
+     means the default (the home node holds, everyone else hints at the
+     home). *)
+  tables : (string, ownership) Hashtbl.t array;
+  (* Every item that ever had an explicit entry, for invariant checks. *)
+  known_items : (string, unit) Hashtbl.t;
+  mutable transfers : int;
+  mutable hops_followed : int;
+}
+
+type acquire_error = [ `Cycle of string ]
+
+let create cluster =
+  {
+    cluster;
+    tables = Array.init (Cluster.n cluster) (fun _ -> Hashtbl.create 16);
+    known_items = Hashtbl.create 16;
+    transfers = 0;
+    hops_followed = 0;
+  }
+
+let home t item = Hashtbl.hash item mod Cluster.n t.cluster
+
+let lookup t ~node ~item =
+  match Hashtbl.find_opt t.tables.(node) item with
+  | Some ownership -> ownership
+  | None -> if node = home t item then Held else Hint (home t item)
+
+let set t ~node ~item ownership =
+  Hashtbl.replace t.known_items item ();
+  Hashtbl.replace t.tables.(node) item ownership
+
+let hint t ~node ~item =
+  match lookup t ~node ~item with Held -> node | Hint believed -> believed
+
+let holder t item =
+  (* Follow the home node's own chain; the true holder is reachable
+     from anywhere, the home included. *)
+  let n = Cluster.n t.cluster in
+  let rec follow node steps =
+    if steps > n then
+      invalid_arg "Token_manager.holder: hint cycle (broken invariant)"
+    else
+      match lookup t ~node ~item with
+      | Held -> node
+      | Hint next -> follow next (steps + 1)
+  in
+  follow (home t item) 0
+
+let acquire t ~node ~item =
+  match lookup t ~node ~item with
+  | Held -> Ok 0
+  | Hint first ->
+    let n = Cluster.n t.cluster in
+    let rec chase current visited hops =
+      if hops > n then Error (`Cycle item)
+      else
+        match lookup t ~node:current ~item with
+        | Held ->
+          (* Transfer: the freshest copy of the item travels with the
+             token as an out-of-bound copy, so the new holder updates
+             the newest version (see .mli). *)
+          let (_ : Node.oob_result) =
+            Cluster.fetch_out_of_bound t.cluster ~recipient:node ~source:current item
+          in
+          set t ~node:current ~item (Hint node);
+          set t ~node ~item Held;
+          (* Path compression: everyone we asked now points straight at
+             the new holder. *)
+          List.iter (fun k -> if k <> node then set t ~node:k ~item (Hint node)) visited;
+          t.transfers <- t.transfers + 1;
+          t.hops_followed <- t.hops_followed + hops;
+          Ok hops
+        | Hint next -> chase next (current :: visited) (hops + 1)
+    in
+    chase first [] 1
+
+let update t ~node ~item op =
+  match acquire t ~node ~item with
+  | Error _ as e -> e
+  | Ok hops ->
+    Cluster.update t.cluster ~node ~item op;
+    Ok hops
+
+let transfers t = t.transfers
+
+let hops_followed t = t.hops_followed
+
+let check_invariants t =
+  let n = Cluster.n t.cluster in
+  let check_item item acc =
+    match acc with
+    | Error _ -> acc
+    | Ok () ->
+      let holders = ref [] in
+      for node = 0 to n - 1 do
+        match lookup t ~node ~item with
+        | Held -> holders := node :: !holders
+        | Hint _ -> ()
+      done;
+      (match !holders with
+      | [ _ ] ->
+        (* Every chain must reach the holder within n hops. *)
+        let rec reaches node steps =
+          if steps > n then false
+          else
+            match lookup t ~node ~item with
+            | Held -> true
+            | Hint next -> reaches next (steps + 1)
+        in
+        let all_reach =
+          List.for_all (fun node -> reaches node 0) (List.init n Fun.id)
+        in
+        if all_reach then Ok ()
+        else Error (Printf.sprintf "item %S: a hint chain does not reach the holder" item)
+      | [] -> Error (Printf.sprintf "item %S: no holder" item)
+      | holders ->
+        Error
+          (Printf.sprintf "item %S: %d simultaneous holders" item (List.length holders)))
+  in
+  Hashtbl.fold (fun item () acc -> check_item item acc) t.known_items (Ok ())

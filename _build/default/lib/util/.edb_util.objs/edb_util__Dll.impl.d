@@ -1,0 +1,1 @@
+lib/util/dll.ml: List

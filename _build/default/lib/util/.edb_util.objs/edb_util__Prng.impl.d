@@ -1,0 +1,1 @@
+lib/util/prng.ml: Array Int64

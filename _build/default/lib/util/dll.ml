@@ -1,0 +1,104 @@
+type 'a node = {
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+  mutable attached : bool;
+}
+
+type 'a t = {
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable length : int;
+}
+
+let create () = { head = None; tail = None; length = 0 }
+
+let length t = t.length
+
+let is_empty t = t.length = 0
+
+let append t v =
+  let n = { value = v; prev = t.tail; next = None; attached = true } in
+  (match t.tail with
+  | None -> t.head <- Some n
+  | Some old_tail -> old_tail.next <- Some n);
+  t.tail <- Some n;
+  t.length <- t.length + 1;
+  n
+
+let prepend t v =
+  let n = { value = v; prev = None; next = t.head; attached = true } in
+  (match t.head with
+  | None -> t.tail <- Some n
+  | Some old_head -> old_head.prev <- Some n);
+  t.head <- Some n;
+  t.length <- t.length + 1;
+  n
+
+let remove t n =
+  if n.attached then begin
+    (match n.prev with
+    | None -> t.head <- n.next
+    | Some p -> p.next <- n.next);
+    (match n.next with
+    | None -> t.tail <- n.prev
+    | Some s -> s.prev <- n.prev);
+    n.prev <- None;
+    n.next <- None;
+    n.attached <- false;
+    t.length <- t.length - 1
+  end
+
+let value n = n.value
+
+let set_value n v = n.value <- v
+
+let attached n = n.attached
+
+let first t = t.head
+
+let last t = t.tail
+
+let next n = n.next
+
+let prev n = n.prev
+
+let iter_nodes f t =
+  let rec loop = function
+    | None -> ()
+    | Some n ->
+      (* Capture the successor first so [f] may remove [n]. *)
+      let succ = n.next in
+      f n;
+      loop succ
+  in
+  loop t.head
+
+let iter f t = iter_nodes (fun n -> f n.value) t
+
+let rev_iter f t =
+  let rec loop = function
+    | None -> ()
+    | Some n ->
+      let pred = n.prev in
+      f n.value;
+      loop pred
+  in
+  loop t.tail
+
+let fold_left f init t =
+  let acc = ref init in
+  iter (fun v -> acc := f !acc v) t;
+  !acc
+
+let to_list t = List.rev (fold_left (fun acc v -> v :: acc) [] t)
+
+let take_while_rev p t =
+  let rec loop acc = function
+    | None -> acc
+    | Some n -> if p n.value then loop (n.value :: acc) n.prev else acc
+  in
+  loop [] t.tail
+
+let clear t =
+  iter_nodes (fun n -> remove t n) t

@@ -1,0 +1,86 @@
+(** Intrusive doubly-linked lists with O(1) append and O(1) unlink.
+
+    This is the substrate for the paper's Figure 1: log components keep
+    their records in a doubly-linked list so that, when a fresher record
+    for the same data item arrives, the stale record can be unlinked in
+    constant time through the per-item pointer array [P(x)].
+
+    Nodes are first-class: callers keep the ['a node] returned by
+    {!append} and may later {!remove} it directly, without any search.
+    A node knows whether it is still attached, so removing twice is
+    harmless and [O(1)]. *)
+
+type 'a node
+(** A cell of a list, carrying one value. *)
+
+type 'a t
+(** A mutable doubly-linked list. *)
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty list. *)
+
+val length : 'a t -> int
+(** [length t] is the number of attached nodes, maintained in O(1). *)
+
+val is_empty : 'a t -> bool
+(** [is_empty t] is [length t = 0]. *)
+
+val append : 'a t -> 'a -> 'a node
+(** [append t v] links a new node carrying [v] at the tail of [t] and
+    returns it. O(1). *)
+
+val prepend : 'a t -> 'a -> 'a node
+(** [prepend t v] links a new node carrying [v] at the head of [t] and
+    returns it. O(1). *)
+
+val remove : 'a t -> 'a node -> unit
+(** [remove t n] unlinks [n] from [t] in O(1). Removing a node that is
+    no longer attached is a no-op. It is a programming error to remove
+    a node from a list it never belonged to. *)
+
+val value : 'a node -> 'a
+(** [value n] is the payload of [n]. *)
+
+val set_value : 'a node -> 'a -> unit
+(** [set_value n v] replaces the payload of [n]. *)
+
+val attached : 'a node -> bool
+(** [attached n] is [true] while [n] is linked into its list. *)
+
+val first : 'a t -> 'a node option
+(** [first t] is the head node, if any. *)
+
+val last : 'a t -> 'a node option
+(** [last t] is the tail node, if any. *)
+
+val next : 'a node -> 'a node option
+(** [next n] is the successor of [n] in list order, if attached. *)
+
+val prev : 'a node -> 'a node option
+(** [prev n] is the predecessor of [n] in list order, if attached. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** [iter f t] applies [f] to every value, head to tail. *)
+
+val iter_nodes : ('a node -> unit) -> 'a t -> unit
+(** [iter_nodes f t] applies [f] to every node, head to tail. [f] may
+    remove the node it is given. *)
+
+val rev_iter : ('a -> unit) -> 'a t -> unit
+(** [rev_iter f t] applies [f] to every value, tail to head. *)
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** [fold_left f init t] folds over values head to tail. *)
+
+val to_list : 'a t -> 'a list
+(** [to_list t] is the values of [t], head to tail. *)
+
+val take_while_rev : ('a -> bool) -> 'a t -> 'a list
+(** [take_while_rev p t] walks from the tail towards the head while [p]
+    holds and returns the matching suffix of [t] {e in list order}
+    (head-of-suffix first). Runs in time linear in the suffix length:
+    this is how log tails are extracted in time proportional to the
+    number of records selected, not the log size. *)
+
+val clear : 'a t -> unit
+(** [clear t] detaches every node. O(length). *)

@@ -1,0 +1,62 @@
+(* Splitmix64 (Steele, Lea, Flood 2014): tiny state, excellent statistical
+   quality for simulation purposes, and trivially seedable. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Take the top bits (better distributed) modulo the bound. The modulo
+     bias is negligible for simulation bounds (far below 2^62). *)
+  let v = Int64.shift_right_logical (bits64 t) 2 in
+  Int64.to_int (Int64.rem v (Int64.of_int bound))
+
+let int_in_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.int_in_range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 uniform bits mapped to [0, 1). *)
+  let v = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float v /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let chance t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,51 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every source of randomness in the reproduction — workload generators,
+    peer selection, network latency jitter, failure injection — draws from
+    an explicit [Prng.t] so that simulations and property tests are exactly
+    reproducible from a seed. The OCaml stdlib [Random] module is never
+    used in library code. *)
+
+type t
+(** A mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] is a generator determined entirely by [seed]. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t]. Derived
+    generators produce streams independent of the parent's subsequent
+    output; use one per simulated component. *)
+
+val bits64 : t -> int64
+(** [bits64 t] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** [int_in_range t ~lo ~hi] is uniform in [\[lo, hi\]] inclusive.
+    Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin flip. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val exponential : t -> mean:float -> float
+(** [exponential t ~mean] samples an exponential distribution; used for
+    network latency jitter. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] in place (Fisher–Yates). *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t a] is a uniformly random element of [a]. [a] must be
+    non-empty. *)

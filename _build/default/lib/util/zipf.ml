@@ -1,0 +1,32 @@
+type t = { cdf : float array; n : int }
+
+let create ~n ~exponent =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  let weights = Array.init n (fun i -> 1.0 /. ((float_of_int (i + 1)) ** exponent)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) /. total);
+    cdf.(i) <- !acc
+  done;
+  (* Defend against accumulated floating error at the top end. *)
+  cdf.(n - 1) <- 1.0;
+  { cdf; n }
+
+let n t = t.n
+
+let probability t rank =
+  if rank < 0 || rank >= t.n then invalid_arg "Zipf.probability: rank out of range";
+  if rank = 0 then t.cdf.(0) else t.cdf.(rank) -. t.cdf.(rank - 1)
+
+let sample t prng =
+  let u = Prng.float prng 1.0 in
+  (* Smallest index whose cdf value exceeds u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) > u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (t.n - 1)

@@ -1,0 +1,23 @@
+(** Zipfian item selection.
+
+    The paper's target workloads are skewed: "the number of data items
+    that are frequently updated ... is much less than the total number of
+    data items" (§1). Benches model this with a Zipf distribution over
+    item ranks; the sampler precomputes the CDF once and samples by
+    binary search. *)
+
+type t
+
+val create : n:int -> exponent:float -> t
+(** [create ~n ~exponent] prepares a sampler over ranks [0 .. n-1] with
+    probability proportional to [1 / (rank+1)^exponent]. [exponent = 0.]
+    degenerates to the uniform distribution. [n] must be positive. *)
+
+val sample : t -> Prng.t -> int
+(** [sample t prng] draws a rank in [\[0, n)]. O(log n). *)
+
+val n : t -> int
+(** [n t] is the size of the sampled universe. *)
+
+val probability : t -> int -> float
+(** [probability t rank] is the probability mass of [rank]. *)

@@ -1,0 +1,1 @@
+lib/vv/version_vector.mli: Format

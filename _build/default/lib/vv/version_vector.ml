@@ -1,0 +1,90 @@
+type t = int array
+
+type comparison = Equal | Dominates | Dominated | Concurrent
+
+let create ~n =
+  if n <= 0 then invalid_arg "Version_vector.create: dimension must be positive";
+  Array.make n 0
+
+let of_array a =
+  Array.iter (fun v -> if v < 0 then invalid_arg "Version_vector.of_array: negative component") a;
+  Array.copy a
+
+let to_array t = Array.copy t
+
+let copy t = Array.copy t
+
+let dimension t = Array.length t
+
+let get t j = t.(j)
+
+let set t j v =
+  if v < 0 then invalid_arg "Version_vector.set: negative component";
+  t.(j) <- v
+
+let incr t j = t.(j) <- t.(j) + 1
+
+let check_dimensions a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Version_vector: dimension mismatch"
+
+let merge_into t ~from =
+  check_dimensions t from;
+  for j = 0 to Array.length t - 1 do
+    if from.(j) > t.(j) then t.(j) <- from.(j)
+  done
+
+let add_diff_into t ~newer ~older =
+  check_dimensions t newer;
+  check_dimensions t older;
+  for l = 0 to Array.length t - 1 do
+    let d = newer.(l) - older.(l) in
+    if d < 0 then
+      invalid_arg "Version_vector.add_diff_into: newer does not dominate older";
+    t.(l) <- t.(l) + d
+  done
+
+let compare_vv a b =
+  check_dimensions a b;
+  let some_less = ref false and some_greater = ref false in
+  for j = 0 to Array.length a - 1 do
+    if a.(j) < b.(j) then some_less := true
+    else if a.(j) > b.(j) then some_greater := true
+  done;
+  match (!some_less, !some_greater) with
+  | false, false -> Equal
+  | false, true -> Dominates
+  | true, false -> Dominated
+  | true, true -> Concurrent
+
+let equal a b = compare_vv a b = Equal
+
+let dominates_or_equal a b =
+  match compare_vv a b with Equal | Dominates -> true | Dominated | Concurrent -> false
+
+let strictly_dominates a b = compare_vv a b = Dominates
+
+let concurrent a b = compare_vv a b = Concurrent
+
+let sum t = Array.fold_left ( + ) 0 t
+
+let conflicting_components a b =
+  check_dimensions a b;
+  let less = ref None and greater = ref None in
+  Array.iteri
+    (fun j bv ->
+      if a.(j) < bv && !less = None then less := Some j
+      else if a.(j) > bv && !greater = None then greater := Some j)
+    b;
+  match (!less, !greater) with
+  | Some k, Some l -> Some (k, l)
+  | None, _ | _, None -> None
+
+let pp fmt t =
+  Format.fprintf fmt "<%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_char fmt ',')
+       Format.pp_print_int)
+    (Array.to_list t)
+
+let to_string t = Format.asprintf "%a" pp t

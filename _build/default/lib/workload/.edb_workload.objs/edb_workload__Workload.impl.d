@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Edb_store Edb_util List Printf String

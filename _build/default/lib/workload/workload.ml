@@ -1,0 +1,67 @@
+module Prng = Edb_util.Prng
+module Zipf = Edb_util.Zipf
+module Operation = Edb_store.Operation
+
+module Selector = struct
+  type kind =
+    | Uniform
+    | Zipfian of Zipf.t
+    | Hot_cold of { hot : int; hot_fraction : float }
+    | First_n of { subset : int }
+
+  type t = { n : int; kind : kind }
+
+  let check_n n = if n <= 0 then invalid_arg "Selector: universe must be non-empty"
+
+  let uniform ~n =
+    check_n n;
+    { n; kind = Uniform }
+
+  let zipfian ~n ~exponent =
+    check_n n;
+    { n; kind = Zipfian (Zipf.create ~n ~exponent) }
+
+  let hot_cold ~n ~hot ~hot_fraction =
+    check_n n;
+    if hot <= 0 || hot > n then invalid_arg "Selector.hot_cold: hot out of range";
+    { n; kind = Hot_cold { hot; hot_fraction } }
+
+  let first_n ~n ~subset =
+    check_n n;
+    if subset <= 0 || subset > n then invalid_arg "Selector.first_n: subset out of range";
+    { n; kind = First_n { subset } }
+
+  let pick t prng =
+    match t.kind with
+    | Uniform -> Prng.int prng t.n
+    | Zipfian z -> Zipf.sample z prng
+    | Hot_cold { hot; hot_fraction } ->
+      if Prng.chance prng hot_fraction || hot = t.n then Prng.int prng hot
+      else hot + Prng.int prng (t.n - hot)
+    | First_n { subset } -> Prng.int prng subset
+
+  let universe_size t = t.n
+end
+
+let item_name rank = Printf.sprintf "item-%06d" rank
+
+let universe n = List.init n item_name
+
+let payload ~item ~seq ~size =
+  let stamp = Printf.sprintf "%s#%d:" item seq in
+  let stamp_len = String.length stamp in
+  if stamp_len >= size then String.sub stamp 0 size
+  else stamp ^ String.make (size - stamp_len) 'x'
+
+type step = { node : int; item : string; op : Operation.t }
+
+let update_stream ~seed ~selector ~nodes ~count ~value_size =
+  if nodes <= 0 then invalid_arg "Workload.update_stream: nodes must be positive";
+  let prng = Prng.create ~seed in
+  List.init count (fun seq ->
+      let node = Prng.int prng nodes in
+      let item = item_name (Selector.pick selector prng) in
+      { node; item; op = Operation.Set (payload ~item ~seq ~size:value_size) })
+
+let apply steps ~update =
+  List.iter (fun { node; item; op } -> update ~node ~item ~op) steps

@@ -1,0 +1,59 @@
+(** Workload generation for experiments and tests.
+
+    The paper's target regime (§1–2): databases with many items of
+    which few are updated between consecutive propagations, and few are
+    copied out of bound. Selectors model that skew; update streams are
+    deterministic given a seed so every experiment is reproducible. *)
+
+module Selector : sig
+  type t
+
+  val uniform : n:int -> t
+  (** Every item equally likely. *)
+
+  val zipfian : n:int -> exponent:float -> t
+  (** Zipf over item ranks — the frequently-updated "working set" is
+      small. *)
+
+  val hot_cold : n:int -> hot:int -> hot_fraction:float -> t
+  (** With probability [hot_fraction], pick among the first [hot]
+      items; otherwise among the rest. *)
+
+  val first_n : n:int -> subset:int -> t
+  (** Always pick uniformly among the first [subset] items — used when
+      an experiment needs exactly [m] dirty items. *)
+
+  val pick : t -> Edb_util.Prng.t -> int
+  (** A rank in [\[0, n)]. *)
+
+  val universe_size : t -> int
+end
+
+val item_name : int -> string
+(** [item_name rank] is the canonical name of item [rank],
+    zero-padded so lexicographic and numeric order agree. *)
+
+val universe : int -> string list
+(** [universe n] is [item_name 0 .. item_name (n-1)]. *)
+
+val payload : item:string -> seq:int -> size:int -> string
+(** [payload ~item ~seq ~size] is a deterministic value of exactly
+    [size] bytes, distinct per [(item, seq)] — convergence checks can
+    rely on exact equality. *)
+
+type step = { node : int; item : string; op : Edb_store.Operation.t }
+
+val update_stream :
+  seed:int ->
+  selector:Selector.t ->
+  nodes:int ->
+  count:int ->
+  value_size:int ->
+  step list
+(** [update_stream] is a deterministic sequence of [count] user
+    updates: each picks a uniformly random originating node and a
+    selector-distributed item, with a [Set] of a fresh payload. *)
+
+val apply :
+  step list -> update:(node:int -> item:string -> op:Edb_store.Operation.t -> unit) -> unit
+(** Feed a stream to any protocol's update entry point. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Edb_baselines Edb_store List Printf

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Edb_core Edb_metrics Edb_store Edb_vv List Option Printf String

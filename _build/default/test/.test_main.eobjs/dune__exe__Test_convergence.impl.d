@@ -1,0 +1,1 @@
+test/test_convergence.ml: Array Edb_core Edb_store Edb_util Edb_vv List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dll.ml: Alcotest Edb_util List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Edb_core Edb_experiments Edb_metrics Edb_store Edb_workload List Printf String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Edb_core Edb_persist Edb_sessions Edb_store Edb_tokens Edb_util Printf

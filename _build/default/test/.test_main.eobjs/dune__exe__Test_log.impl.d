@@ -1,0 +1,1 @@
+test/test_log.ml: Alcotest Array Edb_log Edb_store Edb_vv Hashtbl List Printf QCheck2 QCheck_alcotest Queue

@@ -1,0 +1,1 @@
+test/test_message.ml: Alcotest Array Edb_core Edb_log Edb_store Edb_vv

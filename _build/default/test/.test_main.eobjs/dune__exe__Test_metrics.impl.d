@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Astring Edb_metrics Format List String

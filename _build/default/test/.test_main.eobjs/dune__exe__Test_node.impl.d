@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Array Edb_core Edb_log Edb_metrics Edb_store Edb_vv List Option Printf String

@@ -1,0 +1,1 @@
+test/test_oob.ml: Alcotest Edb_core Edb_log Edb_store Edb_vv List Printf

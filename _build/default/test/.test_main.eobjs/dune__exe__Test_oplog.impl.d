@@ -1,0 +1,1 @@
+test/test_oplog.ml: Alcotest Edb_core Edb_metrics Edb_store List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Astring Bytes Char Edb_core Edb_log Edb_persist Edb_store Edb_vv Filename Fun List Printf QCheck2 QCheck_alcotest String Sys

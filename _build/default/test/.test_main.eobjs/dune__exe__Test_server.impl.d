@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Array Astring Edb_core Edb_server Edb_store Filename Fun List Sys

@@ -1,0 +1,1 @@
+test/test_sessions.ml: Alcotest Edb_core Edb_sessions Edb_store Edb_vv Format Hashtbl List Option Printf QCheck2 QCheck_alcotest String

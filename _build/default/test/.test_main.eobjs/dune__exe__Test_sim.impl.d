@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Edb_baselines Edb_sim Edb_store Edb_util Edb_workload List Printf

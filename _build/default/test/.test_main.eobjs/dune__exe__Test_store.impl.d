@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Edb_store Edb_vv List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_tokens.ml: Alcotest Edb_core Edb_store Edb_tokens List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_two_phase.ml: Alcotest Edb_baselines Edb_store List

@@ -1,0 +1,1 @@
+test/test_vv.ml: Alcotest Array Edb_vv Format QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Edb_core Edb_store Edb_util Edb_workload List String

@@ -1,0 +1,289 @@
+(* Tests for the §8 baseline protocols: each converges under its own
+   rules, and each exhibits the specific weakness the paper ascribes to
+   it. *)
+
+module Demers = Edb_baselines.Demers
+module Lotus = Edb_baselines.Lotus
+module Oracle = Edb_baselines.Oracle_push
+module Wuu = Edb_baselines.Wuu_bernstein
+module Ficus = Edb_baselines.Ficus
+module Driver = Edb_baselines.Driver
+module Operation = Edb_store.Operation
+
+let set v = Operation.Set v
+
+let universe k = List.init k (Printf.sprintf "u%02d")
+
+(* ---------- Demers-style per-item anti-entropy ---------- *)
+
+let test_demers_propagates () =
+  let d = Demers.create ~n:3 ~universe:(universe 5) in
+  Demers.update d ~node:0 ~item:"u01" (set "v");
+  Demers.session d ~src:0 ~dst:1;
+  Demers.session d ~src:1 ~dst:2;
+  Alcotest.(check (option string)) "transitive copy" (Some "v")
+    (Demers.read d ~node:2 ~item:"u01");
+  Alcotest.(check bool) "converged" true (Demers.converged d)
+
+let test_demers_cost_linear_in_universe () =
+  (* The paper's core complaint: even a no-op session examines every
+     item. *)
+  let d = Demers.create ~n:2 ~universe:(universe 40) in
+  let driver = Demers.driver d in
+  Demers.session d ~src:0 ~dst:1;
+  let total = driver.Driver.total_counters () in
+  Alcotest.(check int) "examined all 40 items" 40 total.items_examined;
+  Alcotest.(check int) "compared all 40 items" 40 total.vv_comparisons
+
+let test_demers_detects_conflicts () =
+  let d = Demers.create ~n:2 ~universe:(universe 3) in
+  Demers.update d ~node:0 ~item:"u00" (set "a");
+  Demers.update d ~node:1 ~item:"u00" (set "b");
+  Demers.session d ~src:0 ~dst:1;
+  Alcotest.(check bool) "conflict flagged" true (Demers.conflicts_detected d > 0);
+  Alcotest.(check (option string)) "no silent overwrite" (Some "b")
+    (Demers.read d ~node:1 ~item:"u00")
+
+(* ---------- Lotus Notes ---------- *)
+
+let test_lotus_propagates () =
+  let l = Lotus.create ~n:3 ~universe:(universe 4) in
+  Lotus.update l ~node:0 ~item:"u01" (set "v");
+  Lotus.session l ~src:0 ~dst:1;
+  Lotus.session l ~src:1 ~dst:2;
+  Alcotest.(check (option string)) "forwarded" (Some "v")
+    (Lotus.read l ~node:2 ~item:"u01");
+  Alcotest.(check bool) "converged" true (Lotus.converged l)
+
+let test_lotus_noop_when_untouched () =
+  let l = Lotus.create ~n:2 ~universe:(universe 10) in
+  let driver = Lotus.driver l in
+  Lotus.session l ~src:0 ~dst:1;
+  let total = driver.Driver.total_counters () in
+  (* Nothing ever changed: the O(1) fast path applies, no scan. *)
+  Alcotest.(check int) "no items examined" 0 total.items_examined;
+  Alcotest.(check int) "counted as noop" 1 total.noop_sessions
+
+let test_lotus_scans_when_indirectly_identical () =
+  (* §8.1: replicas identical through indirect propagation still cost a
+     full O(N) scan under Lotus. *)
+  let l = Lotus.create ~n:3 ~universe:(universe 25) in
+  Lotus.update l ~node:0 ~item:"u03" (set "v");
+  Lotus.session l ~src:0 ~dst:1;
+  Lotus.session l ~src:0 ~dst:2;
+  (* 1 and 2 are now identical; a session between them still scans. *)
+  let driver = Lotus.driver l in
+  driver.Driver.reset_counters ();
+  Lotus.session l ~src:1 ~dst:2;
+  let total = driver.Driver.total_counters () in
+  Alcotest.(check int) "full scan of 25 items" 25 total.items_examined;
+  Alcotest.(check int) "nothing actually copied" 0 total.items_copied
+
+let test_lotus_loses_concurrent_update () =
+  (* §8.1 final paragraph, reproduced exactly: i makes two updates, j
+     makes one conflicting update; i's copy has the higher sequence
+     number, so it silently overrides j's. *)
+  let l = Lotus.create ~n:2 ~universe:(universe 2) in
+  Lotus.update l ~node:0 ~item:"u00" (set "i-first");
+  Lotus.update l ~node:0 ~item:"u00" (set "i-second");
+  Lotus.update l ~node:1 ~item:"u00" (set "j-version");
+  Lotus.session l ~src:0 ~dst:1;
+  (* j's conflicting update is gone without any conflict report. *)
+  Alcotest.(check (option string)) "j silently overridden" (Some "i-second")
+    (Lotus.read l ~node:1 ~item:"u00");
+  Alcotest.(check int) "seqno advanced" 2 (Lotus.sequence_number l ~node:1 ~item:"u00")
+
+(* ---------- Oracle symmetric replication ---------- *)
+
+let test_oracle_push_delivers () =
+  let o = Oracle.create ~n:3 in
+  Oracle.update o ~node:0 ~item:"x" (set "v");
+  Oracle.push_all o ~origin:0;
+  Alcotest.(check (option string)) "node 1 got it" (Some "v") (Oracle.read o ~node:1 ~item:"x");
+  Alcotest.(check (option string)) "node 2 got it" (Some "v") (Oracle.read o ~node:2 ~item:"x");
+  Alcotest.(check bool) "converged" true (Oracle.converged o)
+
+let test_oracle_incremental_cursor () =
+  let o = Oracle.create ~n:2 in
+  Oracle.update o ~node:0 ~item:"x" (set "v1");
+  Oracle.push_to o ~origin:0 ~dst:1;
+  Oracle.update o ~node:0 ~item:"x" (set "v2");
+  Oracle.push_to o ~origin:0 ~dst:1;
+  Alcotest.(check (option string)) "second push carries only the delta" (Some "v2")
+    (Oracle.read o ~node:1 ~item:"x")
+
+let test_oracle_stranded_by_crash () =
+  (* §8.2: originator crashes after reaching only node 1; node 2 stays
+     obsolete — nobody forwards — until the originator recovers. *)
+  let o = Oracle.create ~n:3 in
+  Oracle.update o ~node:0 ~item:"x" (set "v");
+  Oracle.push_to o ~origin:0 ~dst:1;
+  Oracle.crash o ~node:0;
+  (* Node 1 has the data but will not forward it. *)
+  Oracle.push_to o ~origin:1 ~dst:2;
+  Alcotest.(check (option string)) "node 2 still obsolete" None
+    (Oracle.read o ~node:2 ~item:"x");
+  Alcotest.(check bool) "node 2 observably stale" true (Oracle.is_stale o ~node:2);
+  (* Recovery completes the propagation. *)
+  Oracle.recover o ~node:0;
+  Oracle.push_all o ~origin:0;
+  Alcotest.(check (option string)) "after recovery" (Some "v")
+    (Oracle.read o ~node:2 ~item:"x");
+  Alcotest.(check bool) "converged" true (Oracle.converged o)
+
+(* ---------- Wuu & Bernstein ---------- *)
+
+let test_wuu_gossip_delivers () =
+  let w = Wuu.create ~n:3 in
+  Wuu.update w ~node:0 ~item:"x" (set "v");
+  Wuu.session w ~src:0 ~dst:1;
+  Wuu.session w ~src:1 ~dst:2;
+  Alcotest.(check (option string)) "transitive gossip" (Some "v")
+    (Wuu.read w ~node:2 ~item:"x")
+
+let test_wuu_no_duplicate_application () =
+  let w = Wuu.create ~n:2 in
+  Wuu.update w ~node:0 ~item:"x" (set "v");
+  Wuu.session w ~src:0 ~dst:1;
+  Wuu.session w ~src:0 ~dst:1;
+  let driver = Wuu.driver w in
+  let total = driver.Driver.total_counters () in
+  Alcotest.(check int) "applied once" 1 total.items_copied
+
+let test_wuu_gc_after_full_knowledge () =
+  let w = Wuu.create ~n:2 in
+  Wuu.update w ~node:0 ~item:"x" (set "v");
+  Wuu.session w ~src:0 ~dst:1;
+  (* 1 knows; 0 learns that 1 knows on the reverse gossip; both can GC. *)
+  Wuu.session w ~src:1 ~dst:0;
+  Alcotest.(check int) "node 0 GC'd" 0 (Wuu.log_length w ~node:0);
+  Wuu.session w ~src:0 ~dst:1;
+  Alcotest.(check int) "node 1 GC'd" 0 (Wuu.log_length w ~node:1)
+
+let test_wuu_overhead_grows_with_updates () =
+  (* Footnote 4: the gossip cost scans every retained record, i.e. it
+     grows with the number of updates, even when they all hit one item. *)
+  let w = Wuu.create ~n:2 in
+  for _ = 1 to 30 do
+    Wuu.update w ~node:0 ~item:"hot" (set "v")
+  done;
+  let driver = Wuu.driver w in
+  driver.Driver.reset_counters ();
+  Wuu.session w ~src:0 ~dst:1;
+  let total = driver.Driver.total_counters () in
+  Alcotest.(check bool) "examined all 30 records" true (total.log_records_examined >= 30)
+
+let test_wuu_convergence_lww () =
+  let w = Wuu.create ~n:3 in
+  Wuu.update w ~node:0 ~item:"x" (set "a");
+  Wuu.update w ~node:1 ~item:"x" (set "b");
+  (* Full gossip exchange in both directions. *)
+  List.iter
+    (fun (src, dst) -> Wuu.session w ~src ~dst)
+    [ (0, 1); (1, 2); (2, 0); (0, 1); (1, 2); (2, 0) ];
+  Alcotest.(check bool) "knowledge converged" true (Wuu.converged w);
+  let v0 = Wuu.read w ~node:0 ~item:"x" in
+  let v1 = Wuu.read w ~node:1 ~item:"x" in
+  let v2 = Wuu.read w ~node:2 ~item:"x" in
+  Alcotest.(check bool) "values agree" true (v0 = v1 && v1 = v2)
+
+(* ---------- Ficus ---------- *)
+
+let test_ficus_notification_path () =
+  let f = Ficus.create ~n:3 ~universe:(universe 4) in
+  Ficus.update f ~node:0 ~item:"u01" (set "v");
+  Ficus.notify f ~origin:0;
+  Alcotest.(check (option string)) "peer 1 pulled" (Some "v")
+    (Ficus.read f ~node:1 ~item:"u01");
+  Alcotest.(check (option string)) "peer 2 pulled" (Some "v")
+    (Ficus.read f ~node:2 ~item:"u01");
+  Alcotest.(check bool) "converged" true (Ficus.converged f)
+
+let test_ficus_missed_notification_needs_reconcile () =
+  let f = Ficus.create ~n:3 ~universe:(universe 4) in
+  Ficus.crash f ~node:2;
+  Ficus.update f ~node:0 ~item:"u01" (set "v");
+  Ficus.notify f ~origin:0;
+  Ficus.recover f ~node:2;
+  (* The notification is never retried: 2 is still stale. *)
+  Alcotest.(check (option string)) "missed the one-shot notify" (Some "")
+    (Ficus.read f ~node:2 ~item:"u01");
+  (* Reconciliation mops up — at O(N) cost. *)
+  let driver = Ficus.driver f in
+  driver.Driver.reset_counters ();
+  Ficus.reconcile f ~src:0 ~dst:2;
+  Alcotest.(check (option string)) "reconciled" (Some "v")
+    (Ficus.read f ~node:2 ~item:"u01");
+  let total = driver.Driver.total_counters () in
+  Alcotest.(check int) "reconcile scanned the universe" 4 total.items_examined
+
+let test_ficus_conflict_flagged () =
+  let f = Ficus.create ~n:2 ~universe:(universe 2) in
+  Ficus.update f ~node:0 ~item:"u00" (set "a");
+  Ficus.update f ~node:1 ~item:"u00" (set "b");
+  Ficus.reconcile f ~src:0 ~dst:1;
+  Alcotest.(check bool) "conflict detected" true (Ficus.conflicts_detected f > 0)
+
+(* ---------- Driver facade ---------- *)
+
+let test_drivers_uniform_behaviour () =
+  (* The same tiny scenario through every driver: one update at node 0,
+     sessions 0->1 then 1->2 (0->2 directly for Oracle, which does not
+     forward), then everyone must read the value. *)
+  let check_driver (driver : Driver.t) ~forwards =
+    driver.Driver.update ~node:0 ~item:"u00" ~op:(set "v");
+    (match driver.Driver.name with
+    | "ficus" ->
+      (* Ficus notifies on update; peers are already current. *)
+      ()
+    | _ ->
+      driver.Driver.session ~src:0 ~dst:1;
+      if forwards then driver.Driver.session ~src:1 ~dst:2
+      else driver.Driver.session ~src:0 ~dst:2);
+    for node = 0 to 2 do
+      Alcotest.(check (option string))
+        (Printf.sprintf "%s node %d" driver.Driver.name node)
+        (Some "v")
+        (driver.Driver.read ~node ~item:"u00")
+    done;
+    Alcotest.(check bool)
+      (driver.Driver.name ^ " converged")
+      true
+      (driver.Driver.converged ())
+  in
+  let u = universe 3 in
+  check_driver (Demers.driver (Demers.create ~n:3 ~universe:u)) ~forwards:true;
+  check_driver (Lotus.driver (Lotus.create ~n:3 ~universe:u)) ~forwards:true;
+  check_driver (Oracle.driver (Oracle.create ~n:3)) ~forwards:false;
+  check_driver (Wuu.driver (Wuu.create ~n:3)) ~forwards:true;
+  check_driver (Ficus.driver (Ficus.create ~n:3 ~universe:u)) ~forwards:true;
+  let _, epidemic = Edb_baselines.Epidemic_driver.create ~n:3 () in
+  check_driver epidemic ~forwards:true
+
+let suite =
+  [
+    Alcotest.test_case "demers propagates" `Quick test_demers_propagates;
+    Alcotest.test_case "demers cost linear in N" `Quick test_demers_cost_linear_in_universe;
+    Alcotest.test_case "demers detects conflicts" `Quick test_demers_detects_conflicts;
+    Alcotest.test_case "lotus propagates" `Quick test_lotus_propagates;
+    Alcotest.test_case "lotus noop when untouched" `Quick test_lotus_noop_when_untouched;
+    Alcotest.test_case "lotus scans when indirectly identical" `Quick
+      test_lotus_scans_when_indirectly_identical;
+    Alcotest.test_case "lotus loses concurrent update" `Quick
+      test_lotus_loses_concurrent_update;
+    Alcotest.test_case "oracle push delivers" `Quick test_oracle_push_delivers;
+    Alcotest.test_case "oracle incremental cursor" `Quick test_oracle_incremental_cursor;
+    Alcotest.test_case "oracle stranded by crash" `Quick test_oracle_stranded_by_crash;
+    Alcotest.test_case "wuu gossip delivers" `Quick test_wuu_gossip_delivers;
+    Alcotest.test_case "wuu no duplicate application" `Quick
+      test_wuu_no_duplicate_application;
+    Alcotest.test_case "wuu GC after full knowledge" `Quick test_wuu_gc_after_full_knowledge;
+    Alcotest.test_case "wuu overhead grows with updates" `Quick
+      test_wuu_overhead_grows_with_updates;
+    Alcotest.test_case "wuu convergence via LWW" `Quick test_wuu_convergence_lww;
+    Alcotest.test_case "ficus notification path" `Quick test_ficus_notification_path;
+    Alcotest.test_case "ficus missed notification" `Quick
+      test_ficus_missed_notification_needs_reconcile;
+    Alcotest.test_case "ficus conflict flagged" `Quick test_ficus_conflict_flagged;
+    Alcotest.test_case "drivers uniform behaviour" `Quick test_drivers_uniform_behaviour;
+  ]

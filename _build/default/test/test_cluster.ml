@@ -1,0 +1,172 @@
+(* Tests for the in-process cluster: convergence under the schedules of
+   paper Theorem 5 and the correctness criteria of §2.1. *)
+
+module Cluster = Edb_core.Cluster
+module Node = Edb_core.Node
+module Operation = Edb_store.Operation
+module Vv = Edb_vv.Version_vector
+
+let set v = Operation.Set v
+
+let expect_ok cluster =
+  match Cluster.check_invariants cluster with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("invariant violated: " ^ msg)
+
+let test_fresh_cluster_converged () =
+  let cluster = Cluster.create ~n:4 () in
+  Alcotest.(check bool) "trivially converged" true (Cluster.converged cluster)
+
+let test_not_converged_after_update () =
+  let cluster = Cluster.create ~n:3 () in
+  Cluster.update cluster ~node:0 ~item:"x" (set "v");
+  Alcotest.(check bool) "diverged" false (Cluster.converged cluster)
+
+let test_random_rounds_converge () =
+  let cluster = Cluster.create ~seed:7 ~n:5 () in
+  for i = 0 to 9 do
+    Cluster.update cluster ~node:(i mod 5) ~item:(Printf.sprintf "k%d" i) (set "v")
+  done;
+  let rounds = Cluster.sync_until_converged cluster in
+  Alcotest.(check bool) "converged in few rounds" true (rounds <= 30);
+  for node = 0 to 4 do
+    for i = 0 to 9 do
+      Alcotest.(check (option string))
+        (Printf.sprintf "node %d sees k%d" node i)
+        (Some "v")
+        (Cluster.read cluster ~node ~item:(Printf.sprintf "k%d" i))
+    done
+  done;
+  expect_ok cluster
+
+let test_ring_rounds_converge () =
+  (* The ring schedule satisfies Theorem 5's hypothesis: node i pulls
+     from i-1, so knowledge travels the full circle in n-1 rounds. *)
+  let n = 6 in
+  let cluster = Cluster.create ~n () in
+  Cluster.update cluster ~node:0 ~item:"x" (set "gold");
+  for _ = 1 to n - 1 do
+    Cluster.ring_pull_round cluster
+  done;
+  for node = 0 to n - 1 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "node %d caught up" node)
+      (Some "gold")
+      (Cluster.read cluster ~node ~item:"x")
+  done;
+  Alcotest.(check bool) "fully converged" true (Cluster.converged cluster);
+  expect_ok cluster
+
+let test_criterion_3_quiescent_catch_up () =
+  (* Criterion 3 (§2.1): once update activity stops, every obsolete
+     replica eventually catches up with the newest one. *)
+  let cluster = Cluster.create ~seed:3 ~n:4 () in
+  Cluster.update cluster ~node:1 ~item:"a" (set "1");
+  (* Each later update is made causally after the previous one (the
+     cluster converges in between), so there is a single newest replica
+     at every point, never a conflict. *)
+  ignore (Cluster.sync_until_converged cluster);
+  Cluster.update cluster ~node:2 ~item:"a" (set "2");
+  ignore (Cluster.sync_until_converged cluster);
+  Cluster.update cluster ~node:3 ~item:"a" (set "3");
+  ignore (Cluster.sync_until_converged cluster);
+  for node = 0 to 3 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "node %d has newest" node)
+      (Some "3")
+      (Cluster.read cluster ~node ~item:"a")
+  done;
+  expect_ok cluster
+
+let test_criterion_3_with_concurrent_histories () =
+  (* Two nodes race on the same item before any sync: the conflict must
+     be detected (criterion 1) and survive until an administrator acts;
+     meanwhile no version is silently lost (criterion 2). *)
+  let cluster = Cluster.create ~seed:11 ~n:3 () in
+  Cluster.update cluster ~node:0 ~item:"x" (set "left");
+  Cluster.update cluster ~node:1 ~item:"x" (set "right");
+  for _ = 1 to 5 do
+    Cluster.random_pull_round cluster
+  done;
+  let total = Cluster.total_counters cluster in
+  Alcotest.(check bool) "conflict detected somewhere" true (total.conflicts_detected > 0);
+  let left_alive =
+    List.exists
+      (fun node -> Cluster.read cluster ~node ~item:"x" = Some "left")
+      [ 0; 1; 2 ]
+  in
+  let right_alive =
+    List.exists
+      (fun node -> Cluster.read cluster ~node ~item:"x" = Some "right")
+      [ 0; 1; 2 ]
+  in
+  Alcotest.(check bool) "left version survives" true left_alive;
+  Alcotest.(check bool) "right version survives" true right_alive
+
+let test_resolution_policy_cluster_converges () =
+  let resolver ~(local : Edb_core.Message.shipped_item)
+      ~(remote : Edb_core.Message.shipped_item) =
+    let value s = Option.value ~default:"" (Edb_core.Message.whole_value s) in
+    if String.compare (value local) (value remote) >= 0 then value local
+    else value remote
+  in
+  let cluster = Cluster.create ~seed:5 ~policy:(Node.Resolve resolver) ~n:4 () in
+  Cluster.update cluster ~node:0 ~item:"x" (set "bbb");
+  Cluster.update cluster ~node:1 ~item:"x" (set "aaa");
+  Cluster.update cluster ~node:2 ~item:"x" (set "ccc");
+  let rounds = Cluster.sync_until_converged cluster in
+  Alcotest.(check bool) "converged despite conflicts" true (rounds < 100);
+  for node = 0 to 3 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "node %d has winner" node)
+      (Some "ccc")
+      (Cluster.read cluster ~node ~item:"x")
+  done;
+  expect_ok cluster
+
+let test_total_counters_accumulate () =
+  let cluster = Cluster.create ~n:3 () in
+  Cluster.update cluster ~node:0 ~item:"x" (set "v");
+  ignore (Cluster.sync_until_converged cluster);
+  let total = Cluster.total_counters cluster in
+  Alcotest.(check bool) "updates counted" true (total.updates_applied = 1);
+  Alcotest.(check bool) "messages counted" true (total.messages > 0);
+  Cluster.reset_counters cluster;
+  let zero = Cluster.total_counters cluster in
+  Alcotest.(check int) "reset" 0 (Edb_metrics.Counters.total_work zero + zero.messages)
+
+let test_oob_then_converge () =
+  (* Mixed workload: out-of-bound traffic must not prevent cluster-wide
+     convergence (aux copies drain through intra-node propagation). *)
+  let cluster = Cluster.create ~seed:9 ~n:4 () in
+  Cluster.update cluster ~node:0 ~item:"hot" (set "h1");
+  let (_ : Node.oob_result) =
+    Cluster.fetch_out_of_bound cluster ~recipient:2 ~source:0 "hot"
+  in
+  Cluster.update cluster ~node:2 ~item:"hot" (set "h2");
+  Cluster.update cluster ~node:1 ~item:"cold" (set "c1");
+  let rounds = Cluster.sync_until_converged cluster in
+  Alcotest.(check bool) "converged" true (rounds < 50);
+  for node = 0 to 3 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "node %d hot" node)
+      (Some "h2")
+      (Cluster.read cluster ~node ~item:"hot")
+  done;
+  expect_ok cluster
+
+let suite =
+  [
+    Alcotest.test_case "fresh cluster converged" `Quick test_fresh_cluster_converged;
+    Alcotest.test_case "diverged after update" `Quick test_not_converged_after_update;
+    Alcotest.test_case "random rounds converge" `Quick test_random_rounds_converge;
+    Alcotest.test_case "ring rounds converge (Theorem 5)" `Quick test_ring_rounds_converge;
+    Alcotest.test_case "criterion 3: quiescent catch-up" `Quick
+      test_criterion_3_quiescent_catch_up;
+    Alcotest.test_case "criteria 1&2 under concurrency" `Quick
+      test_criterion_3_with_concurrent_histories;
+    Alcotest.test_case "resolution policy converges" `Quick
+      test_resolution_policy_cluster_converges;
+    Alcotest.test_case "counters accumulate" `Quick test_total_counters_accumulate;
+    Alcotest.test_case "out-of-bound then converge" `Quick test_oob_then_converge;
+  ]

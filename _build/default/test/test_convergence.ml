@@ -1,0 +1,179 @@
+(* Randomized whole-protocol property tests: Theorem 5 and the §2.1
+   correctness criteria under arbitrary workloads and schedules. *)
+
+module Cluster = Edb_core.Cluster
+module Node = Edb_core.Node
+module Operation = Edb_store.Operation
+module Vv = Edb_vv.Version_vector
+module Prng = Edb_util.Prng
+
+(* A scripted run: a list of actions over a cluster whose items are
+   owned by a single writer each (ownership = rank mod n), so no
+   conflicts can arise and convergence must be exact. *)
+
+type action =
+  | Update of { owner_choice : int; item_rank : int }
+  | Pull of { recipient : int; source : int }
+  | Oob of { recipient : int; source : int; item_rank : int }
+
+let gen_actions ~nodes ~items =
+  QCheck2.Gen.(
+    let action =
+      frequency
+        [
+          (4, map2 (fun o r -> Update { owner_choice = o; item_rank = r }) (int_bound 1000) (int_bound (items - 1)));
+          ( 4,
+            map2
+              (fun a b -> Pull { recipient = a mod nodes; source = b mod nodes })
+              (int_bound 1000) (int_bound 1000) );
+          ( 1,
+            map3
+              (fun a b r ->
+                Oob { recipient = a mod nodes; source = b mod nodes; item_rank = r })
+              (int_bound 1000) (int_bound 1000) (int_bound (items - 1)) );
+        ]
+    in
+    list_size (int_range 0 120) action)
+
+let item_name rank = Printf.sprintf "it%02d" rank
+
+let run_script ~nodes ~items actions =
+  let cluster = Cluster.create ~seed:17 ~n:nodes () in
+  let version = Array.make items 0 in
+  List.iter
+    (fun action ->
+      match action with
+      | Update { owner_choice; item_rank } ->
+        (* Single-writer discipline: the item's owner performs every
+           update, touching the auxiliary copy if one exists. *)
+        let owner = (item_rank + (owner_choice * 0)) mod nodes in
+        version.(item_rank) <- version.(item_rank) + 1;
+        let value = Printf.sprintf "%d:%d" item_rank version.(item_rank) in
+        Cluster.update cluster ~node:owner ~item:(item_name item_rank)
+          (Operation.Set value)
+      | Pull { recipient; source } ->
+        if recipient <> source then
+          ignore (Cluster.pull cluster ~recipient ~source)
+      | Oob { recipient; source; item_rank } ->
+        if recipient <> source then
+          ignore
+            (Cluster.fetch_out_of_bound cluster ~recipient ~source (item_name item_rank)))
+    actions;
+  (cluster, version)
+
+(* Invariants hold at the end of any script (they are also exercised
+   mid-run by the protocol's own assertions). *)
+let prop_invariants_always_hold =
+  QCheck2.Test.make ~name:"node invariants hold after any schedule" ~count:120
+    (gen_actions ~nodes:4 ~items:6) (fun actions ->
+      let cluster, _ = run_script ~nodes:4 ~items:6 actions in
+      Cluster.check_invariants cluster = Ok ())
+
+(* Single-writer workloads can never produce conflicts...
+   with one exception the paper accepts: an owner whose own deferred
+   (out-of-bound) updates race its regular copy would self-conflict
+   only if two writers existed, which single-writer excludes. *)
+let prop_no_false_conflicts =
+  QCheck2.Test.make ~name:"single-writer workloads yield no conflicts" ~count:120
+    (gen_actions ~nodes:4 ~items:6) (fun actions ->
+      let cluster, _ = run_script ~nodes:4 ~items:6 actions in
+      (Cluster.total_counters cluster).conflicts_detected = 0)
+
+(* Theorem 5: once updates stop, enough random transitive propagation
+   converges every replica to the newest state. *)
+let prop_quiescent_convergence =
+  QCheck2.Test.make ~name:"theorem 5: eventual convergence" ~count:80
+    (gen_actions ~nodes:4 ~items:6) (fun actions ->
+      let cluster, version = run_script ~nodes:4 ~items:6 actions in
+      let rounds = Cluster.sync_until_converged ~max_rounds:500 cluster in
+      let values_correct =
+        List.for_all
+          (fun rank ->
+            let expected =
+              if version.(rank) = 0 then None
+              else Some (Printf.sprintf "%d:%d" rank version.(rank))
+            in
+            List.for_all
+              (fun node ->
+                match (expected, Cluster.read cluster ~node ~item:(item_name rank)) with
+                | None, (None | Some "") -> true
+                | Some v, Some v' -> String.equal v v'
+                | None, Some _ | Some _, None -> false)
+              [ 0; 1; 2; 3 ])
+          [ 0; 1; 2; 3; 4; 5 ]
+      in
+      rounds <= 500 && values_correct && Cluster.check_invariants cluster = Ok ())
+
+(* Criterion 2: update propagation alone (no user updates) never changes
+   the set of distinct values in the system — it only spreads newer
+   ones. We check a weaker, decidable consequence: after convergence,
+   every item's final value is one that some node actually wrote. *)
+let prop_no_invented_values =
+  QCheck2.Test.make ~name:"propagation never invents values" ~count:80
+    (gen_actions ~nodes:3 ~items:4) (fun actions ->
+      let cluster, version = run_script ~nodes:3 ~items:4 actions in
+      ignore (Cluster.sync_until_converged ~max_rounds:500 cluster);
+      List.for_all
+        (fun rank ->
+          match Cluster.read cluster ~node:0 ~item:(item_name rank) with
+          | None | Some "" -> version.(rank) = 0
+          | Some value -> (
+            (* Written values are "rank:k" with 1 <= k <= version. *)
+            match String.index_opt value ':' with
+            | None -> false
+            | Some i ->
+              let r = int_of_string (String.sub value 0 i) in
+              let k =
+                int_of_string (String.sub value (i + 1) (String.length value - i - 1))
+              in
+              r = rank && k >= 1 && k <= version.(rank)))
+        [ 0; 1; 2; 3 ])
+
+(* With two writers racing on one item and no resolution policy, the
+   conflict is always detected once replicas meet (criterion 1). *)
+let prop_conflicts_always_detected =
+  QCheck2.Test.make ~name:"criterion 1: racing writers always detected" ~count:100
+    QCheck2.Gen.(pair (int_bound 2) (int_bound 1))
+    (fun (wa, wb) ->
+      let cluster = Cluster.create ~seed:23 ~n:3 () in
+      (* wb in [0,1] keeps the two writers distinct. *)
+      let writer_a = wa and writer_b = (wa + 1 + wb) mod 3 in
+      Cluster.update cluster ~node:writer_a ~item:"x" (Operation.Set "A");
+      Cluster.update cluster ~node:writer_b ~item:"x" (Operation.Set "B");
+      for _ = 1 to 6 do
+        Cluster.random_pull_round cluster
+      done;
+      (Cluster.total_counters cluster).conflicts_detected > 0)
+
+(* Lemma behind the DBVV maintenance rules: a conflict-free pull leaves
+   the recipient's DBVV at the component-wise max of the two DBVVs —
+   the recipient has absorbed exactly the source's knowledge. *)
+let prop_pull_merges_dbvv =
+  QCheck2.Test.make ~name:"conflict-free pull yields DBVV join" ~count:120
+    (gen_actions ~nodes:4 ~items:6) (fun actions ->
+      let cluster, _ = run_script ~nodes:4 ~items:6 actions in
+      let ok = ref true in
+      for recipient = 0 to 3 do
+        for source = 0 to 3 do
+          if recipient <> source then begin
+            let before = Cluster.node cluster recipient |> Node.dbvv in
+            let source_dbvv = Cluster.node cluster source |> Node.dbvv in
+            ignore (Cluster.pull cluster ~recipient ~source);
+            let after = Cluster.node cluster recipient |> Node.dbvv in
+            let expected = Vv.copy before in
+            Vv.merge_into expected ~from:source_dbvv;
+            if not (Vv.equal after expected) then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_invariants_always_hold;
+    QCheck_alcotest.to_alcotest prop_pull_merges_dbvv;
+    QCheck_alcotest.to_alcotest prop_no_false_conflicts;
+    QCheck_alcotest.to_alcotest prop_quiescent_convergence;
+    QCheck_alcotest.to_alcotest prop_no_invented_values;
+    QCheck_alcotest.to_alcotest prop_conflicts_always_detected;
+  ]

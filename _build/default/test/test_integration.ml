@@ -1,0 +1,170 @@
+(* Whole-system integration scenarios: the protocol, out-of-bound
+   copying, persistence, tokens and sessions working together under one
+   long, deterministic, mixed workload. *)
+
+module Cluster = Edb_core.Cluster
+module Node = Edb_core.Node
+module Snapshot = Edb_persist.Snapshot
+module Tokens = Edb_tokens.Token_manager
+module Session = Edb_sessions.Session
+module Operation = Edb_store.Operation
+module Prng = Edb_util.Prng
+
+let set v = Operation.Set v
+
+let expect_ok cluster =
+  match Cluster.check_invariants cluster with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("invariant violated: " ^ msg)
+
+(* Scenario 1: a realistic week at the office. Single-writer updates,
+   hot items fetched out of bound, periodic anti-entropy, one server
+   crash-recovered from a snapshot mid-run. Everything must converge
+   with zero conflicts.
+
+   Server 4 originates no updates: snapshot-only recovery reproduces a
+   checkpointed state, so a node that originated un-propagated updates
+   after its checkpoint would legitimately lose them (that is what the
+   WAL in [Durable_node] is for — covered by test_wal). Here node 4 is
+   a pure replica, so recovery plus anti-entropy must restore
+   everything. *)
+let test_office_week () =
+  let n = 5 in
+  let cluster = Cluster.create ~seed:101 ~n () in
+  let prng = Prng.create ~seed:102 in
+  let item rank = Printf.sprintf "doc-%02d" rank in
+  let version = Array.make 20 0 in
+  let write rank =
+    let owner = rank mod (n - 1) in
+    version.(rank) <- version.(rank) + 1;
+    Cluster.update cluster ~node:owner ~item:(item rank)
+      (set (Printf.sprintf "%d:%d" rank version.(rank)))
+  in
+  let checkpoint = ref None in
+  for day = 1 to 7 do
+    (* Morning edits. *)
+    for _ = 1 to 10 do
+      write (Prng.int prng 20)
+    done;
+    (* A couple of urgent out-of-bound fetches of hot documents. *)
+    for _ = 1 to 2 do
+      let rank = Prng.int prng 20 in
+      let owner = rank mod (n - 1) in
+      let reader = (owner + 1 + Prng.int prng (n - 1)) mod n in
+      if reader <> owner then
+        ignore (Cluster.fetch_out_of_bound cluster ~recipient:reader ~source:owner (item rank))
+    done;
+    (* Evening anti-entropy. *)
+    Cluster.random_pull_round cluster;
+    (* Day 3: checkpoint server 4. Day 5: it "crashes" and recovers. *)
+    if day = 3 then checkpoint := Some (Snapshot.encode (Cluster.node cluster 4));
+    if day = 5 then begin
+      match !checkpoint with
+      | Some blob -> (
+        match Snapshot.decode blob with
+        | Ok restored -> Cluster.replace_node cluster 4 restored
+        | Error msg -> Alcotest.fail msg)
+      | None -> Alcotest.fail "checkpoint missing"
+    end
+  done;
+  let rounds = Cluster.sync_until_converged ~max_rounds:200 cluster in
+  Alcotest.(check bool) "converged" true (rounds <= 200);
+  Alcotest.(check int) "no conflicts all week" 0
+    (Cluster.total_counters cluster).conflicts_detected;
+  (* Every document's newest version is visible everywhere. *)
+  for rank = 0 to 19 do
+    if version.(rank) > 0 then
+      for node = 0 to n - 1 do
+        Alcotest.(check (option string))
+          (Printf.sprintf "doc %d at node %d" rank node)
+          (Some (Printf.sprintf "%d:%d" rank version.(rank)))
+          (Cluster.read cluster ~node ~item:(item rank))
+      done
+  done;
+  expect_ok cluster
+
+(* Scenario 2: contended multi-writer editing stays conflict-free under
+   tokens, while roaming sessions never observe stale state, across a
+   long deterministic run. *)
+let test_tokens_and_sessions_soak () =
+  let n = 4 in
+  let cluster = Cluster.create ~seed:201 ~n () in
+  let tokens = Tokens.create cluster in
+  let session = Session.create cluster in
+  let prng = Prng.create ~seed:202 in
+  let last_written = ref None in
+  for step = 1 to 200 do
+    let node = Prng.int prng n in
+    let value = Printf.sprintf "s%04d" step in
+    (match Tokens.update tokens ~node ~item:"shared" (set value) with
+    | Ok _ -> last_written := Some (node, value)
+    | Error (`Cycle _) -> Alcotest.fail "token cycle");
+    (* The session follows the writes around (it is the writer). *)
+    (match Session.read session ~node ~item:"shared" with
+    | Ok _ | Error (`Violates _) -> ()
+    | Error (`Aux_pending _) ->
+      (* Reading at a server holding an aux copy is fine through
+         Node.read; Session reads regular copies and may be refused
+         only for writes. A read never returns Aux_pending. *)
+      Alcotest.fail "read returned aux-pending");
+    if step mod 5 = 0 then Cluster.random_pull_round cluster
+  done;
+  let rounds = Cluster.sync_until_converged ~max_rounds:300 cluster in
+  Alcotest.(check bool) "converged" true (rounds <= 300);
+  Alcotest.(check int) "zero conflicts under tokens" 0
+    (Cluster.total_counters cluster).conflicts_detected;
+  (match !last_written with
+  | Some (_, value) ->
+    for node = 0 to n - 1 do
+      Alcotest.(check (option string))
+        (Printf.sprintf "final value at node %d" node)
+        (Some value)
+        (Cluster.read cluster ~node ~item:"shared")
+    done
+  | None -> Alcotest.fail "nothing written");
+  (match Tokens.check_invariants tokens with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  expect_ok cluster
+
+(* Scenario 3: the same long mixed soak in op-log mode, with a history
+   small enough to force regular whole-copy fallbacks. *)
+let test_oplog_soak () =
+  let n = 4 in
+  let cluster = Cluster.create ~seed:301 ~mode:(Node.Op_log { depth = 3 }) ~n () in
+  let prng = Prng.create ~seed:302 in
+  let item rank = Printf.sprintf "k%02d" rank in
+  let version = Array.make 12 0 in
+  for _ = 1 to 400 do
+    match Prng.int prng 4 with
+    | 0 | 1 ->
+      let rank = Prng.int prng 12 in
+      let owner = rank mod n in
+      version.(rank) <- version.(rank) + 1;
+      Cluster.update cluster ~node:owner ~item:(item rank)
+        (set (Printf.sprintf "%d:%d" rank version.(rank)))
+    | 2 ->
+      let rank = Prng.int prng 12 in
+      let owner = rank mod n in
+      Cluster.update cluster ~node:owner ~item:(item rank)
+        (Operation.Splice { offset = 0; data = "*" })
+    | _ ->
+      let recipient = Prng.int prng n in
+      let source = (recipient + 1 + Prng.int prng (n - 1)) mod n in
+      ignore (Cluster.pull cluster ~recipient ~source)
+  done;
+  let rounds = Cluster.sync_until_converged ~max_rounds:300 cluster in
+  Alcotest.(check bool) "converged" true (rounds <= 300);
+  Alcotest.(check int) "no conflicts" 0
+    (Cluster.total_counters cluster).conflicts_detected;
+  let total = Cluster.total_counters cluster in
+  Alcotest.(check bool) "deltas actually used" true (total.delta_ops_applied > 0);
+  Alcotest.(check bool) "fallbacks actually exercised" true (total.whole_fallbacks > 0);
+  expect_ok cluster
+
+let suite =
+  [
+    Alcotest.test_case "office week (oob + crash recovery)" `Quick test_office_week;
+    Alcotest.test_case "tokens + sessions soak" `Quick test_tokens_and_sessions_soak;
+    Alcotest.test_case "op-log soak with fallbacks" `Quick test_oplog_soak;
+  ]

@@ -1,0 +1,30 @@
+(* Entry point aggregating every suite. *)
+
+let () =
+  Alcotest.run "edb"
+    [
+      ("dll", Test_dll.suite);
+      ("prng", Test_prng.suite);
+      ("zipf", Test_zipf.suite);
+      ("version-vector", Test_vv.suite);
+      ("store", Test_store.suite);
+      ("log", Test_log.suite);
+      ("node", Test_node.suite);
+      ("message", Test_message.suite);
+      ("out-of-bound", Test_oob.suite);
+      ("cluster", Test_cluster.suite);
+      ("convergence", Test_convergence.suite);
+      ("baselines", Test_baselines.suite);
+      ("two-phase-gossip", Test_two_phase.suite);
+      ("sim", Test_sim.suite);
+      ("workload", Test_workload.suite);
+      ("metrics", Test_metrics.suite);
+      ("experiments", Test_experiments.suite);
+      ("persist", Test_persist.suite);
+      ("tokens", Test_tokens.suite);
+      ("sessions", Test_sessions.suite);
+      ("op-log", Test_oplog.suite);
+      ("server-group", Test_server.suite);
+      ("wal", Test_wal.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,70 @@
+(* Tests for the wire-message byte model (paper §6's "constant amount of
+   information per data item" depends on these sizes). *)
+
+module Message = Edb_core.Message
+module Vv = Edb_vv.Version_vector
+module Operation = Edb_store.Operation
+
+let vv l = Vv.of_array (Array.of_list l)
+
+let whole name value ivv = { Message.name; payload = Message.Whole value; ivv }
+
+let test_vv_bytes () =
+  Alcotest.(check int) "8 bytes per component" 24 (Message.vv_bytes (vv [ 1; 2; 3 ]))
+
+let test_request_bytes () =
+  let request = { Message.recipient = 0; recipient_dbvv = vv [ 0; 0 ] } in
+  Alcotest.(check int) "id + vv" (8 + 16) (Message.request_bytes request)
+
+let test_you_are_current_bytes () =
+  Alcotest.(check int) "constant" 8 (Message.reply_bytes Message.You_are_current)
+
+let test_propagate_bytes_scale_with_content () =
+  let item = whole "x" "0123456789" (vv [ 1; 0 ]) in
+  let reply =
+    Message.Propagate
+      {
+        tails = [| [ { Edb_log.Log_record.item = "x"; seq = 1 } ]; [] |];
+        items = [ item ];
+      }
+  in
+  (* 8 header + 16 record + (8 name + 10 value + 16 ivv). *)
+  Alcotest.(check int) "accounted exactly" (8 + 16 + 8 + 10 + 16)
+    (Message.reply_bytes reply)
+
+let test_delta_payload_bytes () =
+  let ops =
+    [
+      { Message.origin = 0; seq = 1; op = Operation.Set "abcd" };
+      { Message.origin = 1; seq = 2; op = Operation.Splice { offset = 0; data = "xy" } };
+    ]
+  in
+  let item = { Message.name = "x"; payload = Message.Delta ops; ivv = vv [ 1; 1 ] } in
+  let reply = Message.Propagate { tails = [| []; [] |]; items = [ item ] } in
+  (* 8 header + 8 name + 16 ivv + (16 + 4) + (16 + 8 + 2). *)
+  Alcotest.(check int) "delta ops accounted" (8 + 8 + 16 + 20 + 26)
+    (Message.reply_bytes reply)
+
+let test_oob_bytes () =
+  let request = { Message.item = "anything" } in
+  Alcotest.(check int) "oob request constant" 16 (Message.oob_request_bytes request);
+  let reply = { Message.item = "x"; value = "12345"; ivv = vv [ 0; 1 ] } in
+  Alcotest.(check int) "oob reply" (8 + 5 + 16) (Message.oob_reply_bytes reply)
+
+let test_whole_value_accessor () =
+  Alcotest.(check (option string)) "whole" (Some "v")
+    (Message.whole_value (whole "x" "v" (vv [ 0 ])));
+  let delta = { Message.name = "x"; payload = Message.Delta []; ivv = vv [ 0 ] } in
+  Alcotest.(check (option string)) "delta has no whole value" None
+    (Message.whole_value delta)
+
+let suite =
+  [
+    Alcotest.test_case "vv bytes" `Quick test_vv_bytes;
+    Alcotest.test_case "request bytes" `Quick test_request_bytes;
+    Alcotest.test_case "you-are-current bytes" `Quick test_you_are_current_bytes;
+    Alcotest.test_case "propagate bytes exact" `Quick test_propagate_bytes_scale_with_content;
+    Alcotest.test_case "delta payload bytes" `Quick test_delta_payload_bytes;
+    Alcotest.test_case "oob bytes" `Quick test_oob_bytes;
+    Alcotest.test_case "whole_value accessor" `Quick test_whole_value_accessor;
+  ]

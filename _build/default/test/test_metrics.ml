@@ -1,0 +1,150 @@
+(* Tests for counters and table rendering. *)
+
+module Counters = Edb_metrics.Counters
+module Table = Edb_metrics.Table
+
+let test_create_zero () =
+  let c = Counters.create () in
+  Alcotest.(check int) "total work zero" 0 (Counters.total_work c);
+  Alcotest.(check int) "messages zero" 0 c.messages
+
+let test_add_into () =
+  let a = Counters.create () and b = Counters.create () in
+  a.vv_comparisons <- 3;
+  b.vv_comparisons <- 4;
+  b.items_copied <- 2;
+  Counters.add_into a b;
+  Alcotest.(check int) "summed comparisons" 7 a.vv_comparisons;
+  Alcotest.(check int) "summed copies" 2 a.items_copied;
+  Alcotest.(check int) "b untouched" 4 b.vv_comparisons
+
+let test_diff () =
+  let before = Counters.create () in
+  before.messages <- 5;
+  let after = Counters.copy before in
+  after.messages <- 9;
+  after.bytes_sent <- 100;
+  let d = Counters.diff ~after ~before in
+  Alcotest.(check int) "message delta" 4 d.messages;
+  Alcotest.(check int) "bytes delta" 100 d.bytes_sent
+
+let test_copy_independent () =
+  let a = Counters.create () in
+  let b = Counters.copy a in
+  b.messages <- 1;
+  Alcotest.(check int) "original unchanged" 0 a.messages
+
+let test_reset () =
+  let c = Counters.create () in
+  c.vv_comparisons <- 10;
+  c.oob_copies <- 3;
+  Counters.reset c;
+  Alcotest.(check int) "comparisons cleared" 0 c.vv_comparisons;
+  Alcotest.(check int) "oob cleared" 0 c.oob_copies
+
+let test_total_work () =
+  let c = Counters.create () in
+  c.vv_comparisons <- 1;
+  c.items_examined <- 2;
+  c.log_records_examined <- 3;
+  c.items_copied <- 4;
+  c.messages <- 100;
+  Alcotest.(check int) "work excludes messages" 10 (Counters.total_work c)
+
+let test_pp_omits_zero_fields () =
+  let c = Counters.create () in
+  c.messages <- 2;
+  let rendered = Format.asprintf "%a" Counters.pp c in
+  Alcotest.(check bool) "mentions messages" true
+    (Astring.String.is_infix ~affix:"messages" rendered);
+  Alcotest.(check bool) "omits zero fields" false
+    (Astring.String.is_infix ~affix:"oob_copies" rendered)
+
+let test_table_rendering () =
+  let t = Table.create ~title:"T" ~columns:[ "k"; "a"; "b" ] in
+  Table.add_row t [ "row1"; "1"; "22" ];
+  Table.add_int_row t ~label:"row2" [ 333; 4 ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length rendered > 0);
+  let lines = String.split_on_char '\n' rendered in
+  (match lines with
+  | title :: header :: rule :: row1 :: row2 :: _ ->
+    Alcotest.(check string) "title line" "T" title;
+    Alcotest.(check bool) "header has columns" true
+      (Astring.String.is_infix ~affix:"a" header);
+    Alcotest.(check bool) "rule present" true (Astring.String.is_infix ~affix:"--" rule);
+    Alcotest.(check bool) "row1 present" true (Astring.String.is_infix ~affix:"row1" row1);
+    Alcotest.(check bool) "row2 values" true (Astring.String.is_infix ~affix:"333" row2)
+  | _ -> Alcotest.fail "unexpected table layout");
+  (* All data lines align to the same width. *)
+  let data_lines =
+    List.filter (fun l -> String.length l > 0 && l <> List.nth lines 0) lines
+  in
+  match data_lines with
+  | first :: rest ->
+    List.iter
+      (fun l -> Alcotest.(check int) "aligned widths" (String.length first) (String.length l))
+      rest
+  | [] -> Alcotest.fail "no data lines"
+
+let test_table_rejects_ragged_rows () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Table.add_row: cell count does not match column count") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+(* ---------- Histogram ---------- *)
+
+module Histogram = Edb_metrics.Histogram
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  Alcotest.(check (float 0.0)) "mean of empty" 0.0 (Histogram.mean h);
+  Alcotest.(check string) "summary" "empty" (Histogram.summary h);
+  Alcotest.check_raises "percentile of empty"
+    (Invalid_argument "Histogram.percentile: empty") (fun () ->
+      ignore (Histogram.percentile h 50.0))
+
+let test_histogram_stats () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Histogram.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Histogram.max_value h);
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (Histogram.percentile h 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Histogram.percentile h 100.0);
+  Alcotest.(check (float 1e-9)) "p0 clamps to min" 1.0 (Histogram.percentile h 0.0)
+
+let test_histogram_add_after_query () =
+  let h = Histogram.create () in
+  Histogram.add h 1.0;
+  Alcotest.(check (float 1e-9)) "first max" 1.0 (Histogram.max_value h);
+  Histogram.add h 9.0;
+  (* The sorted cache must be invalidated. *)
+  Alcotest.(check (float 1e-9)) "new max" 9.0 (Histogram.max_value h)
+
+let test_histogram_percentile_range () =
+  let h = Histogram.create () in
+  Histogram.add h 1.0;
+  Alcotest.check_raises "p>100" (Invalid_argument "Histogram.percentile: p out of range")
+    (fun () -> ignore (Histogram.percentile h 101.0))
+
+let suite =
+  [
+    Alcotest.test_case "create zero" `Quick test_create_zero;
+    Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+    Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
+    Alcotest.test_case "histogram add after query" `Quick test_histogram_add_after_query;
+    Alcotest.test_case "histogram percentile range" `Quick
+      test_histogram_percentile_range;
+    Alcotest.test_case "add_into" `Quick test_add_into;
+    Alcotest.test_case "diff" `Quick test_diff;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "total_work" `Quick test_total_work;
+    Alcotest.test_case "pp omits zero fields" `Quick test_pp_omits_zero_fields;
+    Alcotest.test_case "table rendering" `Quick test_table_rendering;
+    Alcotest.test_case "table rejects ragged rows" `Quick test_table_rejects_ragged_rows;
+  ]

@@ -1,0 +1,228 @@
+(* Tests for out-of-bound copying (§5.2), auxiliary data structures
+   (§4.3–4.4), and IntraNodePropagation (Fig. 4). *)
+
+module Node = Edb_core.Node
+module Message = Edb_core.Message
+module Conflict = Edb_core.Conflict
+module Operation = Edb_store.Operation
+module Vv = Edb_vv.Version_vector
+
+let set v = Operation.Set v
+
+let expect_ok node =
+  match Node.check_invariants node with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("invariant violated: " ^ msg)
+
+let check_vv msg expected actual =
+  Alcotest.(check (array int)) msg expected (Vv.to_array actual)
+
+let make_pair () = (Node.create ~id:0 ~n:2 (), Node.create ~id:1 ~n:2 ())
+
+let test_oob_fetch_creates_aux () =
+  let a, b = make_pair () in
+  Node.update a "x" (set "hot");
+  (match Node.fetch_out_of_bound ~recipient:b ~source:a "x" with
+  | `Adopted -> ()
+  | `Already_current | `Conflict -> Alcotest.fail "expected adoption");
+  Alcotest.(check bool) "aux copy exists" true (Node.has_aux b "x");
+  Alcotest.(check (option string)) "user sees the fresh value" (Some "hot")
+    (Node.read b "x");
+  (* Regular structures untouched: DBVV still zero, regular copy stale. *)
+  check_vv "dbvv unchanged" [| 0; 0 |] (Node.dbvv b);
+  Alcotest.(check (option string)) "regular copy still old" (Some "")
+    (Node.read_regular b "x");
+  expect_ok b
+
+let test_oob_fetch_when_current () =
+  let a, b = make_pair () in
+  Node.update a "x" (set "v");
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  (match Node.fetch_out_of_bound ~recipient:b ~source:a "x" with
+  | `Already_current -> ()
+  | `Adopted | `Conflict -> Alcotest.fail "already current");
+  Alcotest.(check bool) "no aux created" false (Node.has_aux b "x")
+
+let test_oob_fetch_older_ignored () =
+  let a, b = make_pair () in
+  Node.update a "x" (set "v1");
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  Node.update b "x" (set "v2");
+  (* a now has the older copy; fetching from it must change nothing. *)
+  (match Node.fetch_out_of_bound ~recipient:b ~source:a "x" with
+  | `Already_current -> ()
+  | `Adopted | `Conflict -> Alcotest.fail "received copy is older");
+  Alcotest.(check (option string)) "value kept" (Some "v2") (Node.read b "x")
+
+let test_update_goes_to_aux () =
+  let a, b = make_pair () in
+  Node.update a "x" (set "v1");
+  let (_ : Node.oob_result) = Node.fetch_out_of_bound ~recipient:b ~source:a "x" in
+  Node.update b "x" (set "v2");
+  Alcotest.(check (option string)) "aux value updated" (Some "v2") (Node.read b "x");
+  (* Regular structures still untouched (§5.3 first case). *)
+  check_vv "dbvv unchanged" [| 0; 0 |] (Node.dbvv b);
+  Alcotest.(check int) "one aux record" 1 (Edb_log.Aux_log.length (Node.aux_log b));
+  (match Node.aux_vv b "x" with
+  | Some ivv -> check_vv "aux ivv bumped" [| 1; 1 |] ivv
+  | None -> Alcotest.fail "aux should exist");
+  expect_ok b
+
+let test_oob_serve_prefers_aux () =
+  let a, b = make_pair () in
+  Node.update a "x" (set "v1");
+  let (_ : Node.oob_result) = Node.fetch_out_of_bound ~recipient:b ~source:a "x" in
+  Node.update b "x" (set "v2-aux");
+  (* Serving from b must return the auxiliary copy, which is newer than
+     b's regular copy. *)
+  let reply = Node.serve_out_of_bound b { Message.item = "x" } in
+  Alcotest.(check string) "aux value served" "v2-aux" reply.Message.value;
+  check_vv "aux ivv served" [| 1; 1 |] reply.Message.ivv
+
+let test_aux_discarded_when_no_pending_updates () =
+  let a, b = make_pair () in
+  Node.update a "x" (set "v1");
+  let (_ : Node.oob_result) = Node.fetch_out_of_bound ~recipient:b ~source:a "x" in
+  Alcotest.(check bool) "aux exists" true (Node.has_aux b "x");
+  (* Normal propagation copies x; the regular copy catches up with the
+     auxiliary copy, which is then discarded (Fig. 4 last comparison). *)
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  Alcotest.(check bool) "aux discarded" false (Node.has_aux b "x");
+  Alcotest.(check (option string)) "regular has the value" (Some "v1")
+    (Node.read_regular b "x");
+  expect_ok b
+
+let test_intra_node_replay () =
+  (* Full §5 life cycle: OOB fetch, two deferred updates, catch-up via
+     regular propagation, replay, aux discard, propagation back. *)
+  let a, b = make_pair () in
+  Node.update a "x" (set "v1");
+  let (_ : Node.oob_result) = Node.fetch_out_of_bound ~recipient:b ~source:a "x" in
+  Node.update b "x" (set "v2");
+  Node.update b "x" (set "v3");
+  Alcotest.(check int) "two deferred updates" 2 (Edb_log.Aux_log.length (Node.aux_log b));
+  (* Regular propagation brings a's copy of x; intra-node propagation
+     replays the deferred updates on top of it. *)
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  Alcotest.(check bool) "aux discarded after replay" false (Node.has_aux b "x");
+  Alcotest.(check int) "aux log drained" 0 (Edb_log.Aux_log.length (Node.aux_log b));
+  Alcotest.(check (option string)) "regular value is replayed v3" (Some "v3")
+    (Node.read_regular b "x");
+  (match Node.item_vv b "x" with
+  | Some ivv -> check_vv "regular ivv" [| 1; 2 |] ivv
+  | None -> Alcotest.fail "item must exist");
+  check_vv "dbvv" [| 1; 2 |] (Node.dbvv b);
+  Alcotest.(check int) "two replays counted" 2 (Node.counters b).aux_replays;
+  expect_ok b;
+  (* The replayed updates are ordinary updates now: a can pull them. *)
+  (match Node.pull ~recipient:a ~source:b with
+  | Node.Pulled { copied; _ } -> Alcotest.(check (list string)) "x travels back" [ "x" ] copied
+  | Node.Already_current -> Alcotest.fail "expected propagation");
+  Alcotest.(check (option string)) "a converged" (Some "v3") (Node.read a "x");
+  Alcotest.(check bool) "dbvvs equal" true (Vv.equal (Node.dbvv a) (Node.dbvv b));
+  expect_ok a
+
+let test_oob_never_reduces_propagation_work () =
+  (* §5.1: "out-of-bound copying never reduces the amount of work done
+     during update propagation" — x is copied again even though b
+     already fetched it out of bound. *)
+  let a, b = make_pair () in
+  Node.update a "x" (set "v1");
+  let (_ : Node.oob_result) = Node.fetch_out_of_bound ~recipient:b ~source:a "x" in
+  match Node.pull ~recipient:b ~source:a with
+  | Node.Pulled { copied; _ } ->
+    Alcotest.(check (list string)) "x copied regardless" [ "x" ] copied
+  | Node.Already_current -> Alcotest.fail "regular copy is still stale"
+
+let test_oob_overwrite_keeps_aux_log () =
+  (* A second, fresher OOB copy overwrites the aux copy without touching
+     the aux log (§5.2 last paragraph). Reachable when the first fetch
+     carried no pending local updates. *)
+  let a = Node.create ~id:0 ~n:3 () in
+  let b = Node.create ~id:1 ~n:3 () in
+  let c = Node.create ~id:2 ~n:3 () in
+  Node.update a "x" (set "v1");
+  let (_ : Node.oob_result) = Node.fetch_out_of_bound ~recipient:c ~source:a "x" in
+  (* a's copy advances (b pulls it, updates, a pulls back). *)
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  Node.update b "x" (set "v2");
+  let (_ : Node.pull_result) = Node.pull ~recipient:a ~source:b in
+  (* Fresher OOB fetch: replaces the aux copy. *)
+  (match Node.fetch_out_of_bound ~recipient:c ~source:a "x" with
+  | `Adopted -> ()
+  | `Already_current | `Conflict -> Alcotest.fail "expected adoption");
+  Alcotest.(check (option string)) "newest value visible" (Some "v2") (Node.read c "x");
+  Alcotest.(check int) "aux log untouched" 0 (Edb_log.Aux_log.length (Node.aux_log c));
+  expect_ok c
+
+let test_oob_conflict_detected () =
+  (* b updates its aux copy; a's regular copy advances concurrently;
+     fetching from a now yields conflicting IVVs. *)
+  let a, b = make_pair () in
+  Node.update a "x" (set "v1");
+  let (_ : Node.oob_result) = Node.fetch_out_of_bound ~recipient:b ~source:a "x" in
+  Node.update b "x" (set "b-side");
+  Node.update a "x" (set "a-side");
+  (match Node.fetch_out_of_bound ~recipient:b ~source:a "x" with
+  | `Conflict -> ()
+  | `Adopted | `Already_current -> Alcotest.fail "expected conflict");
+  match Node.conflicts b with
+  | [ conflict ] -> (
+    match conflict.Conflict.origin with
+    | Conflict.Out_of_bound { source } -> Alcotest.(check int) "source" 0 source
+    | Conflict.Propagation _ | Conflict.Intra_node -> Alcotest.fail "wrong origin")
+  | conflicts ->
+    Alcotest.fail (Printf.sprintf "expected one conflict, got %d" (List.length conflicts))
+
+let test_intra_node_conflict () =
+  (* The deferred aux update conflicts with what regular propagation
+     brought: IntraNodePropagation must declare it (Fig. 4). *)
+  let a, b = make_pair () in
+  Node.update a "x" (set "v1");
+  let (_ : Node.oob_result) = Node.fetch_out_of_bound ~recipient:b ~source:a "x" in
+  Node.update b "x" (set "deferred");
+  (* a's copy advances past the state the aux update was applied at. *)
+  Node.update a "x" (set "v2");
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  let intra_conflicts =
+    List.filter
+      (fun c -> c.Conflict.origin = Conflict.Intra_node)
+      (Node.conflicts b)
+  in
+  Alcotest.(check int) "intra-node conflict declared" 1 (List.length intra_conflicts);
+  (* The deferred update is kept (not silently dropped). *)
+  Alcotest.(check int) "aux record kept" 1 (Edb_log.Aux_log.length (Node.aux_log b))
+
+let test_read_regular_vs_read () =
+  let a, b = make_pair () in
+  Node.update a "x" (set "fresh");
+  let (_ : Node.oob_result) = Node.fetch_out_of_bound ~recipient:b ~source:a "x" in
+  Alcotest.(check (option string)) "read sees aux" (Some "fresh") (Node.read b "x");
+  Alcotest.(check (option string)) "read_regular sees stale" (Some "")
+    (Node.read_regular b "x")
+
+let test_oob_counters () =
+  let a, b = make_pair () in
+  Node.update a "x" (set "v");
+  let (_ : Node.oob_result) = Node.fetch_out_of_bound ~recipient:b ~source:a "x" in
+  Alcotest.(check int) "oob copy counted" 1 (Node.counters b).oob_copies;
+  Alcotest.(check bool) "bytes charged at source" true ((Node.counters a).bytes_sent > 0)
+
+let suite =
+  [
+    Alcotest.test_case "oob fetch creates aux" `Quick test_oob_fetch_creates_aux;
+    Alcotest.test_case "oob fetch when current" `Quick test_oob_fetch_when_current;
+    Alcotest.test_case "oob fetch of older copy ignored" `Quick test_oob_fetch_older_ignored;
+    Alcotest.test_case "update goes to aux" `Quick test_update_goes_to_aux;
+    Alcotest.test_case "oob serve prefers aux" `Quick test_oob_serve_prefers_aux;
+    Alcotest.test_case "aux discarded when no pending updates" `Quick
+      test_aux_discarded_when_no_pending_updates;
+    Alcotest.test_case "intra-node replay full cycle" `Quick test_intra_node_replay;
+    Alcotest.test_case "oob never reduces propagation work" `Quick
+      test_oob_never_reduces_propagation_work;
+    Alcotest.test_case "oob overwrite keeps aux log" `Quick test_oob_overwrite_keeps_aux_log;
+    Alcotest.test_case "oob conflict detected" `Quick test_oob_conflict_detected;
+    Alcotest.test_case "intra-node conflict" `Quick test_intra_node_conflict;
+    Alcotest.test_case "read vs read_regular" `Quick test_read_regular_vs_read;
+    Alcotest.test_case "oob counters" `Quick test_oob_counters;
+  ]

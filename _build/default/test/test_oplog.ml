@@ -1,0 +1,248 @@
+(* Tests for op-log ("delta") propagation — the paper §2's alternative
+   transport: ship update records instead of whole item values. *)
+
+module Cluster = Edb_core.Cluster
+module Node = Edb_core.Node
+module Message = Edb_core.Message
+module Operation = Edb_store.Operation
+module Item_history = Edb_store.Item_history
+module Counters = Edb_metrics.Counters
+
+let set v = Operation.Set v
+
+let splice offset data = Operation.Splice { offset; data }
+
+let oplog ?(depth = 32) () = Node.Op_log { depth }
+
+let expect_ok cluster =
+  match Cluster.check_invariants cluster with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("invariant violated: " ^ msg)
+
+(* ---------- Item history unit tests ---------- *)
+
+let entry origin seq v = { Item_history.origin; seq; op = set v }
+
+let test_history_bounded () =
+  let h = Item_history.create ~depth:3 in
+  for i = 1 to 5 do
+    Item_history.push h (entry 0 i (string_of_int i))
+  done;
+  Alcotest.(check int) "bounded" 3 (Item_history.length h);
+  let seqs = List.map (fun (e : Item_history.entry) -> e.seq) (Item_history.entries h) in
+  Alcotest.(check (list int)) "oldest evicted" [ 3; 4; 5 ] seqs
+
+let test_history_oldest_per_origin () =
+  let h = Item_history.create ~depth:10 in
+  Item_history.push h (entry 0 1 "a");
+  Item_history.push h (entry 1 1 "b");
+  Item_history.push h (entry 0 3 "c");
+  Alcotest.(check (option int)) "origin 0" (Some 1)
+    (Item_history.oldest_seq_of_origin h ~origin:0);
+  Alcotest.(check (option int)) "origin 1" (Some 1)
+    (Item_history.oldest_seq_of_origin h ~origin:1);
+  Alcotest.(check (option int)) "origin 2" None
+    (Item_history.oldest_seq_of_origin h ~origin:2)
+
+let test_history_entries_after () =
+  let h = Item_history.create ~depth:10 in
+  Item_history.push h (entry 0 1 "a");
+  Item_history.push h (entry 1 1 "b");
+  Item_history.push h (entry 0 2 "c");
+  let missing = Item_history.entries_after h ~threshold:[| 1; 0 |] in
+  let tags = List.map (fun (e : Item_history.entry) -> (e.origin, e.seq)) missing in
+  Alcotest.(check (list (pair int int))) "missing suffix in order" [ (1, 1); (0, 2) ] tags
+
+(* ---------- Delta propagation ---------- *)
+
+let test_delta_basic () =
+  let cluster = Cluster.create ~mode:(oplog ()) ~n:2 () in
+  Cluster.update cluster ~node:0 ~item:"x" (set "base");
+  Cluster.update cluster ~node:0 ~item:"x" (splice 0 "B");
+  Cluster.update cluster ~node:0 ~item:"x" (splice 4 "!");
+  (match Cluster.pull cluster ~recipient:1 ~source:0 with
+  | Node.Pulled { copied; conflicts; _ } ->
+    Alcotest.(check (list string)) "x copied" [ "x" ] copied;
+    Alcotest.(check int) "no conflicts" 0 conflicts
+  | Node.Already_current -> Alcotest.fail "expected propagation");
+  Alcotest.(check (option string)) "ops replayed to the same value" (Some "Base!")
+    (Cluster.read cluster ~node:1 ~item:"x");
+  let total = Cluster.total_counters cluster in
+  Alcotest.(check int) "three delta ops applied" 3 total.delta_ops_applied;
+  Alcotest.(check int) "no whole fallback" 0 total.whole_fallbacks;
+  expect_ok cluster
+
+let test_delta_matches_whole_mode () =
+  (* The same workload through both transports ends in identical
+     states. *)
+  let run mode =
+    let cluster = Cluster.create ~seed:5 ?mode ~n:3 () in
+    Cluster.update cluster ~node:0 ~item:"a" (set "hello world");
+    Cluster.update cluster ~node:0 ~item:"a" (splice 6 "WORLD");
+    Cluster.update cluster ~node:1 ~item:"b" (set "other");
+    ignore (Cluster.sync_until_converged cluster);
+    ( Cluster.read cluster ~node:2 ~item:"a",
+      Cluster.read cluster ~node:2 ~item:"b" )
+  in
+  Alcotest.(check (pair (option string) (option string)))
+    "identical final state" (run None)
+    (run (Some (oplog ())))
+
+let test_delta_transitive_forwarding () =
+  (* Ops travel A -> B -> C as deltas: B's history retains A's ops. *)
+  let cluster = Cluster.create ~mode:(oplog ()) ~n:3 () in
+  Cluster.update cluster ~node:0 ~item:"x" (set "v1");
+  Cluster.update cluster ~node:0 ~item:"x" (splice 0 "V");
+  ignore (Cluster.pull cluster ~recipient:1 ~source:0);
+  Cluster.reset_counters cluster;
+  ignore (Cluster.pull cluster ~recipient:2 ~source:1);
+  let total = Cluster.total_counters cluster in
+  Alcotest.(check int) "forwarded as delta" 2 total.delta_ops_applied;
+  Alcotest.(check int) "no fallback" 0 total.whole_fallbacks;
+  Alcotest.(check (option string)) "value correct at C" (Some "V1")
+    (Cluster.read cluster ~node:2 ~item:"x");
+  expect_ok cluster
+
+let test_fallback_when_history_evicted () =
+  (* More updates than the history retains: the source must prove it
+     cannot delta and fall back to a whole copy. *)
+  let cluster = Cluster.create ~mode:(oplog ~depth:4 ()) ~n:2 () in
+  for i = 1 to 10 do
+    Cluster.update cluster ~node:0 ~item:"x" (set (Printf.sprintf "v%d" i))
+  done;
+  (match Cluster.pull cluster ~recipient:1 ~source:0 with
+  | Node.Pulled _ -> ()
+  | Node.Already_current -> Alcotest.fail "expected propagation");
+  let total = Cluster.total_counters cluster in
+  Alcotest.(check int) "whole fallback taken" 1 total.whole_fallbacks;
+  Alcotest.(check int) "no delta ops" 0 total.delta_ops_applied;
+  Alcotest.(check (option string)) "value still correct" (Some "v10")
+    (Cluster.read cluster ~node:1 ~item:"x");
+  expect_ok cluster
+
+let test_delta_within_history_window () =
+  (* A recipient that is only slightly behind gets a delta even though
+     older ops were evicted. *)
+  let cluster = Cluster.create ~mode:(oplog ~depth:4 ()) ~n:2 () in
+  for i = 1 to 10 do
+    Cluster.update cluster ~node:0 ~item:"x" (set (Printf.sprintf "v%d" i))
+  done;
+  ignore (Cluster.pull cluster ~recipient:1 ~source:0);
+  (* Now only 2 more updates: well within depth 4. *)
+  Cluster.update cluster ~node:0 ~item:"x" (set "v11");
+  Cluster.update cluster ~node:0 ~item:"x" (set "v12");
+  Cluster.reset_counters cluster;
+  ignore (Cluster.pull cluster ~recipient:1 ~source:0);
+  let total = Cluster.total_counters cluster in
+  Alcotest.(check int) "delta this time" 2 total.delta_ops_applied;
+  Alcotest.(check int) "no fallback" 0 total.whole_fallbacks;
+  Alcotest.(check (option string)) "value" (Some "v12")
+    (Cluster.read cluster ~node:1 ~item:"x")
+
+let test_delta_bytes_advantage () =
+  (* Large value, small edits: op shipping moves far fewer bytes. *)
+  let big = String.make 4096 'a' in
+  let run mode =
+    let cluster = Cluster.create ?mode ~n:2 () in
+    Cluster.update cluster ~node:0 ~item:"doc" (set big);
+    ignore (Cluster.pull cluster ~recipient:1 ~source:0);
+    (* Ten 8-byte edits. *)
+    for i = 0 to 9 do
+      Cluster.update cluster ~node:0 ~item:"doc" (splice (i * 100) "EDITEDIT")
+    done;
+    Cluster.reset_counters cluster;
+    ignore (Cluster.pull cluster ~recipient:1 ~source:0);
+    let bytes = (Cluster.total_counters cluster).Counters.bytes_sent in
+    let value = Cluster.read cluster ~node:1 ~item:"doc" in
+    (bytes, value)
+  in
+  let whole_bytes, whole_value = run None in
+  let delta_bytes, delta_value = run (Some (oplog ())) in
+  Alcotest.(check (option string)) "same final value" whole_value delta_value;
+  Alcotest.(check bool)
+    (Printf.sprintf "delta far cheaper (%d vs %d bytes)" delta_bytes whole_bytes)
+    true
+    (delta_bytes * 4 < whole_bytes)
+
+let test_oplog_conflicts_still_detected () =
+  let cluster = Cluster.create ~mode:(oplog ()) ~n:2 () in
+  Cluster.update cluster ~node:0 ~item:"x" (set "from-a");
+  Cluster.update cluster ~node:1 ~item:"x" (set "from-b");
+  (match Cluster.pull cluster ~recipient:1 ~source:0 with
+  | Node.Pulled { conflicts; _ } -> Alcotest.(check int) "conflict" 1 conflicts
+  | Node.Already_current -> Alcotest.fail "expected a session");
+  Alcotest.(check (option string)) "nothing lost" (Some "from-b")
+    (Cluster.read cluster ~node:1 ~item:"x")
+
+let test_oplog_with_out_of_bound () =
+  (* The aux machinery composes with op-log mode: deferred updates are
+     replayed as fresh local updates and then delta-shipped onward. *)
+  let cluster = Cluster.create ~seed:11 ~mode:(oplog ()) ~n:3 () in
+  Cluster.update cluster ~node:0 ~item:"hot" (set "h1");
+  let (_ : Node.oob_result) =
+    Cluster.fetch_out_of_bound cluster ~recipient:1 ~source:0 "hot"
+  in
+  Cluster.update cluster ~node:1 ~item:"hot" (set "h2");
+  let rounds = Cluster.sync_until_converged cluster in
+  Alcotest.(check bool) "converged" true (rounds < 50);
+  for node = 0 to 2 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "node %d" node)
+      (Some "h2")
+      (Cluster.read cluster ~node ~item:"hot")
+  done;
+  Alcotest.(check int) "no conflicts" 0
+    (Cluster.total_counters cluster).conflicts_detected;
+  expect_ok cluster
+
+(* Property: op-log mode with a small history (forcing fallbacks)
+   produces exactly the same final state as whole-item mode on random
+   single-writer workloads. *)
+let prop_oplog_equals_whole =
+  QCheck2.Gen.(
+    let action = pair (int_bound 3) (int_bound 4) in
+    QCheck2.Test.make ~name:"op-log and whole-item modes agree" ~count:100
+      (list_size (int_range 1 60) action)
+      (fun script ->
+        let run mode =
+          let cluster = Cluster.create ~seed:19 ?mode ~n:3 () in
+          List.iteri
+            (fun i (kind, rank) ->
+              let item = Printf.sprintf "i%d" rank in
+              let owner = rank mod 3 in
+              match kind with
+              | 0 | 1 ->
+                Cluster.update cluster ~node:owner ~item (set (Printf.sprintf "v%d" i))
+              | 2 ->
+                Cluster.update cluster ~node:owner ~item
+                  (splice (i mod 7) (Printf.sprintf "<%d>" i))
+              | _ -> ignore (Cluster.pull cluster ~recipient:(rank mod 3)
+                               ~source:((rank + 1) mod 3)))
+            script;
+          ignore (Cluster.sync_until_converged ~max_rounds:500 cluster);
+          List.map
+            (fun rank -> Cluster.read cluster ~node:0 ~item:(Printf.sprintf "i%d" rank))
+            [ 0; 1; 2; 3; 4 ]
+        in
+        let whole = run None in
+        let delta = run (Some (oplog ~depth:3 ())) in
+        whole = delta))
+
+let suite =
+  [
+    Alcotest.test_case "history bounded" `Quick test_history_bounded;
+    Alcotest.test_case "history oldest per origin" `Quick test_history_oldest_per_origin;
+    Alcotest.test_case "history entries_after" `Quick test_history_entries_after;
+    Alcotest.test_case "delta basic" `Quick test_delta_basic;
+    Alcotest.test_case "delta matches whole mode" `Quick test_delta_matches_whole_mode;
+    Alcotest.test_case "delta transitive forwarding" `Quick
+      test_delta_transitive_forwarding;
+    Alcotest.test_case "fallback when history evicted" `Quick
+      test_fallback_when_history_evicted;
+    Alcotest.test_case "delta within history window" `Quick
+      test_delta_within_history_window;
+    Alcotest.test_case "delta bytes advantage" `Quick test_delta_bytes_advantage;
+    Alcotest.test_case "conflicts still detected" `Quick test_oplog_conflicts_still_detected;
+    Alcotest.test_case "op-log with out-of-bound" `Quick test_oplog_with_out_of_bound;
+    QCheck_alcotest.to_alcotest prop_oplog_equals_whole;
+  ]

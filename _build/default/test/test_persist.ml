@@ -1,0 +1,300 @@
+(* Tests for the persistence layer: the binary codec, snapshot
+   round-trips, corruption rejection, and crash-recovery semantics. *)
+
+module Codec = Edb_persist.Codec
+module Snapshot = Edb_persist.Snapshot
+module Node = Edb_core.Node
+module Cluster = Edb_core.Cluster
+module Operation = Edb_store.Operation
+module Vv = Edb_vv.Version_vector
+
+let set v = Operation.Set v
+
+(* ---------- Codec ---------- *)
+
+let test_codec_roundtrip_scalars () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.int w 42;
+  Codec.Writer.int w (-7);
+  Codec.Writer.int w max_int;
+  Codec.Writer.string w "hello";
+  Codec.Writer.string w "";
+  Codec.Writer.bool w true;
+  Codec.Writer.bool w false;
+  let r = Codec.Reader.create (Codec.Writer.contents w) in
+  Alcotest.(check int) "int" 42 (Codec.Reader.int r);
+  Alcotest.(check int) "negative int" (-7) (Codec.Reader.int r);
+  Alcotest.(check int) "max_int" max_int (Codec.Reader.int r);
+  Alcotest.(check string) "string" "hello" (Codec.Reader.string r);
+  Alcotest.(check string) "empty string" "" (Codec.Reader.string r);
+  Alcotest.(check bool) "true" true (Codec.Reader.bool r);
+  Alcotest.(check bool) "false" false (Codec.Reader.bool r);
+  Codec.Reader.expect_end r
+
+let test_codec_roundtrip_containers () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.list w Codec.Writer.int [ 1; 2; 3 ];
+  Codec.Writer.array w Codec.Writer.string [| "a"; "bb" |];
+  Codec.Writer.list w Codec.Writer.int [];
+  let r = Codec.Reader.create (Codec.Writer.contents w) in
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ] (Codec.Reader.list r Codec.Reader.int);
+  Alcotest.(check (array string)) "array" [| "a"; "bb" |]
+    (Codec.Reader.array r Codec.Reader.string);
+  Alcotest.(check (list int)) "empty list" [] (Codec.Reader.list r Codec.Reader.int);
+  Codec.Reader.expect_end r
+
+let expect_corrupt f =
+  match f () with
+  | exception Codec.Reader.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt"
+
+let test_codec_rejects_bit_flip () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w "important data";
+  let blob = Bytes.of_string (Codec.Writer.contents w) in
+  Bytes.set blob 10 (Char.chr (Char.code (Bytes.get blob 10) lxor 0x40));
+  expect_corrupt (fun () -> Codec.Reader.create (Bytes.to_string blob))
+
+let test_codec_rejects_truncation () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w "important data";
+  let blob = Codec.Writer.contents w in
+  expect_corrupt (fun () ->
+      Codec.Reader.create (String.sub blob 0 (String.length blob - 3)))
+
+let test_codec_rejects_short_read_past_end () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.int w 1;
+  let r = Codec.Reader.create (Codec.Writer.contents w) in
+  let (_ : int) = Codec.Reader.int r in
+  expect_corrupt (fun () -> Codec.Reader.int r)
+
+let test_codec_expect_end_catches_garbage () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.int w 1;
+  Codec.Writer.int w 2;
+  let r = Codec.Reader.create (Codec.Writer.contents w) in
+  let (_ : int) = Codec.Reader.int r in
+  expect_corrupt (fun () -> Codec.Reader.expect_end r)
+
+(* Property: any int/string script round-trips. *)
+let prop_codec_roundtrip =
+  QCheck2.Gen.(
+    let field = oneof [ map (fun i -> `Int i) int; map (fun s -> `Str s) string_small ] in
+    QCheck2.Test.make ~name:"codec roundtrips arbitrary scripts" ~count:300 (list field)
+      (fun script ->
+        let w = Codec.Writer.create () in
+        List.iter
+          (function `Int i -> Codec.Writer.int w i | `Str s -> Codec.Writer.string w s)
+          script;
+        let r = Codec.Reader.create (Codec.Writer.contents w) in
+        let ok =
+          List.for_all
+            (function
+              | `Int i -> Codec.Reader.int r = i
+              | `Str s -> String.equal (Codec.Reader.string r) s)
+            script
+        in
+        Codec.Reader.expect_end r;
+        ok))
+
+(* ---------- Node state round-trip ---------- *)
+
+(* A node with every kind of state: regular items, logs from several
+   origins, an auxiliary copy with pending deferred updates. *)
+let busy_node () =
+  let a = Node.create ~id:0 ~n:3 () in
+  let b = Node.create ~id:1 ~n:3 () in
+  Node.update b "shared" (set "b1");
+  Node.update b "b-only" (set "b2");
+  let (_ : Node.pull_result) = Node.pull ~recipient:a ~source:b in
+  Node.update a "shared" (set "a1");
+  Node.update a "a-only" (Operation.Splice { offset = 1; data = "XY" });
+  (* Auxiliary state: fetch a newer copy of an item out of bound and
+     defer two updates on it. *)
+  Node.update b "hot" (set "h1");
+  let (_ : Node.oob_result) = Node.fetch_out_of_bound ~recipient:a ~source:b "hot" in
+  Node.update a "hot" (set "h2");
+  Node.update a "hot" (set "h3");
+  a
+
+let nodes_equivalent x y =
+  let sx = Node.export_state x and sy = Node.export_state y in
+  let norm_items items =
+    List.sort compare
+      (List.map (fun (i : Node.State.item) -> (i.name, i.value, i.ivv)) items)
+  in
+  sx.id = sy.id && sx.n = sy.n
+  && norm_items sx.items = norm_items sy.items
+  && sx.dbvv = sy.dbvv && sx.logs = sy.logs
+  && norm_items sx.aux_items = norm_items sy.aux_items
+  && List.map (fun (r : Node.State.aux_record) -> (r.item, r.ivv, r.op)) sx.aux_log
+     = List.map (fun (r : Node.State.aux_record) -> (r.item, r.ivv, r.op)) sy.aux_log
+
+let test_snapshot_roundtrip () =
+  let original = busy_node () in
+  match Snapshot.decode (Snapshot.encode original) with
+  | Error msg -> Alcotest.fail msg
+  | Ok restored ->
+    Alcotest.(check bool) "states equivalent" true (nodes_equivalent original restored);
+    (match Node.check_invariants restored with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail ("restored node invalid: " ^ msg));
+    Alcotest.(check (option string)) "reads aux value" (Some "h3")
+      (Node.read restored "hot");
+    Alcotest.(check bool) "aux copy restored" true (Node.has_aux restored "hot");
+    Alcotest.(check int) "aux log restored" 2
+      (Edb_log.Aux_log.length (Node.aux_log restored))
+
+let test_snapshot_rejects_corruption () =
+  let blob = Bytes.of_string (Snapshot.encode (busy_node ())) in
+  Bytes.set blob 40 (Char.chr (Char.code (Bytes.get blob 40) lxor 1));
+  match Snapshot.decode (Bytes.to_string blob) with
+  | Error msg ->
+    Alcotest.(check bool) "mentions corruption" true
+      (Astring.String.is_infix ~affix:"corrupt" msg)
+  | Ok _ -> Alcotest.fail "corrupted snapshot must not load"
+
+let test_snapshot_rejects_wrong_magic () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w "NOTASNAP";
+  match Snapshot.decode (Codec.Writer.contents w) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad magic must not load"
+
+let test_snapshot_file_roundtrip () =
+  let path = Filename.temp_file "edb-snap" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let original = busy_node () in
+      Snapshot.save original ~path;
+      match Snapshot.load ~path () with
+      | Ok restored ->
+        Alcotest.(check bool) "file round-trip" true (nodes_equivalent original restored)
+      | Error msg -> Alcotest.fail msg)
+
+let test_snapshot_load_missing_file () =
+  match Snapshot.load ~path:"/nonexistent/edb.snap" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file must not load"
+
+(* Crash-recovery semantics: a node restored from a checkpoint taken
+   before some remote updates looks like a disconnected node, and plain
+   anti-entropy brings it up to date. *)
+let test_recovered_node_rejoins_epidemic () =
+  let a = Node.create ~id:0 ~n:2 () in
+  let b = Node.create ~id:1 ~n:2 () in
+  Node.update a "x" (set "v1");
+  Node.sync_pair a b;
+  let checkpoint = Snapshot.encode b in
+  (* After the checkpoint, more updates happen elsewhere. *)
+  Node.update a "x" (set "v2");
+  Node.update a "y" (set "w1");
+  (* b crashes and recovers from its checkpoint. *)
+  let b' =
+    match Snapshot.decode checkpoint with
+    | Ok node -> node
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check (option string)) "recovered at checkpoint state" (Some "v1")
+    (Node.read b' "x");
+  (match Node.pull ~recipient:b' ~source:a with
+  | Node.Pulled { copied; conflicts; _ } ->
+    Alcotest.(check int) "no conflicts on rejoin" 0 conflicts;
+    Alcotest.(check int) "caught up both items" 2 (List.length copied)
+  | Node.Already_current -> Alcotest.fail "recovered node must be behind");
+  Alcotest.(check (option string)) "x current" (Some "v2") (Node.read b' "x");
+  Alcotest.(check (option string)) "y current" (Some "w1") (Node.read b' "y");
+  Alcotest.(check bool) "dbvvs equal" true (Vv.equal (Node.dbvv a) (Node.dbvv b'))
+
+(* A recovered node can also serve as a propagation source again: its
+   restored log vector still carries forwardable records. *)
+let test_recovered_node_forwards () =
+  let a = Node.create ~id:0 ~n:3 () in
+  let b = Node.create ~id:1 ~n:3 () in
+  let c = Node.create ~id:2 ~n:3 () in
+  Node.update a "x" (set "v");
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  let b' =
+    match Snapshot.decode (Snapshot.encode b) with
+    | Ok node -> node
+    | Error msg -> Alcotest.fail msg
+  in
+  (match Node.pull ~recipient:c ~source:b' with
+  | Node.Pulled { copied; _ } -> Alcotest.(check int) "forwarded" 1 (List.length copied)
+  | Node.Already_current -> Alcotest.fail "c is behind");
+  Alcotest.(check (option string)) "c got it via restored b" (Some "v") (Node.read c "x")
+
+(* Property: export/import round-trips after arbitrary single-writer
+   scripts. *)
+let prop_state_roundtrip =
+  QCheck2.Gen.(
+    let action = pair (int_bound 3) (int_bound 5) in
+    QCheck2.Test.make ~name:"export/import identity after random runs" ~count:150
+      (list_size (int_range 0 40) action)
+      (fun script ->
+        let cluster = Cluster.create ~seed:31 ~n:3 () in
+        List.iter
+          (fun (kind, rank) ->
+            let item = Printf.sprintf "i%d" rank in
+            match kind with
+            | 0 | 1 ->
+              Cluster.update cluster ~node:(rank mod 3) ~item
+                (set (Printf.sprintf "v%d" rank))
+            | 2 -> ignore (Cluster.pull cluster ~recipient:0 ~source:1)
+            | _ -> ignore (Cluster.pull cluster ~recipient:1 ~source:0))
+          script;
+        let node = Cluster.node cluster 0 in
+        match Snapshot.decode (Snapshot.encode node) with
+        | Ok restored ->
+          nodes_equivalent node restored && Node.check_invariants restored = Ok ()
+        | Error _ -> false))
+
+(* Fuzz: random mutations of a valid snapshot never crash the decoder —
+   they either load (mutation hit a don't-care byte and still passed the
+   checksum, practically impossible) or return a clean [Error]. *)
+let prop_decoder_never_crashes =
+  QCheck2.Gen.(
+    let gen = pair (int_bound 10_000) (int_bound 255) in
+    QCheck2.Test.make ~name:"snapshot decoder survives fuzzing" ~count:300 gen
+      (fun (position, byte) ->
+        let blob = Bytes.of_string (Snapshot.encode (busy_node ())) in
+        let position = position mod Bytes.length blob in
+        Bytes.set blob position (Char.chr byte);
+        match Snapshot.decode (Bytes.to_string blob) with
+        | Ok _ | Error _ -> true))
+
+(* Fuzz: arbitrary garbage is always rejected cleanly. *)
+let prop_decoder_rejects_garbage =
+  QCheck2.Test.make ~name:"snapshot decoder rejects garbage" ~count:300
+    QCheck2.Gen.(string_size (int_range 0 200))
+    (fun garbage ->
+      match Snapshot.decode garbage with
+      | Error _ -> true
+      | Ok _ -> (* vanishingly unlikely; would mean a forged checksum *) false)
+
+let suite =
+  [
+    Alcotest.test_case "codec scalars" `Quick test_codec_roundtrip_scalars;
+    QCheck_alcotest.to_alcotest prop_decoder_never_crashes;
+    QCheck_alcotest.to_alcotest prop_decoder_rejects_garbage;
+    Alcotest.test_case "codec containers" `Quick test_codec_roundtrip_containers;
+    Alcotest.test_case "codec rejects bit flip" `Quick test_codec_rejects_bit_flip;
+    Alcotest.test_case "codec rejects truncation" `Quick test_codec_rejects_truncation;
+    Alcotest.test_case "codec rejects read past end" `Quick
+      test_codec_rejects_short_read_past_end;
+    Alcotest.test_case "codec expect_end" `Quick test_codec_expect_end_catches_garbage;
+    QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+    Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot rejects corruption" `Quick
+      test_snapshot_rejects_corruption;
+    Alcotest.test_case "snapshot rejects wrong magic" `Quick
+      test_snapshot_rejects_wrong_magic;
+    Alcotest.test_case "snapshot file round-trip" `Quick test_snapshot_file_roundtrip;
+    Alcotest.test_case "snapshot missing file" `Quick test_snapshot_load_missing_file;
+    Alcotest.test_case "recovered node rejoins epidemic" `Quick
+      test_recovered_node_rejoins_epidemic;
+    Alcotest.test_case "recovered node forwards" `Quick test_recovered_node_forwards;
+    QCheck_alcotest.to_alcotest prop_state_roundtrip;
+  ]

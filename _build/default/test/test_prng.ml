@@ -1,0 +1,133 @@
+(* Tests for the deterministic generator. *)
+
+module Prng = Edb_util.Prng
+
+let test_determinism () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:8 in
+  Alcotest.(check bool) "different seeds differ" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_int_bounds () =
+  let p = Prng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int p 10 in
+    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10)
+  done
+
+let test_int_rejects_nonpositive () =
+  let p = Prng.create ~seed:1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int p 0))
+
+let test_int_in_range () =
+  let p = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in_range p ~lo:5 ~hi:9 in
+    Alcotest.(check bool) "in [5,9]" true (v >= 5 && v <= 9)
+  done
+
+let test_int_covers_range () =
+  let p = Prng.create ~seed:5 in
+  let seen = Array.make 6 false in
+  for _ = 1 to 2000 do
+    seen.(Prng.int p 6) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_float_bounds () =
+  let p = Prng.create ~seed:2 in
+  for _ = 1 to 1000 do
+    let v = Prng.float p 3.0 in
+    Alcotest.(check bool) "in [0,3)" true (v >= 0.0 && v < 3.0)
+  done
+
+let test_chance_extremes () =
+  let p = Prng.create ~seed:4 in
+  Alcotest.(check bool) "p=0 never" false (Prng.chance p 0.0);
+  Alcotest.(check bool) "p=1 always" true (Prng.chance p 1.0)
+
+let test_chance_frequency () =
+  let p = Prng.create ~seed:6 in
+  let hits = ref 0 in
+  let trials = 10_000 in
+  for _ = 1 to trials do
+    if Prng.chance p 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool) "roughly 0.3" true (freq > 0.25 && freq < 0.35)
+
+let test_exponential_positive () =
+  let p = Prng.create ~seed:8 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "positive" true (Prng.exponential p ~mean:2.0 > 0.0)
+  done
+
+let test_exponential_mean () =
+  let p = Prng.create ~seed:9 in
+  let trials = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to trials do
+    sum := !sum +. Prng.exponential p ~mean:5.0
+  done;
+  let mean = !sum /. float_of_int trials in
+  Alcotest.(check bool) "mean near 5" true (mean > 4.5 && mean < 5.5)
+
+let test_shuffle_permutes () =
+  let p = Prng.create ~seed:10 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_split_independence () =
+  let parent = Prng.create ~seed:11 in
+  let child = Prng.split parent in
+  (* The child stream should not coincide with the parent's next
+     outputs. *)
+  let child_values = List.init 10 (fun _ -> Prng.bits64 child) in
+  let parent_values = List.init 10 (fun _ -> Prng.bits64 parent) in
+  Alcotest.(check bool) "streams differ" true (child_values <> parent_values)
+
+let test_copy_is_independent () =
+  let a = Prng.create ~seed:12 in
+  let b = Prng.copy a in
+  let va = Prng.bits64 a in
+  let vb = Prng.bits64 b in
+  Alcotest.(check int64) "copy starts at same state" va vb;
+  (* Advancing one does not affect the other. *)
+  let (_ : int64) = Prng.bits64 a in
+  let v1 = Prng.bits64 a and v2 = Prng.bits64 b in
+  Alcotest.(check bool) "diverged positions" true (v1 <> v2 || Prng.bits64 b <> v1)
+
+let test_pick () =
+  let p = Prng.create ~seed:13 in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 50 do
+    let v = Prng.pick p a in
+    Alcotest.(check bool) "element of array" true (Array.exists (String.equal v) a)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int rejects non-positive" `Quick test_int_rejects_nonpositive;
+    Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+    Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+    Alcotest.test_case "chance frequency" `Quick test_chance_frequency;
+    Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "copy independence" `Quick test_copy_is_independent;
+    Alcotest.test_case "pick" `Quick test_pick;
+  ]

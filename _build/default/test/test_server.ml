@@ -1,0 +1,164 @@
+(* Tests for the multi-database server group (paper §2: "a separate
+   instance of the protocol runs for each database"). *)
+
+module Group = Edb_server.Server_group
+module Cluster = Edb_core.Cluster
+module Node = Edb_core.Node
+module Operation = Edb_store.Operation
+
+let set v = Operation.Set v
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.fail msg
+
+let test_create_and_list () =
+  let group = Group.create ~n:3 () in
+  Alcotest.(check (list string)) "empty" [] (Group.databases group);
+  ok (Group.create_database group "crm");
+  ok (Group.create_database group "archive");
+  Alcotest.(check (list string)) "sorted names" [ "archive"; "crm" ]
+    (Group.databases group)
+
+let test_duplicate_create_rejected () =
+  let group = Group.create ~n:2 () in
+  ok (Group.create_database group "db");
+  match Group.create_database group "db" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate name must be rejected"
+
+let test_drop () =
+  let group = Group.create ~n:2 () in
+  ok (Group.create_database group "db");
+  ok (Group.drop_database group "db");
+  Alcotest.(check (list string)) "gone" [] (Group.databases group);
+  match Group.drop_database group "db" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "dropping twice must fail"
+
+let test_databases_are_isolated () =
+  let group = Group.create ~n:3 () in
+  ok (Group.create_database group "a");
+  ok (Group.create_database group "b");
+  ok (Group.update group ~db:"a" ~node:0 ~item:"x" (set "in-a"));
+  (* The same item name in the other database is untouched. *)
+  Alcotest.(check (option string)) "b unaffected" None
+    (ok (Group.read group ~db:"b" ~node:0 ~item:"x"));
+  (* Anti-entropy in b moves nothing and knows nothing of a. *)
+  ok (Group.anti_entropy_round group ~db:"b");
+  Alcotest.(check (option string)) "still nothing in b" None
+    (ok (Group.read group ~db:"b" ~node:1 ~item:"x"));
+  (* a converges independently. *)
+  let (_ : int) = ok (Group.sync_database group ~db:"a") in
+  Alcotest.(check (option string)) "a propagated" (Some "in-a")
+    (ok (Group.read group ~db:"a" ~node:2 ~item:"x"))
+
+let test_independent_schedules () =
+  (* The motivating §2 scenario: a hot database syncs often, the
+     archive rarely — without the hot traffic paying anything for the
+     archive's existence. *)
+  let group = Group.create ~n:2 () in
+  ok (Group.create_database group "hot");
+  ok (Group.create_database group "archive");
+  ok (Group.update group ~db:"hot" ~node:0 ~item:"h" (set "1"));
+  ok (Group.update group ~db:"archive" ~node:0 ~item:"a" (set "1"));
+  let hot = ok (Group.cluster group "hot") in
+  ignore (Cluster.pull hot ~recipient:1 ~source:0);
+  Alcotest.(check bool) "hot converged alone" true (Cluster.converged hot);
+  Alcotest.(check bool) "group not converged (archive lags)" false
+    (Group.converged group);
+  let results = Group.sync_all group in
+  Alcotest.(check int) "both databases synced" 2 (List.length results);
+  Alcotest.(check bool) "group converged" true (Group.converged group)
+
+let test_unknown_database_errors () =
+  let group = Group.create ~n:2 () in
+  (match Group.update group ~db:"nope" ~node:0 ~item:"x" (set "v") with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown db must fail");
+  match Group.read group ~db:"nope" ~node:0 ~item:"x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown db must fail"
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "edb-group" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_checkpoint_and_restore () =
+  with_temp_dir (fun dir ->
+      let group = Group.create ~n:2 () in
+      ok (Group.create_database group "crm");
+      ok (Group.create_database group "wiki");
+      ok (Group.update group ~db:"crm" ~node:0 ~item:"cust" (set "alice"));
+      ok (Group.update group ~db:"wiki" ~node:0 ~item:"page" (set "v1"));
+      ignore (Group.sync_all group);
+      (* Checkpoint server 1 with everything converged. *)
+      ok (Group.save_server group ~dir ~node:1);
+      (* More updates happen after the checkpoint. *)
+      ok (Group.update group ~db:"wiki" ~node:0 ~item:"page" (set "v2"));
+      ignore (Group.sync_all group);
+      (* Server 1 "crashes" and recovers from the checkpoint: it falls
+         back to the checkpointed state... *)
+      ok (Group.restore_server group ~dir ~node:1);
+      Alcotest.(check (option string)) "restored at checkpoint" (Some "v1")
+        (ok (Group.read group ~db:"wiki" ~node:1 ~item:"page"));
+      Alcotest.(check (option string)) "crm intact" (Some "alice")
+        (ok (Group.read group ~db:"crm" ~node:1 ~item:"cust"));
+      (* ...and ordinary anti-entropy brings it current again. *)
+      ignore (Group.sync_all group);
+      Alcotest.(check (option string)) "caught up after rejoin" (Some "v2")
+        (ok (Group.read group ~db:"wiki" ~node:1 ~item:"page"));
+      Alcotest.(check bool) "converged" true (Group.converged group))
+
+let test_restore_wrong_node_rejected () =
+  with_temp_dir (fun dir ->
+      let group = Group.create ~n:2 () in
+      ok (Group.create_database group "db");
+      ok (Group.save_server group ~dir ~node:0);
+      match Group.restore_server group ~dir ~node:1 with
+      | Error msg ->
+        Alcotest.(check bool) "explains the mismatch" true
+          (Astring.String.is_infix ~affix:"server 0" msg)
+      | Ok () -> Alcotest.fail "must reject a checkpoint for another server")
+
+let test_restore_missing_database_rejected () =
+  with_temp_dir (fun dir ->
+      let group = Group.create ~n:2 () in
+      ok (Group.create_database group "db");
+      ok (Group.save_server group ~dir ~node:0);
+      ok (Group.drop_database group "db");
+      match Group.restore_server group ~dir ~node:0 with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "must reject when the database is gone")
+
+let test_counters_aggregate_across_databases () =
+  let group = Group.create ~n:2 () in
+  ok (Group.create_database group "a");
+  ok (Group.create_database group "b");
+  ok (Group.update group ~db:"a" ~node:0 ~item:"x" (set "1"));
+  ok (Group.update group ~db:"b" ~node:1 ~item:"y" (set "2"));
+  let total = Group.total_counters group in
+  Alcotest.(check int) "both updates counted" 2 total.updates_applied
+
+let suite =
+  [
+    Alcotest.test_case "create and list" `Quick test_create_and_list;
+    Alcotest.test_case "duplicate create rejected" `Quick test_duplicate_create_rejected;
+    Alcotest.test_case "drop" `Quick test_drop;
+    Alcotest.test_case "databases are isolated" `Quick test_databases_are_isolated;
+    Alcotest.test_case "independent schedules" `Quick test_independent_schedules;
+    Alcotest.test_case "unknown database errors" `Quick test_unknown_database_errors;
+    Alcotest.test_case "checkpoint and restore" `Quick test_checkpoint_and_restore;
+    Alcotest.test_case "restore wrong node rejected" `Quick
+      test_restore_wrong_node_rejected;
+    Alcotest.test_case "restore missing database rejected" `Quick
+      test_restore_missing_database_rejected;
+    Alcotest.test_case "counters aggregate" `Quick test_counters_aggregate_across_databases;
+  ]

@@ -1,0 +1,178 @@
+(* Tests for session guarantees (Terry et al. [14], paper §8.3). *)
+
+module Cluster = Edb_core.Cluster
+module Session = Edb_sessions.Session
+module Operation = Edb_store.Operation
+
+let set v = Operation.Set v
+
+let expect_value expected = function
+  | Ok v -> Alcotest.(check (option string)) "read value" expected v
+  | Error (`Violates g) ->
+    Alcotest.fail (Format.asprintf "unexpected denial: %a" Session.pp_guarantee g)
+  | Error (`Aux_pending item) -> Alcotest.fail ("unexpected aux-pending on " ^ item)
+
+let expect_write = function
+  | Ok () -> ()
+  | Error (`Violates g) ->
+    Alcotest.fail (Format.asprintf "unexpected denial: %a" Session.pp_guarantee g)
+  | Error (`Aux_pending item) -> Alcotest.fail ("unexpected aux-pending on " ^ item)
+
+let expect_violation expected = function
+  | Error (`Violates g) when g = expected -> ()
+  | Error (`Violates g) ->
+    Alcotest.fail (Format.asprintf "wrong guarantee: %a" Session.pp_guarantee g)
+  | Error (`Aux_pending _) -> Alcotest.fail "expected a guarantee violation"
+  | Ok _ -> Alcotest.fail "expected a denial"
+
+let test_read_your_writes () =
+  let cluster = Cluster.create ~n:2 () in
+  let session = Session.create cluster in
+  expect_write (Session.write session ~node:0 ~item:"x" (set "mine"));
+  (* Server 1 has not heard of the write: reading there would miss it. *)
+  expect_violation Session.Read_your_writes
+    (Session.read session ~node:1 ~item:"x" :> (string option, Session.denial) result);
+  (* Reading back at the server that took the write is fine. *)
+  expect_value (Some "mine") (Session.read session ~node:0 ~item:"x");
+  (* After anti-entropy, server 1 is current enough. *)
+  ignore (Cluster.pull cluster ~recipient:1 ~source:0);
+  expect_value (Some "mine") (Session.read session ~node:1 ~item:"x")
+
+let test_monotonic_reads () =
+  let cluster = Cluster.create ~n:2 () in
+  (* Another client writes at server 0. *)
+  Cluster.update cluster ~node:0 ~item:"x" (set "v1");
+  let session = Session.create ~guarantees:[ Session.Monotonic_reads ] cluster in
+  expect_value (Some "v1") (Session.read session ~node:0 ~item:"x");
+  (* Server 1 is behind what the session has already seen. *)
+  expect_violation Session.Monotonic_reads (Session.read session ~node:1 ~item:"x");
+  ignore (Cluster.pull cluster ~recipient:1 ~source:0);
+  expect_value (Some "v1") (Session.read session ~node:1 ~item:"x")
+
+let test_writes_follow_reads () =
+  let cluster = Cluster.create ~n:2 () in
+  Cluster.update cluster ~node:0 ~item:"question" (set "Q?");
+  let session = Session.create ~guarantees:[ Session.Writes_follow_reads ] cluster in
+  expect_value (Some "Q?") (Session.read session ~node:0 ~item:"question");
+  (* Posting the answer at a server that has not seen the question
+     would order the answer before it. *)
+  expect_violation Session.Writes_follow_reads
+    (Session.write session ~node:1 ~item:"answer" (set "A!"));
+  ignore (Cluster.pull cluster ~recipient:1 ~source:0);
+  expect_write (Session.write session ~node:1 ~item:"answer" (set "A!"))
+
+let test_monotonic_writes () =
+  let cluster = Cluster.create ~n:2 () in
+  let session = Session.create ~guarantees:[ Session.Monotonic_writes ] cluster in
+  expect_write (Session.write session ~node:0 ~item:"lib" (set "v1"));
+  (* The second write must not land on a server missing the first. *)
+  expect_violation Session.Monotonic_writes
+    (Session.write session ~node:1 ~item:"lib" (set "v2"));
+  ignore (Cluster.pull cluster ~recipient:1 ~source:0);
+  expect_write (Session.write session ~node:1 ~item:"lib" (set "v2"));
+  ignore (Cluster.sync_until_converged cluster);
+  Alcotest.(check (option string)) "writes applied in order" (Some "v2")
+    (Cluster.read cluster ~node:0 ~item:"lib")
+
+let test_no_guarantees_never_denied () =
+  let cluster = Cluster.create ~n:2 () in
+  let session = Session.create ~guarantees:[] cluster in
+  expect_write (Session.write session ~node:0 ~item:"x" (set "v"));
+  (* Stale read is permitted without guarantees. *)
+  expect_value None (Session.read session ~node:1 ~item:"x")
+
+let test_sessions_are_independent () =
+  let cluster = Cluster.create ~n:2 () in
+  let alice = Session.create cluster in
+  let bob = Session.create cluster in
+  expect_write (Session.write alice ~node:0 ~item:"x" (set "alice"));
+  (* Bob never wrote nor read anything: server 1 is fine for him. *)
+  expect_value None (Session.read bob ~node:1 ~item:"x")
+
+let test_write_refused_on_aux_copy () =
+  let cluster = Cluster.create ~n:2 () in
+  Cluster.update cluster ~node:0 ~item:"hot" (set "v1");
+  ignore (Cluster.fetch_out_of_bound cluster ~recipient:1 ~source:0 "hot");
+  let session = Session.create ~guarantees:[] cluster in
+  match Session.write session ~node:1 ~item:"hot" (set "v2") with
+  | Error (`Aux_pending item) -> Alcotest.(check string) "names the item" "hot" item
+  | Error (`Violates _) | Ok () -> Alcotest.fail "expected aux-pending refusal"
+
+let test_vectors_accumulate () =
+  let cluster = Cluster.create ~n:3 () in
+  Cluster.update cluster ~node:1 ~item:"a" (set "v");
+  let session = Session.create ~guarantees:[] cluster in
+  ignore (Session.read session ~node:1 ~item:"a");
+  ignore (Session.write session ~node:0 ~item:"b" (set "w"));
+  let rv = Session.read_vector session and wv = Session.write_vector session in
+  Alcotest.(check int) "read vector saw node 1's update" 1
+    (Edb_vv.Version_vector.get rv 1);
+  Alcotest.(check int) "write vector covers own write" 1
+    (Edb_vv.Version_vector.get wv 0)
+
+(* Property: a fully-guarded session roaming randomly across servers,
+   interleaved with random anti-entropy, never reads a value older than
+   one it already read (per item), and never misses its own writes. *)
+let prop_session_monotonicity =
+  QCheck2.Gen.(
+    let action = triple (int_bound 2) (int_bound 2) (int_bound 3) in
+    QCheck2.Test.make ~name:"guarded sessions never step backwards" ~count:120
+      (list_size (int_range 1 60) action)
+      (fun script ->
+        let cluster = Cluster.create ~seed:13 ~n:3 () in
+        let session = Session.create cluster in
+        (* Model: per item, the last value this session wrote or read. *)
+        let observed = Hashtbl.create 4 in
+        let writes = Hashtbl.create 4 in
+        let counter = ref 0 in
+        let ok = ref true in
+        List.iter
+          (fun (node, item_rank, kind) ->
+            let item = Printf.sprintf "i%d" item_rank in
+            match kind with
+            | 0 | 1 -> (
+              match Session.read session ~node ~item with
+              | Ok value ->
+                let value = Option.value ~default:"" value in
+                (* Must include the session's own last write... *)
+                (match Hashtbl.find_opt writes item with
+                | Some w when not (String.equal value w) ->
+                  (* ...unless another writer legally overwrote it; but
+                     in this script the session is the only writer. *)
+                  ok := false
+                | Some _ | None -> ());
+                (* ...and must not regress below a previous read. *)
+                (match Hashtbl.find_opt observed item with
+                | Some prev when String.compare value prev < 0 -> ok := false
+                | Some _ | None -> ());
+                Hashtbl.replace observed item value
+              | Error (`Violates _) -> (* denial is always acceptable *) ()
+              | Error (`Aux_pending _) -> ok := false)
+            | 2 -> (
+              incr counter;
+              (* Monotonically increasing values make "older" detectable
+                 by string comparison. *)
+              let value = Printf.sprintf "%06d" !counter in
+              match Session.write session ~node ~item (set value) with
+              | Ok () ->
+                Hashtbl.replace writes item value;
+                Hashtbl.replace observed item value
+              | Error (`Violates _) -> ()
+              | Error (`Aux_pending _) -> ok := false)
+            | _ ->
+              ignore (Cluster.pull cluster ~recipient:node ~source:((node + 1) mod 3)))
+          script;
+        !ok))
+
+let suite =
+  [
+    Alcotest.test_case "read-your-writes" `Quick test_read_your_writes;
+    Alcotest.test_case "monotonic reads" `Quick test_monotonic_reads;
+    Alcotest.test_case "writes-follow-reads" `Quick test_writes_follow_reads;
+    Alcotest.test_case "monotonic writes" `Quick test_monotonic_writes;
+    Alcotest.test_case "no guarantees, no denials" `Quick test_no_guarantees_never_denied;
+    Alcotest.test_case "sessions independent" `Quick test_sessions_are_independent;
+    Alcotest.test_case "write refused on aux copy" `Quick test_write_refused_on_aux_copy;
+    Alcotest.test_case "vectors accumulate" `Quick test_vectors_accumulate;
+    QCheck_alcotest.to_alcotest prop_session_monotonicity;
+  ]

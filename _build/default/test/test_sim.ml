@@ -1,0 +1,278 @@
+(* Tests for the discrete-event simulator: event queue ordering, network
+   semantics, crash/recovery, and end-to-end convergence over drivers. *)
+
+module Event_queue = Edb_sim.Event_queue
+module Network = Edb_sim.Network
+module Engine = Edb_sim.Engine
+module Driver = Edb_baselines.Driver
+module Operation = Edb_store.Operation
+
+let set v = Operation.Set v
+
+(* ---------- Event queue ---------- *)
+
+let test_queue_time_order () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:3.0 "c";
+  Event_queue.push q ~time:1.0 "a";
+  Event_queue.push q ~time:2.0 "b";
+  let order = List.init 3 (fun _ -> Event_queue.pop q) in
+  Alcotest.(check (list (option (pair (float 0.0) string))))
+    "min-heap order"
+    [ Some (1.0, "a"); Some (2.0, "b"); Some (3.0, "c") ]
+    order
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:1.0 "first";
+  Event_queue.push q ~time:1.0 "second";
+  Event_queue.push q ~time:1.0 "third";
+  let payloads =
+    List.init 3 (fun _ -> match Event_queue.pop q with Some (_, p) -> p | None -> "?")
+  in
+  Alcotest.(check (list string)) "insertion order on ties" [ "first"; "second"; "third" ]
+    payloads
+
+let test_queue_interleaved () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:5.0 5;
+  Event_queue.push q ~time:1.0 1;
+  Alcotest.(check (option (pair (float 0.0) int))) "pop 1" (Some (1.0, 1))
+    (Event_queue.pop q);
+  Event_queue.push q ~time:3.0 3;
+  Alcotest.(check (option (pair (float 0.0) int))) "pop 3" (Some (3.0, 3))
+    (Event_queue.pop q);
+  Alcotest.(check (option (pair (float 0.0) int))) "pop 5" (Some (5.0, 5))
+    (Event_queue.pop q);
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
+
+let test_queue_large_random () =
+  let q = Event_queue.create () in
+  let prng = Edb_util.Prng.create ~seed:99 in
+  for _ = 1 to 1000 do
+    Event_queue.push q ~time:(Edb_util.Prng.float prng 100.0) ()
+  done;
+  let rec drain last count =
+    match Event_queue.pop q with
+    | None -> count
+    | Some (time, ()) ->
+      Alcotest.(check bool) "non-decreasing" true (time >= last);
+      drain time (count + 1)
+  in
+  Alcotest.(check int) "all drained" 1000 (drain neg_infinity 0)
+
+(* ---------- Network ---------- *)
+
+let test_network_defaults () =
+  let net = Network.create () in
+  let prng = Edb_util.Prng.create ~seed:1 in
+  Alcotest.(check (float 0.0)) "unit latency" 1.0 (Network.delay net prng);
+  Alcotest.(check bool) "reliable" false (Network.lost net prng)
+
+let test_network_partition () =
+  let net = Network.create () in
+  Network.partition net 1 2;
+  Alcotest.(check bool) "blocked" true (Network.blocked net 1 2);
+  Alcotest.(check bool) "symmetric" true (Network.blocked net 2 1);
+  Alcotest.(check bool) "others fine" false (Network.blocked net 0 1);
+  Network.heal net 2 1;
+  Alcotest.(check bool) "healed" false (Network.blocked net 1 2)
+
+let test_network_loss () =
+  let net = Network.create ~loss_probability:1.0 () in
+  let prng = Edb_util.Prng.create ~seed:1 in
+  Alcotest.(check bool) "always lost" true (Network.lost net prng)
+
+(* ---------- Engine over the paper's protocol ---------- *)
+
+let epidemic_engine ?seed ?network n =
+  let _, driver = Edb_baselines.Epidemic_driver.create ~n () in
+  Engine.create ?seed ?network ~driver ()
+
+let test_engine_basic_convergence () =
+  let engine = epidemic_engine 4 in
+  Engine.schedule engine ~at:0.0
+    (Engine.User_update { node = 0; item = "x"; op = set "v" });
+  Engine.schedule engine ~at:0.5
+    (Engine.Anti_entropy_round { period = 1.0; policy = Engine.Random_peer });
+  (match Engine.run_until_converged engine ~check_every:1.0 ~deadline:100.0 with
+  | Some time -> Alcotest.(check bool) "converged quickly" true (time < 50.0)
+  | None -> Alcotest.fail "did not converge");
+  let driver = Engine.driver engine in
+  for node = 0 to 3 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "node %d" node)
+      (Some "v")
+      (driver.Driver.read ~node ~item:"x")
+  done
+
+let test_engine_ring_policy () =
+  let engine = epidemic_engine 5 in
+  Engine.schedule engine ~at:0.0
+    (Engine.User_update { node = 2; item = "x"; op = set "v" });
+  Engine.schedule engine ~at:0.5
+    (Engine.Anti_entropy_round { period = 1.0; policy = Engine.Ring });
+  (match Engine.run_until_converged engine ~check_every:1.0 ~deadline:100.0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "ring schedule must converge (Theorem 5)")
+
+let test_engine_crash_blocks_then_recovery () =
+  let engine = epidemic_engine ~seed:5 3 in
+  Engine.schedule engine ~at:0.0 (Engine.Crash 2);
+  Engine.schedule engine ~at:0.1
+    (Engine.User_update { node = 0; item = "x"; op = set "v" });
+  Engine.schedule engine ~at:0.5
+    (Engine.Anti_entropy_round { period = 1.0; policy = Engine.Ring });
+  Engine.run_until engine 20.0;
+  (* Node 2 is down: the cluster cannot be fully converged for it. *)
+  let driver = Engine.driver engine in
+  Alcotest.(check (option string)) "crashed node missed it" None
+    (driver.Driver.read ~node:2 ~item:"x");
+  Engine.schedule engine ~at:20.5 (Engine.Recover 2);
+  (match Engine.run_until_converged engine ~check_every:1.0 ~deadline:100.0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "must converge after recovery");
+  Alcotest.(check (option string)) "caught up after recovery" (Some "v")
+    (driver.Driver.read ~node:2 ~item:"x")
+
+let test_engine_partition_heals () =
+  let network = Network.create () in
+  let engine =
+    let _, driver = Edb_baselines.Epidemic_driver.create ~seed:3 ~n:3 () in
+    Engine.create ~seed:4 ~network ~driver ()
+  in
+  (* Isolate node 2 from everyone. *)
+  Network.partition network 0 2;
+  Network.partition network 1 2;
+  Engine.schedule engine ~at:0.0
+    (Engine.User_update { node = 0; item = "x"; op = set "v" });
+  Engine.schedule engine ~at:0.5
+    (Engine.Anti_entropy_round { period = 1.0; policy = Engine.Random_peer });
+  Engine.run_until engine 30.0;
+  let driver = Engine.driver engine in
+  Alcotest.(check (option string)) "partitioned node stale" None
+    (driver.Driver.read ~node:2 ~item:"x");
+  Network.heal_all network;
+  (match Engine.run_until_converged engine ~check_every:1.0 ~deadline:100.0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "must converge after healing");
+  Alcotest.(check (option string)) "after healing" (Some "v")
+    (driver.Driver.read ~node:2 ~item:"x")
+
+let test_engine_lossy_network_still_converges () =
+  let network = Network.create ~loss_probability:0.5 () in
+  let engine =
+    let _, driver = Edb_baselines.Epidemic_driver.create ~seed:6 ~n:4 () in
+    Engine.create ~seed:7 ~network ~driver ()
+  in
+  Engine.schedule engine ~at:0.0
+    (Engine.User_update { node = 1; item = "x"; op = set "v" });
+  Engine.schedule engine ~at:0.5
+    (Engine.Anti_entropy_round { period = 1.0; policy = Engine.Random_peer });
+  (match Engine.run_until_converged engine ~check_every:5.0 ~deadline:500.0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "anti-entropy must beat 50% loss");
+  Alcotest.(check bool) "some sessions were lost" true (Engine.sessions_lost engine > 0)
+
+let test_engine_determinism () =
+  let run () =
+    let engine = epidemic_engine ~seed:11 4 in
+    Engine.schedule engine ~at:0.0
+      (Engine.User_update { node = 0; item = "x"; op = set "v" });
+    Engine.schedule engine ~at:0.5
+      (Engine.Anti_entropy_round { period = 1.0; policy = Engine.Random_peer });
+    Engine.run_until engine 25.0;
+    let driver = Engine.driver engine in
+    let total = driver.Driver.total_counters () in
+    (Engine.sessions_attempted engine, total.messages, total.items_copied)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+let test_engine_rejects_past_events () =
+  let engine = epidemic_engine 2 in
+  Engine.run_until engine 10.0;
+  Alcotest.check_raises "past event" (Invalid_argument "Engine.schedule: event in the past")
+    (fun () -> Engine.schedule engine ~at:5.0 (Engine.Crash 0))
+
+let test_engine_custom_event () =
+  let engine = epidemic_engine 2 in
+  let fired = ref None in
+  Engine.schedule engine ~at:3.0 (Engine.Custom (fun e -> fired := Some (Engine.now e)));
+  Engine.run_until engine 10.0;
+  Alcotest.(check (option (float 0.0))) "fired at its time" (Some 3.0) !fired
+
+(* The engine drives every baseline through the same driver facade. *)
+let test_engine_over_baselines () =
+  let check name make_driver =
+    let driver = make_driver () in
+    let engine = Engine.create ~seed:9 ~driver () in
+    Engine.schedule engine ~at:0.0
+      (Engine.User_update { node = 0; item = "item-000000"; op = set "v" });
+    Engine.schedule engine ~at:0.5
+      (Engine.Anti_entropy_round { period = 1.0; policy = Engine.Random_peer });
+    match Engine.run_until_converged engine ~check_every:1.0 ~deadline:300.0 with
+    | Some _ ->
+      for node = 0 to 3 do
+        Alcotest.(check (option string))
+          (Printf.sprintf "%s node %d" name node)
+          (Some "v")
+          (driver.Driver.read ~node ~item:"item-000000")
+      done
+    | None -> Alcotest.fail (name ^ " did not converge under the engine")
+  in
+  let universe = Edb_workload.Workload.universe 10 in
+  check "demers" (fun () ->
+      Edb_baselines.Demers.driver (Edb_baselines.Demers.create ~n:4 ~universe));
+  check "lotus" (fun () ->
+      Edb_baselines.Lotus.driver (Edb_baselines.Lotus.create ~n:4 ~universe));
+  check "wuu" (fun () ->
+      Edb_baselines.Wuu_bernstein.driver (Edb_baselines.Wuu_bernstein.create ~n:4));
+  check "two-phase" (fun () ->
+      Edb_baselines.Two_phase_gossip.driver (Edb_baselines.Two_phase_gossip.create ~n:4));
+  check "ficus" (fun () ->
+      Edb_baselines.Ficus.driver (Edb_baselines.Ficus.create ~n:4 ~universe))
+
+(* Oracle under the engine: random sessions DO eventually deliver
+   (every node periodically pushes its own queue), but a crashed
+   originator stalls everything — the §8.2 dynamic, engine-driven. *)
+let test_engine_oracle_originator_crash () =
+  let oracle = Edb_baselines.Oracle_push.create ~n:4 in
+  let driver = Edb_baselines.Oracle_push.driver oracle in
+  let engine = Engine.create ~seed:10 ~driver () in
+  Engine.schedule engine ~at:0.0
+    (Engine.User_update { node = 0; item = "x"; op = set "v" });
+  Engine.schedule engine ~at:0.1 (Engine.Crash 0);
+  Engine.schedule engine ~at:0.5
+    (Engine.Anti_entropy_round { period = 1.0; policy = Engine.Random_peer });
+  (match Engine.run_until_converged engine ~check_every:5.0 ~deadline:100.0 with
+  | None -> ()
+  | Some t -> Alcotest.fail (Printf.sprintf "oracle must stall, converged at %.0f" t));
+  Engine.schedule engine ~at:(Engine.now engine) (Engine.Recover 0);
+  match Engine.run_until_converged engine ~check_every:5.0 ~deadline:300.0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "oracle must converge after recovery"
+
+let suite =
+  [
+    Alcotest.test_case "engine over all baselines" `Quick test_engine_over_baselines;
+    Alcotest.test_case "engine oracle originator crash" `Quick
+      test_engine_oracle_originator_crash;
+    Alcotest.test_case "queue time order" `Quick test_queue_time_order;
+    Alcotest.test_case "queue FIFO on ties" `Quick test_queue_fifo_ties;
+    Alcotest.test_case "queue interleaved" `Quick test_queue_interleaved;
+    Alcotest.test_case "queue large random" `Quick test_queue_large_random;
+    Alcotest.test_case "network defaults" `Quick test_network_defaults;
+    Alcotest.test_case "network partition" `Quick test_network_partition;
+    Alcotest.test_case "network loss" `Quick test_network_loss;
+    Alcotest.test_case "engine basic convergence" `Quick test_engine_basic_convergence;
+    Alcotest.test_case "engine ring policy" `Quick test_engine_ring_policy;
+    Alcotest.test_case "engine crash then recovery" `Quick
+      test_engine_crash_blocks_then_recovery;
+    Alcotest.test_case "engine partition heals" `Quick test_engine_partition_heals;
+    Alcotest.test_case "engine lossy network converges" `Quick
+      test_engine_lossy_network_still_converges;
+    Alcotest.test_case "engine determinism" `Quick test_engine_determinism;
+    Alcotest.test_case "engine rejects past events" `Quick test_engine_rejects_past_events;
+    Alcotest.test_case "engine custom event" `Quick test_engine_custom_event;
+  ]

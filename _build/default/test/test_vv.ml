@@ -1,0 +1,178 @@
+(* Tests for version vectors: the comparison lattice of paper §3 and its
+   Theorem 3 corollaries. *)
+
+module Vv = Edb_vv.Version_vector
+
+let comparison =
+  let pp fmt (c : Vv.comparison) =
+    Format.pp_print_string fmt
+      (match c with
+      | Vv.Equal -> "Equal"
+      | Vv.Dominates -> "Dominates"
+      | Vv.Dominated -> "Dominated"
+      | Vv.Concurrent -> "Concurrent")
+  in
+  Alcotest.testable pp ( = )
+
+let vv l = Vv.of_array (Array.of_list l)
+
+let test_create_zero () =
+  let v = Vv.create ~n:4 in
+  Alcotest.(check int) "dimension" 4 (Vv.dimension v);
+  Alcotest.(check int) "sum" 0 (Vv.sum v);
+  for j = 0 to 3 do
+    Alcotest.(check int) "component" 0 (Vv.get v j)
+  done
+
+let test_incr_and_sum () =
+  let v = Vv.create ~n:3 in
+  Vv.incr v 1;
+  Vv.incr v 1;
+  Vv.incr v 2;
+  Alcotest.(check int) "component 1" 2 (Vv.get v 1);
+  Alcotest.(check int) "component 2" 1 (Vv.get v 2);
+  Alcotest.(check int) "sum" 3 (Vv.sum v)
+
+let test_compare_equal () =
+  Alcotest.check comparison "equal" Vv.Equal (Vv.compare_vv (vv [ 1; 2 ]) (vv [ 1; 2 ]))
+
+let test_compare_dominates () =
+  Alcotest.check comparison "dominates" Vv.Dominates
+    (Vv.compare_vv (vv [ 2; 2 ]) (vv [ 1; 2 ]));
+  Alcotest.check comparison "dominated" Vv.Dominated
+    (Vv.compare_vv (vv [ 1; 2 ]) (vv [ 2; 2 ]))
+
+let test_compare_concurrent () =
+  (* Corollary 4: x_i saw updates x_j missed and vice versa. *)
+  Alcotest.check comparison "concurrent" Vv.Concurrent
+    (Vv.compare_vv (vv [ 2; 0 ]) (vv [ 0; 2 ]))
+
+let test_dimension_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Version_vector: dimension mismatch")
+    (fun () -> ignore (Vv.compare_vv (vv [ 1 ]) (vv [ 1; 2 ])))
+
+let test_merge_is_lub () =
+  let a = vv [ 3; 0; 5 ] and b = vv [ 1; 4; 5 ] in
+  let m = Vv.copy a in
+  Vv.merge_into m ~from:b;
+  Alcotest.(check (array int)) "component-wise max" [| 3; 4; 5 |] (Vv.to_array m);
+  Alcotest.(check bool) "dominates a" true (Vv.dominates_or_equal m a);
+  Alcotest.(check bool) "dominates b" true (Vv.dominates_or_equal m b)
+
+let test_add_diff () =
+  (* DBVV rule 3: copying an item adds the per-origin surplus. *)
+  let dbvv = vv [ 10; 10; 10 ] in
+  Vv.add_diff_into dbvv ~newer:(vv [ 4; 2; 7 ]) ~older:(vv [ 4; 1; 5 ]) ;
+  Alcotest.(check (array int)) "grown by diff" [| 10; 11; 12 |] (Vv.to_array dbvv)
+
+let test_add_diff_requires_domination () =
+  let dbvv = vv [ 0; 0 ] in
+  Alcotest.check_raises "negative diff"
+    (Invalid_argument "Version_vector.add_diff_into: newer does not dominate older")
+    (fun () -> Vv.add_diff_into dbvv ~newer:(vv [ 1; 0 ]) ~older:(vv [ 0; 1 ]))
+
+let test_conflicting_components () =
+  match Vv.conflicting_components (vv [ 2; 0; 1 ]) (vv [ 0; 3; 1 ]) with
+  | Some (k, l) ->
+    (* a.(k) < b.(k) and a.(l) > b.(l). *)
+    Alcotest.(check int) "k" 1 k;
+    Alcotest.(check int) "l" 0 l
+  | None -> Alcotest.fail "expected conflicting components"
+
+let test_conflicting_components_none () =
+  Alcotest.(check bool) "no conflict" true
+    (Vv.conflicting_components (vv [ 1; 1 ]) (vv [ 2; 2 ]) = None)
+
+let test_copy_isolation () =
+  let a = vv [ 1; 2 ] in
+  let b = Vv.copy a in
+  Vv.incr b 0;
+  Alcotest.(check int) "original untouched" 1 (Vv.get a 0)
+
+let test_pp () =
+  Alcotest.(check string) "rendering" "<1,2,3>" (Vv.to_string (vv [ 1; 2; 3 ]))
+
+let test_set_rejects_negative () =
+  let v = Vv.create ~n:2 in
+  Alcotest.check_raises "negative" (Invalid_argument "Version_vector.set: negative component")
+    (fun () -> Vv.set v 0 (-1))
+
+(* ---------- Property tests: the dominance partial order ---------- *)
+
+let gen_vv_pair =
+  QCheck2.Gen.(
+    let component = int_bound 4 in
+    sized_size (int_range 1 6) (fun n ->
+        pair (array_size (return n) component) (array_size (return n) component)))
+
+let prop_comparison_antisymmetry =
+  QCheck2.Test.make ~name:"compare antisymmetry" ~count:500 gen_vv_pair (fun (a, b) ->
+      let va = Vv.of_array a and vb = Vv.of_array b in
+      match (Vv.compare_vv va vb, Vv.compare_vv vb va) with
+      | Vv.Equal, Vv.Equal
+      | Vv.Dominates, Vv.Dominated
+      | Vv.Dominated, Vv.Dominates
+      | Vv.Concurrent, Vv.Concurrent -> true
+      | _, _ -> false)
+
+let prop_merge_commutative =
+  QCheck2.Test.make ~name:"merge commutative" ~count:500 gen_vv_pair (fun (a, b) ->
+      let m1 = Vv.of_array a in
+      Vv.merge_into m1 ~from:(Vv.of_array b);
+      let m2 = Vv.of_array b in
+      Vv.merge_into m2 ~from:(Vv.of_array a);
+      Vv.equal m1 m2)
+
+let prop_merge_idempotent =
+  QCheck2.Test.make ~name:"merge idempotent" ~count:500
+    QCheck2.Gen.(array_size (int_range 1 6) (int_bound 4))
+    (fun a ->
+      let m = Vv.of_array a in
+      Vv.merge_into m ~from:(Vv.of_array a);
+      Vv.equal m (Vv.of_array a))
+
+let prop_merge_upper_bound =
+  QCheck2.Test.make ~name:"merge is an upper bound" ~count:500 gen_vv_pair
+    (fun (a, b) ->
+      let va = Vv.of_array a and vb = Vv.of_array b in
+      let m = Vv.copy va in
+      Vv.merge_into m ~from:vb;
+      Vv.dominates_or_equal m va && Vv.dominates_or_equal m vb)
+
+let prop_equal_iff_arrays_equal =
+  QCheck2.Test.make ~name:"Equal iff identical components" ~count:500 gen_vv_pair
+    (fun (a, b) ->
+      let va = Vv.of_array a and vb = Vv.of_array b in
+      Vv.equal va vb = (a = b))
+
+let prop_concurrent_iff_conflicting_components =
+  QCheck2.Test.make ~name:"Concurrent iff conflicting components exist" ~count:500
+    gen_vv_pair (fun (a, b) ->
+      let va = Vv.of_array a and vb = Vv.of_array b in
+      Vv.concurrent va vb = (Vv.conflicting_components va vb <> None))
+
+let suite =
+  [
+    Alcotest.test_case "create zero" `Quick test_create_zero;
+    Alcotest.test_case "incr and sum" `Quick test_incr_and_sum;
+    Alcotest.test_case "compare equal" `Quick test_compare_equal;
+    Alcotest.test_case "compare dominates" `Quick test_compare_dominates;
+    Alcotest.test_case "compare concurrent" `Quick test_compare_concurrent;
+    Alcotest.test_case "dimension mismatch" `Quick test_dimension_mismatch;
+    Alcotest.test_case "merge is lub" `Quick test_merge_is_lub;
+    Alcotest.test_case "add_diff (DBVV rule 3)" `Quick test_add_diff;
+    Alcotest.test_case "add_diff requires domination" `Quick
+      test_add_diff_requires_domination;
+    Alcotest.test_case "conflicting components" `Quick test_conflicting_components;
+    Alcotest.test_case "conflicting components absent" `Quick
+      test_conflicting_components_none;
+    Alcotest.test_case "copy isolation" `Quick test_copy_isolation;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+    Alcotest.test_case "set rejects negative" `Quick test_set_rejects_negative;
+    QCheck_alcotest.to_alcotest prop_comparison_antisymmetry;
+    QCheck_alcotest.to_alcotest prop_merge_commutative;
+    QCheck_alcotest.to_alcotest prop_merge_idempotent;
+    QCheck_alcotest.to_alcotest prop_merge_upper_bound;
+    QCheck_alcotest.to_alcotest prop_equal_iff_arrays_equal;
+    QCheck_alcotest.to_alcotest prop_concurrent_iff_conflicting_components;
+  ]

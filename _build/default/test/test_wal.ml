@@ -1,0 +1,337 @@
+(* Tests for the write-ahead log and the durable node wrapper. *)
+
+module Wal = Edb_persist.Wal
+module Durable = Edb_persist.Durable_node
+module Node = Edb_core.Node
+module Operation = Edb_store.Operation
+module Vv = Edb_vv.Version_vector
+
+let set v = Operation.Set v
+
+let ok = function Ok v -> v | Error msg -> Alcotest.fail msg
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "edb-wal" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun x -> Sys.remove (Filename.concat dir x)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let with_temp_file f =
+  let path = Filename.temp_file "edb-wal" ".log" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* ---------- WAL framing ---------- *)
+
+let test_wal_roundtrip () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let w = Wal.open_writer ~path in
+      List.iter (Wal.append w) [ "one"; "two"; ""; "four" ];
+      Wal.close_writer w;
+      let seen = ref [] in
+      let result = ok (Wal.replay ~path ~f:(fun r -> seen := r :: !seen)) in
+      Alcotest.(check int) "records" 4 result.Wal.records;
+      Alcotest.(check bool) "no torn tail" false result.Wal.torn_tail;
+      Alcotest.(check (list string)) "in order" [ "one"; "two"; ""; "four" ]
+        (List.rev !seen))
+
+let test_wal_missing_file_is_empty () =
+  let result = ok (Wal.replay ~path:"/nonexistent/edb.wal" ~f:(fun _ -> ())) in
+  Alcotest.(check int) "no records" 0 result.Wal.records
+
+let test_wal_append_survives_reopen () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let w = Wal.open_writer ~path in
+      Wal.append w "first";
+      Wal.close_writer w;
+      let w = Wal.open_writer ~path in
+      Wal.append w "second";
+      Wal.close_writer w;
+      let count = ref 0 in
+      let (_ : Wal.replay_result) = ok (Wal.replay ~path ~f:(fun _ -> incr count)) in
+      Alcotest.(check int) "both records" 2 !count)
+
+let test_wal_torn_tail_discarded () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let w = Wal.open_writer ~path in
+      Wal.append w "complete";
+      Wal.append w "will-be-torn";
+      Wal.close_writer w;
+      (* Chop the last 3 bytes: the second frame loses its checksum. *)
+      let ic = open_in_bin path in
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc (String.sub data 0 (String.length data - 3));
+      close_out oc;
+      let seen = ref [] in
+      let result = ok (Wal.replay ~path ~f:(fun r -> seen := r :: !seen)) in
+      Alcotest.(check int) "one intact record" 1 result.Wal.records;
+      Alcotest.(check bool) "torn tail flagged" true result.Wal.torn_tail;
+      Alcotest.(check (list string)) "prefix recovered" [ "complete" ] !seen)
+
+let test_wal_corrupt_record_stops_replay () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let w = Wal.open_writer ~path in
+      Wal.append w "good";
+      Wal.append w "bad";
+      Wal.close_writer w;
+      (* Flip a payload byte of the second record. *)
+      let ic = open_in_bin path in
+      let data = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+      close_in ic;
+      let pos = Bytes.length data - 5 in
+      Bytes.set data pos (Char.chr (Char.code (Bytes.get data pos) lxor 1));
+      let oc = open_out_bin path in
+      output_bytes oc data;
+      close_out oc;
+      let result = ok (Wal.replay ~path ~f:(fun _ -> ())) in
+      Alcotest.(check int) "stops after the good record" 1 result.Wal.records;
+      Alcotest.(check bool) "flagged" true result.Wal.torn_tail)
+
+let test_wal_reset () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let w = Wal.open_writer ~path in
+      Wal.append w "x";
+      Wal.close_writer w;
+      Wal.reset ~path;
+      let result = ok (Wal.replay ~path ~f:(fun _ -> ())) in
+      Alcotest.(check int) "empty after reset" 0 result.Wal.records)
+
+(* ---------- Durable node ---------- *)
+
+let reopen ~dir ~id ~n =
+  let t, _ = ok (Durable.open_or_create ~dir ~id ~n ()) in
+  t
+
+let test_durable_fresh_and_recover_updates () =
+  with_temp_dir (fun dir ->
+      let d = reopen ~dir ~id:0 ~n:2 in
+      Durable.update d "x" (set "v1");
+      Durable.update d "x" (set "v2");
+      Durable.update d "y" (set "w");
+      Alcotest.(check int) "journaled" 3 (Durable.journal_records d);
+      Durable.close d;
+      (* "Crash" and recover. *)
+      let d = reopen ~dir ~id:0 ~n:2 in
+      Alcotest.(check (option string)) "x recovered" (Some "v2")
+        (Node.read (Durable.node d) "x");
+      Alcotest.(check (option string)) "y recovered" (Some "w")
+        (Node.read (Durable.node d) "y");
+      (* The DBVV (and so the globally visible sequence numbers) are
+         reproduced exactly. *)
+      Alcotest.(check (array int)) "dbvv exact" [| 3; 0 |]
+        (Vv.to_array (Node.dbvv (Durable.node d)));
+      Durable.close d)
+
+let test_durable_checkpoint_resets_journal () =
+  with_temp_dir (fun dir ->
+      let d = reopen ~dir ~id:0 ~n:2 in
+      Durable.update d "x" (set "v1");
+      Durable.checkpoint d;
+      Alcotest.(check int) "journal reset" 0 (Durable.journal_records d);
+      Durable.update d "x" (set "v2");
+      Durable.close d;
+      let d = reopen ~dir ~id:0 ~n:2 in
+      Alcotest.(check (option string)) "snapshot + journal" (Some "v2")
+        (Node.read (Durable.node d) "x");
+      Durable.close d)
+
+let test_durable_recovers_accepted_propagation () =
+  with_temp_dir (fun dir ->
+      let remote = Node.create ~id:1 ~n:2 () in
+      Node.update remote "r" (set "remote-v");
+      let d = reopen ~dir ~id:0 ~n:2 in
+      (match Durable.pull_from d ~source:remote with
+      | Node.Pulled { copied; _ } -> Alcotest.(check int) "copied" 1 (List.length copied)
+      | Node.Already_current -> Alcotest.fail "expected propagation");
+      Durable.close d;
+      let d = reopen ~dir ~id:0 ~n:2 in
+      Alcotest.(check (option string)) "remote data recovered" (Some "remote-v")
+        (Node.read (Durable.node d) "r");
+      Alcotest.(check bool) "dbvv recovered" true
+        (Vv.equal (Node.dbvv (Durable.node d)) (Node.dbvv remote));
+      (* Invariants hold on the recovered node. *)
+      (match Node.check_invariants (Durable.node d) with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      Durable.close d)
+
+let test_durable_recovers_oob_and_aux () =
+  with_temp_dir (fun dir ->
+      let remote = Node.create ~id:1 ~n:2 () in
+      Node.update remote "hot" (set "h1");
+      let d = reopen ~dir ~id:0 ~n:2 in
+      (match Durable.fetch_out_of_bound_from d ~source:remote "hot" with
+      | `Adopted -> ()
+      | `Already_current | `Conflict -> Alcotest.fail "expected adoption");
+      Durable.update d "hot" (set "h2");
+      Durable.close d;
+      let d = reopen ~dir ~id:0 ~n:2 in
+      let node = Durable.node d in
+      Alcotest.(check bool) "aux copy recovered" true (Node.has_aux node "hot");
+      Alcotest.(check (option string)) "aux value recovered" (Some "h2")
+        (Node.read node "hot");
+      Alcotest.(check int) "deferred update recovered" 1
+        (Edb_log.Aux_log.length (Node.aux_log node));
+      Durable.close d)
+
+let test_durable_exact_seq_reproduction () =
+  (* The critical property: updates a peer already pulled keep their
+     sequence numbers across recovery — the peer and the recovered node
+     agree without conflicts. *)
+  with_temp_dir (fun dir ->
+      let peer = Node.create ~id:1 ~n:2 () in
+      let d = reopen ~dir ~id:0 ~n:2 in
+      Durable.update d "x" (set "v1");
+      (* The peer pulls BEFORE the crash. *)
+      let (_ : Node.pull_result) = Node.pull ~recipient:peer ~source:(Durable.node d) in
+      Durable.update d "x" (set "v2");
+      Durable.close d;
+      let d = reopen ~dir ~id:0 ~n:2 in
+      (* After recovery the peer pulls again: no conflict, clean catch-up. *)
+      (match Node.pull ~recipient:peer ~source:(Durable.node d) with
+      | Node.Pulled { conflicts; copied; _ } ->
+        Alcotest.(check int) "no conflicts after recovery" 0 conflicts;
+        Alcotest.(check (list string)) "catches up" [ "x" ] copied
+      | Node.Already_current -> Alcotest.fail "peer is behind");
+      Alcotest.(check (option string)) "peer current" (Some "v2") (Node.read peer "x");
+      Durable.close d)
+
+let test_durable_rejects_mismatched_identity () =
+  with_temp_dir (fun dir ->
+      let d = reopen ~dir ~id:0 ~n:2 in
+      Durable.update d "x" (set "v");
+      Durable.checkpoint d;
+      Durable.close d;
+      match Durable.open_or_create ~dir ~id:1 ~n:2 () with
+      | Error msg ->
+        Alcotest.(check bool) "explains mismatch" true
+          (Astring.String.is_infix ~affix:"node" msg)
+      | Ok _ -> Alcotest.fail "must reject wrong id")
+
+let test_durable_torn_journal_recovers_prefix () =
+  with_temp_dir (fun dir ->
+      let d = reopen ~dir ~id:0 ~n:2 in
+      Durable.update d "x" (set "v1");
+      Durable.update d "x" (set "v2");
+      Durable.close d;
+      (* Tear the journal's tail. *)
+      let wal_path = Filename.concat dir "node.wal" in
+      let ic = open_in_bin wal_path in
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_bin wal_path in
+      output_string oc (String.sub data 0 (String.length data - 2));
+      close_out oc;
+      let d, replay = ok (Durable.open_or_create ~dir ~id:0 ~n:2 ()) in
+      Alcotest.(check bool) "torn tail reported" true replay.Wal.torn_tail;
+      Alcotest.(check int) "prefix applied" 1 replay.Wal.records;
+      Alcotest.(check (option string)) "state at prefix" (Some "v1")
+        (Node.read (Durable.node d) "x");
+      Durable.close d)
+
+(* Property: crash-recovery equivalence. For any script of updates and
+   pulls and any crash point, a node that recovers from disk is in the
+   same state as a node that executed the same operations in memory. *)
+let prop_crash_recovery_equivalence =
+  QCheck2.Gen.(
+    let action = pair (int_bound 2) (int_bound 3) in
+    let gen = pair (list_size (int_range 1 25) action) (int_bound 25) in
+    QCheck2.Test.make ~name:"crash recovery reproduces in-memory state" ~count:60 gen
+      (fun (script, crash_at) ->
+        with_temp_dir (fun dir ->
+            (* A remote peer provides propagation and OOB sources. *)
+            let make_remote () =
+              let remote = Node.create ~id:1 ~n:2 () in
+              Node.update remote "r1" (set "a");
+              Node.update remote "r2" (set "b");
+              remote
+            in
+            let run_step ~update ~pull ~oob i (kind, rank) =
+              let item = Printf.sprintf "i%d" rank in
+              match kind with
+              | 0 -> update item (set (Printf.sprintf "v%d" i))
+              | 1 -> pull ()
+              | _ -> oob item
+            in
+            (* Reference: plain in-memory node. *)
+            let remote_a = make_remote () in
+            let reference = Node.create ~id:0 ~n:2 () in
+            List.iteri
+              (run_step
+                 ~update:(fun item op -> Node.update reference item op)
+                 ~pull:(fun () ->
+                   ignore (Node.pull ~recipient:reference ~source:remote_a))
+                 ~oob:(fun item ->
+                   ignore (Node.fetch_out_of_bound ~recipient:reference ~source:remote_a item)))
+              script;
+            (* Durable run with a crash (close + reopen) at [crash_at]. *)
+            let remote_b = make_remote () in
+            let d = ref (reopen ~dir ~id:0 ~n:2) in
+            List.iteri
+              (fun i step ->
+                if i = crash_at then begin
+                  Durable.close !d;
+                  d := reopen ~dir ~id:0 ~n:2
+                end;
+                run_step
+                  ~update:(fun item op -> Durable.update !d item op)
+                  ~pull:(fun () -> ignore (Durable.pull_from !d ~source:remote_b))
+                  ~oob:(fun item ->
+                    ignore (Durable.fetch_out_of_bound_from !d ~source:remote_b item))
+                  i step)
+              script;
+            Durable.close !d;
+            let recovered = reopen ~dir ~id:0 ~n:2 in
+            let state_of node = Node.export_state node in
+            let norm (s : Node.State.t) =
+              ( s.dbvv,
+                List.sort compare
+                  (List.map
+                     (fun (i : Node.State.item) -> (i.name, i.value, i.ivv))
+                     s.items),
+                s.logs )
+            in
+            let equal =
+              norm (state_of reference) = norm (state_of (Durable.node recovered))
+            in
+            Durable.close recovered;
+            equal)))
+
+let suite =
+  [
+    Alcotest.test_case "wal round-trip" `Quick test_wal_roundtrip;
+    QCheck_alcotest.to_alcotest prop_crash_recovery_equivalence;
+    Alcotest.test_case "wal missing file" `Quick test_wal_missing_file_is_empty;
+    Alcotest.test_case "wal reopen appends" `Quick test_wal_append_survives_reopen;
+    Alcotest.test_case "wal torn tail discarded" `Quick test_wal_torn_tail_discarded;
+    Alcotest.test_case "wal corrupt record stops replay" `Quick
+      test_wal_corrupt_record_stops_replay;
+    Alcotest.test_case "wal reset" `Quick test_wal_reset;
+    Alcotest.test_case "durable: recover updates" `Quick
+      test_durable_fresh_and_recover_updates;
+    Alcotest.test_case "durable: checkpoint resets journal" `Quick
+      test_durable_checkpoint_resets_journal;
+    Alcotest.test_case "durable: recover accepted propagation" `Quick
+      test_durable_recovers_accepted_propagation;
+    Alcotest.test_case "durable: recover OOB and aux" `Quick
+      test_durable_recovers_oob_and_aux;
+    Alcotest.test_case "durable: exact seq reproduction" `Quick
+      test_durable_exact_seq_reproduction;
+    Alcotest.test_case "durable: rejects mismatched identity" `Quick
+      test_durable_rejects_mismatched_identity;
+    Alcotest.test_case "durable: torn journal recovers prefix" `Quick
+      test_durable_torn_journal_recovers_prefix;
+  ]

@@ -1,0 +1,114 @@
+(* Tests for workload generation. *)
+
+module Workload = Edb_workload.Workload
+module Selector = Edb_workload.Workload.Selector
+module Prng = Edb_util.Prng
+module Operation = Edb_store.Operation
+
+let test_item_name_padding () =
+  Alcotest.(check string) "padded" "item-000007" (Workload.item_name 7);
+  Alcotest.(check string) "large" "item-123456" (Workload.item_name 123456)
+
+let test_universe () =
+  Alcotest.(check (list string)) "universe 3"
+    [ "item-000000"; "item-000001"; "item-000002" ]
+    (Workload.universe 3)
+
+let test_payload_size_and_uniqueness () =
+  let p1 = Workload.payload ~item:"a" ~seq:1 ~size:32 in
+  let p2 = Workload.payload ~item:"a" ~seq:2 ~size:32 in
+  let p3 = Workload.payload ~item:"b" ~seq:1 ~size:32 in
+  Alcotest.(check int) "exact size" 32 (String.length p1);
+  Alcotest.(check bool) "distinct per seq" true (p1 <> p2);
+  Alcotest.(check bool) "distinct per item" true (p1 <> p3)
+
+let test_payload_truncation () =
+  let p = Workload.payload ~item:"item-000001" ~seq:123 ~size:4 in
+  Alcotest.(check int) "truncated to size" 4 (String.length p)
+
+let test_selector_uniform_range () =
+  let s = Selector.uniform ~n:10 in
+  let prng = Prng.create ~seed:1 in
+  for _ = 1 to 500 do
+    let r = Selector.pick s prng in
+    Alcotest.(check bool) "in range" true (r >= 0 && r < 10)
+  done;
+  Alcotest.(check int) "universe size" 10 (Selector.universe_size s)
+
+let test_selector_first_n () =
+  let s = Selector.first_n ~n:100 ~subset:5 in
+  let prng = Prng.create ~seed:2 in
+  for _ = 1 to 500 do
+    let r = Selector.pick s prng in
+    Alcotest.(check bool) "confined to subset" true (r >= 0 && r < 5)
+  done
+
+let test_selector_hot_cold () =
+  let s = Selector.hot_cold ~n:100 ~hot:10 ~hot_fraction:0.9 in
+  let prng = Prng.create ~seed:3 in
+  let hot_hits = ref 0 in
+  let trials = 5000 in
+  for _ = 1 to trials do
+    if Selector.pick s prng < 10 then incr hot_hits
+  done;
+  let freq = float_of_int !hot_hits /. float_of_int trials in
+  Alcotest.(check bool) "hot set hit ~90%" true (freq > 0.85 && freq < 0.95)
+
+let test_selector_zipfian_skew () =
+  let s = Selector.zipfian ~n:1000 ~exponent:1.0 in
+  let prng = Prng.create ~seed:4 in
+  let head = ref 0 in
+  let trials = 5000 in
+  for _ = 1 to trials do
+    if Selector.pick s prng < 10 then incr head
+  done;
+  (* Top-10 of 1000 under zipf(1) carries ~39% of the mass. *)
+  let freq = float_of_int !head /. float_of_int trials in
+  Alcotest.(check bool) "head heavy" true (freq > 0.25)
+
+let test_stream_determinism () =
+  let make () =
+    Workload.update_stream ~seed:5 ~selector:(Selector.uniform ~n:20) ~nodes:3 ~count:50
+      ~value_size:16
+  in
+  Alcotest.(check bool) "same seed, same stream" true (make () = make ())
+
+let test_stream_shape () =
+  let steps =
+    Workload.update_stream ~seed:6 ~selector:(Selector.uniform ~n:20) ~nodes:3 ~count:40
+      ~value_size:16
+  in
+  Alcotest.(check int) "count" 40 (List.length steps);
+  List.iter
+    (fun (step : Workload.step) ->
+      Alcotest.(check bool) "node in range" true (step.node >= 0 && step.node < 3);
+      match step.op with
+      | Operation.Set v -> Alcotest.(check int) "value size" 16 (String.length v)
+      | Operation.Splice _ -> Alcotest.fail "streams emit Set operations")
+    steps
+
+let test_apply_feeds_protocol () =
+  let cluster = Edb_core.Cluster.create ~n:2 () in
+  let steps =
+    Workload.update_stream ~seed:7 ~selector:(Selector.uniform ~n:5) ~nodes:2 ~count:25
+      ~value_size:8
+  in
+  Workload.apply steps ~update:(fun ~node ~item ~op ->
+      Edb_core.Cluster.update cluster ~node ~item op);
+  let total = Edb_core.Cluster.total_counters cluster in
+  Alcotest.(check int) "all updates applied" 25 total.updates_applied
+
+let suite =
+  [
+    Alcotest.test_case "item name padding" `Quick test_item_name_padding;
+    Alcotest.test_case "universe" `Quick test_universe;
+    Alcotest.test_case "payload size & uniqueness" `Quick test_payload_size_and_uniqueness;
+    Alcotest.test_case "payload truncation" `Quick test_payload_truncation;
+    Alcotest.test_case "uniform selector range" `Quick test_selector_uniform_range;
+    Alcotest.test_case "first_n selector" `Quick test_selector_first_n;
+    Alcotest.test_case "hot-cold selector" `Quick test_selector_hot_cold;
+    Alcotest.test_case "zipfian selector skew" `Quick test_selector_zipfian_skew;
+    Alcotest.test_case "stream determinism" `Quick test_stream_determinism;
+    Alcotest.test_case "stream shape" `Quick test_stream_shape;
+    Alcotest.test_case "apply feeds protocol" `Quick test_apply_feeds_protocol;
+  ]

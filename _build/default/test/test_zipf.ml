@@ -1,0 +1,88 @@
+(* Tests for the zipfian sampler. *)
+
+module Prng = Edb_util.Prng
+module Zipf = Edb_util.Zipf
+
+let test_probabilities_sum_to_one () =
+  let z = Zipf.create ~n:100 ~exponent:1.1 in
+  let total = ref 0.0 in
+  for rank = 0 to 99 do
+    total := !total +. Zipf.probability z rank
+  done;
+  Alcotest.(check bool) "sums to 1" true (abs_float (!total -. 1.0) < 1e-9)
+
+let test_probabilities_decrease () =
+  let z = Zipf.create ~n:50 ~exponent:1.0 in
+  for rank = 1 to 49 do
+    Alcotest.(check bool) "monotone" true
+      (Zipf.probability z rank <= Zipf.probability z (rank - 1))
+  done
+
+let test_uniform_degenerate () =
+  let z = Zipf.create ~n:10 ~exponent:0.0 in
+  for rank = 0 to 9 do
+    Alcotest.(check bool) "uniform mass" true
+      (abs_float (Zipf.probability z rank -. 0.1) < 1e-9)
+  done
+
+let test_sample_in_range () =
+  let z = Zipf.create ~n:20 ~exponent:1.2 in
+  let p = Prng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let r = Zipf.sample z p in
+    Alcotest.(check bool) "rank in range" true (r >= 0 && r < 20)
+  done
+
+let test_skew () =
+  (* With exponent ~1, rank 0 should be sampled far more often than a
+     mid-pack rank. *)
+  let z = Zipf.create ~n:1000 ~exponent:1.0 in
+  let p = Prng.create ~seed:2 in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 50_000 do
+    let r = Zipf.sample z p in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "head much hotter than tail" true
+    (counts.(0) > 20 * max 1 counts.(500))
+
+let test_sample_frequency_matches_probability () =
+  let z = Zipf.create ~n:5 ~exponent:1.5 in
+  let p = Prng.create ~seed:3 in
+  let trials = 100_000 in
+  let counts = Array.make 5 0 in
+  for _ = 1 to trials do
+    let r = Zipf.sample z p in
+    counts.(r) <- counts.(r) + 1
+  done;
+  for rank = 0 to 4 do
+    let freq = float_of_int counts.(rank) /. float_of_int trials in
+    let expected = Zipf.probability z rank in
+    Alcotest.(check bool)
+      (Printf.sprintf "rank %d frequency" rank)
+      true
+      (abs_float (freq -. expected) < 0.01)
+  done
+
+let test_singleton_universe () =
+  let z = Zipf.create ~n:1 ~exponent:2.0 in
+  let p = Prng.create ~seed:4 in
+  Alcotest.(check int) "only rank" 0 (Zipf.sample z p);
+  Alcotest.(check int) "n" 1 (Zipf.n z)
+
+let test_rejects_empty () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Zipf.create ~n:0 ~exponent:1.0))
+
+let suite =
+  [
+    Alcotest.test_case "probabilities sum to one" `Quick test_probabilities_sum_to_one;
+    Alcotest.test_case "probabilities decrease" `Quick test_probabilities_decrease;
+    Alcotest.test_case "exponent 0 is uniform" `Quick test_uniform_degenerate;
+    Alcotest.test_case "samples in range" `Quick test_sample_in_range;
+    Alcotest.test_case "skew" `Quick test_skew;
+    Alcotest.test_case "frequency matches probability" `Quick
+      test_sample_frequency_matches_probability;
+    Alcotest.test_case "singleton universe" `Quick test_singleton_universe;
+    Alcotest.test_case "rejects empty universe" `Quick test_rejects_empty;
+  ]
