@@ -3,6 +3,7 @@
    Subcommands:
      bench      print experiment tables (all, or selected by id)
      simulate   run a workload + anti-entropy simulation for any protocol
+     check      randomized invariant checking against the lockstep oracle
      demo       a tiny three-node walkthrough *)
 
 module Cluster = Edb_core.Cluster
@@ -210,6 +211,73 @@ let simulate_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let module Explorer = Edb_check.Explorer in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let runs =
+    Arg.(
+      value & opt int 100
+      & info [ "runs" ] ~docv:"K" ~doc:"Schedules to explore per topology.")
+  in
+  let topology =
+    Arg.(
+      value & opt string "all"
+      & info [ "topology" ] ~docv:"T"
+          ~doc:"Session topology: clique, ring, star, or all (mixed).")
+  in
+  let oplog_depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "oplog" ] ~docv:"DEPTH"
+          ~doc:"Run in op-log transport mode with per-item history DEPTH.")
+  in
+  let mutate =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Inject a state corruption into every schedule; the checker is \
+             expected to FAIL (smoke test for the checker itself).")
+  in
+  let run seed runs topology oplog_depth mutate =
+    let topology =
+      match String.lowercase_ascii topology with
+      | "all" -> Ok None
+      | name -> (
+        match Explorer.topology_of_string name with
+        | Some t -> Ok (Some t)
+        | None -> Error (Printf.sprintf "unknown topology %S" name))
+    in
+    match topology with
+    | Error msg -> `Error (false, msg)
+    | Ok topology -> (
+      let mode =
+        Option.map (fun depth -> Node.Op_log { depth }) oplog_depth
+      in
+      match Explorer.run ?mode ?topology ~mutate ~seed ~runs () with
+      | Ok report ->
+        Printf.printf "ok: %d schedules passed every invariant and oracle check\n"
+          report.Explorer.schedules;
+        `Ok ()
+      | Error msg ->
+        print_string msg;
+        if not (String.length msg > 0 && msg.[String.length msg - 1] = '\n') then
+          print_newline ();
+        `Error (false, "invariant check failed (shrunk counterexample above)"))
+  in
+  let term = Term.(ret (const run $ seed $ runs $ topology $ oplog_depth $ mutate)) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Explore randomized fault schedules, asserting protocol invariants and \
+          equivalence with a naive full-compare oracle.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* demo                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -236,4 +304,4 @@ let demo_cmd =
 let () =
   let doc = "Scalable update propagation in epidemic replicated databases (EDBT '96)" in
   let info = Cmd.info "edb" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ bench_cmd; simulate_cmd; demo_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ bench_cmd; simulate_cmd; check_cmd; demo_cmd ]))

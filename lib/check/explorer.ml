@@ -1,0 +1,364 @@
+module Cluster = Edb_core.Cluster
+module Node = Edb_core.Node
+module Conflict = Edb_core.Conflict
+module Store = Edb_store.Store
+module Item = Edb_store.Item
+module Operation = Edb_store.Operation
+module Vv = Edb_vv.Version_vector
+module Driver = Edb_baselines.Driver
+module Engine = Edb_sim.Engine
+module Network = Edb_sim.Network
+module Gen = QCheck2.Gen
+
+(* ------------------------------------------------------------------ *)
+(* Schedules                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type topology = Clique | Ring | Star
+
+type fault =
+  | Crash of int
+  | Recover of int
+  | Partition of int * int
+  | Heal of int * int
+
+type step =
+  | Update of { node : int; item : int; op : Operation.t }
+  | Sync of { src : int; dst : int }
+  | Fault of fault
+
+type schedule = {
+  nodes : int;
+  items : int;
+  topology : topology;
+  loss : float;
+  duplication : float;
+  reorder : float;
+  seed : int;
+  steps : step list;
+  corrupt_at : int option;
+}
+
+let item_name rank = Printf.sprintf "it%02d" rank
+
+let topology_name = function Clique -> "clique" | Ring -> "ring" | Star -> "star"
+
+let topology_of_string = function
+  | "clique" -> Some Clique
+  | "ring" -> Some Ring
+  | "star" -> Some Star
+  | _ -> None
+
+let pp_step ppf = function
+  | Update { node; item; op } ->
+    Format.fprintf ppf "update n%d %s %a" node (item_name item) Operation.pp op
+  | Sync { src; dst } -> Format.fprintf ppf "sync %d->%d" src dst
+  | Fault (Crash n) -> Format.fprintf ppf "crash %d" n
+  | Fault (Recover n) -> Format.fprintf ppf "recover %d" n
+  | Fault (Partition (a, b)) -> Format.fprintf ppf "partition %d|%d" a b
+  | Fault (Heal (a, b)) -> Format.fprintf ppf "heal %d|%d" a b
+
+let print_schedule s =
+  Format.asprintf
+    "@[<v>{ nodes=%d items=%d topology=%s loss=%.2f dup=%.2f reorder=%.2f \
+     engine-seed=%d%s; %d steps }%a@]"
+    s.nodes s.items (topology_name s.topology) s.loss s.duplication s.reorder s.seed
+    (match s.corrupt_at with
+    | None -> ""
+    | Some k -> Printf.sprintf " corrupt-at=%d" k)
+    (List.length s.steps)
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,  ")
+       (fun ppf st -> Format.fprintf ppf "%a" pp_step st))
+    s.steps
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_operation =
+  Gen.frequency
+    [
+      (4, Gen.map (fun k -> Operation.Set (Printf.sprintf "v%d" k)) (Gen.int_bound 99));
+      ( 1,
+        Gen.map2
+          (fun offset k -> Operation.Splice { offset; data = Printf.sprintf "s%d" k })
+          (Gen.int_bound 8) (Gen.int_bound 9) );
+    ]
+
+(* A session pair respecting the communication topology. *)
+let gen_pair ~nodes ~topology =
+  match topology with
+  | Clique ->
+    Gen.map2
+      (fun a d ->
+        let src = a mod nodes in
+        ((src + 1 + (d mod (nodes - 1))) mod nodes, src))
+      (Gen.int_bound 1000) (Gen.int_bound 1000)
+  | Ring ->
+    Gen.map2
+      (fun d forward ->
+        let dst = d mod nodes in
+        let src = if forward then (dst + 1) mod nodes else (dst + nodes - 1) mod nodes in
+        (src, dst))
+      (Gen.int_bound 1000) Gen.bool
+  | Star ->
+    Gen.map2
+      (fun o outward ->
+        let other = 1 + (o mod (nodes - 1)) in
+        if outward then (0, other) else (other, 0))
+      (Gen.int_bound 1000) Gen.bool
+
+let gen_fault ~nodes =
+  let node = Gen.map (fun k -> k mod nodes) (Gen.int_bound 1000) in
+  let pair =
+    Gen.map2
+      (fun a d ->
+        let x = a mod nodes in
+        (x, (x + 1 + (d mod (nodes - 1))) mod nodes))
+      (Gen.int_bound 1000) (Gen.int_bound 1000)
+  in
+  Gen.frequency
+    [
+      (2, Gen.map (fun n -> Crash n) node);
+      (2, Gen.map (fun n -> Recover n) node);
+      (1, Gen.map (fun (a, b) -> Partition (a, b)) pair);
+      (1, Gen.map (fun (a, b) -> Heal (a, b)) pair);
+    ]
+
+let gen_step ~nodes ~items ~topology =
+  Gen.frequency
+    [
+      ( 5,
+        Gen.map3
+          (fun node item op -> Update { node = node mod nodes; item; op })
+          (Gen.int_bound 1000)
+          (Gen.int_bound (items - 1))
+          gen_operation );
+      (5, Gen.map (fun (src, dst) -> Sync { src; dst }) (gen_pair ~nodes ~topology));
+      (2, Gen.map (fun f -> Fault f) (gen_fault ~nodes));
+    ]
+
+let gen_topology = Gen.oneofl [ Clique; Ring; Star ]
+
+let gen ?topology ?(mutate = false) () =
+  let open Gen in
+  let* topology =
+    match topology with Some tp -> pure tp | None -> gen_topology
+  in
+  let* nodes = int_range 3 5 in
+  let* items = int_range 2 6 in
+  let* steps = list_size (int_bound 60) (gen_step ~nodes ~items ~topology) in
+  let* loss = oneofl [ 0.0; 0.0; 0.1; 0.3 ] in
+  let* duplication = oneofl [ 0.0; 0.2 ] in
+  let* reorder = oneofl [ 0.0; 0.3 ] in
+  let* seed = int_bound 9999 in
+  let* corrupt_at =
+    if mutate then map (fun k -> Some k) (int_bound (List.length steps)) else pure None
+  in
+  pure { nodes; items; topology; loss; duplication; reorder; seed; steps; corrupt_at }
+
+(* ------------------------------------------------------------------ *)
+(* Running one schedule                                                *)
+(* ------------------------------------------------------------------ *)
+
+exception Check_failed of string
+
+let failf fmt = Printf.ksprintf (fun msg -> raise (Check_failed msg)) fmt
+
+(* Intentional state corruption for the mutation smoke test: bump one
+   component of an item IVV behind the protocol's back, which breaks
+   the DBVV/IVV sum invariant (and the oracle equivalence). *)
+let corrupt cluster =
+  let node = Cluster.node cluster 0 in
+  let store = Node.store node in
+  let name =
+    match List.sort String.compare (Store.names store) with
+    | name :: _ -> name
+    | [] -> item_name 0
+  in
+  let item = Store.find_or_create store name in
+  Vv.incr item.Item.ivv 0
+
+let conflict_items_of node =
+  List.sort_uniq String.compare
+    (List.map (fun (c : Conflict.t) -> c.item) (Node.conflicts node))
+
+let run_schedule ?(mode = Node.Whole_item) (s : schedule) =
+  let cluster, driver = Edb_baselines.Epidemic_driver.create ~seed:s.seed ~mode ~n:s.nodes () in
+  let oracle = Oracle.create ~n:s.nodes in
+  let monitor = Invariant.monitor ~n:s.nodes in
+  (* Invariants + oracle equivalence + conflict-exactness (protocol
+     conflicts must be a subset of the oracle's) at node [i]. *)
+  (* The seq <= DBVV log bound only holds while no node anywhere has
+     declared a conflict (see Node.check_invariants). *)
+  let system_conflict_free () =
+    let rec loop i =
+      i >= s.nodes || (Node.conflicts (Cluster.node cluster i) = [] && loop (i + 1))
+    in
+    loop 0
+  in
+  let oracle_conflict_free () =
+    let rec loop i = i >= s.nodes || (Oracle.conflict_items oracle ~node:i = [] && loop (i + 1)) in
+    loop 0
+  in
+  let clean () = system_conflict_free () && oracle_conflict_free () in
+  (* [clean_before] is whether the system (both sides) was conflict-free
+     before the event just executed. While it is, real and oracle run in
+     exact lockstep, so we demand state equality and — this is the
+     paper's conflict-exactness claim — identical conflict sets, which
+     pins down the first conflict precisely. After the first conflict,
+     dropped log records deflate DBVVs, sessions legitimately lag the
+     oracle, and user updates can apply to diverged bases, so only the
+     lag-tolerant checks remain sound. *)
+  let ensure ?(clean_before = false) label i =
+    let nd = Cluster.node cluster i in
+    (match Invariant.observe ~log_bound:(system_conflict_free ()) monitor nd with
+    | Ok () -> ()
+    | Error msg -> failf "%s: invariant violated at node %d: %s" label i msg);
+    let conflicted = conflict_items_of nd in
+    (match
+       Oracle.matches_node ~exact:clean_before oracle ~node:i ~real:nd
+         ~real_conflicted:(fun item -> List.mem item conflicted)
+     with
+    | Ok () -> ()
+    | Error msg -> failf "%s: oracle divergence: %s" label msg);
+    if clean_before then begin
+      let reference = Oracle.conflict_items oracle ~node:i in
+      if conflicted <> reference then
+        failf "%s: node %d conflict set {%s} differs from the oracle's {%s}" label i
+          (String.concat "," conflicted)
+          (String.concat "," reference)
+    end
+  in
+  let wrapped =
+    {
+      driver with
+      Driver.update =
+        (fun ~node ~item ~op ->
+          let clean_before = clean () in
+          driver.Driver.update ~node ~item ~op;
+          Oracle.update oracle ~node ~item ~op;
+          ensure ~clean_before "after update" node);
+      session =
+        (fun ~src ~dst ->
+          let clean_before = clean () in
+          driver.Driver.session ~src ~dst;
+          Oracle.session oracle ~src ~dst;
+          ensure ~clean_before "after session" dst);
+    }
+  in
+  let network =
+    Network.create ~loss_probability:s.loss ~duplicate_probability:s.duplication
+      ~reorder_probability:s.reorder ()
+  in
+  let engine = Engine.create ~seed:s.seed ~network ~driver:wrapped () in
+  try
+    List.iteri
+      (fun i step ->
+        let at = float_of_int (i + 1) in
+        match step with
+        | Update { node; item; op } ->
+          Engine.schedule engine ~at
+            (Engine.User_update { node; item = item_name item; op })
+        | Sync { src; dst } -> Engine.schedule engine ~at (Engine.Session { src; dst })
+        | Fault (Crash n) -> Engine.schedule engine ~at (Engine.Crash n)
+        | Fault (Recover n) -> Engine.schedule engine ~at (Engine.Recover n)
+        | Fault (Partition (a, b)) ->
+          Engine.schedule engine ~at (Engine.Custom (fun _ -> Network.partition network a b))
+        | Fault (Heal (a, b)) ->
+          Engine.schedule engine ~at (Engine.Custom (fun _ -> Network.heal network a b)))
+      s.steps;
+    (match s.corrupt_at with
+    | None -> ()
+    | Some k ->
+      Engine.schedule engine ~at:(float_of_int k +. 0.5)
+        (Engine.Custom (fun _ -> corrupt cluster)));
+    (* Drive to quiescence: restore a fully reliable, connected, alive
+       cluster, then enough ring rounds (both directions) for Theorem
+       5's transitive propagation to complete. *)
+    let horizon = float_of_int (List.length s.steps + 1) in
+    Engine.schedule engine ~at:horizon
+      (Engine.Custom
+         (fun _ ->
+           Network.heal_all network;
+           Network.set_loss_probability network 0.0;
+           Network.set_duplicate_probability network 0.0;
+           Network.set_reorder_probability network 0.0));
+    for i = 0 to s.nodes - 1 do
+      Engine.schedule engine ~at:horizon (Engine.Recover i)
+    done;
+    for round = 0 to s.nodes + 1 do
+      let at = horizon +. 1.0 +. (2.0 *. float_of_int round) in
+      for dst = 0 to s.nodes - 1 do
+        Engine.schedule engine ~at (Engine.Session { src = (dst + 1) mod s.nodes; dst });
+        Engine.schedule engine ~at:(at +. 1.0)
+          (Engine.Session { src = (dst + s.nodes - 1) mod s.nodes; dst })
+      done
+    done;
+    if not (Engine.run_until_quiescent engine) then
+      failf "event budget exhausted before quiescence";
+    (* Quiescence checks: invariants and oracle equivalence everywhere.
+       If the whole run stayed conflict-free on both sides, lockstep
+       never broke, so we demand exact equality and full convergence.
+       Otherwise only the lag-tolerant bounds apply: post-conflict, a
+       node can miss an item through a deflated DBVV, update it on a
+       stale base, and create concurrency that is genuine in the real
+       execution but invisible to the oracle (and vice versa the oracle
+       can flag pairs whose real counterparts ended up ordered), so
+       neither conflict-set inclusion survives the first conflict. What
+       does survive — and [ensure] enforced it on the lockstep prefix —
+       is that the FIRST conflict is detected identically by both, so at
+       quiescence the two sides must agree on whether any conflict
+       happened at all. *)
+    let final_clean = clean () in
+    for i = 0 to s.nodes - 1 do
+      ensure ~clean_before:final_clean "at quiescence" i
+    done;
+    let union_of items_of =
+      List.sort_uniq String.compare
+        (List.concat (List.init s.nodes (fun i -> items_of i)))
+    in
+    let real_union = union_of (fun i -> conflict_items_of (Cluster.node cluster i)) in
+    let oracle_union = union_of (fun i -> Oracle.conflict_items oracle ~node:i) in
+    if (real_union = []) <> (oracle_union = []) then
+      failf "at quiescence: conflicted items {%s} but the oracle flagged {%s}"
+        (String.concat "," real_union)
+        (String.concat "," oracle_union);
+    if real_union = [] && not (driver.Driver.converged ()) then
+      failf "no conflicts were declared, yet the replicas did not converge";
+    Ok ()
+  with Check_failed msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* The explorer: many schedules, integrated shrinking                  *)
+(* ------------------------------------------------------------------ *)
+
+type report = { schedules : int }
+
+let run ?mode ?topology ?(mutate = false) ~seed ~runs () =
+  let last_error = ref "" in
+  let prop s =
+    match run_schedule ?mode s with
+    | Ok () -> true
+    | Error msg ->
+      last_error := msg;
+      false
+  in
+  let test =
+    QCheck2.Test.make ~count:runs ~name:"fault-schedule explorer"
+      ~print:print_schedule
+      (gen ?topology ~mutate ())
+      prop
+  in
+  match QCheck2.Test.check_exn ~rand:(Random.State.make [| seed |]) test with
+  | () -> Ok { schedules = runs }
+  | exception QCheck2.Test.Test_fail (_, counterexamples) ->
+    Error
+      (Printf.sprintf "%s\nshrunk counterexample:\n%s\nreplay with: --seed %d --runs %d"
+         !last_error
+         (String.concat "\n---\n" counterexamples)
+         seed runs)
+  | exception QCheck2.Test.Test_error (_, instance, exn, _) ->
+    Error
+      (Printf.sprintf "schedule raised %s\non instance:\n%s\nreplay with: --seed %d --runs %d"
+         (Printexc.to_string exn) instance seed runs)

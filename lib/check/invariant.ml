@@ -1,0 +1,120 @@
+module Node = Edb_core.Node
+module Store = Edb_store.Store
+module Item = Edb_store.Item
+module Vv = Edb_vv.Version_vector
+module Aux_log = Edb_log.Aux_log
+module Log_component = Edb_log.Log_component
+module Log_vector = Edb_log.Log_vector
+
+let ( let* ) = Result.bind
+
+let errf fmt = Printf.ksprintf (fun msg -> Error msg) fmt
+
+(* Every retained regular log record must reference a materialized
+   item: records enter the log either on a local update (which
+   materializes the item) or from a propagation tail whose shipped item
+   was materialized by AcceptPropagation. *)
+let check_log_items node =
+  let store = Node.store node in
+  let logs = Node.log_vector node in
+  let rec check_component k =
+    if k >= Node.dimension node then Ok ()
+    else
+      let stale =
+        List.find_opt
+          (fun (r : Edb_log.Log_record.t) -> not (Store.mem store r.item))
+          (Log_component.to_list (Log_vector.component logs k))
+      in
+      match stale with
+      | Some r ->
+        errf "log component %d references unmaterialized item %S (seq %d)" k r.item
+          r.Edb_log.Log_record.seq
+      | None -> check_component (k + 1)
+  in
+  check_component 0
+
+(* Auxiliary coherence (§4.3–4.4): every auxiliary log record belongs
+   to an item that still has an auxiliary copy; per item, the recorded
+   pre-update IVVs strictly increase in the dominance order (each
+   deferred update was applied on top of the previous one); and the
+   auxiliary copy's current IVV strictly dominates every recorded
+   pre-update IVV (the copy reflects all deferred updates and possibly
+   adopted out-of-bound state on top). *)
+let check_aux node =
+  let aux = Node.aux_entries node in
+  let log = Node.aux_log node in
+  let homeless =
+    List.find_opt
+      (fun (r : Aux_log.record) -> not (List.mem_assoc r.item aux))
+      (Aux_log.to_list log)
+  in
+  match homeless with
+  | Some r -> errf "aux log holds a record for %S but no auxiliary copy exists" r.item
+  | None ->
+    let check_item (item, copy_ivv) =
+      let records = Aux_log.records_for log item in
+      let rec ordered = function
+        | (a : Aux_log.record) :: (b : Aux_log.record) :: rest ->
+          if Vv.strictly_dominates b.ivv a.ivv then ordered (b :: rest)
+          else
+            errf "aux log records for %S are not strictly increasing: %s before %s"
+              item (Vv.to_string a.ivv) (Vv.to_string b.ivv)
+        | [ _ ] | [] -> Ok ()
+      in
+      let* () = ordered records in
+      match
+        List.find_opt
+          (fun (r : Aux_log.record) -> not (Vv.strictly_dominates copy_ivv r.ivv))
+          records
+      with
+      | Some r ->
+        errf "aux copy of %S (ivv %s) does not dominate its log record %s" item
+          (Vv.to_string copy_ivv) (Vv.to_string r.ivv)
+      | None -> Ok ()
+    in
+    let rec check_all = function
+      | [] -> Ok ()
+      | entry :: rest ->
+        let* () = check_item entry in
+        check_all rest
+    in
+    check_all aux
+
+let check_node ?log_bound node =
+  (* Node.check_invariants covers DBVV/IVV knowledge consistency
+     (V_i[l] = Σ_x v_i(x)[l], §4.1), log ordering/deduplication with
+     pointer-map integrity (§4.2, Fig. 1), the seq <= DBVV bound in
+     conflict-free states, and clean IsSelected flags (§6). *)
+  let* () = Node.check_invariants ?log_bound node in
+  let* () = check_log_items node in
+  check_aux node
+
+(* ------------------------------------------------------------------ *)
+(* Cross-session monitoring                                            *)
+(* ------------------------------------------------------------------ *)
+
+type monitor = { n : int; last_dbvv : int array option array }
+
+let monitor ~n = { n; last_dbvv = Array.make n None }
+
+let observe ?log_bound m node =
+  let id = Node.id node in
+  if id < 0 || id >= m.n then errf "monitor: node id %d out of range" id
+  else
+    let* () = check_node ?log_bound node in
+    let current = Vv.to_array (Node.dbvv node) in
+    let* () =
+      match m.last_dbvv.(id) with
+      | None -> Ok ()
+      | Some previous ->
+        let rec check l =
+          if l >= Array.length previous then Ok ()
+          else if current.(l) < previous.(l) then
+            errf "node %d DBVV[%d] went backwards: %d -> %d" id l previous.(l)
+              current.(l)
+          else check (l + 1)
+        in
+        check 0
+    in
+    m.last_dbvv.(id) <- Some current;
+    Ok ()

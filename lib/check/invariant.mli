@@ -1,0 +1,48 @@
+(** Mechanical verification of the paper's structural invariants.
+
+    The protocol's correctness argument (paper §4, Theorem 5) rests on
+    state invariants the implementation maintains but — outside this
+    module — never re-derives. Given any {!Edb_core.Node.t},
+    {!check_node} asserts:
+
+    - {b DBVV/IVV knowledge consistency} (§4.1):
+      [V_i[l] = Σ_x v_i(x)[l]] — the database version vector counts
+      exactly the origin-[l] updates reflected by the regular item
+      replicas;
+    - {b log boundedness} (§4.2, Fig. 1): each log component keeps at
+      most one record per (origin, item), in strictly increasing
+      sequence order, with the per-item pointer map consistent with the
+      doubly-linked list, and (in conflict-free states) no record newer
+      than the DBVV admits;
+    - every retained log record references a materialized item;
+    - {b auxiliary coherence} (§4.3–4.4): auxiliary log records belong
+      to live auxiliary copies, per-item record IVVs strictly increase,
+      and the auxiliary copy dominates all of its deferred-update
+      records;
+    - clean [IsSelected] flags outside a propagation computation (§6).
+
+    A {!monitor} additionally tracks each node {e across} sessions and
+    asserts DBVV monotonicity: a node's database version vector never
+    goes backwards, whatever the interleaving of updates, sessions,
+    crashes and recoveries. *)
+
+val check_node : ?log_bound:bool -> Edb_core.Node.t -> (unit, string) result
+(** All node-local structural invariants; [Error msg] pinpoints the
+    first violation. [log_bound] is forwarded to
+    {!Edb_core.Node.check_invariants}: pass [false] once {e any} node of
+    the system has declared a conflict, because a report-only conflict
+    breaks the per-origin prefix property (and with it the seq <= DBVV
+    bound) at {e other}, still conflict-free nodes. *)
+
+type monitor
+(** Per-cluster temporal state: the last observed DBVV of each node. *)
+
+val monitor : n:int -> monitor
+(** [monitor ~n] observes a cluster of [n] nodes; no DBVV is recorded
+    until the first {!observe} of each node. *)
+
+val observe :
+  ?log_bound:bool -> monitor -> Edb_core.Node.t -> (unit, string) result
+(** [observe m node] runs {!check_node} and verifies the node's DBVV
+    dominates (component-wise) its previously observed value, then
+    records the new value. *)

@@ -1,0 +1,148 @@
+module Node = Edb_core.Node
+module Store = Edb_store.Store
+module Item = Edb_store.Item
+module Operation = Edb_store.Operation
+module Vv = Edb_vv.Version_vector
+
+type copy = { mutable value : string; mutable ivv : int array }
+
+type replica = {
+  items : (string, copy) Hashtbl.t;
+  conflicted : (string, unit) Hashtbl.t;
+}
+
+type t = { n : int; replicas : replica array }
+
+let create ~n =
+  if n <= 0 then invalid_arg "Oracle.create: n must be positive";
+  {
+    n;
+    replicas =
+      Array.init n (fun _ ->
+          { items = Hashtbl.create 8; conflicted = Hashtbl.create 4 });
+  }
+
+let n t = t.n
+
+let find_or_create t replica name =
+  match Hashtbl.find_opt replica.items name with
+  | Some c -> c
+  | None ->
+    let c = { value = ""; ivv = Array.make t.n 0 } in
+    Hashtbl.add replica.items name c;
+    c
+
+let update t ~node ~item ~op =
+  let copy = find_or_create t t.replicas.(node) item in
+  copy.value <- Operation.apply copy.value op;
+  copy.ivv.(node) <- copy.ivv.(node) + 1
+
+(* Component-wise classification, the naive per-item protocol's only
+   tool (§3). *)
+type order = Equal | Left_newer | Right_newer | Concurrent
+
+let compare_ivv a b =
+  let left = ref false and right = ref false in
+  Array.iteri
+    (fun l av -> if av > b.(l) then left := true else if av < b.(l) then right := true)
+    a;
+  match (!left, !right) with
+  | false, false -> Equal
+  | true, false -> Left_newer
+  | false, true -> Right_newer
+  | true, true -> Concurrent
+
+let sorted_names items =
+  Hashtbl.fold (fun name _ acc -> name :: acc) items [] |> List.sort String.compare
+
+let session t ~src ~dst =
+  let source = t.replicas.(src) and recipient = t.replicas.(dst) in
+  List.iter
+    (fun name ->
+      let theirs = Hashtbl.find source.items name in
+      let ours = find_or_create t recipient name in
+      match compare_ivv theirs.ivv ours.ivv with
+      | Left_newer ->
+        ours.value <- theirs.value;
+        ours.ivv <- Array.copy theirs.ivv
+      | Equal | Right_newer -> ()
+      | Concurrent -> Hashtbl.replace recipient.conflicted name ())
+    (sorted_names source.items)
+
+let read t ~node ~item =
+  Option.map (fun c -> c.value) (Hashtbl.find_opt t.replicas.(node).items item)
+
+let ivv t ~node ~item =
+  Option.map (fun c -> Array.copy c.ivv) (Hashtbl.find_opt t.replicas.(node).items item)
+
+let conflicted t ~node ~item = Hashtbl.mem t.replicas.(node).conflicted item
+
+let conflict_items t ~node = sorted_names t.replicas.(node).conflicted
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence with the real protocol                                  *)
+(* ------------------------------------------------------------------ *)
+
+let errf fmt = Printf.ksprintf (fun msg -> Error msg) fmt
+
+let zero ivv = Array.for_all (( = ) 0) ivv
+
+let matches_node ?(exact = true) t ~node:id ~real ~real_conflicted =
+  let replica = t.replicas.(id) in
+  let skip name = Hashtbl.mem replica.conflicted name || real_conflicted name in
+  let check_oracle_item name =
+    if skip name then Ok ()
+    else
+      let copy = Hashtbl.find replica.items name in
+      let real_ivv =
+        match Node.item_vv real name with
+        | Some vv -> Vv.to_array vv
+        | None -> Array.make t.n 0
+      in
+      if exact && real_ivv <> copy.ivv then
+        errf "node %d item %S: oracle ivv %s but protocol has %s" id name
+          (Vv.to_string (Vv.of_array copy.ivv))
+          (Vv.to_string (Vv.of_array real_ivv))
+      else if
+        (* Even lagging, the protocol may never know more than the
+           oracle: each component at most the oracle's. *)
+        Array.exists (fun l -> real_ivv.(l) > copy.ivv.(l)) (Array.init t.n Fun.id)
+      then
+        errf "node %d item %S: protocol ivv %s ahead of the oracle's %s" id name
+          (Vv.to_string (Vv.of_array real_ivv))
+          (Vv.to_string (Vv.of_array copy.ivv))
+      else if real_ivv = copy.ivv then
+        let real_value = Option.value ~default:"" (Node.read_regular real name) in
+        if not (String.equal real_value copy.value) then
+          errf "node %d item %S: oracle value %S but protocol has %S" id name
+            copy.value real_value
+        else Ok ()
+      else Ok ()
+  in
+  let rec check_all = function
+    | [] -> Ok ()
+    | name :: rest -> (
+      match check_oracle_item name with Error _ as e -> e | Ok () -> check_all rest)
+  in
+  match check_all (sorted_names replica.items) with
+  | Error _ as e -> e
+  | Ok () -> (
+    (* Every protocol-side replica with updates must exist in the
+       oracle — the protocol may not invent state. *)
+    let invented =
+      Store.fold
+        (fun acc (item : Item.t) ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            if
+              (not (Hashtbl.mem replica.items item.name))
+              && (not (zero (Vv.to_array item.ivv)))
+              && not (skip item.name)
+            then Some item.name
+            else None)
+        None (Node.store real)
+    in
+    match invented with
+    | Some name -> errf "node %d holds item %S the oracle never saw" id name
+    | None -> Ok ())

@@ -1,0 +1,67 @@
+(** A naive reference replica, run in lockstep with the real protocol.
+
+    The oracle implements update propagation the way the paper's §8
+    baselines do (Wuu–Bernstein-style full compare): every replica
+    keeps a plain per-item [(value, IVV)] map, and a session from [src]
+    to [dst] compares {e every} item of the source against the
+    recipient — O(N) per session, no DBVV, no logs, no auxiliary
+    structures. Newer copies are adopted whole; concurrent copies are
+    flagged as conflicted and left untouched, exactly the paper's
+    report-only conflict behaviour.
+
+    Because this O(N) protocol is trivially correct, running it in
+    lockstep with the real O(m) protocol — mirroring every user update
+    and every executed session — and demanding equal states turns the
+    paper's central claim (§6: same outcome, less work) into a testable
+    equivalence: after every session and at quiescence the two must
+    agree on all values, all IVVs, and the conflict set. *)
+
+type t
+
+val create : n:int -> t
+
+val n : t -> int
+
+val update : t -> node:int -> item:string -> op:Edb_store.Operation.t -> unit
+(** Mirror of a user update at [node]. *)
+
+val session : t -> src:int -> dst:int -> unit
+(** Mirror of one propagation session carrying [src]'s knowledge to
+    [dst]: full per-item compare, newer copies adopted, concurrent
+    copies flagged at [dst]. Items are visited in sorted name order so
+    runs are deterministic. *)
+
+val read : t -> node:int -> item:string -> string option
+
+val ivv : t -> node:int -> item:string -> int array option
+
+val conflicted : t -> node:int -> item:string -> bool
+(** Whether [node] has ever observed a concurrent copy of [item]. *)
+
+val conflict_items : t -> node:int -> string list
+(** All items ever flagged conflicted at [node], sorted. *)
+
+val matches_node :
+  ?exact:bool ->
+  t ->
+  node:int ->
+  real:Edb_core.Node.t ->
+  real_conflicted:(string -> bool) ->
+  (unit, string) result
+(** [matches_node t ~node ~real ~real_conflicted] checks state
+    equivalence between oracle replica [node] and the real protocol
+    node: equal values and IVVs for every item neither side has flagged
+    as conflicted ([real_conflicted] supplies the protocol side's
+    flags), and no protocol-side item with updates the oracle never
+    saw. Conflicted items are exempt because after a report-only
+    conflict the paper's protocol deliberately stops reconciling them
+    (§5.1).
+
+    [exact] (default true) demands equality after every session — valid
+    only while the {e whole system} is conflict-free. Once any node has
+    declared a conflict, dropped log records deflate DBVVs, and Fig. 2's
+    component gate can legitimately suppress shipping an {e unrelated}
+    item that another path delivers later; pass [~exact:false] then,
+    which still demands the protocol never gets {e ahead} of the oracle
+    (componentwise IVV bound, equal values at equal IVVs, no invented
+    state) but tolerates lag. *)

@@ -106,6 +106,10 @@ let item_vv t name =
 
 let has_aux t name = Hashtbl.mem t.aux_items name
 
+let aux_entries t =
+  Hashtbl.fold (fun name (it : Item.t) acc -> (name, Vv.copy it.ivv) :: acc) t.aux_items []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let aux_vv t name =
   Option.map (fun (i : Item.t) -> Vv.copy i.ivv) (Hashtbl.find_opt t.aux_items name)
 
@@ -603,7 +607,7 @@ let import_state ?policy ?conflict_handler ?mode (state : State.t) =
 (* Invariants                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let check_invariants t =
+let check_invariants ?(log_bound = true) t =
   (* DBVV = component-wise sum of regular item IVVs (§4.1). *)
   let sums = Array.make t.n 0 in
   Store.iter
@@ -621,7 +625,7 @@ let check_invariants t =
     else check_sum (l + 1)
   in
   let check_log_bound () =
-    if t.conflicts <> [] then Ok ()
+    if (not log_bound) || t.conflicts <> [] then Ok ()
     else
       let rec loop k =
         if k >= t.n then Ok ()

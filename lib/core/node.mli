@@ -113,6 +113,12 @@ val has_aux : t -> string -> bool
 val aux_vv : t -> string -> Edb_vv.Version_vector.t option
 (** The auxiliary copy's IVV, when one exists (a snapshot copy). *)
 
+val aux_entries : t -> (string * Edb_vv.Version_vector.t) list
+(** Every auxiliary copy as [(item, ivv snapshot)], sorted by item
+    name. Read-only inspection hook for the invariant checker
+    ([lib/check]), which cross-checks auxiliary copies against the
+    auxiliary log (§4.3–4.4). *)
+
 val conflicts : t -> Conflict.t list
 (** All conflicts declared at this node, most recent first. *)
 
@@ -221,7 +227,7 @@ val import_state :
 
 (** {1 Introspection} *)
 
-val check_invariants : t -> (unit, string) result
+val check_invariants : ?log_bound:bool -> t -> (unit, string) result
 (** Verifies the node-local structural invariants:
     - [V_i\[l\] = Σ_x v_i(x)\[l\]] for every origin [l] — the DBVV counts
       exactly the updates reflected by the regular items (§4.1);
@@ -230,4 +236,14 @@ val check_invariants : t -> (unit, string) result
     - when the node has seen no conflicts, component [k]'s newest record
       has sequence number at most [V_i\[k\]];
     - no item carries a stray [IsSelected] flag outside a propagation
-      computation (§6). *)
+      computation (§6).
+
+    The [seq <= V_i\[k\]] bound is a consequence of the per-origin
+    prefix property, which a report-only conflict breaks {e globally}:
+    once {e any} node skips a conflicting item's records, other — still
+    conflict-free — nodes can legitimately adopt later records of that
+    origin without ever reflecting the skipped update. Callers with
+    system-wide knowledge (the cluster, the [lib/check] monitors) pass
+    [~log_bound:false] once any node of the system has declared a
+    conflict; the default [true] applies the bound, still skipping it
+    when this node itself has conflicts. *)

@@ -44,6 +44,11 @@ let length t = Dll.length t.records
 
 let to_list t = Dll.to_list t.records
 
+let records_for t item =
+  match Hashtbl.find_opt t.per_item item with
+  | None -> []
+  | Some q -> Queue.fold (fun acc node -> Dll.value node :: acc) [] q |> List.rev
+
 let storage_bytes t =
   Dll.fold_left
     (fun acc r ->

@@ -43,6 +43,12 @@ val to_list : t -> record list
 (** [to_list t] is every retained record, oldest first. For tests and
     inspection. *)
 
+val records_for : t -> string -> record list
+(** [records_for t item] is every retained record for [item], oldest
+    first. Read-only inspection hook for the invariant checker
+    ([lib/check]): the per-item IVVs must be strictly increasing in the
+    dominance order (§4.4). *)
+
 val storage_bytes : t -> int
 (** [storage_bytes t] is the cost-model size of the log: per record, the
     operation payload plus one IVV. This is the storage overhead the

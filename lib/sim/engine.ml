@@ -59,14 +59,19 @@ let rec execute t event =
     if t.alive.(node) then t.driver.Driver.update ~node ~item ~op
   | Session { src; dst } ->
     (* A session only begins if the initiating endpoints are up and the
-       pair is not partitioned; the network may still lose it. *)
+       pair is not partitioned; the network may still lose it, and may
+       deliver it twice (each copy with its own delay). *)
     if
       t.alive.(src) && t.alive.(dst)
       && (not (Network.blocked t.network src dst))
       && not (Network.lost t.network t.prng)
-    then
+    then begin
       schedule_after t ~delay:(Network.delay t.network t.prng)
-        (Session_delivery { src; dst })
+        (Session_delivery { src; dst });
+      if Network.duplicated t.network t.prng then
+        schedule_after t ~delay:(Network.delay t.network t.prng)
+          (Session_delivery { src; dst })
+    end
     else t.sessions_lost <- t.sessions_lost + 1
   | Session_delivery { src; dst } ->
     (* Endpoints may have died while the session was in flight. *)
@@ -112,6 +117,12 @@ let run_until t deadline =
   in
   loop ();
   t.now <- max t.now deadline
+
+let run_until_quiescent ?(max_events = 100_000) t =
+  let rec loop budget =
+    if budget <= 0 then false else if step t then loop (budget - 1) else true
+  in
+  loop max_events
 
 let run_until_converged t ~check_every ~deadline =
   let rec loop checkpoint =

@@ -3,9 +3,18 @@
     Drives any replication protocol (through
     {!Edb_baselines.Driver.t}) over virtual time: user updates arrive,
     anti-entropy sessions fire on schedules, nodes crash and recover,
-    the network delays or drops sessions. Determinism: all randomness
-    comes from one seeded generator, and simultaneous events run in
-    scheduling order.
+    the network delays, drops, duplicates or reorders sessions.
+
+    {b Determinism guarantees.} A run is a pure function of the engine
+    seed, the network configuration, and the sequence of [schedule]
+    calls: all randomness comes from one seeded splitmix64 generator
+    (never the OCaml stdlib [Random]), events with equal timestamps
+    execute in the order they were scheduled (the event queue breaks
+    ties FIFO), and the engine itself never consults wall-clock time.
+    Re-running the same schedule with the same seed reproduces every
+    delivery, loss, duplication and peer choice exactly — which is what
+    lets the fault-schedule explorer ([lib/check]) shrink failing
+    schedules and replay them from a printed seed.
 
     A session scheduled at time [T] between alive, connected endpoints
     executes at [T + delay]; if either endpoint is down at execution
@@ -56,6 +65,14 @@ val run_until : t -> float -> unit
 val step : t -> bool
 (** [step t] processes the single earliest event; [false] when the
     queue is empty. *)
+
+val run_until_quiescent : ?max_events:int -> t -> bool
+(** [run_until_quiescent t] processes events in deterministic order
+    until the queue drains or [max_events] (default [100_000]) have
+    executed; [true] iff the queue drained. Bounded by event count, not
+    wall time, so tests driving finite schedules cannot hang. Note that
+    a pending {!Anti_entropy_round} reschedules itself forever and will
+    exhaust the budget — use {!run_until} for recurring schedules. *)
 
 val run_until_converged :
   t -> check_every:float -> deadline:float -> float option

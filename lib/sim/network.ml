@@ -3,18 +3,45 @@ module Prng = Edb_util.Prng
 type t = {
   base_latency : float;
   jitter_mean : float;
-  loss_probability : float;
+  mutable loss_probability : float;
+  mutable duplicate_probability : float;
+  mutable reorder_probability : float;
+  reorder_spread : float;
   blocked_pairs : (int * int, unit) Hashtbl.t;
 }
 
-let create ?(base_latency = 1.0) ?(jitter_mean = 0.0) ?(loss_probability = 0.0) () =
-  { base_latency; jitter_mean; loss_probability; blocked_pairs = Hashtbl.create 8 }
+let create ?(base_latency = 1.0) ?(jitter_mean = 0.0) ?(loss_probability = 0.0)
+    ?(duplicate_probability = 0.0) ?(reorder_probability = 0.0)
+    ?(reorder_spread = 5.0) () =
+  {
+    base_latency;
+    jitter_mean;
+    loss_probability;
+    duplicate_probability;
+    reorder_probability;
+    reorder_spread;
+    blocked_pairs = Hashtbl.create 8;
+  }
 
 let delay t prng =
-  if t.jitter_mean <= 0.0 then t.base_latency
-  else t.base_latency +. Prng.exponential prng ~mean:t.jitter_mean
+  let base =
+    if t.jitter_mean <= 0.0 then t.base_latency
+    else t.base_latency +. Prng.exponential prng ~mean:t.jitter_mean
+  in
+  if t.reorder_probability > 0.0 && Prng.chance prng t.reorder_probability then
+    base +. Prng.float prng t.reorder_spread
+  else base
 
 let lost t prng = Prng.chance prng t.loss_probability
+
+let duplicated t prng =
+  t.duplicate_probability > 0.0 && Prng.chance prng t.duplicate_probability
+
+let set_loss_probability t p = t.loss_probability <- p
+
+let set_duplicate_probability t p = t.duplicate_probability <- p
+
+let set_reorder_probability t p = t.reorder_probability <- p
 
 let key a b = if a <= b then (a, b) else (b, a)
 

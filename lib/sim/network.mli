@@ -5,7 +5,16 @@
     §1), lossy transport, and partitions. Sessions between partitioned
     or crashed endpoints simply do not happen — the epidemic process
     routes around them, which is exactly what experiment E6
-    demonstrates. *)
+    demonstrates.
+
+    Two additional fault modes exercise the protocol under adversarial
+    delivery orders (the schedules where causality-metadata bugs hide):
+
+    - {b duplication} — a session attempt may be delivered twice, each
+      copy with its own delay. The protocol must be idempotent: the
+      second delivery finds the recipient current.
+    - {b reordering} — a session attempt may be held back by an extra
+      random delay, so sessions issued later can overtake it. *)
 
 type t
 
@@ -13,17 +22,38 @@ val create :
   ?base_latency:float ->
   ?jitter_mean:float ->
   ?loss_probability:float ->
+  ?duplicate_probability:float ->
+  ?reorder_probability:float ->
+  ?reorder_spread:float ->
   unit ->
   t
 (** [create ()] is a reliable zero-jitter network with
-    [base_latency = 1.0] time units. *)
+    [base_latency = 1.0] time units and no duplication or reordering.
+    [reorder_spread] (default 5.0) is the maximum extra delay added to
+    a reordered session. *)
 
 val delay : t -> Edb_util.Prng.t -> float
 (** [delay t prng] samples one session's network delay: base latency
-    plus exponential jitter. *)
+    plus exponential jitter, plus — with probability
+    [reorder_probability] — a uniform extra delay in
+    [\[0, reorder_spread)] that lets later sessions overtake this
+    one. *)
 
 val lost : t -> Edb_util.Prng.t -> bool
 (** [lost t prng] decides whether a session attempt is lost. *)
+
+val duplicated : t -> Edb_util.Prng.t -> bool
+(** [duplicated t prng] decides whether a session attempt is delivered
+    twice. *)
+
+val set_loss_probability : t -> float -> unit
+(** Change the loss probability mid-simulation — the fault-schedule
+    explorer uses this to restore a reliable network before driving the
+    system to quiescence. *)
+
+val set_duplicate_probability : t -> float -> unit
+
+val set_reorder_probability : t -> float -> unit
 
 val partition : t -> int -> int -> unit
 (** [partition t a b] blocks sessions between [a] and [b] (both

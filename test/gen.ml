@@ -1,0 +1,65 @@
+(* Shared QCheck2 generators for the whole test suite, so property
+   tests across files agree on what "an arbitrary workload" means
+   instead of each keeping its own ad-hoc copy. *)
+
+module Operation = Edb_store.Operation
+
+(* An arbitrary update operation: mostly whole-value sets, occasionally
+   a byte-range splice (§4.4). *)
+let operation =
+  QCheck2.Gen.(
+    frequency
+      [
+        (4, map (fun k -> Operation.Set (Printf.sprintf "v%d" k)) (int_bound 99));
+        ( 1,
+          map2
+            (fun offset k -> Operation.Splice { offset; data = Printf.sprintf "s%d" k })
+            (int_bound 8) (int_bound 9) );
+      ])
+
+(* ---------- Single-writer cluster scripts (test_convergence) ---------- *)
+
+(* A scripted run over an in-process cluster whose items are owned by a
+   single writer each (ownership = rank mod n), so no conflicts can
+   arise and convergence must be exact. *)
+type action =
+  | Update of { owner_choice : int; item_rank : int }
+  | Pull of { recipient : int; source : int }
+  | Oob of { recipient : int; source : int; item_rank : int }
+
+let actions ~nodes ~items =
+  QCheck2.Gen.(
+    let action =
+      frequency
+        [
+          ( 4,
+            map2
+              (fun o r -> Update { owner_choice = o; item_rank = r })
+              (int_bound 1000)
+              (int_bound (items - 1)) );
+          ( 4,
+            map2
+              (fun a b -> Pull { recipient = a mod nodes; source = b mod nodes })
+              (int_bound 1000) (int_bound 1000) );
+          ( 1,
+            map3
+              (fun a b r ->
+                Oob { recipient = a mod nodes; source = b mod nodes; item_rank = r })
+              (int_bound 1000) (int_bound 1000)
+              (int_bound (items - 1)) );
+        ]
+    in
+    list_size (int_range 0 120) action)
+
+(* ---------- Log-structure scripts (test_log) ---------- *)
+
+(* Item ids to add to one log component with increasing seq. *)
+let item_script = QCheck2.Gen.(list_size (int_range 0 60) (int_bound 9))
+
+(* Append/remove-earliest interleavings over a small item universe, for
+   the auxiliary-log FIFO model. *)
+let aux_script = QCheck2.Gen.(list (pair bool (int_bound 4)))
+
+(* ---------- Whole simulation schedules (lib/check) ---------- *)
+
+let schedule = Edb_check.Explorer.gen

@@ -7,33 +7,10 @@ module Operation = Edb_store.Operation
 module Vv = Edb_vv.Version_vector
 module Prng = Edb_util.Prng
 
-(* A scripted run: a list of actions over a cluster whose items are
-   owned by a single writer each (ownership = rank mod n), so no
-   conflicts can arise and convergence must be exact. *)
+(* Scripted runs over a single-writer cluster; the action type and its
+   generator are shared with the rest of the suite via [Gen]. *)
 
-type action =
-  | Update of { owner_choice : int; item_rank : int }
-  | Pull of { recipient : int; source : int }
-  | Oob of { recipient : int; source : int; item_rank : int }
-
-let gen_actions ~nodes ~items =
-  QCheck2.Gen.(
-    let action =
-      frequency
-        [
-          (4, map2 (fun o r -> Update { owner_choice = o; item_rank = r }) (int_bound 1000) (int_bound (items - 1)));
-          ( 4,
-            map2
-              (fun a b -> Pull { recipient = a mod nodes; source = b mod nodes })
-              (int_bound 1000) (int_bound 1000) );
-          ( 1,
-            map3
-              (fun a b r ->
-                Oob { recipient = a mod nodes; source = b mod nodes; item_rank = r })
-              (int_bound 1000) (int_bound 1000) (int_bound (items - 1)) );
-        ]
-    in
-    list_size (int_range 0 120) action)
+let gen_actions = Gen.actions
 
 let item_name rank = Printf.sprintf "it%02d" rank
 
@@ -43,7 +20,7 @@ let run_script ~nodes ~items actions =
   List.iter
     (fun action ->
       match action with
-      | Update { owner_choice; item_rank } ->
+      | Gen.Update { owner_choice; item_rank } ->
         (* Single-writer discipline: the item's owner performs every
            update, touching the auxiliary copy if one exists. *)
         let owner = (item_rank + (owner_choice * 0)) mod nodes in
@@ -51,10 +28,10 @@ let run_script ~nodes ~items actions =
         let value = Printf.sprintf "%d:%d" item_rank version.(item_rank) in
         Cluster.update cluster ~node:owner ~item:(item_name item_rank)
           (Operation.Set value)
-      | Pull { recipient; source } ->
+      | Gen.Pull { recipient; source } ->
         if recipient <> source then
           ignore (Cluster.pull cluster ~recipient ~source)
-      | Oob { recipient; source; item_rank } ->
+      | Gen.Oob { recipient; source; item_rank } ->
         if recipient <> source then
           ignore
             (Cluster.fetch_out_of_bound cluster ~recipient ~source (item_name item_rank)))

@@ -1,0 +1,225 @@
+(* The lib/check invariant checker, exercised across every protocol
+   driver, both propagation modes, and crash-recovery through the WAL. *)
+
+module Cluster = Edb_core.Cluster
+module Node = Edb_core.Node
+module Operation = Edb_store.Operation
+module Driver = Edb_baselines.Driver
+module Demers = Edb_baselines.Demers
+module Lotus = Edb_baselines.Lotus
+module Oracle_push = Edb_baselines.Oracle_push
+module Wuu = Edb_baselines.Wuu_bernstein
+module Two_phase = Edb_baselines.Two_phase_gossip
+module Ficus = Edb_baselines.Ficus
+module Engine = Edb_sim.Engine
+module Network = Edb_sim.Network
+module Invariant = Edb_check.Invariant
+module Durable = Edb_persist.Durable_node
+
+let set v = Operation.Set v
+
+let item_name rank = Printf.sprintf "it%02d" rank
+
+let universe k = List.init k item_name
+
+let expect_ok label = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail (label ^ ": " ^ msg)
+
+(* One subject under test: a driver, plus the underlying cluster when
+   the protocol is the paper's (only then do the lib/check structural
+   invariants apply). *)
+type subject = { label : string; driver : Driver.t; cluster : Edb_core.Cluster.t option }
+
+let subjects () =
+  let u = universe 4 in
+  let dbvv mode label =
+    let cluster, driver = Edb_baselines.Epidemic_driver.create ~seed:5 ~mode ~n:3 () in
+    { label; driver; cluster = Some cluster }
+  in
+  [
+    dbvv Node.Whole_item "dbvv";
+    dbvv (Node.Op_log { depth = 8 }) "dbvv-oplog";
+    { label = "demers"; driver = Demers.driver (Demers.create ~n:3 ~universe:u); cluster = None };
+    { label = "lotus"; driver = Lotus.driver (Lotus.create ~n:3 ~universe:u); cluster = None };
+    { label = "oracle"; driver = Oracle_push.driver (Oracle_push.create ~n:3); cluster = None };
+    { label = "wuu"; driver = Wuu.driver (Wuu.create ~n:3); cluster = None };
+    { label = "2pg"; driver = Two_phase.driver (Two_phase.create ~n:3); cluster = None };
+    { label = "ficus"; driver = Ficus.driver (Ficus.create ~n:3 ~universe:u); cluster = None };
+  ]
+
+(* A fixed single-writer schedule with a mid-run crash window, followed
+   by full-mesh anti-entropy rounds (direct sessions, so even the
+   non-forwarding Oracle baseline converges). *)
+let run_fixed_schedule { label; driver; cluster } =
+  let monitor = Invariant.monitor ~n:3 in
+  let observe where =
+    match cluster with
+    | None -> ()
+    | Some cluster ->
+      for i = 0 to 2 do
+        expect_ok
+          (Printf.sprintf "%s %s node %d" label where i)
+          (Invariant.observe monitor (Cluster.node cluster i))
+      done
+  in
+  let wrapped =
+    {
+      driver with
+      Driver.update =
+        (fun ~node ~item ~op ->
+          driver.Driver.update ~node ~item ~op;
+          observe "after update");
+      session =
+        (fun ~src ~dst ->
+          driver.Driver.session ~src ~dst;
+          observe "after session");
+    }
+  in
+  let engine = Engine.create ~seed:3 ~network:(Network.create ()) ~driver:wrapped () in
+  (* Single writer per item: owner = rank mod 3. *)
+  List.iteri
+    (fun i ev -> Engine.schedule engine ~at:(float_of_int (i + 1)) ev)
+    [
+      Engine.User_update { node = 0; item = item_name 0; op = set "a1" };
+      Engine.User_update { node = 1; item = item_name 1; op = set "b1" };
+      Engine.Session { src = 0; dst = 1 };
+      Engine.Crash 2;
+      Engine.User_update { node = 0; item = item_name 3; op = set "a2" };
+      Engine.Session { src = 1; dst = 0 };
+      Engine.Recover 2;
+      Engine.User_update { node = 2; item = item_name 2; op = set "c1" };
+      Engine.User_update { node = 1; item = item_name 1; op = set "b2" };
+    ];
+  for round = 0 to 2 do
+    let at = 20.0 +. (2.0 *. float_of_int round) in
+    for src = 0 to 2 do
+      for dst = 0 to 2 do
+        if src <> dst then Engine.schedule engine ~at (Engine.Session { src; dst })
+      done
+    done
+  done;
+  Alcotest.(check bool) (label ^ " quiescent") true (Engine.run_until_quiescent engine);
+  observe "at quiescence";
+  Alcotest.(check bool) (label ^ " converged") true (driver.Driver.converged ());
+  (* The values every driver must agree on after this schedule. *)
+  List.iter
+    (fun (rank, expected) ->
+      for node = 0 to 2 do
+        Alcotest.(check (option string))
+          (Printf.sprintf "%s node %d %s" label node (item_name rank))
+          (Some expected)
+          (driver.Driver.read ~node ~item:(item_name rank))
+      done)
+    [ (0, "a1"); (1, "b2"); (2, "c1"); (3, "a2") ]
+
+let test_all_drivers () = List.iter run_fixed_schedule (subjects ())
+
+(* The invariant checker on randomized single-writer scripts (both
+   propagation modes), sharing the suite's workload generator. *)
+let prop_invariants_randomized mode name =
+  QCheck2.Test.make ~name ~count:60 (Gen.actions ~nodes:4 ~items:6) (fun actions ->
+      let cluster = Cluster.create ~seed:29 ~mode ~n:4 () in
+      let monitor = Invariant.monitor ~n:4 in
+      let observe () =
+        for i = 0 to 3 do
+          match Invariant.observe monitor (Cluster.node cluster i) with
+          | Ok () -> ()
+          | Error msg -> QCheck2.Test.fail_report msg
+        done
+      in
+      List.iter
+        (fun action ->
+          (match action with
+          | Gen.Update { owner_choice = _; item_rank } ->
+            let owner = item_rank mod 4 in
+            Cluster.update cluster ~node:owner ~item:(item_name item_rank)
+              (set (Printf.sprintf "%d" item_rank))
+          | Gen.Pull { recipient; source } ->
+            if recipient <> source then ignore (Cluster.pull cluster ~recipient ~source)
+          | Gen.Oob { recipient; source; item_rank } ->
+            if recipient <> source then
+              ignore
+                (Cluster.fetch_out_of_bound cluster ~recipient ~source
+                   (item_name item_rank)));
+          observe ())
+        actions;
+      ignore (Cluster.sync_until_converged ~max_rounds:500 cluster);
+      observe ();
+      true)
+
+(* Crash-recovery: a node rebuilt from its write-ahead journal must
+   satisfy every structural invariant and reproduce the durable state
+   exactly. *)
+let with_temp_dir f =
+  let dir = Filename.temp_file "edb-check" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun x -> Sys.remove (Filename.concat dir x)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let ok = function Ok v -> v | Error msg -> Alcotest.fail msg
+
+let test_wal_recovery_invariants () =
+  with_temp_dir (fun dir ->
+      let a, _ = ok (Durable.open_or_create ~dir ~id:0 ~n:2 ()) in
+      let peer = Node.create ~id:1 ~n:2 () in
+      Durable.update a "x" (set "x1");
+      Durable.update a "y" (set "y1");
+      Node.update peer "z" (set "z1");
+      ignore (Durable.pull_from a ~source:peer);
+      Durable.update a "x" (set "x2");
+      let before = Node.export_state (Durable.node a) in
+      (* Crash: drop the in-memory node, reopen from the journal. *)
+      Durable.close a;
+      let b, _ = ok (Durable.open_or_create ~dir ~id:0 ~n:2 ()) in
+      expect_ok "recovered node invariants" (Invariant.check_node (Durable.node b));
+      let after = Node.export_state (Durable.node b) in
+      Alcotest.(check bool) "state reproduced" true (before = after);
+      Durable.close b)
+
+(* Deliberately corrupted state must be rejected — the checker is not
+   vacuous. *)
+let test_checker_rejects_corruption () =
+  let cluster = Cluster.create ~seed:7 ~n:3 () in
+  Cluster.update cluster ~node:0 ~item:"x" (set "v1");
+  let node = Cluster.node cluster 0 in
+  expect_ok "clean state accepted" (Invariant.check_node node);
+  let item = Edb_store.Store.find_or_create (Node.store node) "x" in
+  Edb_vv.Version_vector.incr item.Edb_store.Item.ivv 1;
+  (match Invariant.check_node node with
+  | Ok () -> Alcotest.fail "corrupted IVV went undetected"
+  | Error _ -> ())
+
+(* DBVV monotonicity: the monitor flags a node whose DBVV goes
+   backwards (here: a fresh node observed under the same id). *)
+let test_monitor_flags_regression () =
+  let monitor = Invariant.monitor ~n:2 in
+  let node = Node.create ~id:0 ~n:2 () in
+  Node.update node "x" (set "v");
+  expect_ok "first observation" (Invariant.observe monitor node);
+  let fresh = Node.create ~id:0 ~n:2 () in
+  match Invariant.observe monitor fresh with
+  | Ok () -> Alcotest.fail "DBVV regression went undetected"
+  | Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "fixed schedule across all drivers" `Quick test_all_drivers;
+    QCheck_alcotest.to_alcotest
+      (prop_invariants_randomized Node.Whole_item "invariants hold (whole-item mode)");
+    QCheck_alcotest.to_alcotest
+      (prop_invariants_randomized
+         (Node.Op_log { depth = 6 })
+         "invariants hold (op-log mode)");
+    Alcotest.test_case "wal recovery preserves invariants" `Quick
+      test_wal_recovery_invariants;
+    Alcotest.test_case "checker rejects corrupted state" `Quick
+      test_checker_rejects_corruption;
+    Alcotest.test_case "monitor flags DBVV regression" `Quick
+      test_monitor_flags_regression;
+  ]

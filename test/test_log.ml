@@ -90,8 +90,8 @@ let test_find_record () =
 (* Property: after any sequence of adds with increasing seq, the
    component holds the latest record per item, in seq order. *)
 let prop_component_model =
-  let gen = QCheck2.Gen.(list_size (int_range 0 60) (int_bound 9)) in
-  QCheck2.Test.make ~name:"log component matches latest-per-item model" ~count:300 gen
+  QCheck2.Test.make ~name:"log component matches latest-per-item model" ~count:300
+    Gen.item_script
     (fun item_ids ->
       let c = Log_component.create () in
       let model = Hashtbl.create 8 in
@@ -192,8 +192,8 @@ let test_aux_storage_bytes () =
 (* Property: the auxiliary log matches a per-item FIFO model under any
    interleaving of appends and earliest-removals. *)
 let prop_aux_log_model =
-  let gen = QCheck2.Gen.(list (pair bool (int_bound 4))) in
-  QCheck2.Test.make ~name:"aux log matches per-item FIFO model" ~count:300 gen
+  QCheck2.Test.make ~name:"aux log matches per-item FIFO model" ~count:300
+    Gen.aux_script
     (fun script ->
       let log = Aux_log.create () in
       let model : (string, int Queue.t) Hashtbl.t = Hashtbl.create 4 in

@@ -25,6 +25,8 @@ let () =
       ("sessions", Test_sessions.suite);
       ("op-log", Test_oplog.suite);
       ("server-group", Test_server.suite);
+      ("invariants", Test_invariants.suite);
+      ("explorer", Test_explorer.suite);
       ("wal", Test_wal.suite);
       ("integration", Test_integration.suite);
     ]
