@@ -1,0 +1,90 @@
+(* Validator for BENCH_micro.json, run by the @bench-smoke alias so a
+   bit-rotted bench harness (or a malformed emission) fails tier-1
+   instead of being discovered when someone needs the perf trajectory. *)
+
+module Json = Edb_metrics.Json
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+let require what = function Some v -> v | None -> fail "missing or ill-typed %s" what
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_micro.json" in
+  let blob =
+    match open_in_bin path with
+    | exception Sys_error msg -> fail "cannot open %s: %s" path msg
+    | ic ->
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      data
+  in
+  let doc =
+    match Json.of_string blob with
+    | Ok doc -> doc
+    | Error msg -> fail "%s: parse error: %s" path msg
+  in
+  let schema =
+    require "schema" (Option.bind (Json.member "schema" doc) Json.to_float_opt)
+  in
+  if schema <> 1.0 then fail "%s: unknown schema version %g" path schema;
+  let benchmarks =
+    match Json.member "benchmarks" doc with
+    | Some (Json.Obj fields) -> fields
+    | _ -> fail "%s: missing benchmarks object" path
+  in
+  if benchmarks = [] then fail "%s: benchmarks object is empty" path;
+  List.iter
+    (fun (name, entry) ->
+      let field key =
+        match Json.member key entry with
+        | Some Json.Null -> ()
+        | Some v when Json.to_float_opt v <> None ->
+          let value = Option.get (Json.to_float_opt v) in
+          if Float.is_nan value || value < 0.0 then
+            fail "%s: benchmark %S has invalid %s" path name key
+        | _ -> fail "%s: benchmark %S lacks numeric %s" path name key
+      in
+      field "ns_per_op";
+      field "minor_words";
+      field "r_square")
+    benchmarks;
+  let has substring =
+    List.exists
+      (fun (name, _) ->
+        Astring.String.is_infix ~affix:substring name)
+      benchmarks
+  in
+  (* The entries the acceptance criteria and future PR diffs key on. *)
+  List.iter
+    (fun probe -> if not (has probe) then fail "%s: no %S benchmark" path probe)
+    [ "e12 idle pull round-trip"; "e15 cached idle round"; "sync-all" ];
+  let experiments =
+    require "experiments list"
+      (Option.bind (Json.member "experiments" doc) Json.to_list_opt)
+  in
+  if experiments = [] then fail "%s: experiments list is empty" path;
+  List.iter
+    (fun table ->
+      let title =
+        require "experiment title"
+          (Option.bind (Json.member "title" table) Json.to_string_opt)
+      in
+      let columns =
+        require "experiment columns"
+          (Option.bind (Json.member "columns" table) Json.to_list_opt)
+      in
+      let rows =
+        require "experiment rows"
+          (Option.bind (Json.member "rows" table) Json.to_list_opt)
+      in
+      let width = List.length columns in
+      if width = 0 then fail "%s: experiment %S has no columns" path title;
+      List.iter
+        (fun row ->
+          match Json.to_list_opt row with
+          | Some cells when List.length cells = width -> ()
+          | _ -> fail "%s: experiment %S has a malformed row" path title)
+        rows)
+    experiments;
+  Printf.printf "%s OK: %d benchmarks, %d experiment tables\n" path
+    (List.length benchmarks) (List.length experiments)

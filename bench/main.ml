@@ -170,6 +170,47 @@ let test_e14 =
          | Ok _ -> ()
          | Error (`Cycle _) -> assert false))
 
+(* E15 — the steady-state fast path: with the peer-knowledge cache, an
+   idle anti-entropy round on a converged cluster skips every session
+   with zero messages (compare e7, the uncached idle round). *)
+let test_e15 =
+  let cluster = Cluster.create ~cache:true ~n:16 () in
+  Cluster.update cluster ~node:0 ~item:"x" (Operation.Set "v");
+  ignore (Cluster.sync_until_converged cluster);
+  (* One ring round marks every (node, ring-source) pair current. *)
+  Cluster.ring_pull_round cluster;
+  Test.make ~name:"e15 cached idle round n=16"
+    (Staged.stage (fun () -> Cluster.random_pull_round cluster))
+
+(* E16 — parallel multi-database anti-entropy: [sync_all] over
+   share-nothing databases, sequential vs fanned out over a Domain
+   pool. Identical results by construction; the wall clock divides. *)
+let bench_sync_all ~domains =
+  let group = Edb_server.Server_group.create ~n:4 () in
+  for d = 0 to 7 do
+    let db = Printf.sprintf "db%d" d in
+    (match Edb_server.Server_group.create_database group db with
+    | Ok () -> ()
+    | Error msg -> failwith msg);
+    for rank = 0 to 511 do
+      match
+        Edb_server.Server_group.update group ~db ~node:0
+          ~item:(Workload.item_name rank) (Operation.Set "s")
+      with
+      | Ok () -> ()
+      | Error msg -> failwith msg
+    done
+  done;
+  let (_ : (string * int) list) = Edb_server.Server_group.sync_all group in
+  Staged.stage (fun () ->
+      ignore (Edb_server.Server_group.sync_all ~domains group))
+
+let test_e16_seq =
+  Test.make ~name:"e16 sync-all 8 dbs domains=1" (bench_sync_all ~domains:1)
+
+let test_e16_par =
+  Test.make ~name:"e16 sync-all 8 dbs domains=4" (bench_sync_all ~domains:4)
+
 let micro_tests =
   [
     test_e1;
@@ -186,65 +227,147 @@ let micro_tests =
     test_e12;
     test_e13;
     test_e14;
+    test_e15;
+    test_e16_seq;
+    test_e16_par;
   ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 (* ------------------------------------------------------------------ *)
 
+type micro_result = {
+  name : string;
+  ns_per_op : float option;
+  r_square : float option;
+  minor_words : float option;
+      (* Minor-heap words allocated per operation — the allocation-free
+         hot-path regression gate. *)
+}
+
+let estimate ols_result =
+  match Analyze.OLS.estimates ols_result with
+  | Some (value :: _) -> Some value
+  | Some [] | None -> None
+
 let run_micro_benchmarks () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let instances = Instance.[ monotonic_clock ] in
+  (* Both instances are recorded in the same run: wall clock for the
+     asymptotic claims, minor words for the allocation claims. *)
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg =
     Benchmark.cfg ~limit:3_000 ~quota:(Time.second 0.5) ~stabilize:false
       ~kde:(Some 1_000) ()
   in
   let grouped = Test.make_grouped ~name:"edb" ~fmt:"%s %s" micro_tests in
   let raw = Benchmark.all cfg instances grouped in
-  let results =
-    List.map (fun instance -> Analyze.all ols instance raw) instances
+  let clock_results = Analyze.all ols Instance.monotonic_clock raw in
+  let minor_results = Analyze.all ols Instance.minor_allocated raw in
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) clock_results []
+    |> List.sort String.compare
   in
-  let merged = Analyze.merge ols instances results in
+  List.map
+    (fun name ->
+      let clock = Hashtbl.find clock_results name in
+      let minor = Hashtbl.find_opt minor_results name in
+      {
+        name;
+        ns_per_op = estimate clock;
+        r_square = Analyze.OLS.r_square clock;
+        minor_words = Option.bind minor estimate;
+      })
+    names
+
+let print_micro_table results =
   let table =
-    Edb_metrics.Table.create ~title:"Wall-clock micro-benchmarks (monotonic clock)"
-      ~columns:[ "benchmark"; "ns/op"; "r^2" ]
+    Edb_metrics.Table.create
+      ~title:"Wall-clock micro-benchmarks (monotonic clock + minor words/op)"
+      ~columns:[ "benchmark"; "ns/op"; "minor words"; "r^2" ]
   in
-  let clock_results = Hashtbl.find merged (Measure.label Instance.monotonic_clock) in
-  let rows =
-    Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) clock_results []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
+  let cell fmt = function Some v -> Printf.sprintf fmt v | None -> "n/a" in
   List.iter
-    (fun (name, ols_result) ->
-      let ns_per_op =
-        match Analyze.OLS.estimates ols_result with
-        | Some (value :: _) -> Printf.sprintf "%.1f" value
-        | Some [] | None -> "n/a"
-      in
-      let r_square =
-        match Analyze.OLS.r_square ols_result with
-        | Some value -> Printf.sprintf "%.4f" value
-        | None -> "n/a"
-      in
-      Edb_metrics.Table.add_row table [ name; ns_per_op; r_square ])
-    rows;
+    (fun r ->
+      Edb_metrics.Table.add_row table
+        [
+          r.name;
+          cell "%.1f" r.ns_per_op;
+          cell "%.1f" r.minor_words;
+          cell "%.4f" r.r_square;
+        ])
+    results;
   Edb_metrics.Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission: the machine-readable perf trajectory                 *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Edb_metrics.Json
+
+let json_schema_version = 1
+
+let json_of_results ~quick experiments results =
+  let num = function Some v -> Json.Float v | None -> Json.Null in
+  let benchmarks =
+    List.map
+      (fun r ->
+        ( r.name,
+          Json.Obj
+            [
+              ("ns_per_op", num r.ns_per_op);
+              ("minor_words", num r.minor_words);
+              ("r_square", num r.r_square);
+            ] ))
+      results
+  in
+  Json.Obj
+    [
+      ("schema", Json.Int json_schema_version);
+      ( "generated_by",
+        Json.String
+          (if quick then "dune exec bench/main.exe -- --quick --json"
+           else "dune exec bench/main.exe -- --json") );
+      ("quick", Json.Bool quick);
+      ("benchmarks", Json.Obj benchmarks);
+      ( "experiments",
+        Json.List (List.map (fun (_, table) -> Json.of_table table) experiments) );
+    ]
+
+let write_json ~quick ~path experiments results =
+  let doc = json_of_results ~quick experiments results in
+  let oc = open_out_bin path in
+  output_string oc (Json.to_string doc);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" argv in
+  let json = List.mem "--json" argv in
+  let out =
+    let rec find = function
+      | "--out" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    Option.value (find argv) ~default:"BENCH_micro.json"
+  in
   print_endline "=== Experiment tables (deterministic operation counts) ===";
   print_newline ();
+  let experiments = Edb_experiments.Experiments.all ~quick () in
   List.iter
     (fun (id, table) ->
       Printf.printf "[%s]\n" id;
       Edb_metrics.Table.print table)
-    (Edb_experiments.Experiments.all ~quick ());
+    experiments;
   print_endline "=== Bechamel micro-benchmarks ===";
   print_newline ();
-  run_micro_benchmarks ()
+  let results = run_micro_benchmarks () in
+  print_micro_table results;
+  if json then write_json ~quick ~path:out experiments results

@@ -1,8 +1,8 @@
 module Cluster = Edb_core.Cluster
 module Node = Edb_core.Node
 
-let create ?seed ?policy ?mode ~n () =
-  let cluster = Cluster.create ?seed ?policy ?mode ~n () in
+let create ?seed ?policy ?mode ?cache ~n () =
+  let cluster = Cluster.create ?seed ?policy ?mode ?cache ~n () in
   let driver =
     {
       Driver.name = "dbvv";

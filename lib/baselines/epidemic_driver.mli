@@ -6,8 +6,11 @@ val create :
   ?seed:int ->
   ?policy:Edb_core.Node.resolution_policy ->
   ?mode:Edb_core.Node.propagation_mode ->
+  ?cache:bool ->
   n:int ->
   unit ->
   Edb_core.Cluster.t * Driver.t
 (** [create ~n ()] is a fresh {!Edb_core.Cluster.t} and its driver.
-    The driver's [session ~src ~dst] makes [dst] pull from [src]. *)
+    The driver's [session ~src ~dst] makes [dst] pull from [src].
+    [cache] enables the peer-knowledge cache (see
+    {!Edb_core.Cluster.create}). *)

@@ -330,6 +330,100 @@ let run_schedule ?(mode = Node.Whole_item) (s : schedule) =
   with Check_failed msg -> Error msg
 
 (* ------------------------------------------------------------------ *)
+(* Cache equivalence: cached and uncached runs must be identical       *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute a schedule on a plain cluster (no oracle, no mid-run checks)
+   and return the cluster at quiescence. The engine, network and
+   quiescence drive match [run_schedule] exactly, so a cached and an
+   uncached execution see identical event streams: a cached skip
+   consumes no engine or network randomness (loss/duplication/reorder
+   are drawn when the Session event fires, before the pull runs). *)
+let execute ?(mode = Node.Whole_item) ~cache (s : schedule) =
+  let cluster, driver =
+    Edb_baselines.Epidemic_driver.create ~seed:s.seed ~mode ~cache ~n:s.nodes ()
+  in
+  let network =
+    Network.create ~loss_probability:s.loss ~duplicate_probability:s.duplication
+      ~reorder_probability:s.reorder ()
+  in
+  let engine = Engine.create ~seed:s.seed ~network ~driver () in
+  List.iteri
+    (fun i step ->
+      let at = float_of_int (i + 1) in
+      match step with
+      | Update { node; item; op } ->
+        Engine.schedule engine ~at
+          (Engine.User_update { node; item = item_name item; op })
+      | Sync { src; dst } -> Engine.schedule engine ~at (Engine.Session { src; dst })
+      | Fault (Crash n) -> Engine.schedule engine ~at (Engine.Crash n)
+      | Fault (Recover n) -> Engine.schedule engine ~at (Engine.Recover n)
+      | Fault (Partition (a, b)) ->
+        Engine.schedule engine ~at (Engine.Custom (fun _ -> Network.partition network a b))
+      | Fault (Heal (a, b)) ->
+        Engine.schedule engine ~at (Engine.Custom (fun _ -> Network.heal network a b)))
+    s.steps;
+  let horizon = float_of_int (List.length s.steps + 1) in
+  Engine.schedule engine ~at:horizon
+    (Engine.Custom
+       (fun _ ->
+         Network.heal_all network;
+         Network.set_loss_probability network 0.0;
+         Network.set_duplicate_probability network 0.0;
+         Network.set_reorder_probability network 0.0));
+  for i = 0 to s.nodes - 1 do
+    Engine.schedule engine ~at:horizon (Engine.Recover i)
+  done;
+  for round = 0 to s.nodes + 1 do
+    let at = horizon +. 1.0 +. (2.0 *. float_of_int round) in
+    for dst = 0 to s.nodes - 1 do
+      Engine.schedule engine ~at (Engine.Session { src = (dst + 1) mod s.nodes; dst });
+      Engine.schedule engine ~at:(at +. 1.0)
+        (Engine.Session { src = (dst + s.nodes - 1) mod s.nodes; dst })
+    done
+  done;
+  let quiescent = Engine.run_until_quiescent engine in
+  (cluster, quiescent)
+
+(* Canonical form of a node's durable state for structural comparison:
+   item lists sorted by name (hashtable iteration order is the only
+   non-canonical part of State.t). *)
+let normalized_state node =
+  let state = Node.export_state node in
+  let by_name (a : Node.State.item) (b : Node.State.item) =
+    String.compare a.name b.name
+  in
+  {
+    state with
+    Node.State.items = List.sort by_name state.items;
+    aux_items = List.sort by_name state.aux_items;
+  }
+
+let run_cache_equivalence ?mode (s : schedule) =
+  let cached, cached_quiescent = execute ?mode ~cache:true s in
+  let plain, plain_quiescent = execute ?mode ~cache:false s in
+  try
+    if cached_quiescent <> plain_quiescent then
+      failf "quiescence differs: cached=%b uncached=%b" cached_quiescent
+        plain_quiescent;
+    for i = 0 to s.nodes - 1 do
+      let c = Cluster.node cached i and p = Cluster.node plain i in
+      if normalized_state c <> normalized_state p then
+        failf "node %d state differs between cached and uncached runs" i;
+      let cc = conflict_items_of c and pc = conflict_items_of p in
+      if cc <> pc then
+        failf "node %d conflict set differs: cached {%s} vs uncached {%s}" i
+          (String.concat "," cc) (String.concat "," pc)
+    done;
+    (* The cache must never have made things slower message-wise. *)
+    let messages cluster = (Cluster.total_counters cluster).Edb_metrics.Counters.messages in
+    if messages cached > messages plain then
+      failf "cached run sent more messages (%d) than uncached (%d)"
+        (messages cached) (messages plain);
+    Ok ()
+  with Check_failed msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
 (* The explorer: many schedules, integrated shrinking                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -362,3 +456,31 @@ let run ?mode ?topology ?(mutate = false) ~seed ~runs () =
     Error
       (Printf.sprintf "schedule raised %s\non instance:\n%s\nreplay with: --seed %d --runs %d"
          (Printexc.to_string exn) instance seed runs)
+
+let run_equivalence ?mode ?topology ~seed ~runs () =
+  let last_error = ref "" in
+  let prop s =
+    match run_cache_equivalence ?mode s with
+    | Ok () -> true
+    | Error msg ->
+      last_error := msg;
+      false
+  in
+  let test =
+    QCheck2.Test.make ~count:runs ~name:"peer-cache equivalence"
+      ~print:print_schedule
+      (gen ?topology ())
+      prop
+  in
+  match QCheck2.Test.check_exn ~rand:(Random.State.make [| seed |]) test with
+  | () -> Ok { schedules = runs }
+  | exception QCheck2.Test.Test_fail (_, counterexamples) ->
+    Error
+      (Printf.sprintf "%s\nshrunk counterexample:\n%s\nreplay with seed %d"
+         !last_error
+         (String.concat "\n---\n" counterexamples)
+         seed)
+  | exception QCheck2.Test.Test_error (_, instance, exn, _) ->
+    Error
+      (Printf.sprintf "schedule raised %s\non instance:\n%s\nreplay with seed %d"
+         (Printexc.to_string exn) instance seed)

@@ -86,3 +86,25 @@ val run :
 (** [run ~seed ~runs ()] explores [runs] generated schedules from the
     given [seed]. On failure the error carries the first failed check,
     the shrunk counterexample schedule, and the seed to replay it. *)
+
+val run_cache_equivalence :
+  ?mode:Edb_core.Node.propagation_mode -> schedule -> (unit, string) result
+(** Execute one schedule twice — once on a cache-enabled cluster
+    ({!Edb_core.Cluster.create}[ ~cache:true]), once cache-disabled —
+    under identical engine/network randomness, and demand the runs are
+    indistinguishable: equal quiescence, equal per-node durable state
+    ({!Edb_core.Node.export_state}, canonically ordered), equal
+    per-node conflict sets, and no message regression. This is the
+    exactness claim behind cached session skips: a skip gated on the
+    cluster epoch is provably the session Fig. 2 would have answered
+    "you are current". *)
+
+val run_equivalence :
+  ?mode:Edb_core.Node.propagation_mode ->
+  ?topology:topology ->
+  seed:int ->
+  runs:int ->
+  unit ->
+  (report, string) result
+(** {!run_cache_equivalence} over [runs] generated schedules, with
+    QCheck2 shrinking on failure. *)

@@ -1,12 +1,23 @@
 module Vv = Edb_vv.Version_vector
 module Prng = Edb_util.Prng
 module Counters = Edb_metrics.Counters
+module Store = Edb_store.Store
+module Item = Edb_store.Item
 
-type t = { nodes : Node.t array; prng : Prng.t }
+type t = {
+  nodes : Node.t array;
+  prng : Prng.t;
+  cache : bool;
+  (* Strictly increasing bias folded into the epoch so that replacing a
+     node (whose revision counter restarts, possibly below its old
+     value) can never make the epoch revisit an earlier value and
+     revalidate stale cache entries. *)
+  mutable epoch_bias : int;
+}
 
-let create ?(seed = 42) ?policy ?mode ~n () =
+let create ?(seed = 42) ?policy ?mode ?(cache = false) ~n () =
   let make id = Node.create ?policy ?mode ~id ~n () in
-  { nodes = Array.init n make; prng = Prng.create ~seed }
+  { nodes = Array.init n make; prng = Prng.create ~seed; cache; epoch_bias = 0 }
 
 let n t = Array.length t.nodes
 
@@ -14,10 +25,36 @@ let node t i = t.nodes.(i)
 
 let nodes t = t.nodes
 
+let cache_enabled t = t.cache
+
+(* The cluster epoch: bias + Σ node revisions. Every state mutation
+   anywhere bumps some node's revision, so equal epochs at two points in
+   time prove no node state changed in between — the exactness gate for
+   cached skips. O(n) per read, amortized against the session it can
+   elide. *)
+let epoch t =
+  (* Plain loop: this runs on every cache-gated pull and must not
+     allocate (Array.iter's closure would capture the accumulator). *)
+  let sum = ref t.epoch_bias in
+  for i = 0 to Array.length t.nodes - 1 do
+    sum := !sum + Node.revision t.nodes.(i)
+  done;
+  !sum
+
 let replace_node t i node =
   if Node.id node <> i then invalid_arg "Cluster.replace_node: id mismatch";
   if Node.dimension node <> Array.length t.nodes then
     invalid_arg "Cluster.replace_node: dimension mismatch";
+  (* The replacement may be a rollback: advance the epoch past every
+     value the old node could have contributed, and drop what other
+     nodes believed they had proven about this peer — both proven lower
+     bounds (monotonicity no longer links them to the new state) and
+     currency flags. The new node's own cache is empty by construction. *)
+  t.epoch_bias <- t.epoch_bias + Node.revision t.nodes.(i) + 1;
+  Array.iteri
+    (fun j peer_node ->
+      if j <> i then Peer_cache.forget_peer (Node.peer_cache peer_node) ~peer:i)
+    t.nodes;
   t.nodes.(i) <- node
 
 let update t ~node ~item op = Node.update t.nodes.(node) item op
@@ -25,70 +62,110 @@ let update t ~node ~item op = Node.update t.nodes.(node) item op
 let read t ~node ~item = Node.read t.nodes.(node) item
 
 let pull t ~recipient ~source =
-  Node.pull ~recipient:t.nodes.(recipient) ~source:t.nodes.(source)
+  if not t.cache then
+    Node.pull ~recipient:t.nodes.(recipient) ~source:t.nodes.(source)
+  else begin
+    let r = t.nodes.(recipient) and s = t.nodes.(source) in
+    let ep = epoch t in
+    if Peer_cache.is_current (Node.peer_cache r) ~peer:source ~epoch:ep then begin
+      (* A past session proved r's DBVV dominates s's, and the epoch
+         gate proves no state changed since: running the session would
+         reproduce Fig. 2's "you are current" from the same two vectors.
+         Skip it — zero messages, no counters the real session's no-op
+         path would have charged. *)
+      (Node.counters r).Counters.sessions_skipped_cached <-
+        (Node.counters r).Counters.sessions_skipped_cached + 1;
+      Node.Already_current
+    end
+    else begin
+      let result = Node.pull ~recipient:r ~source:s in
+      (* Both ends of a completed session learn the other's DBVV: the
+         request carried r's, and the reply brought r up to date on
+         everything s had (or proved there was nothing to bring). In
+         this in-process layer we read both live vectors directly. *)
+      Peer_cache.note_proven (Node.peer_cache r) ~peer:source (Node.dbvv_view s);
+      Peer_cache.note_proven (Node.peer_cache s) ~peer:recipient (Node.dbvv_view r);
+      let ep' = epoch t in
+      if Vv.dominates_or_equal (Node.dbvv_view r) (Node.dbvv_view s) then
+        Peer_cache.mark_current (Node.peer_cache r) ~peer:source ~epoch:ep';
+      if Vv.dominates_or_equal (Node.dbvv_view s) (Node.dbvv_view r) then
+        Peer_cache.mark_current (Node.peer_cache s) ~peer:recipient ~epoch:ep';
+      result
+    end
+  end
 
 let fetch_out_of_bound t ~recipient ~source item =
   Node.fetch_out_of_bound ~recipient:t.nodes.(recipient) ~source:t.nodes.(source) item
 
 let random_peer t ~self =
-  let peer = Prng.int t.prng (n t - 1) in
+  let size = n t in
+  if size <= 1 then
+    invalid_arg "Cluster.random_peer: a singleton cluster has no peers";
+  let peer = Prng.int t.prng (size - 1) in
   if peer >= self then peer + 1 else peer
 
 let random_pull_round t =
-  for i = 0 to n t - 1 do
-    let source = random_peer t ~self:i in
-    let (_ : Node.pull_result) = pull t ~recipient:i ~source in
-    ()
-  done
+  (* A singleton cluster has nobody to pull from: the round is a no-op
+     (and must not draw from an empty PRNG range). *)
+  if n t > 1 then
+    for i = 0 to n t - 1 do
+      let source = random_peer t ~self:i in
+      let (_ : Node.pull_result) = pull t ~recipient:i ~source in
+      ()
+    done
 
 let ring_pull_round t =
   let size = n t in
-  for i = 0 to size - 1 do
-    let source = (i + size - 1) mod size in
-    let (_ : Node.pull_result) = pull t ~recipient:i ~source in
-    ()
-  done
+  if size > 1 then
+    for i = 0 to size - 1 do
+      let source = (i + size - 1) mod size in
+      let (_ : Node.pull_result) = pull t ~recipient:i ~source in
+      ()
+    done
 
-let all_item_names t =
-  let names = Hashtbl.create 64 in
-  Array.iter
-    (fun node ->
-      Edb_store.Store.iter
-        (fun item -> Hashtbl.replace names item.Edb_store.Item.name ())
-        (Node.store node))
-    t.nodes;
-  Hashtbl.fold (fun name () acc -> name :: acc) names []
+(* A missing regular copy is equivalent to an empty one: value "" and an
+   all-zero IVV (exactly what [Store.find_or_create] would make). *)
+let item_matches_missing (it : Item.t) =
+  String.equal it.value "" && Vv.sum it.ivv = 0
 
 let converged t =
   let reference = t.nodes.(0) in
-  let dbvv_equal =
-    Array.for_all (fun node -> Vv.equal (Node.dbvv node) (Node.dbvv reference)) t.nodes
-  in
-  let no_aux =
-    Array.for_all
+  let ref_dbvv = Node.dbvv_view reference in
+  let ref_store = Node.store reference in
+  (* O(1) per node instead of a per-item has_aux scan. *)
+  Array.for_all (fun node -> Node.aux_count node = 0) t.nodes
+  && Array.for_all
+       (fun node -> node == reference || Vv.equal (Node.dbvv_view node) ref_dbvv)
+       t.nodes
+  && begin
+    (* Single pass: the shared name table is built once, then every
+       name is checked across all nodes by reading item fields in place
+       (no IVV copies, no repeated name-set rebuilds). *)
+    let names = Hashtbl.create 64 in
+    Array.iter
       (fun node ->
-        not
-          (List.exists (fun name -> Node.has_aux node name) (all_item_names t)))
-      t.nodes
-  in
-  let zero = Vv.create ~n:(n t) in
-  let item_state node name =
-    match (Node.read_regular node name, Node.item_vv node name) with
-    | Some value, Some ivv -> (value, ivv)
-    | None, _ | _, None -> ("", zero)
-  in
-  let items_equal =
-    List.for_all
-      (fun name ->
-        let ref_value, ref_ivv = item_state reference name in
-        Array.for_all
-          (fun node ->
-            let value, ivv = item_state node name in
-            String.equal value ref_value && Vv.equal ivv ref_ivv)
-          t.nodes)
-      (all_item_names t)
-  in
-  dbvv_equal && no_aux && items_equal
+        Store.iter
+          (fun item -> Hashtbl.replace names item.Item.name ())
+          (Node.store node))
+      t.nodes;
+    let node_count = Array.length t.nodes in
+    let name_matches name =
+      let ref_item = Store.find_opt ref_store name in
+      let rec check i =
+        i >= node_count
+        ||
+        let it = Store.find_opt (Node.store t.nodes.(i)) name in
+        (match (ref_item, it) with
+        | None, None -> true
+        | Some a, Some b -> String.equal a.Item.value b.Item.value && Vv.equal a.ivv b.ivv
+        | Some a, None -> item_matches_missing a
+        | None, Some b -> item_matches_missing b)
+        && check (i + 1)
+      in
+      check 1
+    in
+    Hashtbl.fold (fun name () acc -> acc && name_matches name) names true
+  end
 
 let sync_until_converged ?(max_rounds = 10_000) t =
   let rec loop rounds =

@@ -12,12 +12,22 @@ val create :
   ?seed:int ->
   ?policy:Node.resolution_policy ->
   ?mode:Node.propagation_mode ->
+  ?cache:bool ->
   n:int ->
   unit ->
   t
 (** [create ~n ()] is a cluster of [n] fresh nodes. [seed] (default 42)
     drives peer selection in the random rounds; [mode] selects
-    whole-item or op-log propagation for every node. *)
+    whole-item or op-log propagation for every node.
+
+    [cache] (default false) enables the peer-knowledge cache
+    ({!Peer_cache}): {!pull} skips a session outright — zero messages,
+    result {!Node.Already_current}, counted in
+    [Counters.sessions_skipped_cached] — whenever a previous session
+    proved it would be a no-op and the cluster {!epoch} shows nothing
+    changed since. Skips are {e exact}: a cache-enabled cluster passes
+    through bitwise the same states as a cache-disabled one on the same
+    schedule (property-tested against the [lib/check] oracle). *)
 
 val n : t -> int
 
@@ -26,10 +36,24 @@ val node : t -> int -> Node.t
 
 val nodes : t -> Node.t array
 
+val cache_enabled : t -> bool
+
+val epoch : t -> int
+(** The cluster epoch: a strictly monotone value (bias + Σ node
+    revisions) that changes whenever {e any} node's state changes —
+    including across {!replace_node} rollbacks, which advance the bias
+    past every value the old node contributed. Equal epochs at two
+    reads prove the interval was mutation-free; this gates cached
+    session skips (see {!Peer_cache}). *)
+
 val replace_node : t -> int -> Node.t -> unit
 (** [replace_node t i node] installs [node] as member [i] — used by the
     persistence layer to swap in a node recovered from a checkpoint.
-    The node's id and dimension must match. *)
+    The node's id and dimension must match. Advances the {!epoch} past
+    anything the old member contributed and forgets every other node's
+    cached knowledge about peer [i] (the checkpoint may be a rollback,
+    which breaks the DBVV-monotonicity assumption cached lower bounds
+    rest on). *)
 
 val update : t -> node:int -> item:string -> Edb_store.Operation.t -> unit
 (** [update t ~node ~item op] performs a user update at that node. *)
@@ -37,13 +61,18 @@ val update : t -> node:int -> item:string -> Edb_store.Operation.t -> unit
 val read : t -> node:int -> item:string -> string option
 
 val pull : t -> recipient:int -> source:int -> Node.pull_result
-(** One propagation session between two cluster nodes. *)
+(** One propagation session between two cluster nodes. With [~cache]
+    enabled the session may be skipped entirely (result
+    [Already_current], zero messages) when cached peer knowledge proves
+    it would be a no-op; a session that does run updates both nodes'
+    peer caches. *)
 
 val fetch_out_of_bound : t -> recipient:int -> source:int -> string -> Node.oob_result
 
 val random_pull_round : t -> unit
 (** Every node pulls from one uniformly random other node — one round of
-    randomized anti-entropy. *)
+    randomized anti-entropy. A no-op on a singleton cluster (there is
+    nobody to pull from). *)
 
 val ring_pull_round : t -> unit
 (** Node [i] pulls from node [(i + n - 1) mod n] — a deterministic

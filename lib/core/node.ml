@@ -39,6 +39,11 @@ type t = {
   histories : (string, Edb_store.Item_history.t) Hashtbl.t;
   conflict_handler : Conflict.t -> unit;
   mutable conflicts : Conflict.t list;
+  peer_cache : Peer_cache.t;
+  (* Bumped on every state mutation; Σ revisions over a cluster is its
+     epoch, the staleness gate for cached peer knowledge. Volatile, like
+     the peer cache itself. *)
+  mutable revision : int;
 }
 
 let create ?(policy = Report_only) ?(conflict_handler = fun _ -> ())
@@ -63,7 +68,15 @@ let create ?(policy = Report_only) ?(conflict_handler = fun _ -> ())
     histories = Hashtbl.create 8;
     conflict_handler;
     conflicts = [];
+    peer_cache = Peer_cache.create ~n;
+    revision = 0;
   }
+
+let touch t = t.revision <- t.revision + 1
+
+let revision t = t.revision
+
+let peer_cache t = t.peer_cache
 
 let id t = t.id
 
@@ -84,6 +97,8 @@ let history_of t name =
         history)
 
 let dbvv t = Vv.copy t.dbvv
+
+let dbvv_view t = t.dbvv
 
 let counters t = t.counters
 
@@ -106,6 +121,8 @@ let item_vv t name =
 
 let has_aux t name = Hashtbl.mem t.aux_items name
 
+let aux_count t = Hashtbl.length t.aux_items
+
 let aux_entries t =
   Hashtbl.fold (fun name (it : Item.t) acc -> (name, Vv.copy it.ivv) :: acc) t.aux_items []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -118,6 +135,7 @@ let conflicts t = t.conflicts
 let clear_conflicts t = t.conflicts <- []
 
 let declare_conflict t ~item ~local_vv ~remote_vv ~origin =
+  touch t;
   let conflict = Conflict.make ~item ~node:t.id ~local_vv ~remote_vv ~origin in
   t.counters.conflicts_detected <- t.counters.conflicts_detected + 1;
   t.conflicts <- conflict :: t.conflicts;
@@ -128,6 +146,7 @@ let declare_conflict t ~item ~local_vv ~remote_vv ~origin =
    the item IVV and DBVV own-components, log the update (§5.3), and in
    op-log mode retain the operation for delta shipping. *)
 let record_regular_update t (item : Item.t) ~op =
+  touch t;
   Vv.incr item.ivv t.id;
   Vv.incr t.dbvv t.id;
   let seq = Vv.get t.dbvv t.id in
@@ -141,6 +160,7 @@ let update t name op =
   t.counters.updates_applied <- t.counters.updates_applied + 1;
   match Hashtbl.find_opt t.aux_items name with
   | Some aux ->
+    touch t;
     (* §5.3 first case: the record stores the IVV excluding this update. *)
     Aux_log.append t.aux_log { Aux_log.item = name; ivv = Vv.copy aux.ivv; op };
     Item.apply aux op;
@@ -154,7 +174,12 @@ let update t name op =
 (* SendPropagation (paper Figure 2)                                    *)
 (* ------------------------------------------------------------------ *)
 
-let propagation_request t = { Message.recipient = t.id; recipient_dbvv = Vv.copy t.dbvv }
+(* The request borrows the live DBVV rather than copying it: this is
+   the per-pull allocation on the steady-state path. Sound because the
+   request is consumed synchronously — [handle_propagation_request] only
+   reads it, the wire codec serializes it immediately, and no caller
+   retains it past the session. *)
+let propagation_request t = { Message.recipient = t.id; recipient_dbvv = t.dbvv }
 
 (* Op-log mode: can this item's missing updates be shipped as exactly
    the operations the recipient lacks? The recipient reflects, for each
@@ -220,9 +245,12 @@ let handle_propagation_request t (req : Message.propagation_request) =
             (Log_vector.component t.logs k)
             ~seq:(Vv.get req.recipient_dbvv k)
         in
-        c.log_records_examined <- c.log_records_examined + List.length records;
         tails.(k) <- records;
+        (* One traversal both counts the records and flags their items
+           (no separate List.length pass). *)
+        let examined = ref 0 in
         let flag (r : Log_record.t) =
+          incr examined;
           match Store.find_opt t.store r.item with
           | None ->
             (* A logged update always concerns a materialized item. *)
@@ -233,7 +261,8 @@ let handle_propagation_request t (req : Message.propagation_request) =
               selected := item :: !selected
             end
         in
-        List.iter flag records
+        List.iter flag records;
+        c.log_records_examined <- c.log_records_examined + !examined
       end
     done;
     let ship (item : Item.t) =
@@ -302,10 +331,12 @@ let intra_node_propagation t copied_items =
               ~origin:Conflict.Intra_node)
         | None ->
           c.vv_comparisons <- c.vv_comparisons + 1;
-          if Vv.dominates_or_equal regular.ivv aux.ivv then
+          if Vv.dominates_or_equal regular.ivv aux.ivv then begin
             (* The regular copy has caught up with the auxiliary copy:
                discard the latter (Fig. 4, final comparison). *)
+            touch t;
             Hashtbl.remove t.aux_items name
+          end
       in
       drain ()
   in
@@ -353,6 +384,7 @@ let accept_propagation t ~source reply =
            DBVV by the extra updates it has seen (DBVV rule 3, §4.1). *)
         match sx.payload with
         | Message.Whole value ->
+          touch t;
           Vv.add_diff_into t.dbvv ~newer:sx.ivv ~older:local.ivv;
           local.value <- value;
           local.ivv <- Vv.copy sx.ivv;
@@ -365,18 +397,21 @@ let accept_propagation t ~source reply =
           copied := sx.name :: !copied
         | Message.Delta ops ->
           (* Defensive completeness check: the shipped operations must
-             account exactly for the per-origin IVV gap. *)
+             account exactly for the per-origin IVV gap. The list is
+             measured once here; every later use reuses the count. *)
+          let n_ops = List.length ops in
           let expected = ref 0 in
           for k = 0 to t.n - 1 do
             expected := !expected + (Vv.get sx.ivv k - Vv.get local.ivv k)
           done;
-          if List.length ops <> !expected then begin
+          if n_ops <> !expected then begin
             Log.err (fun m ->
                 m "node %d: delta for %S has %d ops, expected %d; skipping" t.id
-                  sx.name (List.length ops) !expected);
+                  sx.name n_ops !expected);
             Hashtbl.replace skip_records sx.name ()
           end
           else begin
+            touch t;
             Vv.add_diff_into t.dbvv ~newer:sx.ivv ~older:local.ivv;
             List.iter
               (fun (dop : Message.delta_op) ->
@@ -388,7 +423,7 @@ let accept_propagation t ~source reply =
                     { Edb_store.Item_history.origin = dop.origin; seq = dop.seq; op = dop.op })
               ops;
             local.ivv <- Vv.copy sx.ivv;
-            c.delta_ops_applied <- c.delta_ops_applied + List.length ops;
+            c.delta_ops_applied <- c.delta_ops_applied + n_ops;
             c.items_copied <- c.items_copied + 1;
             copied := sx.name :: !copied
           end)
@@ -465,6 +500,7 @@ let accept_out_of_bound t ~source (reply : Message.oob_reply) =
   c.vv_comparisons <- c.vv_comparisons + 1;
   match Vv.compare_vv reply.ivv local_vv with
   | Dominates ->
+    touch t;
     let aux =
       match Hashtbl.find_opt t.aux_items reply.item with
       | Some aux -> aux

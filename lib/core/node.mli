@@ -85,6 +85,24 @@ val mode : t -> propagation_mode
 val dbvv : t -> Edb_vv.Version_vector.t
 (** [dbvv t] is a snapshot copy of the node's database version vector. *)
 
+val dbvv_view : t -> Edb_vv.Version_vector.t
+(** The live database version vector itself, not a copy. Read-only by
+    convention (like {!store}); mutating it bypasses the protocol. Use
+    on hot paths — steady-state convergence checks and cached-skip
+    decisions — where the per-call copy of {!dbvv} is measurable. *)
+
+val revision : t -> int
+(** A monotone counter bumped on every state mutation (user updates,
+    adoptions, conflict declarations, auxiliary transitions). The sum
+    over a cluster's nodes is that cluster's {e epoch}: if two reads of
+    the epoch agree, no node state changed in between. Volatile — not
+    part of {!State.t}; see {!Peer_cache}. *)
+
+val peer_cache : t -> Peer_cache.t
+(** This node's cached knowledge about its peers. Maintained by
+    {!Cluster.pull} when the cluster enables caching; volatile (a
+    restored node starts with an empty cache). *)
+
 val counters : t -> Edb_metrics.Counters.t
 (** The node's live cost counters (mutable; reset between experiments). *)
 
@@ -109,6 +127,10 @@ val item_vv : t -> string -> Edb_vv.Version_vector.t option
 
 val has_aux : t -> string -> bool
 (** Whether an auxiliary copy of the item currently exists. *)
+
+val aux_count : t -> int
+(** Number of auxiliary copies currently held — O(1); lets convergence
+    checks skip the per-item {!has_aux} scan. *)
 
 val aux_vv : t -> string -> Edb_vv.Version_vector.t option
 (** The auxiliary copy's IVV, when one exists (a snapshot copy). *)
@@ -136,7 +158,11 @@ val update : t -> string -> Edb_store.Operation.t -> unit
 (** {1 Update propagation (§5.1)} *)
 
 val propagation_request : t -> Message.propagation_request
-(** The request the recipient sends to start a session: its DBVV. *)
+(** The request the recipient sends to start a session: its DBVV. The
+    request {e borrows} the live DBVV (no copy — this is the per-pull
+    allocation on the steady-state path): consume it synchronously, i.e.
+    hand it to {!handle_propagation_request} or serialize it before the
+    requesting node applies any further update. *)
 
 val handle_propagation_request :
   t -> Message.propagation_request -> Message.propagation_reply

@@ -1,0 +1,60 @@
+module Vv = Edb_vv.Version_vector
+
+type entry = {
+  proven : Vv.t;
+      (* Highest DBVV this node has proven the peer to hold. Grows by
+         merge only, so with monotone peer DBVVs it stays a sound lower
+         bound until the peer is rolled back, at which point the owner
+         must call [forget_peer]. *)
+  mutable current : bool;
+  mutable epoch : int;
+      (* Cluster epoch at which [current] was established. *)
+}
+
+type t = { n : int; entries : entry option array }
+
+let create ~n =
+  if n <= 0 then invalid_arg "Peer_cache.create: n must be positive";
+  { n; entries = Array.make n None }
+
+let dimension t = t.n
+
+let entry t ~peer =
+  if peer < 0 || peer >= t.n then invalid_arg "Peer_cache: peer out of range";
+  match t.entries.(peer) with
+  | Some e -> e
+  | None ->
+    let e = { proven = Vv.create ~n:t.n; current = false; epoch = min_int } in
+    t.entries.(peer) <- Some e;
+    e
+
+let note_proven t ~peer vv =
+  let e = entry t ~peer in
+  Vv.merge_into e.proven ~from:vv
+
+let proven t ~peer =
+  if peer < 0 || peer >= t.n then invalid_arg "Peer_cache: peer out of range";
+  Option.map (fun e -> Vv.copy e.proven) t.entries.(peer)
+
+let mark_current t ~peer ~epoch =
+  let e = entry t ~peer in
+  e.current <- true;
+  e.epoch <- epoch
+
+let invalidate_current t ~peer =
+  if peer < 0 || peer >= t.n then invalid_arg "Peer_cache: peer out of range";
+  match t.entries.(peer) with None -> () | Some e -> e.current <- false
+
+let is_current t ~peer ~epoch =
+  if peer < 0 || peer >= t.n then invalid_arg "Peer_cache: peer out of range";
+  match t.entries.(peer) with
+  | None -> false
+  | Some e -> e.current && e.epoch = epoch
+
+let forget_peer t ~peer =
+  if peer < 0 || peer >= t.n then invalid_arg "Peer_cache: peer out of range";
+  t.entries.(peer) <- None
+
+let reset t = Array.fill t.entries 0 t.n None
+
+let is_empty t = Array.for_all (fun e -> e = None) t.entries

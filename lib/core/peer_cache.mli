@@ -1,0 +1,66 @@
+(** Cached knowledge about what each peer already holds.
+
+    The paper makes a no-op anti-entropy session O(1): the recipient
+    ships its DBVV and the source answers "you are current" after one
+    vector comparison (Fig. 2). This cache makes the steady state
+    cheaper still — {e zero} messages — by remembering what a past
+    session proved about a peer and skipping sessions whose outcome is
+    already known.
+
+    Each node keeps, per peer:
+
+    - [proven]: the highest DBVV the node has proven that peer to hold
+      (learned from the peer's requests and completed sessions, merged
+      monotonically). Because a live peer's DBVV only grows — the DBVV
+      monotonicity invariant verified in [lib/check] — this is a sound
+      lower bound on the peer's knowledge for as long as the peer has
+      not been rolled back; crash recovery from a checkpoint must
+      therefore call {!forget_peer} / {!reset} (see DESIGN.md).
+
+    - [current] + [epoch]: an exactness gate used for skipping. A
+      session [recipient <- source] may be skipped iff a previous
+      session proved [recipient]'s DBVV dominates [source]'s {e and}
+      no node state anywhere has changed since — tracked by the
+      cluster-wide epoch ({!Cluster}'s sum of node revisions). Under
+      that gate a skipped session is {e provably identical} to running
+      it: Fig. 2 would answer "you are current" from the same two
+      unchanged DBVVs and touch nothing.
+
+    The cache is volatile: it is not part of {!Node.State.t}, a
+    restored node starts empty, and {!Cluster.replace_node} forgets
+    every other node's entry about the replaced peer. *)
+
+type t
+
+val create : n:int -> t
+(** [create ~n] is an empty cache over peers [0 .. n-1]. *)
+
+val dimension : t -> int
+
+val note_proven : t -> peer:int -> Edb_vv.Version_vector.t -> unit
+(** [note_proven t ~peer vv] records proof that [peer] holds at least
+    [vv], merging component-wise into the existing lower bound. *)
+
+val proven : t -> peer:int -> Edb_vv.Version_vector.t option
+(** The current lower bound on [peer]'s DBVV (a snapshot copy), if any
+    session ever proved one. *)
+
+val mark_current : t -> peer:int -> epoch:int -> unit
+(** Record that, as of cluster [epoch], a session with [peer] would be
+    answered "you are current". *)
+
+val invalidate_current : t -> peer:int -> unit
+
+val is_current : t -> peer:int -> epoch:int -> bool
+(** Whether {!mark_current} was recorded at exactly this [epoch]. Any
+    intervening state change anywhere bumps the epoch and refutes
+    this. *)
+
+val forget_peer : t -> peer:int -> unit
+(** Drop everything known about [peer] — required when [peer] may have
+    been rolled back (crash recovery from a checkpoint), which breaks
+    the monotonicity assumption behind [proven]. *)
+
+val reset : t -> unit
+
+val is_empty : t -> bool

@@ -760,6 +760,67 @@ let e14_token_ablation ?(quick = false) () =
     ];
   table
 
+(* ------------------------------------------------------------------ *)
+(* E15 — steady-state message savings from the peer-knowledge cache    *)
+(* ------------------------------------------------------------------ *)
+
+let e15_peer_cache_savings ?(quick = false) () =
+  let nodes = 16 in
+  let rounds = if quick then 6 else 20 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E15: %d steady-state ring rounds on a converged %d-node cluster — \
+            peer-knowledge cache vs the paper's protocol (savings = messages \
+            eliminated)"
+           rounds nodes)
+      ~columns:
+        [ "variant"; "sessions run"; "sessions skipped"; "messages"; "bytes"; "savings" ]
+  in
+  let steady_counters ~cache =
+    let cluster = Cluster.create ~cache ~n:nodes () in
+    for rank = 0 to 7 do
+      Cluster.update cluster ~node:(rank mod nodes) ~item:(item rank)
+        (Operation.Set (payload ~rank ~seq:1))
+    done;
+    (* Deterministic convergence: n ring rounds propagate transitively
+       from every node to every other (paper Theorem 5). *)
+    for _ = 1 to nodes do
+      Cluster.ring_pull_round cluster
+    done;
+    assert (Cluster.converged cluster);
+    Cluster.reset_counters cluster;
+    for _ = 1 to rounds do
+      Cluster.ring_pull_round cluster
+    done;
+    Cluster.total_counters cluster
+  in
+  let plain = steady_counters ~cache:false in
+  let cached = steady_counters ~cache:true in
+  let row name (c : Counters.t) =
+    let savings =
+      if plain.messages = 0 then "0%"
+      else
+        Printf.sprintf "%.1f%%"
+          (100.0
+          *. float_of_int (plain.messages - c.messages)
+          /. float_of_int plain.messages)
+    in
+    Table.add_row table
+      [
+        name;
+        string_of_int (c.propagation_sessions + c.noop_sessions);
+        string_of_int c.sessions_skipped_cached;
+        string_of_int c.messages;
+        string_of_int c.bytes_sent;
+        savings;
+      ]
+  in
+  row "dbvv" plain;
+  row "dbvv+cache" cached;
+  table
+
 let all ?(quick = false) () =
   [
     ("E1", e1_cost_vs_database_size ~quick ());
@@ -776,4 +837,5 @@ let all ?(quick = false) () =
     ("E12", e12_timeliness_vs_period ~quick ());
     ("E13", e13_propagation_delay ~quick ());
     ("E14", e14_token_ablation ~quick ());
+    ("E15", e15_peer_cache_savings ~quick ());
   ]

@@ -83,5 +83,13 @@ val e14_token_ablation : ?quick:bool -> unit -> Edb_metrics.Table.t
     resolution pending) vs token-protected (zero conflicts, at the cost
     of token transfers). *)
 
+val e15_peer_cache_savings : ?quick:bool -> unit -> Edb_metrics.Table.t
+(** E15 (extension) — steady-state message savings from the
+    peer-knowledge cache ([Edb_core.Peer_cache]): ring anti-entropy
+    rounds on a converged 16-node cluster, cache-enabled vs plain. The
+    paper already makes the no-op session O(1) {e work}; the cache makes
+    it zero {e messages} — the cheapest no-op session is the one never
+    sent (cf. Malkhi et al. on minimizing diffusion messages). *)
+
 val all : ?quick:bool -> unit -> (string * Edb_metrics.Table.t) list
 (** Every experiment, as [(id, table)] pairs in order. *)

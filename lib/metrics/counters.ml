@@ -13,6 +13,7 @@ type t = {
   mutable oob_copies : int;
   mutable delta_ops_applied : int;
   mutable whole_fallbacks : int;
+  mutable sessions_skipped_cached : int;
 }
 
 let create () =
@@ -31,6 +32,7 @@ let create () =
     oob_copies = 0;
     delta_ops_applied = 0;
     whole_fallbacks = 0;
+    sessions_skipped_cached = 0;
   }
 
 let reset t =
@@ -47,7 +49,8 @@ let reset t =
   t.aux_replays <- 0;
   t.oob_copies <- 0;
   t.delta_ops_applied <- 0;
-  t.whole_fallbacks <- 0
+  t.whole_fallbacks <- 0;
+  t.sessions_skipped_cached <- 0
 
 let copy t =
   {
@@ -65,6 +68,7 @@ let copy t =
     oob_copies = t.oob_copies;
     delta_ops_applied = t.delta_ops_applied;
     whole_fallbacks = t.whole_fallbacks;
+    sessions_skipped_cached = t.sessions_skipped_cached;
   }
 
 let add_into acc t =
@@ -81,7 +85,8 @@ let add_into acc t =
   acc.aux_replays <- acc.aux_replays + t.aux_replays;
   acc.oob_copies <- acc.oob_copies + t.oob_copies;
   acc.delta_ops_applied <- acc.delta_ops_applied + t.delta_ops_applied;
-  acc.whole_fallbacks <- acc.whole_fallbacks + t.whole_fallbacks
+  acc.whole_fallbacks <- acc.whole_fallbacks + t.whole_fallbacks;
+  acc.sessions_skipped_cached <- acc.sessions_skipped_cached + t.sessions_skipped_cached
 
 let diff ~after ~before =
   {
@@ -99,6 +104,8 @@ let diff ~after ~before =
     oob_copies = after.oob_copies - before.oob_copies;
     delta_ops_applied = after.delta_ops_applied - before.delta_ops_applied;
     whole_fallbacks = after.whole_fallbacks - before.whole_fallbacks;
+    sessions_skipped_cached =
+      after.sessions_skipped_cached - before.sessions_skipped_cached;
   }
 
 let total_work t =
@@ -121,4 +128,5 @@ let pp fmt t =
   field "oob_copies" t.oob_copies;
   field "delta_ops_applied" t.delta_ops_applied;
   field "whole_fallbacks" t.whole_fallbacks;
+  field "sessions_skipped_cached" t.sessions_skipped_cached;
   Format.fprintf fmt "@]"

@@ -33,6 +33,11 @@ type t = {
   mutable whole_fallbacks : int;
       (** Items shipped whole because the op history could not prove a
           delta complete. *)
+  mutable sessions_skipped_cached : int;
+      (** Anti-entropy sessions skipped outright — zero messages —
+          because cached peer knowledge proved the session would be a
+          no-op (see [Edb_core.Peer_cache]). Not counted in
+          [noop_sessions], which tallies sessions that actually ran. *)
 }
 
 val create : unit -> t

@@ -1,0 +1,296 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let float_repr v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+let rec emit buf ~indent ~level v =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let newline () = if indent then Buffer.add_char buf '\n' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_nan f || Float.is_integer (f /. 0.) then
+      (* JSON has no NaN/Infinity; degrade to null rather than emit an
+         unparseable token. *)
+      Buffer.add_string buf "null"
+    else Buffer.add_string buf (float_repr f)
+  | String s ->
+    Buffer.add_char buf '"';
+    escape_into buf s;
+    Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List xs ->
+    Buffer.add_char buf '[';
+    newline ();
+    List.iteri
+      (fun i x ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          newline ()
+        end;
+        pad (level + 1);
+        emit buf ~indent ~level:(level + 1) x)
+      xs;
+    newline ();
+    pad level;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    newline ();
+    List.iteri
+      (fun i (k, x) ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          newline ()
+        end;
+        pad (level + 1);
+        Buffer.add_char buf '"';
+        escape_into buf k;
+        Buffer.add_string buf "\": ";
+        emit buf ~indent ~level:(level + 1) x)
+      fields;
+    newline ();
+    pad level;
+    Buffer.add_char buf '}'
+
+let to_string ?(indent = true) v =
+  let buf = Buffer.create 1_024 in
+  emit buf ~indent ~level:0 v;
+  if indent then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+type cursor = { data : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.data then Some c.data.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some got when got = ch -> advance c
+  | Some got -> parse_error "expected %c at offset %d, found %c" ch c.pos got
+  | None -> parse_error "expected %c at offset %d, found end of input" ch c.pos
+
+let expect_literal c lit value =
+  let len = String.length lit in
+  if c.pos + len <= String.length c.data && String.sub c.data c.pos len = lit then begin
+    c.pos <- c.pos + len;
+    value
+  end
+  else parse_error "invalid literal at offset %d" c.pos
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_error "unterminated string at offset %d" c.pos
+    | Some '"' ->
+      advance c;
+      Buffer.contents buf
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | None -> parse_error "unterminated escape at offset %d" c.pos
+      | Some e ->
+        advance c;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if c.pos + 4 > String.length c.data then
+            parse_error "truncated \\u escape at offset %d" c.pos;
+          let hex = String.sub c.data c.pos 4 in
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with _ -> parse_error "bad \\u escape %S at offset %d" hex c.pos
+          in
+          c.pos <- c.pos + 4;
+          (* Only the escapes we emit (< 0x20) need round-tripping; wider
+             code points are stored as '?' rather than implementing full
+             UTF-8 encoding for data we never produce. *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else Buffer.add_char buf '?'
+        | e -> parse_error "bad escape \\%c at offset %d" e c.pos);
+        go ())
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let token = String.sub c.data start (c.pos - start) in
+  match int_of_string_opt token with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt token with
+    | Some f -> Float f
+    | None -> parse_error "bad number %S at offset %d" token start)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "unexpected end of input at offset %d" c.pos
+  | Some '"' -> String (parse_string_body c)
+  | Some 'n' -> expect_literal c "null" Null
+  | Some 't' -> expect_literal c "true" (Bool true)
+  | Some 'f' -> expect_literal c "false" (Bool false)
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items (v :: acc)
+        | Some ']' ->
+          advance c;
+          List (List.rev (v :: acc))
+        | _ -> parse_error "expected , or ] at offset %d" c.pos
+      in
+      items []
+    end
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws c;
+        let k = parse_string_body c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        (k, v)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields (kv :: acc)
+        | Some '}' ->
+          advance c;
+          Obj (List.rev (kv :: acc))
+        | _ -> parse_error "expected , or } at offset %d" c.pos
+      in
+      fields []
+    end
+  | Some _ -> parse_number c
+
+let of_string data =
+  let c = { data; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length data then
+      Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+
+let to_list_opt = function List xs -> Some xs | _ -> None
+
+let of_table table =
+  Obj
+    [
+      ("title", String (Table.title table));
+      ("columns", List (List.map (fun c -> String c) (Table.columns table)));
+      ( "rows",
+        List
+          (List.map
+             (fun row -> List (List.map (fun cell -> String cell) row))
+             (Table.rows table)) );
+    ]

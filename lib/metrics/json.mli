@@ -1,0 +1,44 @@
+(** A minimal, dependency-free JSON value type with an emitter and a
+    parser.
+
+    Exists so the bench harness can write [BENCH_micro.json] — the
+    machine-readable perf trajectory every PR diffs against — and so
+    the [@bench-smoke] checker can re-read and validate it, without
+    pulling a JSON package into the build. The emitter produces
+    standard JSON; the parser accepts everything the emitter produces
+    (plus ordinary hand-written JSON — the only simplification is that
+    [\u] escapes outside ASCII decode to ['?'], which the emitter never
+    generates). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serialize. [indent] (default true) pretty-prints with two-space
+    indentation and a trailing newline — the stable, diffable layout
+    [BENCH_micro.json] is committed in. Non-finite floats become
+    [null]. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the value bound to [key], if any;
+    [None] on non-objects. *)
+
+val to_float_opt : t -> float option
+(** Numeric value of an [Int] or [Float]. *)
+
+val to_string_opt : t -> string option
+
+val to_list_opt : t -> t list option
+
+val of_table : Table.t -> t
+(** A {!Table.t} as [{title; columns; rows}] — the deterministic counter
+    tables, machine-readable. *)

@@ -39,3 +39,9 @@ let render t =
 let print t =
   print_string (render t);
   print_newline ()
+
+let title t = t.title
+
+let columns t = t.columns
+
+let rows t = t.rows

@@ -21,3 +21,11 @@ val render : t -> string
 
 val print : t -> unit
 (** [print t] writes {!render} to stdout followed by a blank line. *)
+
+val title : t -> string
+
+val columns : t -> string list
+
+val rows : t -> string list list
+(** Raw cells in insertion order — used by [Json] exporters that record
+    the deterministic counter tables machine-readably. *)

@@ -15,6 +15,24 @@ module Writer = struct
 
   let create () = Buffer.create 4_096
 
+  (* One reusable scratch buffer per domain, so encode-heavy paths
+     (snapshots, manifests, WAL batches) stop allocating a fresh 4KB+
+     buffer per call. Domain-local storage keeps the parallel
+     anti-entropy fan-out race-free; the in-use flag makes nested
+     [with_scratch] calls fall back to a fresh buffer instead of
+     clobbering the outer one. *)
+  let scratch_key =
+    Domain.DLS.new_key (fun () -> (Buffer.create 65_536, ref false))
+
+  let with_scratch f =
+    let buf, in_use = Domain.DLS.get scratch_key in
+    if !in_use then f (create ())
+    else begin
+      in_use := true;
+      Buffer.clear buf;
+      Fun.protect ~finally:(fun () -> in_use := false) (fun () -> f buf)
+    end
+
   let int t v = Buffer.add_int64_le t (Int64.of_int v)
 
   let string t s =

@@ -11,6 +11,14 @@ module Writer : sig
 
   val create : unit -> t
 
+  val with_scratch : (t -> 'a) -> 'a
+  (** [with_scratch f] runs [f] with a per-domain reusable writer
+      (cleared before [f] sees it) instead of allocating a fresh
+      buffer — the allocation-free path for encode-heavy callers.
+      The writer is only valid during [f]; take {!contents} before
+      returning. Nested calls and concurrent domains each get their
+      own buffer. *)
+
   val int : t -> int -> unit
   (** Little-endian 64-bit. *)
 

@@ -15,25 +15,25 @@ let wal_path dir = Filename.concat dir "node.wal"
 (* Journal entries. *)
 
 let encode_update item op =
-  let w = Codec.Writer.create () in
-  Codec.Writer.int w 0;
-  Codec.Writer.string w item;
-  Wire.encode_operation w op;
-  Codec.Writer.contents w
+  Codec.Writer.with_scratch (fun w ->
+      Codec.Writer.int w 0;
+      Codec.Writer.string w item;
+      Wire.encode_operation w op;
+      Codec.Writer.contents w)
 
 let encode_reply ~source reply =
-  let w = Codec.Writer.create () in
-  Codec.Writer.int w 1;
-  Codec.Writer.int w source;
-  Wire.encode_propagation_reply w reply;
-  Codec.Writer.contents w
+  Codec.Writer.with_scratch (fun w ->
+      Codec.Writer.int w 1;
+      Codec.Writer.int w source;
+      Wire.encode_propagation_reply w reply;
+      Codec.Writer.contents w)
 
 let encode_oob ~source reply =
-  let w = Codec.Writer.create () in
-  Codec.Writer.int w 2;
-  Codec.Writer.int w source;
-  Wire.encode_oob_reply w reply;
-  Codec.Writer.contents w
+  Codec.Writer.with_scratch (fun w ->
+      Codec.Writer.int w 2;
+      Codec.Writer.int w source;
+      Wire.encode_oob_reply w reply;
+      Codec.Writer.contents w)
 
 let apply_journal_record node record =
   let r = Codec.Reader.create record in

@@ -43,18 +43,19 @@ let decode_aux_record r =
 
 let encode node =
   let state = Node.export_state node in
-  let w = Codec.Writer.create () in
-  Codec.Writer.string w magic;
-  Codec.Writer.int w format_version;
-  Codec.Writer.int w state.id;
-  Codec.Writer.int w state.n;
-  Codec.Writer.list w encode_item state.items;
-  Codec.Writer.array w Codec.Writer.int state.dbvv;
-  Codec.Writer.array w (fun w records -> Codec.Writer.list w encode_log_record records)
-    state.logs;
-  Codec.Writer.list w encode_item state.aux_items;
-  Codec.Writer.list w encode_aux_record state.aux_log;
-  Codec.Writer.contents w
+  Codec.Writer.with_scratch (fun w ->
+      Codec.Writer.string w magic;
+      Codec.Writer.int w format_version;
+      Codec.Writer.int w state.id;
+      Codec.Writer.int w state.n;
+      Codec.Writer.list w encode_item state.items;
+      Codec.Writer.array w Codec.Writer.int state.dbvv;
+      Codec.Writer.array w
+        (fun w records -> Codec.Writer.list w encode_log_record records)
+        state.logs;
+      Codec.Writer.list w encode_item state.aux_items;
+      Codec.Writer.list w encode_aux_record state.aux_log;
+      Codec.Writer.contents w)
 
 let decode ?policy ?conflict_handler ?mode blob =
   match

@@ -61,13 +61,62 @@ let anti_entropy_round t ~db =
 let sync_database t ~db =
   Result.map (fun c -> Cluster.sync_until_converged c) (cluster t db)
 
-let sync_all t =
-  List.map
+(* ------------------------------------------------------------------ *)
+(* Parallel fan-out over databases                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Databases are share-nothing protocol instances — separate clusters,
+   separate PRNGs (deterministically seeded at creation), separate
+   counters — so fanning work out over domains cannot race and the
+   result is bitwise-identical to the sequential order: tasks are
+   indexed up front and each domain writes only its own slots. *)
+let parallel_map ~domains f items =
+  let len = Array.length items in
+  let workers = min (max 1 domains) len in
+  if workers <= 1 then Array.map f items
+  else begin
+    let results = Array.make len None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < len then begin
+          results.(i) <- Some (f items.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map
+      (function Some r -> r | None -> assert false)
+      results
+  end
+
+(* Pre-resolve the clusters so domains never touch the databases
+   hashtable. *)
+let database_clusters t =
+  List.filter_map
     (fun name ->
-      match sync_database t ~db:name with
-      | Ok rounds -> (name, rounds)
-      | Error _ -> (name, -1))
+      Option.map (fun db -> (name, db.cluster)) (Hashtbl.find_opt t.databases name))
     (databases t)
+
+let sync_all ?(domains = 1) t =
+  let tasks = Array.of_list (database_clusters t) in
+  let sync (name, cluster) =
+    match Cluster.sync_until_converged cluster with
+    | rounds -> (name, rounds)
+    | exception Failure _ -> (name, -1)
+  in
+  Array.to_list (parallel_map ~domains sync tasks)
+
+let anti_entropy_all ?(domains = 1) t =
+  let tasks = Array.of_list (database_clusters t) in
+  let round (_, cluster) = Cluster.random_pull_round cluster in
+  let (_ : unit array) = parallel_map ~domains round tasks in
+  ()
 
 let converged t =
   Hashtbl.fold (fun _ db acc -> acc && Cluster.converged db.cluster) t.databases true
@@ -92,11 +141,16 @@ let save_server t ~dir ~node =
   else begin
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     let names = databases t in
-    (* Manifest first into a buffer; written last so a crash mid-save
-       leaves no valid manifest pointing at incomplete snapshots. *)
-    let w = Codec.Writer.create () in
-    Codec.Writer.int w node;
-    Codec.Writer.list w Codec.Writer.string names;
+    (* Manifest contents computed up front (and before the snapshot
+       saves, which reuse the same per-domain scratch writer); the file
+       is still written last so a crash mid-save leaves no valid
+       manifest pointing at incomplete snapshots. *)
+    let manifest =
+      Codec.Writer.with_scratch (fun w ->
+          Codec.Writer.int w node;
+          Codec.Writer.list w Codec.Writer.string names;
+          Codec.Writer.contents w)
+    in
     List.iteri
       (fun index name ->
         match Hashtbl.find_opt t.databases name with
@@ -105,7 +159,7 @@ let save_server t ~dir ~node =
           Snapshot.save (Cluster.node db.cluster node) ~path:(snapshot_path dir index))
       names;
     let oc = open_out_bin (manifest_path dir ^ ".tmp") in
-    output_string oc (Codec.Writer.contents w);
+    output_string oc manifest;
     close_out oc;
     Sys.rename (manifest_path dir ^ ".tmp") (manifest_path dir);
     Ok ()

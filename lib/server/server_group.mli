@@ -55,8 +55,19 @@ val sync_database : t -> db:string -> (int, string) result
 (** Random rounds until the database converges; returns the rounds
     used. *)
 
-val sync_all : t -> (string * int) list
-(** {!sync_database} for every database. *)
+val sync_all : ?domains:int -> t -> (string * int) list
+(** {!sync_database} for every database. [domains] (default 1) fans the
+    databases out over that many OCaml domains: databases are
+    share-nothing protocol instances with independent, deterministically
+    seeded PRNGs, so the result — rounds per database {e and} every
+    replica's final state — is bitwise-identical to the sequential run
+    regardless of [domains]. A database that exceeds its round budget
+    reports [-1]. *)
+
+val anti_entropy_all : ?domains:int -> t -> unit
+(** One {!Edb_core.Cluster.random_pull_round} on every database, with
+    the same optional domain fan-out and the same determinism guarantee
+    as {!sync_all}. *)
 
 val converged : t -> bool
 (** Whether every database has converged. *)

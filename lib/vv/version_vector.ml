@@ -44,18 +44,28 @@ let add_diff_into t ~newer ~older =
     t.(l) <- t.(l) + d
   done
 
+(* Top-level worker (not a local closure — this path must not allocate;
+   it runs on every adoption and every no-op session). Early exit: once
+   components have been seen in both directions the verdict is
+   Concurrent no matter what the remaining components say. *)
+let rec compare_scan a b n j some_less some_greater =
+  if j >= n then
+    match (some_less, some_greater) with
+    | false, false -> Equal
+    | false, true -> Dominates
+    | true, false -> Dominated
+    | true, true -> Concurrent
+  else
+    let av = Array.unsafe_get a j and bv = Array.unsafe_get b j in
+    if av < bv then
+      if some_greater then Concurrent else compare_scan a b n (j + 1) true some_greater
+    else if av > bv then
+      if some_less then Concurrent else compare_scan a b n (j + 1) some_less true
+    else compare_scan a b n (j + 1) some_less some_greater
+
 let compare_vv a b =
   check_dimensions a b;
-  let some_less = ref false and some_greater = ref false in
-  for j = 0 to Array.length a - 1 do
-    if a.(j) < b.(j) then some_less := true
-    else if a.(j) > b.(j) then some_greater := true
-  done;
-  match (!some_less, !some_greater) with
-  | false, false -> Equal
-  | false, true -> Dominates
-  | true, false -> Dominated
-  | true, true -> Concurrent
+  compare_scan a b (Array.length a) 0 false false
 
 let equal a b = compare_vv a b = Equal
 
@@ -68,17 +78,22 @@ let concurrent a b = compare_vv a b = Concurrent
 
 let sum t = Array.fold_left ( + ) 0 t
 
+(* Early exit: stop scanning as soon as a witness is known in each
+   direction — later components cannot change the answer. Top-level for
+   the same no-closure reason as [compare_scan]; witnesses are encoded
+   as negative ints until found so the scan itself allocates nothing. *)
+let rec conflict_scan a b n j less greater =
+  if less >= 0 && greater >= 0 then Some (less, greater)
+  else if j >= n then None
+  else
+    let av = Array.unsafe_get a j and bv = Array.unsafe_get b j in
+    if av < bv && less < 0 then conflict_scan a b n (j + 1) j greater
+    else if av > bv && greater < 0 then conflict_scan a b n (j + 1) less j
+    else conflict_scan a b n (j + 1) less greater
+
 let conflicting_components a b =
   check_dimensions a b;
-  let less = ref None and greater = ref None in
-  Array.iteri
-    (fun j bv ->
-      if a.(j) < bv && !less = None then less := Some j
-      else if a.(j) > bv && !greater = None then greater := Some j)
-    b;
-  match (!less, !greater) with
-  | Some k, Some l -> Some (k, l)
-  | None, _ | _, None -> None
+  conflict_scan a b (Array.length a) 0 (-1) (-1)
 
 let pp fmt t =
   Format.fprintf fmt "<%a>"

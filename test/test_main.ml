@@ -13,6 +13,7 @@ let () =
       ("message", Test_message.suite);
       ("out-of-bound", Test_oob.suite);
       ("cluster", Test_cluster.suite);
+      ("peer-cache", Test_peer_cache.suite);
       ("convergence", Test_convergence.suite);
       ("baselines", Test_baselines.suite);
       ("two-phase-gossip", Test_two_phase.suite);

@@ -1,0 +1,242 @@
+(* The peer-knowledge cache (Edb_core.Peer_cache): steady-state session
+   skips must be exact — zero messages on a converged cluster, yet a
+   cache-enabled cluster indistinguishable from a plain one on any
+   schedule — and crash recovery must invalidate cached knowledge. *)
+
+module Cluster = Edb_core.Cluster
+module Node = Edb_core.Node
+module Peer_cache = Edb_core.Peer_cache
+module Counters = Edb_metrics.Counters
+module Operation = Edb_store.Operation
+module Snapshot = Edb_persist.Snapshot
+module Explorer = Edb_check.Explorer
+module Vv = Edb_vv.Version_vector
+
+let set v = Operation.Set v
+
+(* Seed a little data and converge deterministically (n ring rounds
+   propagate transitively from every node to every other, Theorem 5). *)
+let converged_cluster ~cache ~n =
+  let cluster = Cluster.create ~cache ~n () in
+  for rank = 0 to (2 * n) - 1 do
+    Cluster.update cluster ~node:(rank mod n)
+      ~item:(Printf.sprintf "item%d" rank)
+      (set (Printf.sprintf "v%d" rank))
+  done;
+  for _ = 1 to n do
+    Cluster.ring_pull_round cluster
+  done;
+  Alcotest.(check bool) "setup converged" true (Cluster.converged cluster);
+  cluster
+
+(* Acceptance headline: on a converged 16-node cluster every steady
+   ring-round session is skipped from the cache — zero messages, zero
+   sessions, only [sessions_skipped_cached] moves. *)
+let test_skip_on_converged () =
+  let n = 16 in
+  let cluster = converged_cluster ~cache:true ~n in
+  (* One warm round: sessions run once more and prime currency marks. *)
+  Cluster.ring_pull_round cluster;
+  Cluster.reset_counters cluster;
+  let rounds = 5 in
+  for _ = 1 to rounds do
+    Cluster.ring_pull_round cluster
+  done;
+  let c = Cluster.total_counters cluster in
+  Alcotest.(check int) "zero messages" 0 c.Counters.messages;
+  Alcotest.(check int) "zero bytes" 0 c.Counters.bytes_sent;
+  Alcotest.(check int) "zero sessions run" 0 c.Counters.propagation_sessions;
+  Alcotest.(check int) "skips are not no-op sessions" 0 c.Counters.noop_sessions;
+  Alcotest.(check int) "every session skipped" (rounds * n)
+    c.Counters.sessions_skipped_cached;
+  (* And the skip reports the same result the session would have. *)
+  (match Cluster.pull cluster ~recipient:0 ~source:1 with
+  | Node.Already_current -> ()
+  | Node.Pulled _ -> Alcotest.fail "skip should report Already_current")
+
+(* Liveness: an update anywhere bumps the cluster epoch and refutes
+   every currency mark, so propagation resumes and the new value still
+   reaches every replica. *)
+let test_update_invalidates_skip () =
+  let n = 6 in
+  let cluster = converged_cluster ~cache:true ~n in
+  Cluster.ring_pull_round cluster;
+  Cluster.reset_counters cluster;
+  Cluster.ring_pull_round cluster;
+  let steady = Cluster.total_counters cluster in
+  Alcotest.(check int) "steady state fully cached" 0 steady.Counters.messages;
+  Cluster.update cluster ~node:2 ~item:"fresh" (set "new-value");
+  for _ = 1 to n do
+    Cluster.ring_pull_round cluster
+  done;
+  for node = 0 to n - 1 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "node %d sees the update" node)
+      (Some "new-value")
+      (Cluster.read cluster ~node ~item:"fresh")
+  done;
+  Alcotest.(check bool) "re-converged" true (Cluster.converged cluster);
+  let after = Cluster.total_counters cluster in
+  Alcotest.(check bool) "sessions actually ran" true
+    (after.Counters.propagation_sessions > 0)
+
+(* Crash recovery: restoring a node from an old checkpoint is a
+   rollback, which breaks the monotone-DBVV assumption behind cached
+   lower bounds. [Cluster.replace_node] must forget every other node's
+   knowledge of the peer (and the restored node starts empty), so no
+   stale skip can strand the rolled-back node. *)
+let test_crash_restore_invalidates () =
+  let n = 3 in
+  let cluster = converged_cluster ~cache:true ~n in
+  Cluster.ring_pull_round cluster;
+  (* Checkpoint node 1 now, then move the whole cluster past it. *)
+  let blob = Snapshot.encode (Cluster.node cluster 1) in
+  Cluster.update cluster ~node:0 ~item:"later" (set "after-checkpoint");
+  for _ = 1 to n do
+    Cluster.ring_pull_round cluster
+  done;
+  Cluster.ring_pull_round cluster;
+  Alcotest.(check (option string)) "node 1 saw the later update"
+    (Some "after-checkpoint")
+    (Cluster.read cluster ~node:1 ~item:"later");
+  (* Crash node 1 and recover it from the stale checkpoint. *)
+  let restored =
+    match Snapshot.decode blob with
+    | Ok node -> node
+    | Error msg -> Alcotest.fail ("snapshot decode failed: " ^ msg)
+  in
+  Cluster.replace_node cluster 1 restored;
+  Alcotest.(check bool) "restored node's cache starts empty" true
+    (Peer_cache.is_empty (Node.peer_cache (Cluster.node cluster 1)));
+  Alcotest.(check bool) "peers forgot the replaced node" true
+    (Peer_cache.proven (Node.peer_cache (Cluster.node cluster 0)) ~peer:1 = None
+    && Peer_cache.proven (Node.peer_cache (Cluster.node cluster 2)) ~peer:1 = None);
+  Alcotest.(check (option string)) "rolled back before the update" None
+    (Cluster.read cluster ~node:1 ~item:"later");
+  (* No stale skip: ordinary anti-entropy must bring it back. *)
+  for _ = 1 to n do
+    Cluster.ring_pull_round cluster
+  done;
+  Alcotest.(check (option string)) "recovered node caught up"
+    (Some "after-checkpoint")
+    (Cluster.read cluster ~node:1 ~item:"later");
+  Alcotest.(check bool) "converged after recovery" true
+    (Cluster.converged cluster)
+
+(* Epoch monotonicity across rollback: replacing a node must advance
+   the epoch even though the restored node's revision restarts at
+   zero — otherwise an old currency mark could resurface. *)
+let test_epoch_monotone_across_replace () =
+  let cluster = converged_cluster ~cache:true ~n:3 in
+  let before = Cluster.epoch cluster in
+  let blob = Snapshot.encode (Cluster.node cluster 1) in
+  let restored =
+    match Snapshot.decode blob with
+    | Ok node -> node
+    | Error msg -> Alcotest.fail ("snapshot decode failed: " ^ msg)
+  in
+  Cluster.replace_node cluster 1 restored;
+  Alcotest.(check bool) "epoch strictly advanced" true
+    (Cluster.epoch cluster > before)
+
+(* Singleton cluster regression: with n = 1 there is no peer to pull
+   from; a random round must be a harmless no-op instead of asking the
+   PRNG for an integer in an empty range. *)
+let test_singleton_cluster () =
+  List.iter
+    (fun cache ->
+      let cluster = Cluster.create ~cache ~n:1 () in
+      Cluster.update cluster ~node:0 ~item:"x" (set "v");
+      Cluster.random_pull_round cluster;
+      Cluster.ring_pull_round cluster;
+      let c = Cluster.total_counters cluster in
+      Alcotest.(check int) "no sessions on a singleton" 0
+        c.Counters.propagation_sessions;
+      Alcotest.(check int) "no messages on a singleton" 0 c.Counters.messages;
+      Alcotest.(check bool) "singleton trivially converged" true
+        (Cluster.converged cluster);
+      Alcotest.(check int) "sync_until_converged is immediate" 0
+        (Cluster.sync_until_converged cluster))
+    [ false; true ]
+
+(* ---------- Cache-on vs cache-off equivalence ---------- *)
+
+(* Observable state of a cluster: per node, the DBVV plus every item's
+   value — plus the per-node conflict count. *)
+let observe ~items cluster =
+  List.init (Cluster.n cluster) (fun node ->
+      let nd = Cluster.node cluster node in
+      ( Vv.to_array (Node.dbvv nd),
+        List.init items (fun rank ->
+            Cluster.read cluster ~node ~item:(Printf.sprintf "i%d" rank)),
+        List.length (Node.conflicts nd) ))
+
+(* Property: on any single-writer script (shared generator in
+   [Gen.actions]) the cache-enabled cluster traverses exactly the same
+   states as the plain one — equal reads, DBVVs and conflict sets —
+   and never sends more messages. *)
+let prop_cache_equivalent =
+  let nodes = 4 and items = 5 in
+  QCheck2.Test.make ~count:120 ~name:"cache-on ≡ cache-off (scripted runs)"
+    (Gen.actions ~nodes ~items)
+    (fun script ->
+      let run ~cache =
+        let cluster = Cluster.create ~cache ~seed:9 ~n:nodes () in
+        List.iter
+          (fun (a : Gen.action) ->
+            match a with
+            | Gen.Update { owner_choice; item_rank } ->
+              let owner = item_rank mod nodes in
+              ignore owner_choice;
+              Cluster.update cluster ~node:owner
+                ~item:(Printf.sprintf "i%d" item_rank)
+                (set (Printf.sprintf "v%d" owner_choice))
+            | Gen.Pull { recipient; source } ->
+              if recipient <> source then
+                ignore (Cluster.pull cluster ~recipient ~source)
+            | Gen.Oob { recipient; source; item_rank } ->
+              if recipient <> source then
+                ignore
+                  (Cluster.fetch_out_of_bound cluster ~recipient ~source
+                     (Printf.sprintf "i%d" item_rank)))
+          script;
+        (* Drive both variants to quiescence the same way. *)
+        for _ = 1 to nodes + 1 do
+          Cluster.ring_pull_round cluster
+        done;
+        (observe ~items cluster, (Cluster.total_counters cluster).Counters.messages)
+      in
+      let plain, plain_msgs = run ~cache:false in
+      let cached, cached_msgs = run ~cache:true in
+      if plain <> cached then
+        QCheck2.Test.fail_report "cache-enabled run diverged from plain run";
+      if cached_msgs > plain_msgs then
+        QCheck2.Test.fail_reportf "cache sent more messages (%d > %d)" cached_msgs
+          plain_msgs;
+      true)
+
+(* The heavyweight version: 210 randomized fault schedules (crashes,
+   recoveries, partitions, lossy/duplicating/reordering network) through
+   the explorer's cache-equivalence harness. *)
+let test_explorer_equivalence () =
+  match Explorer.run_equivalence ~seed:23 ~runs:210 () with
+  | Ok ({ Explorer.schedules } : Explorer.report) ->
+    Alcotest.(check bool) "explored enough schedules" true (schedules >= 200)
+  | Error msg -> Alcotest.fail ("cache equivalence failed:\n" ^ msg)
+
+let suite =
+  [
+    Alcotest.test_case "skips every session on a converged cluster" `Quick
+      test_skip_on_converged;
+    Alcotest.test_case "an update refutes cached currency (liveness)" `Quick
+      test_update_invalidates_skip;
+    Alcotest.test_case "crash/restore forgets cached knowledge" `Quick
+      test_crash_restore_invalidates;
+    Alcotest.test_case "epoch stays monotone across replace_node" `Quick
+      test_epoch_monotone_across_replace;
+    Alcotest.test_case "singleton cluster rounds are no-ops" `Quick
+      test_singleton_cluster;
+    QCheck_alcotest.to_alcotest prop_cache_equivalent;
+    Alcotest.test_case "explorer: 210 fault schedules, cache ≡ plain" `Quick
+      test_explorer_equivalence;
+  ]

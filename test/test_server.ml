@@ -138,6 +138,52 @@ let test_restore_missing_database_rejected () =
       | Error _ -> ()
       | Ok () -> Alcotest.fail "must reject when the database is gone")
 
+(* Parallel [sync_all] must be bitwise-identical to the sequential run:
+   databases are share-nothing protocol instances with their own
+   deterministic PRNGs, so fanning them over domains may only change
+   wall-clock, never rounds or states. *)
+let test_sync_all_parallel_deterministic () =
+  let build () =
+    let group = Group.create ~n:4 () in
+    for d = 0 to 5 do
+      let db = Printf.sprintf "db%d" d in
+      ok (Group.create_database group db);
+      for i = 0 to 9 do
+        ok
+          (Group.update group ~db
+             ~node:(i mod 4)
+             ~item:(Printf.sprintf "k%d" i)
+             (set (Printf.sprintf "%d:%d" d i)))
+      done
+    done;
+    group
+  in
+  let observe group =
+    List.map
+      (fun db ->
+        let cluster = ok (Group.cluster group db) in
+        ( db,
+          List.init (Cluster.n cluster) (fun node ->
+              List.init 10 (fun i ->
+                  Cluster.read cluster ~node ~item:(Printf.sprintf "k%d" i))) ))
+      (Group.databases group)
+  in
+  let seq_group = build () and par_group = build () in
+  let seq_rounds = Group.sync_all ~domains:1 seq_group in
+  let par_rounds = Group.sync_all ~domains:4 par_group in
+  Alcotest.(check (list (pair string int)))
+    "rounds per database identical" seq_rounds par_rounds;
+  Alcotest.(check bool) "parallel run converged" true (Group.converged par_group);
+  if observe seq_group <> observe par_group then
+    Alcotest.fail "parallel sync_all diverged from sequential";
+  (* Same for the single-round variant. *)
+  ok (Group.update seq_group ~db:"db0" ~node:0 ~item:"late" (set "tail"));
+  ok (Group.update par_group ~db:"db0" ~node:0 ~item:"late" (set "tail"));
+  Group.anti_entropy_all ~domains:1 seq_group;
+  Group.anti_entropy_all ~domains:4 par_group;
+  if observe seq_group <> observe par_group then
+    Alcotest.fail "parallel anti_entropy_all diverged from sequential"
+
 let test_counters_aggregate_across_databases () =
   let group = Group.create ~n:2 () in
   ok (Group.create_database group "a");
@@ -161,4 +207,6 @@ let suite =
     Alcotest.test_case "restore missing database rejected" `Quick
       test_restore_missing_database_rejected;
     Alcotest.test_case "counters aggregate" `Quick test_counters_aggregate_across_databases;
+    Alcotest.test_case "parallel sync_all is deterministic" `Quick
+      test_sync_all_parallel_deterministic;
   ]
