@@ -86,5 +86,28 @@ let () =
           | _ -> fail "%s: experiment %S has a malformed row" path title)
         rows)
     experiments;
+  (* The loss/retry sweep must carry the transport-robustness counters:
+     future PR diffs key on the timeout/retry/abandoned columns. *)
+  let e17 =
+    List.find_opt
+      (fun table ->
+        match Option.bind (Json.member "title" table) Json.to_string_opt with
+        | Some title -> Astring.String.is_prefix ~affix:"E17:" title
+        | None -> false)
+      experiments
+  in
+  (match e17 with
+  | None -> fail "%s: no E17 message-loss experiment table" path
+  | Some table ->
+    let columns =
+      List.filter_map Json.to_string_opt
+        (Option.value ~default:[]
+           (Option.bind (Json.member "columns" table) Json.to_list_opt))
+    in
+    List.iter
+      (fun column ->
+        if not (List.mem column columns) then
+          fail "%s: E17 table lacks the %S column" path column)
+      [ "timeouts"; "retries"; "abandoned" ]);
   Printf.printf "%s OK: %d benchmarks, %d experiment tables\n" path
     (List.length benchmarks) (List.length experiments)

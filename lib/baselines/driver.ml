@@ -1,5 +1,30 @@
 module Counters = Edb_metrics.Counters
 
+(* Protocol messages are opaque to the transport: each driver extends
+   this type with its own wire forms (the epidemic driver adds
+   propagation requests and replies). The simulation engine only moves
+   the values around; extensibility keeps [edb_baselines] free of any
+   per-protocol message dependency. *)
+type message = ..
+
+(* Message-granular session execution: a session becomes three
+   observable points — build the request at the recipient, answer it at
+   the source, apply the reply back at the recipient — so a network can
+   lose, delay, duplicate or reorder each message independently and a
+   crash can land between them. Implementations must make
+   [accept_reply] idempotent (the transport may deliver a reply twice)
+   and [make_request] self-contained (the request may be consumed
+   arbitrarily later, so it must not alias live mutable state). *)
+type granular = {
+  make_request : dst:int -> message;
+      (** Build (and charge for) the propagation request [dst] sends. *)
+  make_reply : src:int -> message -> message;
+      (** Answer a request at [src]; charges the reply's cost. *)
+  accept_reply : dst:int -> src:int -> message -> unit;
+      (** Apply a reply at [dst]. Must be safe under duplicate and
+          stale (superseded-attempt) deliveries. *)
+}
+
 type t = {
   name : string;
   n : int;
@@ -10,6 +35,9 @@ type t = {
   total_counters : unit -> Counters.t;
   reset_counters : unit -> unit;
   converged : unit -> bool;
+  granular : granular option;
+      (** Message-granular session support; [None] falls back to the
+          atomic [session] call (all §8 baselines). *)
 }
 
 let total_of_nodes counters =

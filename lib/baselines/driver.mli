@@ -8,6 +8,25 @@
     particulars (e.g. Oracle push-cursor control for the failure
     experiment). *)
 
+type message = ..
+(** Opaque protocol messages for message-granular transport; each
+    driver extends this with its own wire forms. *)
+
+type granular = {
+  make_request : dst:int -> message;
+      (** Build (and charge for) the propagation request [dst] sends.
+          Must not alias live mutable state: the transport may hold the
+          request arbitrarily long before delivery. *)
+  make_reply : src:int -> message -> message;
+      (** Answer a request at [src]; charges the reply's cost. *)
+  accept_reply : dst:int -> src:int -> message -> unit;
+      (** Apply a reply at [dst]. Must be idempotent: the transport may
+          deliver a reply twice, or deliver a stale reply from a
+          superseded attempt. *)
+}
+(** Message-granular session execution: request / reply / accept as
+    three observable points the network can fault independently. *)
+
 type t = {
   name : string;  (** Short label used in table headers. *)
   n : int;  (** Cluster size. *)
@@ -25,6 +44,9 @@ type t = {
   converged : unit -> bool;
       (** Whether all replicas are identical under the protocol's own
           notion of state. *)
+  granular : granular option;
+      (** Message-granular session support; [None] falls back to the
+          atomic [session] call (all §8 baselines). *)
 }
 
 val total_of_nodes : Edb_metrics.Counters.t array -> Edb_metrics.Counters.t

@@ -1,8 +1,59 @@
 module Cluster = Edb_core.Cluster
 module Node = Edb_core.Node
+module Message = Edb_core.Message
+module Counters = Edb_metrics.Counters
+
+(* Wire forms for message-granular transport. *)
+type Driver.message +=
+  | Request of Message.propagation_request
+  | Reply of Message.propagation_reply
 
 let create ?seed ?policy ?mode ?cache ~n () =
   let cluster = Cluster.create ?seed ?policy ?mode ?cache ~n () in
+  let charge node bytes =
+    let c = Node.counters (Cluster.node cluster node) in
+    c.Counters.messages <- c.Counters.messages + 1;
+    c.Counters.bytes_sent <- c.Counters.bytes_sent + bytes
+  in
+  let granular =
+    {
+      Driver.make_request =
+        (fun ~dst ->
+          (* Unlike the in-process fast path (which borrows the live
+             DBVV for a synchronous round-trip), a transported request
+             must own its vector: delivery can happen after further
+             local updates, and the request must describe the state it
+             was issued from. [Node.dbvv] copies. *)
+          let req =
+            { Message.recipient = dst; recipient_dbvv = Node.dbvv (Cluster.node cluster dst) }
+          in
+          charge dst (Message.request_bytes req);
+          Request req);
+      make_reply =
+        (fun ~src msg ->
+          match msg with
+          | Request req ->
+            let reply =
+              Node.handle_propagation_request (Cluster.node cluster src) req
+            in
+            charge src (Message.reply_bytes reply);
+            Reply reply
+          | _ -> invalid_arg "Epidemic_driver.make_reply: not a propagation request");
+      accept_reply =
+        (fun ~dst ~src msg ->
+          match msg with
+          | Reply Message.You_are_current -> ()
+          | Reply (Message.Propagate _ as reply) ->
+            (* AcceptPropagation's per-item dominance checks make
+               duplicate and stale deliveries no-ops, which is what
+               lets the transport redeliver freely. *)
+            let (_ : Node.accept_result) =
+              Node.accept_propagation (Cluster.node cluster dst) ~source:src reply
+            in
+            ()
+          | _ -> invalid_arg "Epidemic_driver.accept_reply: not a propagation reply");
+    }
+  in
   let driver =
     {
       Driver.name = "dbvv";
@@ -17,6 +68,7 @@ let create ?seed ?policy ?mode ?cache ~n () =
       total_counters = (fun () -> Cluster.total_counters cluster);
       reset_counters = (fun () -> Cluster.reset_counters cluster);
       converged = (fun () -> Cluster.converged cluster);
+      granular = Some granular;
     }
   in
   (cluster, driver)

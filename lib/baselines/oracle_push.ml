@@ -106,4 +106,5 @@ let driver t =
     total_counters = (fun () -> Driver.total_of_nodes t.counters);
     reset_counters = (fun () -> Driver.reset_nodes t.counters);
     converged = (fun () -> converged t);
+    granular = None;
   }

@@ -10,6 +10,10 @@ module Engine = Edb_sim.Engine
 module Network = Edb_sim.Network
 module Gen = QCheck2.Gen
 
+(* Message-granular lockstep support: the oracle's frozen source state
+   rides along with the real reply message (see [run_schedule]). *)
+type Driver.message += With_snapshot of Driver.message * Oracle.snapshot
+
 (* ------------------------------------------------------------------ *)
 (* Schedules                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -37,6 +41,11 @@ type schedule = {
   seed : int;
   steps : step list;
   corrupt_at : int option;
+  granular : bool;
+      (** Run under message-granular transport: loss / duplication /
+          reordering apply to each request and reply independently,
+          faults land between messages, and the timeout/retry layer is
+          active. *)
 }
 
 let item_name rank = Printf.sprintf "it%02d" rank
@@ -61,8 +70,9 @@ let pp_step ppf = function
 let print_schedule s =
   Format.asprintf
     "@[<v>{ nodes=%d items=%d topology=%s loss=%.2f dup=%.2f reorder=%.2f \
-     engine-seed=%d%s; %d steps }%a@]"
+     engine-seed=%d%s%s; %d steps }%a@]"
     s.nodes s.items (topology_name s.topology) s.loss s.duplication s.reorder s.seed
+    (if s.granular then " granular" else "")
     (match s.corrupt_at with
     | None -> ""
     | Some k -> Printf.sprintf " corrupt-at=%d" k)
@@ -140,7 +150,7 @@ let gen_step ~nodes ~items ~topology =
 
 let gen_topology = Gen.oneofl [ Clique; Ring; Star ]
 
-let gen ?topology ?(mutate = false) () =
+let gen ?topology ?(mutate = false) ?(granular = false) () =
   let open Gen in
   let* topology =
     match topology with Some tp -> pure tp | None -> gen_topology
@@ -155,7 +165,9 @@ let gen ?topology ?(mutate = false) () =
   let* corrupt_at =
     if mutate then map (fun k -> Some k) (int_bound (List.length steps)) else pure None
   in
-  pure { nodes; items; topology; loss; duplication; reorder; seed; steps; corrupt_at }
+  pure
+    { nodes; items; topology; loss; duplication; reorder; seed; steps; corrupt_at;
+      granular }
 
 (* ------------------------------------------------------------------ *)
 (* Running one schedule                                                *)
@@ -230,6 +242,32 @@ let run_schedule ?(mode = Node.Whole_item) (s : schedule) =
           (String.concat "," reference)
     end
   in
+  (* Message-granular lockstep: the oracle's source snapshot rides the
+     reply message, frozen at reply-build time and delivered at accept
+     time — mirroring exactly what the real reply carries across the
+     same gap. Duplicate or stale deliveries then hit both sides with
+     the same (idempotent) payload. *)
+  let wrapped_granular =
+    match driver.Driver.granular with
+    | None -> None
+    | Some g ->
+      Some
+        {
+          Driver.make_request = g.Driver.make_request;
+          make_reply =
+            (fun ~src msg ->
+              With_snapshot (g.Driver.make_reply ~src msg, Oracle.capture oracle ~src));
+          accept_reply =
+            (fun ~dst ~src msg ->
+              match msg with
+              | With_snapshot (reply, snap) ->
+                let clean_before = clean () in
+                g.Driver.accept_reply ~dst ~src reply;
+                Oracle.deliver oracle ~dst snap;
+                ensure ~clean_before "after accept" dst
+              | _ -> assert false);
+        }
+  in
   let wrapped =
     {
       driver with
@@ -245,28 +283,41 @@ let run_schedule ?(mode = Node.Whole_item) (s : schedule) =
           driver.Driver.session ~src ~dst;
           Oracle.session oracle ~src ~dst;
           ensure ~clean_before "after session" dst);
+      granular = wrapped_granular;
     }
   in
   let network =
     Network.create ~loss_probability:s.loss ~duplicate_probability:s.duplication
       ~reorder_probability:s.reorder ()
   in
-  let engine = Engine.create ~seed:s.seed ~network ~driver:wrapped () in
+  let transport =
+    if s.granular then Engine.Message_grain Engine.default_retry_policy
+    else Engine.Session_grain
+  in
+  let engine = Engine.create ~seed:s.seed ~network ~transport ~driver:wrapped () in
   try
     List.iteri
       (fun i step ->
         let at = float_of_int (i + 1) in
+        (* Granular runs start sessions at integer times, so their
+           request lands near [start + 1] and their reply near
+           [start + 2]; putting faults on the half-beat drops crashes
+           and partitions *between* a session's messages — the
+           mid-session schedules this transport exists to survive. *)
+        let fault_at = if s.granular then at +. 0.5 else at in
         match step with
         | Update { node; item; op } ->
           Engine.schedule engine ~at
             (Engine.User_update { node; item = item_name item; op })
         | Sync { src; dst } -> Engine.schedule engine ~at (Engine.Session { src; dst })
-        | Fault (Crash n) -> Engine.schedule engine ~at (Engine.Crash n)
-        | Fault (Recover n) -> Engine.schedule engine ~at (Engine.Recover n)
+        | Fault (Crash n) -> Engine.schedule engine ~at:fault_at (Engine.Crash n)
+        | Fault (Recover n) -> Engine.schedule engine ~at:fault_at (Engine.Recover n)
         | Fault (Partition (a, b)) ->
-          Engine.schedule engine ~at (Engine.Custom (fun _ -> Network.partition network a b))
+          Engine.schedule engine ~at:fault_at
+            (Engine.Custom (fun _ -> Network.partition network a b))
         | Fault (Heal (a, b)) ->
-          Engine.schedule engine ~at (Engine.Custom (fun _ -> Network.heal network a b)))
+          Engine.schedule engine ~at:fault_at
+            (Engine.Custom (fun _ -> Network.heal network a b)))
       s.steps;
     (match s.corrupt_at with
     | None -> ()
@@ -287,14 +338,32 @@ let run_schedule ?(mode = Node.Whole_item) (s : schedule) =
     for i = 0 to s.nodes - 1 do
       Engine.schedule engine ~at:horizon (Engine.Recover i)
     done;
-    for round = 0 to s.nodes + 1 do
-      let at = horizon +. 1.0 +. (2.0 *. float_of_int round) in
-      for dst = 0 to s.nodes - 1 do
-        Engine.schedule engine ~at (Engine.Session { src = (dst + 1) mod s.nodes; dst });
-        Engine.schedule engine ~at:(at +. 1.0)
-          (Engine.Session { src = (dst + s.nodes - 1) mod s.nodes; dst })
+    if s.granular then
+      (* A granular ring session started at T accepts its reply at
+         T + 2 (reliable network, base latency 1.0 per hop). Space the
+         forward and backward passes 2.5 apart and rounds 5.0 apart so
+         every accept strictly precedes the next session that reads the
+         state — otherwise FIFO tie-breaking would let round k+1's
+         requests (scheduled at setup, hence earlier in insertion
+         order) run before round k's accepts and halve the effective
+         propagation rate. *)
+      for round = 0 to s.nodes + 1 do
+        let at = horizon +. 1.0 +. (5.0 *. float_of_int round) in
+        for dst = 0 to s.nodes - 1 do
+          Engine.schedule engine ~at (Engine.Session { src = (dst + 1) mod s.nodes; dst });
+          Engine.schedule engine ~at:(at +. 2.5)
+            (Engine.Session { src = (dst + s.nodes - 1) mod s.nodes; dst })
+        done
       done
-    done;
+    else
+      for round = 0 to s.nodes + 1 do
+        let at = horizon +. 1.0 +. (2.0 *. float_of_int round) in
+        for dst = 0 to s.nodes - 1 do
+          Engine.schedule engine ~at (Engine.Session { src = (dst + 1) mod s.nodes; dst });
+          Engine.schedule engine ~at:(at +. 1.0)
+            (Engine.Session { src = (dst + s.nodes - 1) mod s.nodes; dst })
+        done
+      done;
     if not (Engine.run_until_quiescent engine) then
       failf "event budget exhausted before quiescence";
     (* Quiescence checks: invariants and oracle equivalence everywhere.
@@ -429,7 +498,7 @@ let run_cache_equivalence ?mode (s : schedule) =
 
 type report = { schedules : int }
 
-let run ?mode ?topology ?(mutate = false) ~seed ~runs () =
+let run ?mode ?topology ?(mutate = false) ?(granular = false) ~seed ~runs () =
   let last_error = ref "" in
   let prop s =
     match run_schedule ?mode s with
@@ -439,9 +508,12 @@ let run ?mode ?topology ?(mutate = false) ~seed ~runs () =
       false
   in
   let test =
-    QCheck2.Test.make ~count:runs ~name:"fault-schedule explorer"
+    QCheck2.Test.make ~count:runs
+      ~name:
+        (if granular then "chaos explorer (message-granular)"
+         else "fault-schedule explorer")
       ~print:print_schedule
-      (gen ?topology ~mutate ())
+      (gen ?topology ~mutate ~granular ())
       prop
   in
   match QCheck2.Test.check_exn ~rand:(Random.State.make [| seed |]) test with

@@ -55,6 +55,14 @@ type schedule = {
       (** Mutation smoke test: when [Some k], node 0's state is
           corrupted behind the protocol's back just after step [k], and
           the explorer is expected to catch it. *)
+  granular : bool;
+      (** Execute sessions over the message-granular transport
+          ({!Edb_sim.Engine.Message_grain}): loss, duplication and
+          reordering are drawn per request/reply message, crash and
+          partition faults land on the half-beat {e between} a
+          session's messages, and the timeout/retry/backoff layer is
+          active. The lockstep oracle follows by freezing the source
+          state at reply-build time and applying it at accept time. *)
 }
 
 val topology_name : topology -> string
@@ -63,10 +71,16 @@ val topology_of_string : string -> topology option
 
 val print_schedule : schedule -> string
 
-val gen : ?topology:topology -> ?mutate:bool -> unit -> schedule QCheck2.Gen.t
+val gen :
+  ?topology:topology ->
+  ?mutate:bool ->
+  ?granular:bool ->
+  unit ->
+  schedule QCheck2.Gen.t
 (** Schedule generator. [topology] pins the topology (default: drawn
     from all three); [mutate] (default false) makes every schedule carry
-    a [corrupt_at]. *)
+    a [corrupt_at]; [granular] (default false) makes every schedule run
+    over the message-granular transport. *)
 
 val run_schedule :
   ?mode:Edb_core.Node.propagation_mode -> schedule -> (unit, string) result
@@ -79,13 +93,17 @@ val run :
   ?mode:Edb_core.Node.propagation_mode ->
   ?topology:topology ->
   ?mutate:bool ->
+  ?granular:bool ->
   seed:int ->
   runs:int ->
   unit ->
   (report, string) result
 (** [run ~seed ~runs ()] explores [runs] generated schedules from the
     given [seed]. On failure the error carries the first failed check,
-    the shrunk counterexample schedule, and the seed to replay it. *)
+    the shrunk counterexample schedule, and the seed to replay it.
+    [granular] selects message-granular schedules, executed under
+    {!Edb_sim.Engine.Message_grain} with
+    {!Edb_sim.Engine.default_retry_policy}. *)
 
 val run_cache_equivalence :
   ?mode:Edb_core.Node.propagation_mode -> schedule -> (unit, string) result

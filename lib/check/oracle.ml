@@ -55,19 +55,37 @@ let compare_ivv a b =
 let sorted_names items =
   Hashtbl.fold (fun name _ acc -> name :: acc) items [] |> List.sort String.compare
 
-let session t ~src ~dst =
-  let source = t.replicas.(src) and recipient = t.replicas.(dst) in
-  List.iter
+(* A deep, immutable copy of a replica's items, in sorted name order.
+   Splitting [session] into capture-at-source and deliver-at-recipient
+   lets the oracle run in lockstep with message-granular transport:
+   the real protocol computes its reply from the source's state at
+   reply-build time and applies it at the (possibly much later) accept,
+   so the oracle must compare against the same frozen state, not the
+   source's live one. *)
+type snapshot = (string * string * int array) list
+
+let capture t ~src =
+  let source = t.replicas.(src) in
+  List.map
     (fun name ->
-      let theirs = Hashtbl.find source.items name in
+      let c = Hashtbl.find source.items name in
+      (name, c.value, Array.copy c.ivv))
+    (sorted_names source.items)
+
+let deliver t ~dst snapshot =
+  let recipient = t.replicas.(dst) in
+  List.iter
+    (fun (name, value, ivv) ->
       let ours = find_or_create t recipient name in
-      match compare_ivv theirs.ivv ours.ivv with
+      match compare_ivv ivv ours.ivv with
       | Left_newer ->
-        ours.value <- theirs.value;
-        ours.ivv <- Array.copy theirs.ivv
+        ours.value <- value;
+        ours.ivv <- Array.copy ivv
       | Equal | Right_newer -> ()
       | Concurrent -> Hashtbl.replace recipient.conflicted name ())
-    (sorted_names source.items)
+    snapshot
+
+let session t ~src ~dst = deliver t ~dst (capture t ~src)
 
 let read t ~node ~item =
   Option.map (fun c -> c.value) (Hashtbl.find_opt t.replicas.(node).items item)

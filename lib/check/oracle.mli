@@ -29,7 +29,23 @@ val session : t -> src:int -> dst:int -> unit
 (** Mirror of one propagation session carrying [src]'s knowledge to
     [dst]: full per-item compare, newer copies adopted, concurrent
     copies flagged at [dst]. Items are visited in sorted name order so
-    runs are deterministic. *)
+    runs are deterministic. Equivalent to
+    [deliver t ~dst (capture t ~src)]. *)
+
+type snapshot
+(** A deep, immutable copy of one replica's items. *)
+
+val capture : t -> src:int -> snapshot
+(** Freeze [src]'s state. Under message-granular transport the real
+    protocol builds its reply from the source's state at reply time and
+    applies it at a later accept; mirroring a session as
+    [capture]-at-reply / {!deliver}-at-accept keeps the oracle in exact
+    lockstep across the gap. *)
+
+val deliver : t -> dst:int -> snapshot -> unit
+(** Apply a frozen source state at [dst] (newer copies adopted,
+    concurrent copies flagged). Idempotent: delivering the same
+    snapshot twice is a no-op the second time. *)
 
 val read : t -> node:int -> item:string -> string option
 

@@ -7,6 +7,7 @@ module Log_component = Edb_log.Log_component
 module Log_vector = Edb_log.Log_vector
 module Aux_log = Edb_log.Aux_log
 module Counters = Edb_metrics.Counters
+module Fault = Edb_fault.Fault
 
 let src = Logs.Src.create "edb.node" ~doc:"Epidemic replication node"
 
@@ -370,12 +371,19 @@ let accept_propagation t ~source reply =
   match reply with
   | Message.You_are_current -> { copied = []; conflicts = 0; resolved = 0 }
   | Message.Propagate { tails; items } ->
+    (* Failpoints (see DESIGN.md, "Failure model"): a crash here leaves
+       the node exactly as before the session... *)
+    Fault.hit "accept.begin";
     let c = t.counters in
     let skip_records = Hashtbl.create 4 in
     let copied = ref [] in
     let conflict_count = ref 0 in
     let resolved_count = ref 0 in
     let consider (sx : Message.shipped_item) =
+      (* ...a crash here leaves some shipped items applied and others
+         not — torn, unless the caller journaled the whole reply
+         first (Durable_node does)... *)
+      Fault.hit "accept.item";
       let local = Store.find_or_create t.store sx.name in
       c.vv_comparisons <- c.vv_comparisons + 1;
       match Vv.compare_vv sx.ivv local.ivv with
@@ -455,6 +463,9 @@ let accept_propagation t ~source reply =
         Hashtbl.replace skip_records sx.name ()
     in
     List.iter consider items;
+    (* ...and a crash here has every item applied but no tail records,
+       deflating the local logs relative to the DBVV. *)
+    Fault.hit "accept.tail";
     (* Append the tails to the local logs (Fig. 3, second loop), skipping
        records of conflicting items and records the local log already
        subsumes (possible only in post-conflict states). *)

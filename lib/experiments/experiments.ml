@@ -10,6 +10,7 @@ module Oracle = Edb_baselines.Oracle_push
 module Wuu = Edb_baselines.Wuu_bernstein
 module Driver = Edb_baselines.Driver
 module Engine = Edb_sim.Engine
+module Network = Edb_sim.Network
 
 let item = Workload.item_name
 
@@ -821,6 +822,73 @@ let e15_peer_cache_savings ?(quick = false) () =
   row "dbvv+cache" cached;
   table
 
+(* ------------------------------------------------------------------ *)
+(* E17 — per-message loss vs the whole-session loss model              *)
+(* ------------------------------------------------------------------ *)
+
+let e17_message_loss ?(quick = false) () =
+  let nodes = if quick then 8 else 16 in
+  let period = 5.0 in
+  let deadline = 3_000.0 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E17: convergence and overhead under message loss, %d nodes, \
+            random-peer anti-entropy every %.0f units — whole-session loss \
+            (the old model: a lost session just vanishes) vs per-message loss \
+            with timeout/retry/backoff (request and reply each face the \
+            loss rate; a timed-out attempt is re-sent up to %d times)"
+           nodes period Engine.default_retry_policy.Engine.max_retries)
+      ~columns:
+        [
+          "transport"; "loss"; "rounds"; "messages"; "bytes"; "timeouts"; "retries";
+          "abandoned";
+        ]
+  in
+  let run ~transport_name ~transport ~loss =
+    let cluster, driver = Edb_baselines.Epidemic_driver.create ~seed:17 ~n:nodes () in
+    let network = Network.create ~loss_probability:loss () in
+    let engine = Engine.create ~seed:23 ~network ~transport ~driver () in
+    for rank = 0 to 7 do
+      Engine.schedule engine ~at:0.0
+        (Engine.User_update
+           {
+             node = rank mod nodes;
+             item = item rank;
+             op = Operation.Set (payload ~rank ~seq:1);
+           })
+    done;
+    Engine.schedule engine ~at:(period /. 2.0)
+      (Engine.Anti_entropy_round { period; policy = Engine.Random_peer });
+    let rounds =
+      match Engine.run_until_converged engine ~check_every:period ~deadline with
+      | Some at -> Printf.sprintf "%.0f" (at /. period)
+      | None -> "-"
+    in
+    ignore cluster;
+    let totals = driver.Driver.total_counters () in
+    Table.add_row table
+      [
+        transport_name;
+        Printf.sprintf "%.2f" loss;
+        rounds;
+        string_of_int totals.Counters.messages;
+        string_of_int totals.Counters.bytes_sent;
+        string_of_int totals.Counters.timeouts;
+        string_of_int totals.Counters.retries;
+        string_of_int totals.Counters.sessions_abandoned;
+      ]
+  in
+  List.iter
+    (fun loss ->
+      run ~transport_name:"session" ~transport:Engine.Session_grain ~loss;
+      run ~transport_name:"message"
+        ~transport:(Engine.Message_grain Engine.default_retry_policy)
+        ~loss)
+    [ 0.0; 0.05; 0.2 ];
+  table
+
 let all ?(quick = false) () =
   [
     ("E1", e1_cost_vs_database_size ~quick ());
@@ -838,4 +906,5 @@ let all ?(quick = false) () =
     ("E13", e13_propagation_delay ~quick ());
     ("E14", e14_token_ablation ~quick ());
     ("E15", e15_peer_cache_savings ~quick ());
+    ("E17", e17_message_loss ~quick ());
   ]

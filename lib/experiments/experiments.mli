@@ -91,5 +91,15 @@ val e15_peer_cache_savings : ?quick:bool -> unit -> Edb_metrics.Table.t
     it zero {e messages} — the cheapest no-op session is the one never
     sent (cf. Malkhi et al. on minimizing diffusion messages). *)
 
+val e17_message_loss : ?quick:bool -> unit -> Edb_metrics.Table.t
+(** E17 (extension) — convergence rounds and message overhead under
+    per-message loss rates \{0, 0.05, 0.2\} on 16 nodes, message-granular
+    transport (request and reply each face the loss rate, lost attempts
+    time out and retry with bounded backoff) vs the old whole-session
+    loss model where a lost session silently vanishes and costs
+    nothing. Shows what the session-grain abstraction hides: retries
+    buy convergence at higher loss for a measured message/byte
+    premium. *)
+
 val all : ?quick:bool -> unit -> (string * Edb_metrics.Table.t) list
 (** Every experiment, as [(id, table)] pairs in order. *)

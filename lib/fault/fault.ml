@@ -1,0 +1,106 @@
+(* Failpoint registry: named injection points that production code
+   declares with [hit] and tests arm with [register].
+
+   Design constraints, in order of importance:
+
+   1. Free when off. Every [hit] on a hot path must cost one mutable
+      load and one predictable branch when the registry is globally
+      disabled — the e12 idle-pull microbench guards this. Hence the
+      split into an inlined [hit] testing [enabled_flag] and a cold
+      [slow_hit] that does the table lookup.
+
+   2. Deterministic. PRNG-triggered points draw from a seeded
+      splitmix64 generator owned by the registry, never the stdlib
+      [Random], so a fault schedule replays exactly from its seed.
+
+   3. Composable with recovery tests. The default action raises
+      [Injected], which models a crash at the instrumented instruction:
+      the caller's in-memory state is abandoned mid-mutation and the
+      test reopens from disk. Custom actions cover everything else
+      (torn writes need a flush first; see [Wal.append]). *)
+
+module Prng = Edb_util.Prng
+
+exception Injected of string
+
+type trigger =
+  | Always
+  | On_hit of int  (** Fire on exactly the k-th hit (1-based). *)
+  | From_hit of int  (** Fire on every hit from the k-th on (1-based). *)
+  | Probability of float  (** Fire with probability p per hit. *)
+  | Predicate of (int -> bool)  (** Decide from the 1-based hit count. *)
+
+type action = Raise | Call of (unit -> unit)
+
+type point = {
+  trigger : trigger;
+  action : action;
+  mutable hits : int;  (** Times this point was reached while armed. *)
+  mutable fired : int;  (** Times the action actually ran. *)
+}
+
+let enabled_flag = ref false
+
+let points : (string, point) Hashtbl.t = Hashtbl.create 8
+
+(* Registry-owned randomness for [Probability] triggers. *)
+let prng = ref (Prng.create ~seed:0)
+
+let enabled () = !enabled_flag
+
+let enable () = enabled_flag := true
+
+let disable () = enabled_flag := false
+
+let seed_prng seed = prng := Prng.create ~seed
+
+let clear () =
+  Hashtbl.reset points;
+  enabled_flag := false
+
+let register ?(trigger = Always) ?(action = Raise) name =
+  Hashtbl.replace points name { trigger; action; hits = 0; fired = 0 };
+  enabled_flag := true
+
+let unregister name = Hashtbl.remove points name
+
+let hits name =
+  match Hashtbl.find_opt points name with Some p -> p.hits | None -> 0
+
+let fired name =
+  match Hashtbl.find_opt points name with Some p -> p.fired | None -> 0
+
+let should_fire p =
+  match p.trigger with
+  | Always -> true
+  | On_hit k -> p.hits = k
+  | From_hit k -> p.hits >= k
+  | Probability q -> Prng.chance !prng q
+  | Predicate f -> f p.hits
+
+(* Out of line on purpose: [hit] below must stay small enough to
+   inline to a load + branch. *)
+let[@inline never] slow_hit name =
+  match Hashtbl.find_opt points name with
+  | None -> ()
+  | Some p ->
+    p.hits <- p.hits + 1;
+    if should_fire p then begin
+      p.fired <- p.fired + 1;
+      match p.action with Raise -> raise (Injected name) | Call f -> f ()
+    end
+
+let[@inline] hit name = if !enabled_flag then slow_hit name
+
+let active name = !enabled_flag && Hashtbl.mem points name
+
+(* Arm a point, run [f], and disarm no matter how [f] exits — the
+   pattern every recovery test wants. The registry is left disabled
+   iff no other points remain armed. *)
+let with_point ?trigger ?action name f =
+  register ?trigger ?action name;
+  Fun.protect
+    ~finally:(fun () ->
+      unregister name;
+      if Hashtbl.length points = 0 then enabled_flag := false)
+    f

@@ -1,0 +1,72 @@
+(** Deterministic failpoint injection.
+
+    Production code declares named injection points with {!hit};
+    tests arm them with {!register} (or the scoped {!with_point}) and
+    choose when they fire — on the k-th hit, from the k-th hit on, with
+    a seeded-PRNG probability, or by arbitrary predicate — and what
+    they do: raise {!Injected} (modelling a crash at that instruction)
+    or run a callback (torn writes, latency, etc.).
+
+    The catalog of points compiled into the tree is documented in
+    DESIGN.md ("Failure model & recovery guarantees").
+
+    {b Cost when disabled.} The registry is globally off by default and
+    [hit] is one mutable load and one branch then — cheap enough for
+    the steady-state pull path (guarded by the e12 microbench). Nothing
+    is allocated and no hashtable is touched until a test calls
+    {!register}, which flips the global switch on. *)
+
+exception Injected of string
+(** Raised by a fired point whose action is [Raise]; carries the point
+    name. Models a crash: the caller's in-memory state is abandoned
+    wherever the mutation stood. *)
+
+type trigger =
+  | Always
+  | On_hit of int  (** Fire on exactly the k-th hit (1-based). *)
+  | From_hit of int  (** Fire on every hit from the k-th on. *)
+  | Probability of float
+      (** Fire with probability p per hit, drawn from the registry's
+          seeded PRNG ({!seed_prng}) for deterministic replay. *)
+  | Predicate of (int -> bool)  (** Decide from the 1-based hit count. *)
+
+type action = Raise | Call of (unit -> unit)
+
+val hit : string -> unit
+(** [hit name] does nothing unless the registry is enabled and [name]
+    is registered; then it counts the hit and fires the point's action
+    if the trigger says so. *)
+
+val active : string -> bool
+(** [active name] is whether the registry is enabled {e and} [name] is
+    armed — for code that must do preparatory work only under
+    injection (e.g. flush a buffer so a torn write is observable). *)
+
+val register : ?trigger:trigger -> ?action:action -> string -> unit
+(** Arm a point (default: fire [Always], action [Raise]) and enable
+    the registry. *)
+
+val unregister : string -> unit
+
+val with_point :
+  ?trigger:trigger -> ?action:action -> string -> (unit -> 'a) -> 'a
+(** [with_point name f] arms [name] around [f] and disarms it however
+    [f] exits, disabling the registry again if no points remain. *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val seed_prng : int -> unit
+(** Reseed the registry PRNG used by [Probability] triggers. *)
+
+val clear : unit -> unit
+(** Drop every registered point and disable the registry. *)
+
+val hits : string -> int
+(** Times an armed point was reached (0 if unregistered). *)
+
+val fired : string -> int
+(** Times an armed point's action ran (0 if unregistered). *)

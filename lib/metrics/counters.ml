@@ -14,6 +14,9 @@ type t = {
   mutable delta_ops_applied : int;
   mutable whole_fallbacks : int;
   mutable sessions_skipped_cached : int;
+  mutable timeouts : int;
+  mutable retries : int;
+  mutable sessions_abandoned : int;
 }
 
 let create () =
@@ -33,6 +36,9 @@ let create () =
     delta_ops_applied = 0;
     whole_fallbacks = 0;
     sessions_skipped_cached = 0;
+    timeouts = 0;
+    retries = 0;
+    sessions_abandoned = 0;
   }
 
 let reset t =
@@ -50,7 +56,10 @@ let reset t =
   t.oob_copies <- 0;
   t.delta_ops_applied <- 0;
   t.whole_fallbacks <- 0;
-  t.sessions_skipped_cached <- 0
+  t.sessions_skipped_cached <- 0;
+  t.timeouts <- 0;
+  t.retries <- 0;
+  t.sessions_abandoned <- 0
 
 let copy t =
   {
@@ -69,6 +78,9 @@ let copy t =
     delta_ops_applied = t.delta_ops_applied;
     whole_fallbacks = t.whole_fallbacks;
     sessions_skipped_cached = t.sessions_skipped_cached;
+    timeouts = t.timeouts;
+    retries = t.retries;
+    sessions_abandoned = t.sessions_abandoned;
   }
 
 let add_into acc t =
@@ -86,7 +98,10 @@ let add_into acc t =
   acc.oob_copies <- acc.oob_copies + t.oob_copies;
   acc.delta_ops_applied <- acc.delta_ops_applied + t.delta_ops_applied;
   acc.whole_fallbacks <- acc.whole_fallbacks + t.whole_fallbacks;
-  acc.sessions_skipped_cached <- acc.sessions_skipped_cached + t.sessions_skipped_cached
+  acc.sessions_skipped_cached <- acc.sessions_skipped_cached + t.sessions_skipped_cached;
+  acc.timeouts <- acc.timeouts + t.timeouts;
+  acc.retries <- acc.retries + t.retries;
+  acc.sessions_abandoned <- acc.sessions_abandoned + t.sessions_abandoned
 
 let diff ~after ~before =
   {
@@ -106,6 +121,9 @@ let diff ~after ~before =
     whole_fallbacks = after.whole_fallbacks - before.whole_fallbacks;
     sessions_skipped_cached =
       after.sessions_skipped_cached - before.sessions_skipped_cached;
+    timeouts = after.timeouts - before.timeouts;
+    retries = after.retries - before.retries;
+    sessions_abandoned = after.sessions_abandoned - before.sessions_abandoned;
   }
 
 let total_work t =
@@ -129,4 +147,7 @@ let pp fmt t =
   field "delta_ops_applied" t.delta_ops_applied;
   field "whole_fallbacks" t.whole_fallbacks;
   field "sessions_skipped_cached" t.sessions_skipped_cached;
+  field "timeouts" t.timeouts;
+  field "retries" t.retries;
+  field "sessions_abandoned" t.sessions_abandoned;
   Format.fprintf fmt "@]"

@@ -38,6 +38,16 @@ type t = {
           because cached peer knowledge proved the session would be a
           no-op (see [Edb_core.Peer_cache]). Not counted in
           [noop_sessions], which tallies sessions that actually ran. *)
+  mutable timeouts : int;
+      (** Message-granular sessions whose reply did not arrive within
+          the transport's per-attempt timeout (see
+          [Edb_sim.Engine] message-grain transport). *)
+  mutable retries : int;
+      (** Session attempts re-sent after a timeout (bounded
+          exponential backoff). *)
+  mutable sessions_abandoned : int;
+      (** Sessions given up after exhausting the retry budget — left
+          for a later anti-entropy round, the paper's recovery story. *)
 }
 
 val create : unit -> t

@@ -1,5 +1,6 @@
 module Node = Edb_core.Node
 module Message = Edb_core.Message
+module Fault = Edb_fault.Fault
 
 type t = {
   node : Node.t;
@@ -93,9 +94,16 @@ let pull_from t ~source =
   match reply with
   | Message.You_are_current -> Node.Already_current
   | Message.Propagate _ ->
-    (* Journal before applying: a crash between the two re-applies the
-       reply on recovery; a crash before the append loses nothing. *)
+    (* Journal before applying: the WAL append is the commit point.
+       A crash before it (durable.journal.before, or a torn append via
+       wal.append.partial) loses nothing — recovery sees the pre-session
+       state and a later anti-entropy round re-pulls. A crash after it
+       (durable.apply.before, or any accept.* point inside
+       accept_propagation) re-applies the journaled reply on recovery,
+       yielding exactly the post-session state. Never torn. *)
+    Fault.hit "durable.journal.before";
     journal t (encode_reply ~source:(Node.id source) reply);
+    Fault.hit "durable.apply.before";
     Node.Pulled (Node.accept_propagation t.node ~source:(Node.id source) reply)
 
 let fetch_out_of_bound_from t ~source item =

@@ -15,11 +15,25 @@ let open_writer ~path =
   let channel = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
   { channel; path }
 
+module Fault = Edb_fault.Fault
+
 let append w record =
   let header = Bytes.create 8 in
   Bytes.set_int64_le header 0 (Int64.of_int (String.length record));
   output_bytes w.channel header;
-  output_string w.channel record;
+  if Fault.active "wal.append.partial" then begin
+    (* Torn-write injection: flush the header plus half the payload so
+       that much is on disk, then give the failpoint its chance to
+       "crash". If it fires, the file ends in a torn tail exactly as a
+       real mid-write power cut would leave it; if the trigger says not
+       yet, finish the frame normally (a mid-frame flush is invisible). *)
+    let half = String.length record / 2 in
+    output_string w.channel (String.sub record 0 half);
+    flush w.channel;
+    Fault.hit "wal.append.partial";
+    output_string w.channel (String.sub record half (String.length record - half))
+  end
+  else output_string w.channel record;
   let trailer = Bytes.create 4 in
   Bytes.set_int32_le trailer 0 (Int32.of_int (adler32 record));
   output_bytes w.channel trailer;
@@ -38,25 +52,40 @@ let replay ~path ~f =
       let data = really_input_string ic (in_channel_length ic) in
       close_in ic;
       let limit = String.length data in
+      (* A frame that runs off the end of the file is the torn tail of
+         the last append — expected after a crash, everything before it
+         is sound. A frame that is fully present but does not checksum
+         (or claims an absurd length) is damage to data that was once
+         durably written: silently dropping it, and everything after it,
+         would un-acknowledge updates other replicas may already have
+         observed, so that is a hard error. *)
       let rec loop pos count =
-        if pos = limit then { records = count; torn_tail = false }
-        else if pos + 8 > limit then { records = count; torn_tail = true }
+        if pos = limit then Ok { records = count; torn_tail = false }
+        else if pos + 8 > limit then Ok { records = count; torn_tail = true }
         else
           let len = Int64.to_int (String.get_int64_le data pos) in
-          if len < 0 || pos + 8 + len + 4 > limit then
-            { records = count; torn_tail = true }
+          if len < 0 then
+            Error
+              (Printf.sprintf
+                 "WAL damaged: record %d at offset %d has negative length %d" count
+                 pos len)
+          else if pos + 8 + len + 4 > limit then Ok { records = count; torn_tail = true }
           else
             let record = String.sub data (pos + 8) len in
             let stored =
               Int32.to_int (String.get_int32_le data (pos + 8 + len)) land 0xFFFFFFFF
             in
-            if stored <> adler32 record then { records = count; torn_tail = true }
+            if stored <> adler32 record then
+              Error
+                (Printf.sprintf
+                   "WAL damaged: checksum mismatch in record %d at offset %d" count
+                   pos)
             else begin
               f record;
               loop (pos + 8 + len + 4) (count + 1)
             end
       in
-      Ok (loop 0 0)
+      loop 0 0
 
 let reset ~path =
   let oc = open_out_gen [ Open_trunc; Open_creat; Open_binary ] 0o644 path in

@@ -1,12 +1,15 @@
 (** A write-ahead (redo) log of opaque records.
 
     Framing per record: 8-byte length, payload, 4-byte Adler-32 of the
-    payload. {!replay} applies complete, checksummed records in order
-    and stops at the first damaged frame — which, after a crash, is the
-    torn tail of the last write; everything before it is recovered.
-    The number of records recovered and whether a torn tail was
-    discarded are both reported, so callers can log the data-loss
-    window.
+    payload. {!replay} applies complete, checksummed records in order.
+    It distinguishes two kinds of damage: a final frame {e cut short by
+    end-of-file} is the torn tail of a crashed append — expected, the
+    tail is discarded and reported so callers can log the data-loss
+    window — whereas a {e fully present} frame that fails its checksum
+    (or carries a nonsense length) is corruption of data that was once
+    durably written, and replay refuses with [Error] rather than
+    silently un-acknowledging updates other replicas may already have
+    observed.
 
     {!Durable_node} journals protocol mutations here between
     checkpoints; on recovery the snapshot is loaded and the journal
@@ -15,6 +18,10 @@
     re-assigning those to different updates would corrupt the
     epidemic, which is why recovery must replay rather than restart). *)
 
+val adler32 : string -> int
+(** The checksum used by the record framing (and by {!Snapshot}'s
+    payload guard) — Adler-32, matching [Codec]'s trailer. *)
+
 type writer
 
 val open_writer : path:string -> writer
@@ -22,18 +29,26 @@ val open_writer : path:string -> writer
     appending. *)
 
 val append : writer -> string -> unit
-(** [append w record] frames, writes and flushes one record. *)
+(** [append w record] frames, writes and flushes one record. Carries
+    the ["wal.append.partial"] failpoint ({!Edb_fault.Fault}): when it
+    fires, the header and half the payload are flushed and the append
+    "crashes" by raising, leaving a torn tail on disk. *)
 
 val close_writer : writer -> unit
 
 type replay_result = {
   records : int;  (** Complete records applied. *)
-  torn_tail : bool;  (** Whether a damaged final frame was discarded. *)
+  torn_tail : bool;
+      (** Whether a final frame truncated by end-of-file was
+          discarded. *)
 }
 
 val replay : path:string -> f:(string -> unit) -> (replay_result, string) result
 (** [replay ~path ~f] applies [f] to every intact record in order. A
-    missing file is an empty log ([Ok {records = 0; _}]). *)
+    missing file is an empty log ([Ok {records = 0; _}]); a torn tail is
+    [Ok {torn_tail = true; _}]; a damaged complete frame anywhere is
+    [Error] (and [f] has already been applied to the records before
+    it). *)
 
 val reset : path:string -> unit
 (** [reset ~path] truncates the log to empty (after a checkpoint). *)

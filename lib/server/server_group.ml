@@ -187,21 +187,30 @@ let restore_server t ~dir ~node =
       Error
         (Printf.sprintf "checkpoint is for server %d, not %d" saved_node node)
     else
-      let restore_one index name =
+      (* Two-phase: load and validate every snapshot before replacing
+         anything, so a damaged checkpoint (bit flip, truncation,
+         version skew) rejects the whole restore with a clear error and
+         leaves the running group untouched — never a server restored
+         for some databases but not others. *)
+      let load_one index name =
         match Hashtbl.find_opt t.databases name with
         | None -> Error (Printf.sprintf "database %S no longer exists" name)
         | Some db -> (
           match Snapshot.load ?mode:db.mode ~path:(snapshot_path dir index) () with
           | Error msg -> Error (Printf.sprintf "database %S: %s" name msg)
-          | Ok restored ->
-            Cluster.replace_node db.cluster node restored;
-            Ok ())
+          | Ok restored -> Ok (db, restored))
       in
-      let rec loop index = function
-        | [] -> Ok ()
+      let rec load_all index acc = function
+        | [] -> Ok (List.rev acc)
         | name :: rest -> (
-          match restore_one index name with
-          | Ok () -> loop (index + 1) rest
+          match load_one index name with
+          | Ok loaded -> load_all (index + 1) (loaded :: acc) rest
           | Error _ as e -> e)
       in
-      loop 0 names
+      (match load_all 0 [] names with
+      | Error _ as e -> e
+      | Ok loaded ->
+        List.iter
+          (fun (db, restored) -> Cluster.replace_node db.cluster node restored)
+          loaded;
+        Ok ())

@@ -1,12 +1,52 @@
 module Prng = Edb_util.Prng
 module Driver = Edb_baselines.Driver
+module Counters = Edb_metrics.Counters
 
 type peer_policy = Random_peer | Ring
+
+(* Message-granular transport: per-attempt timeout, bounded exponential
+   backoff with jitter (drawn from the engine PRNG, so runs replay from
+   the seed), and a retry budget after which the session is abandoned
+   to a later anti-entropy round — the paper's recovery story. *)
+type retry_policy = {
+  timeout : float;
+  backoff_base : float;
+  backoff_factor : float;
+  backoff_max : float;
+  jitter : float;
+  max_retries : int;
+}
+
+let default_retry_policy =
+  {
+    timeout = 4.0;
+    backoff_base = 0.5;
+    backoff_factor = 2.0;
+    backoff_max = 8.0;
+    jitter = 0.5;
+    max_retries = 3;
+  }
+
+type transport = Session_grain | Message_grain of retry_policy
+
+(* One in-flight message-granular session. Completion removes the entry
+   from the table; everything arriving afterwards (late replies from
+   superseded attempts, duplicates) is still applied — the protocol
+   must be idempotent — but no longer drives the session machinery. *)
+type session_state = {
+  s_src : int;  (* data source: answers the request *)
+  s_dst : int;  (* initiator/recipient: sends the request, accepts the reply *)
+  mutable attempt : int;  (* 0-based attempt number *)
+}
 
 type event =
   | User_update of { node : int; item : string; op : Edb_store.Operation.t }
   | Session of { src : int; dst : int }
   | Session_delivery of { src : int; dst : int }
+  | Request_delivery of { sid : int; src : int; dst : int; msg : Driver.message }
+  | Reply_delivery of { sid : int; src : int; dst : int; msg : Driver.message }
+  | Session_timeout of { sid : int; attempt : int }
+  | Session_retry of { sid : int }
   | Crash of int
   | Recover of int
   | Anti_entropy_round of { period : float; policy : peer_policy }
@@ -18,20 +58,31 @@ and t = {
   prng : Prng.t;
   driver : Driver.t;
   network : Network.t;
+  transport : transport;
   alive : bool array;
+  sessions : (int, session_state) Hashtbl.t;
+  mutable next_sid : int;
   mutable sessions_attempted : int;
   mutable sessions_lost : int;
 }
 
-let create ?(seed = 1) ?network ~driver () =
+let create ?(seed = 1) ?network ?(transport = Session_grain) ~driver () =
   let network = match network with Some n -> n | None -> Network.create () in
+  (match transport with
+  | Session_grain -> ()
+  | Message_grain _ ->
+    if driver.Driver.granular = None then
+      invalid_arg "Engine.create: driver has no message-granular support");
   {
     queue = Event_queue.create ();
     now = 0.0;
     prng = Prng.create ~seed;
     driver;
     network;
+    transport;
     alive = Array.make driver.Driver.n true;
+    sessions = Hashtbl.create 16;
+    next_sid = 0;
     sessions_attempted = 0;
     sessions_lost = 0;
   }
@@ -53,26 +104,72 @@ let random_peer t ~self =
   let peer = Prng.int t.prng (n - 1) in
   if peer >= self then peer + 1 else peer
 
+let granular t =
+  match t.driver.Driver.granular with
+  | Some g -> g
+  | None -> assert false (* checked in [create] *)
+
+(* One directed hop [from_] -> [to_]: drawn against per-message loss,
+   delayed (possibly reordered), possibly duplicated — the same PRNG
+   draw order as the session-grain path (lost, delay, duplicated,
+   delay), so both transports consume randomness predictably. *)
+let send_message t ~from_ ~to_ make_event =
+  if
+    (not (Network.blocked t.network from_ to_))
+    && not (Network.lost t.network t.prng)
+  then begin
+    schedule_after t ~delay:(Network.delay t.network t.prng) (make_event ());
+    if Network.duplicated t.network t.prng then
+      schedule_after t ~delay:(Network.delay t.network t.prng) (make_event ())
+  end
+
+(* (Re)issue one session attempt: build the request at the initiator,
+   put it on the wire toward the source, and start the attempt's
+   timeout clock. A dead initiator sends nothing, but the timeout still
+   runs so the session eventually completes or abandons. *)
+let send_request t ~policy sid st =
+  if t.alive.(st.s_dst) then begin
+    let msg = (granular t).Driver.make_request ~dst:st.s_dst in
+    send_message t ~from_:st.s_dst ~to_:st.s_src (fun () ->
+        Request_delivery { sid; src = st.s_src; dst = st.s_dst; msg })
+  end;
+  schedule_after t ~delay:policy.timeout (Session_timeout { sid; attempt = st.attempt })
+
 let rec execute t event =
   match event with
   | User_update { node; item; op } ->
     if t.alive.(node) then t.driver.Driver.update ~node ~item ~op
-  | Session { src; dst } ->
-    (* A session only begins if the initiating endpoints are up and the
-       pair is not partitioned; the network may still lose it, and may
-       deliver it twice (each copy with its own delay). *)
-    if
-      t.alive.(src) && t.alive.(dst)
-      && (not (Network.blocked t.network src dst))
-      && not (Network.lost t.network t.prng)
-    then begin
-      schedule_after t ~delay:(Network.delay t.network t.prng)
-        (Session_delivery { src; dst });
-      if Network.duplicated t.network t.prng then
+  | Session { src; dst } -> (
+    match t.transport with
+    | Message_grain policy ->
+      (* Message-granular: the initiator must be up to issue the
+         request; everything after that — loss of either message,
+         endpoint crashes between messages, duplicates, reordering —
+         is handled per hop, backed by the timeout/retry machinery. *)
+      if t.alive.(dst) then begin
+        let sid = t.next_sid in
+        t.next_sid <- sid + 1;
+        let st = { s_src = src; s_dst = dst; attempt = 0 } in
+        Hashtbl.add t.sessions sid st;
+        send_request t ~policy sid st
+      end
+      else t.sessions_lost <- t.sessions_lost + 1
+    | Session_grain ->
+      (* A session only begins if the initiating endpoints are up and the
+         pair is not partitioned; the network may still lose it, and may
+         deliver it twice (each copy with its own delay). *)
+      if
+        t.alive.(src) && t.alive.(dst)
+        && (not (Network.blocked t.network src dst))
+        && not (Network.lost t.network t.prng)
+      then begin
         schedule_after t ~delay:(Network.delay t.network t.prng)
-          (Session_delivery { src; dst })
-    end
-    else t.sessions_lost <- t.sessions_lost + 1
+          (Session_delivery { src; dst });
+        if Network.duplicated t.network t.prng then
+          schedule_after t ~delay:(Network.delay t.network t.prng)
+            (Session_delivery { src; dst })
+      end
+      else t.sessions_lost <- t.sessions_lost + 1)
   | Session_delivery { src; dst } ->
     (* Endpoints may have died while the session was in flight. *)
     if t.alive.(src) && t.alive.(dst) then begin
@@ -80,6 +177,67 @@ let rec execute t event =
       t.driver.Driver.session ~src ~dst
     end
     else t.sessions_lost <- t.sessions_lost + 1
+  | Request_delivery { sid; src; dst; msg } ->
+    (* The request reaches the data source, which answers it whether or
+       not the session has since completed or been abandoned (a real
+       responder cannot know). Duplicate requests produce duplicate
+       replies; both are charged — that is the honest message cost. *)
+    if t.alive.(src) then begin
+      let reply = (granular t).Driver.make_reply ~src msg in
+      send_message t ~from_:src ~to_:dst (fun () ->
+          Reply_delivery { sid; src; dst; msg = reply })
+    end
+  | Reply_delivery { sid; src; dst; msg } ->
+    if t.alive.(dst) then begin
+      (* Apply unconditionally — duplicates and replies from superseded
+         or abandoned attempts included. AcceptPropagation's dominance
+         checks make redelivery a no-op, and the chaos explorer
+         verifies exactly that. *)
+      (granular t).Driver.accept_reply ~dst ~src msg;
+      match Hashtbl.find_opt t.sessions sid with
+      | Some _ ->
+        (* First reply completes the session: stop the retry machinery. *)
+        t.sessions_attempted <- t.sessions_attempted + 1;
+        Hashtbl.remove t.sessions sid
+      | None -> ()
+    end
+  | Session_timeout { sid; attempt } -> (
+    match Hashtbl.find_opt t.sessions sid with
+    | None -> () (* completed or abandoned; stale clock *)
+    | Some st ->
+      if st.attempt = attempt then begin
+        (* This attempt's reply did not arrive in time. *)
+        (match t.transport with
+        | Session_grain -> assert false
+        | Message_grain policy ->
+          let c = t.driver.Driver.counters ~node:st.s_dst in
+          c.Counters.timeouts <- c.Counters.timeouts + 1;
+          if st.attempt >= policy.max_retries then begin
+            c.Counters.sessions_abandoned <- c.Counters.sessions_abandoned + 1;
+            t.sessions_lost <- t.sessions_lost + 1;
+            Hashtbl.remove t.sessions sid
+          end
+          else begin
+            c.Counters.retries <- c.Counters.retries + 1;
+            st.attempt <- st.attempt + 1;
+            let backoff =
+              Float.min policy.backoff_max
+                (policy.backoff_base
+                *. (policy.backoff_factor ** float_of_int (st.attempt - 1)))
+            in
+            let backoff =
+              backoff *. (1.0 +. (policy.jitter *. Prng.float t.prng 1.0))
+            in
+            schedule_after t ~delay:backoff (Session_retry { sid })
+          end)
+      end)
+  | Session_retry { sid } -> (
+    match Hashtbl.find_opt t.sessions sid with
+    | None -> () (* completed in the backoff window *)
+    | Some st -> (
+      match t.transport with
+      | Session_grain -> assert false
+      | Message_grain policy -> send_request t ~policy sid st))
   | Crash node -> t.alive.(node) <- false
   | Recover node -> t.alive.(node) <- true
   | Anti_entropy_round { period; policy } ->
@@ -140,3 +298,5 @@ let run_until_converged t ~check_every ~deadline =
 let sessions_attempted t = t.sessions_attempted
 
 let sessions_lost t = t.sessions_lost
+
+let sessions_in_flight t = Hashtbl.length t.sessions

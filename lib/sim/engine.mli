@@ -16,11 +16,24 @@
     lets the fault-schedule explorer ([lib/check]) shrink failing
     schedules and replay them from a printed seed.
 
-    A session scheduled at time [T] between alive, connected endpoints
-    executes at [T + delay]; if either endpoint is down at execution
-    time, or the network loses the attempt, nothing happens — there is
-    no retransmission, matching the paper's model where anti-entropy
-    simply runs again later. *)
+    {b Transports.} Under the default {!Session_grain} transport a
+    session scheduled at time [T] between alive, connected endpoints
+    executes atomically at [T + delay]; if either endpoint is down at
+    execution time, or the network loses the attempt, nothing happens —
+    there is no retransmission, matching the paper's model where
+    anti-entropy simply runs again later.
+
+    Under {!Message_grain} (requires a driver with
+    {!Edb_baselines.Driver.t.granular} support) a session is three
+    observable points — request built at the recipient, reply built at
+    the source, reply accepted back at the recipient — joined by two
+    wire messages, each separately subject to loss, delay, duplication,
+    reordering and partitions, with endpoint crashes able to land
+    {e between} them. A per-attempt timeout drives bounded exponential
+    backoff with jitter (seeded from the engine PRNG); after
+    [max_retries] re-sends the session is abandoned to a later
+    anti-entropy round. Timeouts, retries and abandonments are charged
+    to the initiating node's {!Edb_metrics.Counters}. *)
 
 type t
 
@@ -28,14 +41,56 @@ type peer_policy =
   | Random_peer  (** Each node pulls from one uniformly random peer. *)
   | Ring  (** Node [i] pulls from node [i-1 mod n]. *)
 
+type retry_policy = {
+  timeout : float;  (** Per-attempt reply deadline. *)
+  backoff_base : float;  (** Delay before the first re-send. *)
+  backoff_factor : float;  (** Multiplier per further attempt. *)
+  backoff_max : float;  (** Backoff cap. *)
+  jitter : float;
+      (** Each backoff is stretched by a uniform factor in
+          [\[1, 1+jitter)], drawn from the engine PRNG. *)
+  max_retries : int;  (** Re-sends before the session is abandoned. *)
+}
+
+val default_retry_policy : retry_policy
+(** timeout 4.0, backoff 0.5 doubling to a cap of 8.0, jitter 0.5,
+    3 retries — tuned to the default network's base latency of 1.0
+    (round trip 2.0, so a timeout means a message was really lost,
+    reordered far, or an endpoint is down). *)
+
+type transport =
+  | Session_grain  (** Atomic whole-session delivery (the default). *)
+  | Message_grain of retry_policy
+      (** Independent request/reply messages with timeout-retry. *)
+
 type event =
   | User_update of { node : int; item : string; op : Edb_store.Operation.t }
   | Session of { src : int; dst : int }
       (** Begin one propagation session carrying [src]'s knowledge to
           [dst]. *)
   | Session_delivery of { src : int; dst : int }
-      (** Internal: the session's network delay has elapsed; execute
-          it. *)
+      (** Internal (session-grain): the session's network delay has
+          elapsed; execute it. *)
+  | Request_delivery of {
+      sid : int;
+      src : int;
+      dst : int;
+      msg : Edb_baselines.Driver.message;
+    }
+      (** Internal (message-grain): [dst]'s propagation request reaches
+          the source. *)
+  | Reply_delivery of {
+      sid : int;
+      src : int;
+      dst : int;
+      msg : Edb_baselines.Driver.message;
+    }
+      (** Internal (message-grain): the reply reaches the recipient. *)
+  | Session_timeout of { sid : int; attempt : int }
+      (** Internal (message-grain): an attempt's reply deadline
+          passed. *)
+  | Session_retry of { sid : int }
+      (** Internal (message-grain): backoff elapsed; re-send. *)
   | Crash of int
   | Recover of int
   | Anti_entropy_round of { period : float; policy : peer_policy }
@@ -44,7 +99,14 @@ type event =
   | Custom of (t -> unit)  (** Escape hatch for experiment-specific logic. *)
 
 val create :
-  ?seed:int -> ?network:Network.t -> driver:Edb_baselines.Driver.t -> unit -> t
+  ?seed:int ->
+  ?network:Network.t ->
+  ?transport:transport ->
+  driver:Edb_baselines.Driver.t ->
+  unit ->
+  t
+(** Raises [Invalid_argument] if [transport] is {!Message_grain} but
+    the driver has no granular support. *)
 
 val driver : t -> Edb_baselines.Driver.t
 
@@ -72,7 +134,9 @@ val run_until_quiescent : ?max_events:int -> t -> bool
     executed; [true] iff the queue drained. Bounded by event count, not
     wall time, so tests driving finite schedules cannot hang. Note that
     a pending {!Anti_entropy_round} reschedules itself forever and will
-    exhaust the budget — use {!run_until} for recurring schedules. *)
+    exhaust the budget — use {!run_until} for recurring schedules.
+    Message-grain sessions always drain: retries are bounded by the
+    policy's budget and every timeout clock eventually fires. *)
 
 val run_until_converged :
   t -> check_every:float -> deadline:float -> float option
@@ -82,7 +146,14 @@ val run_until_converged :
     passed first. *)
 
 val sessions_attempted : t -> int
-(** Total sessions that reached execution (delivered, both ends up). *)
+(** Session-grain: sessions that reached execution (delivered, both
+    ends up). Message-grain: sessions whose first reply was accepted. *)
 
 val sessions_lost : t -> int
-(** Session attempts dropped by the network or a dead endpoint. *)
+(** Session-grain: attempts dropped by the network or a dead endpoint.
+    Message-grain: sessions with a dead initiator at start, plus
+    sessions abandoned after the retry budget. *)
+
+val sessions_in_flight : t -> int
+(** Message-grain sessions started but neither completed nor
+    abandoned. *)

@@ -120,11 +120,74 @@ let test_run_schedule_direct () =
           Explorer.Sync { src = 1; dst = 2 };
         ];
       corrupt_at = None;
+      granular = false;
     }
   in
   match Explorer.run_schedule schedule with
   | Ok () -> ()
   | Error msg -> Alcotest.fail msg
+
+(* The same conflict-free workload over the message-granular transport:
+   request and reply travel (and fail) separately, yet the run must
+   still pass every lockstep check and converge. *)
+let test_run_schedule_granular_direct () =
+  let schedule =
+    {
+      Explorer.nodes = 3;
+      items = 2;
+      topology = Explorer.Clique;
+      loss = 0.1;
+      duplication = 0.1;
+      reorder = 0.1;
+      seed = 9;
+      steps =
+        [
+          Explorer.Update { node = 0; item = 0; op = set "v1" };
+          Explorer.Sync { src = 0; dst = 1 };
+          Explorer.Fault (Explorer.Crash 2);
+          Explorer.Update { node = 0; item = 1; op = set "v2" };
+          Explorer.Fault (Explorer.Recover 2);
+          Explorer.Sync { src = 1; dst = 2 };
+        ];
+      corrupt_at = None;
+      granular = true;
+    }
+  in
+  match Explorer.run_schedule schedule with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+(* The headline chaos soak: 200+ message-granular schedules — per-message
+   loss/duplication/reordering, crashes and partitions landing between a
+   session's request and reply, timeout/retry/backoff active — all under
+   the full invariant + lockstep-oracle battery. *)
+let test_explorer_granular_passes () =
+  List.iter
+    (fun topology ->
+      expect_pass
+        ("granular " ^ Explorer.topology_name topology)
+        (Explorer.run ~granular:true ~topology ~seed:19 ~runs:70 ()))
+    [ Explorer.Clique; Explorer.Ring; Explorer.Star ]
+
+(* Granular schedules must still catch out-of-band state corruption. *)
+let test_explorer_granular_catches_mutation () =
+  match Explorer.run ~granular:true ~mutate:true ~seed:42 ~runs:20 () with
+  | Ok _ -> Alcotest.fail "injected corruption went undetected"
+  | Error msg ->
+    Alcotest.(check bool) "reports a counterexample" true
+      (Astring.String.is_infix ~affix:"counterexample" msg);
+    Alcotest.(check bool) "schedule is granular" true
+      (Astring.String.is_infix ~affix:"granular" msg)
+
+(* Determinism must survive the extra per-message randomness: same seed,
+   same schedules, same shrunk counterexample. *)
+let test_explorer_granular_deterministic () =
+  let once () =
+    match Explorer.run ~granular:true ~mutate:true ~seed:77 ~runs:10 () with
+    | Ok _ -> Alcotest.fail "injected corruption went undetected"
+    | Error msg -> msg
+  in
+  Alcotest.(check string) "same seed, same report" (once ()) (once ())
 
 let suite =
   [
@@ -135,4 +198,12 @@ let suite =
     Alcotest.test_case "conflict exactness, 3 origins" `Quick
       test_conflict_exactness_three_origins;
     Alcotest.test_case "direct schedule run" `Quick test_run_schedule_direct;
+    Alcotest.test_case "direct granular schedule run" `Quick
+      test_run_schedule_granular_direct;
+    Alcotest.test_case "210 granular schedules, 3 topologies" `Quick
+      test_explorer_granular_passes;
+    Alcotest.test_case "granular mutation smoke test" `Quick
+      test_explorer_granular_catches_mutation;
+    Alcotest.test_case "granular deterministic in the seed" `Quick
+      test_explorer_granular_deterministic;
   ]

@@ -18,6 +18,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("two-phase-gossip", Test_two_phase.suite);
       ("sim", Test_sim.suite);
+      ("transport", Test_transport.suite);
       ("workload", Test_workload.suite);
       ("metrics", Test_metrics.suite);
       ("experiments", Test_experiments.suite);
@@ -29,5 +30,6 @@ let () =
       ("invariants", Test_invariants.suite);
       ("explorer", Test_explorer.suite);
       ("wal", Test_wal.suite);
+      ("fault", Test_fault.suite);
       ("integration", Test_integration.suite);
     ]

@@ -1,0 +1,310 @@
+(* The message-granular transport: duplicated delivery of any single
+   protocol message must be idempotent, the retry layer must count and
+   bound its work, and the whole thing must stay deterministic in the
+   seed. *)
+
+module Node = Edb_core.Node
+module Cluster = Edb_core.Cluster
+module Message = Edb_core.Message
+module Operation = Edb_store.Operation
+module Counters = Edb_metrics.Counters
+module Driver = Edb_baselines.Driver
+module Epidemic_driver = Edb_baselines.Epidemic_driver
+module Demers = Edb_baselines.Demers
+module Engine = Edb_sim.Engine
+module Network = Edb_sim.Network
+
+let set v = Operation.Set v
+
+(* Canonical durable state: item lists sorted by name. *)
+let normalized_state node =
+  let state = Node.export_state node in
+  let by_name (a : Node.State.item) (b : Node.State.item) =
+    String.compare a.name b.name
+  in
+  {
+    state with
+    Node.State.items = List.sort by_name state.items;
+    aux_items = List.sort by_name state.aux_items;
+  }
+
+(* ---------- Duplicate-delivery idempotence (property) ---------- *)
+
+(* A small scripted workload to put the cluster in an arbitrary
+   reachable state — including conflicted ones — before the duplicated
+   message is delivered. *)
+type prep = Upd of { node : int; item : int; op : Operation.t } | Pull of int * int
+
+let nodes = 3
+
+let prep_gen =
+  QCheck2.Gen.(
+    let upd =
+      map3
+        (fun node item op -> Upd { node = node mod nodes; item; op })
+        (int_bound 1000)
+        (int_bound 2) Gen.operation
+    in
+    let pull =
+      map2 (fun a b -> Pull (a mod nodes, b mod nodes)) (int_bound 1000)
+        (int_bound 1000)
+    in
+    list_size (int_range 0 40) (frequency [ (3, upd); (2, pull) ]))
+
+let item_name rank = Printf.sprintf "it%d" rank
+
+let build_cluster script =
+  let cluster = Cluster.create ~seed:7 ~n:nodes () in
+  List.iter
+    (function
+      | Upd { node; item; op } -> Cluster.update cluster ~node ~item:(item_name item) op
+      | Pull (recipient, source) ->
+        if recipient <> source then
+          ignore (Cluster.pull cluster ~recipient ~source))
+    script;
+  cluster
+
+(* Delivering the same propagation request twice must leave the source
+   bitwise-unchanged and produce two identical replies. *)
+let prop_duplicate_request_idempotent =
+  QCheck2.Test.make ~name:"duplicate request: source unchanged, replies equal"
+    ~count:100
+    QCheck2.Gen.(triple prep_gen (int_bound 1000) (int_bound 1000))
+    (fun (script, a, b) ->
+      let src = a mod nodes and dst = b mod nodes in
+      QCheck2.assume (src <> dst);
+      let cluster = build_cluster script in
+      let source = Cluster.node cluster src
+      and recipient = Cluster.node cluster dst in
+      let request = Node.propagation_request recipient in
+      let before = normalized_state source in
+      let reply1 = Node.handle_propagation_request source request in
+      let reply2 = Node.handle_propagation_request source request in
+      normalized_state source = before && reply1 = reply2)
+
+(* Delivering the same propagation reply twice must leave the recipient
+   exactly where one delivery left it. *)
+let prop_duplicate_reply_idempotent =
+  QCheck2.Test.make ~name:"duplicate reply: second delivery is a no-op" ~count:100
+    QCheck2.Gen.(triple prep_gen (int_bound 1000) (int_bound 1000))
+    (fun (script, a, b) ->
+      let src = a mod nodes and dst = b mod nodes in
+      QCheck2.assume (src <> dst);
+      let cluster = build_cluster script in
+      let source = Cluster.node cluster src
+      and recipient = Cluster.node cluster dst in
+      let request = Node.propagation_request recipient in
+      let reply = Node.handle_propagation_request source request in
+      let (_ : Node.accept_result) =
+        Node.accept_propagation recipient ~source:src reply
+      in
+      let once = normalized_state recipient in
+      let (_ : Node.accept_result) =
+        Node.accept_propagation recipient ~source:src reply
+      in
+      normalized_state recipient = once)
+
+(* Same for an out-of-bound reply. *)
+let prop_duplicate_oob_idempotent =
+  QCheck2.Test.make ~name:"duplicate OOB reply: second delivery is a no-op"
+    ~count:100
+    QCheck2.Gen.(quad prep_gen (int_bound 1000) (int_bound 1000) (int_bound 2))
+    (fun (script, a, b, rank) ->
+      let src = a mod nodes and dst = b mod nodes in
+      QCheck2.assume (src <> dst);
+      let cluster = build_cluster script in
+      let source = Cluster.node cluster src
+      and recipient = Cluster.node cluster dst in
+      let reply = Node.serve_out_of_bound source { Message.item = item_name rank } in
+      let (_ : Node.oob_result) =
+        Node.accept_out_of_bound recipient ~source:src reply
+      in
+      let once = normalized_state recipient in
+      let (_ : Node.oob_result) =
+        Node.accept_out_of_bound recipient ~source:src reply
+      in
+      normalized_state recipient = once)
+
+(* ---------- Granular engine semantics ---------- *)
+
+let test_message_grain_needs_granular_driver () =
+  let driver = Demers.driver (Demers.create ~n:3 ~universe:[ "x" ]) in
+  Alcotest.check_raises "rejected"
+    (Invalid_argument "Engine.create: driver has no message-granular support")
+    (fun () ->
+      ignore
+        (Engine.create ~transport:(Engine.Message_grain Engine.default_retry_policy)
+           ~driver ()))
+
+(* Reliable network: every scheduled session completes with its first
+   attempt — no timeouts, no retries, no abandonments — and the cluster
+   converges just as under session-grain transport. *)
+let test_granular_reliable_converges () =
+  let cluster, driver = Epidemic_driver.create ~seed:3 ~n:4 () in
+  let engine =
+    Engine.create ~seed:5
+      ~transport:(Engine.Message_grain Engine.default_retry_policy)
+      ~driver ()
+  in
+  for i = 0 to 3 do
+    Engine.schedule engine ~at:0.0
+      (Engine.User_update { node = i; item = Printf.sprintf "it%d" i; op = set "v" })
+  done;
+  let sessions = ref 0 in
+  for round = 0 to 4 do
+    for dst = 0 to 3 do
+      Engine.schedule engine
+        ~at:(1.0 +. (10.0 *. float_of_int round))
+        (Engine.Session { src = (dst + 1) mod 4; dst });
+      incr sessions
+    done
+  done;
+  Alcotest.(check bool) "drained" true (Engine.run_until_quiescent engine);
+  Alcotest.(check bool) "converged" true (Cluster.converged cluster);
+  let totals = driver.Driver.total_counters () in
+  Alcotest.(check int) "no timeouts" 0 totals.Counters.timeouts;
+  Alcotest.(check int) "no retries" 0 totals.Counters.retries;
+  Alcotest.(check int) "no abandonments" 0 totals.Counters.sessions_abandoned;
+  Alcotest.(check int) "all sessions completed" !sessions
+    (Engine.sessions_attempted engine);
+  Alcotest.(check int) "none in flight" 0 (Engine.sessions_in_flight engine)
+
+(* Total loss: every attempt times out, the backoff ladder runs to the
+   retry budget, and the session is abandoned — with every step
+   visible in the counters and the event queue still draining. *)
+let test_granular_total_loss_abandons () =
+  let policy = Engine.default_retry_policy in
+  let cluster, driver = Epidemic_driver.create ~seed:3 ~n:2 () in
+  let network = Network.create ~loss_probability:1.0 () in
+  let engine =
+    Engine.create ~seed:5 ~network ~transport:(Engine.Message_grain policy) ~driver ()
+  in
+  Engine.schedule engine ~at:0.0
+    (Engine.User_update { node = 0; item = "x"; op = set "v" });
+  Engine.schedule engine ~at:1.0 (Engine.Session { src = 0; dst = 1 });
+  Engine.schedule engine ~at:1.0 (Engine.Session { src = 1; dst = 0 });
+  Alcotest.(check bool) "drained" true (Engine.run_until_quiescent engine);
+  Alcotest.(check bool) "not converged" false (Cluster.converged cluster);
+  let totals = driver.Driver.total_counters () in
+  Alcotest.(check int) "a timeout per attempt"
+    (2 * (policy.Engine.max_retries + 1))
+    totals.Counters.timeouts;
+  Alcotest.(check int) "a retry per re-send" (2 * policy.Engine.max_retries)
+    totals.Counters.retries;
+  Alcotest.(check int) "both sessions abandoned" 2
+    totals.Counters.sessions_abandoned;
+  Alcotest.(check int) "abandoned counts as lost" 2 (Engine.sessions_lost engine);
+  Alcotest.(check int) "never completed" 0 (Engine.sessions_attempted engine);
+  Alcotest.(check int) "none in flight" 0 (Engine.sessions_in_flight engine)
+
+(* Wire-level duplication of every message: the protocol absorbs the
+   copies (idempotence end to end) and still converges. *)
+let test_granular_duplication_converges () =
+  let cluster, driver = Epidemic_driver.create ~seed:3 ~n:4 () in
+  let network = Network.create ~duplicate_probability:1.0 () in
+  let engine =
+    Engine.create ~seed:5 ~network
+      ~transport:(Engine.Message_grain Engine.default_retry_policy)
+      ~driver ()
+  in
+  for i = 0 to 3 do
+    Engine.schedule engine ~at:0.0
+      (Engine.User_update { node = i; item = Printf.sprintf "it%d" i; op = set "v" })
+  done;
+  let sessions = ref 0 in
+  for round = 0 to 4 do
+    for dst = 0 to 3 do
+      Engine.schedule engine
+        ~at:(1.0 +. (10.0 *. float_of_int round))
+        (Engine.Session { src = (dst + 1) mod 4; dst });
+      incr sessions
+    done
+  done;
+  Alcotest.(check bool) "drained" true (Engine.run_until_quiescent engine);
+  Alcotest.(check bool) "converged" true (Cluster.converged cluster);
+  Alcotest.(check int) "first reply completes each session" !sessions
+    (Engine.sessions_attempted engine)
+
+(* A crash between request and reply: the reply finds the initiator
+   dead, the timeout ladder runs dry, and the session is abandoned
+   without corrupting either endpoint. *)
+let test_granular_crash_between_messages () =
+  let cluster, driver = Epidemic_driver.create ~seed:3 ~n:2 () in
+  let engine =
+    Engine.create ~seed:5
+      ~transport:(Engine.Message_grain Engine.default_retry_policy)
+      ~driver ()
+  in
+  Engine.schedule engine ~at:0.0
+    (Engine.User_update { node = 0; item = "x"; op = set "v" });
+  Engine.schedule engine ~at:1.0 (Engine.Session { src = 0; dst = 1 });
+  (* Initiator dies on the half-beat while its request is in flight. *)
+  Engine.schedule engine ~at:1.5 (Engine.Crash 1);
+  Alcotest.(check bool) "drained" true (Engine.run_until_quiescent engine);
+  let totals = driver.Driver.total_counters () in
+  Alcotest.(check int) "session abandoned" 1 totals.Counters.sessions_abandoned;
+  Alcotest.(check int) "never completed" 0 (Engine.sessions_attempted engine);
+  (* Recover and pull again: the update still propagates. *)
+  Engine.schedule engine ~at:(Engine.now engine) (Engine.Recover 1);
+  Engine.schedule engine
+    ~at:(Engine.now engine +. 1.0)
+    (Engine.Session { src = 0; dst = 1 });
+  Alcotest.(check bool) "drained again" true (Engine.run_until_quiescent engine);
+  Alcotest.(check bool) "converged after recovery" true (Cluster.converged cluster)
+
+(* Determinism: identical seeds reproduce every loss, delay, backoff
+   jitter and final state bit for bit. *)
+let test_granular_deterministic () =
+  let run () =
+    let cluster, driver = Epidemic_driver.create ~seed:3 ~n:4 () in
+    let network =
+      Network.create ~loss_probability:0.3 ~duplicate_probability:0.2
+        ~reorder_probability:0.2 ~jitter_mean:0.5 ()
+    in
+    let engine =
+      Engine.create ~seed:11 ~network
+        ~transport:(Engine.Message_grain Engine.default_retry_policy)
+        ~driver ()
+    in
+    for i = 0 to 3 do
+      Engine.schedule engine ~at:0.0
+        (Engine.User_update { node = i; item = Printf.sprintf "it%d" i; op = set "v" })
+    done;
+    for round = 0 to 6 do
+      for dst = 0 to 3 do
+        Engine.schedule engine
+          ~at:(1.0 +. (15.0 *. float_of_int round))
+          (Engine.Session { src = (dst + 1) mod 4; dst })
+      done
+    done;
+    Alcotest.(check bool) "drained" true (Engine.run_until_quiescent engine);
+    let states = List.init 4 (fun i -> normalized_state (Cluster.node cluster i)) in
+    let totals = driver.Driver.total_counters () in
+    ( states,
+      totals.Counters.timeouts,
+      totals.Counters.retries,
+      totals.Counters.sessions_abandoned,
+      Engine.sessions_attempted engine,
+      Engine.sessions_lost engine )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_duplicate_request_idempotent;
+    QCheck_alcotest.to_alcotest prop_duplicate_reply_idempotent;
+    QCheck_alcotest.to_alcotest prop_duplicate_oob_idempotent;
+    Alcotest.test_case "message-grain needs granular driver" `Quick
+      test_message_grain_needs_granular_driver;
+    Alcotest.test_case "reliable network: first-attempt completion" `Quick
+      test_granular_reliable_converges;
+    Alcotest.test_case "total loss: bounded retries then abandon" `Quick
+      test_granular_total_loss_abandons;
+    Alcotest.test_case "full duplication still converges" `Quick
+      test_granular_duplication_converges;
+    Alcotest.test_case "crash between request and reply" `Quick
+      test_granular_crash_between_messages;
+    Alcotest.test_case "deterministic in the seed" `Quick
+      test_granular_deterministic;
+  ]

@@ -79,14 +79,46 @@ let test_wal_torn_tail_discarded () =
       Alcotest.(check bool) "torn tail flagged" true result.Wal.torn_tail;
       Alcotest.(check (list string)) "prefix recovered" [ "complete" ] !seen)
 
-let test_wal_corrupt_record_stops_replay () =
+(* A damaged frame in the *middle* of the log is not a torn tail — it is
+   corruption of data that was durably written and acknowledged, and
+   replay must refuse rather than silently drop it and everything
+   after. *)
+let test_wal_corrupt_record_is_error () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let w = Wal.open_writer ~path in
+      Wal.append w "good1";
+      Wal.append w "damaged";
+      Wal.append w "good2";
+      Wal.close_writer w;
+      (* Flip a payload byte of the middle record: frames are
+         8 + len + 4 bytes, so record 2's payload starts at 17 + 8. *)
+      let ic = open_in_bin path in
+      let data = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+      close_in ic;
+      let pos = 17 + 8 in
+      Bytes.set data pos (Char.chr (Char.code (Bytes.get data pos) lxor 1));
+      let oc = open_out_bin path in
+      output_bytes oc data;
+      close_out oc;
+      let seen = ref [] in
+      match Wal.replay ~path ~f:(fun r -> seen := r :: !seen) with
+      | Ok _ -> Alcotest.fail "mid-log corruption not detected"
+      | Error msg ->
+        Alcotest.(check bool) "names the damage" true
+          (Astring.String.is_infix ~affix:"checksum mismatch" msg);
+        Alcotest.(check (list string)) "records before the damage applied"
+          [ "good1" ] (List.rev !seen))
+
+(* Same for the final frame when it is fully present: only frames cut
+   short by end-of-file count as a crash's torn tail. *)
+let test_wal_corrupt_last_record_is_error () =
   with_temp_file (fun path ->
       Sys.remove path;
       let w = Wal.open_writer ~path in
       Wal.append w "good";
       Wal.append w "bad";
       Wal.close_writer w;
-      (* Flip a payload byte of the second record. *)
       let ic = open_in_bin path in
       let data = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
       close_in ic;
@@ -95,9 +127,11 @@ let test_wal_corrupt_record_stops_replay () =
       let oc = open_out_bin path in
       output_bytes oc data;
       close_out oc;
-      let result = ok (Wal.replay ~path ~f:(fun _ -> ())) in
-      Alcotest.(check int) "stops after the good record" 1 result.Wal.records;
-      Alcotest.(check bool) "flagged" true result.Wal.torn_tail)
+      match Wal.replay ~path ~f:(fun _ -> ()) with
+      | Ok _ -> Alcotest.fail "complete-frame corruption not detected"
+      | Error msg ->
+        Alcotest.(check bool) "names the damage" true
+          (Astring.String.is_infix ~affix:"checksum mismatch" msg))
 
 let test_wal_reset () =
   with_temp_file (fun path ->
@@ -317,8 +351,10 @@ let suite =
     Alcotest.test_case "wal missing file" `Quick test_wal_missing_file_is_empty;
     Alcotest.test_case "wal reopen appends" `Quick test_wal_append_survives_reopen;
     Alcotest.test_case "wal torn tail discarded" `Quick test_wal_torn_tail_discarded;
-    Alcotest.test_case "wal corrupt record stops replay" `Quick
-      test_wal_corrupt_record_stops_replay;
+    Alcotest.test_case "wal mid-log corruption is an error" `Quick
+      test_wal_corrupt_record_is_error;
+    Alcotest.test_case "wal complete-frame corruption is an error" `Quick
+      test_wal_corrupt_last_record_is_error;
     Alcotest.test_case "wal reset" `Quick test_wal_reset;
     Alcotest.test_case "durable: recover updates" `Quick
       test_durable_fresh_and_recover_updates;
