@@ -57,7 +57,10 @@ let () =
   (* The entries the acceptance criteria and future PR diffs key on. *)
   List.iter
     (fun probe -> if not (has probe) then fail "%s: no %S benchmark" path probe)
-    [ "e12 idle pull round-trip"; "e15 cached idle round"; "sync-all" ];
+    [
+      "e12 idle pull round-trip"; "e15 cached idle round"; "sync-all";
+      "e18 sharded skip"; "e18 sync-all";
+    ];
   let experiments =
     require "experiments list"
       (Option.bind (Json.member "experiments" doc) Json.to_list_opt)
@@ -109,5 +112,28 @@ let () =
         if not (List.mem column columns) then
           fail "%s: E17 table lacks the %S column" path column)
       [ "timeouts"; "retries"; "abandoned" ]);
+  (* The sharding experiment must carry the per-shard skipping counter:
+     E18's acceptance keys on converged shards shipping zero bytes. *)
+  let e18 =
+    List.find_opt
+      (fun table ->
+        match Option.bind (Json.member "title" table) Json.to_string_opt with
+        | Some title -> Astring.String.is_prefix ~affix:"E18:" title
+        | None -> false)
+      experiments
+  in
+  (match e18 with
+  | None -> fail "%s: no E18 sharded-replicas experiment table" path
+  | Some table ->
+    let columns =
+      List.filter_map Json.to_string_opt
+        (Option.value ~default:[]
+           (Option.bind (Json.member "columns" table) Json.to_list_opt))
+    in
+    List.iter
+      (fun column ->
+        if not (List.mem column columns) then
+          fail "%s: E18 table lacks the %S column" path column)
+      [ "shards"; "domains"; "shards skipped"; "bytes" ]);
   Printf.printf "%s OK: %d benchmarks, %d experiment tables\n" path
     (List.length benchmarks) (List.length experiments)

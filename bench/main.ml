@@ -142,7 +142,7 @@ let test_e12 =
   let cluster = seeded_pair ~n_items:1_024 ~dirty:0 in
   let a = Cluster.node cluster 0 and b = Cluster.node cluster 1 in
   Test.make ~name:"e12 idle pull round-trip N=1024"
-    (Staged.stage (fun () -> ignore (Node.pull ~recipient:b ~source:a)))
+    (Staged.stage (fun () -> ignore (Node.pull ~recipient:b ~source:a ())))
 
 (* E13 — the histogram hot path used while tracking delays. A fresh
    histogram every 4096 adds keeps memory bounded across millions of
@@ -211,7 +211,83 @@ let test_e16_seq =
 let test_e16_par =
   Test.make ~name:"e16 sync-all 8 dbs domains=4" (bench_sync_all ~domains:4)
 
-let micro_tests =
+(* E18 — sharded replicas. Two instances:
+
+   1. Per-shard skipping: a converged sharded pair with dirty items
+      confined to one shard answers a propagation request by skipping
+      every other shard (their per-shard DBVVs dominate), so the
+      session costs one delta regardless of the shard count.
+
+   2. Intra-pair parallelism: [sync_all] over a single fat sharded
+      database, where domains beyond one-per-database fan the per-shard
+      delta construction and acceptance of each pull out over a Domain
+      pool. *)
+let bench_e18_skip ~shards =
+  let cluster = Cluster.create ~shards ~n:2 () in
+  for rank = 0 to 4_095 do
+    Cluster.update cluster ~node:0 ~item:(Workload.item_name rank) (Operation.Set "s")
+  done;
+  let (_ : Node.pull_result) = Cluster.pull cluster ~recipient:1 ~source:0 in
+  (* Dirty ~64 items that all live in shard 0, leaving every other
+     shard converged. *)
+  let source = Cluster.node cluster 0 in
+  let dirtied = ref 0 in
+  let rank = ref 0 in
+  while !dirtied < 64 && !rank < 4_096 do
+    let name = Workload.item_name !rank in
+    if Node.shard_of_item source name = 0 then begin
+      Cluster.update cluster ~node:0 ~item:name (Operation.Set "d");
+      incr dirtied
+    end;
+    incr rank
+  done;
+  let request = Node.propagation_request_owned (Cluster.node cluster 1) in
+  Staged.stage (fun () -> ignore (Node.handle_propagation_request source request))
+
+let bench_e18_sync_all ~shards ~domains =
+  let group = Edb_server.Server_group.create ~n:8 () in
+  (match Edb_server.Server_group.create_database ~shards group "fat" with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  for rank = 0 to 2_047 do
+    match
+      Edb_server.Server_group.update group ~db:"fat" ~node:(rank land 7)
+        ~item:(Workload.item_name rank) (Operation.Set "s")
+    with
+    | Ok () -> ()
+    | Error msg -> failwith msg
+  done;
+  let (_ : (string * int) list) = Edb_server.Server_group.sync_all group in
+  let turn = ref 0 in
+  Staged.stage (fun () ->
+      (* Re-dirty a rotating node so every iteration has one real
+         delta to push through the cluster. *)
+      incr turn;
+      (match
+         Edb_server.Server_group.update group ~db:"fat" ~node:(!turn land 7)
+           ~item:(Workload.item_name (!turn land 2_047))
+           (Operation.Set (string_of_int !turn))
+       with
+      | Ok () -> ()
+      | Error msg -> failwith msg);
+      ignore (Edb_server.Server_group.sync_all ~domains group))
+
+let micro_tests ~shards =
+  let test_e18_skip =
+    Test.make
+      ~name:(Printf.sprintf "e18 sharded skip shards=%d m=64" shards)
+      (bench_e18_skip ~shards)
+  in
+  let test_e18_syncall_seq =
+    Test.make
+      ~name:(Printf.sprintf "e18 sync-all 1 db shards=%d domains=1" shards)
+      (bench_e18_sync_all ~shards ~domains:1)
+  in
+  let test_e18_syncall_par =
+    Test.make
+      ~name:(Printf.sprintf "e18 sync-all 1 db shards=%d domains=4" shards)
+      (bench_e18_sync_all ~shards ~domains:4)
+  in
   [
     test_e1;
     test_e1_baseline;
@@ -230,6 +306,9 @@ let micro_tests =
     test_e15;
     test_e16_seq;
     test_e16_par;
+    test_e18_skip;
+    test_e18_syncall_seq;
+    test_e18_syncall_par;
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -250,7 +329,7 @@ let estimate ols_result =
   | Some (value :: _) -> Some value
   | Some [] | None -> None
 
-let run_micro_benchmarks () =
+let run_micro_benchmarks ~shards () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -261,7 +340,7 @@ let run_micro_benchmarks () =
     Benchmark.cfg ~limit:3_000 ~quota:(Time.second 0.5) ~stabilize:false
       ~kde:(Some 1_000) ()
   in
-  let grouped = Test.make_grouped ~name:"edb" ~fmt:"%s %s" micro_tests in
+  let grouped = Test.make_grouped ~name:"edb" ~fmt:"%s %s" (micro_tests ~shards) in
   let raw = Benchmark.all cfg instances grouped in
   let clock_results = Analyze.all ols Instance.monotonic_clock raw in
   let minor_results = Analyze.all ols Instance.minor_allocated raw in
@@ -350,6 +429,14 @@ let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "--quick" argv in
   let json = List.mem "--json" argv in
+  let shards =
+    let rec find = function
+      | "--shards" :: k :: _ -> int_of_string k
+      | _ :: rest -> find rest
+      | [] -> 16
+    in
+    find argv
+  in
   let out =
     let rec find = function
       | "--out" :: path :: _ -> Some path
@@ -368,6 +455,6 @@ let () =
     experiments;
   print_endline "=== Bechamel micro-benchmarks ===";
   print_newline ();
-  let results = run_micro_benchmarks () in
+  let results = run_micro_benchmarks ~shards () in
   print_micro_table results;
   if json then write_json ~quick ~path:out experiments results

@@ -6,6 +6,8 @@
      check      randomized invariant checking against the lockstep oracle
      chaos      the same battery over the message-granular transport
                 (per-message faults, mid-session crashes, retry active)
+     shard      sharded-replica soak: cache equivalence + granular chaos
+                at a fixed shard count
      demo       a tiny three-node walkthrough *)
 
 module Cluster = Edb_core.Cluster
@@ -245,7 +247,13 @@ let check_cmd =
             "Inject a state corruption into every schedule; the checker is \
              expected to FAIL (smoke test for the checker itself).")
   in
-  let run seed runs topology oplog_depth mutate =
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"K"
+          ~doc:"Per-node shard count for every schedule (default 1).")
+  in
+  let run seed runs topology oplog_depth mutate shards =
     let topology =
       match String.lowercase_ascii topology with
       | "all" -> Ok None
@@ -260,7 +268,7 @@ let check_cmd =
       let mode =
         Option.map (fun depth -> Node.Op_log { depth }) oplog_depth
       in
-      match Explorer.run ?mode ?topology ~mutate ~seed ~runs () with
+      match Explorer.run ?mode ?topology ~mutate ~shards ~seed ~runs () with
       | Ok report ->
         Printf.printf "ok: %d schedules passed every invariant and oracle check\n"
           report.Explorer.schedules;
@@ -271,7 +279,9 @@ let check_cmd =
           print_newline ();
         `Error (false, "invariant check failed (shrunk counterexample above)"))
   in
-  let term = Term.(ret (const run $ seed $ runs $ topology $ oplog_depth $ mutate)) in
+  let term =
+    Term.(ret (const run $ seed $ runs $ topology $ oplog_depth $ mutate $ shards))
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -305,7 +315,13 @@ let chaos_cmd =
             "Inject a state corruption into every schedule; the checker is \
              expected to FAIL (smoke test for the checker itself).")
   in
-  let run seed runs topology mutate =
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"K"
+          ~doc:"Per-node shard count for every schedule (default 1).")
+  in
+  let run seed runs topology mutate shards =
     let topology =
       match String.lowercase_ascii topology with
       | "all" -> Ok None
@@ -317,7 +333,7 @@ let chaos_cmd =
     match topology with
     | Error msg -> `Error (false, msg)
     | Ok topology -> (
-      match Explorer.run ~granular:true ?topology ~mutate ~seed ~runs () with
+      match Explorer.run ~granular:true ?topology ~mutate ~shards ~seed ~runs () with
       | Ok report ->
         Printf.printf
           "ok: %d message-granular schedules passed every invariant and oracle \
@@ -330,7 +346,7 @@ let chaos_cmd =
           print_newline ();
         `Error (false, "chaos check failed (shrunk counterexample above)"))
   in
-  let term = Term.(ret (const run $ seed $ runs $ topology $ mutate)) in
+  let term = Term.(ret (const run $ seed $ runs $ topology $ mutate $ shards)) in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -340,6 +356,53 @@ let chaos_cmd =
           timeout/retry/backoff active — all under the lockstep-oracle and \
           invariant battery.")
     term
+
+(* ------------------------------------------------------------------ *)
+(* shard                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let shard_cmd =
+  let module Explorer = Edb_check.Explorer in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let runs =
+    Arg.(
+      value & opt int 100
+      & info [ "runs" ] ~docv:"K" ~doc:"Schedules per battery.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"K" ~doc:"Per-node shard count (default 4).")
+  in
+  let run seed runs shards =
+    let fail msg =
+      print_string msg;
+      if not (String.length msg > 0 && msg.[String.length msg - 1] = '\n') then
+        print_newline ();
+      `Error (false, "sharded soak failed (shrunk counterexample above)")
+    in
+    (* Cache equivalence doubles as a sharding-determinism check: the
+       cached and uncached executions only compare equal if every
+       sharded session is deterministic (parallel or not). *)
+    match Explorer.run_equivalence ~shards ~seed ~runs () with
+    | Error msg -> fail msg
+    | Ok eq -> (
+      match Explorer.run ~granular:true ~shards ~seed ~runs () with
+      | Error msg -> fail msg
+      | Ok gr ->
+        Printf.printf
+          "ok: shards=%d — %d cache-equivalence schedules + %d message-granular \
+           schedules passed every invariant and oracle check\n"
+          shards eq.Explorer.schedules gr.Explorer.schedules;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Soak the sharded protocol: the peer-cache equivalence battery and the \
+          message-granular chaos battery, both with every node split into the \
+          given number of shards.")
+    Term.(ret (const run $ seed $ runs $ shards))
 
 (* ------------------------------------------------------------------ *)
 (* demo                                                                *)
@@ -370,4 +433,5 @@ let () =
   let info = Cmd.info "edb" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ bench_cmd; simulate_cmd; check_cmd; chaos_cmd; demo_cmd ]))
+       (Cmd.group info
+          [ bench_cmd; simulate_cmd; check_cmd; chaos_cmd; shard_cmd; demo_cmd ]))

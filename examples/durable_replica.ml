@@ -50,7 +50,7 @@ let () =
   | Node.Already_current -> ());
   (* The peer also pulls OUR post-checkpoint update: it now holds log
      records naming our sequence numbers. *)
-  ignore (Node.pull ~recipient:peer ~source:(Durable.node replica));
+  ignore (Node.pull ~recipient:peer ~source:(Durable.node replica) ());
   Printf.printf "  journal: %d records\n" (Durable.journal_records replica);
 
   print_endline "\n*** CRASH *** (process dies; only the disk survives)";
@@ -72,7 +72,7 @@ let () =
     (Option.value ~default:"" (Node.read (Durable.node recovered) "inventory"));
 
   print_endline "\nThe peer re-syncs with the recovered replica - no conflicts:";
-  (match Node.pull ~recipient:peer ~source:(Durable.node recovered) with
+  (match Node.pull ~recipient:peer ~source:(Durable.node recovered) () with
   | Node.Already_current ->
     print_endline "  already current: recovery reproduced the exact pre-crash state"
   | Node.Pulled { conflicts; _ } ->

@@ -8,8 +8,8 @@ type Driver.message +=
   | Request of Message.propagation_request
   | Reply of Message.propagation_reply
 
-let create ?seed ?policy ?mode ?cache ~n () =
-  let cluster = Cluster.create ?seed ?policy ?mode ?cache ~n () in
+let create ?seed ?policy ?mode ?cache ?shards ~n () =
+  let cluster = Cluster.create ?seed ?policy ?mode ?cache ?shards ~n () in
   let charge node bytes =
     let c = Node.counters (Cluster.node cluster node) in
     c.Counters.messages <- c.Counters.messages + 1;
@@ -20,13 +20,11 @@ let create ?seed ?policy ?mode ?cache ~n () =
       Driver.make_request =
         (fun ~dst ->
           (* Unlike the in-process fast path (which borrows the live
-             DBVV for a synchronous round-trip), a transported request
-             must own its vector: delivery can happen after further
-             local updates, and the request must describe the state it
-             was issued from. [Node.dbvv] copies. *)
-          let req =
-            { Message.recipient = dst; recipient_dbvv = Node.dbvv (Cluster.node cluster dst) }
-          in
+             DBVV and shard vectors for a synchronous round-trip), a
+             transported request must own its vectors: delivery can
+             happen after further local updates, and the request must
+             describe the state it was issued from. *)
+          let req = Node.propagation_request_owned (Cluster.node cluster dst) in
           charge dst (Message.request_bytes req);
           Request req);
       make_reply =
@@ -43,7 +41,7 @@ let create ?seed ?policy ?mode ?cache ~n () =
         (fun ~dst ~src msg ->
           match msg with
           | Reply Message.You_are_current -> ()
-          | Reply (Message.Propagate _ as reply) ->
+          | Reply ((Message.Propagate _ | Message.Propagate_sharded _) as reply) ->
             (* AcceptPropagation's per-item dominance checks make
                duplicate and stale deliveries no-ops, which is what
                lets the transport redeliver freely. *)

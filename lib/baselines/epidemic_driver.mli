@@ -7,10 +7,11 @@ val create :
   ?policy:Edb_core.Node.resolution_policy ->
   ?mode:Edb_core.Node.propagation_mode ->
   ?cache:bool ->
+  ?shards:int ->
   n:int ->
   unit ->
   Edb_core.Cluster.t * Driver.t
 (** [create ~n ()] is a fresh {!Edb_core.Cluster.t} and its driver.
     The driver's [session ~src ~dst] makes [dst] pull from [src].
-    [cache] enables the peer-knowledge cache (see
-    {!Edb_core.Cluster.create}). *)
+    [cache] enables the peer-knowledge cache and [shards] (default 1)
+    the per-node shard count (see {!Edb_core.Cluster.create}). *)

@@ -46,6 +46,9 @@ type schedule = {
           reordering apply to each request and reply independently,
           faults land between messages, and the timeout/retry layer is
           active. *)
+  shards : int;
+      (** Shard count of every node; 1 is the classic unsharded
+          protocol. *)
 }
 
 let item_name rank = Printf.sprintf "it%02d" rank
@@ -70,9 +73,10 @@ let pp_step ppf = function
 let print_schedule s =
   Format.asprintf
     "@[<v>{ nodes=%d items=%d topology=%s loss=%.2f dup=%.2f reorder=%.2f \
-     engine-seed=%d%s%s; %d steps }%a@]"
+     engine-seed=%d%s%s%s; %d steps }%a@]"
     s.nodes s.items (topology_name s.topology) s.loss s.duplication s.reorder s.seed
     (if s.granular then " granular" else "")
+    (if s.shards > 1 then Printf.sprintf " shards=%d" s.shards else "")
     (match s.corrupt_at with
     | None -> ""
     | Some k -> Printf.sprintf " corrupt-at=%d" k)
@@ -150,7 +154,7 @@ let gen_step ~nodes ~items ~topology =
 
 let gen_topology = Gen.oneofl [ Clique; Ring; Star ]
 
-let gen ?topology ?(mutate = false) ?(granular = false) () =
+let gen ?topology ?(mutate = false) ?(granular = false) ?(shards = 1) () =
   let open Gen in
   let* topology =
     match topology with Some tp -> pure tp | None -> gen_topology
@@ -167,7 +171,7 @@ let gen ?topology ?(mutate = false) ?(granular = false) () =
   in
   pure
     { nodes; items; topology; loss; duplication; reorder; seed; steps; corrupt_at;
-      granular }
+      granular; shards }
 
 (* ------------------------------------------------------------------ *)
 (* Running one schedule                                                *)
@@ -182,12 +186,19 @@ let failf fmt = Printf.ksprintf (fun msg -> raise (Check_failed msg)) fmt
    the DBVV/IVV sum invariant (and the oracle equivalence). *)
 let corrupt cluster =
   let node = Cluster.node cluster 0 in
-  let store = Node.store node in
   let name =
-    match List.sort String.compare (Store.names store) with
-    | name :: _ -> name
-    | [] -> item_name 0
+    match
+      Node.fold_items
+        (fun acc (it : Item.t) ->
+          match acc with
+          | Some best when String.compare best it.name <= 0 -> acc
+          | _ -> Some it.name)
+        None node
+    with
+    | Some name -> name
+    | None -> item_name 0
   in
+  let store = (Node.replica node (Node.shard_of_item node name)).Edb_core.Replica.store in
   let item = Store.find_or_create store name in
   Vv.incr item.Item.ivv 0
 
@@ -196,7 +207,10 @@ let conflict_items_of node =
     (List.map (fun (c : Conflict.t) -> c.item) (Node.conflicts node))
 
 let run_schedule ?(mode = Node.Whole_item) (s : schedule) =
-  let cluster, driver = Edb_baselines.Epidemic_driver.create ~seed:s.seed ~mode ~n:s.nodes () in
+  let cluster, driver =
+    Edb_baselines.Epidemic_driver.create ~seed:s.seed ~mode ~shards:s.shards
+      ~n:s.nodes ()
+  in
   let oracle = Oracle.create ~n:s.nodes in
   let monitor = Invariant.monitor ~n:s.nodes in
   (* Invariants + oracle equivalence + conflict-exactness (protocol
@@ -410,7 +424,8 @@ let run_schedule ?(mode = Node.Whole_item) (s : schedule) =
    are drawn when the Session event fires, before the pull runs). *)
 let execute ?(mode = Node.Whole_item) ~cache (s : schedule) =
   let cluster, driver =
-    Edb_baselines.Epidemic_driver.create ~seed:s.seed ~mode ~cache ~n:s.nodes ()
+    Edb_baselines.Epidemic_driver.create ~seed:s.seed ~mode ~cache ~shards:s.shards
+      ~n:s.nodes ()
   in
   let network =
     Network.create ~loss_probability:s.loss ~duplicate_probability:s.duplication
@@ -454,20 +469,9 @@ let execute ?(mode = Node.Whole_item) ~cache (s : schedule) =
   let quiescent = Engine.run_until_quiescent engine in
   (cluster, quiescent)
 
-(* Canonical form of a node's durable state for structural comparison:
-   item lists sorted by name (hashtable iteration order is the only
-   non-canonical part of State.t). *)
-let normalized_state node =
-  let state = Node.export_state node in
-  let by_name (a : Node.State.item) (b : Node.State.item) =
-    String.compare a.name b.name
-  in
-  {
-    state with
-    Node.State.items = List.sort by_name state.items;
-    aux_items = List.sort by_name state.aux_items;
-  }
-
+(* Node.export_state is canonical — per-shard item and aux lists come
+   out in ascending name order (Store iteration is sorted) — so states
+   compare structurally with no normalization pass. *)
 let run_cache_equivalence ?mode (s : schedule) =
   let cached, cached_quiescent = execute ?mode ~cache:true s in
   let plain, plain_quiescent = execute ?mode ~cache:false s in
@@ -477,7 +481,7 @@ let run_cache_equivalence ?mode (s : schedule) =
         plain_quiescent;
     for i = 0 to s.nodes - 1 do
       let c = Cluster.node cached i and p = Cluster.node plain i in
-      if normalized_state c <> normalized_state p then
+      if Node.export_state c <> Node.export_state p then
         failf "node %d state differs between cached and uncached runs" i;
       let cc = conflict_items_of c and pc = conflict_items_of p in
       if cc <> pc then
@@ -498,7 +502,7 @@ let run_cache_equivalence ?mode (s : schedule) =
 
 type report = { schedules : int }
 
-let run ?mode ?topology ?(mutate = false) ?(granular = false) ~seed ~runs () =
+let run ?mode ?topology ?(mutate = false) ?(granular = false) ?shards ~seed ~runs () =
   let last_error = ref "" in
   let prop s =
     match run_schedule ?mode s with
@@ -513,7 +517,7 @@ let run ?mode ?topology ?(mutate = false) ?(granular = false) ~seed ~runs () =
         (if granular then "chaos explorer (message-granular)"
          else "fault-schedule explorer")
       ~print:print_schedule
-      (gen ?topology ~mutate ~granular ())
+      (gen ?topology ~mutate ~granular ?shards ())
       prop
   in
   match QCheck2.Test.check_exn ~rand:(Random.State.make [| seed |]) test with
@@ -529,7 +533,7 @@ let run ?mode ?topology ?(mutate = false) ?(granular = false) ~seed ~runs () =
       (Printf.sprintf "schedule raised %s\non instance:\n%s\nreplay with: --seed %d --runs %d"
          (Printexc.to_string exn) instance seed runs)
 
-let run_equivalence ?mode ?topology ~seed ~runs () =
+let run_equivalence ?mode ?topology ?shards ~seed ~runs () =
   let last_error = ref "" in
   let prop s =
     match run_cache_equivalence ?mode s with
@@ -541,7 +545,7 @@ let run_equivalence ?mode ?topology ~seed ~runs () =
   let test =
     QCheck2.Test.make ~count:runs ~name:"peer-cache equivalence"
       ~print:print_schedule
-      (gen ?topology ())
+      (gen ?topology ?shards ())
       prop
   in
   match QCheck2.Test.check_exn ~rand:(Random.State.make [| seed |]) test with

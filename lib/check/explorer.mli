@@ -63,6 +63,13 @@ type schedule = {
           session's messages, and the timeout/retry/backoff layer is
           active. The lockstep oracle follows by freezing the source
           state at reply-build time and applying it at accept time. *)
+  shards : int;
+      (** Shard count of every node in the run (default 1, the classic
+          unsharded protocol). Sharded runs exercise the per-shard
+          request/reply path and the summary-DBVV dominance test; the
+          oracle is shard-oblivious, so equivalence holding at
+          [shards > 1] is evidence the sharded protocol computes the
+          same database. *)
 }
 
 val topology_name : topology -> string
@@ -75,12 +82,14 @@ val gen :
   ?topology:topology ->
   ?mutate:bool ->
   ?granular:bool ->
+  ?shards:int ->
   unit ->
   schedule QCheck2.Gen.t
 (** Schedule generator. [topology] pins the topology (default: drawn
     from all three); [mutate] (default false) makes every schedule carry
     a [corrupt_at]; [granular] (default false) makes every schedule run
-    over the message-granular transport. *)
+    over the message-granular transport; [shards] (default 1) pins every
+    node's shard count. *)
 
 val run_schedule :
   ?mode:Edb_core.Node.propagation_mode -> schedule -> (unit, string) result
@@ -94,6 +103,7 @@ val run :
   ?topology:topology ->
   ?mutate:bool ->
   ?granular:bool ->
+  ?shards:int ->
   seed:int ->
   runs:int ->
   unit ->
@@ -120,6 +130,7 @@ val run_cache_equivalence :
 val run_equivalence :
   ?mode:Edb_core.Node.propagation_mode ->
   ?topology:topology ->
+  ?shards:int ->
   seed:int ->
   runs:int ->
   unit ->

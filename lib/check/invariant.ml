@@ -1,4 +1,6 @@
 module Node = Edb_core.Node
+module Replica = Edb_core.Replica
+module Shard_map = Edb_core.Shard_map
 module Store = Edb_store.Store
 module Item = Edb_store.Item
 module Vv = Edb_vv.Version_vector
@@ -10,28 +12,37 @@ let ( let* ) = Result.bind
 
 let errf fmt = Printf.ksprintf (fun msg -> Error msg) fmt
 
+let fold_shards node f =
+  let rec go s =
+    if s >= Node.shards node then Ok ()
+    else
+      let* () = f s (Node.replica node s) in
+      go (s + 1)
+  in
+  go 0
+
 (* Every retained regular log record must reference a materialized
    item: records enter the log either on a local update (which
    materializes the item) or from a propagation tail whose shipped item
-   was materialized by AcceptPropagation. *)
+   was materialized by AcceptPropagation. Per shard, since each shard
+   keeps its own store and log vector. *)
 let check_log_items node =
-  let store = Node.store node in
-  let logs = Node.log_vector node in
-  let rec check_component k =
-    if k >= Node.dimension node then Ok ()
-    else
-      let stale =
-        List.find_opt
-          (fun (r : Edb_log.Log_record.t) -> not (Store.mem store r.item))
-          (Log_component.to_list (Log_vector.component logs k))
+  fold_shards node (fun shard (rep : Replica.t) ->
+      let rec check_component k =
+        if k >= Node.dimension node then Ok ()
+        else
+          let stale =
+            List.find_opt
+              (fun (r : Edb_log.Log_record.t) -> not (Store.mem rep.store r.item))
+              (Log_component.to_list (Log_vector.component rep.logs k))
+          in
+          match stale with
+          | Some r ->
+            errf "shard %d log component %d references unmaterialized item %S (seq %d)"
+              shard k r.item r.Edb_log.Log_record.seq
+          | None -> check_component (k + 1)
       in
-      match stale with
-      | Some r ->
-        errf "log component %d references unmaterialized item %S (seq %d)" k r.item
-          r.Edb_log.Log_record.seq
-      | None -> check_component (k + 1)
-  in
-  check_component 0
+      check_component 0)
 
 (* Auxiliary coherence (§4.3–4.4): every auxiliary log record belongs
    to an item that still has an auxiliary copy; per item, the recorded
@@ -41,53 +52,111 @@ let check_log_items node =
    pre-update IVV (the copy reflects all deferred updates and possibly
    adopted out-of-bound state on top). *)
 let check_aux node =
-  let aux = Node.aux_entries node in
-  let log = Node.aux_log node in
-  let homeless =
-    List.find_opt
-      (fun (r : Aux_log.record) -> not (List.mem_assoc r.item aux))
-      (Aux_log.to_list log)
-  in
-  match homeless with
-  | Some r -> errf "aux log holds a record for %S but no auxiliary copy exists" r.item
-  | None ->
-    let check_item (item, copy_ivv) =
-      let records = Aux_log.records_for log item in
-      let rec ordered = function
-        | (a : Aux_log.record) :: (b : Aux_log.record) :: rest ->
-          if Vv.strictly_dominates b.ivv a.ivv then ordered (b :: rest)
-          else
-            errf "aux log records for %S are not strictly increasing: %s before %s"
-              item (Vv.to_string a.ivv) (Vv.to_string b.ivv)
-        | [ _ ] | [] -> Ok ()
+  fold_shards node (fun shard (rep : Replica.t) ->
+      let aux =
+        Hashtbl.fold
+          (fun name (it : Item.t) acc -> (name, it.ivv) :: acc)
+          rep.aux_items []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
       in
-      let* () = ordered records in
-      match
+      let log = rep.aux_log in
+      let homeless =
         List.find_opt
-          (fun (r : Aux_log.record) -> not (Vv.strictly_dominates copy_ivv r.ivv))
-          records
-      with
+          (fun (r : Aux_log.record) -> not (List.mem_assoc r.item aux))
+          (Aux_log.to_list log)
+      in
+      match homeless with
       | Some r ->
-        errf "aux copy of %S (ivv %s) does not dominate its log record %s" item
-          (Vv.to_string copy_ivv) (Vv.to_string r.ivv)
-      | None -> Ok ()
-    in
-    let rec check_all = function
-      | [] -> Ok ()
-      | entry :: rest ->
-        let* () = check_item entry in
-        check_all rest
-    in
-    check_all aux
+        errf "shard %d aux log holds a record for %S but no auxiliary copy exists"
+          shard r.item
+      | None ->
+        let check_item (item, copy_ivv) =
+          let records = Aux_log.records_for log item in
+          let rec ordered = function
+            | (a : Aux_log.record) :: (b : Aux_log.record) :: rest ->
+              if Vv.strictly_dominates b.ivv a.ivv then ordered (b :: rest)
+              else
+                errf
+                  "shard %d aux log records for %S are not strictly increasing: %s before %s"
+                  shard item (Vv.to_string a.ivv) (Vv.to_string b.ivv)
+            | [ _ ] | [] -> Ok ()
+          in
+          let* () = ordered records in
+          match
+            List.find_opt
+              (fun (r : Aux_log.record) -> not (Vv.strictly_dominates copy_ivv r.ivv))
+              records
+          with
+          | Some r ->
+            errf "shard %d aux copy of %S (ivv %s) does not dominate its log record %s"
+              shard item (Vv.to_string copy_ivv) (Vv.to_string r.ivv)
+          | None -> Ok ()
+        in
+        let rec check_all = function
+          | [] -> Ok ()
+          | entry :: rest ->
+            let* () = check_item entry in
+            check_all rest
+        in
+        check_all aux)
+
+(* Sharding invariant 1: the summary DBVV is exactly the component-wise
+   sum of the shard DBVVs — the basis for the O(n) you-are-current test
+   on sharded nodes (DESIGN.md §7). *)
+let check_summary node =
+  let n = Node.dimension node in
+  let summary = Vv.to_array (Node.dbvv node) in
+  let total = Array.make n 0 in
+  Array.iter
+    (fun vv ->
+      Array.iteri (fun l v -> total.(l) <- total.(l) + v) (Vv.to_array vv))
+    (Node.shard_dbvvs node);
+  if total <> summary then
+    errf "summary DBVV %s is not the sum of shard DBVVs %s"
+      (Vv.to_string (Vv.of_array summary))
+      (Vv.to_string (Vv.of_array total))
+  else Ok ()
+
+(* Sharding invariant 2: every materialized item (regular or auxiliary)
+   and every log record lives in the shard its name hashes to — the
+   item→shard map is the routing function, so a misplaced item would be
+   invisible to reads and to per-shard delta construction. *)
+let check_shard_assignment node =
+  let shards = Node.shards node in
+  let misplaced what shard name =
+    let home = Shard_map.shard_of ~shards name in
+    if home <> shard then
+      Some (Printf.sprintf "%s %S sits in shard %d but hashes to shard %d" what name shard home)
+    else None
+  in
+  fold_shards node (fun shard (rep : Replica.t) ->
+      let bad = ref None in
+      let note = function Some _ as m -> if !bad = None then bad := m | None -> () in
+      Store.iter
+        (fun (it : Item.t) -> note (misplaced "item" shard it.name))
+        rep.store;
+      Hashtbl.iter
+        (fun name (_ : Item.t) -> note (misplaced "aux item" shard name))
+        rep.aux_items;
+      for k = 0 to Node.dimension node - 1 do
+        List.iter
+          (fun (r : Edb_log.Log_record.t) ->
+            note (misplaced "log record for" shard r.item))
+          (Log_component.to_list (Log_vector.component rep.logs k))
+      done;
+      match !bad with Some msg -> Error msg | None -> Ok ())
 
 let check_node ?log_bound node =
   (* Node.check_invariants covers DBVV/IVV knowledge consistency
      (V_i[l] = Σ_x v_i(x)[l], §4.1), log ordering/deduplication with
      pointer-map integrity (§4.2, Fig. 1), the seq <= DBVV bound in
-     conflict-free states, and clean IsSelected flags (§6). *)
+     conflict-free states, and clean IsSelected flags (§6), all per
+     shard. *)
   let* () = Node.check_invariants ?log_bound node in
   let* () = check_log_items node in
-  check_aux node
+  let* () = check_aux node in
+  let* () = check_summary node in
+  check_shard_assignment node
 
 (* ------------------------------------------------------------------ *)
 (* Cross-session monitoring                                            *)

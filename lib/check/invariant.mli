@@ -19,7 +19,14 @@
       to live auxiliary copies, per-item record IVVs strictly increase,
       and the auxiliary copy dominates all of its deferred-update
       records;
-    - clean [IsSelected] flags outside a propagation computation (§6).
+    - clean [IsSelected] flags outside a propagation computation (§6);
+    - {b sharding coherence} (DESIGN.md §7): the summary DBVV equals
+      the component-wise sum of the shard DBVVs, and every materialized
+      item, auxiliary copy and log record lives in the shard its name
+      hashes to.
+
+    Per-replica invariants are checked for every shard of a sharded
+    node; error messages carry a [shard k:] prefix.
 
     A {!monitor} additionally tracks each node {e across} sessions and
     asserts DBVV monotonicity: a node's database version vector never

@@ -148,7 +148,7 @@ let matches_node ?(exact = true) t ~node:id ~real ~real_conflicted =
     (* Every protocol-side replica with updates must exist in the
        oracle — the protocol may not invent state. *)
     let invented =
-      Store.fold
+      Node.fold_items
         (fun acc (item : Item.t) ->
           match acc with
           | Some _ -> acc
@@ -159,7 +159,7 @@ let matches_node ?(exact = true) t ~node:id ~real ~real_conflicted =
               && not (skip item.name)
             then Some item.name
             else None)
-        None (Node.store real)
+        None real
     in
     match invented with
     | Some name -> errf "node %d holds item %S the oracle never saw" id name

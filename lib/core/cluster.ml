@@ -15,9 +15,11 @@ type t = {
   mutable epoch_bias : int;
 }
 
-let create ?(seed = 42) ?policy ?mode ?(cache = false) ~n () =
-  let make id = Node.create ?policy ?mode ~id ~n () in
+let create ?(seed = 42) ?policy ?mode ?(cache = false) ?shards ~n () =
+  let make id = Node.create ?policy ?mode ?shards ~id ~n () in
   { nodes = Array.init n make; prng = Prng.create ~seed; cache; epoch_bias = 0 }
+
+let shards t = Node.shards t.nodes.(0)
 
 let n t = Array.length t.nodes
 
@@ -61,9 +63,23 @@ let update t ~node ~item op = Node.update t.nodes.(node) item op
 
 let read t ~node ~item = Node.read t.nodes.(node) item
 
-let pull t ~recipient ~source =
+(* Record everything one completed session proves about the other end:
+   the summary lower bound and, for sharded nodes, the per-shard lower
+   bounds (the request carried every shard vector and the reply either
+   shipped or skipped each shard). *)
+let note_session_knowledge ~owner ~peer peer_node =
+  let cache = Node.peer_cache owner in
+  Peer_cache.note_proven cache ~peer (Node.dbvv_view peer_node);
+  let shards = Node.shards peer_node in
+  if shards > 1 then
+    for s = 0 to shards - 1 do
+      Peer_cache.note_proven_shard cache ~peer ~shard:s
+        (Node.shard_dbvv_view peer_node s)
+    done
+
+let pull ?(domains = 1) t ~recipient ~source =
   if not t.cache then
-    Node.pull ~recipient:t.nodes.(recipient) ~source:t.nodes.(source)
+    Node.pull ~domains ~recipient:t.nodes.(recipient) ~source:t.nodes.(source) ()
   else begin
     let r = t.nodes.(recipient) and s = t.nodes.(source) in
     let ep = epoch t in
@@ -72,19 +88,21 @@ let pull t ~recipient ~source =
          gate proves no state changed since: running the session would
          reproduce Fig. 2's "you are current" from the same two vectors.
          Skip it — zero messages, no counters the real session's no-op
-         path would have charged. *)
+         path would have charged. (For sharded nodes the summary
+         comparison is the you-are-current answer — DESIGN.md §7 — so
+         the same gate applies unchanged.) *)
       (Node.counters r).Counters.sessions_skipped_cached <-
         (Node.counters r).Counters.sessions_skipped_cached + 1;
       Node.Already_current
     end
     else begin
-      let result = Node.pull ~recipient:r ~source:s in
+      let result = Node.pull ~domains ~recipient:r ~source:s () in
       (* Both ends of a completed session learn the other's DBVV: the
          request carried r's, and the reply brought r up to date on
          everything s had (or proved there was nothing to bring). In
          this in-process layer we read both live vectors directly. *)
-      Peer_cache.note_proven (Node.peer_cache r) ~peer:source (Node.dbvv_view s);
-      Peer_cache.note_proven (Node.peer_cache s) ~peer:recipient (Node.dbvv_view r);
+      note_session_knowledge ~owner:r ~peer:source s;
+      note_session_knowledge ~owner:s ~peer:recipient r;
       let ep' = epoch t in
       if Vv.dominates_or_equal (Node.dbvv_view r) (Node.dbvv_view s) then
         Peer_cache.mark_current (Node.peer_cache r) ~peer:source ~epoch:ep';
@@ -104,22 +122,22 @@ let random_peer t ~self =
   let peer = Prng.int t.prng (size - 1) in
   if peer >= self then peer + 1 else peer
 
-let random_pull_round t =
+let random_pull_round ?(domains = 1) t =
   (* A singleton cluster has nobody to pull from: the round is a no-op
      (and must not draw from an empty PRNG range). *)
   if n t > 1 then
     for i = 0 to n t - 1 do
       let source = random_peer t ~self:i in
-      let (_ : Node.pull_result) = pull t ~recipient:i ~source in
+      let (_ : Node.pull_result) = pull ~domains t ~recipient:i ~source in
       ()
     done
 
-let ring_pull_round t =
+let ring_pull_round ?(domains = 1) t =
   let size = n t in
   if size > 1 then
     for i = 0 to size - 1 do
       let source = (i + size - 1) mod size in
-      let (_ : Node.pull_result) = pull t ~recipient:i ~source in
+      let (_ : Node.pull_result) = pull ~domains t ~recipient:i ~source in
       ()
     done
 
@@ -128,14 +146,24 @@ let ring_pull_round t =
 let item_matches_missing (it : Item.t) =
   String.equal it.value "" && Vv.sum it.ivv = 0
 
+let shard_dbvvs_equal a b =
+  let shards = Node.shards a in
+  let rec loop s =
+    s >= shards
+    || (Vv.equal (Node.shard_dbvv_view a s) (Node.shard_dbvv_view b s) && loop (s + 1))
+  in
+  loop 0
+
 let converged t =
   let reference = t.nodes.(0) in
   let ref_dbvv = Node.dbvv_view reference in
-  let ref_store = Node.store reference in
   (* O(1) per node instead of a per-item has_aux scan. *)
   Array.for_all (fun node -> Node.aux_count node = 0) t.nodes
   && Array.for_all
-       (fun node -> node == reference || Vv.equal (Node.dbvv_view node) ref_dbvv)
+       (fun node ->
+         node == reference
+         || (Vv.equal (Node.dbvv_view node) ref_dbvv
+            && shard_dbvvs_equal node reference))
        t.nodes
   && begin
     (* Single pass: the shared name table is built once, then every
@@ -144,17 +172,15 @@ let converged t =
     let names = Hashtbl.create 64 in
     Array.iter
       (fun node ->
-        Store.iter
-          (fun item -> Hashtbl.replace names item.Item.name ())
-          (Node.store node))
+        Node.iter_items (fun item -> Hashtbl.replace names item.Item.name ()) node)
       t.nodes;
     let node_count = Array.length t.nodes in
     let name_matches name =
-      let ref_item = Store.find_opt ref_store name in
+      let ref_item = Node.find_item reference name in
       let rec check i =
         i >= node_count
         ||
-        let it = Store.find_opt (Node.store t.nodes.(i)) name in
+        let it = Node.find_item t.nodes.(i) name in
         (match (ref_item, it) with
         | None, None -> true
         | Some a, Some b -> String.equal a.Item.value b.Item.value && Vv.equal a.ivv b.ivv
@@ -167,7 +193,7 @@ let converged t =
     Hashtbl.fold (fun name () acc -> acc && name_matches name) names true
   end
 
-let sync_until_converged ?(max_rounds = 10_000) t =
+let sync_until_converged ?(max_rounds = 10_000) ?(domains = 1) t =
   let rec loop rounds =
     if converged t then rounds
     else if rounds >= max_rounds then
@@ -175,7 +201,7 @@ let sync_until_converged ?(max_rounds = 10_000) t =
         (Printf.sprintf "Cluster.sync_until_converged: not converged after %d rounds"
            max_rounds)
     else begin
-      random_pull_round t;
+      random_pull_round ~domains t;
       loop (rounds + 1)
     end
   in

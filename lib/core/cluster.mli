@@ -13,12 +13,15 @@ val create :
   ?policy:Node.resolution_policy ->
   ?mode:Node.propagation_mode ->
   ?cache:bool ->
+  ?shards:int ->
   n:int ->
   unit ->
   t
 (** [create ~n ()] is a cluster of [n] fresh nodes. [seed] (default 42)
     drives peer selection in the random rounds; [mode] selects
-    whole-item or op-log propagation for every node.
+    whole-item or op-log propagation for every node; [shards] (default
+    1) is the shard count every node is created with (all nodes of a
+    cluster must agree — see {!Node.create}).
 
     [cache] (default false) enables the peer-knowledge cache
     ({!Peer_cache}): {!pull} skips a session outright — zero messages,
@@ -37,6 +40,9 @@ val node : t -> int -> Node.t
 val nodes : t -> Node.t array
 
 val cache_enabled : t -> bool
+
+val shards : t -> int
+(** The common shard count of the cluster's nodes. *)
 
 val epoch : t -> int
 (** The cluster epoch: a strictly monotone value (bias + Σ node
@@ -60,32 +66,36 @@ val update : t -> node:int -> item:string -> Edb_store.Operation.t -> unit
 
 val read : t -> node:int -> item:string -> string option
 
-val pull : t -> recipient:int -> source:int -> Node.pull_result
+val pull : ?domains:int -> t -> recipient:int -> source:int -> Node.pull_result
 (** One propagation session between two cluster nodes. With [~cache]
     enabled the session may be skipped entirely (result
     [Already_current], zero messages) when cached peer knowledge proves
     it would be a no-op; a session that does run updates both nodes'
-    peer caches. *)
+    peer caches (summary and, for sharded nodes, per-shard lower
+    bounds). [domains] bounds per-shard parallelism inside the session
+    (see {!Node.pull}). *)
 
 val fetch_out_of_bound : t -> recipient:int -> source:int -> string -> Node.oob_result
 
-val random_pull_round : t -> unit
+val random_pull_round : ?domains:int -> t -> unit
 (** Every node pulls from one uniformly random other node — one round of
     randomized anti-entropy. A no-op on a singleton cluster (there is
     nobody to pull from). *)
 
-val ring_pull_round : t -> unit
+val ring_pull_round : ?domains:int -> t -> unit
 (** Node [i] pulls from node [(i + n - 1) mod n] — a deterministic
     schedule in which every node eventually propagates transitively from
     every other (paper Theorem 5 hypothesis). *)
 
 val converged : t -> bool
-(** Whether all regular replicas are identical (equal DBVVs, equal item
-    values and IVVs) and no auxiliary copies remain pending. *)
+(** Whether all regular replicas are identical (equal summary and
+    per-shard DBVVs, equal item values and IVVs) and no auxiliary
+    copies remain pending. *)
 
-val sync_until_converged : ?max_rounds:int -> t -> int
+val sync_until_converged : ?max_rounds:int -> ?domains:int -> t -> int
 (** Runs {!random_pull_round} until {!converged}; returns the number of
-    rounds used. Raises [Failure] after [max_rounds] (default 10_000). *)
+    rounds used. Raises [Failure] after [max_rounds] (default 10_000).
+    [domains] bounds per-shard parallelism inside each session. *)
 
 val total_counters : t -> Edb_metrics.Counters.t
 (** The field-wise sum of all nodes' counters. *)

@@ -1,0 +1,145 @@
+(* A lazily-spawned, process-wide pool of worker domains for per-shard
+   fan-out.
+
+   [Domain.spawn] costs on the order of a millisecond — far more than a
+   typical per-shard delta build — so spawning per propagation session
+   (the obvious implementation of [Node.pull ~domains]) makes the
+   parallel path slower than the sequential one at every realistic
+   shard count. The pool spawns workers once, on first use, and hands
+   them jobs over a mutex-protected queue; a job is an array of tasks
+   consumed by atomic work stealing, with the submitting domain
+   participating, so submission costs a lock round-trip and a
+   broadcast, not a spawn.
+
+   Multiple domains may submit concurrently (e.g. [Server_group]'s
+   per-database fan-out, whose clusters each request intra-pair
+   parallelism); jobs queue up and workers drain them in order. Tasks
+   must not themselves call [run] — nested jobs would deadlock a worker
+   waiting on its own pool. Protocol tasks never do: the per-shard
+   bodies they run are leaf computations. *)
+
+type job = {
+  tasks : (unit -> unit) array;
+  next : int Atomic.t;  (* Next task index to steal. *)
+  mutable pending : int;  (* Tasks not yet finished; under [m]. *)
+  m : Mutex.t;
+  finished : Condition.t;
+  mutable failure : exn option;
+      (* First task exception, re-raised at the submitter; under [m].
+         Failpoint crash injection (Edb_fault) raises inside accept
+         tasks, so this path is exercised by the chaos tests. *)
+}
+
+let queue : job Queue.t = Queue.create ()
+
+let qm = Mutex.create ()
+
+let qc = Condition.create ()
+
+let spawned = ref 0
+
+let stopping = ref false
+
+(* Run tasks from [job] until it is drained, counting completions. *)
+let work_on job =
+  let len = Array.length job.tasks in
+  let rec steal () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < len then begin
+      let outcome = try Ok (job.tasks.(i) ()) with e -> Error e in
+      Mutex.lock job.m;
+      (match outcome with
+      | Ok () -> ()
+      | Error e -> if job.failure = None then job.failure <- Some e);
+      job.pending <- job.pending - 1;
+      if job.pending = 0 then Condition.broadcast job.finished;
+      Mutex.unlock job.m;
+      steal ()
+    end
+  in
+  steal ()
+
+let worker () =
+  let rec loop () =
+    Mutex.lock qm;
+    let rec take () =
+      if !stopping then None
+      else
+        match Queue.peek_opt queue with
+        | None ->
+          Condition.wait qc qm;
+          take ()
+        | Some job ->
+          if Atomic.get job.next >= Array.length job.tasks then begin
+            (* Drained (though possibly still running elsewhere):
+               completion is tracked by [pending], not queue presence. *)
+            ignore (Queue.pop queue);
+            take ()
+          end
+          else Some job
+    in
+    let job = take () in
+    Mutex.unlock qm;
+    match job with
+    | None -> ()
+    | Some job ->
+      work_on job;
+      loop ()
+  in
+  loop ()
+
+let shutdown () =
+  Mutex.lock qm;
+  stopping := true;
+  Condition.broadcast qc;
+  Mutex.unlock qm
+
+let ensure_workers want =
+  if want > !spawned then begin
+    Mutex.lock qm;
+    let missing = want - !spawned in
+    if missing > 0 then begin
+      if !spawned = 0 then at_exit shutdown;
+      for _ = 1 to missing do
+        ignore (Domain.spawn worker : unit Domain.t)
+      done;
+      spawned := !spawned + missing
+    end;
+    Mutex.unlock qm
+  end
+
+let run ~domains tasks =
+  let len = Array.length tasks in
+  (* Clamp to the hardware: on a single-core host every extra domain
+     only adds scheduling overhead, so a [~domains:4] request degrades
+     to the plain sequential loop instead of a slower "parallel" one. *)
+  let domains = min domains (Domain.recommended_domain_count ()) in
+  if len = 0 then ()
+  else if domains <= 1 || len = 1 then Array.iter (fun task -> task ()) tasks
+  else begin
+    ensure_workers (min (domains - 1) (max 1 (Domain.recommended_domain_count () - 1)));
+    let job =
+      {
+        tasks;
+        next = Atomic.make 0;
+        pending = len;
+        m = Mutex.create ();
+        finished = Condition.create ();
+        failure = None;
+      }
+    in
+    Mutex.lock qm;
+    Queue.push job queue;
+    Condition.broadcast qc;
+    Mutex.unlock qm;
+    (* The submitter steals too: with an idle pool it simply runs every
+       task itself, so the parallel path is never slower than
+       sequential by more than the queueing constant. *)
+    work_on job;
+    Mutex.lock job.m;
+    while job.pending > 0 do
+      Condition.wait job.finished job.m
+    done;
+    Mutex.unlock job.m;
+    match job.failure with Some e -> raise e | None -> ()
+  end

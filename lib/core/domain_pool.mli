@@ -1,0 +1,25 @@
+(** A process-wide pool of worker domains for per-shard fan-out.
+
+    [Domain.spawn] costs around a millisecond, dwarfing a typical
+    per-shard delta build; the pool spawns workers once (lazily, on the
+    first parallel {!run}) and reuses them, so requesting parallelism
+    costs a lock round-trip instead of a spawn. Workers are shut down
+    via [at_exit]. *)
+
+val run : domains:int -> (unit -> unit) array -> unit
+(** [run ~domains tasks] executes every task, using up to [domains]
+    domains including the calling one, clamped to
+    [Domain.recommended_domain_count] — on a single-core host the
+    tasks simply run sequentially, whatever [domains] says, so callers
+    can request parallelism unconditionally. Tasks are handed out by atomic
+    work stealing and must touch disjoint mutable state; completion
+    order is unspecified, so any cross-task merge is the caller's job,
+    after [run] returns. With [domains <= 1] or a single task, tasks
+    run sequentially in the calling domain with no synchronization.
+
+    If a task raises, the first exception is re-raised at the caller
+    after all tasks finish. Tasks must not call {!run} themselves (a
+    worker waiting on its own pool would deadlock).
+
+    Thread-safe: concurrent calls from several domains interleave their
+    jobs over the shared workers. *)

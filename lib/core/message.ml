@@ -8,7 +8,19 @@ type shipped_item = { name : string; payload : payload; ivv : Vv.t }
 
 let whole_value s = match s.payload with Whole v -> Some v | Delta _ -> None
 
-type propagation_request = { recipient : int; recipient_dbvv : Vv.t }
+type propagation_request = {
+  recipient : int;
+  recipient_dbvv : Vv.t;
+  recipient_shard_dbvvs : Vv.t array;
+      (* [||] when the recipient runs unsharded: the request is then
+         byte-for-byte the pre-sharding request. *)
+}
+
+type shard_delta = {
+  shard : int;
+  tails : Edb_log.Log_record.t list array;
+  items : shipped_item list;
+}
 
 type propagation_reply =
   | You_are_current
@@ -16,6 +28,7 @@ type propagation_reply =
       tails : Edb_log.Log_record.t list array;
       items : shipped_item list;
     }
+  | Propagate_sharded of shard_delta list
 
 type oob_request = { item : string }
 
@@ -25,7 +38,11 @@ let id_bytes = 8
 
 let vv_bytes vv = 8 * Vv.dimension vv
 
-let request_bytes r = id_bytes + vv_bytes r.recipient_dbvv
+let request_bytes r =
+  Array.fold_left
+    (fun acc vv -> acc + vv_bytes vv)
+    (id_bytes + vv_bytes r.recipient_dbvv)
+    r.recipient_shard_dbvvs
 
 let payload_bytes = function
   | Whole value -> String.length value
@@ -37,16 +54,23 @@ let payload_bytes = function
 let shipped_item_bytes (s : shipped_item) =
   id_bytes + payload_bytes s.payload + vv_bytes s.ivv
 
+let tails_bytes tails =
+  Array.fold_left
+    (fun acc tail -> acc + (Edb_log.Log_record.wire_size * List.length tail))
+    0 tails
+
+let items_bytes items =
+  List.fold_left (fun acc s -> acc + shipped_item_bytes s) 0 items
+
+let shard_delta_bytes (d : shard_delta) =
+  (* The shard index travels as one more id-sized field. *)
+  id_bytes + tails_bytes d.tails + items_bytes d.items
+
 let reply_bytes = function
   | You_are_current -> id_bytes
-  | Propagate { tails; items } ->
-    let record_bytes =
-      Array.fold_left
-        (fun acc tail -> acc + (Edb_log.Log_record.wire_size * List.length tail))
-        0 tails
-    in
-    let item_bytes = List.fold_left (fun acc s -> acc + shipped_item_bytes s) 0 items in
-    id_bytes + record_bytes + item_bytes
+  | Propagate { tails; items } -> id_bytes + tails_bytes tails + items_bytes items
+  | Propagate_sharded deltas ->
+    List.fold_left (fun acc d -> acc + shard_delta_bytes d) id_bytes deltas
 
 let oob_request_bytes (_ : oob_request) = 2 * id_bytes
 

@@ -37,7 +37,13 @@ val whole_value : shipped_item -> string option
 
 type propagation_request = {
   recipient : int;  (** The node asking to be brought up to date. *)
-  recipient_dbvv : Edb_vv.Version_vector.t;  (** Its DBVV [V_i]. *)
+  recipient_dbvv : Edb_vv.Version_vector.t;
+      (** Its DBVV [V_i] — the summary DBVV when the recipient is
+          sharded (component-wise sum of its per-shard DBVVs). *)
+  recipient_shard_dbvvs : Edb_vv.Version_vector.t array;
+      (** Per-shard DBVVs, indexed by shard. [[||]] when the recipient
+          runs unsharded ([shards = 1]), keeping the request
+          byte-for-byte identical to the pre-sharding protocol. *)
 }
 
 type propagation_reply =
@@ -53,6 +59,20 @@ type propagation_reply =
           (** The set [S] of (regular copies of) items referenced by
               records in [D], each with its IVV. *)
     }
+  | Propagate_sharded of shard_delta list
+      (** Sharded sessions ([shards > 1]) ship one delta per
+          non-converged shard, in ascending shard order; shards whose
+          per-shard DBVV the recipient already dominates are skipped
+          individually (counter [shards_skipped]) and contribute zero
+          bytes. *)
+
+and shard_delta = {
+  shard : int;  (** The shard this delta belongs to. *)
+  tails : Edb_log.Log_record.t list array;
+      (** The shard's tail vector [D]; sequence numbers are per-shard
+          (each shard numbers its own DBVV components). *)
+  items : shipped_item list;
+}
 
 type oob_request = { item : string }
 (** Out-of-bound request for a single item (paper §5.2). *)

@@ -13,13 +13,19 @@ let src = Logs.Src.create "edb.node" ~doc:"Epidemic replication node"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type resolution_policy =
+type resolution_policy = Protocol.resolution_policy =
   | Report_only
   | Resolve of (local:Message.shipped_item -> remote:Message.shipped_item -> string)
 
-type propagation_mode = Whole_item | Op_log of { depth : int }
+type propagation_mode = Protocol.propagation_mode =
+  | Whole_item
+  | Op_log of { depth : int }
 
-type accept_result = { copied : string list; conflicts : int; resolved : int }
+type accept_result = Protocol.accept_result = {
+  copied : string list;
+  conflicts : int;
+  resolved : int;
+}
 
 type pull_result = Already_current | Pulled of accept_result
 
@@ -28,16 +34,16 @@ type oob_result = [ `Adopted | `Already_current | `Conflict ]
 type t = {
   id : int;
   n : int;
-  store : Store.t;
-  dbvv : Vv.t;
-  logs : Log_vector.t;
-  aux_items : (string, Item.t) Hashtbl.t;
-  aux_log : Aux_log.t;
+  shards : int;
+  replicas : Replica.t array;
+  (* Component-wise sum of the shard DBVVs. When [shards = 1] it is
+     physically the single replica's DBVV, so the unsharded node pays
+     nothing for the extra vector and every wire byte stays identical
+     to the pre-sharding protocol. *)
+  summary : Vv.t;
   counters : Counters.t;
   policy : resolution_policy;
   mode : propagation_mode;
-  (* Per-item bounded op history; populated only in [Op_log] mode. *)
-  histories : (string, Edb_store.Item_history.t) Hashtbl.t;
   conflict_handler : Conflict.t -> unit;
   mutable conflicts : Conflict.t list;
   peer_cache : Peer_cache.t;
@@ -45,35 +51,62 @@ type t = {
      epoch, the staleness gate for cached peer knowledge. Volatile, like
      the peer cache itself. *)
   mutable revision : int;
+  ctx : Protocol.ctx;
 }
 
+let declare_conflict t ~item ~local_vv ~remote_vv ~origin =
+  t.revision <- t.revision + 1;
+  let conflict = Conflict.make ~item ~node:t.id ~local_vv ~remote_vv ~origin in
+  t.counters.conflicts_detected <- t.counters.conflicts_detected + 1;
+  t.conflicts <- conflict :: t.conflicts;
+  Log.info (fun m -> m "%a" Conflict.pp conflict);
+  t.conflict_handler conflict
+
 let create ?(policy = Report_only) ?(conflict_handler = fun _ -> ())
-    ?(mode = Whole_item) ~id ~n () =
+    ?(mode = Whole_item) ?(shards = 1) ~id ~n () =
   if n <= 0 then invalid_arg "Node.create: n must be positive";
   if id < 0 || id >= n then invalid_arg "Node.create: id out of range";
+  if shards < 1 then invalid_arg "Node.create: shards must be >= 1";
   (match mode with
   | Whole_item -> ()
   | Op_log { depth } ->
     if depth < 1 then invalid_arg "Node.create: op-log depth must be >= 1");
-  {
-    id;
-    n;
-    store = Store.create ~n;
-    dbvv = Vv.create ~n;
-    logs = Log_vector.create ~n;
-    aux_items = Hashtbl.create 8;
-    aux_log = Aux_log.create ();
-    counters = Counters.create ();
-    policy;
-    mode;
-    histories = Hashtbl.create 8;
-    conflict_handler;
-    conflicts = [];
-    peer_cache = Peer_cache.create ~n;
-    revision = 0;
-  }
-
-let touch t = t.revision <- t.revision + 1
+  let replicas = Array.init shards (fun _ -> Replica.create ~n) in
+  let summary =
+    if shards = 1 then replicas.(0).Replica.dbvv else Vv.create ~n
+  in
+  let counters = Counters.create () in
+  let rec t =
+    {
+      id;
+      n;
+      shards;
+      replicas;
+      summary;
+      counters;
+      policy;
+      mode;
+      conflict_handler;
+      conflicts = [];
+      peer_cache = Peer_cache.create ~shards ~n ();
+      revision = 0;
+      ctx;
+    }
+  and ctx =
+    {
+      Protocol.node_id = id;
+      n;
+      mode;
+      policy;
+      counters;
+      summary;
+      declare_conflict =
+        (fun ~item ~local_vv ~remote_vv ~origin ->
+          declare_conflict t ~item ~local_vv ~remote_vv ~origin);
+      touch = (fun () -> t.revision <- t.revision + 1);
+    }
+  in
+  t
 
 let revision t = t.revision
 
@@ -85,452 +118,306 @@ let dimension t = t.n
 
 let mode t = t.mode
 
-let history_of t name =
-  match t.mode with
-  | Whole_item -> None
-  | Op_log { depth } ->
-    Some
-      (match Hashtbl.find_opt t.histories name with
-      | Some history -> history
-      | None ->
-        let history = Edb_store.Item_history.create ~depth in
-        Hashtbl.add t.histories name history;
-        history)
+let shards t = t.shards
 
-let dbvv t = Vv.copy t.dbvv
+let replica t s =
+  if s < 0 || s >= t.shards then invalid_arg "Node.replica: shard out of range";
+  t.replicas.(s)
 
-let dbvv_view t = t.dbvv
+let shard_of_item t name = Shard_map.shard_of ~shards:t.shards name
+
+let replica_for t name = t.replicas.(shard_of_item t name)
+
+let dbvv t = Vv.copy t.summary
+
+let dbvv_view t = t.summary
+
+let shard_dbvv_view t s =
+  if s < 0 || s >= t.shards then invalid_arg "Node.shard_dbvv_view: shard out of range";
+  t.replicas.(s).Replica.dbvv
+
+let shard_dbvvs t = Array.map (fun (r : Replica.t) -> Vv.copy r.dbvv) t.replicas
 
 let counters t = t.counters
 
-let store t = t.store
+(* The unsharded accessors below serve the pre-sharding callers (tests,
+   checker internals); a sharded node has no single store/log/aux-log
+   to hand out. *)
+let single_replica t what =
+  if t.shards <> 1 then
+    invalid_arg (Printf.sprintf "Node.%s: node is sharded (use Node.replica)" what);
+  t.replicas.(0)
 
-let log_vector t = t.logs
+let store t = (single_replica t "store").Replica.store
 
-let aux_log t = t.aux_log
+let log_vector t = (single_replica t "log_vector").Replica.logs
+
+let aux_log t = (single_replica t "aux_log").Replica.aux_log
+
+let iter_items f t =
+  Array.iter (fun (r : Replica.t) -> Store.iter f r.store) t.replicas
+
+let fold_items f init t =
+  Array.fold_left (fun acc (r : Replica.t) -> Store.fold f acc r.store) init t.replicas
+
+let find_item t name = Store.find_opt (replica_for t name).Replica.store name
 
 let read t name =
-  match Hashtbl.find_opt t.aux_items name with
+  let rep = replica_for t name in
+  match Hashtbl.find_opt rep.Replica.aux_items name with
   | Some aux -> Some aux.Item.value
-  | None -> Option.map (fun (i : Item.t) -> i.value) (Store.find_opt t.store name)
+  | None -> Option.map (fun (i : Item.t) -> i.value) (Store.find_opt rep.Replica.store name)
 
 let read_regular t name =
-  Option.map (fun (i : Item.t) -> i.value) (Store.find_opt t.store name)
+  Option.map
+    (fun (i : Item.t) -> i.value)
+    (Store.find_opt (replica_for t name).Replica.store name)
 
 let item_vv t name =
-  Option.map (fun (i : Item.t) -> Vv.copy i.ivv) (Store.find_opt t.store name)
+  Option.map
+    (fun (i : Item.t) -> Vv.copy i.ivv)
+    (Store.find_opt (replica_for t name).Replica.store name)
 
-let has_aux t name = Hashtbl.mem t.aux_items name
+let has_aux t name = Hashtbl.mem (replica_for t name).Replica.aux_items name
 
-let aux_count t = Hashtbl.length t.aux_items
+let aux_count t =
+  let total = ref 0 in
+  Array.iter (fun r -> total := !total + Replica.aux_count r) t.replicas;
+  !total
 
 let aux_entries t =
-  Hashtbl.fold (fun name (it : Item.t) acc -> (name, Vv.copy it.ivv) :: acc) t.aux_items []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let acc = ref [] in
+  Array.iter
+    (fun (r : Replica.t) ->
+      Hashtbl.iter
+        (fun name (it : Item.t) -> acc := (name, Vv.copy it.ivv) :: !acc)
+        r.aux_items)
+    t.replicas;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
 let aux_vv t name =
-  Option.map (fun (i : Item.t) -> Vv.copy i.ivv) (Hashtbl.find_opt t.aux_items name)
+  Option.map
+    (fun (i : Item.t) -> Vv.copy i.ivv)
+    (Hashtbl.find_opt (replica_for t name).Replica.aux_items name)
 
 let conflicts t = t.conflicts
 
 let clear_conflicts t = t.conflicts <- []
 
-let declare_conflict t ~item ~local_vv ~remote_vv ~origin =
-  touch t;
-  let conflict = Conflict.make ~item ~node:t.id ~local_vv ~remote_vv ~origin in
-  t.counters.conflicts_detected <- t.counters.conflicts_detected + 1;
-  t.conflicts <- conflict :: t.conflicts;
-  Log.info (fun m -> m "%a" Conflict.pp conflict);
-  t.conflict_handler conflict
+let update t name op = Protocol.update t.ctx (replica_for t name) name op
 
-(* Bookkeeping common to every update applied to the regular copy: bump
-   the item IVV and DBVV own-components, log the update (§5.3), and in
-   op-log mode retain the operation for delta shipping. *)
-let record_regular_update t (item : Item.t) ~op =
-  touch t;
-  Vv.incr item.ivv t.id;
-  Vv.incr t.dbvv t.id;
-  let seq = Vv.get t.dbvv t.id in
-  Log_vector.add t.logs ~origin:t.id ~item:item.name ~seq;
-  match history_of t item.name with
-  | None -> ()
-  | Some history ->
-    Edb_store.Item_history.push history { Edb_store.Item_history.origin = t.id; seq; op }
+let intra_node_propagation t names =
+  List.iter
+    (fun name -> Protocol.intra_node_propagation t.ctx (replica_for t name) [ name ])
+    names
 
-let update t name op =
-  t.counters.updates_applied <- t.counters.updates_applied + 1;
-  match Hashtbl.find_opt t.aux_items name with
-  | Some aux ->
-    touch t;
-    (* §5.3 first case: the record stores the IVV excluding this update. *)
-    Aux_log.append t.aux_log { Aux_log.item = name; ivv = Vv.copy aux.ivv; op };
-    Item.apply aux op;
-    Vv.incr aux.ivv t.id
-  | None ->
-    let item = Store.find_or_create t.store name in
-    Item.apply item op;
-    record_regular_update t item ~op
+(* ------------------------------------------------------------------ *)
+(* Per-shard domain fan-out                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Run every task, using up to [domains] domains (including the calling
+   one) with atomic work stealing over the shared {!Domain_pool}. Tasks
+   must touch disjoint state; the caller merges any shared effects
+   afterwards, in task order. *)
+let parallel_run ~domains tasks = Domain_pool.run ~domains tasks
 
 (* ------------------------------------------------------------------ *)
 (* SendPropagation (paper Figure 2)                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* The request borrows the live DBVV rather than copying it: this is
-   the per-pull allocation on the steady-state path. Sound because the
-   request is consumed synchronously — [handle_propagation_request] only
-   reads it, the wire codec serializes it immediately, and no caller
-   retains it past the session. *)
-let propagation_request t = { Message.recipient = t.id; recipient_dbvv = t.dbvv }
+(* The request borrows the live vectors rather than copying them: this
+   is the per-pull allocation on the steady-state path. Sound because
+   the request is consumed synchronously — [handle_propagation_request]
+   only reads it, the wire codec serializes it immediately, and no
+   caller retains it past the session. *)
+let propagation_request t =
+  if t.shards = 1 then
+    { Message.recipient = t.id; recipient_dbvv = t.summary; recipient_shard_dbvvs = [||] }
+  else
+    {
+      Message.recipient = t.id;
+      recipient_dbvv = t.summary;
+      recipient_shard_dbvvs = Array.map (fun (r : Replica.t) -> r.dbvv) t.replicas;
+    }
 
-(* Op-log mode: can this item's missing updates be shipped as exactly
-   the operations the recipient lacks? The recipient reflects, for each
-   origin k, precisely the first [recipient_dbvv(k)] updates of k (the
-   per-origin prefix property). A delta is provably complete iff for
-   every origin that contributed updates to the item:
-   - either the recipient already reflects the item's last k-update
-     (log record seq <= recipient_dbvv(k)), or
-   - the retained history still holds every k-op the recipient misses:
-     all evicted k-ops have seq below the oldest retained k-entry, so
-     it suffices that recipient_dbvv(k) >= oldest_retained_k - 1. *)
-let delta_payload t (item : Item.t) ~recipient_dbvv =
-  match history_of t item.name with
-  | None -> None
-  | Some history ->
-    let threshold = Vv.to_array recipient_dbvv in
-    let rec provable k =
-      if k >= t.n then true
-      else if Vv.get item.ivv k = 0 then provable (k + 1)
-      else
-        match Log_component.find_record (Log_vector.component t.logs k) item.name with
-        | None ->
-          (* No retained log record despite known k-updates (possible
-             only in post-conflict states): cannot reason. *)
-          false
-        | Some last ->
-          if last.Log_record.seq <= threshold.(k) then
-            (* The recipient reflects every k-update to this item. *)
-            provable (k + 1)
-          else (
-            match
-              Edb_store.Item_history.oldest_seq_of_origin history ~origin:k
-            with
-            | None -> false
-            | Some oldest ->
-              if threshold.(k) >= oldest - 1 then provable (k + 1) else false)
-    in
-    if not (provable 0) then None
-    else
-      Some
-        (List.map
-           (fun (e : Edb_store.Item_history.entry) ->
-             { Message.origin = e.origin; seq = e.seq; op = e.op })
-           (Edb_store.Item_history.entries_after history ~threshold))
+let propagation_request_owned t =
+  let req = propagation_request t in
+  {
+    req with
+    Message.recipient_dbvv = Vv.copy req.recipient_dbvv;
+    recipient_shard_dbvvs = Array.map Vv.copy req.recipient_shard_dbvvs;
+  }
 
-let handle_propagation_request t (req : Message.propagation_request) =
+let handle_sharded t ~domains (req : Message.propagation_request) =
+  if Array.length req.recipient_shard_dbvvs <> t.shards then
+    invalid_arg "Node.handle_propagation_request: shard count mismatch";
   let c = t.counters in
+  (* The summary comparison answers you-are-current in O(n) regardless
+     of the shard count; see DESIGN.md §7 for why summary dominance is
+     sound under session-atomic acceptance. *)
   c.vv_comparisons <- c.vv_comparisons + 1;
-  if Vv.dominates_or_equal req.recipient_dbvv t.dbvv then begin
+  if Vv.dominates_or_equal req.recipient_dbvv t.summary then begin
     c.noop_sessions <- c.noop_sessions + 1;
     Message.You_are_current
   end
   else begin
     c.propagation_sessions <- c.propagation_sessions + 1;
-    let tails = Array.make t.n [] in
-    (* Items flagged IsSelected while building the tails; the flags give
-       the set union S in O(m) and are reset below (§6). *)
-    let selected = ref [] in
-    for k = 0 to t.n - 1 do
-      if Vv.get t.dbvv k > Vv.get req.recipient_dbvv k then begin
-        let records =
-          Log_component.tail_after
-            (Log_vector.component t.logs k)
-            ~seq:(Vv.get req.recipient_dbvv k)
-        in
-        tails.(k) <- records;
-        (* One traversal both counts the records and flags their items
-           (no separate List.length pass). *)
-        let examined = ref 0 in
-        let flag (r : Log_record.t) =
-          incr examined;
-          match Store.find_opt t.store r.item with
-          | None ->
-            (* A logged update always concerns a materialized item. *)
-            assert false
-          | Some item ->
-            if not item.is_selected then begin
-              item.is_selected <- true;
-              selected := item :: !selected
-            end
-        in
-        List.iter flag records;
-        c.log_records_examined <- c.log_records_examined + !examined
-      end
+    (* Per-shard skip decisions run sequentially (they charge the
+       session counters); only non-converged shards build deltas. At
+       least one shard ships: a strictly-larger summary component
+       implies a strictly-larger component in some shard. *)
+    let pending = ref [] in
+    for s = t.shards - 1 downto 0 do
+      c.vv_comparisons <- c.vv_comparisons + 1;
+      let rvv = req.recipient_shard_dbvvs.(s) in
+      if Vv.dominates_or_equal rvv t.replicas.(s).Replica.dbvv then
+        c.shards_skipped <- c.shards_skipped + 1
+      else pending := (s, rvv) :: !pending
     done;
-    let ship (item : Item.t) =
-      item.is_selected <- false;
-      c.items_examined <- c.items_examined + 1;
-      let value, ivv = Item.snapshot item in
-      let payload =
-        match t.mode with
-        | Whole_item -> Message.Whole value
-        | Op_log _ -> (
-          match delta_payload t item ~recipient_dbvv:req.recipient_dbvv with
-          | Some ops -> Message.Delta ops
-          | None ->
-            c.whole_fallbacks <- c.whole_fallbacks + 1;
-            Message.Whole value)
-      in
-      { Message.name = item.name; payload; ivv }
+    let pending = Array.of_list !pending in
+    let count = Array.length pending in
+    let deltas = Array.make count None in
+    let build ctx i =
+      let s, rvv = pending.(i) in
+      let tails, items = Protocol.build_delta ctx t.replicas.(s) ~recipient_vv:rvv in
+      deltas.(i) <- Some { Message.shard = s; tails; items }
     in
-    let items = List.rev_map ship !selected in
-    Message.Propagate { tails; items }
+    if min domains count <= 1 then
+      for i = 0 to count - 1 do
+        build t.ctx i
+      done
+    else begin
+      (* Delta building only reads replica state (plus the per-item
+         IsSelected scratch flags, disjoint per shard) and charges
+         counters, so a scratch counter set per shard is the only
+         isolation needed; the sums merge commutatively. *)
+      let scratch = Array.init count (fun _ -> Counters.create ()) in
+      let tasks =
+        Array.init count (fun i () ->
+            build { t.ctx with Protocol.counters = scratch.(i) } i)
+      in
+      parallel_run ~domains tasks;
+      Array.iter (fun sc -> Counters.add_into c sc) scratch
+    end;
+    Message.Propagate_sharded
+      (Array.to_list deltas |> List.map Option.get)
   end
 
-(* ------------------------------------------------------------------ *)
-(* IntraNodePropagation (paper Figure 4)                               *)
-(* ------------------------------------------------------------------ *)
-
-let intra_node_propagation t copied_items =
-  let c = t.counters in
-  let catch_up name =
-    match Hashtbl.find_opt t.aux_items name with
-    | None -> ()
-    | Some aux ->
-      let regular = Store.find_or_create t.store name in
-      let rec drain () =
-        match Aux_log.earliest t.aux_log name with
-        | Some e ->
-          c.vv_comparisons <- c.vv_comparisons + 1;
-          (match Vv.compare_vv regular.ivv e.ivv with
-          | Equal ->
-            (* The regular copy has caught up to the exact state this
-               deferred update was applied at: replay it as a fresh
-               local update. *)
-            Item.apply regular e.op;
-            record_regular_update t regular ~op:e.op;
-            Aux_log.remove_earliest t.aux_log name;
-            c.aux_replays <- c.aux_replays + 1;
-            drain ()
-          | Concurrent ->
-            declare_conflict t ~item:name ~local_vv:regular.ivv ~remote_vv:e.ivv
-              ~origin:Conflict.Intra_node
-          | Dominated ->
-            (* The regular copy is still behind; wait for more
-               propagation. *)
-            ()
-          | Dominates ->
-            (* The paper asserts "v_i(x) can never dominate a version
-               vector of an auxiliary record" (§5.1), but it can: if a
-               remote update to x raced the deferred out-of-bound
-               update, the regular copy moves strictly past the state
-               the deferred update was applied at without containing
-               it. Since the deferred update exists in no other
-               replica, domination proves the histories diverged, so we
-               declare the conflict rather than leave it latent
-               (deviation documented in DESIGN.md §5). *)
-            declare_conflict t ~item:name ~local_vv:regular.ivv ~remote_vv:e.ivv
-              ~origin:Conflict.Intra_node)
-        | None ->
-          c.vv_comparisons <- c.vv_comparisons + 1;
-          if Vv.dominates_or_equal regular.ivv aux.ivv then begin
-            (* The regular copy has caught up with the auxiliary copy:
-               discard the latter (Fig. 4, final comparison). *)
-            touch t;
-            Hashtbl.remove t.aux_items name
-          end
-      in
-      drain ()
-  in
-  List.iter catch_up copied_items
+let handle_propagation_request ?(domains = 1) t req =
+  if t.shards = 1 && Array.length req.Message.recipient_shard_dbvvs = 0 then
+    Protocol.handle_request t.ctx t.replicas.(0) req
+  else handle_sharded t ~domains req
 
 (* ------------------------------------------------------------------ *)
 (* AcceptPropagation (paper Figure 3)                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Record the resolver's output as a fresh local update so the resolved
-   state dominates both conflicting ancestors and propagates normally
-   (extension; see DESIGN.md §5). *)
-let resolve_propagation_conflict t (local : Item.t) (sx : Message.shipped_item) resolver =
-  let local_snapshot =
-    { Message.name = local.name; payload = Message.Whole local.value; ivv = Vv.copy local.ivv }
+let combine_results results =
+  let copied =
+    List.concat_map (fun (r : accept_result) -> r.copied) (Array.to_list results)
   in
-  let merged = Vv.copy local.ivv in
-  Vv.merge_into merged ~from:sx.ivv;
-  Vv.add_diff_into t.dbvv ~newer:merged ~older:local.ivv;
-  let resolved_value = resolver ~local:local_snapshot ~remote:sx in
-  local.value <- resolved_value;
-  local.ivv <- merged;
-  (* A whole-copy style overwrite: any retained history no longer
-     describes a contiguous suffix of this value. *)
-  (match history_of t local.name with
-  | None -> ()
-  | Some history -> Edb_store.Item_history.clear history);
-  record_regular_update t local ~op:(Operation.Set resolved_value)
+  let conflicts =
+    Array.fold_left (fun acc (r : accept_result) -> acc + r.conflicts) 0 results
+  in
+  let resolved =
+    Array.fold_left (fun acc (r : accept_result) -> acc + r.resolved) 0 results
+  in
+  { copied; conflicts; resolved }
 
-let accept_propagation t ~source reply =
+let accept_sharded t ~domains ~source deltas =
+  Fault.hit "accept.begin";
+  List.iter
+    (fun (d : Message.shard_delta) ->
+      if d.shard < 0 || d.shard >= t.shards then
+        invalid_arg "Node.accept_propagation: shard index out of range")
+    deltas;
+  let deltas = Array.of_list deltas in
+  let count = Array.length deltas in
+  let results = Array.make count { copied = []; conflicts = 0; resolved = 0 } in
+  if min domains count <= 1 then begin
+    Array.iteri
+      (fun i (d : Message.shard_delta) ->
+        results.(i) <-
+          Protocol.accept_delta t.ctx t.replicas.(d.shard) ~source ~tails:d.tails
+            ~items:d.items)
+      deltas;
+    combine_results results
+  end
+  else begin
+    (* Shards touch disjoint replicas; the shared effects — counters,
+       summary growth, revision bumps, conflict declarations — go to
+       per-shard scratch sinks and are merged in shard order below, so
+       the result is independent of domain scheduling. Conflict
+       handlers therefore run after the parallel section (in shard
+       order) rather than interleaved with acceptance; a handler that
+       mutates the node must use [domains = 1]. *)
+    let scratch_counters = Array.init count (fun _ -> Counters.create ()) in
+    let scratch_summary = Array.init count (fun _ -> Vv.create ~n:t.n) in
+    let scratch_conflicts = Array.make count [] in
+    let scratch_touches = Array.make count 0 in
+    let tasks =
+      Array.init count (fun i () ->
+          let d = deltas.(i) in
+          let ctx =
+            {
+              t.ctx with
+              Protocol.counters = scratch_counters.(i);
+              summary = scratch_summary.(i);
+              declare_conflict =
+                (fun ~item ~local_vv ~remote_vv ~origin ->
+                  scratch_touches.(i) <- scratch_touches.(i) + 1;
+                  scratch_counters.(i).conflicts_detected <-
+                    scratch_counters.(i).conflicts_detected + 1;
+                  scratch_conflicts.(i) <-
+                    Conflict.make ~item ~node:t.id ~local_vv ~remote_vv ~origin
+                    :: scratch_conflicts.(i));
+              touch = (fun () -> scratch_touches.(i) <- scratch_touches.(i) + 1);
+            }
+          in
+          results.(i) <-
+            Protocol.accept_delta ctx t.replicas.(d.shard) ~source ~tails:d.tails
+              ~items:d.items)
+    in
+    parallel_run ~domains tasks;
+    for i = 0 to count - 1 do
+      Counters.add_into t.counters scratch_counters.(i);
+      for l = 0 to t.n - 1 do
+        let grown = Vv.get scratch_summary.(i) l in
+        if grown <> 0 then Vv.set t.summary l (Vv.get t.summary l + grown)
+      done;
+      t.revision <- t.revision + scratch_touches.(i);
+      List.iter
+        (fun conflict ->
+          t.conflicts <- conflict :: t.conflicts;
+          Log.info (fun m -> m "%a" Conflict.pp conflict);
+          t.conflict_handler conflict)
+        (List.rev scratch_conflicts.(i))
+    done;
+    combine_results results
+  end
+
+let accept_propagation ?(domains = 1) t ~source reply =
   match reply with
   | Message.You_are_current -> { copied = []; conflicts = 0; resolved = 0 }
   | Message.Propagate { tails; items } ->
+    if t.shards <> 1 then
+      invalid_arg "Node.accept_propagation: unsharded reply at a sharded node";
     (* Failpoints (see DESIGN.md, "Failure model"): a crash here leaves
-       the node exactly as before the session... *)
+       the node exactly as before the session. *)
     Fault.hit "accept.begin";
-    let c = t.counters in
-    let skip_records = Hashtbl.create 4 in
-    let copied = ref [] in
-    let conflict_count = ref 0 in
-    let resolved_count = ref 0 in
-    let consider (sx : Message.shipped_item) =
-      (* ...a crash here leaves some shipped items applied and others
-         not — torn, unless the caller journaled the whole reply
-         first (Durable_node does)... *)
-      Fault.hit "accept.item";
-      let local = Store.find_or_create t.store sx.name in
-      c.vv_comparisons <- c.vv_comparisons + 1;
-      match Vv.compare_vv sx.ivv local.ivv with
-      | Dominates -> (
-        (* The received copy is strictly newer: adopt it and grow the
-           DBVV by the extra updates it has seen (DBVV rule 3, §4.1). *)
-        match sx.payload with
-        | Message.Whole value ->
-          touch t;
-          Vv.add_diff_into t.dbvv ~newer:sx.ivv ~older:local.ivv;
-          local.value <- value;
-          local.ivv <- Vv.copy sx.ivv;
-          (* The local history no longer describes a contiguous suffix
-             of this value: forget it (op-log mode only). *)
-          (match history_of t sx.name with
-          | None -> ()
-          | Some history -> Edb_store.Item_history.clear history);
-          c.items_copied <- c.items_copied + 1;
-          copied := sx.name :: !copied
-        | Message.Delta ops ->
-          (* Defensive completeness check: the shipped operations must
-             account exactly for the per-origin IVV gap. The list is
-             measured once here; every later use reuses the count. *)
-          let n_ops = List.length ops in
-          let expected = ref 0 in
-          for k = 0 to t.n - 1 do
-            expected := !expected + (Vv.get sx.ivv k - Vv.get local.ivv k)
-          done;
-          if n_ops <> !expected then begin
-            Log.err (fun m ->
-                m "node %d: delta for %S has %d ops, expected %d; skipping" t.id
-                  sx.name n_ops !expected);
-            Hashtbl.replace skip_records sx.name ()
-          end
-          else begin
-            touch t;
-            Vv.add_diff_into t.dbvv ~newer:sx.ivv ~older:local.ivv;
-            List.iter
-              (fun (dop : Message.delta_op) ->
-                local.value <- Operation.apply local.value dop.op;
-                match history_of t sx.name with
-                | None -> ()
-                | Some history ->
-                  Edb_store.Item_history.push history
-                    { Edb_store.Item_history.origin = dop.origin; seq = dop.seq; op = dop.op })
-              ops;
-            local.ivv <- Vv.copy sx.ivv;
-            c.delta_ops_applied <- c.delta_ops_applied + n_ops;
-            c.items_copied <- c.items_copied + 1;
-            copied := sx.name :: !copied
-          end)
-      | Concurrent -> (
-        match (t.policy, sx.payload) with
-        | Resolve resolver, Message.Whole _ ->
-          resolve_propagation_conflict t local sx resolver;
-          incr resolved_count;
-          c.items_copied <- c.items_copied + 1;
-          copied := sx.name :: !copied
-        | Report_only, _ | Resolve _, Message.Delta _ ->
-          (* A conflicting delta cannot be resolved: the remote value is
-             not reconstructible from ops against a diverged base. *)
-          declare_conflict t ~item:sx.name ~local_vv:local.ivv ~remote_vv:sx.ivv
-            ~origin:(Conflict.Propagation { source });
-          incr conflict_count;
-          Hashtbl.replace skip_records sx.name ())
-      | Equal ->
-        (* Identical copies; no tail record can reference this item in
-           conflict-free operation, and stale re-sent records are
-           filtered below. *)
-        ()
-      | Dominated ->
-        (* "We do not consider the case when v_i(x) dominates v_j(x)
-           because this cannot happen" (§5.1). Reachable only after an
-           earlier conflict was reported; drop the stale records. *)
-        Log.warn (fun m ->
-            m "node %d: local copy of %S is newer than the shipped one" t.id sx.name);
-        Hashtbl.replace skip_records sx.name ()
-    in
-    List.iter consider items;
-    (* ...and a crash here has every item applied but no tail records,
-       deflating the local logs relative to the DBVV. *)
-    Fault.hit "accept.tail";
-    (* Append the tails to the local logs (Fig. 3, second loop), skipping
-       records of conflicting items and records the local log already
-       subsumes (possible only in post-conflict states). *)
-    let append_tail k records =
-      let component = Log_vector.component t.logs k in
-      let append (r : Log_record.t) =
-        if not (Hashtbl.mem skip_records r.item) then begin
-          c.log_records_examined <- c.log_records_examined + 1;
-          if r.seq > Log_component.latest_seq component then
-            Log_component.add component ~item:r.item ~seq:r.seq
-        end
-      in
-      List.iter append records
-    in
-    Array.iteri append_tail tails;
-    let copied = List.rev !copied in
-    intra_node_propagation t copied;
-    { copied; conflicts = !conflict_count; resolved = !resolved_count }
+    Protocol.accept_delta t.ctx t.replicas.(0) ~source ~tails ~items
+  | Message.Propagate_sharded deltas -> accept_sharded t ~domains ~source deltas
 
 (* ------------------------------------------------------------------ *)
 (* Out-of-bound copying (paper §5.2)                                   *)
 (* ------------------------------------------------------------------ *)
 
 let serve_out_of_bound t (req : Message.oob_request) =
-  let snapshot (item : Item.t) =
-    let value, ivv = Item.snapshot item in
-    { Message.item = req.item; value; ivv }
-  in
-  match Hashtbl.find_opt t.aux_items req.item with
-  | Some aux ->
-    (* "Auxiliary copies are preferred ... the auxiliary copy is never
-       older than the regular copy" (§5.2). *)
-    snapshot aux
-  | None -> snapshot (Store.find_or_create t.store req.item)
+  Protocol.serve_out_of_bound (replica_for t req.item) req
 
 let accept_out_of_bound t ~source (reply : Message.oob_reply) =
-  let c = t.counters in
-  let local_vv =
-    match Hashtbl.find_opt t.aux_items reply.item with
-    | Some aux -> aux.Item.ivv
-    | None -> (Store.find_or_create t.store reply.item).Item.ivv
-  in
-  c.vv_comparisons <- c.vv_comparisons + 1;
-  match Vv.compare_vv reply.ivv local_vv with
-  | Dominates ->
-    touch t;
-    let aux =
-      match Hashtbl.find_opt t.aux_items reply.item with
-      | Some aux -> aux
-      | None ->
-        let aux = Item.create ~name:reply.item ~n:t.n in
-        Hashtbl.add t.aux_items reply.item aux;
-        aux
-    in
-    (* Adopt data and IVV; the auxiliary log is deliberately left
-       untouched (§5.2). *)
-    aux.value <- reply.value;
-    aux.ivv <- Vv.copy reply.ivv;
-    c.oob_copies <- c.oob_copies + 1;
-    `Adopted
-  | Equal | Dominated -> `Already_current
-  | Concurrent ->
-    declare_conflict t ~item:reply.item ~local_vv ~remote_vv:reply.ivv
-      ~origin:(Conflict.Out_of_bound { source });
-    `Conflict
+  (Protocol.accept_out_of_bound t.ctx (replica_for t reply.item) ~source reply
+    :> oob_result)
 
 (* ------------------------------------------------------------------ *)
 (* In-process sessions                                                 *)
@@ -540,19 +427,21 @@ let charge_message (c : Counters.t) bytes =
   c.messages <- c.messages + 1;
   c.bytes_sent <- c.bytes_sent + bytes
 
-let pull ~recipient ~source =
+let pull ?(domains = 1) ~recipient ~source () =
+  if recipient.shards <> source.shards then
+    invalid_arg "Node.pull: recipient and source shard counts differ";
   let req = propagation_request recipient in
   charge_message recipient.counters (Message.request_bytes req);
-  let reply = handle_propagation_request source req in
+  let reply = handle_propagation_request ~domains source req in
   charge_message source.counters (Message.reply_bytes reply);
   match reply with
   | Message.You_are_current -> Already_current
-  | Message.Propagate _ as reply ->
-    Pulled (accept_propagation recipient ~source:source.id reply)
+  | (Message.Propagate _ | Message.Propagate_sharded _) as reply ->
+    Pulled (accept_propagation ~domains recipient ~source:source.id reply)
 
-let sync_pair a b =
-  let (_ : pull_result) = pull ~recipient:a ~source:b in
-  let (_ : pull_result) = pull ~recipient:b ~source:a in
+let sync_pair ?(domains = 1) a b =
+  let (_ : pull_result) = pull ~domains ~recipient:a ~source:b () in
+  let (_ : pull_result) = pull ~domains ~recipient:b ~source:a () in
   ()
 
 let fetch_out_of_bound ~recipient ~source name =
@@ -571,104 +460,119 @@ module State = struct
 
   type aux_record = { item : string; ivv : int array; op : Operation.t }
 
-  type t = {
-    id : int;
-    n : int;
+  type shard = {
     items : item list;
     dbvv : int array;
     logs : (string * int) list array;
     aux_items : item list;
     aux_log : aux_record list;
   }
+
+  type t = { id : int; n : int; shards : shard array }
 end
 
 let export_state t =
   let item_state (it : Item.t) =
     { State.name = it.name; value = it.value; ivv = Vv.to_array it.ivv }
   in
-  let items = Store.fold (fun acc it -> item_state it :: acc) [] t.store in
-  let logs =
-    Array.init t.n (fun origin ->
-        List.map
-          (fun (r : Log_record.t) -> (r.item, r.seq))
-          (Log_component.to_list (Log_vector.component t.logs origin)))
+  let export_shard (rep : Replica.t) =
+    let items =
+      List.rev (Store.fold (fun acc it -> item_state it :: acc) [] rep.store)
+    in
+    let logs =
+      Array.init t.n (fun origin ->
+          List.map
+            (fun (r : Log_record.t) -> (r.item, r.seq))
+            (Log_component.to_list (Log_vector.component rep.logs origin)))
+    in
+    let aux_items =
+      Hashtbl.fold (fun _ it acc -> item_state it :: acc) rep.aux_items []
+      |> List.sort (fun (a : State.item) b -> String.compare a.name b.name)
+    in
+    let aux_log =
+      List.map
+        (fun (r : Aux_log.record) ->
+          { State.item = r.item; ivv = Vv.to_array r.ivv; op = r.op })
+        (Aux_log.to_list rep.aux_log)
+    in
+    { State.items; dbvv = Vv.to_array rep.dbvv; logs; aux_items; aux_log }
   in
-  let aux_items = Hashtbl.fold (fun _ it acc -> item_state it :: acc) t.aux_items [] in
-  let aux_log =
-    List.map
-      (fun (r : Aux_log.record) ->
-        { State.item = r.item; ivv = Vv.to_array r.ivv; op = r.op })
-      (Aux_log.to_list t.aux_log)
-  in
-  {
-    State.id = t.id;
-    n = t.n;
-    items;
-    dbvv = Vv.to_array t.dbvv;
-    logs;
-    aux_items;
-    aux_log;
-  }
+  { State.id = t.id; n = t.n; shards = Array.map export_shard t.replicas }
 
 let import_state ?policy ?conflict_handler ?mode (state : State.t) =
-  if Array.length state.dbvv <> state.n then
-    invalid_arg "Node.import_state: DBVV dimension mismatch";
-  if Array.length state.logs <> state.n then
-    invalid_arg "Node.import_state: log vector dimension mismatch";
-  let t = create ?policy ?conflict_handler ?mode ~id:state.id ~n:state.n () in
-  let restore_item (st : State.item) =
-    if Array.length st.ivv <> state.n then
-      invalid_arg "Node.import_state: item IVV dimension mismatch";
-    let it = Store.find_or_create t.store st.name in
-    it.value <- st.value;
-    it.ivv <- Vv.of_array st.ivv
+  let shards = Array.length state.shards in
+  if shards = 0 then invalid_arg "Node.import_state: no shards";
+  let t =
+    create ?policy ?conflict_handler ?mode ~shards ~id:state.id ~n:state.n ()
   in
-  List.iter restore_item state.items;
-  (* [create] made a zero DBVV; overwrite it in place. *)
-  Array.iteri (fun l v -> Vv.set t.dbvv l v) state.dbvv;
-  Array.iteri
-    (fun origin records ->
-      List.iter
-        (fun (item, seq) ->
-          (* Log_component.add enforces the monotonic-seq invariant and
-             rejects inconsistent snapshots. *)
-          Log_vector.add t.logs ~origin ~item ~seq)
-        records)
-    state.logs;
-  List.iter
-    (fun (st : State.item) ->
+  let import_shard s (shard : State.shard) =
+    let rep = t.replicas.(s) in
+    if Array.length shard.dbvv <> state.n then
+      invalid_arg "Node.import_state: DBVV dimension mismatch";
+    if Array.length shard.logs <> state.n then
+      invalid_arg "Node.import_state: log vector dimension mismatch";
+    let restore_item (st : State.item) =
       if Array.length st.ivv <> state.n then
-        invalid_arg "Node.import_state: aux IVV dimension mismatch";
-      let it = Item.create ~name:st.name ~n:state.n in
+        invalid_arg "Node.import_state: item IVV dimension mismatch";
+      let it = Store.find_or_create rep.Replica.store st.name in
       it.value <- st.value;
-      it.ivv <- Vv.of_array st.ivv;
-      Hashtbl.replace t.aux_items st.name it)
-    state.aux_items;
-  List.iter
-    (fun (r : State.aux_record) ->
-      Aux_log.append t.aux_log { Aux_log.item = r.item; ivv = Vv.of_array r.ivv; op = r.op })
-    state.aux_log;
+      it.ivv <- Vv.of_array st.ivv
+    in
+    List.iter restore_item shard.items;
+    (* [create] made zero DBVVs; overwrite shard and summary in place. *)
+    Array.iteri
+      (fun l v ->
+        Vv.set rep.dbvv l v;
+        if not (t.summary == rep.dbvv) then
+          Vv.set t.summary l (Vv.get t.summary l + v))
+      shard.dbvv;
+    Array.iteri
+      (fun origin records ->
+        List.iter
+          (fun (item, seq) ->
+            (* Log_component.add enforces the monotonic-seq invariant and
+               rejects inconsistent snapshots. *)
+            Log_vector.add rep.logs ~origin ~item ~seq)
+          records)
+      shard.logs;
+    List.iter
+      (fun (st : State.item) ->
+        if Array.length st.ivv <> state.n then
+          invalid_arg "Node.import_state: aux IVV dimension mismatch";
+        let it = Item.create ~name:st.name ~n:state.n in
+        it.value <- st.value;
+        it.ivv <- Vv.of_array st.ivv;
+        Hashtbl.replace rep.aux_items st.name it)
+      shard.aux_items;
+    List.iter
+      (fun (r : State.aux_record) ->
+        Aux_log.append rep.aux_log
+          { Aux_log.item = r.item; ivv = Vv.of_array r.ivv; op = r.op })
+      shard.aux_log
+  in
+  Array.iteri import_shard state.shards;
   t
 
 (* ------------------------------------------------------------------ *)
 (* Invariants                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let check_invariants ?(log_bound = true) t =
-  (* DBVV = component-wise sum of regular item IVVs (§4.1). *)
+let check_replica_invariants ?(log_bound = true) t s =
+  let rep = t.replicas.(s) in
+  (* Shard DBVV = component-wise sum of the shard's item IVVs (§4.1). *)
   let sums = Array.make t.n 0 in
   Store.iter
     (fun item ->
       for l = 0 to t.n - 1 do
         sums.(l) <- sums.(l) + Vv.get item.Item.ivv l
       done)
-    t.store;
+    rep.Replica.store;
   let rec check_sum l =
     if l >= t.n then Ok ()
-    else if sums.(l) <> Vv.get t.dbvv l then
+    else if sums.(l) <> Vv.get rep.dbvv l then
       Error
-        (Printf.sprintf "DBVV[%d] = %d but item IVVs sum to %d" l (Vv.get t.dbvv l)
-           sums.(l))
+        (Printf.sprintf "shard %d: DBVV[%d] = %d but item IVVs sum to %d" s l
+           (Vv.get rep.dbvv l) sums.(l))
     else check_sum (l + 1)
   in
   let check_log_bound () =
@@ -677,24 +581,59 @@ let check_invariants ?(log_bound = true) t =
       let rec loop k =
         if k >= t.n then Ok ()
         else
-          let latest = Log_component.latest_seq (Log_vector.component t.logs k) in
-          if latest > Vv.get t.dbvv k then
+          let latest = Log_component.latest_seq (Log_vector.component rep.logs k) in
+          if latest > Vv.get rep.dbvv k then
             Error
-              (Printf.sprintf "log component %d newest seq %d exceeds DBVV[%d] = %d" k
-                 latest k (Vv.get t.dbvv k))
+              (Printf.sprintf
+                 "shard %d: log component %d newest seq %d exceeds DBVV[%d] = %d" s k
+                 latest k (Vv.get rep.dbvv k))
           else loop (k + 1)
       in
       loop 0
   in
   let check_flags () =
-    let stray = Store.fold (fun acc item -> acc || item.Item.is_selected) false t.store in
-    if stray then Error "stray IsSelected flag outside a propagation computation"
+    let stray =
+      Store.fold (fun acc item -> acc || item.Item.is_selected) false rep.store
+    in
+    if stray then
+      Error
+        (Printf.sprintf "shard %d: stray IsSelected flag outside a propagation" s)
     else Ok ()
   in
   match check_sum 0 with
   | Error _ as e -> e
   | Ok () -> (
-    match Log_vector.check_invariants t.logs with
-    | Error _ as e -> e
+    match Log_vector.check_invariants rep.logs with
+    | Error msg -> Error (Printf.sprintf "shard %d: %s" s msg)
     | Ok () -> (
       match check_log_bound () with Error _ as e -> e | Ok () -> check_flags ()))
+
+let check_summary t =
+  (* Summary DBVV = component-wise sum of the shard DBVVs; trivially
+     true (physically the same vector) when shards = 1. *)
+  let sums = Array.make t.n 0 in
+  Array.iter
+    (fun (rep : Replica.t) ->
+      for l = 0 to t.n - 1 do
+        sums.(l) <- sums.(l) + Vv.get rep.dbvv l
+      done)
+    t.replicas;
+  let rec loop l =
+    if l >= t.n then Ok ()
+    else if sums.(l) <> Vv.get t.summary l then
+      Error
+        (Printf.sprintf "summary DBVV[%d] = %d but shard DBVVs sum to %d" l
+           (Vv.get t.summary l) sums.(l))
+    else loop (l + 1)
+  in
+  loop 0
+
+let check_invariants ?(log_bound = true) t =
+  let rec per_shard s =
+    if s >= t.shards then Ok ()
+    else
+      match check_replica_invariants ~log_bound t s with
+      | Error _ as e -> e
+      | Ok () -> per_shard (s + 1)
+  in
+  match per_shard 0 with Error _ as e -> e | Ok () -> check_summary t

@@ -1,12 +1,19 @@
 (** A replication node running the paper's protocol (§4–§5).
 
-    Per-node state (paper §4): the store of regular data item replicas
-    with their IVVs, the database version vector [V_i] (§4.1), the log
-    vector [L_i] (§4.2), and the auxiliary structures for out-of-bound
-    data — auxiliary copies with auxiliary IVVs (§4.3) and the auxiliary
-    log (§4.4).
+    Per-node state (paper §4) now lives in one or more shard replicas
+    ({!Replica.t}): each shard is a self-contained store + DBVV + log
+    vector + auxiliary structures unit, and items are mapped to shards
+    by the deterministic hash {!Shard_map.shard_of}. The node itself is
+    a thin shell that routes operations to the owning shard, maintains
+    the {e summary DBVV} (component-wise sum of the shard DBVVs — the
+    O(n) you-are-current answer regardless of the shard count), and
+    runs propagation sessions per shard, skipping shards the recipient
+    already dominates (counter [shards_skipped]). With [shards = 1]
+    (the default) every wire byte, WAL byte and counter is identical to
+    the pre-sharding node. See DESIGN.md §7.
 
-    The protocol procedures map one-to-one onto the paper's figures:
+    The protocol procedures map one-to-one onto the paper's figures
+    (the bodies live in {!Protocol}):
 
     - {!update} — §5.3;
     - {!handle_propagation_request} — [SendPropagation], Figure 2,
@@ -22,7 +29,7 @@
 
 type t
 
-type resolution_policy =
+type resolution_policy = Protocol.resolution_policy =
   | Report_only
       (** The paper's behaviour: declare the conflict, skip the item,
           drop its records from the received tails (Fig. 3). *)
@@ -35,7 +42,7 @@ type resolution_policy =
           always report-only, since the remote value cannot be
           reconstructed from operations against a diverged base. *)
 
-type propagation_mode =
+type propagation_mode = Protocol.propagation_mode =
   | Whole_item
       (** Ship full item values — the paper's presentation choice
           ("We chose whole data copying as the presentation context",
@@ -44,15 +51,18 @@ type propagation_mode =
       (** Ship update records instead (the paper's alternative
           transport, §2; what Oracle Symmetric Replication does). Each
           replica retains the last [depth] operations per item, tagged
-          with origin and global sequence number. An item is shipped as
-          a [Delta] when the source can prove, from the recipient's
-          DBVV and its retained history, that the shipped operations
-          are exactly the missing suffix; otherwise it falls back to a
-          [Whole] copy (counted in [Counters.whole_fallbacks]). All
-          nodes of a cluster must use the same mode. *)
+          with origin and per-shard sequence number. An item is shipped
+          as a [Delta] when the source can prove, from the recipient's
+          per-shard DBVV and its retained history, that the shipped
+          operations are exactly the missing suffix; otherwise it falls
+          back to a [Whole] copy (counted in
+          [Counters.whole_fallbacks]). All nodes of a cluster must use
+          the same mode. *)
 
-type accept_result = {
-  copied : string list;  (** Items adopted from the source, in arrival order. *)
+type accept_result = Protocol.accept_result = {
+  copied : string list;
+      (** Items adopted from the source, in arrival order (ascending
+          shard order for sharded sessions). *)
   conflicts : int;  (** Conflicts declared while accepting. *)
   resolved : int;  (** Conflicts auto-resolved (only with [Resolve _]). *)
 }
@@ -67,12 +77,17 @@ val create :
   ?policy:resolution_policy ->
   ?conflict_handler:(Conflict.t -> unit) ->
   ?mode:propagation_mode ->
+  ?shards:int ->
   id:int ->
   n:int ->
   unit ->
   t
 (** [create ~id ~n ()] is a fresh node [id] in a replica set of size
-    [n], with empty database. [id] must lie in [\[0, n)]. *)
+    [n], with empty database. [id] must lie in [\[0, n)]. [shards]
+    (default 1) partitions the database into that many independent
+    shard replicas; all nodes of a cluster must use the same shard
+    count (sessions between nodes with different shard counts are
+    rejected). *)
 
 (** {1 Accessors} *)
 
@@ -82,14 +97,35 @@ val dimension : t -> int
 
 val mode : t -> propagation_mode
 
+val shards : t -> int
+(** The shard count fixed at creation. *)
+
+val replica : t -> int -> Replica.t
+(** [replica t s] is shard [s]'s state. Read-only by convention (like
+    {!store}); used by the persistence layer and the invariant
+    checker. *)
+
+val shard_of_item : t -> string -> int
+(** The shard that owns [item] — [Shard_map.shard_of] at this node's
+    shard count. *)
+
 val dbvv : t -> Edb_vv.Version_vector.t
-(** [dbvv t] is a snapshot copy of the node's database version vector. *)
+(** [dbvv t] is a snapshot copy of the node's summary database version
+    vector (the single DBVV when unsharded). *)
 
 val dbvv_view : t -> Edb_vv.Version_vector.t
-(** The live database version vector itself, not a copy. Read-only by
-    convention (like {!store}); mutating it bypasses the protocol. Use
-    on hot paths — steady-state convergence checks and cached-skip
-    decisions — where the per-call copy of {!dbvv} is measurable. *)
+(** The live summary database version vector itself, not a copy.
+    Read-only by convention (like {!store}); mutating it bypasses the
+    protocol. Use on hot paths — steady-state convergence checks and
+    cached-skip decisions — where the per-call copy of {!dbvv} is
+    measurable. *)
+
+val shard_dbvv_view : t -> int -> Edb_vv.Version_vector.t
+(** The live per-shard DBVV of the given shard (read-only by
+    convention). *)
+
+val shard_dbvvs : t -> Edb_vv.Version_vector.t array
+(** Snapshot copies of every shard DBVV, indexed by shard. *)
 
 val revision : t -> int
 (** A monotone counter bumped on every state mutation (user updates,
@@ -107,12 +143,28 @@ val counters : t -> Edb_metrics.Counters.t
 (** The node's live cost counters (mutable; reset between experiments). *)
 
 val store : t -> Edb_store.Store.t
-(** The regular item store. Exposed read-only by convention — mutating
-    it directly bypasses version accounting. *)
+(** The regular item store of an {e unsharded} node. Exposed read-only
+    by convention — mutating it directly bypasses version accounting.
+    Raises [Invalid_argument] when [shards > 1]; use {!replica} or the
+    item iterators below instead. *)
 
 val log_vector : t -> Edb_log.Log_vector.t
+(** The log vector of an unsharded node; [Invalid_argument] when
+    [shards > 1]. *)
 
 val aux_log : t -> Edb_log.Aux_log.t
+(** The auxiliary log of an unsharded node; [Invalid_argument] when
+    [shards > 1]. *)
+
+val iter_items : (Edb_store.Item.t -> unit) -> t -> unit
+(** Visit every regular item across all shards, in ascending shard
+    order and ascending name order within a shard. *)
+
+val fold_items : ('acc -> Edb_store.Item.t -> 'acc) -> 'acc -> t -> 'acc
+(** Fold over every regular item, same order as {!iter_items}. *)
+
+val find_item : t -> string -> Edb_store.Item.t option
+(** The regular item replica, looked up in its owning shard. *)
 
 val read : t -> string -> string option
 (** [read t item] is the user-visible value: the auxiliary copy when one
@@ -129,8 +181,8 @@ val has_aux : t -> string -> bool
 (** Whether an auxiliary copy of the item currently exists. *)
 
 val aux_count : t -> int
-(** Number of auxiliary copies currently held — O(1); lets convergence
-    checks skip the per-item {!has_aux} scan. *)
+(** Number of auxiliary copies currently held across all shards — O(P);
+    lets convergence checks skip the per-item {!has_aux} scan. *)
 
 val aux_vv : t -> string -> Edb_vv.Version_vector.t option
 (** The auxiliary copy's IVV, when one exists (a snapshot copy). *)
@@ -152,35 +204,54 @@ val update : t -> string -> Edb_store.Operation.t -> unit
 (** [update t item op] performs a user update: on the auxiliary copy —
     appending an auxiliary log record carrying the pre-update IVV and
     the operation — if one exists, otherwise on the regular copy,
-    bumping the IVV and DBVV own-components and appending the regular
-    log record [(item, V_ii)]. *)
+    bumping the IVV and the owning shard's DBVV (and summary DBVV)
+    own-components and appending the shard's regular log record
+    [(item, V_ii)]. *)
 
 (** {1 Update propagation (§5.1)} *)
 
 val propagation_request : t -> Message.propagation_request
-(** The request the recipient sends to start a session: its DBVV. The
-    request {e borrows} the live DBVV (no copy — this is the per-pull
-    allocation on the steady-state path): consume it synchronously, i.e.
-    hand it to {!handle_propagation_request} or serialize it before the
-    requesting node applies any further update. *)
+(** The request the recipient sends to start a session: its summary
+    DBVV plus, when sharded, its per-shard DBVVs. The request
+    {e borrows} the live vectors (no copy — this is the per-pull
+    allocation on the steady-state path): consume it synchronously,
+    i.e. hand it to {!handle_propagation_request} or serialize it
+    before the requesting node applies any further update. *)
+
+val propagation_request_owned : t -> Message.propagation_request
+(** Like {!propagation_request} but with snapshot copies of every
+    vector, safe to retain — what a transported (simulator) request
+    must carry. *)
 
 val handle_propagation_request :
-  t -> Message.propagation_request -> Message.propagation_reply
+  ?domains:int -> t -> Message.propagation_request -> Message.propagation_reply
 (** [SendPropagation] (Fig. 2), executed at the source. O(1) when the
-    recipient is current, O(m) otherwise (§6). *)
+    recipient is current (one summary-vector comparison regardless of
+    the shard count), O(m) otherwise (§6). Sharded sessions compare
+    per-shard DBVVs and skip converged shards individually (counter
+    [shards_skipped]); with [domains > 1] the per-shard deltas are
+    built in parallel (identical result and counters — the per-shard
+    scratch counters merge commutatively). Raises [Invalid_argument]
+    when the request's shard count differs from this node's. *)
 
-val accept_propagation : t -> source:int -> Message.propagation_reply -> accept_result
+val accept_propagation :
+  ?domains:int -> t -> source:int -> Message.propagation_reply -> accept_result
 (** [AcceptPropagation] (Fig. 3) followed by [IntraNodePropagation]
-    (Fig. 4), executed at the recipient. Records referring to
-    conflicting items are dropped from the tails before they are
-    appended to the local logs; stale records (sequence number not above
-    the local component's newest — possible only after an earlier,
-    already-reported conflict) are skipped. *)
+    (Fig. 4), executed at the recipient — per shard for sharded
+    replies, in ascending shard order. Records referring to conflicting
+    items are dropped from the tails before they are appended to the
+    local logs; stale records (sequence number not above the local
+    component's newest — possible only after an earlier,
+    already-reported conflict) are skipped. With [domains > 1] shards
+    are accepted in parallel against scratch sinks merged in shard
+    order, which is deterministic; conflict {e handlers} then run after
+    the parallel section rather than interleaved, so a handler that
+    mutates the node requires [domains = 1] (the default). *)
 
 val intra_node_propagation : t -> string list -> unit
-(** [IntraNodePropagation] (Fig. 4) over the given items. Called
-    automatically by {!accept_propagation} on the items it copied;
-    exposed for direct testing. *)
+(** [IntraNodePropagation] (Fig. 4) over the given items, each routed
+    to its owning shard. Called automatically by {!accept_propagation}
+    on the items it copied; exposed for direct testing. *)
 
 (** {1 Out-of-bound copying (§5.2)} *)
 
@@ -195,12 +266,15 @@ val accept_out_of_bound : t -> source:int -> Message.oob_reply -> oob_result
 
 (** {1 Whole sessions between in-process nodes} *)
 
-val pull : recipient:t -> source:t -> pull_result
-(** One propagation session: recipient sends its DBVV, source runs
+val pull : ?domains:int -> recipient:t -> source:t -> unit -> pull_result
+(** One propagation session: recipient sends its DBVV(s), source runs
     [SendPropagation], recipient runs [AcceptPropagation]. Message
-    counts and bytes are charged to each sender's counters. *)
+    counts and bytes are charged to each sender's counters. [domains]
+    bounds the per-shard parallelism of both halves (default 1 =
+    sequential). Raises [Invalid_argument] if the two nodes' shard
+    counts differ. *)
 
-val sync_pair : t -> t -> unit
+val sync_pair : ?domains:int -> t -> t -> unit
 (** [sync_pair a b] pulls in both directions ([a] from [b], then [b]
     from [a]), the usual full anti-entropy exchange. *)
 
@@ -212,30 +286,33 @@ val fetch_out_of_bound : recipient:t -> source:t -> string -> oob_result
     A faithful, self-contained value representation of a node's entire
     durable state, used by the persistence layer ([edb_persist]) to
     checkpoint and recover nodes. Export and re-import round-trips
-    every structure the protocol depends on: items with IVVs, the DBVV,
-    the log vector (in origin order), auxiliary copies and the
-    auxiliary log (in arrival order). *)
+    every structure the protocol depends on, shard by shard: items with
+    IVVs, the per-shard DBVV, the per-shard log vector (in origin
+    order), auxiliary copies and the auxiliary log (in arrival order).
+    Exports are deterministic by construction: item lists are in
+    ascending name order (the store iterates sorted), auxiliary items
+    are sorted, and the summary DBVV is re-derived on import. *)
 
 module State : sig
   type item = { name : string; value : string; ivv : int array }
 
   type aux_record = { item : string; ivv : int array; op : Edb_store.Operation.t }
 
-  type t = {
-    id : int;
-    n : int;
-    items : item list;
+  type shard = {
+    items : item list;  (** Ascending name order. *)
     dbvv : int array;
     logs : (string * int) list array;  (** Per origin, [(item, seq)] oldest first. *)
-    aux_items : item list;
+    aux_items : item list;  (** Ascending name order. *)
     aux_log : aux_record list;  (** Oldest first. *)
   }
+
+  type t = { id : int; n : int; shards : shard array }
 end
 
 val export_state : t -> State.t
 (** [export_state t] is a deep copy of [t]'s durable state. Volatile
-    state (counters, conflict reports, scratch flags) is not part of
-    it. *)
+    state (counters, conflict reports, scratch flags, the peer cache)
+    is not part of it. *)
 
 val import_state :
   ?policy:resolution_policy ->
@@ -243,8 +320,9 @@ val import_state :
   ?mode:propagation_mode ->
   State.t ->
   t
-(** [import_state state] reconstructs a node. Raises [Invalid_argument]
-    if the state is structurally inconsistent (bad dimensions,
+(** [import_state state] reconstructs a node with
+    [Array.length state.shards] shards. Raises [Invalid_argument] if
+    the state is structurally inconsistent (bad dimensions,
     non-monotonic log sequences). The reconstructed node satisfies
     {!check_invariants} whenever the exported one did. Per-item op
     histories are volatile and not part of the state: a node restored
@@ -254,15 +332,18 @@ val import_state :
 (** {1 Introspection} *)
 
 val check_invariants : ?log_bound:bool -> t -> (unit, string) result
-(** Verifies the node-local structural invariants:
-    - [V_i\[l\] = Σ_x v_i(x)\[l\]] for every origin [l] — the DBVV counts
-      exactly the updates reflected by the regular items (§4.1);
+(** Verifies the node-local structural invariants, shard by shard:
+    - shard DBVV [V_i\[l\] = Σ_x v_i(x)\[l\]] for every origin [l] — each
+      shard's DBVV counts exactly the updates reflected by its regular
+      items (§4.1);
     - every log component is ordered and deduplicated with a consistent
       pointer map (§4.2);
     - when the node has seen no conflicts, component [k]'s newest record
-      has sequence number at most [V_i\[k\]];
+      has sequence number at most the shard's [V_i\[k\]];
     - no item carries a stray [IsSelected] flag outside a propagation
-      computation (§6).
+      computation (§6);
+    - the summary DBVV equals the component-wise sum of the shard
+      DBVVs.
 
     The [seq <= V_i\[k\]] bound is a consequence of the per-origin
     prefix property, which a report-only conflict breaks {e globally}:

@@ -2,29 +2,44 @@ module Vv = Edb_vv.Version_vector
 
 type entry = {
   proven : Vv.t;
-      (* Highest DBVV this node has proven the peer to hold. Grows by
-         merge only, so with monotone peer DBVVs it stays a sound lower
-         bound until the peer is rolled back, at which point the owner
-         must call [forget_peer]. *)
+      (* Highest DBVV this node has proven the peer to hold — the
+         summary DBVV when the peer is sharded. Grows by merge only, so
+         with monotone peer DBVVs it stays a sound lower bound until
+         the peer is rolled back, at which point the owner must call
+         [forget_peer]. *)
+  proven_shards : Vv.t array;
+      (* Per-shard lower bounds, same merge discipline. Length is the
+         owner's shard count; all-zero entries mean nothing was ever
+         proven about that shard. *)
   mutable current : bool;
   mutable epoch : int;
       (* Cluster epoch at which [current] was established. *)
 }
 
-type t = { n : int; entries : entry option array }
+type t = { n : int; shards : int; entries : entry option array }
 
-let create ~n =
+let create ?(shards = 1) ~n () =
   if n <= 0 then invalid_arg "Peer_cache.create: n must be positive";
-  { n; entries = Array.make n None }
+  if shards < 1 then invalid_arg "Peer_cache.create: shards must be >= 1";
+  { n; shards; entries = Array.make n None }
 
 let dimension t = t.n
+
+let shards t = t.shards
 
 let entry t ~peer =
   if peer < 0 || peer >= t.n then invalid_arg "Peer_cache: peer out of range";
   match t.entries.(peer) with
   | Some e -> e
   | None ->
-    let e = { proven = Vv.create ~n:t.n; current = false; epoch = min_int } in
+    let e =
+      {
+        proven = Vv.create ~n:t.n;
+        proven_shards = Array.init t.shards (fun _ -> Vv.create ~n:t.n);
+        current = false;
+        epoch = min_int;
+      }
+    in
     t.entries.(peer) <- Some e;
     e
 
@@ -32,9 +47,21 @@ let note_proven t ~peer vv =
   let e = entry t ~peer in
   Vv.merge_into e.proven ~from:vv
 
+let note_proven_shard t ~peer ~shard vv =
+  let e = entry t ~peer in
+  if shard < 0 || shard >= t.shards then
+    invalid_arg "Peer_cache.note_proven_shard: shard out of range";
+  Vv.merge_into e.proven_shards.(shard) ~from:vv
+
 let proven t ~peer =
   if peer < 0 || peer >= t.n then invalid_arg "Peer_cache: peer out of range";
   Option.map (fun e -> Vv.copy e.proven) t.entries.(peer)
+
+let proven_shard t ~peer ~shard =
+  if peer < 0 || peer >= t.n then invalid_arg "Peer_cache: peer out of range";
+  if shard < 0 || shard >= t.shards then
+    invalid_arg "Peer_cache.proven_shard: shard out of range";
+  Option.map (fun e -> Vv.copy e.proven_shards.(shard)) t.entries.(peer)
 
 let mark_current t ~peer ~epoch =
   let e = entry t ~peer in

@@ -32,18 +32,32 @@
 
 type t
 
-val create : n:int -> t
-(** [create ~n] is an empty cache over peers [0 .. n-1]. *)
+val create : ?shards:int -> n:int -> unit -> t
+(** [create ~n] is an empty cache over peers [0 .. n-1]. [shards]
+    (default 1) is the owner's shard count; it sizes the per-shard
+    proven vectors. *)
 
 val dimension : t -> int
+
+val shards : t -> int
 
 val note_proven : t -> peer:int -> Edb_vv.Version_vector.t -> unit
 (** [note_proven t ~peer vv] records proof that [peer] holds at least
     [vv], merging component-wise into the existing lower bound. *)
 
 val proven : t -> peer:int -> Edb_vv.Version_vector.t option
-(** The current lower bound on [peer]'s DBVV (a snapshot copy), if any
-    session ever proved one. *)
+(** The current lower bound on [peer]'s DBVV — the summary DBVV when
+    the peer is sharded — (a snapshot copy), if any session ever
+    proved one. *)
+
+val note_proven_shard : t -> peer:int -> shard:int -> Edb_vv.Version_vector.t -> unit
+(** [note_proven_shard t ~peer ~shard vv] records proof that [peer]'s
+    per-shard DBVV for [shard] is at least [vv], merged component-wise
+    like {!note_proven}. *)
+
+val proven_shard : t -> peer:int -> shard:int -> Edb_vv.Version_vector.t option
+(** The per-shard lower bound for [shard] (a snapshot copy; all-zero
+    until a session proves something about that shard). *)
 
 val mark_current : t -> peer:int -> epoch:int -> unit
 (** Record that, as of cluster [epoch], a session with [peer] would be

@@ -1,0 +1,25 @@
+(* FNV-1a, 64-bit. Chosen because it is trivially portable: the mapping
+   must agree across nodes and across processes, so it cannot depend on
+   [Hashtbl.hash] (whose value is not pinned across OCaml releases) or
+   on any seeded hash. *)
+
+let fnv_offset_basis = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash name =
+  let h = ref fnv_offset_basis in
+  for i = 0 to String.length name - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (String.unsafe_get name i)));
+    h := Int64.mul !h fnv_prime
+  done;
+  !h
+
+let shard_of ~shards name =
+  if shards <= 0 then invalid_arg "Shard_map.shard_of: shards must be positive";
+  if shards = 1 then 0
+  else
+    (* [Int64.to_int] truncates to the native 63-bit int, so a logical
+       shift alone can still land negative; mask the sign bit away
+       after truncation so the remainder is non-negative. *)
+    let h = Int64.to_int (Int64.shift_right_logical (hash name) 1) land max_int in
+    h mod shards

@@ -1,0 +1,18 @@
+(** Deterministic item → shard mapping.
+
+    Every node of a cluster must place a given item in the same shard,
+    and the placement must survive process restarts and be independent
+    of the replication factor [n] — otherwise two replicas would
+    disagree about which per-shard DBVV covers an update and the
+    summary-vector argument of DESIGN.md §7 collapses. The mapping is
+    therefore a pure function of the item name alone: FNV-1a (64-bit)
+    reduced modulo the shard count. *)
+
+val hash : string -> int64
+(** [hash name] is the raw FNV-1a 64-bit hash of [name]. Exposed so
+    tests can pin golden vectors. *)
+
+val shard_of : shards:int -> string -> int
+(** [shard_of ~shards name] is the shard index in [0, shards) that owns
+    [name]. [shards = 1] always yields [0] without hashing. Raises
+    [Invalid_argument] if [shards <= 0]. *)

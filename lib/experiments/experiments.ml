@@ -889,6 +889,79 @@ let e17_message_loss ?(quick = false) () =
     [ 0.0; 0.05; 0.2 ];
   table
 
+(* ------------------------------------------------------------------ *)
+(* E18 — sharded replicas: per-shard skipping and parallel sync        *)
+(* ------------------------------------------------------------------ *)
+
+let e18_sharded_replicas ?(quick = false) () =
+  let nodes = if quick then 8 else 16 in
+  let n_items = if quick then 64 else 256 in
+  let rounds = if quick then 4 else 10 in
+  let updates_per_round = if quick then 8 else 24 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E18: sharded replicas — %d steady-state ring rounds on %d nodes, \
+            %d items (1 KiB values), hot-shard Zipf updates (exponent 1.2, \
+            so most shards stay converged between rounds); a source skips \
+            every shard the recipient's per-shard DBVV already dominates, \
+            shipping zero bytes for it, and domains=4 fans per-shard delta \
+            work out over the domain pool (clamped to the host's cores)"
+           rounds nodes n_items)
+      ~columns:
+        [
+          "shards"; "domains"; "sessions"; "noop"; "shards skipped"; "bytes";
+          "wall ms";
+        ]
+  in
+  let run ~shards ~domains =
+    let cluster = Cluster.create ~shards ~n:nodes () in
+    (* Seed the full universe at node 0 and converge, so steady state
+       starts from identical replicas. *)
+    dirty_first_m
+      ~update:(fun ~node ~item ~op -> Cluster.update cluster ~node ~item op)
+      ~node:0 ~m:n_items ~seq:1;
+    for _ = 1 to nodes do
+      Cluster.ring_pull_round ~domains cluster
+    done;
+    assert (Cluster.converged cluster);
+    Cluster.reset_counters cluster;
+    (* Steady state: a Zipf-skewed trickle of updates — the hot items
+       cluster into few shards, leaving the rest converged — then a
+       ring round to spread them. *)
+    let selector = Workload.Selector.zipfian ~n:n_items ~exponent:1.2 in
+    let prng = Edb_util.Prng.create ~seed:(1800 + shards) in
+    let started = Unix.gettimeofday () in
+    for round = 1 to rounds do
+      for _ = 1 to updates_per_round do
+        let rank = Workload.Selector.pick selector prng in
+        Cluster.update cluster ~node:0 ~item:(item rank)
+          (Operation.Set
+             (Workload.payload ~item:(item rank) ~seq:(1 + round) ~size:1024))
+      done;
+      Cluster.ring_pull_round ~domains cluster
+    done;
+    let elapsed_ms = (Unix.gettimeofday () -. started) *. 1000.0 in
+    let totals = Cluster.total_counters cluster in
+    Table.add_row table
+      [
+        string_of_int shards;
+        string_of_int domains;
+        string_of_int totals.Counters.propagation_sessions;
+        string_of_int totals.Counters.noop_sessions;
+        string_of_int totals.Counters.shards_skipped;
+        string_of_int totals.Counters.bytes_sent;
+        Printf.sprintf "%.1f" elapsed_ms;
+      ]
+  in
+  List.iter
+    (fun shards ->
+      run ~shards ~domains:1;
+      if shards > 1 then run ~shards ~domains:4)
+    [ 1; 4; 16 ];
+  table
+
 let all ?(quick = false) () =
   [
     ("E1", e1_cost_vs_database_size ~quick ());
@@ -907,4 +980,5 @@ let all ?(quick = false) () =
     ("E14", e14_token_ablation ~quick ());
     ("E15", e15_peer_cache_savings ~quick ());
     ("E17", e17_message_loss ~quick ());
+    ("E18", e18_sharded_replicas ~quick ());
   ]

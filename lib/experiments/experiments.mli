@@ -101,5 +101,14 @@ val e17_message_loss : ?quick:bool -> unit -> Edb_metrics.Table.t
     buy convergence at higher loss for a measured message/byte
     premium. *)
 
+val e18_sharded_replicas : ?quick:bool -> unit -> Edb_metrics.Table.t
+(** E18 (extension) — sharded replicas (DESIGN.md §7): steady-state
+    ring rounds under a hot-shard Zipf update stream, shard counts
+    \{1, 4, 16\}. A propagation source consults the request's per-shard
+    DBVVs and skips every shard the recipient already dominates
+    ([shards_skipped]), shipping zero bytes for it, so session bytes
+    stay flat as the shard count grows while [domains = 4] shows the
+    intra-pair parallel speedup on the shards that do ship. *)
+
 val all : ?quick:bool -> unit -> (string * Edb_metrics.Table.t) list
 (** Every experiment, as [(id, table)] pairs in order. *)

@@ -17,6 +17,7 @@ type t = {
   mutable timeouts : int;
   mutable retries : int;
   mutable sessions_abandoned : int;
+  mutable shards_skipped : int;
 }
 
 let create () =
@@ -39,6 +40,7 @@ let create () =
     timeouts = 0;
     retries = 0;
     sessions_abandoned = 0;
+    shards_skipped = 0;
   }
 
 let reset t =
@@ -59,7 +61,8 @@ let reset t =
   t.sessions_skipped_cached <- 0;
   t.timeouts <- 0;
   t.retries <- 0;
-  t.sessions_abandoned <- 0
+  t.sessions_abandoned <- 0;
+  t.shards_skipped <- 0
 
 let copy t =
   {
@@ -81,6 +84,7 @@ let copy t =
     timeouts = t.timeouts;
     retries = t.retries;
     sessions_abandoned = t.sessions_abandoned;
+    shards_skipped = t.shards_skipped;
   }
 
 let add_into acc t =
@@ -101,7 +105,8 @@ let add_into acc t =
   acc.sessions_skipped_cached <- acc.sessions_skipped_cached + t.sessions_skipped_cached;
   acc.timeouts <- acc.timeouts + t.timeouts;
   acc.retries <- acc.retries + t.retries;
-  acc.sessions_abandoned <- acc.sessions_abandoned + t.sessions_abandoned
+  acc.sessions_abandoned <- acc.sessions_abandoned + t.sessions_abandoned;
+  acc.shards_skipped <- acc.shards_skipped + t.shards_skipped
 
 let diff ~after ~before =
   {
@@ -124,6 +129,7 @@ let diff ~after ~before =
     timeouts = after.timeouts - before.timeouts;
     retries = after.retries - before.retries;
     sessions_abandoned = after.sessions_abandoned - before.sessions_abandoned;
+    shards_skipped = after.shards_skipped - before.shards_skipped;
   }
 
 let total_work t =
@@ -150,4 +156,5 @@ let pp fmt t =
   field "timeouts" t.timeouts;
   field "retries" t.retries;
   field "sessions_abandoned" t.sessions_abandoned;
+  field "shards_skipped" t.shards_skipped;
   Format.fprintf fmt "@]"

@@ -48,6 +48,11 @@ type t = {
   mutable sessions_abandoned : int;
       (** Sessions given up after exhausting the retry budget — left
           for a later anti-entropy round, the paper's recovery story. *)
+  mutable shards_skipped : int;
+      (** Shards skipped individually inside a propagation session
+          because the recipient's per-shard DBVV already dominated the
+          source's — the sharded analogue of a you-are-current answer,
+          charged only when the node runs with [shards > 1]. *)
 }
 
 val create : unit -> t

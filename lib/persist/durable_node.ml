@@ -56,12 +56,12 @@ let apply_journal_record node record =
   | tag -> raise (Codec.Reader.Corrupt (Printf.sprintf "unknown journal tag %d" tag)));
   Codec.Reader.expect_end r
 
-let open_or_create ?policy ?mode ~dir ~id ~n () =
+let open_or_create ?policy ?mode ?(shards = 1) ~dir ~id ~n () =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let from_checkpoint =
     if Sys.file_exists (snapshot_path dir) then
       Snapshot.load ?policy ?mode ~path:(snapshot_path dir) ()
-    else Ok (Node.create ?policy ?mode ~id ~n ())
+    else Ok (Node.create ?policy ?mode ~shards ~id ~n ())
   in
   match from_checkpoint with
   | Error _ as e -> e
@@ -70,6 +70,10 @@ let open_or_create ?policy ?mode ~dir ~id ~n () =
       Error
         (Printf.sprintf "checkpoint is for node %d/%d, requested %d/%d" (Node.id node)
            (Node.dimension node) id n)
+    else if Node.shards node <> shards then
+      Error
+        (Printf.sprintf "checkpoint has %d shards, requested %d" (Node.shards node)
+           shards)
     else (
       match Wal.replay ~path:(wal_path dir) ~f:(apply_journal_record node) with
       | Error _ as e -> e
@@ -93,7 +97,7 @@ let pull_from t ~source =
   let reply = Node.handle_propagation_request source request in
   match reply with
   | Message.You_are_current -> Node.Already_current
-  | Message.Propagate _ ->
+  | Message.Propagate _ | Message.Propagate_sharded _ ->
     (* Journal before applying: the WAL append is the commit point.
        A crash before it (durable.journal.before, or a torn append via
        wal.append.partial) loses nothing — recovery sees the pre-session

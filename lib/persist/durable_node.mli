@@ -23,6 +23,7 @@ type t
 val open_or_create :
   ?policy:Edb_core.Node.resolution_policy ->
   ?mode:Edb_core.Node.propagation_mode ->
+  ?shards:int ->
   dir:string ->
   id:int ->
   n:int ->
@@ -31,8 +32,8 @@ val open_or_create :
 (** [open_or_create ~dir ~id ~n ()] loads the checkpoint in [dir] (or
     starts fresh) and replays the journal. The directory is created if
     missing. Fails if the checkpoint is unreadable or does not match
-    [id]/[n]. The replay result reports recovered records and whether a
-    torn tail was discarded. *)
+    [id]/[n]/[shards] (default 1). The replay result reports recovered
+    records and whether a torn tail was discarded. *)
 
 val node : t -> Edb_core.Node.t
 (** The live node. Read through it freely; mutate only through the

@@ -84,6 +84,17 @@ let encode_propagation_reply w (reply : Message.propagation_reply) =
       tails;
     Codec.Writer.list w encode_shipped_item items
 
+  | Message.Propagate_sharded deltas ->
+    Codec.Writer.int w 2;
+    Codec.Writer.list w
+      (fun w (d : Message.shard_delta) ->
+        Codec.Writer.int w d.shard;
+        Codec.Writer.array w
+          (fun w records -> Codec.Writer.list w encode_log_record records)
+          d.tails;
+        Codec.Writer.list w encode_shipped_item d.items)
+      deltas
+
 let decode_propagation_reply r =
   match Codec.Reader.int r with
   | 0 -> Message.You_are_current
@@ -91,6 +102,16 @@ let decode_propagation_reply r =
     let tails = Codec.Reader.array r (fun r -> Codec.Reader.list r decode_log_record) in
     let items = Codec.Reader.list r decode_shipped_item in
     Message.Propagate { tails; items }
+  | 2 ->
+    let decode_shard_delta r =
+      let shard = Codec.Reader.int r in
+      let tails =
+        Codec.Reader.array r (fun r -> Codec.Reader.list r decode_log_record)
+      in
+      let items = Codec.Reader.list r decode_shipped_item in
+      { Message.shard; tails; items }
+    in
+    Message.Propagate_sharded (Codec.Reader.list r decode_shard_delta)
   | tag -> corrupt "unknown reply tag %d" tag
 
 let encode_oob_reply w (reply : Message.oob_reply) =

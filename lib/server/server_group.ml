@@ -19,12 +19,14 @@ let create ?(seed = 42) ~n () =
 
 let n t = t.n
 
-let create_database ?policy ?mode t name =
+let create_database ?policy ?mode ?shards t name =
   if Hashtbl.mem t.databases name then
     Error (Printf.sprintf "database %S already exists" name)
   else begin
     t.next_db_seed <- t.next_db_seed + 1;
-    let cluster = Cluster.create ~seed:t.next_db_seed ?policy ?mode ~n:t.n () in
+    let cluster =
+      Cluster.create ~seed:t.next_db_seed ?policy ?mode ?shards ~n:t.n ()
+    in
     Hashtbl.add t.databases name { cluster; mode };
     Ok ()
   end
@@ -105,8 +107,13 @@ let database_clusters t =
 
 let sync_all ?(domains = 1) t =
   let tasks = Array.of_list (database_clusters t) in
+  (* Domains left over after one-per-database go to intra-pair shard
+     parallelism inside each cluster: with a single fat sharded
+     database, [domains = 4] means one domain driving the session and
+     per-shard delta construction/acceptance fanned over all four. *)
+  let per_cluster = max 1 (domains / max 1 (Array.length tasks)) in
   let sync (name, cluster) =
-    match Cluster.sync_until_converged cluster with
+    match Cluster.sync_until_converged ~domains:per_cluster cluster with
     | rounds -> (name, rounds)
     | exception Failure _ -> (name, -1)
   in

@@ -23,11 +23,12 @@ val n : t -> int
 val create_database :
   ?policy:Edb_core.Node.resolution_policy ->
   ?mode:Edb_core.Node.propagation_mode ->
+  ?shards:int ->
   t ->
   string ->
   (unit, string) result
-(** [create_database t name] starts a new protocol instance. Fails if
-    the name is taken. *)
+(** [create_database t name] starts a new protocol instance ([shards]
+    per-node shard count, default 1). Fails if the name is taken. *)
 
 val drop_database : t -> string -> (unit, string) result
 
@@ -57,7 +58,9 @@ val sync_database : t -> db:string -> (int, string) result
 
 val sync_all : ?domains:int -> t -> (string * int) list
 (** {!sync_database} for every database. [domains] (default 1) fans the
-    databases out over that many OCaml domains: databases are
+    databases out over that many OCaml domains; domains left over after
+    one per database are given to each cluster for intra-pair per-shard
+    parallelism (see {!Edb_core.Node.pull}). Databases are
     share-nothing protocol instances with independent, deterministically
     seeded PRNGs, so the result — rounds per database {e and} every
     replica's final state — is bitwise-identical to the sequential run

@@ -1,8 +1,16 @@
-type t = { items : (string, Item.t) Hashtbl.t; n : int }
+type t = {
+  items : (string, Item.t) Hashtbl.t;
+  n : int;
+  mutable sorted : Item.t array;
+      (* Items in ascending name order, rebuilt lazily. Items are
+         add-only (there is no delete), so a single dirty bit set on
+         insertion keeps the cache coherent. *)
+  mutable dirty : bool;
+}
 
 let create ~n =
   if n <= 0 then invalid_arg "Store.create: dimension must be positive";
-  { items = Hashtbl.create 64; n }
+  { items = Hashtbl.create 64; n; sorted = [||]; dirty = false }
 
 let dimension t = t.n
 
@@ -14,16 +22,28 @@ let find_or_create t name =
   | None ->
     let item = Item.create ~name ~n:t.n in
     Hashtbl.add t.items name item;
+    t.dirty <- true;
     item
 
 let mem t name = Hashtbl.mem t.items name
 
 let size t = Hashtbl.length t.items
 
-let iter f t = Hashtbl.iter (fun _ item -> f item) t.items
+let sorted_items t =
+  if t.dirty then begin
+    let acc = ref [] in
+    Hashtbl.iter (fun _ item -> acc := item :: !acc) t.items;
+    let arr = Array.of_list !acc in
+    Array.sort (fun a b -> String.compare a.Item.name b.Item.name) arr;
+    t.sorted <- arr;
+    t.dirty <- false
+  end;
+  t.sorted
 
-let fold f init t = Hashtbl.fold (fun _ item acc -> f acc item) t.items init
+let iter f t = Array.iter f (sorted_items t)
 
-let names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.items []
+let fold f init t = Array.fold_left f init (sorted_items t)
+
+let names t = Array.to_list (Array.map (fun item -> item.Item.name) (sorted_items t))
 
 let total_value_bytes t = fold (fun acc item -> acc + Item.value_size item) 0 t

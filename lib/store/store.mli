@@ -28,11 +28,15 @@ val size : t -> int
 (** [size t] is the number of materialized items. *)
 
 val iter : (Item.t -> unit) -> t -> unit
+(** [iter f t] visits every item in ascending name order, so anything
+    derived from a store traversal (snapshots, shipped tails, copied
+    lists) is deterministic by construction. *)
 
 val fold : ('acc -> Item.t -> 'acc) -> 'acc -> t -> 'acc
+(** Folds in ascending name order; see {!iter}. *)
 
 val names : t -> string list
-(** [names t] is the materialized item names, in unspecified order. *)
+(** [names t] is the materialized item names, in ascending order. *)
 
 val total_value_bytes : t -> int
 (** [total_value_bytes t] is the sum of value sizes, for the cost

@@ -121,6 +121,7 @@ let test_run_schedule_direct () =
         ];
       corrupt_at = None;
       granular = false;
+      shards = 1;
     }
   in
   match Explorer.run_schedule schedule with
@@ -151,6 +152,7 @@ let test_run_schedule_granular_direct () =
         ];
       corrupt_at = None;
       granular = true;
+      shards = 1;
     }
   in
   match Explorer.run_schedule schedule with

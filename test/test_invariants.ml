@@ -117,9 +117,9 @@ let test_all_drivers () = List.iter run_fixed_schedule (subjects ())
 
 (* The invariant checker on randomized single-writer scripts (both
    propagation modes), sharing the suite's workload generator. *)
-let prop_invariants_randomized mode name =
+let prop_invariants_randomized ?(shards = 1) mode name =
   QCheck2.Test.make ~name ~count:60 (Gen.actions ~nodes:4 ~items:6) (fun actions ->
-      let cluster = Cluster.create ~seed:29 ~mode ~n:4 () in
+      let cluster = Cluster.create ~seed:29 ~mode ~shards ~n:4 () in
       let monitor = Invariant.monitor ~n:4 in
       let observe () =
         for i = 0 to 3 do
@@ -216,6 +216,13 @@ let suite =
       (prop_invariants_randomized
          (Node.Op_log { depth = 6 })
          "invariants hold (op-log mode)");
+    QCheck_alcotest.to_alcotest
+      (prop_invariants_randomized ~shards:4 Node.Whole_item
+         "invariants hold (4 shards)");
+    QCheck_alcotest.to_alcotest
+      (prop_invariants_randomized ~shards:7
+         (Node.Op_log { depth = 6 })
+         "invariants hold (7 shards, op-log mode)");
     Alcotest.test_case "wal recovery preserves invariants" `Quick
       test_wal_recovery_invariants;
     Alcotest.test_case "checker rejects corrupted state" `Quick

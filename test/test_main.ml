@@ -8,6 +8,7 @@ let () =
       ("zipf", Test_zipf.suite);
       ("version-vector", Test_vv.suite);
       ("store", Test_store.suite);
+      ("shard-map", Test_shard_map.suite);
       ("log", Test_log.suite);
       ("node", Test_node.suite);
       ("message", Test_message.suite);
@@ -28,6 +29,7 @@ let () =
       ("op-log", Test_oplog.suite);
       ("server-group", Test_server.suite);
       ("invariants", Test_invariants.suite);
+      ("sharding", Test_sharding.suite);
       ("explorer", Test_explorer.suite);
       ("wal", Test_wal.suite);
       ("fault", Test_fault.suite);

@@ -13,7 +13,7 @@ let test_vv_bytes () =
   Alcotest.(check int) "8 bytes per component" 24 (Message.vv_bytes (vv [ 1; 2; 3 ]))
 
 let test_request_bytes () =
-  let request = { Message.recipient = 0; recipient_dbvv = vv [ 0; 0 ] } in
+  let request = { Message.recipient = 0; recipient_dbvv = vv [ 0; 0 ]; recipient_shard_dbvvs = [||] } in
   Alcotest.(check int) "id + vv" (8 + 16) (Message.request_bytes request)
 
 let test_you_are_current_bytes () =

@@ -56,7 +56,7 @@ let test_identical_replicas_noop () =
 let test_basic_propagation () =
   let a, b = make_pair () in
   Node.update a "x" (set "v1");
-  (match Node.pull ~recipient:b ~source:a with
+  (match Node.pull ~recipient:b ~source:a () with
   | Node.Pulled { copied; conflicts; resolved } ->
     Alcotest.(check (list string)) "copied x" [ "x" ] copied;
     Alcotest.(check int) "no conflicts" 0 conflicts;
@@ -76,10 +76,10 @@ let test_basic_propagation () =
 let test_pull_twice_second_is_noop () =
   let a, b = make_pair () in
   Node.update a "x" (set "v1");
-  (match Node.pull ~recipient:b ~source:a with
+  (match Node.pull ~recipient:b ~source:a () with
   | Node.Pulled _ -> ()
   | Node.Already_current -> Alcotest.fail "first pull should copy");
-  match Node.pull ~recipient:b ~source:a with
+  match Node.pull ~recipient:b ~source:a () with
   | Node.Already_current -> ()
   | Node.Pulled _ -> Alcotest.fail "second pull should be a no-op"
 
@@ -89,7 +89,7 @@ let test_propagation_ships_only_dirty_items () =
   for i = 0 to 49 do
     Node.update a (Printf.sprintf "item-%02d" i) (set "base")
   done;
-  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a () in
   (* One fresh update: the next session must ship exactly one item. *)
   Node.update a "item-07" (set "fresh");
   (match Node.handle_propagation_request a (Node.propagation_request b) with
@@ -100,6 +100,7 @@ let test_propagation_ships_only_dirty_items () =
     (match items with
     | [ shipped ] -> Alcotest.(check string) "right item" "item-07" shipped.Message.name
     | _ -> Alcotest.fail "expected singleton")
+  | Message.Propagate_sharded _ -> Alcotest.fail "sharded reply from a 1-shard node"
   | Message.You_are_current -> Alcotest.fail "expected propagation");
   expect_ok a
 
@@ -109,6 +110,7 @@ let test_is_selected_flags_reset () =
   Node.update a "y" (set "v2");
   (match Node.handle_propagation_request a (Node.propagation_request b) with
   | Message.Propagate _ -> ()
+  | Message.Propagate_sharded _ -> Alcotest.fail "sharded reply from a 1-shard node"
   | Message.You_are_current -> Alcotest.fail "expected propagation");
   (* check_invariants includes the stray-flag check. *)
   expect_ok a
@@ -118,9 +120,9 @@ let test_transitive_propagation () =
   let b = Node.create ~id:1 ~n:3 () in
   let c = Node.create ~id:2 ~n:3 () in
   Node.update a "x" (set "v1");
-  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a () in
   (* c hears about a's update via b only. *)
-  let (_ : Node.pull_result) = Node.pull ~recipient:c ~source:b in
+  let (_ : Node.pull_result) = Node.pull ~recipient:c ~source:b () in
   Alcotest.(check (option string)) "c got the value" (Some "v1") (Node.read c "x");
   check_vv "c's dbvv" [| 1; 0; 0 |] (Node.dbvv c);
   expect_ok c
@@ -135,10 +137,10 @@ let test_indirectly_identical_detected_in_constant_time () =
   for i = 0 to 19 do
     Node.update a (Printf.sprintf "i%02d" i) (set "v")
   done;
-  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
-  let (_ : Node.pull_result) = Node.pull ~recipient:c ~source:a in
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a () in
+  let (_ : Node.pull_result) = Node.pull ~recipient:c ~source:a () in
   let before = Edb_metrics.Counters.copy (Node.counters c) in
-  (match Node.pull ~recipient:b ~source:c with
+  (match Node.pull ~recipient:b ~source:c () with
   | Node.Already_current -> ()
   | Node.Pulled _ -> Alcotest.fail "replicas are identical");
   let cost =
@@ -156,7 +158,7 @@ let test_dbvv_rule_3 () =
   Node.update a "x" (set "v1");
   Node.update a "x" (set "v2");
   Node.update a "y" (set "w");
-  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a () in
   check_vv "b's dbvv equals a's" (Vv.to_array (Node.dbvv a)) (Node.dbvv b);
   expect_ok b
 
@@ -164,7 +166,7 @@ let test_conflict_detected () =
   let a, b = make_pair () in
   Node.update a "x" (set "from-a");
   Node.update b "x" (set "from-b");
-  (match Node.pull ~recipient:b ~source:a with
+  (match Node.pull ~recipient:b ~source:a () with
   | Node.Pulled { copied; conflicts; _ } ->
     Alcotest.(check int) "one conflict" 1 conflicts;
     Alcotest.(check (list string)) "nothing adopted" [] copied
@@ -186,8 +188,8 @@ let test_conflict_detected_on_both_sides () =
   let a, b = make_pair () in
   Node.update a "x" (set "from-a");
   Node.update b "x" (set "from-b");
-  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
-  let (_ : Node.pull_result) = Node.pull ~recipient:a ~source:b in
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a () in
+  let (_ : Node.pull_result) = Node.pull ~recipient:a ~source:b () in
   Alcotest.(check int) "a saw it too" 1 (List.length (Node.conflicts a))
 
 let test_conflict_spares_other_items () =
@@ -195,7 +197,7 @@ let test_conflict_spares_other_items () =
   Node.update a "x" (set "from-a");
   Node.update b "x" (set "from-b");
   Node.update a "y" (set "clean");
-  (match Node.pull ~recipient:b ~source:a with
+  (match Node.pull ~recipient:b ~source:a () with
   | Node.Pulled { copied; conflicts; _ } ->
     Alcotest.(check int) "one conflict" 1 conflicts;
     Alcotest.(check (list string)) "clean item still adopted" [ "y" ] copied
@@ -214,7 +216,7 @@ let test_resolution_policy () =
   let b = Node.create ~policy:(Resolve resolver) ~id:1 ~n:2 () in
   Node.update a "x" (set "aaa");
   Node.update b "x" (set "zzz");
-  (match Node.pull ~recipient:b ~source:a with
+  (match Node.pull ~recipient:b ~source:a () with
   | Node.Pulled { conflicts; resolved; _ } ->
     Alcotest.(check int) "no reported conflict" 0 conflicts;
     Alcotest.(check int) "one resolution" 1 resolved
@@ -222,7 +224,7 @@ let test_resolution_policy () =
   Alcotest.(check (option string)) "winner value" (Some "zzz") (Node.read b "x");
   (* The resolution is a fresh update that dominates both ancestors, so
      it propagates back and the pair converges. *)
-  let (_ : Node.pull_result) = Node.pull ~recipient:a ~source:b in
+  let (_ : Node.pull_result) = Node.pull ~recipient:a ~source:b () in
   Alcotest.(check (option string)) "a converged to winner" (Some "zzz") (Node.read a "x");
   Alcotest.(check bool) "dbvvs equal" true (Vv.equal (Node.dbvv a) (Node.dbvv b));
   expect_ok a;
@@ -235,7 +237,7 @@ let test_conflict_handler_invoked () =
   let b = Node.create ~conflict_handler:handler ~id:1 ~n:2 () in
   Node.update a "x" (set "va");
   Node.update b "x" (set "vb");
-  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a () in
   Alcotest.(check int) "handler called once" 1 (List.length !seen)
 
 let test_sync_pair_converges () =
@@ -254,7 +256,7 @@ let test_sync_pair_converges () =
 let test_bytes_charged () =
   let a, b = make_pair () in
   Node.update a "x" (set "0123456789");
-  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a () in
   Alcotest.(check bool) "source sent bytes" true ((Node.counters a).bytes_sent > 0);
   Alcotest.(check bool) "recipient sent request bytes" true
     ((Node.counters b).bytes_sent > 0);

@@ -37,7 +37,7 @@ let test_oob_fetch_creates_aux () =
 let test_oob_fetch_when_current () =
   let a, b = make_pair () in
   Node.update a "x" (set "v");
-  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a () in
   (match Node.fetch_out_of_bound ~recipient:b ~source:a "x" with
   | `Already_current -> ()
   | `Adopted | `Conflict -> Alcotest.fail "already current");
@@ -46,7 +46,7 @@ let test_oob_fetch_when_current () =
 let test_oob_fetch_older_ignored () =
   let a, b = make_pair () in
   Node.update a "x" (set "v1");
-  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a () in
   Node.update b "x" (set "v2");
   (* a now has the older copy; fetching from it must change nothing. *)
   (match Node.fetch_out_of_bound ~recipient:b ~source:a "x" with
@@ -86,7 +86,7 @@ let test_aux_discarded_when_no_pending_updates () =
   Alcotest.(check bool) "aux exists" true (Node.has_aux b "x");
   (* Normal propagation copies x; the regular copy catches up with the
      auxiliary copy, which is then discarded (Fig. 4 last comparison). *)
-  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a () in
   Alcotest.(check bool) "aux discarded" false (Node.has_aux b "x");
   Alcotest.(check (option string)) "regular has the value" (Some "v1")
     (Node.read_regular b "x");
@@ -103,7 +103,7 @@ let test_intra_node_replay () =
   Alcotest.(check int) "two deferred updates" 2 (Edb_log.Aux_log.length (Node.aux_log b));
   (* Regular propagation brings a's copy of x; intra-node propagation
      replays the deferred updates on top of it. *)
-  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a () in
   Alcotest.(check bool) "aux discarded after replay" false (Node.has_aux b "x");
   Alcotest.(check int) "aux log drained" 0 (Edb_log.Aux_log.length (Node.aux_log b));
   Alcotest.(check (option string)) "regular value is replayed v3" (Some "v3")
@@ -115,7 +115,7 @@ let test_intra_node_replay () =
   Alcotest.(check int) "two replays counted" 2 (Node.counters b).aux_replays;
   expect_ok b;
   (* The replayed updates are ordinary updates now: a can pull them. *)
-  (match Node.pull ~recipient:a ~source:b with
+  (match Node.pull ~recipient:a ~source:b () with
   | Node.Pulled { copied; _ } -> Alcotest.(check (list string)) "x travels back" [ "x" ] copied
   | Node.Already_current -> Alcotest.fail "expected propagation");
   Alcotest.(check (option string)) "a converged" (Some "v3") (Node.read a "x");
@@ -129,7 +129,7 @@ let test_oob_never_reduces_propagation_work () =
   let a, b = make_pair () in
   Node.update a "x" (set "v1");
   let (_ : Node.oob_result) = Node.fetch_out_of_bound ~recipient:b ~source:a "x" in
-  match Node.pull ~recipient:b ~source:a with
+  match Node.pull ~recipient:b ~source:a () with
   | Node.Pulled { copied; _ } ->
     Alcotest.(check (list string)) "x copied regardless" [ "x" ] copied
   | Node.Already_current -> Alcotest.fail "regular copy is still stale"
@@ -144,9 +144,9 @@ let test_oob_overwrite_keeps_aux_log () =
   Node.update a "x" (set "v1");
   let (_ : Node.oob_result) = Node.fetch_out_of_bound ~recipient:c ~source:a "x" in
   (* a's copy advances (b pulls it, updates, a pulls back). *)
-  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a () in
   Node.update b "x" (set "v2");
-  let (_ : Node.pull_result) = Node.pull ~recipient:a ~source:b in
+  let (_ : Node.pull_result) = Node.pull ~recipient:a ~source:b () in
   (* Fresher OOB fetch: replaces the aux copy. *)
   (match Node.fetch_out_of_bound ~recipient:c ~source:a "x" with
   | `Adopted -> ()
@@ -183,7 +183,7 @@ let test_intra_node_conflict () =
   Node.update b "x" (set "deferred");
   (* a's copy advances past the state the aux update was applied at. *)
   Node.update a "x" (set "v2");
-  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a in
+  let (_ : Node.pull_result) = Node.pull ~recipient:b ~source:a () in
   let intra_conflicts =
     List.filter
       (fun c -> c.Conflict.origin = Conflict.Intra_node)

@@ -16,8 +16,8 @@ let set v = Operation.Set v
 
 (* Seed a little data and converge deterministically (n ring rounds
    propagate transitively from every node to every other, Theorem 5). *)
-let converged_cluster ~cache ~n =
-  let cluster = Cluster.create ~cache ~n () in
+let converged_cluster ?(shards = 1) ~cache ~n () =
+  let cluster = Cluster.create ~cache ~shards ~n () in
   for rank = 0 to (2 * n) - 1 do
     Cluster.update cluster ~node:(rank mod n)
       ~item:(Printf.sprintf "item%d" rank)
@@ -34,7 +34,7 @@ let converged_cluster ~cache ~n =
    sessions, only [sessions_skipped_cached] moves. *)
 let test_skip_on_converged () =
   let n = 16 in
-  let cluster = converged_cluster ~cache:true ~n in
+  let cluster = converged_cluster ~cache:true ~n () in
   (* One warm round: sessions run once more and prime currency marks. *)
   Cluster.ring_pull_round cluster;
   Cluster.reset_counters cluster;
@@ -59,7 +59,7 @@ let test_skip_on_converged () =
    reaches every replica. *)
 let test_update_invalidates_skip () =
   let n = 6 in
-  let cluster = converged_cluster ~cache:true ~n in
+  let cluster = converged_cluster ~cache:true ~n () in
   Cluster.ring_pull_round cluster;
   Cluster.reset_counters cluster;
   Cluster.ring_pull_round cluster;
@@ -87,7 +87,7 @@ let test_update_invalidates_skip () =
    stale skip can strand the rolled-back node. *)
 let test_crash_restore_invalidates () =
   let n = 3 in
-  let cluster = converged_cluster ~cache:true ~n in
+  let cluster = converged_cluster ~cache:true ~n () in
   Cluster.ring_pull_round cluster;
   (* Checkpoint node 1 now, then move the whole cluster past it. *)
   let blob = Snapshot.encode (Cluster.node cluster 1) in
@@ -127,7 +127,7 @@ let test_crash_restore_invalidates () =
    the epoch even though the restored node's revision restarts at
    zero — otherwise an old currency mark could resurface. *)
 let test_epoch_monotone_across_replace () =
-  let cluster = converged_cluster ~cache:true ~n:3 in
+  let cluster = converged_cluster ~cache:true ~n:3 () in
   let before = Cluster.epoch cluster in
   let blob = Snapshot.encode (Cluster.node cluster 1) in
   let restored =
@@ -224,10 +224,24 @@ let test_explorer_equivalence () =
     Alcotest.(check bool) "explored enough schedules" true (schedules >= 200)
   | Error msg -> Alcotest.fail ("cache equivalence failed:\n" ^ msg)
 
+(* Sharded steady state: per-shard proven knowledge must make a
+   converged sharded cluster exactly as quiet as a flat one. *)
+let test_skip_on_converged_sharded () =
+  let n = 6 in
+  let cluster = converged_cluster ~shards:4 ~cache:true ~n () in
+  Cluster.ring_pull_round cluster;
+  Cluster.reset_counters cluster;
+  Cluster.ring_pull_round cluster;
+  let c = Cluster.total_counters cluster in
+  Alcotest.(check int) "zero messages" 0 c.Counters.messages;
+  Alcotest.(check int) "every session skipped" n c.Counters.sessions_skipped_cached
+
 let suite =
   [
     Alcotest.test_case "skips every session on a converged cluster" `Quick
       test_skip_on_converged;
+    Alcotest.test_case "sharded steady state is fully cached" `Quick
+      test_skip_on_converged_sharded;
     Alcotest.test_case "an update refutes cached currency (liveness)" `Quick
       test_update_invalidates_skip;
     Alcotest.test_case "crash/restore forgets cached knowledge" `Quick

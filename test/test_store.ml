@@ -98,11 +98,12 @@ let test_store_find_opt () =
 
 let test_store_iteration () =
   let store = Store.create ~n:2 in
-  List.iter (fun name -> ignore (Store.find_or_create store name)) [ "a"; "b"; "c" ];
-  let names = List.sort String.compare (Store.names store) in
-  Alcotest.(check (list string)) "names" [ "a"; "b"; "c" ] names;
-  let count = Store.fold (fun acc _ -> acc + 1) 0 store in
-  Alcotest.(check int) "fold count" 3 count
+  (* Inserted out of order on purpose: [names]/[iter]/[fold] promise
+     ascending name order, no caller-side sort needed. *)
+  List.iter (fun name -> ignore (Store.find_or_create store name)) [ "b"; "c"; "a" ];
+  Alcotest.(check (list string)) "names sorted" [ "a"; "b"; "c" ] (Store.names store);
+  let folded = Store.fold (fun acc (i : Item.t) -> i.name :: acc) [] store in
+  Alcotest.(check (list string)) "fold sorted" [ "c"; "b"; "a" ] folded
 
 let test_store_total_bytes () =
   let store = Store.create ~n:2 in

@@ -16,17 +16,9 @@ module Network = Edb_sim.Network
 
 let set v = Operation.Set v
 
-(* Canonical durable state: item lists sorted by name. *)
-let normalized_state node =
-  let state = Node.export_state node in
-  let by_name (a : Node.State.item) (b : Node.State.item) =
-    String.compare a.name b.name
-  in
-  {
-    state with
-    Node.State.items = List.sort by_name state.items;
-    aux_items = List.sort by_name state.aux_items;
-  }
+(* [Node.export_state] is already canonical: each shard's item lists
+   come out in sorted name order, so states compare with (=). *)
+let normalized_state = Node.export_state
 
 (* ---------- Duplicate-delivery idempotence (property) ---------- *)
 
