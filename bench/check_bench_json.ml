@@ -59,7 +59,8 @@ let () =
     (fun probe -> if not (has probe) then fail "%s: no %S benchmark" path probe)
     [
       "e12 idle pull round-trip"; "e15 cached idle round"; "sync-all";
-      "e18 sharded skip"; "e18 sync-all";
+      "e18 sharded skip"; "e18 sync-all"; "e19 reply codec v1";
+      "e19 reply codec v2";
     ];
   let experiments =
     require "experiments list"
@@ -135,5 +136,29 @@ let () =
         if not (List.mem column columns) then
           fail "%s: E18 table lacks the %S column" path column)
       [ "shards"; "domains"; "shards skipped"; "bytes" ]);
+  (* The wire-codec experiment must report real bytes on the wire next
+     to the size model: E19's acceptance keys on measured
+     bytes-per-session, v2 vs v1. *)
+  let e19 =
+    List.find_opt
+      (fun table ->
+        match Option.bind (Json.member "title" table) Json.to_string_opt with
+        | Some title -> Astring.String.is_prefix ~affix:"E19:" title
+        | None -> false)
+      experiments
+  in
+  (match e19 with
+  | None -> fail "%s: no E19 wire-codec experiment table" path
+  | Some table ->
+    let columns =
+      List.filter_map Json.to_string_opt
+        (Option.value ~default:[]
+           (Option.bind (Json.member "columns" table) Json.to_list_opt))
+    in
+    List.iter
+      (fun column ->
+        if not (List.mem column columns) then
+          fail "%s: E19 table lacks the %S column" path column)
+      [ "codec"; "bytes (model)"; "wire bytes"; "wire B/session" ]);
   Printf.printf "%s OK: %d benchmarks, %d experiment tables\n" path
     (List.length benchmarks) (List.length experiments)

@@ -8,6 +8,8 @@
                 (per-message faults, mid-session crashes, retry active)
      shard      sharded-replica soak: cache equivalence + granular chaos
                 at a fixed shard count
+     wire       hex-dump and pretty-decode wire frames (v1 and v2), or
+                walk a sample session showing negotiation and deltas
      demo       a tiny three-node walkthrough *)
 
 module Cluster = Edb_core.Cluster
@@ -405,6 +407,124 @@ let shard_cmd =
     Term.(ret (const run $ seed $ runs $ shards))
 
 (* ------------------------------------------------------------------ *)
+(* wire                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Frame = Edb_persist.Frame
+
+(* xxd-style dump: offset, 16 hex bytes, printable ASCII. *)
+let hex_dump data =
+  let n = String.length data in
+  let buf = Buffer.create (n * 4) in
+  let rows = (n + 15) / 16 in
+  for row = 0 to rows - 1 do
+    Printf.bprintf buf "  %04x  " (row * 16);
+    for i = 0 to 15 do
+      let pos = (row * 16) + i in
+      if pos < n then Printf.bprintf buf "%02x " (Char.code data.[pos])
+      else Buffer.add_string buf "   ";
+      if i = 7 then Buffer.add_char buf ' '
+    done;
+    Buffer.add_string buf " |";
+    for i = 0 to 15 do
+      let pos = (row * 16) + i in
+      if pos < n then
+        let c = data.[pos] in
+        Buffer.add_char buf (if c >= ' ' && c < '\x7f' then c else '.')
+    done;
+    Buffer.add_string buf "|\n"
+  done;
+  Buffer.contents buf
+
+let frame_of_hex s =
+  let digits = Buffer.create (String.length s) in
+  String.iter
+    (function ' ' | '\t' | '\n' | '\r' -> () | c -> Buffer.add_char digits c)
+    s;
+  let h = Buffer.contents digits in
+  if String.length h mod 2 <> 0 then invalid_arg "odd number of hex digits";
+  let nibble = function
+    | '0' .. '9' as c -> Char.code c - Char.code '0'
+    | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+    | c -> invalid_arg (Printf.sprintf "invalid hex digit %C" c)
+  in
+  String.init
+    (String.length h / 2)
+    (fun i -> Char.chr ((nibble h.[2 * i] lsl 4) lor nibble h.[(2 * i) + 1]))
+
+let wire_cmd =
+  let hex =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "hex" ] ~docv:"HEX"
+          ~doc:
+            "Decode this hex-encoded frame (whitespace ignored) instead of \
+             walking the sample session.")
+  in
+  let nodes =
+    Arg.(
+      value & opt int 4
+      & info [ "n"; "nodes" ] ~docv:"N"
+          ~doc:
+            "Replica count — the version-vector dimension, which v2 bodies \
+             leave implicit and so must be supplied to decode them.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+  in
+  let run hex nodes seed =
+    let show label data =
+      Printf.printf "-- %s (%d bytes)\n" label (String.length data);
+      print_string (hex_dump data);
+      print_string (Frame.describe ~n:nodes data);
+      print_newline ()
+    in
+    match hex with
+    | Some h -> (
+      match frame_of_hex h with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | data -> (
+        try
+          show "frame" data;
+          `Ok ()
+        with Edb_persist.Codec.Reader.Corrupt msg ->
+          `Error (false, Printf.sprintf "corrupt frame: %s" msg)))
+    | None ->
+      (* A sample anti-entropy exchange between two diverged nodes,
+         showing the negotiation ladder: a pessimistic v1 request, a v2
+         reply (the request advertised v2), a v2 absolute request, and
+         finally a delta-encoded request against the acked baseline. *)
+      let cluster = Cluster.create ~seed ~n:nodes () in
+      Cluster.update cluster ~node:0 ~item:"alpha" (Operation.Set "from node 0");
+      Cluster.update cluster ~node:1 ~item:"beta" (Operation.Set "from node 1");
+      let a = Cluster.node cluster 0 and b = Cluster.node cluster 1 in
+      let session label =
+        let req = Frame.encode_request b ~dst:0 in
+        show (label ^ ": request node1 -> node0") req;
+        let reply = Frame.respond a ~src:1 req in
+        show (label ^ ": reply node0 -> node1") reply;
+        match Frame.decode_reply b ~src:0 reply with
+        | Frame.Nak _ -> ()
+        | Frame.Reply (r, _) -> ignore (Node.accept_propagation b ~source:0 r)
+      in
+      session "session 1 (fresh peers, pessimistic v1)";
+      session "session 2 (negotiated v2, absolute DBVV)";
+      Cluster.update cluster ~node:1 ~item:"beta" (Operation.Set "edited");
+      session "session 3 (v2, DBVV delta against acked baseline)";
+      `Ok ()
+  in
+  let term = Term.(ret (const run $ hex $ nodes $ seed)) in
+  Cmd.v
+    (Cmd.info "wire"
+       ~doc:
+         "Hex-dump and pretty-decode wire frames: either a caller-supplied \
+          hex frame, or a generated sample session showing version \
+          negotiation and delta-encoded version vectors.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* demo                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -434,4 +554,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ bench_cmd; simulate_cmd; check_cmd; chaos_cmd; shard_cmd; demo_cmd ]))
+          [
+            bench_cmd; simulate_cmd; check_cmd; chaos_cmd; shard_cmd; wire_cmd;
+            demo_cmd;
+          ]))

@@ -16,10 +16,14 @@ type message = ..
    and [make_request] self-contained (the request may be consumed
    arbitrarily later, so it must not alias live mutable state). *)
 type granular = {
-  make_request : dst:int -> message;
-      (** Build (and charge for) the propagation request [dst] sends. *)
-  make_reply : src:int -> message -> message;
-      (** Answer a request at [src]; charges the reply's cost. *)
+  make_request : dst:int -> src:int -> message;
+      (** Build (and charge for) the propagation request [dst] sends
+          toward [src]. The addressee matters to drivers that encode
+          per-peer state into the message (wire-codec version
+          negotiation, delta baselines — see [Edb_persist.Frame]). *)
+  make_reply : src:int -> dst:int -> message -> message;
+      (** Answer at [src] a request received from [dst]; charges the
+          reply's cost. *)
   accept_reply : dst:int -> src:int -> message -> unit;
       (** Apply a reply at [dst]. Must be safe under duplicate and
           stale (superseded-attempt) deliveries. *)

@@ -13,12 +13,16 @@ type message = ..
     driver extends this with its own wire forms. *)
 
 type granular = {
-  make_request : dst:int -> message;
-      (** Build (and charge for) the propagation request [dst] sends.
-          Must not alias live mutable state: the transport may hold the
-          request arbitrarily long before delivery. *)
-  make_reply : src:int -> message -> message;
-      (** Answer a request at [src]; charges the reply's cost. *)
+  make_request : dst:int -> src:int -> message;
+      (** Build (and charge for) the propagation request [dst] sends
+          toward [src]. Must not alias live mutable state: the
+          transport may hold the request arbitrarily long before
+          delivery. The addressee matters to drivers that encode
+          per-peer state into the message (wire-codec version
+          negotiation, delta baselines — see [Edb_persist.Frame]). *)
+  make_reply : src:int -> dst:int -> message -> message;
+      (** Answer at [src] a request received from [dst]; charges the
+          reply's cost. *)
   accept_reply : dst:int -> src:int -> message -> unit;
       (** Apply a reply at [dst]. Must be idempotent: the transport may
           deliver a reply twice, or deliver a stale reply from a

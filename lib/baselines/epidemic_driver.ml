@@ -2,54 +2,78 @@ module Cluster = Edb_core.Cluster
 module Node = Edb_core.Node
 module Message = Edb_core.Message
 module Counters = Edb_metrics.Counters
+module Frame = Edb_persist.Frame
 
-(* Wire forms for message-granular transport. *)
-type Driver.message +=
-  | Request of Message.propagation_request
-  | Reply of Message.propagation_reply
+(* Transported messages are real encoded frames ({!Edb_persist.Frame}):
+   the engine moves opaque bytes, both endpoints run the actual
+   encode/negotiate/decode path (v1 pessimistic start, v2 once
+   advertised, DBVV deltas with Nak fallback), and [wire_bytes_sent]
+   counts the frames' true lengths. The in-process fast path
+   ([session], via {!Cluster.pull}) stays unframed and charges only the
+   modeled [bytes_sent]. *)
+type Driver.message += Frame_msg of string
+
+(* The frame header is [version; advertised; kind] at payload offsets
+   0-2, ahead of the 4-byte checksum trailer; kind 2 is a Nak. Locally
+   produced frames are well-formed, so a raw peek suffices. *)
+let is_nak = function
+  | Frame_msg data -> String.length data >= 7 && Char.code data.[2] = 2
+  | _ -> false
 
 let create ?seed ?policy ?mode ?cache ?shards ~n () =
   let cluster = Cluster.create ?seed ?policy ?mode ?cache ?shards ~n () in
-  let charge node bytes =
-    let c = Node.counters (Cluster.node cluster node) in
-    c.Counters.messages <- c.Counters.messages + 1;
-    c.Counters.bytes_sent <- c.Counters.bytes_sent + bytes
-  in
   let granular =
     {
       Driver.make_request =
-        (fun ~dst ->
-          (* Unlike the in-process fast path (which borrows the live
-             DBVV and shard vectors for a synchronous round-trip), a
-             transported request must own its vectors: delivery can
-             happen after further local updates, and the request must
-             describe the state it was issued from. *)
-          let req = Node.propagation_request_owned (Cluster.node cluster dst) in
-          charge dst (Message.request_bytes req);
-          Request req);
+        (fun ~dst ~src ->
+          (* The frame owns its bytes, so unlike the old in-memory
+             transport no vector copying is needed: encoding serializes
+             the live DBVV immediately, and delivery-time mutations of
+             the node cannot reach the encoded request. Each retry
+             re-encodes (fresh request id, current vectors). *)
+          let node = Cluster.node cluster dst in
+          let frame = Frame.encode_request node ~dst:src in
+          let c = Node.counters node in
+          c.Counters.messages <- c.Counters.messages + 1;
+          c.Counters.bytes_sent <-
+            c.Counters.bytes_sent
+            + Message.request_bytes (Node.propagation_request node);
+          c.Counters.wire_bytes_sent <-
+            c.Counters.wire_bytes_sent + String.length frame;
+          Frame_msg frame);
       make_reply =
-        (fun ~src msg ->
+        (fun ~src ~dst msg ->
           match msg with
-          | Request req ->
-            let reply =
-              Node.handle_propagation_request (Cluster.node cluster src) req
-            in
-            charge src (Message.reply_bytes reply);
-            Reply reply
-          | _ -> invalid_arg "Epidemic_driver.make_reply: not a propagation request");
+          | Frame_msg frame ->
+            (* [respond] answers an undecodable request (lost delta
+               baseline after a crash or slot eviction) with a Nak and
+               charges the source's counters either way. *)
+            Frame_msg (Frame.respond (Cluster.node cluster src) ~src:dst frame)
+          | _ -> invalid_arg "Epidemic_driver.make_reply: not a request frame");
       accept_reply =
         (fun ~dst ~src msg ->
           match msg with
-          | Reply Message.You_are_current -> ()
-          | Reply ((Message.Propagate _ | Message.Propagate_sharded _) as reply) ->
-            (* AcceptPropagation's per-item dominance checks make
-               duplicate and stale deliveries no-ops, which is what
-               lets the transport redeliver freely. *)
-            let (_ : Node.accept_result) =
-              Node.accept_propagation (Cluster.node cluster dst) ~source:src reply
-            in
-            ()
-          | _ -> invalid_arg "Epidemic_driver.accept_reply: not a propagation reply");
+          | Frame_msg frame -> (
+            match Frame.decode_reply (Cluster.node cluster dst) ~src frame with
+            | Frame.Nak _ ->
+              (* The decode already dropped the delta baseline; the next
+                 attempt or session ships an absolute vector. The nak'd
+                 session itself propagates nothing — anti-entropy
+                 repeats, so this costs a round, not convergence. *)
+              ()
+            | Frame.Reply (Message.You_are_current, _) -> ()
+            | Frame.Reply
+                (((Message.Propagate _ | Message.Propagate_sharded _) as reply), _)
+              ->
+              (* AcceptPropagation's per-item dominance checks make
+                 duplicate and stale deliveries no-ops, which is what
+                 lets the transport redeliver freely. *)
+              let (_ : Node.accept_result) =
+                Node.accept_propagation (Cluster.node cluster dst) ~source:src
+                  reply
+              in
+              ())
+          | _ -> invalid_arg "Epidemic_driver.accept_reply: not a reply frame");
     }
   in
   let driver =

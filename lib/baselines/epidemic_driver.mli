@@ -2,6 +2,13 @@
     experiment harness can sweep it against the baselines with one code
     path. *)
 
+val is_nak : Driver.message -> bool
+(** Whether a transported message is a Nak frame — a source's answer to
+    a request it could not decode (lost delta baseline). A Nak applies
+    nothing at the recipient; the lockstep oracle ({!Edb_check}) must
+    skip its snapshot delivery for such replies. [false] for messages
+    of other drivers. *)
+
 val create :
   ?seed:int ->
   ?policy:Edb_core.Node.resolution_policy ->

@@ -112,6 +112,10 @@ let revision t = t.revision
 
 let peer_cache t = t.peer_cache
 
+let wire_version t = Peer_cache.own_wire_version t.peer_cache
+
+let set_wire_version t v = Peer_cache.set_own_wire_version t.peer_cache v
+
 let id t = t.id
 
 let dimension t = t.n

@@ -139,6 +139,15 @@ val peer_cache : t -> Peer_cache.t
     {!Cluster.pull} when the cluster enables caching; volatile (a
     restored node starts with an empty cache). *)
 
+val wire_version : t -> int
+(** The highest wire-codec version this node's framed transports may
+    speak ({!Peer_cache.own_wire_version}); the frame layer's maximum
+    unless pinned by {!set_wire_version}. *)
+
+val set_wire_version : t -> int -> unit
+(** Pin this node's spoken wire-codec version (e.g. keep a node on v1
+    in a mixed-version fleet). [Invalid_argument] below 1. *)
+
 val counters : t -> Edb_metrics.Counters.t
 (** The node's live cost counters (mutable; reset between experiments). *)
 

@@ -32,6 +32,36 @@
 
 type t
 
+(** Per-peer wire-codec state for the framed transports
+    ([Edb_persist.Frame], DESIGN.md §8): the negotiated codec version
+    and the request-DBVV delta baselines. Stored inside the cache entry
+    so {!forget_peer} / {!reset} wipe it together with the proven lower
+    bounds — after any rollback the next session falls back to codec
+    version 1 and absolute vectors, mirroring the §5a safety story. *)
+module Wire_state : sig
+  type baseline = { id : int; vv : Edb_vv.Version_vector.t }
+
+  type t = {
+    mutable peer_version : int;
+        (** Highest codec version the peer has advertised in a frame
+            this node decoded; 1 until proven higher. *)
+    mutable next_id : int;  (** Requester side: next request id. *)
+    mutable last_sent : baseline option;
+        (** Requester side: the newest request sent — the only
+            acknowledgement candidate. *)
+    mutable acked : baseline option;
+        (** Requester side: the newest request whose reply came back,
+            hence a DBVV the peer provably decoded and still stores —
+            the delta baseline for the next request. *)
+    mutable committed : baseline option;
+        (** Source side: a recipient baseline proven stable by a later
+            request that referenced it. *)
+    mutable candidate : baseline option;
+        (** Source side: the newest decoded request; promoted to
+            [committed] when a later request references it. *)
+  }
+end
+
 val create : ?shards:int -> n:int -> unit -> t
 (** [create ~n] is an empty cache over peers [0 .. n-1]. [shards]
     (default 1) is the owner's shard count; it sizes the per-shard
@@ -69,6 +99,21 @@ val is_current : t -> peer:int -> epoch:int -> bool
 (** Whether {!mark_current} was recorded at exactly this [epoch]. Any
     intervening state change anywhere bumps the epoch and refutes
     this. *)
+
+val wire_state : t -> peer:int -> Wire_state.t
+(** The live wire-codec state for [peer], created on first use. Mutable
+    on purpose: the framing layer ([Edb_persist.Frame]) owns the
+    update discipline. *)
+
+val own_wire_version : t -> int
+(** The highest wire-codec version this node's transports may speak
+    (the frame layer's maximum unless {!set_own_wire_version} pinned it
+    down). *)
+
+val set_own_wire_version : t -> int -> unit
+(** Pin the node's spoken codec version — e.g. force a node to remain
+    a v1 speaker in a mixed-version fleet or a cross-version test.
+    [Invalid_argument] below 1. *)
 
 val forget_peer : t -> peer:int -> unit
 (** Drop everything known about [peer] — required when [peer] may have

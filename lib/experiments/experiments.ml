@@ -11,6 +11,7 @@ module Wuu = Edb_baselines.Wuu_bernstein
 module Driver = Edb_baselines.Driver
 module Engine = Edb_sim.Engine
 module Network = Edb_sim.Network
+module Frame = Edb_persist.Frame
 
 let item = Workload.item_name
 
@@ -962,6 +963,118 @@ let e18_sharded_replicas ?(quick = false) () =
     [ 1; 4; 16 ];
   table
 
+(* ------------------------------------------------------------------ *)
+(* E19 — wire codec v2: measured bytes on the wire                     *)
+(* ------------------------------------------------------------------ *)
+
+let e19_wire_codec ?(quick = false) () =
+  let nodes = 16 in
+  let n_items = if quick then 32 else 128 in
+  let updates_per_node = if quick then 2 else 8 in
+  let value_size = 256 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E19: wire codec v2 vs v1 — framed ring sessions on %d nodes, \
+            %d items (%d B values), counting real encoded frame lengths \
+            (wire bytes) next to the fixed-width size model; v2 = varints \
+            + per-message name interning + sparse IVVs + request DBVVs \
+            delta-encoded against the peer's acknowledged baseline \
+            (absolute fallback on any mismatch, so compression never \
+            risks correctness)"
+           nodes n_items value_size)
+      ~columns:
+        [
+          "scenario"; "codec"; "sessions"; "rounds"; "bytes (model)";
+          "wire bytes"; "wire B/session"; "vs v1";
+        ]
+  in
+  let wire_ring_round cluster =
+    for i = 0 to nodes - 1 do
+      let recipient = Cluster.node cluster i in
+      let source = Cluster.node cluster ((i + 1) mod nodes) in
+      let (_ : Node.pull_result) = Frame.pull ~recipient ~source () in
+      ()
+    done
+  in
+  let converge cluster =
+    let rounds = ref 0 in
+    while not (Cluster.converged cluster) do
+      incr rounds;
+      if !rounds > 10 * nodes then failwith "E19: cluster failed to converge";
+      wire_ring_round cluster
+    done;
+    !rounds
+  in
+  let run ~version ~diverged =
+    let cluster = Cluster.create ~seed:1900 ~n:nodes () in
+    if version = 1 then
+      for i = 0 to nodes - 1 do
+        Node.set_wire_version (Cluster.node cluster i) 1
+      done;
+    (* History plus warm-up: seed every node, converge over frames so
+       every ring pair has negotiated its codec version (pessimistic v1
+       start) and, under v2, holds an acknowledged delta baseline —
+       then measure the steady state, not the handshake. *)
+    for rank = 0 to n_items - 1 do
+      Cluster.update cluster ~node:(rank mod nodes) ~item:(item rank)
+        (Operation.Set (Workload.payload ~item:(item rank) ~seq:1 ~size:value_size))
+    done;
+    let (_ : int) = converge cluster in
+    wire_ring_round cluster;
+    Cluster.reset_counters cluster;
+    if diverged then
+      for node = 0 to nodes - 1 do
+        for k = 0 to updates_per_node - 1 do
+          let rank = ((node * updates_per_node) + k) mod n_items in
+          Cluster.update cluster ~node ~item:(item rank)
+            (Operation.Set
+               (Workload.payload ~item:(item rank) ~seq:2 ~size:value_size))
+        done
+      done;
+    let rounds =
+      if diverged then converge cluster
+      else begin
+        wire_ring_round cluster;
+        1
+      end
+    in
+    let totals = Cluster.total_counters cluster in
+    (totals, rounds)
+  in
+  let scenario ~name ~diverged =
+    let v1, v1_rounds = run ~version:1 ~diverged in
+    let v2, v2_rounds = run ~version:2 ~diverged in
+    let per_session (c : Counters.t) =
+      let sessions = c.propagation_sessions + c.noop_sessions in
+      if sessions = 0 then 0.0
+      else float_of_int c.wire_bytes_sent /. float_of_int sessions
+    in
+    let row codec (c : Counters.t) rounds reduction =
+      Table.add_row table
+        [
+          name;
+          codec;
+          string_of_int (c.propagation_sessions + c.noop_sessions);
+          string_of_int rounds;
+          string_of_int c.bytes_sent;
+          string_of_int c.wire_bytes_sent;
+          Printf.sprintf "%.1f" (per_session c);
+          reduction;
+        ]
+    in
+    row "v1" v1 v1_rounds "-";
+    row "v2" v2 v2_rounds
+      (if per_session v1 = 0.0 then "-"
+       else
+         Printf.sprintf "-%.1f%%"
+           (100.0 *. (1.0 -. (per_session v2 /. per_session v1))))
+  in
+  scenario ~name:"converged idle round" ~diverged:false;
+  scenario ~name:"diverged, to convergence" ~diverged:true;
+  table
+
 let all ?(quick = false) () =
   [
     ("E1", e1_cost_vs_database_size ~quick ());
@@ -981,4 +1094,5 @@ let all ?(quick = false) () =
     ("E15", e15_peer_cache_savings ~quick ());
     ("E17", e17_message_loss ~quick ());
     ("E18", e18_sharded_replicas ~quick ());
+    ("E19", e19_wire_codec ~quick ());
   ]

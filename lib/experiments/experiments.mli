@@ -110,5 +110,11 @@ val e18_sharded_replicas : ?quick:bool -> unit -> Edb_metrics.Table.t
     stay flat as the shard count grows while [domains = 4] shows the
     intra-pair parallel speedup on the shards that do ship. *)
 
+val e19_wire_codec : ?quick:bool -> unit -> Edb_metrics.Table.t
+(** Wire codec v2 vs v1 over framed ring sessions on a 16-node cluster:
+    real encoded frame lengths ([wire_bytes_sent]) next to the
+    fixed-width size model, for a converged idle round and a diverged
+    cluster driven to convergence. *)
+
 val all : ?quick:bool -> unit -> (string * Edb_metrics.Table.t) list
 (** Every experiment, as [(id, table)] pairs in order. *)

@@ -5,6 +5,7 @@ type t = {
   mutable items_copied : int;
   mutable messages : int;
   mutable bytes_sent : int;
+  mutable wire_bytes_sent : int;
   mutable updates_applied : int;
   mutable conflicts_detected : int;
   mutable propagation_sessions : int;
@@ -28,6 +29,7 @@ let create () =
     items_copied = 0;
     messages = 0;
     bytes_sent = 0;
+    wire_bytes_sent = 0;
     updates_applied = 0;
     conflicts_detected = 0;
     propagation_sessions = 0;
@@ -50,6 +52,7 @@ let reset t =
   t.items_copied <- 0;
   t.messages <- 0;
   t.bytes_sent <- 0;
+  t.wire_bytes_sent <- 0;
   t.updates_applied <- 0;
   t.conflicts_detected <- 0;
   t.propagation_sessions <- 0;
@@ -72,6 +75,7 @@ let copy t =
     items_copied = t.items_copied;
     messages = t.messages;
     bytes_sent = t.bytes_sent;
+    wire_bytes_sent = t.wire_bytes_sent;
     updates_applied = t.updates_applied;
     conflicts_detected = t.conflicts_detected;
     propagation_sessions = t.propagation_sessions;
@@ -94,6 +98,7 @@ let add_into acc t =
   acc.items_copied <- acc.items_copied + t.items_copied;
   acc.messages <- acc.messages + t.messages;
   acc.bytes_sent <- acc.bytes_sent + t.bytes_sent;
+  acc.wire_bytes_sent <- acc.wire_bytes_sent + t.wire_bytes_sent;
   acc.updates_applied <- acc.updates_applied + t.updates_applied;
   acc.conflicts_detected <- acc.conflicts_detected + t.conflicts_detected;
   acc.propagation_sessions <- acc.propagation_sessions + t.propagation_sessions;
@@ -116,6 +121,7 @@ let diff ~after ~before =
     items_copied = after.items_copied - before.items_copied;
     messages = after.messages - before.messages;
     bytes_sent = after.bytes_sent - before.bytes_sent;
+    wire_bytes_sent = after.wire_bytes_sent - before.wire_bytes_sent;
     updates_applied = after.updates_applied - before.updates_applied;
     conflicts_detected = after.conflicts_detected - before.conflicts_detected;
     propagation_sessions = after.propagation_sessions - before.propagation_sessions;
@@ -144,6 +150,7 @@ let pp fmt t =
   field "items_copied" t.items_copied;
   field "messages" t.messages;
   field "bytes_sent" t.bytes_sent;
+  field "wire_bytes_sent" t.wire_bytes_sent;
   field "updates_applied" t.updates_applied;
   field "conflicts_detected" t.conflicts_detected;
   field "propagation_sessions" t.propagation_sessions;

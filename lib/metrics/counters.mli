@@ -19,6 +19,12 @@ type t = {
   mutable items_copied : int;  (** Item values actually transferred. *)
   mutable messages : int;  (** Messages sent. *)
   mutable bytes_sent : int;  (** Total payload bytes under the size model. *)
+  mutable wire_bytes_sent : int;
+      (** Bytes actually put on the wire: the lengths of the encoded
+          frames a transport sent (requests, replies, naks), measured
+          at encode time. Zero on the in-process fast paths, which ship
+          no frames; compare with [bytes_sent], the machine-independent
+          size {e model} those paths charge. *)
   mutable updates_applied : int;  (** User updates executed. *)
   mutable conflicts_detected : int;  (** Inconsistencies declared. *)
   mutable propagation_sessions : int;

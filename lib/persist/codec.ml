@@ -41,6 +41,29 @@ module Writer = struct
 
   let bool t v = Buffer.add_char t (if v then '\001' else '\000')
 
+  let byte t v =
+    if v < 0 || v > 0xFF then invalid_arg "Codec.Writer.byte: out of range";
+    Buffer.add_char t (Char.unsafe_chr v)
+
+  (* LEB128. [lsr] is a logical shift, so a negative int (top bit set in
+     OCaml's 63-bit representation) terminates after at most 9 groups —
+     it round-trips as the same 63-bit pattern, it just costs 9 bytes.
+     Sane wire fields are non-negative and small, which is the point. *)
+  let rec varint t v =
+    if v land lnot 0x7F = 0 then Buffer.add_char t (Char.unsafe_chr v)
+    else begin
+      Buffer.add_char t (Char.unsafe_chr (v land 0x7F lor 0x80));
+      varint t (v lsr 7)
+    end
+
+  (* Zig-zag for the few genuinely signed fields: small magnitudes of
+     either sign stay short. *)
+  let svarint t v = varint t ((v lsl 1) lxor (v asr 62))
+
+  let vstring t s =
+    varint t (String.length s);
+    Buffer.add_string t s
+
   let list t encode xs =
     int t (List.length xs);
     List.iter (encode t) xs
@@ -76,8 +99,11 @@ module Reader = struct
       corrupt "checksum mismatch: stored %08x, computed %08x" stored actual;
     { data; limit = payload_len; pos = 0 }
 
+  (* [t.limit - t.pos] cannot overflow, so comparing against it (rather
+     than computing [t.pos + n], which can wrap for a hostile length)
+     keeps a forged 2^62-byte claim from slipping past the bound. *)
   let need t n =
-    if t.pos + n > t.limit then
+    if n < 0 || n > t.limit - t.pos then
       corrupt "truncated payload: need %d bytes at offset %d, have %d" n t.pos
         (t.limit - t.pos)
 
@@ -104,15 +130,57 @@ module Reader = struct
     | '\001' -> true
     | other -> corrupt "invalid boolean byte %C" other
 
+  let bounded_count t len what =
+    if len < 0 then corrupt "negative %s length" what;
+    (* Every element of every format encodes to at least one byte, so a
+       count exceeding the remaining payload is forged — reject it here
+       instead of letting [List.init]/[Array.init] attempt a giant
+       allocation before the per-element reads run out of bytes. *)
+    if len > t.limit - t.pos then
+      corrupt "%s length %d exceeds %d remaining payload bytes" what len
+        (t.limit - t.pos)
+
   let list t decode =
     let len = int t in
-    if len < 0 then corrupt "negative list length";
+    bounded_count t len "list";
     List.init len (fun _ -> decode t)
 
   let array t decode =
     let len = int t in
-    if len < 0 then corrupt "negative array length";
+    bounded_count t len "array";
     Array.init len (fun _ -> decode t)
+
+  let byte t =
+    need t 1;
+    let c = Char.code t.data.[t.pos] in
+    t.pos <- t.pos + 1;
+    c
+
+  let varint t =
+    let rec loop shift acc =
+      if shift > 56 then corrupt "varint longer than 9 bytes"
+      else begin
+        need t 1;
+        let b = Char.code t.data.[t.pos] in
+        t.pos <- t.pos + 1;
+        let acc = acc lor ((b land 0x7F) lsl shift) in
+        if b land 0x80 = 0 then acc else loop (shift + 7) acc
+      end
+    in
+    loop 0 0
+
+  let svarint t =
+    let u = varint t in
+    (u lsr 1) lxor (- (u land 1))
+
+  let vstring t =
+    let len = varint t in
+    need t len;
+    let s = String.sub t.data t.pos len in
+    t.pos <- t.pos + len;
+    s
+
+  let remaining t = t.limit - t.pos
 
   let expect_end t =
     if t.pos <> t.limit then

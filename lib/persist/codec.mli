@@ -1,10 +1,12 @@
 (** A small self-describing binary codec.
 
-    Used by {!Snapshot} to serialize node state. Deliberately simple
-    and dependency-free: length-prefixed strings, varint-free fixed
-    64-bit integers (node state is dominated by values, not integers),
+    Used by {!Snapshot} to serialize node state and by the wire codecs
+    ({!Wire}, {!Wire_v2}). Deliberately simple and dependency-free:
+    length-prefixed strings, fixed 64-bit integers for the durable
+    formats (node state is dominated by values, not integers), LEB128
+    varints for wire format v2 where the integers themselves dominate,
     and an Adler-32 style checksum trailer so a truncated or corrupted
-    snapshot is rejected instead of silently loaded. *)
+    payload is rejected instead of silently loaded. *)
 
 module Writer : sig
   type t
@@ -26,6 +28,22 @@ module Writer : sig
   (** Length-prefixed bytes. *)
 
   val bool : t -> bool -> unit
+
+  val byte : t -> int -> unit
+  (** One unsigned byte; [Invalid_argument] outside [\[0, 255\]]. *)
+
+  val varint : t -> int -> unit
+  (** LEB128: 7 value bits per byte, little-endian groups, high bit as
+      the continuation flag. Small non-negative ints cost one byte; a
+      negative int round-trips but costs the full 9 bytes. *)
+
+  val svarint : t -> int -> unit
+  (** Zig-zag then LEB128 — for the few signed fields, where small
+      magnitudes of either sign must stay short. *)
+
+  val vstring : t -> string -> unit
+  (** Varint-length-prefixed bytes (the wire-v2 string form; {!string}
+      is the fixed-width form). *)
 
   val list : t -> (t -> 'a -> unit) -> 'a list -> unit
   (** Count-prefixed sequence. *)
@@ -52,9 +70,26 @@ module Reader : sig
 
   val bool : t -> bool
 
+  val byte : t -> int
+
+  val varint : t -> int
+  (** Raises {!Corrupt} on truncation or a varint longer than 9 bytes
+      (more than 63 value bits). *)
+
+  val svarint : t -> int
+
+  val vstring : t -> string
+
   val list : t -> (t -> 'a) -> 'a list
+  (** Raises {!Corrupt} when the count is negative or exceeds the
+      remaining payload (a forged count never reaches the allocator). *)
 
   val array : t -> (t -> 'a) -> 'a array
+
+  val remaining : t -> int
+  (** Unread payload bytes — the bound hand-rolled decoders (e.g.
+      {!Wire_v2}) use to reject forged element counts before
+      allocating. *)
 
   val expect_end : t -> unit
   (** Raises {!Corrupt} unless every payload byte was consumed. *)

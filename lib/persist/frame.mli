@@ -1,0 +1,92 @@
+(** Message framing and wire-codec version negotiation (DESIGN.md §8).
+
+    A frame is one session message inside the {!Codec} envelope:
+    a three-byte header — body version, sender's advertised maximum
+    version, kind (request / reply / nak) — then a v2 request id
+    (v2 frames only) and the body in {!Wire} (v1) or {!Wire_v2} (v2)
+    form.
+
+    Negotiation starts pessimistic: every node speaks v1 to a peer
+    until a frame decoded from that peer advertises higher (recorded in
+    {!Edb_core.Peer_cache.Wire_state}). The first request between two
+    fresh nodes is therefore v1, but its reply can already be v2. A
+    pinned-v1 node ({!Edb_core.Node.set_wire_version}) interoperates
+    transparently; the durable formats (WAL, snapshots) always use v1
+    and never see frames.
+
+    The v2 request may carry its DBVV as a delta against a {e baseline}
+    — the vector of an earlier request the peer has provably decoded
+    (its reply echoed that request's id) and still retains (two
+    retention slots per peer; see {!decode_request}). A source that
+    cannot resolve a baseline answers with a {e Nak}, which makes the
+    requester drop its baseline and retry absolute — lost state costs
+    one round trip, never correctness. All baseline state lives in the
+    volatile peer cache, so crash recovery resets to v1/absolute.
+
+    Decoders raise {!Codec.Reader.Corrupt} (and nothing else) on any
+    malformed, truncated, or unresolvable frame. *)
+
+val max_version : int
+(** The newest wire-codec version this build speaks (2). Equals
+    [Edb_core.Peer_cache]'s default advertised version (asserted in the
+    test suite). *)
+
+type decoded_reply =
+  | Reply of Edb_core.Message.propagation_reply * int
+      (** The reply and the echoed request id (0 from v1 frames). *)
+  | Nak of int
+      (** The source could not decode the request (echoing its id when
+          known); the requester's baseline has been dropped, retry
+          absolute. *)
+
+val encode_request : Edb_core.Node.t -> dst:int -> string
+(** Build and encode this node's propagation request for peer [dst] at
+    the negotiated version, assigning a request id and recording the
+    sent vector as [last_sent] (v2 only). *)
+
+val decode_request :
+  Edb_core.Node.t -> src:int -> string -> Edb_core.Message.propagation_request * int
+(** Decode a request frame received from [src], returning the request
+    and its id (0 for v1). Records [src]'s advertised version, resolves
+    delta baselines against the per-peer retention slots and updates
+    them. Raises {!Codec.Reader.Corrupt} on any mismatch — answer with
+    {!encode_nak}. *)
+
+val encode_reply :
+  Edb_core.Node.t -> dst:int -> req_id:int -> Edb_core.Message.propagation_reply -> string
+
+val encode_nak : Edb_core.Node.t -> dst:int -> req_id:int -> string
+
+val decode_reply : Edb_core.Node.t -> src:int -> string -> decoded_reply
+(** Decode a reply or nak frame from [src]. Records [src]'s advertised
+    version; a reply echoing the newest outstanding request id promotes
+    that request's vector to the delta baseline, a nak drops it. *)
+
+val respond : ?domains:int -> Edb_core.Node.t -> src:int -> string -> string
+(** [respond node ~src frame] is the source side of one session
+    message: decode the request, run the paper's [SendPropagation],
+    and encode the reply — or a nak when the request does not decode.
+    Charges [node]'s counters: one message, modeled [bytes_sent], and
+    actual {!Edb_metrics.Counters.t.wire_bytes_sent}. *)
+
+val pull :
+  ?domains:int ->
+  recipient:Edb_core.Node.t ->
+  source:Edb_core.Node.t ->
+  unit ->
+  Edb_core.Node.pull_result
+(** {!Edb_core.Node.pull} over real frames: encode the request, decode
+    it at the source, encode the reply, decode and apply it — charging
+    both modeled bytes (identical to the unframed pull) and actual
+    wire bytes on both ends. A nak (lost baseline) is retried once
+    with an absolute vector. *)
+
+val sync_pair : ?domains:int -> Edb_core.Node.t -> Edb_core.Node.t -> unit
+(** {!pull} in both directions. *)
+
+val describe : ?n:int -> string -> string
+(** Human-readable dump of a frame (either version) for [edb_cli wire].
+    v2 bodies are dimension-implicit, so [n] is required for them;
+    delta-encoded DBVVs are printed symbolically (the baseline lives
+    only in the source's slots). Raises {!Codec.Reader.Corrupt} on
+    malformed frames. *)

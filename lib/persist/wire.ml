@@ -19,13 +19,22 @@ let decode_operation r =
   | 0 -> Operation.Set (Codec.Reader.string r)
   | 1 ->
     let offset = Codec.Reader.int r in
+    if offset < 0 then corrupt "negative splice offset %d" offset;
     let data = Codec.Reader.string r in
     Operation.Splice { offset; data }
   | tag -> corrupt "unknown operation tag %d" tag
 
 let encode_vv w vv = Codec.Writer.array w Codec.Writer.int (Vv.to_array vv)
 
-let decode_vv r = Vv.of_array (Codec.Reader.array r Codec.Reader.int)
+let decode_vv r =
+  let a =
+    Codec.Reader.array r (fun r ->
+        let v = Codec.Reader.int r in
+        if v < 0 then corrupt "negative version-vector component %d" v;
+        v)
+  in
+  if Array.length a = 0 then corrupt "empty version vector";
+  Vv.of_array a
 
 let encode_log_record w (record : Edb_log.Log_record.t) =
   Codec.Writer.string w record.item;
@@ -34,6 +43,7 @@ let encode_log_record w (record : Edb_log.Log_record.t) =
 let decode_log_record r =
   let item = Codec.Reader.string r in
   let seq = Codec.Reader.int r in
+  if seq < 1 then corrupt "log record sequence %d below 1" seq;
   { Edb_log.Log_record.item; seq }
 
 let encode_payload w (payload : Message.payload) =
@@ -56,7 +66,9 @@ let decode_payload r =
   | 1 ->
     let decode_delta_op r =
       let origin = Codec.Reader.int r in
+      if origin < 0 then corrupt "negative delta-op origin %d" origin;
       let seq = Codec.Reader.int r in
+      if seq < 1 then corrupt "delta-op sequence %d below 1" seq;
       let op = decode_operation r in
       { Message.origin; seq; op }
     in
@@ -105,6 +117,7 @@ let decode_propagation_reply r =
   | 2 ->
     let decode_shard_delta r =
       let shard = Codec.Reader.int r in
+      if shard < 0 then corrupt "negative shard index %d" shard;
       let tails =
         Codec.Reader.array r (fun r -> Codec.Reader.list r decode_log_record)
       in
@@ -113,6 +126,26 @@ let decode_propagation_reply r =
     in
     Message.Propagate_sharded (Codec.Reader.list r decode_shard_delta)
   | tag -> corrupt "unknown reply tag %d" tag
+
+(* The request never travels through the WAL or a snapshot — sessions
+   are not journaled from the requesting side — so this codec is new
+   with the framed transports and has no pinned-fixture constraint.
+   Still fixed-width, like every v1 form. *)
+let encode_propagation_request w (req : Message.propagation_request) =
+  Codec.Writer.int w req.recipient;
+  encode_vv w req.recipient_dbvv;
+  Codec.Writer.array w (fun w vv -> encode_vv w vv) req.recipient_shard_dbvvs
+
+let decode_propagation_request r =
+  let recipient = Codec.Reader.int r in
+  let recipient_dbvv = decode_vv r in
+  let recipient_shard_dbvvs = Codec.Reader.array r decode_vv in
+  { Message.recipient; recipient_dbvv; recipient_shard_dbvvs }
+
+let encode_oob_request w (req : Message.oob_request) =
+  Codec.Writer.string w req.item
+
+let decode_oob_request r = { Message.item = Codec.Reader.string r }
 
 let encode_oob_reply w (reply : Message.oob_reply) =
   Codec.Writer.string w reply.item;

@@ -24,6 +24,19 @@ val encode_propagation_reply :
 
 val decode_propagation_reply : Codec.Reader.t -> Edb_core.Message.propagation_reply
 
+val encode_propagation_request :
+  Codec.Writer.t -> Edb_core.Message.propagation_request -> unit
+(** The fixed-width v1 request form used by the framed transports
+    ({!Frame}); requests are never journaled, so unlike the reply
+    codecs this one carries no WAL-compatibility constraint. *)
+
+val decode_propagation_request :
+  Codec.Reader.t -> Edb_core.Message.propagation_request
+
+val encode_oob_request : Codec.Writer.t -> Edb_core.Message.oob_request -> unit
+
+val decode_oob_request : Codec.Reader.t -> Edb_core.Message.oob_request
+
 val encode_oob_reply : Codec.Writer.t -> Edb_core.Message.oob_reply -> unit
 
 val decode_oob_reply : Codec.Reader.t -> Edb_core.Message.oob_reply

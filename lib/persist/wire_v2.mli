@@ -1,0 +1,78 @@
+(** Wire format v2 — the compact codec (DESIGN.md §8).
+
+    Where {!Wire} (v1) spends a fixed 8 bytes per integer and re-ships
+    every item name in full, v2 uses LEB128 varints, a per-message
+    name-interning dictionary, sparse [(origin, count)] version
+    vectors, and — for the request DBVV — an optional delta against a
+    baseline the peer provably still holds. Framing, version
+    negotiation and baseline bookkeeping live in {!Frame}; this module
+    is the pure byte layout.
+
+    Unlike v1, the v2 forms are dimension-implicit: decoders take the
+    cluster dimension [~n] from the session context instead of reading
+    it off the wire, and validate every origin against it. All decoders
+    raise {!Codec.Reader.Corrupt} (and nothing else) on malformed
+    input. *)
+
+val encode_vv : Codec.Writer.t -> Edb_vv.Version_vector.t -> unit
+(** Sparse form: [varint count] then strictly-ascending
+    [(varint origin, varint value)] pairs, zero components omitted. *)
+
+val decode_vv : Codec.Reader.t -> n:int -> Edb_vv.Version_vector.t
+
+val encode_vv_delta :
+  Codec.Writer.t ->
+  baseline:Edb_vv.Version_vector.t ->
+  Edb_vv.Version_vector.t ->
+  unit
+(** The sparse encoding of [vv - baseline]. [Invalid_argument] unless
+    [vv] dominates or equals [baseline] (the caller checks first and
+    falls back to {!encode_vv}). *)
+
+val decode_vv_delta :
+  Codec.Reader.t -> baseline:Edb_vv.Version_vector.t -> Edb_vv.Version_vector.t
+
+val vv_checksum : Edb_vv.Version_vector.t -> int
+(** A cheap 30-bit commitment to a vector's contents, shipped with the
+    baseline id in delta requests so a baseline mixup surfaces as
+    {!Codec.Reader.Corrupt} instead of a wrong reconstruction. *)
+
+val encode_operation : Codec.Writer.t -> Edb_store.Operation.t -> unit
+
+val decode_operation : Codec.Reader.t -> Edb_store.Operation.t
+
+val encode_propagation_reply :
+  Codec.Writer.t -> Edb_core.Message.propagation_reply -> unit
+
+val decode_propagation_reply :
+  Codec.Reader.t -> n:int -> Edb_core.Message.propagation_reply
+
+val encode_propagation_request :
+  Codec.Writer.t ->
+  ?baseline:int * Edb_vv.Version_vector.t ->
+  Edb_core.Message.propagation_request ->
+  unit
+(** [baseline] is [(id, vv)] of a request the peer has acknowledged;
+    when given and dominated by the current DBVV, the request ships the
+    delta form tagged with [id] and {!vv_checksum}; otherwise the
+    absolute sparse form. *)
+
+val decode_propagation_request :
+  Codec.Reader.t ->
+  n:int ->
+  resolve:(int -> Edb_vv.Version_vector.t option) ->
+  Edb_core.Message.propagation_request * int option
+(** [resolve id] must return the baseline vector stored under [id]
+    (the source's committed/candidate slots, see {!Frame}); [None] or
+    a checksum mismatch raises {!Codec.Reader.Corrupt} — the framed
+    transports answer that with a Nak and the requester falls back to
+    an absolute vector. Returns the request and the baseline id it was
+    decoded against, if any. *)
+
+val encode_oob_request : Codec.Writer.t -> Edb_core.Message.oob_request -> unit
+
+val decode_oob_request : Codec.Reader.t -> Edb_core.Message.oob_request
+
+val encode_oob_reply : Codec.Writer.t -> Edb_core.Message.oob_reply -> unit
+
+val decode_oob_reply : Codec.Reader.t -> n:int -> Edb_core.Message.oob_reply

@@ -129,7 +129,7 @@ let send_message t ~from_ ~to_ make_event =
    runs so the session eventually completes or abandons. *)
 let send_request t ~policy sid st =
   if t.alive.(st.s_dst) then begin
-    let msg = (granular t).Driver.make_request ~dst:st.s_dst in
+    let msg = (granular t).Driver.make_request ~dst:st.s_dst ~src:st.s_src in
     send_message t ~from_:st.s_dst ~to_:st.s_src (fun () ->
         Request_delivery { sid; src = st.s_src; dst = st.s_dst; msg })
   end;
@@ -183,7 +183,7 @@ let rec execute t event =
        responder cannot know). Duplicate requests produce duplicate
        replies; both are charged — that is the honest message cost. *)
     if t.alive.(src) then begin
-      let reply = (granular t).Driver.make_reply ~src msg in
+      let reply = (granular t).Driver.make_reply ~src ~dst msg in
       send_message t ~from_:src ~to_:dst (fun () ->
           Reply_delivery { sid; src; dst; msg = reply })
     end

@@ -8,10 +8,16 @@ let apply value op =
     let value_len = String.length value in
     let data_len = String.length data in
     let result_len = max value_len (offset + data_len) in
-    let buf = Bytes.make result_len '\000' in
+    (* One allocation, no up-front zero-fill: every byte of the result
+       is written by the two blits except a gap between the end of the
+       old value and a beyond-the-end offset, which is zero-filled
+       explicitly. [unsafe_to_string] is sound because [buf] never
+       escapes. *)
+    let buf = Bytes.create result_len in
     Bytes.blit_string value 0 buf 0 value_len;
+    if offset > value_len then Bytes.fill buf value_len (offset - value_len) '\000';
     Bytes.blit_string data 0 buf offset data_len;
-    Bytes.to_string buf
+    Bytes.unsafe_to_string buf
 
 let size_bytes = function
   | Set v -> String.length v

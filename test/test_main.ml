@@ -24,6 +24,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("experiments", Test_experiments.suite);
       ("persist", Test_persist.suite);
+      ("wire-v2", Test_wire_v2.suite);
       ("tokens", Test_tokens.suite);
       ("sessions", Test_sessions.suite);
       ("op-log", Test_oplog.suite);
