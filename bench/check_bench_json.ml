@@ -1,32 +1,22 @@
-(* Validator for BENCH_micro.json, run by the @bench-smoke alias so a
-   bit-rotted bench harness (or a malformed emission) fails tier-1
-   instead of being discovered when someone needs the perf trajectory. *)
+(* Validator for the bench emissions, run by the @bench-smoke and
+   @scenario aliases so a bit-rotted harness (or a malformed emission)
+   fails tier-1 instead of being discovered when someone needs the perf
+   trajectory. Dispatches on the document's "kind": scenario time
+   series ("timeseries", BENCH_timeseries.json) or the default
+   micro-benchmark document (BENCH_micro.json). *)
 
 module Json = Edb_metrics.Json
+module Counters = Edb_metrics.Counters
 
 let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
 
 let require what = function Some v -> v | None -> fail "missing or ill-typed %s" what
 
-let () =
-  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_micro.json" in
-  let blob =
-    match open_in_bin path with
-    | exception Sys_error msg -> fail "cannot open %s: %s" path msg
-    | ic ->
-      let data = really_input_string ic (in_channel_length ic) in
-      close_in ic;
-      data
-  in
-  let doc =
-    match Json.of_string blob with
-    | Ok doc -> doc
-    | Error msg -> fail "%s: parse error: %s" path msg
-  in
-  let schema =
-    require "schema" (Option.bind (Json.member "schema" doc) Json.to_float_opt)
-  in
-  if schema <> 1.0 then fail "%s: unknown schema version %g" path schema;
+(* ------------------------------------------------------------------ *)
+(* BENCH_micro.json                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let check_micro path doc =
   let benchmarks =
     match Json.member "benchmarks" doc with
     | Some (Json.Obj fields) -> fields
@@ -90,75 +80,252 @@ let () =
           | _ -> fail "%s: experiment %S has a malformed row" path title)
         rows)
     experiments;
+  let columns_of table =
+    List.filter_map Json.to_string_opt
+      (Option.value ~default:[]
+         (Option.bind (Json.member "columns" table) Json.to_list_opt))
+  in
+  let find_table prefix =
+    List.find_opt
+      (fun table ->
+        match Option.bind (Json.member "title" table) Json.to_string_opt with
+        | Some title -> Astring.String.is_prefix ~affix:prefix title
+        | None -> false)
+      experiments
+  in
+  let require_columns ~what prefix wanted =
+    match find_table prefix with
+    | None -> fail "%s: no %s experiment table" path what
+    | Some table ->
+      let columns = columns_of table in
+      List.iter
+        (fun column ->
+          if not (List.mem column columns) then
+            fail "%s: %s table lacks the %S column" path what column)
+        wanted
+  in
   (* The loss/retry sweep must carry the transport-robustness counters:
      future PR diffs key on the timeout/retry/abandoned columns. *)
-  let e17 =
-    List.find_opt
-      (fun table ->
-        match Option.bind (Json.member "title" table) Json.to_string_opt with
-        | Some title -> Astring.String.is_prefix ~affix:"E17:" title
-        | None -> false)
-      experiments
-  in
-  (match e17 with
-  | None -> fail "%s: no E17 message-loss experiment table" path
-  | Some table ->
-    let columns =
-      List.filter_map Json.to_string_opt
-        (Option.value ~default:[]
-           (Option.bind (Json.member "columns" table) Json.to_list_opt))
-    in
-    List.iter
-      (fun column ->
-        if not (List.mem column columns) then
-          fail "%s: E17 table lacks the %S column" path column)
-      [ "timeouts"; "retries"; "abandoned" ]);
+  require_columns ~what:"E17 message-loss" "E17:"
+    [ "timeouts"; "retries"; "abandoned" ];
   (* The sharding experiment must carry the per-shard skipping counter:
      E18's acceptance keys on converged shards shipping zero bytes. *)
-  let e18 =
-    List.find_opt
-      (fun table ->
-        match Option.bind (Json.member "title" table) Json.to_string_opt with
-        | Some title -> Astring.String.is_prefix ~affix:"E18:" title
-        | None -> false)
-      experiments
-  in
-  (match e18 with
-  | None -> fail "%s: no E18 sharded-replicas experiment table" path
-  | Some table ->
-    let columns =
-      List.filter_map Json.to_string_opt
-        (Option.value ~default:[]
-           (Option.bind (Json.member "columns" table) Json.to_list_opt))
-    in
-    List.iter
-      (fun column ->
-        if not (List.mem column columns) then
-          fail "%s: E18 table lacks the %S column" path column)
-      [ "shards"; "domains"; "shards skipped"; "bytes" ]);
+  require_columns ~what:"E18 sharded-replicas" "E18:"
+    [ "shards"; "domains"; "shards skipped"; "bytes" ];
   (* The wire-codec experiment must report real bytes on the wire next
      to the size model: E19's acceptance keys on measured
      bytes-per-session, v2 vs v1. *)
-  let e19 =
-    List.find_opt
-      (fun table ->
-        match Option.bind (Json.member "title" table) Json.to_string_opt with
-        | Some title -> Astring.String.is_prefix ~affix:"E19:" title
-        | None -> false)
-      experiments
-  in
-  (match e19 with
-  | None -> fail "%s: no E19 wire-codec experiment table" path
-  | Some table ->
-    let columns =
-      List.filter_map Json.to_string_opt
-        (Option.value ~default:[]
-           (Option.bind (Json.member "columns" table) Json.to_list_opt))
-    in
-    List.iter
-      (fun column ->
-        if not (List.mem column columns) then
-          fail "%s: E19 table lacks the %S column" path column)
-      [ "codec"; "bytes (model)"; "wire bytes"; "wire B/session" ]);
+  require_columns ~what:"E19 wire-codec" "E19:"
+    [ "codec"; "bytes (model)"; "wire bytes"; "wire B/session" ];
   Printf.printf "%s OK: %d benchmarks, %d experiment tables\n" path
     (List.length benchmarks) (List.length experiments)
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_timeseries.json                                               *)
+(* ------------------------------------------------------------------ *)
+
+let get what conv v =
+  match conv v with Some x -> x | None -> fail "ill-typed %s" what
+
+let mem what doc key conv =
+  get what conv (require what (Json.member key doc))
+
+let check_stale ~path ~where stale =
+  let num key =
+    let v =
+      mem (Printf.sprintf "%s staleness %s" where key) stale key Json.to_float_opt
+    in
+    if not (Float.is_finite v) || v < 0.0 then
+      fail "%s: %s staleness %s = %g out of range" path where key v;
+    v
+  in
+  let count =
+    match Json.member "count" stale with
+    | Some (Json.Int c) when c >= 1 -> c
+    | _ -> fail "%s: %s staleness lacks a positive count" path where
+  in
+  let mean = num "mean" in
+  let p50 = num "p50" in
+  let p90 = num "p90" in
+  let max_ = num "max" in
+  if p50 > p90 || p90 > max_ then
+    fail "%s: %s staleness percentiles not ordered (p50 %g, p90 %g, max %g)"
+      path where p50 p90 max_;
+  if mean > max_ then
+    fail "%s: %s staleness mean %g exceeds max %g" path where mean max_;
+  count
+
+let check_timeseries path doc =
+  let generated_by =
+    mem "generated_by" doc "generated_by" Json.to_string_opt
+  in
+  if generated_by = "" then fail "%s: empty generated_by" path;
+  let scenario = require "scenario object" (Json.member "scenario" doc) in
+  let nodes =
+    match Json.member "nodes" scenario with
+    | Some (Json.Int n) when n >= 2 -> n
+    | _ -> fail "%s: scenario lacks a node count >= 2" path
+  in
+  let name = mem "scenario name" scenario "name" Json.to_string_opt in
+  let ticks =
+    require "ticks list" (Option.bind (Json.member "ticks" doc) Json.to_list_opt)
+  in
+  if List.length ticks < 2 then fail "%s: fewer than two ticks" path;
+  (* Walk the series checking monotonicity tick over tick: indices
+     count up by one, virtual time strictly advances, and every
+     cumulative quantity — sessions, updates, each cost counter — never
+     steps backwards (the sampler folds node-replacement resets into a
+     preserved base, so a backward step is an emission bug). *)
+  let prev_index = ref (-1) in
+  let prev_time = ref neg_infinity in
+  let prev_attempted = ref 0 and prev_lost = ref 0 in
+  let prev_issued = ref 0 and prev_visible = ref 0 in
+  let field_count = List.length Counters.field_names in
+  let prev_counters = Array.make field_count 0 in
+  let stale_total = ref 0 in
+  List.iter
+    (fun tick ->
+      let index =
+        match Json.member "index" tick with
+        | Some (Json.Int i) -> i
+        | _ -> fail "%s: tick lacks an integer index" path
+      in
+      let where = Printf.sprintf "tick %d" index in
+      if index <> !prev_index + 1 then
+        fail "%s: tick indices jump from %d to %d" path !prev_index index;
+      prev_index := index;
+      let time = mem (where ^ " time") tick "time" Json.to_float_opt in
+      if not (Float.is_finite time) then fail "%s: %s time not finite" path where;
+      if index = 0 then begin
+        if time <> 0.0 then fail "%s: first tick at time %g, want 0" path time
+      end
+      else if time <= !prev_time then
+        fail "%s: %s time %g does not advance past %g" path where time !prev_time;
+      prev_time := time;
+      let alive =
+        match Json.member "alive" tick with
+        | Some (Json.Int a) when a >= 0 && a <= nodes -> a
+        | _ -> fail "%s: %s alive count out of [0, %d]" path where nodes
+      in
+      ignore alive;
+      let sub obj key field =
+        match Option.bind (Json.member key obj) (Json.member field) with
+        | Some (Json.Int v) when v >= 0 -> v
+        | _ -> fail "%s: %s lacks non-negative %s.%s" path where key field
+      in
+      let attempted = sub tick "sessions" "attempted" in
+      let lost = sub tick "sessions" "lost" in
+      let _in_flight = sub tick "sessions" "in_flight" in
+      if lost > attempted then
+        fail "%s: %s lost %d exceeds attempted %d" path where lost attempted;
+      if attempted < !prev_attempted || lost < !prev_lost then
+        fail "%s: %s session totals step backwards" path where;
+      prev_attempted := attempted;
+      prev_lost := lost;
+      let issued = sub tick "updates" "issued" in
+      let visible = sub tick "updates" "visible" in
+      if visible > issued then
+        fail "%s: %s visible %d exceeds issued %d" path where visible issued;
+      if issued < !prev_issued || visible < !prev_visible then
+        fail "%s: %s update totals step backwards" path where;
+      prev_issued := issued;
+      prev_visible := visible;
+      let counters =
+        match Json.member "counters" tick with
+        | Some (Json.Obj fields) -> fields
+        | _ -> fail "%s: %s lacks a counters object" path where
+      in
+      (* Exact ordered key agreement with Counters.fields: a counter
+         added to the library but missing here is the dangling-total
+         bug class this validator exists to catch. *)
+      if List.map fst counters <> Counters.field_names then
+        fail "%s: %s counters keys disagree with Counters.field_names" path where;
+      List.iteri
+        (fun i (key, v) ->
+          match v with
+          | Json.Int v when v >= 0 ->
+            if v < prev_counters.(i) then
+              fail "%s: %s counter %s steps backwards (%d -> %d)" path where key
+                prev_counters.(i) v;
+            prev_counters.(i) <- v
+          | _ -> fail "%s: %s counter %s not a non-negative integer" path where key)
+        counters;
+      (match Json.member "staleness" tick with
+      | Some Json.Null -> ()
+      | Some stale -> stale_total := !stale_total + check_stale ~path ~where stale
+      | None -> fail "%s: %s lacks a staleness field" path where))
+    ticks;
+  (* Every visible update contributes exactly one staleness sample. *)
+  if !stale_total <> !prev_visible then
+    fail "%s: staleness samples (%d) disagree with visible updates (%d)" path
+      !stale_total !prev_visible;
+  let summary = require "summary object" (Json.member "summary" doc) in
+  (match Json.member "converged_at" summary with
+  | Some Json.Null -> ()
+  | Some (Json.Float t) when Float.is_finite t && t >= 0.0 -> ()
+  | _ -> fail "%s: summary converged_at neither null nor a finite time" path);
+  let end_time = mem "summary end_time" summary "end_time" Json.to_float_opt in
+  if not (Float.is_finite end_time) || end_time < 0.0 then
+    fail "%s: summary end_time %g out of range" path end_time;
+  let sub obj key field =
+    match Option.bind (Json.member key obj) (Json.member field) with
+    | Some (Json.Int v) when v >= 0 -> v
+    | _ -> fail "%s: summary lacks non-negative %s.%s" path key field
+  in
+  if sub summary "updates" "issued" <> !prev_issued
+     || sub summary "updates" "visible" <> !prev_visible
+  then fail "%s: summary update totals disagree with the last tick" path;
+  if sub summary "sessions" "attempted" <> !prev_attempted
+     || sub summary "sessions" "lost" <> !prev_lost
+  then fail "%s: summary session totals disagree with the last tick" path;
+  (match Json.member "staleness" summary with
+  | Some Json.Null ->
+    if !prev_visible > 0 then
+      fail "%s: summary staleness null with %d visible updates" path !prev_visible
+  | Some stale ->
+    let count = check_stale ~path ~where:"summary" stale in
+    if count <> !prev_visible then
+      fail "%s: summary staleness count %d, want %d visible" path count !prev_visible
+  | None -> fail "%s: summary lacks a staleness field" path);
+  (match Json.member "counters" summary with
+  | Some (Json.Obj fields) ->
+    List.iteri
+      (fun i (key, v) ->
+        match v with
+        | Json.Int v when v = prev_counters.(i) -> ()
+        | _ ->
+          fail "%s: summary counter %s disagrees with the last tick" path key)
+      fields;
+    if List.map fst fields <> Counters.field_names then
+      fail "%s: summary counters keys disagree with Counters.field_names" path
+  | _ -> fail "%s: summary lacks a counters object" path);
+  Printf.printf "%s OK: scenario %S, %d ticks, %d/%d updates visible\n" path name
+    (List.length ticks) !prev_visible !prev_issued
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_micro.json" in
+  let blob =
+    match open_in_bin path with
+    | exception Sys_error msg -> fail "cannot open %s: %s" path msg
+    | ic ->
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      data
+  in
+  let doc =
+    match Json.of_string blob with
+    | Ok doc -> doc
+    | Error msg -> fail "%s: parse error: %s" path msg
+  in
+  let schema =
+    require "schema" (Option.bind (Json.member "schema" doc) Json.to_float_opt)
+  in
+  if schema <> 1.0 then fail "%s: unknown schema version %g" path schema;
+  match Json.member "kind" doc with
+  | Some (Json.String "timeseries") -> check_timeseries path doc
+  | Some (Json.String other) -> fail "%s: unknown document kind %S" path other
+  | _ -> check_micro path doc

@@ -12,6 +12,8 @@ module Driver = Edb_baselines.Driver
 module Engine = Edb_sim.Engine
 module Network = Edb_sim.Network
 module Frame = Edb_persist.Frame
+module Scenario = Edb_scenario.Scenario
+module Orchestrator = Edb_scenario.Orchestrator
 
 let item = Workload.item_name
 
@@ -566,21 +568,92 @@ let e11_oplog_transport ?(quick = false) () =
 (* E12 — timeliness vs anti-entropy period (extension)                 *)
 (* ------------------------------------------------------------------ *)
 
-let e12_timeliness_vs_period ?(quick = false) () =
+(* E12 runs through the scenario orchestrator; [e12_legacy] keeps the
+   original bespoke engine loop so test_experiments.ml can pin the two
+   paths equivalent (same tables, same counters) before the legacy loop
+   retires. *)
+
+let e12_params quick =
   let n = if quick then 6 else 16 in
   let updates = if quick then 40 else 200 in
   let window = 100.0 in
   let periods = if quick then [ 1.0; 4.0 ] else [ 0.5; 1.0; 2.0; 4.0; 8.0 ] in
-  let table =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E12: anti-entropy period vs timeliness - %d nodes, %d single-writer \
-            updates over %.0f time units; lag = time from last update to full \
-            convergence"
-           n updates window)
-      ~columns:[ "period"; "convergence lag"; "sessions"; "bytes sent"; "noop sessions" ]
-  in
+  (n, updates, window, periods)
+
+let e12_table ~n ~updates ~window =
+  Table.create
+    ~title:
+      (Printf.sprintf
+         "E12: anti-entropy period vs timeliness - %d nodes, %d single-writer \
+          updates over %.0f time units; lag = time from last update to full \
+          convergence"
+         n updates window)
+    ~columns:[ "period"; "convergence lag"; "sessions"; "bytes sent"; "noop sessions" ]
+
+let e12_row table ~period ~lag ~sessions ~(total : Counters.t) =
+  Table.add_row table
+    [
+      Printf.sprintf "%.1f" period;
+      lag;
+      string_of_int sessions;
+      string_of_int total.bytes_sent;
+      string_of_int total.noop_sessions;
+    ]
+
+let e12_scenario ~n ~updates ~window ~period =
+  {
+    Scenario.name = "e12";
+    description = "One E12 cell: timeliness vs anti-entropy period.";
+    nodes = n;
+    shards = 1;
+    items = 200;
+    value_size = 64;
+    zipf = 1.0;
+    single_writer = true;
+    cache = false;
+    seeds = { Scenario.driver = 77; engine = 78; workload = 79 };
+    topology = Scenario.Random;
+    period;
+    first_at = period /. 2.0;
+    latency = 1.0;
+    loss = 0.0;
+    duplication = 0.0;
+    transport = Scenario.Session;
+    arrival =
+      Scenario.Phases
+        [
+          {
+            Scenario.from_ = 0.0;
+            until = window;
+            rate = float_of_int updates /. window;
+          };
+        ];
+    faults = [];
+    duration = window;
+    tick = period /. 2.0;
+    until_converged = true;
+    deadline = window +. 500.0;
+  }
+
+let e12_timeliness_vs_period ?(quick = false) () =
+  let n, updates, window, periods = e12_params quick in
+  let table = e12_table ~n ~updates ~window in
+  List.iter
+    (fun period ->
+      let r = Orchestrator.run (e12_scenario ~n ~updates ~window ~period) in
+      let lag =
+        match r.Orchestrator.converged_at with
+        | Some t -> Printf.sprintf "%.1f" (t -. window)
+        | None -> "never"
+      in
+      e12_row table ~period ~lag ~sessions:r.Orchestrator.attempted
+        ~total:r.Orchestrator.totals)
+    periods;
+  table
+
+let e12_legacy ?(quick = false) () =
+  let n, updates, window, periods = e12_params quick in
+  let table = e12_table ~n ~updates ~window in
   List.iter
     (fun period ->
       let _, driver = Edb_baselines.Epidemic_driver.create ~seed:77 ~n () in
@@ -608,15 +681,8 @@ let e12_timeliness_vs_period ?(quick = false) () =
         | Some t -> Printf.sprintf "%.1f" (t -. window)
         | None -> "never"
       in
-      let total = driver.Driver.total_counters () in
-      Table.add_row table
-        [
-          Printf.sprintf "%.1f" period;
-          lag;
-          string_of_int (Engine.sessions_attempted engine);
-          string_of_int total.bytes_sent;
-          string_of_int total.noop_sessions;
-        ])
+      e12_row table ~period ~lag ~sessions:(Engine.sessions_attempted engine)
+        ~total:(driver.Driver.total_counters ()))
     periods;
   table
 
@@ -624,71 +690,141 @@ let e12_timeliness_vs_period ?(quick = false) () =
 (* E13 — update propagation delay distribution (extension)             *)
 (* ------------------------------------------------------------------ *)
 
-let e13_propagation_delay ?(quick = false) () =
+(* E13 runs through the orchestrator, whose DBVV-watermark staleness
+   sampling observes exactly the value-visibility delays the bespoke
+   loop measured (per-origin knowledge is prefix-closed, so "every DBVV
+   covers the update" = "every replica has the value"). The legacy loop
+   stays behind [~legacy:true] for the equivalence pin. *)
+
+let e13_params quick =
   let ns = if quick then [ 8 ] else [ 8; 16; 32 ] in
   let updates = if quick then 30 else 100 in
-  let issue_window = 20 in
-  let table =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E13: rounds from update to full visibility on every replica - %d \
-            one-shot updates issued over %d random-pull rounds"
-           updates issue_window)
-      ~columns:[ "n"; "mean"; "p50"; "p90"; "max" ]
+  (ns, updates, 20)
+
+let e13_table ~updates ~issue_window =
+  Table.create
+    ~title:
+      (Printf.sprintf
+         "E13: rounds from update to full visibility on every replica - %d \
+          one-shot updates issued over %d random-pull rounds"
+         updates issue_window)
+    ~columns:[ "n"; "mean"; "p50"; "p90"; "max" ]
+
+let e13_row table ~n ~(delays : Edb_metrics.Histogram.t) =
+  let pct p = Printf.sprintf "%.0f" (Edb_metrics.Histogram.percentile delays p) in
+  Table.add_row table
+    [
+      string_of_int n;
+      Printf.sprintf "%.1f" (Edb_metrics.Histogram.mean delays);
+      pct 50.0;
+      pct 90.0;
+      Printf.sprintf "%.0f" (Edb_metrics.Histogram.max_value delays);
+    ]
+
+(* Distinct item per update so visibility is unambiguous. *)
+let e13_schedule ~n ~updates ~issue_window =
+  let prng = Edb_util.Prng.create ~seed:(400 + n) in
+  List.init updates (fun i ->
+      (Edb_util.Prng.int prng issue_window, i, Edb_util.Prng.int prng n))
+
+let e13_scenario ~n ~updates ~issue_window =
+  let script =
+    List.map
+      (fun (at, i, node) ->
+        { Scenario.at = float_of_int at; node; item = i; seq = 1 })
+      (e13_schedule ~n ~updates ~issue_window)
   in
+  {
+    Scenario.name = "e13";
+    description = "One E13 cell: update-to-visibility delay distribution.";
+    nodes = n;
+    shards = 1;
+    items = updates;
+    value_size = 64;
+    zipf = 0.0;
+    single_writer = false;
+    cache = false;
+    (* The engine seed reproduces the legacy cluster's peer-draw
+       sequence: both are one splitmix64 stream consumed only by peer
+       selection (reliable zero-jitter network draws nothing else). *)
+    seeds = { Scenario.driver = 300 + n; engine = 300 + n; workload = 0 };
+    topology = Scenario.Random;
+    period = 1.0;
+    first_at = 0.5;
+    latency = 0.0;
+    loss = 0.0;
+    duplication = 0.0;
+    transport = Scenario.Session;
+    arrival = Scenario.Script script;
+    faults = [];
+    (* Round r of the legacy loop is the engine round at r + 0.5; tick
+       r + 1 samples right after it. Checking convergence only at ticks
+       past [issue_window - 1] reproduces the legacy loop's "never exit
+       before the issue window closes" bound exactly. *)
+    duration = float_of_int (issue_window - 1);
+    tick = 1.0;
+    until_converged = true;
+    deadline = 400.0;
+  }
+
+(* Both E13 paths, also exposing the per-n cluster counter totals the
+   equivalence test compares field by field. *)
+let e13_with_totals ?(quick = false) ~legacy () =
+  let ns, updates, issue_window = e13_params quick in
+  let table = e13_table ~updates ~issue_window in
+  let totals = ref [] in
   List.iter
     (fun n ->
-      let cluster = Cluster.create ~seed:(300 + n) ~n () in
-      let prng = Edb_util.Prng.create ~seed:(400 + n) in
-      let delays = Edb_metrics.Histogram.create () in
-      (* Distinct item per update so visibility is unambiguous. *)
-      let schedule =
-        List.init updates (fun i ->
-            (Edb_util.Prng.int prng issue_window, i, Edb_util.Prng.int prng n))
-      in
-      let pending = ref [] in
-      let round = ref 0 in
-      let max_rounds = 400 in
-      while (!pending <> [] || !round < issue_window) && !round < max_rounds do
-        List.iter
-          (fun (at, i, node) ->
-            if at = !round then begin
-              let name = item i in
-              Cluster.update cluster ~node ~item:name
-                (Operation.Set (payload ~rank:i ~seq:1));
-              pending := (name, payload ~rank:i ~seq:1, !round) :: !pending
-            end)
-          schedule;
-        Cluster.random_pull_round cluster;
-        let visible (name, value, _) =
-          let all = ref true in
-          for node = 0 to n - 1 do
-            match Cluster.read cluster ~node ~item:name with
-            | Some v when String.equal v value -> ()
-            | Some _ | None -> all := false
-          done;
-          !all
-        in
-        let done_, still = List.partition visible !pending in
-        List.iter
-          (fun (_, _, issued) ->
-            Edb_metrics.Histogram.add delays (float_of_int (!round - issued + 1)))
-          done_;
-        pending := still;
-        incr round
-      done;
-      let pct p = Printf.sprintf "%.0f" (Edb_metrics.Histogram.percentile delays p) in
-      Table.add_row table
-        [
-          string_of_int n;
-          Printf.sprintf "%.1f" (Edb_metrics.Histogram.mean delays);
-          pct 50.0;
-          pct 90.0;
-          Printf.sprintf "%.0f" (Edb_metrics.Histogram.max_value delays);
-        ])
+      if legacy then begin
+        let cluster = Cluster.create ~seed:(300 + n) ~n () in
+        let delays = Edb_metrics.Histogram.create () in
+        let schedule = e13_schedule ~n ~updates ~issue_window in
+        let pending = ref [] in
+        let round = ref 0 in
+        let max_rounds = 400 in
+        while (!pending <> [] || !round < issue_window) && !round < max_rounds do
+          List.iter
+            (fun (at, i, node) ->
+              if at = !round then begin
+                let name = item i in
+                Cluster.update cluster ~node ~item:name
+                  (Operation.Set (payload ~rank:i ~seq:1));
+                pending := (name, payload ~rank:i ~seq:1, !round) :: !pending
+              end)
+            schedule;
+          Cluster.random_pull_round cluster;
+          let visible (name, value, _) =
+            let all = ref true in
+            for node = 0 to n - 1 do
+              match Cluster.read cluster ~node ~item:name with
+              | Some v when String.equal v value -> ()
+              | Some _ | None -> all := false
+            done;
+            !all
+          in
+          let done_, still = List.partition visible !pending in
+          List.iter
+            (fun (_, _, issued) ->
+              Edb_metrics.Histogram.add delays (float_of_int (!round - issued + 1)))
+            done_;
+          pending := still;
+          incr round
+        done;
+        e13_row table ~n ~delays;
+        totals := Cluster.total_counters cluster :: !totals
+      end
+      else begin
+        let r = Orchestrator.run (e13_scenario ~n ~updates ~issue_window) in
+        e13_row table ~n ~delays:r.Orchestrator.staleness;
+        totals := r.Orchestrator.totals :: !totals
+      end)
     ns;
-  table
+  (table, List.rev !totals)
+
+let e13_propagation_delay ?(quick = false) () =
+  fst (e13_with_totals ~quick ~legacy:false ())
+
+let e13_legacy ?(quick = false) () = fst (e13_with_totals ~quick ~legacy:true ())
 
 (* ------------------------------------------------------------------ *)
 (* E14 — token ablation: pessimistic vs optimistic under contention    *)
@@ -827,26 +963,97 @@ let e15_peer_cache_savings ?(quick = false) () =
 (* E17 — per-message loss vs the whole-session loss model              *)
 (* ------------------------------------------------------------------ *)
 
+(* E17 runs through the orchestrator; [e17_legacy] keeps the bespoke
+   loop for the equivalence pin, like E12/E13. *)
+
+let e17_losses = [ 0.0; 0.05; 0.2 ]
+
+let e17_table ~nodes ~period =
+  Table.create
+    ~title:
+      (Printf.sprintf
+         "E17: convergence and overhead under message loss, %d nodes, \
+          random-peer anti-entropy every %.0f units — whole-session loss \
+          (the old model: a lost session just vanishes) vs per-message loss \
+          with timeout/retry/backoff (request and reply each face the \
+          loss rate; a timed-out attempt is re-sent up to %d times)"
+         nodes period Engine.default_retry_policy.Engine.max_retries)
+    ~columns:
+      [
+        "transport"; "loss"; "rounds"; "messages"; "bytes"; "timeouts"; "retries";
+        "abandoned";
+      ]
+
+let e17_row table ~transport_name ~loss ~rounds ~(totals : Counters.t) =
+  Table.add_row table
+    [
+      transport_name;
+      Printf.sprintf "%.2f" loss;
+      rounds;
+      string_of_int totals.Counters.messages;
+      string_of_int totals.Counters.bytes_sent;
+      string_of_int totals.Counters.timeouts;
+      string_of_int totals.Counters.retries;
+      string_of_int totals.Counters.sessions_abandoned;
+    ]
+
+let e17_scenario ~nodes ~period ~deadline ~loss ~transport =
+  {
+    Scenario.name = "e17";
+    description = "One E17 cell: convergence under per-message loss.";
+    nodes;
+    shards = 1;
+    items = 8;
+    value_size = 64;
+    zipf = 0.0;
+    single_writer = false;
+    cache = false;
+    seeds = { Scenario.driver = 17; engine = 23; workload = 0 };
+    topology = Scenario.Random;
+    period;
+    first_at = period /. 2.0;
+    latency = 1.0;
+    loss;
+    duplication = 0.0;
+    transport;
+    arrival =
+      Scenario.Script
+        (List.init 8 (fun rank ->
+             { Scenario.at = 0.0; node = rank mod nodes; item = rank; seq = 1 }));
+    faults = [];
+    duration = 0.0;
+    tick = period;
+    until_converged = true;
+    deadline;
+  }
+
 let e17_message_loss ?(quick = false) () =
   let nodes = if quick then 8 else 16 in
   let period = 5.0 in
   let deadline = 3_000.0 in
-  let table =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E17: convergence and overhead under message loss, %d nodes, \
-            random-peer anti-entropy every %.0f units — whole-session loss \
-            (the old model: a lost session just vanishes) vs per-message loss \
-            with timeout/retry/backoff (request and reply each face the \
-            loss rate; a timed-out attempt is re-sent up to %d times)"
-           nodes period Engine.default_retry_policy.Engine.max_retries)
-      ~columns:
-        [
-          "transport"; "loss"; "rounds"; "messages"; "bytes"; "timeouts"; "retries";
-          "abandoned";
-        ]
+  let table = e17_table ~nodes ~period in
+  let run ~transport_name ~transport ~loss =
+    let r = Orchestrator.run (e17_scenario ~nodes ~period ~deadline ~loss ~transport) in
+    let rounds =
+      match r.Orchestrator.converged_at with
+      | Some at -> Printf.sprintf "%.0f" (at /. period)
+      | None -> "-"
+    in
+    e17_row table ~transport_name ~loss ~rounds ~totals:r.Orchestrator.totals
   in
+  List.iter
+    (fun loss ->
+      run ~transport_name:"session" ~transport:Scenario.Session ~loss;
+      run ~transport_name:"message" ~transport:(Scenario.Message Scenario.default_retry)
+        ~loss)
+    e17_losses;
+  table
+
+let e17_legacy ?(quick = false) () =
+  let nodes = if quick then 8 else 16 in
+  let period = 5.0 in
+  let deadline = 3_000.0 in
+  let table = e17_table ~nodes ~period in
   let run ~transport_name ~transport ~loss =
     let cluster, driver = Edb_baselines.Epidemic_driver.create ~seed:17 ~n:nodes () in
     let network = Network.create ~loss_probability:loss () in
@@ -868,18 +1075,7 @@ let e17_message_loss ?(quick = false) () =
       | None -> "-"
     in
     ignore cluster;
-    let totals = driver.Driver.total_counters () in
-    Table.add_row table
-      [
-        transport_name;
-        Printf.sprintf "%.2f" loss;
-        rounds;
-        string_of_int totals.Counters.messages;
-        string_of_int totals.Counters.bytes_sent;
-        string_of_int totals.Counters.timeouts;
-        string_of_int totals.Counters.retries;
-        string_of_int totals.Counters.sessions_abandoned;
-      ]
+    e17_row table ~transport_name ~loss ~rounds ~totals:(driver.Driver.total_counters ())
   in
   List.iter
     (fun loss ->
@@ -887,7 +1083,7 @@ let e17_message_loss ?(quick = false) () =
       run ~transport_name:"message"
         ~transport:(Engine.Message_grain Engine.default_retry_policy)
         ~loss)
-    [ 0.0; 0.05; 0.2 ];
+    e17_losses;
   table
 
 (* ------------------------------------------------------------------ *)

@@ -141,27 +141,45 @@ let diff ~after ~before =
 let total_work t =
   t.vv_comparisons + t.items_examined + t.log_records_examined + t.items_copied
 
+(* The single canonical field enumeration. Every consumer that walks
+   "all counters" — the pretty-printer below, the per-tick scenario
+   sampler, the time-series JSON emitter and its validator — iterates
+   this list, so a counter added to the record but not listed here is
+   invisible everywhere at once (and the field-coverage test in
+   test_metrics.ml flags the arity mismatch). This is the guard against
+   the dangling-total bug class: a counter that exists but is never
+   re-sampled after a reset. *)
+let fields =
+  [
+    ("vv_comparisons", fun t -> t.vv_comparisons);
+    ("items_examined", fun t -> t.items_examined);
+    ("log_records_examined", fun t -> t.log_records_examined);
+    ("items_copied", fun t -> t.items_copied);
+    ("messages", fun t -> t.messages);
+    ("bytes_sent", fun t -> t.bytes_sent);
+    ("wire_bytes_sent", fun t -> t.wire_bytes_sent);
+    ("updates_applied", fun t -> t.updates_applied);
+    ("conflicts_detected", fun t -> t.conflicts_detected);
+    ("propagation_sessions", fun t -> t.propagation_sessions);
+    ("noop_sessions", fun t -> t.noop_sessions);
+    ("aux_replays", fun t -> t.aux_replays);
+    ("oob_copies", fun t -> t.oob_copies);
+    ("delta_ops_applied", fun t -> t.delta_ops_applied);
+    ("whole_fallbacks", fun t -> t.whole_fallbacks);
+    ("sessions_skipped_cached", fun t -> t.sessions_skipped_cached);
+    ("timeouts", fun t -> t.timeouts);
+    ("retries", fun t -> t.retries);
+    ("sessions_abandoned", fun t -> t.sessions_abandoned);
+    ("shards_skipped", fun t -> t.shards_skipped);
+  ]
+
+let field_names = List.map fst fields
+
 let pp fmt t =
-  let field name v = if v <> 0 then Format.fprintf fmt "  %-22s %d@," name v in
   Format.fprintf fmt "@[<v>";
-  field "vv_comparisons" t.vv_comparisons;
-  field "items_examined" t.items_examined;
-  field "log_records_examined" t.log_records_examined;
-  field "items_copied" t.items_copied;
-  field "messages" t.messages;
-  field "bytes_sent" t.bytes_sent;
-  field "wire_bytes_sent" t.wire_bytes_sent;
-  field "updates_applied" t.updates_applied;
-  field "conflicts_detected" t.conflicts_detected;
-  field "propagation_sessions" t.propagation_sessions;
-  field "noop_sessions" t.noop_sessions;
-  field "aux_replays" t.aux_replays;
-  field "oob_copies" t.oob_copies;
-  field "delta_ops_applied" t.delta_ops_applied;
-  field "whole_fallbacks" t.whole_fallbacks;
-  field "sessions_skipped_cached" t.sessions_skipped_cached;
-  field "timeouts" t.timeouts;
-  field "retries" t.retries;
-  field "sessions_abandoned" t.sessions_abandoned;
-  field "shards_skipped" t.shards_skipped;
+  List.iter
+    (fun (name, get) ->
+      let v = get t in
+      if v <> 0 then Format.fprintf fmt "  %-22s %d@," name v)
+    fields;
   Format.fprintf fmt "@]"

@@ -80,5 +80,19 @@ val total_work : t -> int
     comparisons + items examined + records examined + items copied.
     Used when an experiment needs one "overhead" number per cell. *)
 
+val fields : (string * (t -> int)) list
+(** The canonical field enumeration, in declaration order: one
+    [(name, getter)] pair per counter. {b Every} consumer that walks
+    "all counters" — {!pp}, the scenario time-series sampler
+    ([Edb_scenario.Sampler]), the [BENCH_timeseries.json] emitter and
+    its validator — iterates this list, so a counter that exists in the
+    record but is missing here would silently vanish from every report
+    (the dangling-total bug class). Keep it exhaustive; the
+    field-coverage test in [test_metrics.ml] cross-checks it against
+    [add_into]/[diff]. *)
+
+val field_names : string list
+(** [List.map fst fields]. *)
+
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable dump; zero fields are omitted. *)

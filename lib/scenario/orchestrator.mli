@@ -1,0 +1,74 @@
+(** Compile a {!Scenario.t} onto the simulator and sample it.
+
+    The orchestrator builds the paper's protocol cluster behind the
+    {!Edb_baselines.Driver} facade, compiles the scenario's arrival
+    plan into scheduled update events, its fault plan into engine
+    events, and its anti-entropy cadence into a self-rescheduling
+    round — then advances virtual time tick by tick, snapshotting a
+    {!tick} row after each step.
+
+    {b Determinism.} A run is a pure function of the scenario value:
+    all randomness comes from the scenario's seeds (the
+    {!Edb_fault.Fault} registry PRNG is reseeded from the engine seed
+    at run start), and at equal timestamps updates execute before
+    anti-entropy rounds before faults, in declaration order — the
+    engine queue's FIFO tie-break over our fixed insertion order. The
+    golden-run test pins the whole JSON emission byte-for-byte.
+
+    {b Staleness.} An update by origin [o] is {e globally visible}
+    once every node's summary DBVV covers it — per-origin knowledge is
+    prefix-closed under anti-entropy, so the k-th issued update of [o]
+    is visible exactly when [min over nodes of dbvv\[o\] >= k]. Each
+    tick credits newly visible updates with delay
+    [tick time - issue time], into both the tick's window histogram
+    and the run's cumulative one.
+
+    {b Convergence.} With [until_converged] set, [driver.converged]
+    is consulted only at ticks strictly after [duration] (the workload
+    window), matching the bespoke experiment loops this layer
+    replaces; the run ends at the first converged tick, or at the last
+    tick not after [deadline]. *)
+
+type stale = { count : int; mean : float; p50 : float; p90 : float; max_ : float }
+(** Summary of one staleness histogram (delays in virtual time). *)
+
+type tick = {
+  index : int;  (** 0 is the pre-run snapshot at time 0. *)
+  time : float;
+  alive : int;  (** Nodes up at sample time. *)
+  attempted : int;  (** {!Edb_sim.Engine.sessions_attempted}, cumulative. *)
+  lost : int;
+  in_flight : int;
+  issued : int;  (** User updates executed so far (cumulative). *)
+  visible : int;  (** Updates globally visible so far (cumulative). *)
+  counters : (string * int) list;
+      (** Monotone cumulative cluster totals, one entry per
+          {!Edb_metrics.Counters.fields}, via {!Sampler}. *)
+  staleness : stale option;
+      (** Delays of updates that became visible {e this} tick;
+          [None] when none did. *)
+}
+
+type result = {
+  scenario : Scenario.t;
+  converged_at : float option;
+  end_time : float;
+  ticks : tick list;  (** In index order, starting at 0. *)
+  issued : int;
+  visible : int;
+  staleness : Edb_metrics.Histogram.t;  (** All delays, cumulative. *)
+  totals : Edb_metrics.Counters.t;  (** Raw driver totals at run end. *)
+  attempted : int;
+  lost : int;
+}
+
+val run : Scenario.t -> result
+(** Raises [Invalid_argument] only on scenarios that fail
+    {!Scenario.validate} — validated scenarios always run. *)
+
+val to_json : generated_by:string -> result -> Edb_metrics.Json.t
+(** The [BENCH_timeseries.json] document: schema header, the scenario
+    itself, the tick rows, and a run summary. Deterministic layout —
+    committed and golden-tested byte-for-byte. *)
+
+val to_string : generated_by:string -> result -> string

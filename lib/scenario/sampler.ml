@@ -1,0 +1,19 @@
+module Counters = Edb_metrics.Counters
+
+type t = { base : int array; last : int array }
+
+let create () =
+  let n = List.length Counters.fields in
+  { base = Array.make n 0; last = Array.make n 0 }
+
+let sample t (totals : Counters.t) =
+  List.mapi
+    (fun i (name, get) ->
+      let cur = get totals in
+      (* A backward step means some node's counters were reset (e.g. a
+         checkpoint restore swapped in a fresh node): keep the lost
+         ground in [base] so the cumulative series stays monotone. *)
+      if cur < t.last.(i) then t.base.(i) <- t.base.(i) + (t.last.(i) - cur);
+      t.last.(i) <- cur;
+      (name, t.base.(i) + cur))
+    Counters.fields

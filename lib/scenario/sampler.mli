@@ -1,0 +1,25 @@
+(** Monotone per-tick counter sampling.
+
+    The orchestrator samples the driver's cluster-wide counter totals
+    every tick. Those raw totals are {e not} monotone: a node restored
+    from a checkpoint ([Cluster.replace_node]) arrives with fresh
+    zero counters, so the cluster sum drops by everything the old
+    incarnation had charged — the dangling-total bug class the
+    time-series layer must not inherit. The sampler folds any backward
+    step into a per-field base, so the reported cumulative series only
+    ever grows: work done before a restore stays counted, and new work
+    after it accrues on top. Iterates
+    {!Edb_metrics.Counters.fields}, the canonical enumeration, so
+    every counter is covered by construction. *)
+
+type t
+
+val create : unit -> t
+
+val sample : t -> Edb_metrics.Counters.t -> (string * int) list
+(** [sample t totals] folds the raw snapshot into the monotone series
+    and returns one [(field, cumulative)] pair per
+    {!Edb_metrics.Counters.fields} entry, in canonical order.
+    Per field: the reported value never decreases across calls, equals
+    the raw total while no reset intervened, and stays flat across a
+    reset until new work accrues (pinned in [test_scenario.ml]). *)

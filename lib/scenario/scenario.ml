@@ -1,0 +1,566 @@
+module Json = Edb_metrics.Json
+
+type topology = Random | Ring
+
+type retry = {
+  timeout : float;
+  backoff_base : float;
+  backoff_factor : float;
+  backoff_max : float;
+  jitter : float;
+  max_retries : int;
+}
+
+type transport = Session | Message of retry
+
+type phase = { from_ : float; until : float; rate : float }
+
+type scripted = { at : float; node : int; item : int; seq : int }
+
+type arrival = Phases of phase list | Script of scripted list
+
+type fault =
+  | Crash of { at : float; node : int }
+  | Recover of { at : float; node : int }
+  | Partition of { at : float; a : int; b : int }
+  | Heal of { at : float; a : int; b : int }
+  | Loss of { at : float; p : float }
+  | Duplication of { at : float; p : float }
+
+type seeds = { driver : int; engine : int; workload : int }
+
+type t = {
+  name : string;
+  description : string;
+  nodes : int;
+  shards : int;
+  items : int;
+  value_size : int;
+  zipf : float;
+  single_writer : bool;
+  cache : bool;
+  seeds : seeds;
+  topology : topology;
+  period : float;
+  first_at : float;
+  latency : float;
+  loss : float;
+  duplication : float;
+  transport : transport;
+  arrival : arrival;
+  faults : fault list;
+  duration : float;
+  tick : float;
+  until_converged : bool;
+  deadline : float;
+}
+
+let equal (a : t) (b : t) = a = b
+
+(* ------------------------------------------------------------------ *)
+(* Printer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Float fields always print as Float (never Int), so the canonical
+   form of a scenario is unique and the round-trip test can demand
+   bit-identical output. *)
+
+let json_of_topology = function
+  | Random -> Json.String "random"
+  | Ring -> Json.String "ring"
+
+let json_of_transport = function
+  | Session -> Json.String "session"
+  | Message r ->
+    Json.Obj
+      [
+        ("timeout", Json.Float r.timeout);
+        ("backoff_base", Json.Float r.backoff_base);
+        ("backoff_factor", Json.Float r.backoff_factor);
+        ("backoff_max", Json.Float r.backoff_max);
+        ("jitter", Json.Float r.jitter);
+        ("max_retries", Json.Int r.max_retries);
+      ]
+
+let json_of_arrival = function
+  | Phases phases ->
+    Json.Obj
+      [
+        ( "phases",
+          Json.List
+            (List.map
+               (fun (p : phase) ->
+                 Json.Obj
+                   [
+                     ("from", Json.Float p.from_);
+                     ("until", Json.Float p.until);
+                     ("rate", Json.Float p.rate);
+                   ])
+               phases) );
+      ]
+  | Script steps ->
+    Json.Obj
+      [
+        ( "script",
+          Json.List
+            (List.map
+               (fun (s : scripted) ->
+                 Json.Obj
+                   [
+                     ("at", Json.Float s.at);
+                     ("node", Json.Int s.node);
+                     ("item", Json.Int s.item);
+                     ("seq", Json.Int s.seq);
+                   ])
+               steps) );
+      ]
+
+let json_of_fault f =
+  let tagged kind rest = Json.Obj (("kind", Json.String kind) :: rest) in
+  match f with
+  | Crash { at; node } -> tagged "crash" [ ("at", Json.Float at); ("node", Json.Int node) ]
+  | Recover { at; node } ->
+    tagged "recover" [ ("at", Json.Float at); ("node", Json.Int node) ]
+  | Partition { at; a; b } ->
+    tagged "partition" [ ("at", Json.Float at); ("a", Json.Int a); ("b", Json.Int b) ]
+  | Heal { at; a; b } ->
+    tagged "heal" [ ("at", Json.Float at); ("a", Json.Int a); ("b", Json.Int b) ]
+  | Loss { at; p } -> tagged "loss" [ ("at", Json.Float at); ("p", Json.Float p) ]
+  | Duplication { at; p } ->
+    tagged "duplication" [ ("at", Json.Float at); ("p", Json.Float p) ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Int 1);
+      ("name", Json.String t.name);
+      ("description", Json.String t.description);
+      ("nodes", Json.Int t.nodes);
+      ("shards", Json.Int t.shards);
+      ("items", Json.Int t.items);
+      ("value_size", Json.Int t.value_size);
+      ("zipf", Json.Float t.zipf);
+      ("single_writer", Json.Bool t.single_writer);
+      ("cache", Json.Bool t.cache);
+      ( "seeds",
+        Json.Obj
+          [
+            ("driver", Json.Int t.seeds.driver);
+            ("engine", Json.Int t.seeds.engine);
+            ("workload", Json.Int t.seeds.workload);
+          ] );
+      ("topology", json_of_topology t.topology);
+      ( "anti_entropy",
+        Json.Obj
+          [ ("period", Json.Float t.period); ("first_at", Json.Float t.first_at) ] );
+      ( "network",
+        Json.Obj
+          [
+            ("latency", Json.Float t.latency);
+            ("loss", Json.Float t.loss);
+            ("duplication", Json.Float t.duplication);
+          ] );
+      ("transport", json_of_transport t.transport);
+      ("arrival", json_of_arrival t.arrival);
+      ("faults", Json.List (List.map json_of_fault t.faults));
+      ("duration", Json.Float t.duration);
+      ("tick", Json.Float t.tick);
+      ("until_converged", Json.Bool t.until_converged);
+      ("deadline", Json.Float t.deadline);
+    ]
+
+let to_string t = Json.to_string (to_json t)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Every malformation funnels through [Bad], caught at the [of_json]
+   boundary — the single error type the hostile-input tests demand. *)
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let field name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> bad "missing field %S" name
+
+let get_int name j =
+  match field name j with
+  | Json.Int i -> i
+  | _ -> bad "field %S: expected an integer" name
+
+let get_float name j =
+  match Json.to_float_opt (field name j) with
+  | Some f when Float.is_finite f -> f
+  | Some _ -> bad "field %S: non-finite number" name
+  | None -> bad "field %S: expected a number" name
+
+let get_bool name j =
+  match field name j with
+  | Json.Bool b -> b
+  | _ -> bad "field %S: expected a boolean" name
+
+let get_string name j =
+  match field name j with
+  | Json.String s -> s
+  | _ -> bad "field %S: expected a string" name
+
+let get_list name j =
+  match field name j with
+  | Json.List l -> l
+  | _ -> bad "field %S: expected a list" name
+
+let topology_of_json j =
+  match get_string "topology" j with
+  | "random" -> Random
+  | "ring" -> Ring
+  | other -> bad "unknown topology %S" other
+
+let transport_of_json j =
+  match field "transport" j with
+  | Json.String "session" -> Session
+  | Json.String other -> bad "unknown transport %S" other
+  | Json.Obj _ as r ->
+    Message
+      {
+        timeout = get_float "timeout" r;
+        backoff_base = get_float "backoff_base" r;
+        backoff_factor = get_float "backoff_factor" r;
+        backoff_max = get_float "backoff_max" r;
+        jitter = get_float "jitter" r;
+        max_retries = get_int "max_retries" r;
+      }
+  | _ -> bad "field \"transport\": expected \"session\" or a retry policy"
+
+let arrival_of_json j =
+  let a = field "arrival" j in
+  match (Json.member "phases" a, Json.member "script" a) with
+  | Some (Json.List phases), None ->
+    Phases
+      (List.map
+         (fun p ->
+           {
+             from_ = get_float "from" p;
+             until = get_float "until" p;
+             rate = get_float "rate" p;
+           })
+         phases)
+  | None, Some (Json.List steps) ->
+    Script
+      (List.map
+         (fun s ->
+           {
+             at = get_float "at" s;
+             node = get_int "node" s;
+             item = get_int "item" s;
+             seq = get_int "seq" s;
+           })
+         steps)
+  | _ -> bad "field \"arrival\": expected {\"phases\": [...]} or {\"script\": [...]}"
+
+let fault_of_json f =
+  match get_string "kind" f with
+  | "crash" -> Crash { at = get_float "at" f; node = get_int "node" f }
+  | "recover" -> Recover { at = get_float "at" f; node = get_int "node" f }
+  | "partition" ->
+    Partition { at = get_float "at" f; a = get_int "a" f; b = get_int "b" f }
+  | "heal" -> Heal { at = get_float "at" f; a = get_int "a" f; b = get_int "b" f }
+  | "loss" -> Loss { at = get_float "at" f; p = get_float "p" f }
+  | "duplication" -> Duplication { at = get_float "at" f; p = get_float "p" f }
+  | other -> bad "unknown fault kind %S" other
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_node t ctx node =
+  if node < 0 || node >= t.nodes then bad "%s: node %d out of range [0, %d)" ctx node t.nodes
+
+let check_prob ctx p =
+  if not (Float.is_finite p && p >= 0.0 && p <= 1.0) then
+    bad "%s: probability %g out of [0, 1]" ctx p
+
+let check t =
+  if t.name = "" then bad "name must be non-empty";
+  if t.nodes < 2 then bad "nodes must be >= 2";
+  if t.shards < 1 then bad "shards must be >= 1";
+  if t.items < 1 then bad "items must be >= 1";
+  if t.value_size < 1 then bad "value_size must be >= 1";
+  if not (Float.is_finite t.zipf && t.zipf >= 0.0) then bad "zipf must be >= 0";
+  if not (Float.is_finite t.period && t.period > 0.0) then bad "period must be > 0";
+  if not (Float.is_finite t.first_at && t.first_at >= 0.0) then
+    bad "first_at must be >= 0";
+  if not (Float.is_finite t.latency && t.latency >= 0.0) then
+    bad "latency must be >= 0";
+  check_prob "network loss" t.loss;
+  check_prob "network duplication" t.duplication;
+  (match t.transport with
+  | Session -> ()
+  | Message r ->
+    if not (Float.is_finite r.timeout && r.timeout > 0.0) then
+      bad "retry timeout must be > 0";
+    if not (Float.is_finite r.backoff_base && r.backoff_base >= 0.0) then
+      bad "retry backoff_base must be >= 0";
+    if not (Float.is_finite r.backoff_factor && r.backoff_factor >= 1.0) then
+      bad "retry backoff_factor must be >= 1";
+    if not (Float.is_finite r.backoff_max && r.backoff_max >= r.backoff_base) then
+      bad "retry backoff_max must be >= backoff_base";
+    if not (Float.is_finite r.jitter && r.jitter >= 0.0) then
+      bad "retry jitter must be >= 0";
+    if r.max_retries < 0 then bad "retry max_retries must be >= 0");
+  if not (Float.is_finite t.duration && t.duration >= 0.0) then
+    bad "duration must be >= 0";
+  if not (Float.is_finite t.tick && t.tick > 0.0) then bad "tick must be > 0";
+  if not (Float.is_finite t.deadline && t.deadline >= t.duration) then
+    bad "deadline must be >= duration";
+  if (not t.until_converged) && t.duration <= 0.0 then
+    bad "a scenario without until_converged needs duration > 0";
+  (match t.arrival with
+  | Phases phases ->
+    List.iter
+      (fun (p : phase) ->
+        if not (Float.is_finite p.from_ && p.from_ >= 0.0) then
+          bad "phase from must be >= 0";
+        if not (Float.is_finite p.until && p.until > p.from_) then
+          bad "phase until must be > from";
+        if p.until > t.duration then bad "phase until must be <= duration";
+        if not (Float.is_finite p.rate && p.rate >= 0.0) then
+          bad "phase rate must be >= 0")
+      phases
+  | Script steps ->
+    List.iter
+      (fun (s : scripted) ->
+        if not (Float.is_finite s.at && s.at >= 0.0 && s.at <= t.duration) then
+          bad "script at must be in [0, duration]";
+        check_node t "script" s.node;
+        if s.item < 0 || s.item >= t.items then
+          bad "script: item %d out of range [0, %d)" s.item t.items;
+        if s.seq < 1 then bad "script seq must be >= 1")
+      steps);
+  List.iter
+    (fun f ->
+      let at =
+        match f with
+        | Crash { at; _ } | Recover { at; _ } | Partition { at; _ } | Heal { at; _ }
+        | Loss { at; _ } | Duplication { at; _ } ->
+          at
+      in
+      if not (Float.is_finite at && at >= 0.0) then bad "fault at must be >= 0";
+      match f with
+      | Crash { node; _ } | Recover { node; _ } -> check_node t "fault" node
+      | Partition { a; b; _ } | Heal { a; b; _ } ->
+        check_node t "fault" a;
+        check_node t "fault" b;
+        if a = b then bad "fault: partition endpoints must differ"
+      | Loss { p; _ } -> check_prob "fault loss" p
+      | Duplication { p; _ } -> check_prob "fault duplication" p)
+    t.faults
+
+let validate t = match check t with () -> Ok () | exception Bad msg -> Error msg
+
+let of_json j =
+  match
+    let schema = get_int "schema" j in
+    if schema <> 1 then bad "unsupported schema version %d" schema;
+    let seeds_j = field "seeds" j in
+    let ae = field "anti_entropy" j in
+    let net = field "network" j in
+    let t =
+      {
+        name = get_string "name" j;
+        description = get_string "description" j;
+        nodes = get_int "nodes" j;
+        shards = get_int "shards" j;
+        items = get_int "items" j;
+        value_size = get_int "value_size" j;
+        zipf = get_float "zipf" j;
+        single_writer = get_bool "single_writer" j;
+        cache = get_bool "cache" j;
+        seeds =
+          {
+            driver = get_int "driver" seeds_j;
+            engine = get_int "engine" seeds_j;
+            workload = get_int "workload" seeds_j;
+          };
+        topology = topology_of_json j;
+        period = get_float "period" ae;
+        first_at = get_float "first_at" ae;
+        latency = get_float "latency" net;
+        loss = get_float "loss" net;
+        duplication = get_float "duplication" net;
+        transport = transport_of_json j;
+        arrival = arrival_of_json j;
+        faults = List.map fault_of_json (get_list "faults" j);
+        duration = get_float "duration" j;
+        tick = get_float "tick" j;
+        until_converged = get_bool "until_converged" j;
+        deadline = get_float "deadline" j;
+      }
+    in
+    check t;
+    t
+  with
+  | t -> Ok t
+  | exception Bad msg -> Error msg
+
+let of_string s =
+  match Json.of_string s with
+  | Error msg -> Error (Printf.sprintf "invalid JSON: %s" msg)
+  | Ok j -> of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Built-in scenarios                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirrors Engine.default_retry_policy; spelled out so a scenario file
+   carries the full policy and never depends on simulator defaults. *)
+let default_retry =
+  {
+    timeout = 4.0;
+    backoff_base = 0.5;
+    backoff_factor = 2.0;
+    backoff_max = 8.0;
+    jitter = 0.5;
+    max_retries = 3;
+  }
+
+let steady =
+  {
+    name = "steady";
+    description =
+      "Steady Zipfian single-writer load on a reliable 8-node mesh; the \
+       baseline curve every other scenario is read against.";
+    nodes = 8;
+    shards = 1;
+    items = 64;
+    value_size = 64;
+    zipf = 1.0;
+    single_writer = true;
+    cache = false;
+    seeds = { driver = 11; engine = 12; workload = 13 };
+    topology = Random;
+    period = 2.0;
+    first_at = 1.0;
+    latency = 1.0;
+    loss = 0.0;
+    duplication = 0.0;
+    transport = Session;
+    arrival = Phases [ { from_ = 0.0; until = 40.0; rate = 2.0 } ];
+    faults = [];
+    duration = 40.0;
+    tick = 2.0;
+    until_converged = true;
+    deadline = 140.0;
+  }
+
+let diurnal =
+  {
+    steady with
+    name = "diurnal";
+    description =
+      "A day-shaped load ramp: quiet, a 5x peak, quiet again — the per-tick \
+       series shows anti-entropy absorbing the burst.";
+    nodes = 12;
+    items = 128;
+    seeds = { driver = 21; engine = 22; workload = 23 };
+    arrival =
+      Phases
+        [
+          { from_ = 0.0; until = 30.0; rate = 1.0 };
+          { from_ = 30.0; until = 60.0; rate = 5.0 };
+          { from_ = 60.0; until = 90.0; rate = 1.0 };
+        ];
+    duration = 90.0;
+    tick = 3.0;
+    deadline = 240.0;
+  }
+
+let churn =
+  {
+    steady with
+    name = "churn";
+    description =
+      "Nodes crash and recover mid-load and a partition opens and heals; \
+       staleness spikes while the epidemic routes around the holes.";
+    nodes = 10;
+    items = 96;
+    seeds = { driver = 31; engine = 32; workload = 33 };
+    arrival = Phases [ { from_ = 0.0; until = 60.0; rate = 2.0 } ];
+    faults =
+      [
+        Crash { at = 10.0; node = 3 };
+        Crash { at = 14.0; node = 7 };
+        Recover { at = 28.0; node = 3 };
+        Partition { at = 30.0; a = 1; b = 2 };
+        Recover { at = 40.0; node = 7 };
+        Heal { at = 44.0; a = 1; b = 2 };
+      ];
+    duration = 60.0;
+    tick = 2.0;
+    deadline = 240.0;
+  }
+
+let lossy_mesh =
+  {
+    steady with
+    name = "lossy-mesh";
+    description =
+      "Message-granular transport under heavy per-message loss and \
+       duplication, with a mid-run loss spike; timeouts, retries and \
+       abandonments appear in the tick series.";
+    nodes = 12;
+    seeds = { driver = 41; engine = 42; workload = 43 };
+    loss = 0.15;
+    duplication = 0.05;
+    transport = Message default_retry;
+    arrival = Phases [ { from_ = 0.0; until = 50.0; rate = 2.0 } ];
+    faults = [ Loss { at = 20.0; p = 0.35 }; Loss { at = 35.0; p = 0.05 } ];
+    duration = 50.0;
+    tick = 2.5;
+    deadline = 400.0;
+  }
+
+let converged_idle =
+  {
+    steady with
+    name = "converged-idle";
+    description =
+      "A burst of load then a long idle tail with the peer cache on: after \
+       convergence every round is skipped from cached knowledge and only \
+       sessions_skipped_cached keeps climbing.";
+    items = 48;
+    cache = true;
+    seeds = { driver = 51; engine = 52; workload = 53 };
+    arrival = Phases [ { from_ = 0.0; until = 20.0; rate = 2.0 } ];
+    duration = 80.0;
+    tick = 4.0;
+    deadline = 200.0;
+  }
+
+let smoke =
+  {
+    steady with
+    name = "smoke";
+    description =
+      "Five ticks of light load on four nodes — the tier-1 @scenario alias \
+       budget.";
+    nodes = 4;
+    items = 16;
+    value_size = 32;
+    seeds = { driver = 61; engine = 62; workload = 63 };
+    period = 1.0;
+    first_at = 0.5;
+    arrival = Phases [ { from_ = 0.0; until = 4.0; rate = 2.0 } ];
+    duration = 5.0;
+    tick = 1.0;
+    until_converged = false;
+    deadline = 5.0;
+  }
+
+let builtins = [ steady; diurnal; churn; lossy_mesh; converged_idle; smoke ]
+
+let builtin name = List.find_opt (fun t -> String.equal t.name name) builtins
+
+let builtin_names = List.map (fun t -> t.name) builtins

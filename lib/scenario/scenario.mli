@@ -1,0 +1,132 @@
+(** Declarative simulation scenarios.
+
+    A scenario is the complete, serializable description of one
+    simulated run: cluster shape (nodes, shards, peer-cache), workload
+    (arrival phases with rates and Zipf skew, or an explicit update
+    script), anti-entropy cadence and peer topology, network conditions
+    (latency, loss, duplication), transport grain, a fault schedule
+    (crashes, recoveries, partitions, mid-run loss changes), and the
+    observation plan (duration, tick width, convergence deadline).
+
+    Scenarios are data, not code: they round-trip through the
+    dependency-free JSON of {!Edb_metrics.Json}, ship as files under
+    [scenarios/], and are compiled onto the existing
+    {!Edb_sim.Engine} + {!Edb_workload.Workload} machinery by
+    {!Orchestrator}. Determinism is total — a scenario plus its three
+    seeds is a pure function to a per-tick time series (the golden-run
+    tests in [test/test_scenario.ml] pin this byte-for-byte). *)
+
+type topology =
+  | Random  (** Each node pulls from one uniformly random peer. *)
+  | Ring  (** Node [i] pulls from node [i-1 mod n]. *)
+
+type retry = {
+  timeout : float;
+  backoff_base : float;
+  backoff_factor : float;
+  backoff_max : float;
+  jitter : float;
+  max_retries : int;
+}
+(** Mirrors {!Edb_sim.Engine.retry_policy} field for field, so a
+    scenario file fully determines the message-grain transport. *)
+
+type transport =
+  | Session  (** Atomic whole-session delivery. *)
+  | Message of retry  (** Per-message delivery with timeout/retry. *)
+
+val default_retry : retry
+(** {!Edb_sim.Engine.default_retry_policy}, spelled out, so scenario
+    files carry the full policy instead of depending on simulator
+    defaults. *)
+
+type phase = { from_ : float; until : float; rate : float }
+(** Updates arrive evenly at [rate] per time unit over
+    [\[from_, until)]; consecutive phases with different rates model
+    diurnal ramps. Items come from the scenario's Zipf selector. *)
+
+type scripted = { at : float; node : int; item : int; seq : int }
+(** One explicit update: at virtual time [at], [node] sets item rank
+    [item] to the deterministic payload for [(item, seq)]. *)
+
+type arrival =
+  | Phases of phase list
+  | Script of scripted list
+      (** Exact update placement — what the ported experiments use. *)
+
+type fault =
+  | Crash of { at : float; node : int }
+  | Recover of { at : float; node : int }
+  | Partition of { at : float; a : int; b : int }
+  | Heal of { at : float; a : int; b : int }
+  | Loss of { at : float; p : float }
+      (** Set the network loss probability to [p] at time [at]. *)
+  | Duplication of { at : float; p : float }
+
+type seeds = { driver : int; engine : int; workload : int }
+(** [driver] seeds the protocol cluster, [engine] the simulator (peer
+    choice, loss draws, retry jitter — and the {!Edb_fault.Fault}
+    registry PRNG, reseeded at run start for deterministic failpoint
+    replay), [workload] the update stream of a [Phases] arrival. *)
+
+type t = {
+  name : string;
+  description : string;
+  nodes : int;
+  shards : int;
+  items : int;
+  value_size : int;
+  zipf : float;  (** Zipf exponent of item popularity; 0 = uniform. *)
+  single_writer : bool;
+      (** Route each item's updates to its fixed owner
+          ([rank mod nodes]), keeping the run conflict-free. *)
+  cache : bool;  (** Enable the peer-knowledge cache. *)
+  seeds : seeds;
+  topology : topology;
+  period : float;  (** Anti-entropy round period. *)
+  first_at : float;  (** Time of the first anti-entropy round. *)
+  latency : float;  (** Network base latency. *)
+  loss : float;
+  duplication : float;
+  transport : transport;
+  arrival : arrival;
+  faults : fault list;
+  duration : float;  (** The workload window; ticks cover it. *)
+  tick : float;  (** Sampling interval of the time series. *)
+  until_converged : bool;
+      (** Keep ticking past [duration] until the driver reports
+          convergence (checked only at ticks strictly after
+          [duration]) or [deadline] passes. *)
+  deadline : float;
+}
+
+val equal : t -> t -> bool
+(** Structural equality (floats compared exactly — scenarios
+    round-trip bit-for-bit through the printer). *)
+
+val validate : t -> (unit, string) result
+(** Range- and sanity-checks every field (node/item indices in range,
+    probabilities in [\[0,1\]], positive tick and period, finite
+    floats, [deadline >= duration], ...). *)
+
+val to_json : t -> Edb_metrics.Json.t
+
+val to_string : t -> string
+(** Canonical pretty-printed JSON — the committed [scenarios/*.json]
+    files are exactly this output (pinned by a test). *)
+
+val of_json : Edb_metrics.Json.t -> (t, string) result
+(** Parse and {!validate}. Every failure — missing field, wrong type,
+    out-of-range value — is an [Error]; no exception escapes. *)
+
+val of_string : string -> (t, string) result
+
+(** {1 Built-in scenarios} *)
+
+val builtins : t list
+(** [steady], [diurnal], [churn], [lossy-mesh], [converged-idle] and
+    the tiny [smoke] used by the tier-1 [@scenario] alias. *)
+
+val builtin : string -> t option
+
+val builtin_names : string list

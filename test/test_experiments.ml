@@ -110,9 +110,56 @@ let test_e10_claim_independent_of_update_count () =
   in
   Alcotest.(check int) "8 updates vs 512 updates, same session work" (work 8) (work 512)
 
+(* ---------- Orchestrator-ported experiments ---------- *)
+
+(* E12, E13 and E17 now run through Edb_scenario.Orchestrator; the
+   bespoke loops they replaced are kept as *_legacy exports precisely
+   so these tests can pin the two paths equivalent — same tables cell
+   for cell, and for E13 the same cluster counter totals field for
+   field. The port is only allowed to be a refactor. *)
+
+module Table = Edb_metrics.Table
+
+let check_tables_equal what a b =
+  Alcotest.(check string) (what ^ " title") (Table.title b) (Table.title a);
+  Alcotest.(check (list string)) (what ^ " columns") (Table.columns b) (Table.columns a);
+  Alcotest.(check (list (list string))) (what ^ " rows") (Table.rows b) (Table.rows a)
+
+let test_e12_matches_legacy () =
+  check_tables_equal "E12"
+    (Experiments.e12_timeliness_vs_period ~quick:true ())
+    (Experiments.e12_legacy ~quick:true ())
+
+let test_e13_matches_legacy () =
+  let table, totals = Experiments.e13_with_totals ~quick:true ~legacy:false () in
+  let table', totals' = Experiments.e13_with_totals ~quick:true ~legacy:true () in
+  check_tables_equal "E13" table table';
+  Alcotest.(check int) "one counter bundle per n" (List.length totals')
+    (List.length totals);
+  List.iteri
+    (fun i (ported, legacy) ->
+      List.iter
+        (fun (name, get) ->
+          Alcotest.(check int)
+            (Printf.sprintf "E13 run %d: %s" i name)
+            (get legacy) (get ported))
+        Counters.fields)
+    (List.combine totals totals')
+
+let test_e17_matches_legacy () =
+  check_tables_equal "E17"
+    (Experiments.e17_message_loss ~quick:true ())
+    (Experiments.e17_legacy ~quick:true ())
+
 let suite =
   [
     Alcotest.test_case "all tables render (quick)" `Slow test_all_tables_render;
+    Alcotest.test_case "E12 orchestrator matches legacy" `Quick
+      test_e12_matches_legacy;
+    Alcotest.test_case "E13 orchestrator matches legacy" `Quick
+      test_e13_matches_legacy;
+    Alcotest.test_case "E17 orchestrator matches legacy" `Quick
+      test_e17_matches_legacy;
     Alcotest.test_case "E3 claim: identical replicas O(1)" `Quick
       test_e3_claim_identical_replicas_o1;
     Alcotest.test_case "E4 claim: constant overhead per item" `Quick

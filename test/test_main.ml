@@ -23,6 +23,7 @@ let () =
       ("workload", Test_workload.suite);
       ("metrics", Test_metrics.suite);
       ("experiments", Test_experiments.suite);
+      ("scenario", Test_scenario.suite);
       ("persist", Test_persist.suite);
       ("wire-v2", Test_wire_v2.suite);
       ("tokens", Test_tokens.suite);

@@ -87,6 +87,47 @@ let test_table_rendering () =
       rest
   | [] -> Alcotest.fail "no data lines"
 
+(* The dangling-total guard: [Counters.fields] must enumerate every
+   counter in the record, in declaration order, with getters that each
+   read their own field — and [add_into]/[diff] must cover the same
+   set. All counter fields are immediate ints, so the record's runtime
+   block size is exactly the field count; a counter added to the record
+   but left out of [fields] (or of the arithmetic) fails here. *)
+let test_fields_enumerate_every_counter () =
+  let c = Counters.create () in
+  Alcotest.(check int) "fields covers the whole record"
+    (Obj.size (Obj.repr c))
+    (List.length Counters.fields);
+  Alcotest.(check int) "field names unique"
+    (List.length Counters.field_names)
+    (List.length (List.sort_uniq compare Counters.field_names));
+  List.iter
+    (fun (name, get) -> Alcotest.(check int) (name ^ " zero at create") 0 (get c))
+    Counters.fields;
+  (* Give field i the distinct value 100 + i and check each getter
+     reads its own slot: [fields] is in declaration order and no getter
+     aliases another field. *)
+  List.iteri (fun i _ -> Obj.set_field (Obj.repr c) i (Obj.repr (100 + i))) Counters.fields;
+  List.iteri
+    (fun i (name, get) ->
+      Alcotest.(check int) (name ^ " getter reads its own field") (100 + i) (get c))
+    Counters.fields;
+  let sum = Counters.create () in
+  Counters.add_into sum c;
+  List.iteri
+    (fun i (name, get) ->
+      Alcotest.(check int) (name ^ " summed by add_into") (100 + i) (get sum))
+    Counters.fields;
+  let d = Counters.diff ~after:c ~before:(Counters.create ()) in
+  List.iteri
+    (fun i (name, get) ->
+      Alcotest.(check int) (name ^ " carried by diff") (100 + i) (get d))
+    Counters.fields;
+  Counters.reset c;
+  List.iter
+    (fun (name, get) -> Alcotest.(check int) (name ^ " cleared by reset") 0 (get c))
+    Counters.fields
+
 let test_table_rejects_ragged_rows () =
   let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] in
   Alcotest.check_raises "ragged"
@@ -145,6 +186,8 @@ let suite =
     Alcotest.test_case "reset" `Quick test_reset;
     Alcotest.test_case "total_work" `Quick test_total_work;
     Alcotest.test_case "pp omits zero fields" `Quick test_pp_omits_zero_fields;
+    Alcotest.test_case "fields enumerate every counter" `Quick
+      test_fields_enumerate_every_counter;
     Alcotest.test_case "table rendering" `Quick test_table_rendering;
     Alcotest.test_case "table rejects ragged rows" `Quick test_table_rejects_ragged_rows;
   ]
