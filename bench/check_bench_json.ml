@@ -117,6 +117,59 @@ let check_micro path doc =
      bytes-per-session, v2 vs v1. *)
   require_columns ~what:"E19 wire-codec" "E19:"
     [ "codec"; "bytes (model)"; "wire bytes"; "wire B/session" ];
+  (* The push experiment must report both arms' staleness percentiles
+     and the anti-entropy savings — and its lossless cell must actually
+     show the headline effect: p99 at least 10x lower with push on, at
+     least half the AE sessions arriving already converged. *)
+  require_columns ~what:"E20 push-vs-pull" "E20:"
+    [
+      "loss"; "capacity"; "pull p99"; "push p99"; "p99 ratio";
+      "ae skipped frac"; "ae bytes saved"; "push overflow";
+    ];
+  (match find_table "E20:" with
+  | None -> fail "%s: no E20 push-vs-pull experiment table" path
+  | Some table ->
+    let columns = columns_of table in
+    let index column =
+      let rec go i = function
+        | [] -> fail "%s: E20 table lacks the %S column" path column
+        | c :: _ when String.equal c column -> i
+        | _ :: rest -> go (i + 1) rest
+      in
+      go 0 columns
+    in
+    let cell row i =
+      match List.nth_opt row i with
+      | Some (Json.String s) -> s
+      | _ -> fail "%s: E20 row lacks a string cell at index %d" path i
+    in
+    let rows =
+      List.filter_map Json.to_list_opt
+        (Option.value ~default:[]
+           (Option.bind (Json.member "rows" table) Json.to_list_opt))
+    in
+    let loss_i = index "loss" in
+    let lossless =
+      match
+        List.find_opt (fun row -> String.equal (cell row loss_i) "0.00") rows
+      with
+      | Some row -> row
+      | None -> fail "%s: E20 table has no loss = 0.00 row" path
+    in
+    let number column =
+      let s = cell lossless (index column) in
+      match float_of_string_opt s with
+      | Some v when Float.is_finite v -> v
+      | _ -> fail "%s: E20 lossless %s cell %S is not a number" path column s
+    in
+    let ratio = number "p99 ratio" in
+    if ratio < 10.0 then
+      fail "%s: E20 lossless p99 ratio %g below the 10x acceptance bar" path
+        ratio;
+    let skipped = number "ae skipped frac" in
+    if skipped < 0.5 then
+      fail "%s: E20 lossless ae skipped frac %g below the 0.5 acceptance bar"
+        path skipped);
   Printf.printf "%s OK: %d benchmarks, %d experiment tables\n" path
     (List.length benchmarks) (List.length experiments)
 
@@ -147,10 +200,12 @@ let check_stale ~path ~where stale =
   let mean = num "mean" in
   let p50 = num "p50" in
   let p90 = num "p90" in
+  let p99 = num "p99" in
   let max_ = num "max" in
-  if p50 > p90 || p90 > max_ then
-    fail "%s: %s staleness percentiles not ordered (p50 %g, p90 %g, max %g)"
-      path where p50 p90 max_;
+  if p50 > p90 || p90 > p99 || p99 > max_ then
+    fail
+      "%s: %s staleness percentiles not ordered (p50 %g, p90 %g, p99 %g, max %g)"
+      path where p50 p90 p99 max_;
   if mean > max_ then
     fail "%s: %s staleness mean %g exceeds max %g" path where mean max_;
   count
@@ -299,6 +354,24 @@ let check_timeseries path doc =
     if List.map fst fields <> Counters.field_names then
       fail "%s: summary counters keys disagree with Counters.field_names" path
   | _ -> fail "%s: summary lacks a counters object" path);
+  (* A scenario with the push channel on must show it actually ran:
+     updates streamed to peers and at least one applied as causally
+     fresh. A push block that produces zero traffic is a wiring bug. *)
+  (match Json.member "push" scenario with
+  | None | Some Json.Null -> ()
+  | Some _ ->
+    let counter key =
+      match
+        Option.bind (Json.member "counters" summary) (Json.member key)
+      with
+      | Some (Json.Int v) -> v
+      | _ -> fail "%s: summary lacks integer counter %s" path key
+    in
+    if !prev_issued > 0 && counter "push_sent" < 1 then
+      fail "%s: push scenario issued %d updates but sent no pushes" path
+        !prev_issued;
+    if !prev_issued > 0 && counter "push_applied" < 1 then
+      fail "%s: push scenario sent pushes but none were applied" path);
   Printf.printf "%s OK: scenario %S, %d ticks, %d/%d updates visible\n" path name
     (List.length ticks) !prev_visible !prev_issued
 

@@ -8,6 +8,9 @@
                 (per-message faults, mid-session crashes, retry active)
      shard      sharded-replica soak: cache equivalence + granular chaos
                 at a fixed shard count
+     push       push-channel equivalence soak: every schedule run with
+                the realtime push channel on must converge bit-identical
+                to the same schedule pull-only
      wire       hex-dump and pretty-decode wire frames (v1 and v2), or
                 walk a sample session showing negotiation and deltas
      scenario   run a declarative scenario (built-in or from a JSON
@@ -409,6 +412,52 @@ let shard_cmd =
     Term.(ret (const run $ seed $ runs $ shards))
 
 (* ------------------------------------------------------------------ *)
+(* push                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let push_cmd =
+  let module Explorer = Edb_check.Explorer in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let runs =
+    Arg.(
+      value & opt int 100
+      & info [ "runs" ] ~docv:"K" ~doc:"Schedules per shard count.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"K"
+          ~doc:"Sharded battery's per-node shard count (default 4).")
+  in
+  let run seed runs shards =
+    let fail msg =
+      print_string msg;
+      if not (String.length msg > 0 && msg.[String.length msg - 1] = '\n') then
+        print_newline ();
+      `Error (false, "push equivalence failed (shrunk counterexample above)")
+    in
+    match Explorer.run_push_equivalence ~shards:1 ~seed ~runs () with
+    | Error msg -> fail msg
+    | Ok unsharded -> (
+      match Explorer.run_push_equivalence ~shards ~seed ~runs () with
+      | Error msg -> fail msg
+      | Ok sharded ->
+        Printf.printf
+          "ok: %d push-equivalence schedules at shards=1 + %d at shards=%d — \
+           push-on and pull-only runs converged bit-identical\n"
+          unsharded.Explorer.schedules sharded.Explorer.schedules shards;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "push"
+       ~doc:
+         "Soak the best-effort push channel: every message-granular fault \
+          schedule is executed push-on and pull-only under identical \
+          randomness, and the converged states must be bit-identical — \
+          anti-entropy alone carries correctness.")
+    Term.(ret (const run $ seed $ runs $ shards))
+
+(* ------------------------------------------------------------------ *)
 (* wire                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -689,6 +738,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            bench_cmd; simulate_cmd; check_cmd; chaos_cmd; shard_cmd; wire_cmd;
-            scenario_cmd; demo_cmd;
+            bench_cmd; simulate_cmd; check_cmd; chaos_cmd; shard_cmd; push_cmd;
+            wire_cmd; scenario_cmd; demo_cmd;
           ]))

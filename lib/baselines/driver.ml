@@ -29,6 +29,22 @@ type granular = {
           stale (superseded-attempt) deliveries. *)
 }
 
+(* Best-effort push stream: a one-way hot path riding the same opaque
+   messages. [flush] drains a node's per-peer queues into wire messages
+   (charging the sender); [deliver] applies one at the receiver, which
+   must tolerate duplicate, reordered and stale deliveries — the stream
+   promises nothing, anti-entropy repairs whatever it drops. *)
+type push_stream = {
+  flush : src:int -> (int * message) list;
+      (** Drain [src]'s queues toward every currently-ready peer,
+          returning [(dst, msg)] pairs in ascending peer order. Peers
+          that are not ready (e.g. have not negotiated a capable wire
+          version) keep queueing and shed per their drop policy. *)
+  deliver : dst:int -> src:int -> message -> unit;
+      (** Apply a push message at [dst]. Must be a no-op for anything
+          not causally fresh. *)
+}
+
 type t = {
   name : string;
   n : int;
@@ -42,6 +58,10 @@ type t = {
   granular : granular option;
       (** Message-granular session support; [None] falls back to the
           atomic [session] call (all §8 baselines). *)
+  push : push_stream option;
+      (** Best-effort realtime push; [None] for every protocol without
+          one (all §8 baselines, and the paper's protocol unless the
+          channel is enabled). *)
 }
 
 let total_of_nodes counters =

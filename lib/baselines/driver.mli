@@ -31,6 +31,22 @@ type granular = {
 (** Message-granular session execution: request / reply / accept as
     three observable points the network can fault independently. *)
 
+type push_stream = {
+  flush : src:int -> (int * message) list;
+      (** Drain [src]'s per-peer push queues toward every currently
+          ready peer, returning [(dst, msg)] pairs in ascending peer
+          order and charging the sender's counters. Peers that are not
+          ready (no capable wire version negotiated yet) keep queueing
+          and shed per their drop policy. *)
+  deliver : dst:int -> src:int -> message -> unit;
+      (** Apply one push message at [dst]. Must be safe under
+          duplicate, reordered and stale deliveries — the receiver
+          applies only causally fresh updates and drops the rest. *)
+}
+(** Best-effort realtime push stream (DESIGN.md §10): a one-way hot
+    path with no ordering or delivery guarantee; anti-entropy remains
+    the sole correctness mechanism. *)
+
 type t = {
   name : string;  (** Short label used in table headers. *)
   n : int;  (** Cluster size. *)
@@ -51,6 +67,10 @@ type t = {
   granular : granular option;
       (** Message-granular session support; [None] falls back to the
           atomic [session] call (all §8 baselines). *)
+  push : push_stream option;
+      (** Best-effort realtime push; [None] for every protocol without
+          one (all §8 baselines, and the paper's protocol unless the
+          channel is enabled). *)
 }
 
 val total_of_nodes : Edb_metrics.Counters.t array -> Edb_metrics.Counters.t

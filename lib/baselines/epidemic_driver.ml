@@ -3,6 +3,7 @@ module Node = Edb_core.Node
 module Message = Edb_core.Message
 module Counters = Edb_metrics.Counters
 module Frame = Edb_persist.Frame
+module Channel = Edb_push.Channel
 
 (* Transported messages are real encoded frames ({!Edb_persist.Frame}):
    the engine moves opaque bytes, both endpoints run the actual
@@ -20,8 +21,62 @@ let is_nak = function
   | Frame_msg data -> String.length data >= 7 && Char.code data.[2] = 2
   | _ -> false
 
-let create ?seed ?policy ?mode ?cache ?shards ~n () =
+(* The push hot path, behind [Driver.push_stream]. Flushing drains a
+   node's per-peer queues into real kind-3 frames — but only toward
+   peers that have provably negotiated wire v2 ([Frame.push_ready]);
+   queues for v1 or still-unknown peers fill and shed per the drop
+   policy, exactly the no-guarantee contract. Delivery decodes the
+   frame and applies each update iff causally fresh ([Node.apply_push]);
+   stale, duplicate and reordered frames are no-ops, so the transport
+   may fault them freely. *)
+let push_stream cluster channels =
+  {
+    Driver.flush =
+      (fun ~src ->
+        let node = Cluster.node cluster src in
+        let batches =
+          Channel.flush channels.(src) ~ready:(fun peer ->
+              Frame.push_ready node ~dst:peer)
+        in
+        List.map
+          (fun (dst, updates) ->
+            let frame = Frame.encode_push node ~dst updates in
+            let c = Node.counters node in
+            c.Counters.messages <- c.Counters.messages + 1;
+            c.Counters.push_sent <- c.Counters.push_sent + List.length updates;
+            c.Counters.bytes_sent <-
+              c.Counters.bytes_sent + Message.push_bytes updates;
+            c.Counters.wire_bytes_sent <-
+              c.Counters.wire_bytes_sent + String.length frame;
+            c.Counters.push_wire_bytes <-
+              c.Counters.push_wire_bytes + String.length frame;
+            (dst, Frame_msg frame))
+          batches);
+    deliver =
+      (fun ~dst ~src msg ->
+        match msg with
+        | Frame_msg frame ->
+          let node = Cluster.node cluster dst in
+          let updates = Frame.decode_push node ~src frame in
+          List.iter
+            (fun u ->
+              let (_ : [ `Applied | `Stale ]) = Node.apply_push node ~source:src u in
+              ())
+            updates
+        | _ -> invalid_arg "Epidemic_driver.deliver: not a push frame");
+  }
+
+let create ?seed ?policy ?mode ?cache ?shards ?push ~n () =
   let cluster = Cluster.create ?seed ?policy ?mode ?cache ?shards ~n () in
+  let push_stream =
+    match push with
+    | None -> None
+    | Some config ->
+      let channels =
+        Array.init n (fun i -> Channel.create ~config (Cluster.node cluster i))
+      in
+      Some (push_stream cluster channels)
+  in
   let granular =
     {
       Driver.make_request =
@@ -91,6 +146,7 @@ let create ?seed ?policy ?mode ?cache ?shards ~n () =
       reset_counters = (fun () -> Cluster.reset_counters cluster);
       converged = (fun () -> Cluster.converged cluster);
       granular = Some granular;
+      push = push_stream;
     }
   in
   (cluster, driver)

@@ -15,10 +15,17 @@ val create :
   ?mode:Edb_core.Node.propagation_mode ->
   ?cache:bool ->
   ?shards:int ->
+  ?push:Edb_push.Channel.config ->
   n:int ->
   unit ->
   Edb_core.Cluster.t * Driver.t
 (** [create ~n ()] is a fresh {!Edb_core.Cluster.t} and its driver.
     The driver's [session ~src ~dst] makes [dst] pull from [src].
     [cache] enables the peer-knowledge cache and [shards] (default 1)
-    the per-node shard count (see {!Edb_core.Cluster.create}). *)
+    the per-node shard count (see {!Edb_core.Cluster.create}).
+
+    [push] attaches a best-effort {!Edb_push.Channel} to every node and
+    exposes it as the driver's [push] stream: flushed batches travel as
+    real kind-3 frames to peers that negotiated wire v2, and received
+    frames are applied if causally fresh. With [push] absent the driver
+    is byte-for-byte the classic pull-only protocol. *)

@@ -107,4 +107,5 @@ let driver t =
     reset_counters = (fun () -> Driver.reset_nodes t.counters);
     converged = (fun () -> converged t);
     granular = None;
+    push = None;
   }

@@ -505,6 +505,117 @@ let run_cache_equivalence ?mode (s : schedule) =
   with Check_failed msg -> Error msg
 
 (* ------------------------------------------------------------------ *)
+(* Push equivalence: push-on and push-off runs must converge equal     *)
+(* ------------------------------------------------------------------ *)
+
+(* The push channel is best-effort and anti-entropy is the sole
+   correctness mechanism (DESIGN.md §10), so the same schedule run with
+   the channel on must reach the {e bit-identical} converged state as
+   the pull-only run — across loss, duplication, reordering, crashes
+   and partitions. Updates are forced single-writer (owner = item rank
+   mod nodes): with concurrent writers the two arms can legitimately
+   materialize a conflict's preserved versions in different orders, and
+   the claim under test is about replication, not conflict policy. *)
+let single_writer_steps (s : schedule) =
+  List.map
+    (function
+      | Update u -> Update { u with node = u.item mod s.nodes }
+      | other -> other)
+    s.steps
+
+(* Execute one arm under message-granular transport. Mirrors [execute]
+   but with the timeout/retry layer active (pushes only exist as wire-v2
+   frames), faults on the half-beat as in granular [run_schedule], and
+   the push flush cadence running through the quiescence drive so late
+   pushes race the final anti-entropy rounds — they must all be judged
+   stale. The engine draws push network randomness from a dedicated PRNG
+   stream, so the push-off arm sees exactly the draw sequence of a
+   pull-only run. *)
+let execute_push ?(mode = Node.Whole_item) ~push (s : schedule) =
+  let push_config = if push then Some Edb_push.Channel.default_config else None in
+  let cluster, driver =
+    Edb_baselines.Epidemic_driver.create ~seed:s.seed ~mode ?push:push_config
+      ~shards:s.shards ~n:s.nodes ()
+  in
+  let network =
+    Network.create ~loss_probability:s.loss ~duplicate_probability:s.duplication
+      ~reorder_probability:s.reorder ()
+  in
+  let engine =
+    Engine.create ~seed:s.seed ~network
+      ~transport:(Engine.Message_grain Engine.default_retry_policy) ~driver ()
+  in
+  let steps = single_writer_steps s in
+  List.iteri
+    (fun i step ->
+      let at = float_of_int (i + 1) in
+      let fault_at = at +. 0.5 in
+      match step with
+      | Update { node; item; op } ->
+        Engine.schedule engine ~at
+          (Engine.User_update { node; item = item_name item; op })
+      | Sync { src; dst } -> Engine.schedule engine ~at (Engine.Session { src; dst })
+      | Fault (Crash n) -> Engine.schedule engine ~at:fault_at (Engine.Crash n)
+      | Fault (Recover n) -> Engine.schedule engine ~at:fault_at (Engine.Recover n)
+      | Fault (Partition (a, b)) ->
+        Engine.schedule engine ~at:fault_at
+          (Engine.Custom (fun _ -> Network.partition network a b))
+      | Fault (Heal (a, b)) ->
+        Engine.schedule engine ~at:fault_at
+          (Engine.Custom (fun _ -> Network.heal network a b)))
+    steps;
+  let horizon = float_of_int (List.length steps + 1) in
+  Engine.schedule engine ~at:horizon
+    (Engine.Custom
+       (fun _ ->
+         Network.heal_all network;
+         Network.set_loss_probability network 0.0;
+         Network.set_duplicate_probability network 0.0;
+         Network.set_reorder_probability network 0.0));
+  for i = 0 to s.nodes - 1 do
+    Engine.schedule engine ~at:horizon (Engine.Recover i)
+  done;
+  (* Same spacing argument as granular [run_schedule]: accepts land at
+     session start + 2, so keep passes 2.5 and rounds 5.0 apart. *)
+  let drive_end = horizon +. 1.0 +. (5.0 *. float_of_int (s.nodes + 2)) +. 2.5 in
+  if push then
+    Engine.schedule engine ~at:0.5
+      (Engine.Push_flush { period = 0.5; until = drive_end });
+  for round = 0 to s.nodes + 1 do
+    let at = horizon +. 1.0 +. (5.0 *. float_of_int round) in
+    for dst = 0 to s.nodes - 1 do
+      Engine.schedule engine ~at (Engine.Session { src = (dst + 1) mod s.nodes; dst });
+      Engine.schedule engine ~at:(at +. 2.5)
+        (Engine.Session { src = (dst + s.nodes - 1) mod s.nodes; dst })
+    done
+  done;
+  let quiescent = Engine.run_until_quiescent engine in
+  (cluster, driver, quiescent)
+
+let run_push_equivalence_schedule ?mode (s : schedule) =
+  let pushed, pushed_driver, pushed_quiescent = execute_push ?mode ~push:true s in
+  let plain, _, plain_quiescent = execute_push ?mode ~push:false s in
+  try
+    if pushed_quiescent <> plain_quiescent then
+      failf "quiescence differs: push-on=%b push-off=%b" pushed_quiescent
+        plain_quiescent;
+    for i = 0 to s.nodes - 1 do
+      let a = Cluster.node pushed i and b = Cluster.node plain i in
+      if Node.export_state a <> Node.export_state b then
+        failf "node %d state differs between push-on and push-off runs" i;
+      let ac = conflict_items_of a and bc = conflict_items_of b in
+      if ac <> bc then
+        failf "node %d conflict set differs: push-on {%s} vs push-off {%s}" i
+          (String.concat "," ac) (String.concat "," bc)
+    done;
+    (* Single-writer updates cannot conflict, so the drive must have
+       fully converged the push arm — stale pushes included. *)
+    if not (pushed_driver.Driver.converged ()) then
+      failf "push-on run did not converge at quiescence";
+    Ok ()
+  with Check_failed msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
 (* The explorer: many schedules, integrated shrinking                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -540,6 +651,34 @@ let run ?mode ?topology ?(mutate = false) ?(granular = false) ?shards ~seed ~run
     Error
       (Printf.sprintf "schedule raised %s\non instance:\n%s\nreplay with: --seed %d --runs %d"
          (Printexc.to_string exn) instance seed runs)
+
+let run_push_equivalence ?mode ?topology ?shards ~seed ~runs () =
+  let last_error = ref "" in
+  let prop s =
+    match run_push_equivalence_schedule ?mode s with
+    | Ok () -> true
+    | Error msg ->
+      last_error := msg;
+      false
+  in
+  let test =
+    QCheck2.Test.make ~count:runs ~name:"push-channel equivalence"
+      ~print:print_schedule
+      (gen ?topology ~granular:true ?shards ())
+      prop
+  in
+  match QCheck2.Test.check_exn ~rand:(Random.State.make [| seed |]) test with
+  | () -> Ok { schedules = runs }
+  | exception QCheck2.Test.Test_fail (_, counterexamples) ->
+    Error
+      (Printf.sprintf "%s\nshrunk counterexample:\n%s\nreplay with seed %d"
+         !last_error
+         (String.concat "\n---\n" counterexamples)
+         seed)
+  | exception QCheck2.Test.Test_error (_, instance, exn, _) ->
+    Error
+      (Printf.sprintf "schedule raised %s\non instance:\n%s\nreplay with seed %d"
+         (Printexc.to_string exn) instance seed)
 
 let run_equivalence ?mode ?topology ?shards ~seed ~runs () =
   let last_error = ref "" in

@@ -137,3 +137,30 @@ val run_equivalence :
   (report, string) result
 (** {!run_cache_equivalence} over [runs] generated schedules, with
     QCheck2 shrinking on failure. *)
+
+val run_push_equivalence_schedule :
+  ?mode:Edb_core.Node.propagation_mode -> schedule -> (unit, string) result
+(** Execute one schedule twice under message-granular transport — once
+    with the best-effort push channel on
+    ({!Edb_push.Channel.default_config}), once pull-only — under
+    identical engine/network randomness (push traffic draws from a
+    dedicated PRNG stream), and demand the converged states are
+    bit-identical: equal quiescence, equal per-node
+    {!Edb_core.Node.export_state}, equal conflict sets, and full
+    convergence of the push arm. Updates are rewritten single-writer
+    (owner = item rank mod nodes) before execution, so the comparison
+    isolates the replication claim from conflict-resolution ordering.
+    This is DESIGN.md §10's safety argument, machine-checked across the
+    full fault matrix: the push channel can only ever fast-forward a
+    node along states anti-entropy would have produced anyway. *)
+
+val run_push_equivalence :
+  ?mode:Edb_core.Node.propagation_mode ->
+  ?topology:topology ->
+  ?shards:int ->
+  seed:int ->
+  runs:int ->
+  unit ->
+  (report, string) result
+(** {!run_push_equivalence_schedule} over [runs] generated schedules,
+    with QCheck2 shrinking on failure. *)

@@ -34,6 +34,8 @@ type oob_request = { item : string }
 
 type oob_reply = { item : string; value : string; ivv : Vv.t }
 
+type push_update = { item : string; seq : int; ivv : Vv.t; value : string }
+
 let id_bytes = 8
 
 let vv_bytes vv = 8 * Vv.dimension vv
@@ -74,4 +76,10 @@ let reply_bytes = function
 
 let oob_request_bytes (_ : oob_request) = 2 * id_bytes
 
-let oob_reply_bytes r = id_bytes + String.length r.value + vv_bytes r.ivv
+let oob_reply_bytes (r : oob_reply) = id_bytes + String.length r.value + vv_bytes r.ivv
+
+let push_update_bytes (u : push_update) =
+  id_bytes + 8 + String.length u.value + vv_bytes u.ivv
+
+let push_bytes updates =
+  List.fold_left (fun acc u -> acc + push_update_bytes u) id_bytes updates

@@ -82,6 +82,22 @@ type oob_reply = { item : string; value : string; ivv : Edb_vv.Version_vector.t 
     with the corresponding IVV. No log records ever travel out of bound
     (paper §5.2). *)
 
+type push_update = {
+  item : string;
+  seq : int;
+      (** The origin's global update sequence number for this write —
+          the DBVV component the origin assigned when it accepted the
+          update locally. The origin itself is not carried: a push
+          frame's sender {e is} the origin (nodes only stream their own
+          writes). *)
+  ivv : Edb_vv.Version_vector.t;
+      (** The origin's IVV for the item immediately after the write. *)
+  value : string;  (** The full item value after the write. *)
+}
+(** One update on the best-effort realtime push stream. Pushes are
+    always whole-value: the stream gives no ordering or delivery
+    guarantee, so a delta could not assume its predecessor arrived. *)
+
 val vv_bytes : Edb_vv.Version_vector.t -> int
 
 val request_bytes : propagation_request -> int
@@ -91,3 +107,10 @@ val reply_bytes : propagation_reply -> int
 val oob_request_bytes : oob_request -> int
 
 val oob_reply_bytes : oob_reply -> int
+
+val push_update_bytes : push_update -> int
+
+val push_bytes : push_update list -> int
+(** [push_bytes us] is the modeled size of one push frame carrying
+    [us]: an id-sized header plus each update's item id, sequence
+    number, IVV and value. *)

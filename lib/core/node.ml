@@ -51,6 +51,11 @@ type t = {
      epoch, the staleness gate for cached peer knowledge. Volatile, like
      the peer cache itself. *)
   mutable revision : int;
+  (* Fired after every local user update applied to a regular copy, with
+     the update in push-stream shape. Best-effort by design: updates
+     born on the auxiliary path, conflict resolutions and aux replays
+     never fire it — anti-entropy carries those. *)
+  mutable update_hook : (Message.push_update -> unit) option;
   ctx : Protocol.ctx;
 }
 
@@ -90,6 +95,7 @@ let create ?(policy = Report_only) ?(conflict_handler = fun _ -> ())
       conflicts = [];
       peer_cache = Peer_cache.create ~shards ~n ();
       revision = 0;
+      update_hook = None;
       ctx;
     }
   and ctx =
@@ -208,7 +214,75 @@ let conflicts t = t.conflicts
 
 let clear_conflicts t = t.conflicts <- []
 
-let update t name op = Protocol.update t.ctx (replica_for t name) name op
+let set_update_hook t hook = t.update_hook <- hook
+
+let update t name op =
+  match t.update_hook with
+  | None -> Protocol.update t.ctx (replica_for t name) name op
+  | Some hook ->
+    let rep = replica_for t name in
+    (* Auxiliary-path updates defer (§5.3) and assign no sequence number
+       yet; they reach peers through anti-entropy after replay. *)
+    let regular = not (Hashtbl.mem rep.Replica.aux_items name) in
+    Protocol.update t.ctx rep name op;
+    if regular then (
+      match Store.find_opt rep.Replica.store name with
+      | None -> ()
+      | Some item ->
+        hook
+          {
+            Message.item = item.Item.name;
+            seq = Vv.get rep.Replica.dbvv t.id;
+            ivv = Vv.copy item.Item.ivv;
+            value = item.Item.value;
+          })
+
+(* Apply-if-fresh (DESIGN.md §10): a pushed update is applied iff it is
+   exactly the next update this node expects from its origin — the
+   origin's DBVV component here is [seq - 1] and the update's IVV is the
+   local regular IVV plus one origin tick. Under that guard the adoption
+   is literally a one-record anti-entropy delta (same Figure 3 path,
+   same DBVV/log bookkeeping), so no invariant can move: DBVV sums,
+   per-origin prefix and the log bound are preserved by the same
+   argument as a pulled session. Anything else — duplicate, reordered,
+   raced by anti-entropy, conflicting history — is dropped as stale;
+   the periodic session repairs it. *)
+let apply_push t ~source (u : Message.push_update) =
+  if source < 0 || source >= t.n then invalid_arg "Node.apply_push: source out of range";
+  if source = t.id then invalid_arg "Node.apply_push: push from self";
+  let rep = replica_for t u.item in
+  let c = t.counters in
+  c.vv_comparisons <- c.vv_comparisons + 1;
+  let next_seq = u.seq = Vv.get rep.Replica.dbvv source + 1 in
+  let ivv_is_successor () =
+    (* Stale pushes must not materialize items: probe, don't create. *)
+    let local = Store.find_opt rep.Replica.store u.item in
+    Vv.dimension u.ivv = t.n
+    &&
+    let ok = ref true in
+    for l = 0 to t.n - 1 do
+      let here = match local with None -> 0 | Some it -> Vv.get it.Item.ivv l in
+      let expected = if l = source then here + 1 else here in
+      if Vv.get u.ivv l <> expected then ok := false
+    done;
+    !ok
+  in
+  if next_seq && ivv_is_successor () then begin
+    let tails = Array.make t.n [] in
+    tails.(source) <- [ { Log_record.item = u.item; seq = u.seq } ];
+    let items =
+      [ { Message.name = u.item; payload = Message.Whole u.value; ivv = u.ivv } ]
+    in
+    let (_ : accept_result) =
+      Protocol.accept_delta t.ctx rep ~source ~tails ~items
+    in
+    c.push_applied <- c.push_applied + 1;
+    `Applied
+  end
+  else begin
+    c.push_stale <- c.push_stale + 1;
+    `Stale
+  end
 
 let intra_node_propagation t names =
   List.iter

@@ -217,6 +217,29 @@ val update : t -> string -> Edb_store.Operation.t -> unit
     own-components and appending the shard's regular log record
     [(item, V_ii)]. *)
 
+val set_update_hook : t -> (Message.push_update -> unit) option -> unit
+(** Install (or clear) the local-update hook: fired after every user
+    update applied to a {e regular} copy, with the update in push-stream
+    shape (item, assigned sequence number, post-update IVV snapshot,
+    value). The realtime push channel ([Edb_push.Channel]) uses it to
+    enqueue the update for best-effort streaming. Deliberately
+    best-effort: auxiliary-path updates, conflict resolutions and
+    auxiliary replays do not fire it — anti-entropy carries those. *)
+
+(** {1 Realtime push (best-effort hot path; DESIGN.md §10)} *)
+
+val apply_push : t -> source:int -> Message.push_update -> [ `Applied | `Stale ]
+(** Apply a pushed update iff it is {e causally fresh}: exactly the
+    next update this node expects from [source] (its sequence number is
+    the owning shard's DBVV component for [source] plus one, and its
+    IVV is the local regular IVV plus one [source]-tick). A fresh push
+    is adopted through the ordinary Figure 3 acceptance path as a
+    one-record delta, so every invariant argument of anti-entropy
+    applies unchanged; anything else is counted [push_stale] and
+    dropped without touching any state (stale pushes never materialize
+    items). Raises [Invalid_argument] if [source] is out of range or
+    this node itself. *)
+
 (** {1 Update propagation (§5.1)} *)
 
 val propagation_request : t -> Message.propagation_request

@@ -619,6 +619,7 @@ let e12_scenario ~n ~updates ~window ~period =
     loss = 0.0;
     duplication = 0.0;
     transport = Scenario.Session;
+    push = None;
     arrival =
       Scenario.Phases
         [
@@ -755,6 +756,7 @@ let e13_scenario ~n ~updates ~issue_window =
     loss = 0.0;
     duplication = 0.0;
     transport = Scenario.Session;
+    push = None;
     arrival = Scenario.Script script;
     faults = [];
     (* Round r of the legacy loop is the engine round at r + 0.5; tick
@@ -1016,6 +1018,7 @@ let e17_scenario ~nodes ~period ~deadline ~loss ~transport =
     loss;
     duplication = 0.0;
     transport;
+    push = None;
     arrival =
       Scenario.Script
         (List.init 8 (fun rank ->
@@ -1271,6 +1274,148 @@ let e19_wire_codec ?(quick = false) () =
   scenario ~name:"diverged, to convergence" ~diverged:true;
   table
 
+(* ------------------------------------------------------------------ *)
+(* E20 — realtime push vs pull-only anti-entropy                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Two arms per cell, identical except for the push channel: same
+   seeds, same message-grain transport, same anti-entropy cadence. The
+   push arm streams each update to every peer within roughly
+   [flush_period + latency], so updates are globally visible long
+   before the next anti-entropy round — the staleness percentiles
+   collapse, and most rounds arrive to find both ends already equal
+   (noop sessions). Anti-entropy stays on throughout: it is the
+   correctness mechanism, and under loss it silently repairs whatever
+   the unacknowledged pushes dropped.
+
+   The workload window opens only at [e20_warmup]: pushes flow solely
+   to peers that have provably negotiated wire v2, and under the
+   random-peer cadence covering all 120 node pairs takes ~40 rounds
+   (coupon collector). The idle warm-up — identical in both arms, all
+   sessions noops — lets E20 measure the steady state instead of the
+   handshake, and the noop/session fractions are windowed past it. *)
+let e20_warmup = 240.0
+
+let e20_scenario ~loss ~capacity ~push =
+  {
+    Scenario.name = "e20";
+    description = "One E20 cell: realtime push vs pull-only anti-entropy.";
+    nodes = 16;
+    shards = 1;
+    items = 64;
+    value_size = 64;
+    zipf = 1.0;
+    single_writer = true;
+    cache = false;
+    seeds = { Scenario.driver = 91; engine = 92; workload = 93 };
+    topology = Scenario.Random;
+    period = 4.0;
+    first_at = 1.0;
+    latency = 1.0;
+    loss;
+    duplication = 0.0;
+    transport = Scenario.Message Scenario.default_retry;
+    push =
+      (if push then
+         Some { Scenario.capacity; drop = Scenario.Drop_oldest; flush_period = 0.25 }
+       else None);
+    arrival =
+      (* Sparse load: well under one update per anti-entropy period
+         cluster-wide. Pushes make an update globally visible in
+         ~flush + latency, so at this rate most AE rounds genuinely
+         arrive converged; a denser stream would hide the noop savings
+         behind updates still in flight when a session lands. The rate
+         is chosen so the (evenly spaced) inter-update gap of 20/3 is
+         aperiodic against the 4.0 AE period — a gap that divides the
+         period would phase-lock every push wave into the same spot of
+         every round. *)
+      Scenario.Phases
+        [ { Scenario.from_ = e20_warmup; until = e20_warmup +. 240.0; rate = 0.15 } ];
+    faults = [];
+    duration = e20_warmup +. 240.0;
+    tick = 0.5;
+    until_converged = true;
+    deadline = 900.0;
+  }
+
+let e20_push_vs_pull ?(quick = false) () =
+  let cells =
+    if quick then [ (0.0, 64) ]
+    else [ (0.0, 64); (0.0, 4); (0.1, 64); (0.3, 64); (0.3, 4) ]
+  in
+  let table =
+    Table.create
+      ~title:
+        "E20: best-effort realtime push vs pull-only anti-entropy — 16-node \
+         mesh, steady single-writer load, equal AE cadence in both arms; \
+         staleness percentiles of update-to-global-visibility delay, the \
+         fraction of AE sessions that arrive already converged (noop), and \
+         the AE wire bytes the push arm no longer ships (its own frame bytes \
+         counted separately under push overflow/drops)"
+      ~columns:
+        [
+          "loss"; "capacity"; "pull p50"; "push p50"; "pull p90"; "push p90";
+          "pull p99"; "push p99"; "p99 ratio"; "ae skipped frac";
+          "ae bytes saved"; "push overflow";
+        ]
+  in
+  List.iter
+    (fun (loss, capacity) ->
+      let pull = Orchestrator.run (e20_scenario ~loss ~capacity ~push:false) in
+      let push = Orchestrator.run (e20_scenario ~loss ~capacity ~push:true) in
+      let pct (r : Orchestrator.result) p =
+        Edb_metrics.Histogram.percentile r.Orchestrator.staleness p
+      in
+      let pull_p99 = pct pull 99.0 and push_p99 = pct push 99.0 in
+      let noop_frac =
+        (* Window past the warm-up: during it the cluster is idle, so
+           every session is a noop in {e both} arms and would inflate
+           the fraction. The tick rows carry cumulative counters;
+           subtract the last pre-workload sample. The denominator is
+           noop + propagation {e decodes} rather than engine session
+           attempts: under loss a retransmitted request can be judged
+           at the source more than once, and a session whose frames
+           never get through is judged zero times. *)
+        let at_warmup field =
+          List.fold_left
+            (fun acc (tk : Orchestrator.tick) ->
+              if tk.time <= e20_warmup then List.assoc field tk.counters else acc)
+            0 push.Orchestrator.ticks
+        in
+        let noop =
+          push.Orchestrator.totals.Counters.noop_sessions
+          - at_warmup "noop_sessions"
+        in
+        let prop =
+          push.Orchestrator.totals.Counters.propagation_sessions
+          - at_warmup "propagation_sessions"
+        in
+        if noop + prop = 0 then 0.0
+        else float_of_int noop /. float_of_int (noop + prop)
+      in
+      let ae_bytes (r : Orchestrator.result) =
+        r.Orchestrator.totals.wire_bytes_sent
+        - r.Orchestrator.totals.push_wire_bytes
+      in
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" loss;
+          string_of_int capacity;
+          Printf.sprintf "%.2f" (pct pull 50.0);
+          Printf.sprintf "%.2f" (pct push 50.0);
+          Printf.sprintf "%.2f" (pct pull 90.0);
+          Printf.sprintf "%.2f" (pct push 90.0);
+          Printf.sprintf "%.2f" pull_p99;
+          Printf.sprintf "%.2f" push_p99;
+          (if push_p99 = 0.0 then "-"
+           else Printf.sprintf "%.1f" (pull_p99 /. push_p99));
+          Printf.sprintf "%.2f" noop_frac;
+          string_of_int (ae_bytes pull - ae_bytes push);
+          string_of_int push.Orchestrator.totals.push_dropped_overflow;
+        ])
+    cells;
+  table
+
 let all ?(quick = false) () =
   [
     ("E1", e1_cost_vs_database_size ~quick ());
@@ -1291,4 +1436,5 @@ let all ?(quick = false) () =
     ("E17", e17_message_loss ~quick ());
     ("E18", e18_sharded_replicas ~quick ());
     ("E19", e19_wire_codec ~quick ());
+    ("E20", e20_push_vs_pull ~quick ());
   ]

@@ -138,5 +138,17 @@ val e19_wire_codec : ?quick:bool -> unit -> Edb_metrics.Table.t
     fixed-width size model, for a converged idle round and a diverged
     cluster driven to convergence. *)
 
+val e20_push_vs_pull : ?quick:bool -> unit -> Edb_metrics.Table.t
+(** E20 (extension) — best-effort realtime push vs pull-only
+    anti-entropy (DESIGN.md §10): two orchestrated arms per cell,
+    identical but for the push channel, on a 16-node mesh at equal AE
+    cadence, sweeping loss rate and per-peer queue capacity. Reports
+    the staleness percentiles (p50/p90/p99) of update-to-visibility
+    delay for both arms, the p99 ratio, the fraction of AE sessions
+    the push arm turns into noops, and the AE wire bytes saved. On the
+    lossless cell the push arm's p99 is >= 10x lower and >= half the
+    AE sessions arrive already converged (probed by
+    [check_bench_json]). *)
+
 val all : ?quick:bool -> unit -> (string * Edb_metrics.Table.t) list
 (** Every experiment, as [(id, table)] pairs in order. *)

@@ -19,6 +19,11 @@ type t = {
   mutable retries : int;
   mutable sessions_abandoned : int;
   mutable shards_skipped : int;
+  mutable push_sent : int;
+  mutable push_applied : int;
+  mutable push_stale : int;
+  mutable push_dropped_overflow : int;
+  mutable push_wire_bytes : int;
 }
 
 let create () =
@@ -43,6 +48,11 @@ let create () =
     retries = 0;
     sessions_abandoned = 0;
     shards_skipped = 0;
+    push_sent = 0;
+    push_applied = 0;
+    push_stale = 0;
+    push_dropped_overflow = 0;
+    push_wire_bytes = 0;
   }
 
 let reset t =
@@ -65,7 +75,12 @@ let reset t =
   t.timeouts <- 0;
   t.retries <- 0;
   t.sessions_abandoned <- 0;
-  t.shards_skipped <- 0
+  t.shards_skipped <- 0;
+  t.push_sent <- 0;
+  t.push_applied <- 0;
+  t.push_stale <- 0;
+  t.push_dropped_overflow <- 0;
+  t.push_wire_bytes <- 0
 
 let copy t =
   {
@@ -89,6 +104,11 @@ let copy t =
     retries = t.retries;
     sessions_abandoned = t.sessions_abandoned;
     shards_skipped = t.shards_skipped;
+    push_sent = t.push_sent;
+    push_applied = t.push_applied;
+    push_stale = t.push_stale;
+    push_dropped_overflow = t.push_dropped_overflow;
+    push_wire_bytes = t.push_wire_bytes;
   }
 
 let add_into acc t =
@@ -111,7 +131,12 @@ let add_into acc t =
   acc.timeouts <- acc.timeouts + t.timeouts;
   acc.retries <- acc.retries + t.retries;
   acc.sessions_abandoned <- acc.sessions_abandoned + t.sessions_abandoned;
-  acc.shards_skipped <- acc.shards_skipped + t.shards_skipped
+  acc.shards_skipped <- acc.shards_skipped + t.shards_skipped;
+  acc.push_sent <- acc.push_sent + t.push_sent;
+  acc.push_applied <- acc.push_applied + t.push_applied;
+  acc.push_stale <- acc.push_stale + t.push_stale;
+  acc.push_dropped_overflow <- acc.push_dropped_overflow + t.push_dropped_overflow;
+  acc.push_wire_bytes <- acc.push_wire_bytes + t.push_wire_bytes
 
 let diff ~after ~before =
   {
@@ -136,6 +161,11 @@ let diff ~after ~before =
     retries = after.retries - before.retries;
     sessions_abandoned = after.sessions_abandoned - before.sessions_abandoned;
     shards_skipped = after.shards_skipped - before.shards_skipped;
+    push_sent = after.push_sent - before.push_sent;
+    push_applied = after.push_applied - before.push_applied;
+    push_stale = after.push_stale - before.push_stale;
+    push_dropped_overflow = after.push_dropped_overflow - before.push_dropped_overflow;
+    push_wire_bytes = after.push_wire_bytes - before.push_wire_bytes;
   }
 
 let total_work t =
@@ -171,6 +201,11 @@ let fields =
     ("retries", fun t -> t.retries);
     ("sessions_abandoned", fun t -> t.sessions_abandoned);
     ("shards_skipped", fun t -> t.shards_skipped);
+    ("push_sent", fun t -> t.push_sent);
+    ("push_applied", fun t -> t.push_applied);
+    ("push_stale", fun t -> t.push_stale);
+    ("push_dropped_overflow", fun t -> t.push_dropped_overflow);
+    ("push_wire_bytes", fun t -> t.push_wire_bytes);
   ]
 
 let field_names = List.map fst fields

@@ -59,6 +59,26 @@ type t = {
           because the recipient's per-shard DBVV already dominated the
           source's — the sharded analogue of a you-are-current answer,
           charged only when the node runs with [shards > 1]. *)
+  mutable push_sent : int;
+      (** Updates drained from the best-effort per-peer push queues and
+          handed to the transport (see [Edb_push.Channel]). Counted per
+          update, not per frame. *)
+  mutable push_applied : int;
+      (** Pushed updates applied on the receiver because they were
+          causally fresh per its DBVV (exactly the next expected
+          sequence number from the origin). *)
+  mutable push_stale : int;
+      (** Pushed updates discarded on arrival — duplicate, reordered,
+          or already covered by anti-entropy. Dropping them is safe by
+          construction: anti-entropy remains the correctness path. *)
+  mutable push_dropped_overflow : int;
+      (** Updates evicted from a bounded per-peer push queue on
+          overflow (either end, per the configured drop policy). Each
+          one is latency lost, never correctness: the next anti-entropy
+          session repairs it. *)
+  mutable push_wire_bytes : int;
+      (** Encoded bytes of push frames put on the wire — the subset of
+          [wire_bytes_sent] attributable to the realtime stream. *)
 }
 
 val create : unit -> t

@@ -36,6 +36,16 @@ let encode_oob ~source reply =
       Wire.encode_oob_reply w reply;
       Codec.Writer.contents w)
 
+let encode_push ~source (u : Message.push_update) =
+  Codec.Writer.with_scratch (fun w ->
+      Codec.Writer.int w 3;
+      Codec.Writer.int w source;
+      Codec.Writer.string w u.item;
+      Codec.Writer.int w u.seq;
+      Wire.encode_vv w u.ivv;
+      Codec.Writer.string w u.value;
+      Codec.Writer.contents w)
+
 let apply_journal_record node record =
   let r = Codec.Reader.create record in
   (match Codec.Reader.int r with
@@ -52,6 +62,16 @@ let apply_journal_record node record =
     let source = Codec.Reader.int r in
     let reply = Wire.decode_oob_reply r in
     let (_ : Node.oob_result) = Node.accept_out_of_bound node ~source reply in
+    ()
+  | 3 ->
+    let source = Codec.Reader.int r in
+    let item = Codec.Reader.string r in
+    let seq = Codec.Reader.int r in
+    let ivv = Wire.decode_vv r in
+    let value = Codec.Reader.string r in
+    let (_ : [ `Applied | `Stale ]) =
+      Node.apply_push node ~source { Message.item; seq; ivv; value }
+    in
     ()
   | tag -> raise (Codec.Reader.Corrupt (Printf.sprintf "unknown journal tag %d" tag)));
   Codec.Reader.expect_end r
@@ -109,6 +129,19 @@ let pull_from t ~source =
     journal t (encode_reply ~source:(Node.id source) reply);
     Fault.hit "durable.apply.before";
     Node.Pulled (Node.accept_propagation t.node ~source:(Node.id source) reply)
+
+let apply_push t ~source update =
+  (* Same journal-before-apply discipline as pull_from. The push itself
+     is volatile, but once applied it becomes part of this node's state
+     and later journaled AE replies assume it — so the application must
+     be redoable from the WAL or recovery would replay those replies
+     against a state missing the pushed update (breaking the per-origin
+     prefix property). Journaling a stale push is harmless: replay
+     re-judges freshness and drops it again. *)
+  Fault.hit "durable.journal.before";
+  journal t (encode_push ~source update);
+  Fault.hit "durable.apply.before";
+  Node.apply_push t.node ~source update
 
 let fetch_out_of_bound_from t ~source item =
   let reply = Node.serve_out_of_bound source { Message.item } in

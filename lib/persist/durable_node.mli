@@ -50,6 +50,16 @@ val fetch_out_of_bound_from :
   t -> source:Edb_core.Node.t -> string -> Edb_core.Node.oob_result
 (** One out-of-bound fetch; the reply is journaled, then accepted. *)
 
+val apply_push :
+  t -> source:int -> Edb_core.Message.push_update -> [ `Applied | `Stale ]
+(** A received push, journaled before the freshness check. The push
+    channel itself is volatile, but an {e applied} push changes state
+    that later journaled AE replies build on — skipping the journal
+    would leave recovery replaying those replies against a state
+    missing the push. Stale pushes are journaled too (replay re-judges
+    and drops them); a run with push disabled appends no tag-3 records,
+    so its WAL stays byte-identical to pre-push builds. *)
+
 val checkpoint : t -> unit
 (** Write a fresh snapshot atomically and reset the journal. *)
 

@@ -33,6 +33,11 @@ let kind_reply = 1
 
 let kind_nak = 2
 
+(* One-way best-effort push frame (DESIGN.md §10). v2-only: it exists
+   only after negotiation has proven both ends speak v2, so it never
+   needs a v1 form and a v1 peer never sees one. *)
+let kind_push = 3
+
 type decoded_reply = Reply of Message.propagation_reply * int | Nak of int
 
 let wire_state node ~peer = Peer_cache.wire_state (Node.peer_cache node) ~peer
@@ -51,8 +56,12 @@ let decode_header r =
   let advertised = R.byte r in
   if advertised < 1 then corrupt "frame advertises version %d" advertised;
   let kind = R.byte r in
-  if kind <> kind_request && kind <> kind_reply && kind <> kind_nak then
-    corrupt "unknown frame kind %d" kind;
+  if
+    kind <> kind_request && kind <> kind_reply && kind <> kind_nak
+    && kind <> kind_push
+  then corrupt "unknown frame kind %d" kind;
+  if kind = kind_push && version < 2 then
+    corrupt "push frame at codec version %d" version;
   (version, advertised, kind)
 
 (* Dimension and shard hygiene: a frame that decodes structurally but
@@ -280,6 +289,43 @@ let respond ?(domains = 1) node ~src frame =
   out
 
 (* ------------------------------------------------------------------ *)
+(* Push frames (one-way, best-effort)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The stream only flows to peers proven to speak v2: our own version
+   allows it and a decoded frame from [dst] advertised >= 2. Until
+   then the channel's queue for that peer fills and sheds — latency
+   lost, never correctness. *)
+let push_ready node ~dst =
+  Node.wire_version node >= 2 && (wire_state node ~peer:dst).peer_version >= 2
+
+let encode_push node ~dst updates =
+  let st = wire_state node ~peer:dst in
+  if negotiated node st < 2 then
+    invalid_arg "Frame.encode_push: peer has not negotiated wire v2";
+  W.with_scratch (fun w ->
+      header w ~version:2 ~own:(Node.wire_version node) ~kind:kind_push;
+      (* The request-id slot every v2 frame carries; pushes are one-way
+         and unacknowledged, so it is always zero. *)
+      W.varint w 0;
+      Wire_v2.encode_push w updates;
+      W.contents w)
+
+let decode_push node ~src data =
+  let r = R.create data in
+  let version, advertised, kind = decode_header r in
+  let st = wire_state node ~peer:src in
+  st.peer_version <- advertised;
+  if kind <> kind_push then corrupt "expected a push frame, got kind %d" kind;
+  if version < 2 then corrupt "push frame at codec version %d" version;
+  let req_id = R.varint r in
+  if req_id <> 0 then corrupt "push frame carries request id %d" req_id;
+  let n = Node.dimension node in
+  let updates = Wire_v2.decode_push r ~n in
+  R.expect_end r;
+  updates
+
+(* ------------------------------------------------------------------ *)
 (* In-process framed sessions                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -340,7 +386,7 @@ let describe ?n data =
   let r = R.create data in
   let version, advertised, kind = decode_header r in
   out "frame: version %d, advertises %d, %s\n" version advertised
-    (match kind with 0 -> "request" | 1 -> "reply" | _ -> "nak");
+    (match kind with 0 -> "request" | 1 -> "reply" | 3 -> "push" | _ -> "nak");
   let req_id = if version >= 2 then R.varint r else 0 in
   if version >= 2 then out "request id: %d\n" req_id;
   let dim =
@@ -433,6 +479,16 @@ let describe ?n data =
     describe_reply
       (if version >= 2 then Wire_v2.decode_propagation_reply r ~n:dim
        else Wire.decode_propagation_reply r)
+  | 3 ->
+    let updates = Wire_v2.decode_push r ~n:dim in
+    out "push: %d updates\n" (List.length updates);
+    List.iter
+      (fun (u : Message.push_update) ->
+        out "  item %S: seq %d, value %d bytes, ivv " u.item u.seq
+          (String.length u.value);
+        pp_vv_array buf (Vv.to_array u.ivv);
+        out "\n")
+      updates
   | _ -> ());
   R.expect_end r;
   Buffer.contents buf

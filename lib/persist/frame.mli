@@ -62,6 +62,24 @@ val decode_reply : Edb_core.Node.t -> src:int -> string -> decoded_reply
     version; a reply echoing the newest outstanding request id promotes
     that request's vector to the delta baseline, a nak drops it. *)
 
+val push_ready : Edb_core.Node.t -> dst:int -> bool
+(** Whether the best-effort push stream may flow to [dst]: this node
+    speaks v2 and a decoded frame from [dst] has advertised v2. Until
+    negotiation proves that, push queues for [dst] fill and shed per
+    their policy — v1 peers simply never receive push frames. *)
+
+val encode_push :
+  Edb_core.Node.t -> dst:int -> Edb_core.Message.push_update list -> string
+(** Encode a one-way push frame (kind 3, always codec v2) carrying the
+    given batch. [Invalid_argument] when the peer has not negotiated
+    v2 — gate with {!push_ready}. *)
+
+val decode_push :
+  Edb_core.Node.t -> src:int -> string -> Edb_core.Message.push_update list
+(** Decode a push frame from [src], recording its advertised version.
+    Raises {!Codec.Reader.Corrupt} on anything malformed; the receiver
+    just drops such frames (anti-entropy repairs). *)
+
 val respond : ?domains:int -> Edb_core.Node.t -> src:int -> string -> string
 (** [respond node ~src frame] is the source side of one session
     message: decode the request, run the paper's [SendPropagation],

@@ -386,3 +386,30 @@ let decode_oob_reply r ~n =
   let value = R.vstring r in
   let ivv = decode_vv r ~n in
   { Message.item; value; ivv }
+
+(* ------------------------------------------------------------------ *)
+(* Push batches (best-effort realtime stream)                          *)
+(* ------------------------------------------------------------------ *)
+
+let encode_push w updates =
+  let dict = Dict.Writer.create () in
+  W.varint w (List.length updates);
+  List.iter
+    (fun (u : Message.push_update) ->
+      Dict.Writer.string dict w u.item;
+      W.varint w u.seq;
+      encode_vv w u.ivv;
+      W.vstring w u.value)
+    updates
+
+let decode_push r ~n =
+  let dict = Dict.Reader.create () in
+  let count = R.varint r in
+  checked_count r count "push-update";
+  List.init count (fun _ ->
+      let item = Dict.Reader.string dict r in
+      let seq = R.varint r in
+      if seq < 1 then corrupt "push-update sequence %d below 1" seq;
+      let ivv = decode_vv r ~n in
+      let value = R.vstring r in
+      { Message.item; seq; ivv; value })

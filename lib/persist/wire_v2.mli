@@ -76,3 +76,11 @@ val decode_oob_request : Codec.Reader.t -> Edb_core.Message.oob_request
 val encode_oob_reply : Codec.Writer.t -> Edb_core.Message.oob_reply -> unit
 
 val decode_oob_reply : Codec.Reader.t -> n:int -> Edb_core.Message.oob_reply
+
+val encode_push : Codec.Writer.t -> Edb_core.Message.push_update list -> unit
+(** A push batch: [varint count], then per update the interned item
+    name, [varint seq], sparse IVV and the whole value. Reuses the
+    per-message dictionary and sparse-vv forms of the session codec;
+    there is no v1 form — push frames exist only at v2. *)
+
+val decode_push : Codec.Reader.t -> n:int -> Edb_core.Message.push_update list

@@ -1,0 +1,42 @@
+type policy = Drop_oldest | Drop_newest
+
+let policy_name = function
+  | Drop_oldest -> "drop-oldest"
+  | Drop_newest -> "drop-newest"
+
+type 'a t = {
+  capacity : int;
+  policy : policy;
+  q : 'a Queue.t;
+  mutable dropped : int;
+}
+
+let create ~capacity ~policy =
+  if capacity < 1 then invalid_arg "Bounded_queue.create: capacity must be >= 1";
+  { capacity; policy; q = Queue.create (); dropped = 0 }
+
+let length t = Queue.length t.q
+
+let is_empty t = Queue.is_empty t.q
+
+let dropped t = t.dropped
+
+let push t x =
+  if Queue.length t.q < t.capacity then begin
+    Queue.push x t.q;
+    `Stored
+  end
+  else begin
+    t.dropped <- t.dropped + 1;
+    (match t.policy with
+    | Drop_newest -> ()
+    | Drop_oldest ->
+      ignore (Queue.pop t.q);
+      Queue.push x t.q);
+    `Overflow
+  end
+
+let drain t =
+  let out = List.rev (Queue.fold (fun acc x -> x :: acc) [] t.q) in
+  Queue.clear t.q;
+  out

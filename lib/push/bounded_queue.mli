@@ -1,0 +1,40 @@
+(** A bounded FIFO with an explicit overflow policy — the per-peer
+    buffer of the best-effort push channel (DESIGN.md §10).
+
+    The bound is the channel's entire backpressure story: when a peer
+    is slow, partitioned, or still speaking wire v1, its queue fills
+    and further traffic is shed according to the policy. Every eviction
+    is counted; none is a correctness event, because anti-entropy
+    re-derives whatever the stream drops. *)
+
+type policy =
+  | Drop_oldest
+      (** On overflow, evict the front (oldest) element to admit the
+          new one — keeps the stream biased towards fresh data. *)
+  | Drop_newest
+      (** On overflow, discard the incoming element — keeps whatever
+          was already queued. *)
+
+val policy_name : policy -> string
+(** ["drop-oldest"] / ["drop-newest"], the scenario-file spelling. *)
+
+type 'a t
+
+val create : capacity:int -> policy:policy -> 'a t
+(** [Invalid_argument] when [capacity < 1]. *)
+
+val push : 'a t -> 'a -> [ `Stored | `Overflow ]
+(** Enqueue, applying the overflow policy when full. [`Overflow] means
+    exactly one element was dropped (the incoming one under
+    [Drop_newest], the oldest queued one under [Drop_oldest]) and the
+    drop counter advanced by one. *)
+
+val drain : 'a t -> 'a list
+(** All queued elements in FIFO order; the queue is left empty. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val dropped : 'a t -> int
+(** Total elements dropped by overflow since creation. *)

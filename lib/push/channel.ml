@@ -1,0 +1,56 @@
+module Node = Edb_core.Node
+module Message = Edb_core.Message
+module Counters = Edb_metrics.Counters
+
+type config = {
+  capacity : int;
+  policy : Bounded_queue.policy;
+  flush_period : float;
+}
+
+let default_config =
+  { capacity = 64; policy = Bounded_queue.Drop_oldest; flush_period = 0.25 }
+
+type t = {
+  node : Node.t;
+  config : config;
+  queues : Message.push_update Bounded_queue.t array;
+}
+
+let create ~config node =
+  let n = Node.dimension node in
+  let id = Node.id node in
+  let queues =
+    Array.init n (fun _ ->
+        Bounded_queue.create ~capacity:config.capacity ~policy:config.policy)
+  in
+  let t = { node; config; queues } in
+  let counters = Node.counters node in
+  Node.set_update_hook node
+    (Some
+       (fun u ->
+         for peer = 0 to n - 1 do
+           if peer <> id then
+             match Bounded_queue.push t.queues.(peer) u with
+             | `Stored -> ()
+             | `Overflow ->
+               counters.Counters.push_dropped_overflow <-
+                 counters.Counters.push_dropped_overflow + 1
+         done));
+  t
+
+let config t = t.config
+
+let detach t = Node.set_update_hook t.node None
+
+let pending t peer = Bounded_queue.length t.queues.(peer)
+
+let flush t ~ready =
+  let n = Node.dimension t.node in
+  let id = Node.id t.node in
+  let out = ref [] in
+  for peer = n - 1 downto 0 do
+    if peer <> id && (not (Bounded_queue.is_empty t.queues.(peer))) && ready peer
+    then out := (peer, Bounded_queue.drain t.queues.(peer)) :: !out
+  done;
+  !out

@@ -1,0 +1,47 @@
+(** The best-effort per-peer update stream (DESIGN.md §10).
+
+    A channel hangs off one node's local-update hook: every user update
+    applied to a regular copy is fanned out onto one bounded queue per
+    peer ({!Bounded_queue}), and a transport periodically {!flush}es
+    the queues of reachable peers into push frames. The channel itself
+    makes {e no} promise — no ordering, no delivery, no retention
+    beyond the queue bound. Receivers apply a pushed update only when
+    it is causally fresh ([Edb_core.Node.apply_push]); anti-entropy
+    remains the sole correctness mechanism and repairs whatever this
+    hot path drops. *)
+
+type config = {
+  capacity : int;  (** Per-peer queue bound; at least 1. *)
+  policy : Bounded_queue.policy;  (** What to shed on overflow. *)
+  flush_period : float;
+      (** Seconds between queue drains — the streaming cadence a
+          transport should schedule. *)
+}
+
+val default_config : config
+(** 64 updates per peer, drop-oldest, 0.25 s cadence. *)
+
+type t
+
+val create : config:config -> Edb_core.Node.t -> t
+(** Attach a channel to [node]: installs the node's update hook (any
+    previous hook is replaced) and creates one bounded queue per peer.
+    Overflow drops are charged to the node's [push_dropped_overflow]
+    counter. *)
+
+val config : t -> config
+
+val detach : t -> unit
+(** Remove the update hook; queued updates are kept but no new ones
+    accrue. *)
+
+val flush : t -> ready:(int -> bool) -> (int * Edb_core.Message.push_update list) list
+(** Drain the queue of every peer for which [ready peer] is [true],
+    in ascending peer order, skipping empty queues. [ready] is the
+    transport's reachability/negotiation gate (e.g. "has this peer
+    proven wire v2?"); queues of never-ready peers simply fill and
+    shed per the policy. The caller owns counting [push_sent] and the
+    wire bytes — the channel knows nothing about framing. *)
+
+val pending : t -> int -> int
+(** Updates currently queued for the given peer. *)

@@ -10,7 +10,14 @@ module Node = Edb_core.Node
 module Vv = Edb_vv.Version_vector
 module Operation = Edb_store.Operation
 
-type stale = { count : int; mean : float; p50 : float; p90 : float; max_ : float }
+type stale = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_ : float;
+}
 
 type tick = {
   index : int;
@@ -107,9 +114,23 @@ let run (sc : Scenario.t) =
   | Error msg -> invalid_arg (Printf.sprintf "Orchestrator.run: %s" msg));
   (* Deterministic failpoint replay for armed Probability triggers. *)
   Edb_fault.Fault.seed_prng sc.seeds.engine;
+  let push_config =
+    match sc.push with
+    | None -> None
+    | Some (p : Scenario.push) ->
+      Some
+        {
+          Edb_push.Channel.capacity = p.capacity;
+          policy =
+            (match p.drop with
+            | Scenario.Drop_oldest -> Edb_push.Bounded_queue.Drop_oldest
+            | Scenario.Drop_newest -> Edb_push.Bounded_queue.Drop_newest);
+          flush_period = p.flush_period;
+        }
+  in
   let cluster, driver =
     Edb_baselines.Epidemic_driver.create ~seed:sc.seeds.driver ~cache:sc.cache
-      ~shards:sc.shards ~n:sc.nodes ()
+      ~shards:sc.shards ?push:push_config ~n:sc.nodes ()
   in
   let network =
     Network.create ~base_latency:sc.latency ~loss_probability:sc.loss
@@ -157,6 +178,14 @@ let run (sc : Scenario.t) =
   in
   Engine.schedule engine ~at:sc.first_at
     (Engine.Anti_entropy_round { period = sc.period; policy });
+  (match sc.push with
+  | None -> ()
+  | Some (p : Scenario.push) ->
+    (* The flush cadence stops at the deadline; by then the workload is
+       over, the queues have been drained, and anti-entropy owns the
+       remaining convergence work. *)
+    Engine.schedule engine ~at:p.flush_period
+      (Engine.Push_flush { period = p.flush_period; until = sc.deadline }));
   List.iter
     (fun (f : Scenario.fault) ->
       match f with
@@ -212,6 +241,7 @@ let run (sc : Scenario.t) =
             mean = Histogram.mean window;
             p50 = Histogram.percentile window 50.0;
             p90 = Histogram.percentile window 90.0;
+            p99 = Histogram.percentile window 99.0;
             max_ = Histogram.max_value window;
           }
     in
@@ -277,6 +307,7 @@ let stale_json = function
         ("mean", Json.Float s.mean);
         ("p50", Json.Float s.p50);
         ("p90", Json.Float s.p90);
+        ("p99", Json.Float s.p99);
         ("max", Json.Float s.max_);
       ]
 
@@ -290,6 +321,7 @@ let hist_json h =
            mean = Histogram.mean h;
            p50 = Histogram.percentile h 50.0;
            p90 = Histogram.percentile h 90.0;
+           p99 = Histogram.percentile h 99.0;
            max_ = Histogram.max_value h;
          })
 

@@ -29,8 +29,16 @@
     replaces; the run ends at the first converged tick, or at the last
     tick not after [deadline]. *)
 
-type stale = { count : int; mean : float; p50 : float; p90 : float; max_ : float }
-(** Summary of one staleness histogram (delays in virtual time). *)
+type stale = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_ : float;
+}
+(** Summary of one staleness histogram (delays in virtual time).
+    Percentiles are nondecreasing: [p50 <= p90 <= p99 <= max_]. *)
 
 type tick = {
   index : int;  (** 0 is the pre-run snapshot at time 0. *)

@@ -13,6 +13,10 @@ type retry = {
 
 type transport = Session | Message of retry
 
+type drop = Drop_oldest | Drop_newest
+
+type push = { capacity : int; drop : drop; flush_period : float }
+
 type phase = { from_ : float; until : float; rate : float }
 
 type scripted = { at : float; node : int; item : int; seq : int }
@@ -47,6 +51,7 @@ type t = {
   loss : float;
   duplication : float;
   transport : transport;
+  push : push option;
   arrival : arrival;
   faults : fault list;
   duration : float;
@@ -81,6 +86,16 @@ let json_of_transport = function
         ("jitter", Json.Float r.jitter);
         ("max_retries", Json.Int r.max_retries);
       ]
+
+let drop_name = function Drop_oldest -> "drop-oldest" | Drop_newest -> "drop-newest"
+
+let json_of_push (p : push) =
+  Json.Obj
+    [
+      ("capacity", Json.Int p.capacity);
+      ("drop", Json.String (drop_name p.drop));
+      ("flush_period", Json.Float p.flush_period);
+    ]
 
 let json_of_arrival = function
   | Phases phases ->
@@ -131,7 +146,7 @@ let json_of_fault f =
 
 let to_json t =
   Json.Obj
-    [
+    ([
       ("schema", Json.Int 1);
       ("name", Json.String t.name);
       ("description", Json.String t.description);
@@ -161,13 +176,18 @@ let to_json t =
             ("duplication", Json.Float t.duplication);
           ] );
       ("transport", json_of_transport t.transport);
-      ("arrival", json_of_arrival t.arrival);
-      ("faults", Json.List (List.map json_of_fault t.faults));
-      ("duration", Json.Float t.duration);
-      ("tick", Json.Float t.tick);
-      ("until_converged", Json.Bool t.until_converged);
-      ("deadline", Json.Float t.deadline);
     ]
+    (* Emitted only when enabled, so pre-push scenario files keep their
+       canonical bytes. *)
+    @ (match t.push with None -> [] | Some p -> [ ("push", json_of_push p) ])
+    @ [
+        ("arrival", json_of_arrival t.arrival);
+        ("faults", Json.List (List.map json_of_fault t.faults));
+        ("duration", Json.Float t.duration);
+        ("tick", Json.Float t.tick);
+        ("until_converged", Json.Bool t.until_converged);
+        ("deadline", Json.Float t.deadline);
+      ])
 
 let to_string t = Json.to_string (to_json t)
 
@@ -260,6 +280,22 @@ let arrival_of_json j =
          steps)
   | _ -> bad "field \"arrival\": expected {\"phases\": [...]} or {\"script\": [...]}"
 
+let drop_of_string = function
+  | "drop-oldest" -> Drop_oldest
+  | "drop-newest" -> Drop_newest
+  | other -> bad "unknown drop policy %S" other
+
+let push_of_json j =
+  match Json.member "push" j with
+  | None -> None
+  | Some p ->
+    Some
+      {
+        capacity = get_int "capacity" p;
+        drop = drop_of_string (get_string "drop" p);
+        flush_period = get_float "flush_period" p;
+      }
+
 let fault_of_json f =
   match get_string "kind" f with
   | "crash" -> Crash { at = get_float "at" f; node = get_int "node" f }
@@ -310,6 +346,18 @@ let check t =
     if not (Float.is_finite r.jitter && r.jitter >= 0.0) then
       bad "retry jitter must be >= 0";
     if r.max_retries < 0 then bad "retry max_retries must be >= 0");
+  (match t.push with
+  | None -> ()
+  | Some p ->
+    (match t.transport with
+    | Message _ -> ()
+    | Session ->
+      bad
+        "push requires the message-grain transport (wire-version negotiation \
+         happens on real frames)");
+    if p.capacity < 1 then bad "push capacity must be >= 1";
+    if not (Float.is_finite p.flush_period && p.flush_period > 0.0) then
+      bad "push flush_period must be > 0");
   if not (Float.is_finite t.duration && t.duration >= 0.0) then
     bad "duration must be >= 0";
   if not (Float.is_finite t.tick && t.tick > 0.0) then bad "tick must be > 0";
@@ -360,8 +408,29 @@ let check t =
 
 let validate t = match check t with () -> Ok () | exception Bad msg -> Error msg
 
+(* Every key the printer can emit. A scenario file with anything else
+   at top level is rejected outright — a typo like "pussh" must fail
+   loudly instead of silently running with the default. *)
+let known_keys =
+  [
+    "schema"; "name"; "description"; "nodes"; "shards"; "items"; "value_size";
+    "zipf"; "single_writer"; "cache"; "seeds"; "topology"; "anti_entropy";
+    "network"; "transport"; "push"; "arrival"; "faults"; "duration"; "tick";
+    "until_converged"; "deadline";
+  ]
+
+let reject_unknown_keys j =
+  match j with
+  | Json.Obj fields ->
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem k known_keys) then bad "unknown top-level field %S" k)
+      fields
+  | _ -> bad "a scenario must be a JSON object"
+
 let of_json j =
   match
+    reject_unknown_keys j;
     let schema = get_int "schema" j in
     if schema <> 1 then bad "unsupported schema version %d" schema;
     let seeds_j = field "seeds" j in
@@ -391,6 +460,7 @@ let of_json j =
         loss = get_float "loss" net;
         duplication = get_float "duplication" net;
         transport = transport_of_json j;
+        push = push_of_json j;
         arrival = arrival_of_json j;
         faults = List.map fault_of_json (get_list "faults" j);
         duration = get_float "duration" j;
@@ -447,6 +517,7 @@ let steady =
     loss = 0.0;
     duplication = 0.0;
     transport = Session;
+    push = None;
     arrival = Phases [ { from_ = 0.0; until = 40.0; rate = 2.0 } ];
     faults = [];
     duration = 40.0;
@@ -559,7 +630,47 @@ let smoke =
     deadline = 5.0;
   }
 
-let builtins = [ steady; diurnal; churn; lossy_mesh; converged_idle; smoke ]
+let default_push = { capacity = 64; drop = Drop_oldest; flush_period = 0.25 }
+
+let push_smoke =
+  {
+    smoke with
+    name = "push-smoke";
+    description =
+      "The smoke workload with the realtime push channel on: message-grain \
+       transport, every push counter exercised — the tier-1 @push alias \
+       budget.";
+    seeds = { driver = 71; engine = 72; workload = 73 };
+    transport = Message default_retry;
+    push = Some default_push;
+    duration = 8.0;
+    arrival = Phases [ { from_ = 0.0; until = 6.0; rate = 2.0 } ];
+    deadline = 8.0;
+  }
+
+let push_vs_pull =
+  {
+    steady with
+    name = "push-vs-pull";
+    description =
+      "A 16-node mesh under steady single-writer load with the push channel \
+       streaming updates between anti-entropy rounds; compare against the \
+       same run with \"push\" removed to see the staleness collapse and the \
+       AE rounds arriving already converged (experiment E20 sweeps this \
+       against loss rate and queue capacity).";
+    nodes = 16;
+    items = 64;
+    seeds = { driver = 81; engine = 82; workload = 83 };
+    transport = Message default_retry;
+    push = Some default_push;
+    arrival = Phases [ { from_ = 0.0; until = 40.0; rate = 2.0 } ];
+    duration = 40.0;
+    tick = 2.0;
+    deadline = 200.0;
+  }
+
+let builtins =
+  [ steady; diurnal; churn; lossy_mesh; converged_idle; smoke; push_smoke; push_vs_pull ]
 
 let builtin name = List.find_opt (fun t -> String.equal t.name name) builtins
 

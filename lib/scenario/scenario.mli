@@ -40,6 +40,22 @@ val default_retry : retry
     files carry the full policy instead of depending on simulator
     defaults. *)
 
+type drop =
+  | Drop_oldest  (** Shed the head: keep the freshest updates. *)
+  | Drop_newest  (** Shed the arrival: keep what was already queued. *)
+(** Mirrors {!Edb_push.Bounded_queue.policy}; spelled "drop-oldest" /
+    "drop-newest" in scenario files. *)
+
+type push = { capacity : int; drop : drop; flush_period : float }
+(** The best-effort realtime push channel (DESIGN.md §10): per-peer
+    queue bound, overflow policy, and drain cadence. Requires the
+    message-grain transport — push frames only flow to peers that have
+    negotiated wire v2, which happens on real frames. *)
+
+val default_push : push
+(** 64 updates per peer, drop-oldest, flushed every 0.25 time units —
+    {!Edb_push.Channel.default_config}, spelled out. *)
+
 type phase = { from_ : float; until : float; rate : float }
 (** Updates arrive evenly at [rate] per time unit over
     [\[from_, until)]; consecutive phases with different rates model
@@ -89,6 +105,10 @@ type t = {
   loss : float;
   duplication : float;
   transport : transport;
+  push : push option;
+      (** Enable the realtime push channel; [None] is the classic
+          pull-only protocol (and what every pre-push scenario file
+          parses to — the "push" key is simply absent). *)
   arrival : arrival;
   faults : fault list;
   duration : float;  (** The workload window; ticks cover it. *)
@@ -117,15 +137,19 @@ val to_string : t -> string
 
 val of_json : Edb_metrics.Json.t -> (t, string) result
 (** Parse and {!validate}. Every failure — missing field, wrong type,
-    out-of-range value — is an [Error]; no exception escapes. *)
+    out-of-range value, {e unknown top-level field} (a typo like
+    "pussh" must fail loudly, not silently run with the default) — is
+    an [Error]; no exception escapes. *)
 
 val of_string : string -> (t, string) result
 
 (** {1 Built-in scenarios} *)
 
 val builtins : t list
-(** [steady], [diurnal], [churn], [lossy-mesh], [converged-idle] and
-    the tiny [smoke] used by the tier-1 [@scenario] alias. *)
+(** [steady], [diurnal], [churn], [lossy-mesh], [converged-idle], the
+    tiny [smoke] used by the tier-1 [@scenario] alias, [push-smoke]
+    (its push-channel counterpart behind [@push]) and [push-vs-pull]
+    (the E20 headline configuration). *)
 
 val builtin : string -> t option
 

@@ -47,6 +47,8 @@ type event =
   | Reply_delivery of { sid : int; src : int; dst : int; msg : Driver.message }
   | Session_timeout of { sid : int; attempt : int }
   | Session_retry of { sid : int }
+  | Push_flush of { period : float; until : float }
+  | Push_delivery of { src : int; dst : int; msg : Driver.message }
   | Crash of int
   | Recover of int
   | Anti_entropy_round of { period : float; policy : peer_policy }
@@ -56,6 +58,12 @@ and t = {
   queue : event Event_queue.t;
   mutable now : float;
   prng : Prng.t;
+  push_prng : Prng.t;
+      (* Push traffic draws its network randomness from a separate
+         stream derived from the seed, so enabling or disabling the push
+         channel never perturbs the main stream — a push-off run and a
+         push-on run see identical session loss/delay/duplication draws,
+         which is what the push-equivalence explorer relies on. *)
   driver : Driver.t;
   network : Network.t;
   transport : transport;
@@ -77,6 +85,7 @@ let create ?(seed = 1) ?network ?(transport = Session_grain) ~driver () =
     queue = Event_queue.create ();
     now = 0.0;
     prng = Prng.create ~seed;
+    push_prng = Prng.create ~seed:(seed lxor 0x70757368) (* "push" *);
     driver;
     network;
     transport;
@@ -121,6 +130,18 @@ let send_message t ~from_ ~to_ make_event =
     schedule_after t ~delay:(Network.delay t.network t.prng) (make_event ());
     if Network.duplicated t.network t.prng then
       schedule_after t ~delay:(Network.delay t.network t.prng) (make_event ())
+  end
+
+(* Like [send_message], but all draws come from the dedicated push
+   stream — see the [push_prng] field note. *)
+let send_push t ~from_ ~to_ make_event =
+  if
+    (not (Network.blocked t.network from_ to_))
+    && not (Network.lost t.network t.push_prng)
+  then begin
+    schedule_after t ~delay:(Network.delay t.network t.push_prng) (make_event ());
+    if Network.duplicated t.network t.push_prng then
+      schedule_after t ~delay:(Network.delay t.network t.push_prng) (make_event ())
   end
 
 (* (Re)issue one session attempt: build the request at the initiator,
@@ -238,6 +259,30 @@ let rec execute t event =
       match t.transport with
       | Session_grain -> assert false
       | Message_grain policy -> send_request t ~policy sid st))
+  | Push_flush { period; until } -> (
+    match t.driver.Driver.push with
+    | None -> invalid_arg "Engine: Push_flush scheduled but the driver has no push stream"
+    | Some stream ->
+      (* Every alive node drains its queues; each resulting one-way
+         frame is its own network message (lost, delayed, duplicated
+         independently) with no timeout, no retry, no acknowledgement —
+         a dropped push is simply repaired by anti-entropy later. *)
+      for src = 0 to t.driver.Driver.n - 1 do
+        if t.alive.(src) then
+          List.iter
+            (fun (dst, msg) ->
+              send_push t ~from_:src ~to_:dst (fun () ->
+                  Push_delivery { src; dst; msg }))
+            (stream.Driver.flush ~src)
+      done;
+      if t.now +. period <= until then
+        schedule_after t ~delay:period (Push_flush { period; until }))
+  | Push_delivery { src; dst; msg } ->
+    if t.alive.(dst) then begin
+      match t.driver.Driver.push with
+      | Some stream -> stream.Driver.deliver ~dst ~src msg
+      | None -> assert false (* only scheduled by Push_flush *)
+    end
   | Crash node -> t.alive.(node) <- false
   | Recover node -> t.alive.(node) <- true
   | Anti_entropy_round { period; policy } ->

@@ -91,6 +91,18 @@ type event =
           passed. *)
   | Session_retry of { sid : int }
       (** Internal (message-grain): backoff elapsed; re-send. *)
+  | Push_flush of { period : float; until : float }
+      (** Drain every alive node's push queues toward ready peers
+          (requires a driver with {!Edb_baselines.Driver.t.push};
+          raises [Invalid_argument] otherwise) and reschedule after
+          [period] while the next firing is at or before [until] — a
+          bounded cadence, so quiescence-driven runs still drain. Each
+          flushed frame is one unacknowledged network message, faulted
+          independently; its loss/delay/duplication draws come from a
+          {e separate} PRNG stream derived from the seed, so enabling
+          push never perturbs the main stream's draws. *)
+  | Push_delivery of { src : int; dst : int; msg : Edb_baselines.Driver.message }
+      (** Internal: a push frame reaches [dst]; applied iff alive. *)
   | Crash of int
   | Recover of int
   | Anti_entropy_round of { period : float; policy : peer_policy }

@@ -153,6 +153,19 @@ let scenario =
                 }));
         ]
     in
+    let* push =
+      match transport with
+      | Scenario.Session -> return None
+      | Scenario.Message _ ->
+        oneof
+          [
+            return None;
+            (let* capacity = int_range 1 128 in
+             let* drop = oneofl [ Scenario.Drop_oldest; Scenario.Drop_newest ] in
+             let* flush_period = eighth 1 8 in
+             return (Some { Scenario.capacity; drop; flush_period }));
+          ]
+    in
     let* name = nonempty_text and* description = text in
     let* value_size = int_range 1 128 in
     let* zipf = eighth 0 2 in
@@ -186,6 +199,7 @@ let scenario =
         loss;
         duplication;
         transport;
+        push;
         arrival;
         faults;
         duration;

@@ -191,6 +191,19 @@ let test_explorer_granular_deterministic () =
   in
   Alcotest.(check string) "same seed, same report" (once ()) (once ())
 
+(* Push-channel equivalence (DESIGN.md §10): 100 message-granular fault
+   schedules per shard count, each executed push-on and pull-only under
+   identical randomness; the converged states must be bit-identical.
+   Anti-entropy alone carries correctness — the push channel can drop,
+   duplicate, reorder or lose anything and the outcome cannot change. *)
+let test_push_equivalence () =
+  List.iter
+    (fun shards ->
+      expect_pass
+        (Printf.sprintf "push equivalence, shards=%d" shards)
+        (Explorer.run_push_equivalence ~shards ~seed:23 ~runs:100 ()))
+    [ 1; 4 ]
+
 let suite =
   [
     Alcotest.test_case "210 schedules, 3 topologies" `Quick test_explorer_passes;
@@ -208,4 +221,6 @@ let suite =
       test_explorer_granular_catches_mutation;
     Alcotest.test_case "granular deterministic in the seed" `Quick
       test_explorer_granular_deterministic;
+    Alcotest.test_case "200 push-equivalence schedules, shards {1,4}" `Quick
+      test_push_equivalence;
   ]

@@ -32,6 +32,7 @@ let () =
       ("server-group", Test_server.suite);
       ("invariants", Test_invariants.suite);
       ("sharding", Test_sharding.suite);
+      ("push", Test_push.suite);
       ("explorer", Test_explorer.suite);
       ("wal", Test_wal.suite);
       ("fault", Test_fault.suite);

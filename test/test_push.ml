@@ -1,0 +1,462 @@
+(* The best-effort realtime push channel (DESIGN.md §10): bounded-queue
+   semantics against a list model, channel fan-out/flush/detach
+   behaviour, apply-if-fresh guards, and push idempotence — duplicated,
+   reordered and stale pushes must never move a receiver that
+   anti-entropy already served. Also hosts the windowed-percentile
+   ordering property (p50 <= p90 <= p99 <= max) and the scenario
+   parser's unknown-key rejection (the `pussh` typo must fail loudly). *)
+
+module Node = Edb_core.Node
+module Cluster = Edb_core.Cluster
+module Message = Edb_core.Message
+module Operation = Edb_store.Operation
+module Counters = Edb_metrics.Counters
+module Histogram = Edb_metrics.Histogram
+module Json = Edb_metrics.Json
+module Scenario = Edb_scenario.Scenario
+module Bounded_queue = Edb_push.Bounded_queue
+module Channel = Edb_push.Channel
+
+let set v = Operation.Set v
+
+(* ---------- Bounded queue vs. a list model ---------- *)
+
+(* A push-only script: after [n] pushes into a capacity-[c] queue the
+   drain must be exactly the window the policy promises — the last [c]
+   elements for drop-oldest, the first [c] for drop-newest — in FIFO
+   order, with every intermediate length within bound and the drop
+   counter exactly [max 0 (n - c)]. *)
+let model_keep policy capacity xs =
+  let n = List.length xs in
+  match policy with
+  | Bounded_queue.Drop_oldest -> List.filteri (fun i _ -> i >= n - capacity) xs
+  | Bounded_queue.Drop_newest -> List.filteri (fun i _ -> i < capacity) xs
+
+let prop_queue_window policy =
+  QCheck2.Test.make
+    ~name:
+      (Printf.sprintf "%s: drain is the modeled window, drops exact"
+         (Bounded_queue.policy_name policy))
+    ~count:200
+    QCheck2.Gen.(pair (int_range 1 8) (list_size (int_range 0 64) (int_bound 999)))
+    (fun (capacity, xs) ->
+      let q = Bounded_queue.create ~capacity ~policy in
+      let overflows =
+        List.fold_left
+          (fun acc x ->
+            let before = Bounded_queue.length q in
+            let r = Bounded_queue.push q x in
+            if Bounded_queue.length q > capacity then
+              QCheck2.Test.fail_report "length exceeded capacity";
+            (match r with
+            | `Stored ->
+              if Bounded_queue.length q <> before + 1 then
+                QCheck2.Test.fail_report "`Stored did not grow the queue by one"
+            | `Overflow ->
+              if Bounded_queue.length q <> capacity then
+                QCheck2.Test.fail_report "`Overflow left the queue under capacity");
+            acc + (match r with `Overflow -> 1 | `Stored -> 0))
+          0 xs
+      in
+      let expected = max 0 (List.length xs - capacity) in
+      overflows = expected
+      && Bounded_queue.dropped q = expected
+      && Bounded_queue.drain q = model_keep policy capacity xs
+      && Bounded_queue.is_empty q)
+
+(* Interleaved pushes and drains against a reference list model: the
+   drop counter is cumulative across drains and every drain empties the
+   queue. *)
+type qstep = Qpush of int | Qdrain
+
+let prop_queue_interleaved policy =
+  QCheck2.Test.make
+    ~name:
+      (Printf.sprintf "%s: interleaved push/drain matches the model"
+         (Bounded_queue.policy_name policy))
+    ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 6)
+        (list_size (int_range 0 80)
+           (frequency
+              [ (6, map (fun x -> Qpush x) (int_bound 999)); (1, return Qdrain) ])))
+    (fun (capacity, steps) ->
+      let q = Bounded_queue.create ~capacity ~policy in
+      let model = ref [] and drops = ref 0 in
+      List.for_all
+        (function
+          | Qpush x ->
+            (match Bounded_queue.push q x with
+            | `Stored -> model := !model @ [ x ]
+            | `Overflow ->
+              incr drops;
+              (match policy with
+              | Bounded_queue.Drop_oldest -> model := List.tl !model @ [ x ]
+              | Bounded_queue.Drop_newest -> ()));
+            Bounded_queue.length q = List.length !model
+            && Bounded_queue.dropped q = !drops
+          | Qdrain ->
+            let drained = Bounded_queue.drain q in
+            let expected = !model in
+            model := [];
+            drained = expected && Bounded_queue.is_empty q
+            && Bounded_queue.dropped q = !drops)
+        steps)
+
+let test_queue_rejects_zero_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Bounded_queue.create: capacity must be >= 1")
+    (fun () ->
+      ignore
+        (Bounded_queue.create ~capacity:0 ~policy:Bounded_queue.Drop_oldest
+          : int Bounded_queue.t))
+
+(* ---------- Channel fan-out, flush gating, detach ---------- *)
+
+let test_channel_fanout_flush () =
+  let n = 4 in
+  let cluster = Cluster.create ~seed:5 ~n () in
+  let origin = Cluster.node cluster 0 in
+  let ch =
+    Channel.create
+      ~config:
+        { Channel.capacity = 8; policy = Bounded_queue.Drop_oldest;
+          flush_period = 0.25 }
+      origin
+  in
+  Cluster.update cluster ~node:0 ~item:"a" (set "1");
+  Cluster.update cluster ~node:0 ~item:"b" (set "2");
+  (* Every update fans out to every peer queue. *)
+  for peer = 1 to n - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "peer %d pending" peer)
+      2
+      (Channel.pending ch peer)
+  done;
+  (* Flush drains only ready peers, in FIFO order, leaving the rest. *)
+  (match Channel.flush ch ~ready:(fun p -> p = 2) with
+  | [ (2, us) ] ->
+    Alcotest.(check (list string))
+      "peer 2 batch in FIFO order" [ "a"; "b" ]
+      (List.map (fun (u : Message.push_update) -> u.Message.item) us)
+  | _ -> Alcotest.fail "expected exactly peer 2's batch");
+  Alcotest.(check int) "peer 2 drained" 0 (Channel.pending ch 2);
+  Alcotest.(check int) "peer 1 untouched" 2 (Channel.pending ch 1);
+  (* A full flush skips the now-empty queue and covers the rest in
+     ascending peer order. *)
+  (match Channel.flush ch ~ready:(fun _ -> true) with
+  | [ (1, _); (3, _) ] -> ()
+  | batches ->
+    Alcotest.failf "expected peers 1 and 3, got %d batches" (List.length batches));
+  (* Detach stops accrual; queued state (here: nothing) is untouched. *)
+  Channel.detach ch;
+  Cluster.update cluster ~node:0 ~item:"c" (set "3");
+  for peer = 1 to n - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "peer %d after detach" peer)
+      0
+      (Channel.pending ch peer)
+  done
+
+(* Overflow is charged to the node's counter: one tick per dropped
+   element per peer queue. *)
+let test_channel_overflow_counter () =
+  let n = 3 in
+  let cluster = Cluster.create ~seed:6 ~n () in
+  let origin = Cluster.node cluster 0 in
+  let ch =
+    Channel.create
+      ~config:
+        { Channel.capacity = 2; policy = Bounded_queue.Drop_oldest;
+          flush_period = 0.25 }
+      origin
+  in
+  for k = 1 to 5 do
+    Cluster.update cluster ~node:0 ~item:"x" (set (string_of_int k))
+  done;
+  (* 5 updates into capacity-2 queues: 3 drops per peer, 2 peers. *)
+  Alcotest.(check int) "push_dropped_overflow" 6
+    (Node.counters origin).Counters.push_dropped_overflow;
+  (* Drop-oldest keeps the freshest window. *)
+  (match Channel.flush ch ~ready:(fun _ -> true) with
+  | [ (1, us1); (2, us2) ] ->
+    List.iter
+      (fun us ->
+        Alcotest.(check (list string))
+          "freshest two survive" [ "4"; "5" ]
+          (List.map (fun (u : Message.push_update) -> u.Message.value) us))
+      [ us1; us2 ]
+  | _ -> Alcotest.fail "expected batches for peers 1 and 2")
+
+(* ---------- apply_push guards ---------- *)
+
+let test_apply_push_guards () =
+  let cluster = Cluster.create ~seed:9 ~n:3 () in
+  let node1 = Cluster.node cluster 1 in
+  let u =
+    { Message.item = "x"; seq = 1; ivv = Edb_vv.Version_vector.create ~n:3;
+      value = "v" }
+  in
+  Alcotest.check_raises "source out of range"
+    (Invalid_argument "Node.apply_push: source out of range") (fun () ->
+      ignore (Node.apply_push node1 ~source:7 u));
+  Alcotest.check_raises "push from self"
+    (Invalid_argument "Node.apply_push: push from self") (fun () ->
+      ignore (Node.apply_push node1 ~source:1 u))
+
+(* ---------- Push idempotence under arbitrary prior state ---------- *)
+
+(* The scripted workload idiom from test_transport: drive the cluster
+   into an arbitrary reachable state — conflicts included — before the
+   push under test arrives. The probed item lives outside the script's
+   namespace so the origin's update is guaranteed to take the regular
+   (hook-firing) path. *)
+type prep = Upd of { node : int; item : int; op : Operation.t } | Pull of int * int
+
+let nodes = 3
+
+let prep_gen =
+  QCheck2.Gen.(
+    let upd =
+      map3
+        (fun node item op -> Upd { node = node mod nodes; item; op })
+        (int_bound 1000)
+        (int_bound 2) Gen.operation
+    in
+    let pull =
+      map2 (fun a b -> Pull (a mod nodes, b mod nodes)) (int_bound 1000)
+        (int_bound 1000)
+    in
+    list_size (int_range 0 40) (frequency [ (3, upd); (2, pull) ]))
+
+let item_name rank = Printf.sprintf "it%d" rank
+
+let build_cluster script =
+  let cluster = Cluster.create ~seed:7 ~n:nodes () in
+  List.iter
+    (function
+      | Upd { node; item; op } ->
+        Cluster.update cluster ~node ~item:(item_name item) op
+      | Pull (recipient, source) ->
+        if recipient <> source then
+          ignore (Cluster.pull cluster ~recipient ~source))
+    script;
+  cluster
+
+let normalized_state = Node.export_state
+
+(* Capture the origin's push-stream updates directly off the hook. *)
+let capture node =
+  let buf = ref [] in
+  Node.set_update_hook node (Some (fun u -> buf := u :: !buf));
+  fun () -> List.rev !buf
+
+(* Delivering the same push twice: whatever the first delivery did, the
+   second must come back [`Stale] and leave the receiver bitwise
+   unchanged. *)
+let prop_duplicate_push_idempotent =
+  QCheck2.Test.make ~name:"duplicate push: second delivery is a stale no-op"
+    ~count:100
+    QCheck2.Gen.(triple prep_gen (int_bound 1000) (int_bound 1000))
+    (fun (script, a, b) ->
+      let src = a mod nodes and dst = b mod nodes in
+      QCheck2.assume (src <> dst);
+      let cluster = build_cluster script in
+      let source = Cluster.node cluster src
+      and recipient = Cluster.node cluster dst in
+      let captured = capture source in
+      Cluster.update cluster ~node:src ~item:"push-probe" (set "fresh");
+      match captured () with
+      | [ u ] ->
+        let (_ : [ `Applied | `Stale ]) =
+          Node.apply_push recipient ~source:src u
+        in
+        let once = normalized_state recipient in
+        Node.apply_push recipient ~source:src u = `Stale
+        && normalized_state recipient = once
+      | us -> QCheck2.Test.fail_reportf "hook fired %d times" (List.length us))
+
+(* Like [build_cluster] but single-writer (owner = item rank mod n), so
+   no conflicts arise: an unresolved conflict freezes the recipient's
+   DBVV component for that origin, and this property needs the sync
+   pull to actually catch the recipient up. *)
+let build_single_writer_cluster script =
+  let cluster = Cluster.create ~seed:7 ~n:nodes () in
+  List.iter
+    (function
+      | Upd { node = _; item; op } ->
+        Cluster.update cluster ~node:(item mod nodes) ~item:(item_name item) op
+      | Pull (recipient, source) ->
+        if recipient <> source then
+          ignore (Cluster.pull cluster ~recipient ~source))
+    script;
+  cluster
+
+(* Reordered pushes: with the pair fully synced, push the second of two
+   consecutive updates first — it must be rejected as stale (a sequence
+   gap) without touching state; played in order both apply. *)
+let prop_reordered_push =
+  QCheck2.Test.make
+    ~name:"reordered push: gap rejected, in-order replay applies" ~count:100
+    ~print:(fun (script, a, b) ->
+      Printf.sprintf "script len %d a=%d b=%d [%s]" (List.length script) a b
+        (String.concat ";"
+           (List.map
+              (function
+                | Upd { node; item; _ } -> Printf.sprintf "U%d.%d" node item
+                | Pull (r, s) -> Printf.sprintf "P%d<%d" r s)
+              script)))
+    QCheck2.Gen.(triple prep_gen (int_bound 1000) (int_bound 1000))
+    (fun (script, a, b) ->
+      let src = a mod nodes and dst = b mod nodes in
+      QCheck2.assume (src <> dst);
+      let cluster = build_single_writer_cluster script in
+      let source = Cluster.node cluster src
+      and recipient = Cluster.node cluster dst in
+      (* Sync so the next push from [src] is exactly what [dst] expects. *)
+      ignore (Cluster.pull cluster ~recipient:dst ~source:src);
+      let captured = capture source in
+      Cluster.update cluster ~node:src ~item:"push-probe" (set "one");
+      Cluster.update cluster ~node:src ~item:"push-probe" (set "two");
+      match captured () with
+      | [ u1; u2 ] ->
+        let before = normalized_state recipient in
+        let gap = Node.apply_push recipient ~source:src u2 in
+        let unchanged = normalized_state recipient = before in
+        let first = Node.apply_push recipient ~source:src u1 in
+        let second = Node.apply_push recipient ~source:src u2 in
+        let read = Node.read recipient "push-probe" in
+        if
+          not
+            (gap = `Stale && unchanged && first = `Applied && second = `Applied
+           && read = Some "two")
+        then
+          QCheck2.Test.fail_reportf
+            "gap=%s unchanged=%b first=%s second=%s read=%s"
+            (match gap with `Stale -> "stale" | `Applied -> "applied")
+            unchanged
+            (match first with `Stale -> "stale" | `Applied -> "applied")
+            (match second with `Stale -> "stale" | `Applied -> "applied")
+            (match read with Some v -> v | None -> "<none>")
+        else true
+      | us -> QCheck2.Test.fail_reportf "hook fired %d times" (List.length us))
+
+(* The backstop race: anti-entropy delivers the update first, then the
+   push for the same write straggles in — it must be counted stale and
+   change nothing. *)
+let prop_push_after_anti_entropy_stale =
+  QCheck2.Test.make ~name:"push losing the race to anti-entropy is a no-op"
+    ~count:100
+    QCheck2.Gen.(triple prep_gen (int_bound 1000) (int_bound 1000))
+    (fun (script, a, b) ->
+      let src = a mod nodes and dst = b mod nodes in
+      QCheck2.assume (src <> dst);
+      let cluster = build_cluster script in
+      let source = Cluster.node cluster src
+      and recipient = Cluster.node cluster dst in
+      let captured = capture source in
+      Cluster.update cluster ~node:src ~item:"push-probe" (set "raced");
+      match captured () with
+      | [ u ] ->
+        ignore (Cluster.pull cluster ~recipient:dst ~source:src);
+        let stale_before = (Node.counters recipient).Counters.push_stale in
+        let served = normalized_state recipient in
+        Node.apply_push recipient ~source:src u = `Stale
+        && normalized_state recipient = served
+        && (Node.counters recipient).Counters.push_stale = stale_before + 1
+      | us -> QCheck2.Test.fail_reportf "hook fired %d times" (List.length us))
+
+(* A fresh push applies and counts; the receiver then reads the pushed
+   value without any anti-entropy session having run. *)
+let test_fresh_push_applies () =
+  let cluster = Cluster.create ~seed:21 ~n:nodes () in
+  let source = Cluster.node cluster 0 and recipient = Cluster.node cluster 1 in
+  let captured = capture source in
+  Cluster.update cluster ~node:0 ~item:"hot" (set "now");
+  match captured () with
+  | [ u ] ->
+    Alcotest.(check bool) "applied" true
+      (Node.apply_push recipient ~source:0 u = `Applied);
+    Alcotest.(check int) "push_applied counted" 1
+      (Node.counters recipient).Counters.push_applied;
+    Alcotest.(check (option string)) "value visible" (Some "now")
+      (Node.read recipient "hot")
+  | us -> Alcotest.failf "hook fired %d times" (List.length us)
+
+(* ---------- Windowed percentile ordering ---------- *)
+
+(* The staleness report now carries p99 between p90 and max; on any
+   non-empty sample set nearest-rank percentiles must be monotone. *)
+let prop_percentile_order =
+  QCheck2.Test.make ~name:"percentiles ordered: p50 <= p90 <= p99 <= max"
+    ~count:300
+    QCheck2.Gen.(list_size (int_range 1 200) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      let p50 = Histogram.percentile h 50.0
+      and p90 = Histogram.percentile h 90.0
+      and p99 = Histogram.percentile h 99.0
+      and max_ = Histogram.max_value h in
+      p50 <= p90 && p90 <= p99 && p99 <= max_)
+
+(* ---------- Scenario parser: unknown keys fail loudly ---------- *)
+
+let test_scenario_rejects_unknown_key () =
+  let base =
+    match Scenario.builtin "push-smoke" with
+    | Some sc -> sc
+    | None -> Alcotest.fail "no push-smoke builtin"
+  in
+  let fields =
+    match Scenario.to_json base with
+    | Json.Obj fields -> fields
+    | _ -> Alcotest.fail "scenario did not print as an object"
+  in
+  (* The motivating typo: `push` misspelled `pussh` silently disabling
+     the channel would invalidate every push experiment. *)
+  let renamed =
+    Json.Obj
+      (List.map (fun (k, v) -> ((if k = "push" then "pussh" else k), v)) fields)
+  in
+  (match Scenario.of_json renamed with
+  | Ok _ -> Alcotest.fail "pussh typo accepted"
+  | Error msg ->
+    Alcotest.(check bool) "error names the typo" true
+      (Astring.String.is_infix ~affix:"pussh" msg));
+  (* Any alien trailing key must fail the same way. *)
+  (match Scenario.of_json (Json.Obj (fields @ [ ("frobnicate", Json.Int 1) ])) with
+  | Ok _ -> Alcotest.fail "alien key accepted"
+  | Error msg ->
+    Alcotest.(check bool) "error names the key" true
+      (Astring.String.is_infix ~affix:"frobnicate" msg));
+  (* And the untouched document still parses, so the rejections above
+     are about the keys, not the fixture. *)
+  match Scenario.of_json (Json.Obj fields) with
+  | Ok sc -> Alcotest.(check bool) "fixture intact" true (Scenario.equal base sc)
+  | Error msg -> Alcotest.fail ("fixture rejected: " ^ msg)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    qcheck (prop_queue_window Bounded_queue.Drop_oldest);
+    qcheck (prop_queue_window Bounded_queue.Drop_newest);
+    qcheck (prop_queue_interleaved Bounded_queue.Drop_oldest);
+    qcheck (prop_queue_interleaved Bounded_queue.Drop_newest);
+    Alcotest.test_case "queue rejects capacity 0" `Quick
+      test_queue_rejects_zero_capacity;
+    Alcotest.test_case "channel fan-out, flush gating, detach" `Quick
+      test_channel_fanout_flush;
+    Alcotest.test_case "overflow charges the node counter" `Quick
+      test_channel_overflow_counter;
+    Alcotest.test_case "apply_push argument guards" `Quick test_apply_push_guards;
+    qcheck prop_duplicate_push_idempotent;
+    qcheck prop_reordered_push;
+    qcheck prop_push_after_anti_entropy_stale;
+    Alcotest.test_case "fresh push applies without anti-entropy" `Quick
+      test_fresh_push_applies;
+    qcheck prop_percentile_order;
+    Alcotest.test_case "scenario rejects unknown top-level keys" `Quick
+      test_scenario_rejects_unknown_key;
+  ]

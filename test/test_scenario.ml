@@ -67,7 +67,8 @@ let test_scenario_files_in_sync () =
 let test_builtin_lookup () =
   Alcotest.(check (list string))
     "builtin names"
-    [ "steady"; "diurnal"; "churn"; "lossy-mesh"; "converged-idle"; "smoke" ]
+    [ "steady"; "diurnal"; "churn"; "lossy-mesh"; "converged-idle"; "smoke";
+      "push-smoke"; "push-vs-pull" ]
     Scenario.builtin_names;
   Alcotest.(check bool) "unknown name" true (Scenario.builtin "nope" = None);
   List.iter

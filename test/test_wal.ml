@@ -276,6 +276,148 @@ let test_durable_torn_journal_recovers_prefix () =
         (Node.read (Durable.node d) "x");
       Durable.close d)
 
+(* ---------- Realtime push vs. durability (DESIGN.md §10) ---------- *)
+
+(* A remote origin plus one captured push-stream update for it. *)
+let make_push_origin () =
+  let remote = Node.create ~id:1 ~n:2 () in
+  let buf = ref [] in
+  Node.set_update_hook remote (Some (fun u -> buf := u :: !buf));
+  Node.update remote "hot" (set "pushed");
+  match List.rev !buf with
+  | [ u ] -> (remote, u)
+  | us -> Alcotest.failf "hook fired %d times" (List.length us)
+
+(* An applied push is journaled, so it survives a crash: later
+   journaled AE replies assume the pushed update is part of the
+   per-origin prefix. *)
+let test_durable_recovers_applied_push () =
+  with_temp_dir (fun dir ->
+      let _remote, u = make_push_origin () in
+      let d = reopen ~dir ~id:0 ~n:2 in
+      Durable.update d "mine" (set "local");
+      (match Durable.apply_push d ~source:1 u with
+      | `Applied -> ()
+      | `Stale -> Alcotest.fail "fresh push judged stale");
+      Durable.close d;
+      let d = reopen ~dir ~id:0 ~n:2 in
+      Alcotest.(check (option string)) "pushed value recovered" (Some "pushed")
+        (Node.read (Durable.node d) "hot");
+      Alcotest.(check (array int)) "origin component recovered" [| 1; 1 |]
+        (Vv.to_array (Node.dbvv (Durable.node d)));
+      (match Node.check_invariants (Durable.node d) with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      Durable.close d)
+
+(* Crash-atomicity around apply_push: before the journal append the
+   push is invisible (it is best-effort traffic — losing it is the
+   normal case anti-entropy repairs); after the append, recovery must
+   replay it to exactly the post-push state. Never a torn middle. *)
+let test_durable_crash_mid_push () =
+  let module Fault = Edb_fault.Fault in
+  List.iter
+    (fun (fault, applied_after_recovery) ->
+      with_temp_dir (fun dir ->
+          Fault.clear ();
+          let _remote, u = make_push_origin () in
+          let d = reopen ~dir ~id:0 ~n:2 in
+          Durable.update d "mine" (set "local");
+          let pre = Node.export_state (Durable.node d) in
+          let crashed =
+            try
+              Fault.with_point fault (fun () ->
+                  ignore (Durable.apply_push d ~source:1 u);
+                  false)
+            with Fault.Injected _ -> true
+          in
+          Alcotest.(check bool) (fault ^ " fired") true crashed;
+          let d' = reopen ~dir ~id:0 ~n:2 in
+          let recovered = Node.export_state (Durable.node d') in
+          if applied_after_recovery then begin
+            Alcotest.(check (option string))
+              (fault ^ ": push replayed from the journal")
+              (Some "pushed")
+              (Node.read (Durable.node d') "hot");
+            Alcotest.(check bool) (fault ^ ": not the pre state") true
+              (recovered <> pre)
+          end
+          else begin
+            Alcotest.(check bool) (fault ^ ": push invisible") true
+              (recovered = pre);
+            (* The stream is volatile; the straggler (or anti-entropy)
+               simply delivers again. *)
+            match Durable.apply_push d' ~source:1 u with
+            | `Applied ->
+              Alcotest.(check (option string))
+                (fault ^ ": redelivery applies")
+                (Some "pushed")
+                (Node.read (Durable.node d') "hot")
+            | `Stale -> Alcotest.fail (fault ^ ": redelivery judged stale")
+          end;
+          Durable.close d'))
+    [ ("durable.journal.before", false); ("durable.apply.before", true) ]
+
+(* Stale pushes are journaled too (replay re-judges and drops them):
+   the journal grows but the recovered state is untouched. *)
+let test_durable_stale_push_journaled_but_inert () =
+  with_temp_dir (fun dir ->
+      let remote, u = make_push_origin () in
+      let d = reopen ~dir ~id:0 ~n:2 in
+      (* Anti-entropy wins the race; the straggling push is stale. *)
+      (match Durable.pull_from d ~source:remote with
+      | Node.Pulled _ -> ()
+      | Node.Already_current -> Alcotest.fail "expected a propagation");
+      let before = Durable.journal_records d in
+      (match Durable.apply_push d ~source:1 u with
+      | `Stale -> ()
+      | `Applied -> Alcotest.fail "duplicate push applied");
+      Alcotest.(check int) "stale push journaled" (before + 1)
+        (Durable.journal_records d);
+      let served = Node.export_state (Durable.node d) in
+      Durable.close d;
+      let d = reopen ~dir ~id:0 ~n:2 in
+      Alcotest.(check bool) "replay drops the stale push again" true
+        (Node.export_state (Durable.node d) = served);
+      Durable.close d)
+
+(* With push off nothing about the journal changes: the same script
+   writes byte-identical WALs whether or not the push subsystem exists
+   in the build — pinned here so a tag renumbering or frame change
+   can't silently orphan pre-push WALs. *)
+let test_wal_bytes_stable_when_push_off () =
+  let run dir =
+    let d = reopen ~dir ~id:0 ~n:2 in
+    Durable.update d "x" (set "v1");
+    Durable.update d "y" (set "w");
+    Durable.close d;
+    let ic = open_in_bin (Filename.concat dir "node.wal") in
+    let data = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    data
+  in
+  let a = with_temp_dir run and b = with_temp_dir run in
+  Alcotest.(check string) "push-off WAL bytes deterministic" a b;
+  (* No tag-3 (push) records: every journal record of this run starts
+     with an update tag. *)
+  let seen = ref [] in
+  with_temp_dir (fun dir ->
+      let d = reopen ~dir ~id:0 ~n:2 in
+      Durable.update d "x" (set "v1");
+      Durable.update d "y" (set "w");
+      Durable.close d;
+      let (_ : Wal.replay_result) =
+        ok
+          (Wal.replay
+             ~path:(Filename.concat dir "node.wal")
+             ~f:(fun r -> seen := r :: !seen))
+      in
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "no push tags in a push-off journal" true
+            (String.length r > 0 && r.[0] <> '\003'))
+        !seen)
+
 (* Property: crash-recovery equivalence. For any script of updates and
    pulls and any crash point, a node that recovers from disk is in the
    same state as a node that executed the same operations in memory. *)
@@ -369,4 +511,12 @@ let suite =
       test_durable_rejects_mismatched_identity;
     Alcotest.test_case "durable: torn journal recovers prefix" `Quick
       test_durable_torn_journal_recovers_prefix;
+    Alcotest.test_case "durable: recover applied push" `Quick
+      test_durable_recovers_applied_push;
+    Alcotest.test_case "durable: crash mid-push is atomic" `Quick
+      test_durable_crash_mid_push;
+    Alcotest.test_case "durable: stale push journaled but inert" `Quick
+      test_durable_stale_push_journaled_but_inert;
+    Alcotest.test_case "wal bytes stable with push off" `Quick
+      test_wal_bytes_stable_when_push_off;
   ]

@@ -264,6 +264,17 @@ let fuzz_blobs =
      let frame_req = Frame.encode_request b ~dst:0 in
      let frame_reply = Frame.respond a ~src:1 frame_req in
      let frame_nak = Frame.encode_nak a ~dst:1 ~req_id:1 in
+     let frame_push =
+       Frame.encode_push a ~dst:1
+         [
+           {
+             Message.item = "x";
+             seq = 1;
+             ivv = Vv.of_array [| 1; 0 |];
+             value = "v1";
+           };
+         ]
+     in
      [
        ("v1 request", encode (fun w -> Wire.encode_propagation_request w req));
        ("v1 reply", encode (fun w -> Wire.encode_propagation_reply w reply));
@@ -279,6 +290,7 @@ let fuzz_blobs =
        ("frame request", frame_req);
        ("frame reply", frame_reply);
        ("frame nak", frame_nak);
+       ("frame push", frame_push);
      ])
 
 (* Run every decoder that could plausibly be handed this blob; each must
@@ -308,6 +320,10 @@ let feed_all_decoders blob =
       (fun () ->
         let node = Node.create ~id:1 ~n:2 () in
         ignore (Frame.decode_reply node ~src:0 blob));
+      (fun () ->
+        let node = Node.create ~id:1 ~n:2 () in
+        ignore (Frame.decode_push node ~src:0 blob));
+      (fun () -> ignore (Wire_v2.decode_push (Codec.Reader.create blob) ~n:2));
       (fun () -> ignore (Frame.describe ~n:2 blob));
     ]
   in
@@ -321,12 +337,12 @@ let feed_all_decoders blob =
 
 let prop_fuzz_bit_flips =
   QCheck2.Gen.(
-    let gen = triple (int_bound 11) (int_bound 10_000) (int_range 1 255) in
+    let gen = triple (int_bound 12) (int_bound 10_000) (int_range 1 255) in
     QCheck2.Test.make
       ~name:"bit-flipped frames: every decoder returns or raises Corrupt"
       ~count:400 gen
       (fun (which, position, mask) ->
-        let _, blob = List.nth (Lazy.force fuzz_blobs) (which mod 12) in
+        let _, blob = List.nth (Lazy.force fuzz_blobs) (which mod 13) in
         let mutated = Bytes.of_string blob in
         let position = position mod Bytes.length mutated in
         Bytes.set mutated position
