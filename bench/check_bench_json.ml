@@ -50,7 +50,7 @@ let check_micro path doc =
     [
       "e12 idle pull round-trip"; "e15 cached idle round"; "sync-all";
       "e18 sharded skip"; "e18 sync-all"; "e19 reply codec v1";
-      "e19 reply codec v2";
+      "e19 reply codec v2"; "e21 join bootstrap"; "e21 idle pull";
     ];
   let experiments =
     require "experiments list"
@@ -170,6 +170,68 @@ let check_micro path doc =
     if skipped < 0.5 then
       fail "%s: E20 lossless ae skipped frac %g below the 0.5 acceptance bar"
         path skipped);
+  (* The membership-GC experiment must show retirement actually
+     reclaiming vector components: on every row, the post-retirement
+     dimension is exactly [n - retired], and both the wire encoding of
+     a DBVV and the idle-session bytes shrink. *)
+  require_columns ~what:"E21 membership-gc" "E21:"
+    [
+      "n"; "retired"; "components"; "components'"; "dbvv wire B";
+      "dbvv wire B'"; "idle pass B"; "idle pass B'"; "gc'd";
+    ];
+  (match find_table "E21:" with
+  | None -> fail "%s: no E21 membership-gc experiment table" path
+  | Some table ->
+    let columns = columns_of table in
+    let index column =
+      let rec go i = function
+        | [] -> fail "%s: E21 table lacks the %S column" path column
+        | c :: _ when String.equal c column -> i
+        | _ :: rest -> go (i + 1) rest
+      in
+      go 0 columns
+    in
+    let rows =
+      List.filter_map Json.to_list_opt
+        (Option.value ~default:[]
+           (Option.bind (Json.member "rows" table) Json.to_list_opt))
+    in
+    if rows = [] then fail "%s: E21 table has no rows" path;
+    let number row column =
+      match List.nth_opt row (index column) with
+      | Some (Json.String s) -> (
+        match float_of_string_opt s with
+        | Some v when Float.is_finite v -> v
+        | _ -> fail "%s: E21 %s cell %S is not a number" path column s)
+      | _ -> fail "%s: E21 row lacks a string cell for %S" path column
+    in
+    List.iter
+      (fun row ->
+        let n = number row "n" in
+        let retired = number row "retired" in
+        let before = number row "components" in
+        let after = number row "components'" in
+        let wire = number row "dbvv wire B" in
+        let wire' = number row "dbvv wire B'" in
+        let idle = number row "idle pass B" in
+        let idle' = number row "idle pass B'" in
+        let gced = number row "gc'd" in
+        if before <> n then
+          fail "%s: E21 n=%g row starts at %g components, want %g" path n
+            before n;
+        if after <> n -. retired then
+          fail "%s: E21 n=%g row retains %g components, want %g" path n after
+            (n -. retired);
+        if retired > 0.0 && wire' >= wire then
+          fail "%s: E21 n=%g DBVV wire bytes did not shrink (%g -> %g)" path n
+            wire wire';
+        if retired > 0.0 && idle' >= idle then
+          fail "%s: E21 n=%g idle-pass bytes did not shrink (%g -> %g)" path n
+            idle idle';
+        if retired > 0.0 && gced <= 0.0 then
+          fail "%s: E21 n=%g retired %g members but gc'd no components" path n
+            retired)
+      rows);
   Printf.printf "%s OK: %d benchmarks, %d experiment tables\n" path
     (List.length benchmarks) (List.length experiments)
 
@@ -221,6 +283,21 @@ let check_timeseries path doc =
     | Some (Json.Int n) when n >= 2 -> n
     | _ -> fail "%s: scenario lacks a node count >= 2" path
   in
+  (* Each scheduled join can grow the live set past the initial node
+     count; leaves and retirements only shrink it. *)
+  let max_alive =
+    let joins =
+      match Json.member "churn" scenario with
+      | None | Some Json.Null -> 0
+      | Some churn ->
+        Option.value ~default:[]
+          (Option.bind (Json.member "ops" churn) Json.to_list_opt)
+        |> List.filter (fun op ->
+               Json.member "kind" op = Some (Json.String "join"))
+        |> List.length
+    in
+    nodes + joins
+  in
   let name = mem "scenario name" scenario "name" Json.to_string_opt in
   let ticks =
     require "ticks list" (Option.bind (Json.member "ticks" doc) Json.to_list_opt)
@@ -238,6 +315,7 @@ let check_timeseries path doc =
   let field_count = List.length Counters.field_names in
   let prev_counters = Array.make field_count 0 in
   let stale_total = ref 0 in
+  let membership_ticks = ref 0 in
   List.iter
     (fun tick ->
       let index =
@@ -259,8 +337,8 @@ let check_timeseries path doc =
       prev_time := time;
       let alive =
         match Json.member "alive" tick with
-        | Some (Json.Int a) when a >= 0 && a <= nodes -> a
-        | _ -> fail "%s: %s alive count out of [0, %d]" path where nodes
+        | Some (Json.Int a) when a >= 0 && a <= max_alive -> a
+        | _ -> fail "%s: %s alive count out of [0, %d]" path where max_alive
       in
       ignore alive;
       let sub obj key field =
@@ -308,10 +386,46 @@ let check_timeseries path doc =
       (match Json.member "staleness" tick with
       | Some Json.Null -> ()
       | Some stale -> stale_total := !stale_total + check_stale ~path ~where stale
-      | None -> fail "%s: %s lacks a staleness field" path where))
+      | None -> fail "%s: %s lacks a staleness field" path where);
+      (match Json.member "membership" tick with
+      | Some Json.Null -> ()
+      | Some m ->
+        incr membership_ticks;
+        (match Json.member "live" m with
+        | Some (Json.Int v) when v >= 0 -> ()
+        | _ -> fail "%s: %s membership lacks a non-negative live count" path where);
+        (match
+           Option.bind (Json.member "mean_vector_components" m) Json.to_float_opt
+         with
+        | Some v when Float.is_finite v && v >= 0.0 -> ()
+        | _ ->
+          fail "%s: %s membership lacks a valid mean_vector_components" path
+            where)
+      | None -> fail "%s: %s lacks a membership field" path where))
     ticks;
-  (* Every visible update contributes exactly one staleness sample. *)
-  if !stale_total <> !prev_visible then
+  (* A churn scenario samples membership on every tick; a classic
+     fixed-membership run on none. *)
+  let churn_run =
+    match Json.member "churn" scenario with
+    | None | Some Json.Null -> false
+    | Some _ -> true
+  in
+  if churn_run && !membership_ticks <> List.length ticks then
+    fail "%s: churn run sampled membership on %d of %d ticks" path
+      !membership_ticks (List.length ticks);
+  if (not churn_run) && !membership_ticks <> 0 then
+    fail "%s: fixed-membership run carries %d membership samples" path
+      !membership_ticks;
+  (* Every visible update contributes exactly one staleness sample —
+     on the engine path. The membership runner tracks visibility as a
+     per-tick bound, not per update, so churn runs carry no staleness
+     samples at all. *)
+  if churn_run then begin
+    if !stale_total <> 0 then
+      fail "%s: churn run unexpectedly carries %d staleness samples" path
+        !stale_total
+  end
+  else if !stale_total <> !prev_visible then
     fail "%s: staleness samples (%d) disagree with visible updates (%d)" path
       !stale_total !prev_visible;
   let summary = require "summary object" (Json.member "summary" doc) in
@@ -335,7 +449,7 @@ let check_timeseries path doc =
   then fail "%s: summary session totals disagree with the last tick" path;
   (match Json.member "staleness" summary with
   | Some Json.Null ->
-    if !prev_visible > 0 then
+    if !prev_visible > 0 && not churn_run then
       fail "%s: summary staleness null with %d visible updates" path !prev_visible
   | Some stale ->
     let count = check_stale ~path ~where:"summary" stale in
@@ -352,7 +466,15 @@ let check_timeseries path doc =
           fail "%s: summary counter %s disagrees with the last tick" path key)
       fields;
     if List.map fst fields <> Counters.field_names then
-      fail "%s: summary counters keys disagree with Counters.field_names" path
+      fail "%s: summary counters keys disagree with Counters.field_names" path;
+    (* The membership counters are probed by name: a library refactor
+       that drops or renames them must fail here, not silently emit a
+       series without them. *)
+    List.iter
+      (fun key ->
+        if not (List.mem_assoc key fields) then
+          fail "%s: summary counters lack %s" path key)
+      [ "joins_completed"; "retirements_completed"; "vector_components_gced" ]
   | _ -> fail "%s: summary lacks a counters object" path);
   (* A scenario with the push channel on must show it actually ran:
      updates streamed to peers and at least one applied as causally
@@ -372,6 +494,33 @@ let check_timeseries path doc =
         !prev_issued;
     if !prev_issued > 0 && counter "push_applied" < 1 then
       fail "%s: push scenario sent pushes but none were applied" path);
+  (* A churn scenario's membership operations must show up in the
+     counters: a scheduled retirement that completes GCs components. *)
+  (match Json.member "churn" scenario with
+  | None | Some Json.Null -> ()
+  | Some churn ->
+    let counter key =
+      match
+        Option.bind (Json.member "counters" summary) (Json.member key)
+      with
+      | Some (Json.Int v) -> v
+      | _ -> fail "%s: summary lacks integer counter %s" path key
+    in
+    let ops =
+      Option.value ~default:[]
+        (Option.bind (Json.member "ops" churn) Json.to_list_opt)
+    in
+    let scheduled kind =
+      List.exists
+        (fun op -> Json.member "kind" op = Some (Json.String kind))
+        ops
+    in
+    if scheduled "join" && counter "joins_completed" < 1 then
+      fail "%s: churn run scheduled a join but none completed" path;
+    if scheduled "retire" && counter "retirements_completed" < 1 then
+      fail "%s: churn run scheduled a retirement but none completed" path;
+    if scheduled "retire" && counter "vector_components_gced" < 1 then
+      fail "%s: churn run retired a member but gc'd no vector components" path);
   Printf.printf "%s OK: scenario %S, %d ticks, %d/%d updates visible\n" path name
     (List.length ticks) !prev_visible !prev_issued
 

@@ -339,6 +339,96 @@ let test_e19_v1 =
 let test_e19_v2 =
   Test.make ~name:"e19 reply codec v2" (bench_e19_codec ~version:2)
 
+(* E21 — dynamic membership. Two instances:
+
+   1. Join bootstrap: the snapshot-v3 transfer a newcomer pays before
+      catch-up anti-entropy starts — encode the donor, decode the blob,
+      re-import the state under the vacated slot.
+
+   2. The idle-pull dividend of retirement: an idle session between two
+      live members of a 16-member group, with 0 vs 4 members retired.
+      Session cost is dominated by the vectors shipped and compared, so
+      the retired components' absence is measurable. *)
+
+module Group = Edb_membership.Group
+module Snapshot = Edb_persist.Snapshot
+
+let bench_e21_join_bootstrap =
+  let cluster = Cluster.create ~n:8 () in
+  for rank = 0 to 1_023 do
+    Cluster.update cluster ~node:0 ~item:(Workload.item_name rank) (Operation.Set "s")
+  done;
+  let donor = Cluster.node cluster 0 in
+  Staged.stage (fun () ->
+      let blob = Snapshot.encode donor in
+      match Snapshot.decode blob with
+      | Error msg -> failwith msg
+      | Ok node ->
+        let state = Node.export_state node in
+        ignore (Node.import_state { state with Node.State.id = 7 } : Node.t))
+
+let e21_ring_pass g =
+  let names =
+    Array.to_list (Group.roster g)
+    |> List.filter (fun name ->
+           Group.alive g ~name
+           &&
+           match Group.status g ~name with
+           | Group.Joining | Group.Active | Group.Draining -> true
+           | Group.Departed | Group.Retiring | Group.Retired -> false)
+  in
+  let arr = Array.of_list names in
+  let k = Array.length arr in
+  for i = 0 to k - 1 do
+    match Group.sync g ~a:arr.(i) ~b:arr.((i + 1) mod k) with
+    | Ok () -> ()
+    | Error msg -> failwith msg
+  done;
+  ignore (Group.observe g : Group.event list)
+
+let e21_group ~retired =
+  let n = 16 in
+  let g = Group.create ~shards:1 ~n () in
+  for name = 0 to n - 1 do
+    match
+      Group.update g ~name ~item:(Workload.item_name name) (Operation.Set "s")
+    with
+    | Ok () -> ()
+    | Error msg -> failwith msg
+  done;
+  for _ = 1 to n do
+    e21_ring_pass g
+  done;
+  if retired > 0 then begin
+    for name = n - retired to n - 1 do
+      Group.crash g ~name;
+      match Group.retire g ~name with
+      | Ok () -> ()
+      | Error msg -> failwith msg
+    done;
+    for _ = 1 to n do
+      e21_ring_pass g
+    done
+  end;
+  assert (Group.converged g && Group.pending_fences g = []);
+  g
+
+let bench_e21_idle_pull ~retired =
+  let g = e21_group ~retired in
+  Staged.stage (fun () ->
+      match Group.sync g ~a:0 ~b:1 with
+      | Ok () -> ()
+      | Error msg -> failwith msg)
+
+let test_e21_join =
+  Test.make ~name:"e21 join bootstrap n=8 items=1024" bench_e21_join_bootstrap
+
+let test_e21_idle_pre =
+  Test.make ~name:"e21 idle pull n=16 retired=0" (bench_e21_idle_pull ~retired:0)
+
+let test_e21_idle_post =
+  Test.make ~name:"e21 idle pull n=16 retired=4" (bench_e21_idle_pull ~retired:4)
+
 let micro_tests ~shards =
   let test_e18_skip =
     Test.make
@@ -378,6 +468,9 @@ let micro_tests ~shards =
     test_e18_syncall_par;
     test_e19_v1;
     test_e19_v2;
+    test_e21_join;
+    test_e21_idle_pre;
+    test_e21_idle_post;
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -8,6 +8,9 @@
                 (per-message faults, mid-session crashes, retry active)
      shard      sharded-replica soak: cache equivalence + granular chaos
                 at a fixed shard count
+     member     dynamic membership: narrate a join / graceful leave /
+                dead-node retirement, or soak join/leave/retire
+                schedules against the lockstep oracle
      push       push-channel equivalence soak: every schedule run with
                 the realtime push channel on must converge bit-identical
                 to the same schedule pull-only
@@ -412,6 +415,159 @@ let shard_cmd =
     Term.(ret (const run $ seed $ runs $ shards))
 
 (* ------------------------------------------------------------------ *)
+(* member                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let member_cmd =
+  let module Explorer = Edb_check.Explorer in
+  let module Group = Edb_membership.Group in
+  let mode =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("join", `Join); ("leave", `Leave);
+                            ("retire", `Retire); ("soak", `Soak) ])) None
+      & info [] ~docv:"MODE"
+          ~doc:
+            "$(b,join), $(b,leave) or $(b,retire) walk one membership \
+             operation through a small cluster, narrating the event log; \
+             $(b,soak) runs the randomized membership-equivalence battery.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let runs =
+    Arg.(
+      value & opt int 200
+      & info [ "runs" ] ~docv:"K" ~doc:"Schedules for $(b,soak) (default 200).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"K"
+          ~doc:"Per-node shard count for $(b,soak) (default 1).")
+  in
+  (* Shared stage: a 3-member group with one update per member applied
+     everywhere, so every vector is non-trivial before the operation
+     under demonstration runs. *)
+  let stage () =
+    let g = Group.create ~shards:1 ~n:3 () in
+    for name = 0 to 2 do
+      match
+        Group.update g ~name ~item:(Printf.sprintf "item-%d" name)
+          (Edb_store.Operation.Set (Printf.sprintf "v%d" name))
+      with
+      | Ok () -> ()
+      | Error msg -> failwith msg
+    done;
+    ignore (Group.observe g : Group.event list);
+    g
+  in
+  let round g =
+    let names =
+      Array.to_list (Group.roster g)
+      |> List.filter (fun name -> Group.alive g ~name
+                                  && Group.status g ~name <> Group.Departed
+                                  && Group.status g ~name <> Group.Retired)
+    in
+    let arr = Array.of_list names in
+    let k = Array.length arr in
+    for i = 0 to k - 1 do
+      ignore
+        (Group.sync g ~a:arr.(i) ~b:arr.((i + 1) mod k)
+          : (unit, string) Stdlib.result)
+    done;
+    List.iter
+      (fun ev -> Printf.printf "  event: %s\n" (Group.event_to_string ev))
+      (Group.observe g)
+  in
+  let show g =
+    Printf.printf
+      "  epoch %d · live %d · mean vector length %.2f · fences pending [%s]\n"
+      (Group.epoch g) (Group.live_count g)
+      (Group.mean_vector_components g)
+      (String.concat "; " (List.map string_of_int (Group.pending_fences g)))
+  in
+  let finish g =
+    (match Group.check g with
+    | Ok () -> print_endline "group invariants: ok"
+    | Error msg -> Printf.printf "group invariants: FAILED — %s\n" msg);
+    `Ok ()
+  in
+  let run mode seed runs shards =
+    match mode with
+    | `Join ->
+      let g = stage () in
+      print_endline "three members staged; a newcomer joins from donor 0:";
+      let name =
+        match Group.join g ~donor:0 with Ok n -> n | Error m -> failwith m
+      in
+      (match Group.read g ~name ~item:"item-1" with
+      | Error msg -> Printf.printf "  read gate holds while Joining: %s\n" msg
+      | Ok _ -> print_endline "  read gate FAILED to hold");
+      show g;
+      print_endline "catch-up anti-entropy until the DBVV dominates the donor watermark:";
+      round g;
+      Printf.printf "  member %d is now %s\n" name
+        (Group.status_to_string (Group.status g ~name));
+      show g;
+      finish g
+    | `Leave ->
+      let g = stage () in
+      print_endline "three members staged; member 1 leaves gracefully:";
+      (match Group.leave g ~name:1 with Ok () -> () | Error m -> failwith m);
+      (match Group.update g ~name:1 ~item:"item-1" (Edb_store.Operation.Set "late") with
+      | Error msg -> Printf.printf "  draining member refuses updates: %s\n" msg
+      | Ok () -> print_endline "  drain FAILED to refuse an update");
+      show g;
+      print_endline "final anti-entropy rounds drain the member out:";
+      round g;
+      round g;
+      Printf.printf "  member 1 is now %s\n"
+        (Group.status_to_string (Group.status g ~name:1));
+      show g;
+      finish g
+    | `Retire ->
+      let g = stage () in
+      print_endline "three members staged; member 2 crashes and is retired:";
+      Group.crash g ~name:2;
+      (match Group.retire g ~name:2 with Ok () -> () | Error m -> failwith m);
+      show g;
+      print_endline "the fence gathers acks epidemically:";
+      round g;
+      round g;
+      Printf.printf "  member 2 is now %s\n"
+        (Group.status_to_string (Group.status g ~name:2));
+      show g;
+      let c = Group.counters_total g in
+      Printf.printf
+        "  counters: joins_completed=%d retirements_completed=%d \
+         vector_components_gced=%d\n"
+        c.Counters.joins_completed c.Counters.retirements_completed
+        c.Counters.vector_components_gced;
+      finish g
+    | `Soak -> (
+      match Explorer.run_membership_equivalence ~shards ~seed ~runs () with
+      | Ok report ->
+        Printf.printf
+          "ok: %d membership schedules (join/leave/retire under faults) \
+           converged oracle-identical with no retired component surviving\n"
+          report.Explorer.schedules;
+        `Ok ()
+      | Error msg ->
+        print_string msg;
+        if not (String.length msg > 0 && msg.[String.length msg - 1] = '\n') then
+          print_newline ();
+        `Error (false, "membership soak failed (shrunk counterexample above)"))
+  in
+  Cmd.v
+    (Cmd.info "member"
+       ~doc:
+         "Dynamic membership: narrate a join (snapshot bootstrap + catch-up \
+          gate), a graceful leave (drain then depart) or a dead-node \
+          retirement (two-phase fence, then the origin's vector component is \
+          garbage-collected everywhere) — or soak the whole subsystem against \
+          the lockstep oracle with $(b,soak).")
+    Term.(ret (const run $ mode $ seed $ runs $ shards))
+
+(* ------------------------------------------------------------------ *)
 (* push                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -738,6 +894,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            bench_cmd; simulate_cmd; check_cmd; chaos_cmd; shard_cmd; push_cmd;
-            wire_cmd; scenario_cmd; demo_cmd;
+            bench_cmd; simulate_cmd; check_cmd; chaos_cmd; shard_cmd;
+            member_cmd; push_cmd; wire_cmd; scenario_cmd; demo_cmd;
           ]))

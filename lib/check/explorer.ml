@@ -707,3 +707,8 @@ let run_equivalence ?mode ?topology ?shards ~seed ~runs () =
     Error
       (Printf.sprintf "schedule raised %s\non instance:\n%s\nreplay with seed %d"
          (Printexc.to_string exn) instance seed)
+
+let run_membership_equivalence ?shards ~seed ~runs () =
+  Result.map
+    (fun (r : Membership_check.report) -> { schedules = r.schedules })
+    (Membership_check.run ?shards ~seed ~runs ())

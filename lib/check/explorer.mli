@@ -164,3 +164,11 @@ val run_push_equivalence :
   (report, string) result
 (** {!run_push_equivalence_schedule} over [runs] generated schedules,
     with QCheck2 shrinking on failure. *)
+
+val run_membership_equivalence :
+  ?shards:int -> seed:int -> runs:int -> unit -> (report, string) result
+(** {!Membership_check.run}: randomized membership schedules — joins,
+    graceful leaves, retirements, crashes and partitions interleaved
+    with updates and anti-entropy — against the stable-name oracle,
+    with QCheck2 shrinking on failure. Checks that every run converges
+    oracle-identical and that no vector retains a retired component. *)

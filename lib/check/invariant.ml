@@ -152,11 +152,19 @@ let check_node ?log_bound node =
      pointer-map integrity (§4.2, Fig. 1), the seq <= DBVV bound in
      conflict-free states, and clean IsSelected flags (§6), all per
      shard. *)
-  let* () = Node.check_invariants ?log_bound node in
-  let* () = check_log_items node in
-  let* () = check_aux node in
-  let* () = check_summary node in
-  check_shard_assignment node
+  let checked =
+    let* () = Node.check_invariants ?log_bound node in
+    let* () = check_log_items node in
+    let* () = check_aux node in
+    let* () = check_summary node in
+    check_shard_assignment node
+  in
+  (* Every failure names the node it came from; the per-check messages
+     name the shard. A counterexample from a many-node schedule is
+     unactionable without both. *)
+  Result.map_error
+    (fun msg -> Printf.sprintf "node %d: %s" (Node.id node) msg)
+    checked
 
 (* ------------------------------------------------------------------ *)
 (* Cross-session monitoring                                            *)

@@ -1,0 +1,450 @@
+module Group = Edb_membership.Group
+module Node = Edb_core.Node
+module Operation = Edb_store.Operation
+module Item = Edb_store.Item
+module Vv = Edb_vv.Version_vector
+module Gen = QCheck2.Gen
+
+(* Randomized exploration of membership schedules: interleavings of
+   user updates and anti-entropy sessions with joins, graceful leaves,
+   retirements, crashes, recoveries and partitions, run against
+   {!Edb_membership.Group} with a stable-name oracle in lockstep.
+
+   The oracle never garbage-collects: every replica keeps one IVV
+   component per stable name that will ever exist (initial members plus
+   one per [MJoin] in the schedule), so a real vector — whose slots
+   shift as joins extend and retirements drop components — must at
+   every full-epoch checkpoint equal the oracle's vector {e projected
+   through the roster}: real [ivv.(j)] against oracle
+   [ivv.(roster.(j))]. That projection is exactly the correctness claim
+   of retirement GC: dropping a retired component loses nothing,
+   because the fence proved the dropped components identical
+   everywhere. A surviving retired component would surface as a
+   dimension mismatch; a corrupted one as a projected-IVV mismatch.
+
+   Single-writer discipline makes the runs conflict-free by
+   construction: each item rank is owned by one stable name for the
+   whole schedule (owner = rank mod the schedule's name capacity), and
+   an update executes only while its owner is active — so ownership
+   survives joins, leaves and retirements without ever creating
+   concurrent writes. Moves whose preconditions do not hold are skipped
+   deterministically, mirroring the membership layer's own refusals. *)
+
+type move =
+  | MUpdate of { item : int; op : Operation.t }
+      (** Owner derived from [item]: rank mod name capacity. Skipped
+          unless the owner exists and is a live active member. *)
+  | MSync of { a : int; b : int }  (** Indices resolved mod names created so far. *)
+  | MCrash of int
+  | MRecover of int
+  | MPartition of int * int
+  | MHeal of int * int
+  | MJoin of { donor : int }
+  | MLeave of int
+  | MRetire of int
+  | MObserve  (** One controller pass ({!Group.observe}). *)
+
+type schedule = { nodes : int; items : int; shards : int; moves : move list }
+
+let item_name rank = Printf.sprintf "it%02d" rank
+
+let pp_move ppf = function
+  | MUpdate { item; op } ->
+    Format.fprintf ppf "update %s %a" (item_name item) Operation.pp op
+  | MSync { a; b } -> Format.fprintf ppf "sync %d %d" a b
+  | MCrash k -> Format.fprintf ppf "crash %d" k
+  | MRecover k -> Format.fprintf ppf "recover %d" k
+  | MPartition (a, b) -> Format.fprintf ppf "partition %d %d" a b
+  | MHeal (a, b) -> Format.fprintf ppf "heal %d %d" a b
+  | MJoin { donor } -> Format.fprintf ppf "join (donor %d)" donor
+  | MLeave k -> Format.fprintf ppf "leave %d" k
+  | MRetire k -> Format.fprintf ppf "retire %d" k
+  | MObserve -> Format.fprintf ppf "observe"
+
+let print_schedule (s : schedule) =
+  Format.asprintf "@[<v>nodes=%d items=%d shards=%d@,%a@]" s.nodes s.items s.shards
+    (Format.pp_print_list pp_move)
+    s.moves
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_operation =
+  Gen.frequency
+    [
+      (4, Gen.map (fun k -> Operation.Set (Printf.sprintf "v%d" k)) (Gen.int_bound 99));
+      ( 1,
+        Gen.map2
+          (fun offset k -> Operation.Splice { offset; data = Printf.sprintf "s%d" k })
+          (Gen.int_bound 8) (Gen.int_bound 9) );
+    ]
+
+let gen_move ~items =
+  let idx = Gen.int_bound 1000 in
+  Gen.frequency
+    [
+      ( 6,
+        Gen.map2
+          (fun item op -> MUpdate { item; op })
+          (Gen.int_bound (items - 1))
+          gen_operation );
+      (6, Gen.map2 (fun a b -> MSync { a; b }) idx idx);
+      (2, Gen.map (fun k -> MCrash k) idx);
+      (2, Gen.map (fun k -> MRecover k) idx);
+      (1, Gen.map2 (fun a b -> MPartition (a, b)) idx idx);
+      (1, Gen.map2 (fun a b -> MHeal (a, b)) idx idx);
+      (1, Gen.map (fun donor -> MJoin { donor }) idx);
+      (1, Gen.map (fun k -> MLeave k) idx);
+      (2, Gen.map (fun k -> MRetire k) idx);
+      (2, Gen.pure MObserve);
+    ]
+
+let gen ?(shards = 1) () =
+  let open Gen in
+  let* nodes = int_range 3 5 in
+  let* items = int_range 2 6 in
+  let* moves = list_size (int_bound 50) (gen_move ~items) in
+  pure { nodes; items; shards; moves }
+
+(* ------------------------------------------------------------------ *)
+(* The stable-name oracle                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Check_failed of string
+
+let failf fmt = Printf.ksprintf (fun msg -> raise (Check_failed msg)) fmt
+
+type ocopy = { mutable value : string; mutable ivv : int array }
+
+type oreplica = (string, ocopy) Hashtbl.t
+
+type state = {
+  g : Group.t;
+  nodes0 : int;  (* initial member count *)
+  cap : int;  (* name capacity: nodes0 + number of MJoin moves *)
+  oracle : (int, oreplica) Hashtbl.t;  (* replica per stable name *)
+  mutable partitions : (int * int) list;  (* name pairs, smaller first *)
+}
+
+let ofind st (rep : oreplica) item =
+  match Hashtbl.find_opt rep item with
+  | Some c -> c
+  | None ->
+    let c = { value = ""; ivv = Array.make st.cap 0 } in
+    Hashtbl.add rep item c;
+    c
+
+let dominates_or_equal a b =
+  let ok = ref true in
+  Array.iteri (fun i av -> if av < b.(i) then ok := false) a;
+  !ok
+
+let oupdate st ~owner ~item op =
+  let c = ofind st (Hashtbl.find st.oracle owner) item in
+  c.value <- Operation.apply c.value op;
+  c.ivv.(owner) <- c.ivv.(owner) + 1
+
+(* One direction of a session: [dst] adopts every item where [src] is
+   strictly newer. Concurrency is impossible under the single-writer
+   discipline; seeing it means the harness itself is broken. *)
+let odeliver st ~src ~dst =
+  let s = Hashtbl.find st.oracle src and d = Hashtbl.find st.oracle dst in
+  Hashtbl.iter
+    (fun item (c : ocopy) ->
+      let mine = ofind st d item in
+      if dominates_or_equal c.ivv mine.ivv then begin
+        if c.ivv <> mine.ivv then begin
+          mine.value <- c.value;
+          mine.ivv <- Array.copy c.ivv
+        end
+      end
+      else if not (dominates_or_equal mine.ivv c.ivv) then
+        failf "oracle: concurrent IVVs for %s between %d and %d" item src dst)
+    s
+
+let osession st ~a ~b =
+  odeliver st ~src:b ~dst:a;
+  odeliver st ~src:a ~dst:b
+
+let ojoin st ~donor ~name =
+  let d = Hashtbl.find st.oracle donor in
+  let rep = Hashtbl.create (Hashtbl.length d) in
+  Hashtbl.iter
+    (fun item (c : ocopy) ->
+      Hashtbl.add rep item { value = c.value; ivv = Array.copy c.ivv })
+    d;
+  Hashtbl.replace st.oracle name rep
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence at a full-epoch checkpoint                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Compare a member against its oracle replica through the roster
+   projection. Only meaningful at full epoch, where the member's slot
+   space equals the controller roster. *)
+let ensure_matches st name =
+  let g = st.g in
+  if Group.member_epoch g ~name = Group.epoch g then begin
+    let roster = Group.roster g in
+    let dim = Array.length roster in
+    let node = Group.node g ~name in
+    if Node.dimension node <> dim then
+      failf "member %d: dimension %d but the roster has %d sites" name
+        (Node.dimension node) dim;
+    let rep = Hashtbl.find st.oracle name in
+    let project ivv = Array.map (fun stable -> ivv.(stable)) roster in
+    Node.iter_items
+      (fun (it : Item.t) ->
+        let oval, oivv =
+          match Hashtbl.find_opt rep it.name with
+          | Some c -> (c.value, project c.ivv)
+          | None -> ("", Array.make dim 0)
+        in
+        if not (String.equal it.value oval) then
+          failf "member %d item %s: value %S, oracle has %S" name it.name it.value oval;
+        if Vv.to_array it.ivv <> oivv then
+          failf "member %d item %s: IVV %s, oracle projects %s" name it.name
+            (Vv.to_string it.ivv)
+            (Vv.to_string (Vv.of_array oivv)))
+      node;
+    Hashtbl.iter
+      (fun iname (c : ocopy) ->
+        match Node.find_item node iname with
+        | Some _ -> ()
+        | None ->
+          if not (String.equal c.value "" && Array.for_all (( = ) 0) (project c.ivv))
+          then
+            failf "member %d: oracle holds %s=%S but the node has no such item" name
+              iname c.value)
+      rep
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Executing one schedule                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Names created so far: initial members plus executed joins. *)
+let names_so_far st =
+  st.nodes0
+  + List.length
+      (List.filter (function Group.Join _ -> true | _ -> false) (Group.events st.g))
+
+let resolve st k = k mod names_so_far st
+
+let is_participant st name =
+  Group.alive st.g ~name
+  &&
+  match Group.status st.g ~name with
+  | Group.Joining | Group.Active | Group.Draining -> true
+  | Group.Departed | Group.Retiring | Group.Retired -> false
+
+let participants st =
+  Array.to_list (Group.roster st.g) |> List.filter (is_participant st)
+
+let active_count st =
+  List.length
+    (List.filter
+       (fun name -> Group.status st.g ~name = Group.Active)
+       (Array.to_list (Group.roster st.g)))
+
+let partitioned st a b =
+  let key = (min a b, max a b) in
+  List.mem key st.partitions
+
+let expect_ok what = function
+  | Ok v -> v
+  | Error msg -> failf "%s unexpectedly refused: %s" what msg
+
+let sync_mirror st a b =
+  expect_ok (Printf.sprintf "sync %d %d" a b) (Group.sync st.g ~a ~b);
+  osession st ~a ~b;
+  ensure_matches st a;
+  ensure_matches st b
+
+let exec st = function
+  | MUpdate { item; op } ->
+    let owner = item mod st.cap in
+    if
+      owner < names_so_far st
+      && Group.status st.g ~name:owner = Group.Active
+      && Group.alive st.g ~name:owner
+    then begin
+      expect_ok
+        (Printf.sprintf "update by %d" owner)
+        (Group.update st.g ~name:owner ~item:(item_name item) op);
+      oupdate st ~owner ~item:(item_name item) op;
+      ensure_matches st owner
+    end
+  | MSync { a; b } ->
+    let a = resolve st a and b = resolve st b in
+    if a <> b && is_participant st a && is_participant st b && not (partitioned st a b)
+    then sync_mirror st a b
+  | MCrash k ->
+    let name = resolve st k in
+    if Group.alive st.g ~name then Group.crash st.g ~name
+  | MRecover k ->
+    let name = resolve st k in
+    if not (Group.alive st.g ~name) then
+      (* Refused for retirement victims and departed members — the
+         refusal is the deterministic skip. *)
+      ignore (Group.recover st.g ~name : (unit, string) result)
+  | MPartition (a, b) ->
+    let a = resolve st a and b = resolve st b in
+    if a <> b && not (partitioned st a b) then
+      st.partitions <- (min a b, max a b) :: st.partitions
+  | MHeal (a, b) ->
+    let a = resolve st a and b = resolve st b in
+    st.partitions <- List.filter (( <> ) (min a b, max a b)) st.partitions
+  | MJoin { donor } ->
+    let donor = resolve st donor in
+    if Group.alive st.g ~name:donor && Group.status st.g ~name:donor = Group.Active
+    then begin
+      let name = expect_ok "join" (Group.join st.g ~donor) in
+      if name >= st.cap then
+        failf "join produced name %d beyond the oracle capacity %d" name st.cap;
+      ojoin st ~donor ~name;
+      ensure_matches st name
+    end
+  | MLeave k ->
+    let name = resolve st k in
+    if
+      Group.status st.g ~name = Group.Active
+      && Group.alive st.g ~name
+      && active_count st >= 3
+    then expect_ok (Printf.sprintf "leave %d" name) (Group.leave st.g ~name)
+  | MRetire k ->
+    let name = resolve st k in
+    let retirable =
+      match Group.status st.g ~name with
+      | Group.Departed -> true
+      | (Group.Joining | Group.Active | Group.Draining) -> not (Group.alive st.g ~name)
+      | Group.Retiring | Group.Retired -> false
+    in
+    (* Keep the roster at >= 3 sites so the post-retirement dimension
+       stays a valid vector (>= 2 components). *)
+    if retirable && Array.length (Group.roster st.g) >= 3 then
+      expect_ok (Printf.sprintf "retire %d" name) (Group.retire st.g ~name)
+  | MObserve -> ignore (Group.observe st.g : Group.event list)
+
+(* Drive the group to quiescence: heal everything, recover everyone
+   recoverable, then alternate full anti-entropy rings with controller
+   passes until no join, drain or retirement fence is outstanding and
+   every participant converged. A schedule that cannot quiesce within
+   the round budget is itself a failure — fences must stall only while
+   a required member is crashed or partitioned, and the drive removes
+   every such obstacle. *)
+let drive st =
+  st.partitions <- [];
+  Array.iter
+    (fun name ->
+      if not (Group.alive st.g ~name) then
+        ignore (Group.recover st.g ~name : (unit, string) result))
+    (Group.roster st.g);
+  let settled () =
+    Group.pending_fences st.g = []
+    && Array.for_all
+         (fun name ->
+           match Group.status st.g ~name with
+           | Group.Active | Group.Departed | Group.Retired -> true
+           | Group.Joining | Group.Draining | Group.Retiring -> false)
+         (Group.roster st.g)
+    && Group.converged st.g
+  in
+  let round () =
+    (match participants st with
+    | [] | [ _ ] -> ()
+    | ps ->
+      let arr = Array.of_list ps in
+      let k = Array.length arr in
+      for i = 0 to k - 1 do
+        let a = arr.(i) and b = arr.((i + 1) mod k) in
+        if is_participant st a && is_participant st b then sync_mirror st a b
+      done);
+    ignore (Group.observe st.g : Group.event list)
+  in
+  let rounds = ref 0 in
+  while (not (settled ())) && !rounds < 60 do
+    incr rounds;
+    round ()
+  done;
+  if not (settled ()) then
+    failf
+      "did not quiesce after %d drive rounds (pending fences: [%s]; statuses: %s)"
+      !rounds
+      (String.concat ", " (List.map string_of_int (Group.pending_fences st.g)))
+      (String.concat ", "
+         (List.map
+            (fun name ->
+              Printf.sprintf "%d:%s" name
+                (Group.status_to_string (Group.status st.g ~name)))
+            (Array.to_list (Group.roster st.g))))
+
+let run_schedule (s : schedule) =
+  try
+    let joins =
+      List.length (List.filter (function MJoin _ -> true | _ -> false) s.moves)
+    in
+    let st =
+      {
+        g = Group.create ~shards:s.shards ~n:s.nodes ();
+        nodes0 = s.nodes;
+        cap = s.nodes + joins;
+        oracle = Hashtbl.create 16;
+        partitions = [];
+      }
+    in
+    for name = 0 to s.nodes - 1 do
+      Hashtbl.replace st.oracle name (Hashtbl.create 8)
+    done;
+    List.iter (exec st) s.moves;
+    drive st;
+    (match Group.check st.g with
+    | Ok () -> ()
+    | Error msg -> failf "invariant violation: %s" msg);
+    if Group.conflict_count st.g <> 0 then
+      failf "membership schedule produced %d conflicts under single-writer updates"
+        (Group.conflict_count st.g);
+    (* No retired name may survive anywhere: not in the roster, and —
+       via the dimension check inside ensure_matches — not as a vector
+       component of any participant. *)
+    Array.iter
+      (fun name ->
+        if Group.status st.g ~name = Group.Retired then
+          failf "retired member %d still occupies a roster slot" name)
+      (Group.roster st.g);
+    List.iter (ensure_matches st) (participants st);
+    Ok ()
+  with Check_failed msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* QCheck2 entry point                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type report = { schedules : int }
+
+let run ?(shards = 1) ~seed ~runs () =
+  let last_error = ref "" in
+  let prop s =
+    match run_schedule s with
+    | Ok () -> true
+    | Error msg ->
+      last_error := msg;
+      false
+  in
+  let test =
+    QCheck2.Test.make ~count:runs ~name:"membership equivalence" ~print:print_schedule
+      (gen ~shards ()) prop
+  in
+  match QCheck2.Test.check_exn ~rand:(Random.State.make [| seed |]) test with
+  | () -> Ok { schedules = runs }
+  | exception QCheck2.Test.Test_fail (_, counterexamples) ->
+    Error
+      (Printf.sprintf "%s\nshrunk counterexample:\n%s\nreplay with seed %d"
+         !last_error
+         (String.concat "\n---\n" counterexamples)
+         seed)
+  | exception QCheck2.Test.Test_error (_, instance, exn, _) ->
+    Error
+      (Printf.sprintf "schedule raised %s\non instance:\n%s\nreplay with seed %d"
+         (Printexc.to_string exn) instance seed)

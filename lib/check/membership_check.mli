@@ -1,0 +1,56 @@
+(** Randomized exploration of dynamic-membership schedules.
+
+    Generates interleavings of user updates and anti-entropy sessions
+    with joins, graceful leaves, retirements, crashes, recoveries and
+    partitions, runs each against {!Edb_membership.Group} with a
+    stable-name oracle in lockstep, and demands at every full-epoch
+    checkpoint and at quiescence:
+
+    - every member's store and IVVs equal the oracle's {e projected
+      through the roster} (real [ivv.(j)] against oracle
+      [ivv.(roster.(j))]) — the oracle never garbage-collects, so this
+      projection is exactly the claim that retirement GC loses nothing;
+    - no vector retains a retired component (dimension equals roster
+      size, no retired name occupies a roster slot);
+    - structural invariants ({!Edb_membership.Group.check}) hold and the
+      run is conflict-free (updates are single-writer by construction:
+      one stable owner per item for the whole schedule);
+    - the group quiesces — stalled fences must be explained by a
+      crashed or partitioned required member, and the drive phase
+      removes every such obstacle before demanding completion.
+
+    Failing schedules are shrunk by QCheck2 and reported with the
+    replay seed, deterministically. *)
+
+type move =
+  | MUpdate of { item : int; op : Edb_store.Operation.t }
+      (** Owner derived from [item]: rank mod the schedule's name
+          capacity. Executed only while the owner is a live active
+          member, so runs stay single-writer across membership churn. *)
+  | MSync of { a : int; b : int }
+      (** Indices resolved mod the names created so far. *)
+  | MCrash of int
+  | MRecover of int
+  | MPartition of int * int
+  | MHeal of int * int
+  | MJoin of { donor : int }
+  | MLeave of int
+  | MRetire of int
+  | MObserve  (** One controller pass ({!Edb_membership.Group.observe}). *)
+
+type schedule = { nodes : int; items : int; shards : int; moves : move list }
+
+val print_schedule : schedule -> string
+
+val gen : ?shards:int -> unit -> schedule QCheck2.Gen.t
+
+val run_schedule : schedule -> (unit, string) result
+(** Execute one schedule to quiescence under all checks. [Error msg]
+    pinpoints the first violated check. *)
+
+type report = { schedules : int }
+
+val run : ?shards:int -> seed:int -> runs:int -> unit -> (report, string) result
+(** [run ~seed ~runs ()] explores [runs] generated membership schedules
+    from [seed]. On failure the error carries the first failed check,
+    the shrunk counterexample schedule, and the seed to replay it. *)

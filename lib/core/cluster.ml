@@ -44,9 +44,16 @@ let epoch t =
   !sum
 
 let replace_node t i node =
-  if Node.id node <> i then invalid_arg "Cluster.replace_node: id mismatch";
+  if Node.id node <> i then
+    invalid_arg
+      (Printf.sprintf "Cluster.replace_node: id mismatch (slot %d, node id %d)" i
+         (Node.id node));
   if Node.dimension node <> Array.length t.nodes then
-    invalid_arg "Cluster.replace_node: dimension mismatch";
+    invalid_arg
+      (Printf.sprintf
+         "Cluster.replace_node: dimension mismatch (cluster n = %d, node dimension \
+          = %d)"
+         (Array.length t.nodes) (Node.dimension node));
   (* The replacement may be a rollback: advance the epoch past every
      value the old node could have contributed, and drop what other
      nodes believed they had proven about this peer — both proven lower

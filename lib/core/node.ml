@@ -632,6 +632,80 @@ let import_state ?policy ?conflict_handler ?mode (state : State.t) =
   t
 
 (* ------------------------------------------------------------------ *)
+(* Membership reshape                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Both reshapes rebuild the node through [export_state] / pure array
+   surgery / [import_state]: every vector, log component and aux record
+   flows through the one code path that already knows how to rebuild a
+   node, so a representation added later cannot be silently missed.
+   The peer cache comes back cold by construction — proven DBVVs of the
+   old dimension cannot survive a membership change. *)
+
+let reshaped ~id ~n ~f_vec ~f_logs t =
+  let state = export_state t in
+  let reshape_item (it : State.item) = { it with State.ivv = f_vec it.State.ivv } in
+  let reshape_shard (sh : State.shard) =
+    {
+      State.items = List.map reshape_item sh.State.items;
+      dbvv = f_vec sh.State.dbvv;
+      logs = f_logs sh.State.logs;
+      aux_items = List.map reshape_item sh.State.aux_items;
+      aux_log =
+        List.map
+          (fun (r : State.aux_record) -> { r with State.ivv = f_vec r.State.ivv })
+          sh.State.aux_log;
+    }
+  in
+  let state = { State.id; n; shards = Array.map reshape_shard state.State.shards } in
+  let t' =
+    import_state ~policy:t.policy ~conflict_handler:t.conflict_handler ~mode:t.mode
+      state
+  in
+  Counters.add_into t'.counters t.counters;
+  t'.conflicts <- t.conflicts;
+  t'.revision <- t.revision + 1;
+  t'
+
+let extend_dimension t =
+  let f_vec v = Vv.to_array (Vv.extend (Vv.of_array v)) in
+  let f_logs logs = Array.append logs [| [] |] in
+  reshaped ~id:t.id ~n:(t.n + 1) ~f_vec ~f_logs t
+
+let retire_component t ~slot =
+  if slot < 0 || slot >= t.n then
+    invalid_arg
+      (Printf.sprintf "Node.retire_component: slot %d out of bounds [0,%d)" slot t.n);
+  if slot = t.id then
+    invalid_arg
+      (Printf.sprintf "Node.retire_component: node %d cannot retire itself" t.id);
+  let f_vec v = Vv.to_array (Vv.remove_component (Vv.of_array v) ~at:slot) in
+  let f_logs logs =
+    Array.init
+      (Array.length logs - 1)
+      (fun o -> if o < slot then logs.(o) else logs.(o + 1))
+  in
+  (* Ids above the vacated slot shift down so the id space stays dense
+     [0, n-1] — the same renaming every surviving member applies. *)
+  let id = if t.id > slot then t.id - 1 else t.id in
+  (* Count what the surgery is about to drop: one component per DBVV,
+     item IVV, aux IVV and aux-log IVV, plus the victim's log-vector
+     slot per shard. The summary DBVV is physically the shard DBVV when
+     shards = 1, so it only counts separately beyond that. *)
+  let dropped = ref (if t.shards = 1 then 0 else 1) in
+  Array.iter
+    (fun (rep : Replica.t) ->
+      dropped := !dropped + 2;
+      Store.iter (fun _ -> incr dropped) rep.Replica.store;
+      dropped := !dropped + Hashtbl.length rep.aux_items;
+      dropped := !dropped + List.length (Aux_log.to_list rep.aux_log))
+    t.replicas;
+  let t' = reshaped ~id ~n:(t.n - 1) ~f_vec ~f_logs t in
+  t'.counters.Counters.vector_components_gced <-
+    t'.counters.Counters.vector_components_gced + !dropped;
+  t'
+
+(* ------------------------------------------------------------------ *)
 (* Invariants                                                          *)
 (* ------------------------------------------------------------------ *)
 

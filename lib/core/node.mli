@@ -361,6 +361,35 @@ val import_state :
     in [Op_log] mode starts with empty histories and safely falls back
     to whole-item shipping until new updates refill them. *)
 
+(** {1 Membership reshape}
+
+    The two surgeries a membership change applies to a node's vector
+    state. Both rebuild the node through {!export_state} / pure array
+    surgery / {!import_state}, carry the cost counters and conflict
+    reports over, and come back with a cold peer cache (stale proven
+    DBVVs of the old dimension cannot survive). The caller — the
+    membership layer — is responsible for applying the same surgery to
+    every member so dimensions agree again before the next session. *)
+
+val extend_dimension : t -> t
+(** [extend_dimension t] is [t] rebuilt over [dimension t + 1] origins:
+    every DBVV, item IVV, aux IVV and the log vector gain a zero-valued
+    final component for the newly joined site. The node's own id is
+    unchanged. Appending a zero preserves every existing comparison. *)
+
+val retire_component : t -> slot:int -> t
+(** [retire_component t ~slot] is [t] rebuilt over [dimension t - 1]
+    origins: component [slot] is dropped from every DBVV, item IVV, aux
+    IVV, and the retired origin's log-vector slot (its update records)
+    is discarded. Ids above [slot] shift down by one so the id space
+    stays dense; [t]'s own id is renamed accordingly. Only safe once a
+    completed retirement fence proves every live replica holds the
+    identical value in component [slot] (then the uniform drop
+    preserves all comparisons — see DESIGN.md §11). Charges
+    [vector_components_gced] with the number of components physically
+    removed. Raises [Invalid_argument] if [slot] is out of range or is
+    [t]'s own slot. *)
+
 (** {1 Introspection} *)
 
 val check_invariants : ?log_bound:bool -> t -> (unit, string) result

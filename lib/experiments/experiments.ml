@@ -12,6 +12,9 @@ module Driver = Edb_baselines.Driver
 module Engine = Edb_sim.Engine
 module Network = Edb_sim.Network
 module Frame = Edb_persist.Frame
+module Wire_v2 = Edb_persist.Wire_v2
+module Codec = Edb_persist.Codec
+module Group = Edb_membership.Group
 module Scenario = Edb_scenario.Scenario
 module Orchestrator = Edb_scenario.Orchestrator
 
@@ -630,6 +633,7 @@ let e12_scenario ~n ~updates ~window ~period =
           };
         ];
     faults = [];
+    churn = None;
     duration = window;
     tick = period /. 2.0;
     until_converged = true;
@@ -759,6 +763,7 @@ let e13_scenario ~n ~updates ~issue_window =
     push = None;
     arrival = Scenario.Script script;
     faults = [];
+    churn = None;
     (* Round r of the legacy loop is the engine round at r + 0.5; tick
        r + 1 samples right after it. Checking convergence only at ticks
        past [issue_window - 1] reproduces the legacy loop's "never exit
@@ -1024,6 +1029,7 @@ let e17_scenario ~nodes ~period ~deadline ~loss ~transport =
         (List.init 8 (fun rank ->
              { Scenario.at = 0.0; node = rank mod nodes; item = rank; seq = 1 }));
     faults = [];
+    churn = None;
     duration = 0.0;
     tick = period;
     until_converged = true;
@@ -1332,6 +1338,7 @@ let e20_scenario ~loss ~capacity ~push =
       Scenario.Phases
         [ { Scenario.from_ = e20_warmup; until = e20_warmup +. 240.0; rate = 0.15 } ];
     faults = [];
+    churn = None;
     duration = e20_warmup +. 240.0;
     tick = 0.5;
     until_converged = true;
@@ -1416,6 +1423,135 @@ let e20_push_vs_pull ?(quick = false) () =
     cells;
   table
 
+(* ------------------------------------------------------------------ *)
+(* E21 — membership GC: vector and wire bytes before/after retirement  *)
+(* ------------------------------------------------------------------ *)
+
+(* The closed-world cost the membership subsystem reclaims: every
+   DBVV/IVV/log vector is O(n) in nodes that {e ever} existed, and the
+   idle anti-entropy session ships those vectors forever. Retiring a
+   quarter of the members drops their components from every vector on
+   every live replica, so both the per-vector wire encoding and the
+   steady-state session bytes shrink proportionally — measured here as
+   exact byte counts, before and after the fence completes. *)
+
+(* One full ring pass over the group's live, session-capable members,
+   followed by a controller pass. *)
+let e21_ring_pass g =
+  let names =
+    Array.to_list (Group.roster g)
+    |> List.filter (fun name ->
+           Group.alive g ~name
+           &&
+           match Group.status g ~name with
+           | Group.Joining | Group.Active | Group.Draining -> true
+           | Group.Departed | Group.Retiring | Group.Retired -> false)
+  in
+  let arr = Array.of_list names in
+  let k = Array.length arr in
+  for i = 0 to k - 1 do
+    match Group.sync g ~a:arr.(i) ~b:arr.((i + 1) mod k) with
+    | Ok () -> ()
+    | Error msg -> failwith msg
+  done;
+  ignore (Group.observe g : Group.event list)
+
+let e21_settle g =
+  let budget = ref (4 * Array.length (Group.roster g)) in
+  let settled () =
+    Group.pending_fences g = []
+    && Group.converged g
+    && Array.for_all
+         (fun name ->
+           match Group.status g ~name with
+           | Group.Active | Group.Departed | Group.Retired -> true
+           | Group.Joining | Group.Draining | Group.Retiring -> false)
+         (Group.roster g)
+  in
+  while (not (settled ())) && !budget > 0 do
+    e21_ring_pass g;
+    decr budget
+  done;
+  assert (settled ())
+
+(* The real varint wire encoding of one live member's summary DBVV
+   (wire v2, checksum trailer excluded) — the bytes a framed session
+   actually pays per vector, next to the fixed-width size model. *)
+let e21_dbvv_wire_bytes g =
+  let name =
+    Array.to_list (Group.roster g)
+    |> List.find (fun name ->
+           Group.alive g ~name && Group.status g ~name = Group.Active)
+  in
+  let w = Codec.Writer.create () in
+  Wire_v2.encode_vv w (Node.dbvv_view (Group.node g ~name));
+  String.length (Codec.Writer.contents w) - 4
+
+(* Size-model bytes of one idle ring pass (8 bytes per vector
+   component, so the per-session vector tax is explicit). *)
+let e21_idle_pass_bytes g =
+  let before = (Group.counters_total g).Counters.bytes_sent in
+  e21_ring_pass g;
+  (Group.counters_total g).Counters.bytes_sent - before
+
+let e21_membership_gc ?(quick = false) () =
+  let ns = if quick then [ 8; 16 ] else [ 8; 32; 128 ] in
+  let table =
+    Table.create
+      ~title:
+        "E21: retirement garbage collection — vector components, their v2 \
+         wire encoding, and size-model bytes of one idle ring pass, before \
+         vs after retiring n/4 dead members"
+      ~columns:
+        [
+          "n"; "retired"; "components"; "components'"; "dbvv wire B";
+          "dbvv wire B'"; "idle pass B"; "idle pass B'"; "gc'd";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let g = Group.create ~shards:1 ~n () in
+      (* One update per member so every origin's component is live. *)
+      for name = 0 to n - 1 do
+        match
+          Group.update g ~name ~item:(item name)
+            (Operation.Set (payload ~rank:name ~seq:1))
+        with
+        | Ok () -> ()
+        | Error msg -> failwith msg
+      done;
+      e21_settle g;
+      let components = int_of_float (Group.mean_vector_components g) in
+      let wire_before = e21_dbvv_wire_bytes g in
+      let idle_before = e21_idle_pass_bytes g in
+      (* Crash and retire the last quarter of the roster. *)
+      let retired = n / 4 in
+      for name = n - retired to n - 1 do
+        Group.crash g ~name;
+        match Group.retire g ~name with
+        | Ok () -> ()
+        | Error msg -> failwith msg
+      done;
+      e21_settle g;
+      let components' = int_of_float (Group.mean_vector_components g) in
+      let wire_after = e21_dbvv_wire_bytes g in
+      let idle_after = e21_idle_pass_bytes g in
+      let gced = (Group.counters_total g).Counters.vector_components_gced in
+      Table.add_row table
+        [
+          string_of_int n;
+          string_of_int retired;
+          string_of_int components;
+          string_of_int components';
+          string_of_int wire_before;
+          string_of_int wire_after;
+          string_of_int idle_before;
+          string_of_int idle_after;
+          string_of_int gced;
+        ])
+    ns;
+  table
+
 let all ?(quick = false) () =
   [
     ("E1", e1_cost_vs_database_size ~quick ());
@@ -1437,4 +1573,5 @@ let all ?(quick = false) () =
     ("E18", e18_sharded_replicas ~quick ());
     ("E19", e19_wire_codec ~quick ());
     ("E20", e20_push_vs_pull ~quick ());
+    ("E21", e21_membership_gc ~quick ());
   ]

@@ -150,5 +150,16 @@ val e20_push_vs_pull : ?quick:bool -> unit -> Edb_metrics.Table.t
     AE sessions arrive already converged (probed by
     [check_bench_json]). *)
 
+val e21_membership_gc : ?quick:bool -> unit -> Edb_metrics.Table.t
+(** E21 (extension) — what retirement's version-vector garbage
+    collection reclaims: an [n]-member group (up to 128) converges with
+    every origin's component live, then the last [n/4] members crash
+    and are retired behind the two-phase fence. Reports, before vs
+    after, the vector dimension, the wire-v2 varint encoding of a live
+    member's summary DBVV (the bytes a framed session actually pays
+    per vector), and the size-model bytes of one idle ring pass — all
+    three shrink proportionally once the dead components are dropped
+    ([vector_components_gced] counts the drops). *)
+
 val all : ?quick:bool -> unit -> (string * Edb_metrics.Table.t) list
 (** Every experiment, as [(id, table)] pairs in order. *)

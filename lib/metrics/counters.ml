@@ -24,6 +24,9 @@ type t = {
   mutable push_stale : int;
   mutable push_dropped_overflow : int;
   mutable push_wire_bytes : int;
+  mutable joins_completed : int;
+  mutable retirements_completed : int;
+  mutable vector_components_gced : int;
 }
 
 let create () =
@@ -53,6 +56,9 @@ let create () =
     push_stale = 0;
     push_dropped_overflow = 0;
     push_wire_bytes = 0;
+    joins_completed = 0;
+    retirements_completed = 0;
+    vector_components_gced = 0;
   }
 
 let reset t =
@@ -80,7 +86,10 @@ let reset t =
   t.push_applied <- 0;
   t.push_stale <- 0;
   t.push_dropped_overflow <- 0;
-  t.push_wire_bytes <- 0
+  t.push_wire_bytes <- 0;
+  t.joins_completed <- 0;
+  t.retirements_completed <- 0;
+  t.vector_components_gced <- 0
 
 let copy t =
   {
@@ -109,6 +118,9 @@ let copy t =
     push_stale = t.push_stale;
     push_dropped_overflow = t.push_dropped_overflow;
     push_wire_bytes = t.push_wire_bytes;
+    joins_completed = t.joins_completed;
+    retirements_completed = t.retirements_completed;
+    vector_components_gced = t.vector_components_gced;
   }
 
 let add_into acc t =
@@ -136,7 +148,10 @@ let add_into acc t =
   acc.push_applied <- acc.push_applied + t.push_applied;
   acc.push_stale <- acc.push_stale + t.push_stale;
   acc.push_dropped_overflow <- acc.push_dropped_overflow + t.push_dropped_overflow;
-  acc.push_wire_bytes <- acc.push_wire_bytes + t.push_wire_bytes
+  acc.push_wire_bytes <- acc.push_wire_bytes + t.push_wire_bytes;
+  acc.joins_completed <- acc.joins_completed + t.joins_completed;
+  acc.retirements_completed <- acc.retirements_completed + t.retirements_completed;
+  acc.vector_components_gced <- acc.vector_components_gced + t.vector_components_gced
 
 let diff ~after ~before =
   {
@@ -166,6 +181,10 @@ let diff ~after ~before =
     push_stale = after.push_stale - before.push_stale;
     push_dropped_overflow = after.push_dropped_overflow - before.push_dropped_overflow;
     push_wire_bytes = after.push_wire_bytes - before.push_wire_bytes;
+    joins_completed = after.joins_completed - before.joins_completed;
+    retirements_completed = after.retirements_completed - before.retirements_completed;
+    vector_components_gced =
+      after.vector_components_gced - before.vector_components_gced;
   }
 
 let total_work t =
@@ -206,6 +225,9 @@ let fields =
     ("push_stale", fun t -> t.push_stale);
     ("push_dropped_overflow", fun t -> t.push_dropped_overflow);
     ("push_wire_bytes", fun t -> t.push_wire_bytes);
+    ("joins_completed", fun t -> t.joins_completed);
+    ("retirements_completed", fun t -> t.retirements_completed);
+    ("vector_components_gced", fun t -> t.vector_components_gced);
   ]
 
 let field_names = List.map fst fields

@@ -79,6 +79,20 @@ type t = {
   mutable push_wire_bytes : int;
       (** Encoded bytes of push frames put on the wire — the subset of
           [wire_bytes_sent] attributable to the realtime stream. *)
+  mutable joins_completed : int;
+      (** Joins that reached activation: the joiner's summary DBVV came
+          to dominate the donor's transfer watermark, so it began
+          serving reads and pushes (see [Edb_membership.Group]).
+          Charged at the joiner. *)
+  mutable retirements_completed : int;
+      (** Retirement fences that completed: every required live member
+          acknowledged the fence target, so the dead origin's vector
+          component was garbage-collected cluster-wide. Charged once
+          per member that performed the drop. *)
+  mutable vector_components_gced : int;
+      (** Individual vector components physically removed by retirement
+          surgery — one per DBVV, IVV, and log-vector slot dropped —
+          the bytes-per-vector savings E21 measures. *)
 }
 
 val create : unit -> t

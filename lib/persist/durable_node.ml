@@ -2,11 +2,22 @@ module Node = Edb_core.Node
 module Message = Edb_core.Message
 module Fault = Edb_fault.Fault
 
+type membership_op = Extend of { name : int } | Retire of { slot : int; name : int }
+
 type t = {
-  node : Node.t;
+  (* Mutable: membership reshapes (dimension extension on join, component
+     retirement) replace the node wholesale — every vector is rebuilt. *)
+  mutable node : Node.t;
   dir : string;
   mutable wal : Wal.writer;
   mutable journal_records : int;
+  (* Membership ops applied since the last checkpoint, oldest first:
+     the replayed ones plus any appended by this process. Recovery hands
+     them to the membership layer so it can rebuild its view (epoch,
+     roster) and re-judge any standing retirement fence from the
+     recovered DBVVs — acknowledgements are deliberately not persisted,
+     exactly as AcceptPropagation re-judges freshness on replay. *)
+  mutable membership : membership_op list;
 }
 
 let snapshot_path dir = Filename.concat dir "node.snap"
@@ -46,7 +57,21 @@ let encode_push ~source (u : Message.push_update) =
       Codec.Writer.string w u.value;
       Codec.Writer.contents w)
 
-let apply_journal_record node record =
+let encode_membership op =
+  Codec.Writer.with_scratch (fun w ->
+      Codec.Writer.int w 4;
+      (match op with
+      | Extend { name } ->
+        Codec.Writer.int w 0;
+        Codec.Writer.int w name
+      | Retire { slot; name } ->
+        Codec.Writer.int w 1;
+        Codec.Writer.int w slot;
+        Codec.Writer.int w name);
+      Codec.Writer.contents w)
+
+let apply_journal_record node_ref membership record =
+  let node = !node_ref in
   let r = Codec.Reader.create record in
   (match Codec.Reader.int r with
   | 0 ->
@@ -73,6 +98,22 @@ let apply_journal_record node record =
       Node.apply_push node ~source { Message.item; seq; ivv; value }
     in
     ()
+  | 4 ->
+    (* Membership reshape: mechanical vector surgery, replayed exactly
+       like any other committed record. The journal append was the
+       commit point, so recovery lands on the post-reshape geometry and
+       every later journaled reply decodes against the right dimension. *)
+    (match Codec.Reader.int r with
+    | 0 ->
+      let name = Codec.Reader.int r in
+      node_ref := Node.extend_dimension node;
+      membership := Extend { name } :: !membership
+    | 1 ->
+      let slot = Codec.Reader.int r in
+      let name = Codec.Reader.int r in
+      node_ref := Node.retire_component node ~slot;
+      membership := Retire { slot; name } :: !membership
+    | op -> raise (Codec.Reader.Corrupt (Printf.sprintf "unknown membership op %d" op)))
   | tag -> raise (Codec.Reader.Corrupt (Printf.sprintf "unknown journal tag %d" tag)));
   Codec.Reader.expect_end r
 
@@ -95,12 +136,25 @@ let open_or_create ?policy ?mode ?(shards = 1) ~dir ~id ~n () =
         (Printf.sprintf "checkpoint has %d shards, requested %d" (Node.shards node)
            shards)
     else (
-      match Wal.replay ~path:(wal_path dir) ~f:(apply_journal_record node) with
+      let node_ref = ref node in
+      let membership = ref [] in
+      match
+        Wal.replay ~path:(wal_path dir)
+          ~f:(apply_journal_record node_ref membership)
+      with
       | Error _ as e -> e
       | exception Codec.Reader.Corrupt msg -> Error ("corrupt journal record: " ^ msg)
       | Ok replay_result ->
         let wal = Wal.open_writer ~path:(wal_path dir) in
-        Ok ({ node; dir; wal; journal_records = replay_result.records }, replay_result))
+        Ok
+          ( {
+              node = !node_ref;
+              dir;
+              wal;
+              journal_records = replay_result.records;
+              membership = List.rev !membership;
+            },
+            replay_result ))
 
 let node t = t.node
 
@@ -148,12 +202,32 @@ let fetch_out_of_bound_from t ~source item =
   journal t (encode_oob ~source:(Node.id source) reply);
   Node.accept_out_of_bound t.node ~source:(Node.id source) reply
 
+let extend_dimension t ~name =
+  (* Journal-before-apply, same commit discipline as pull_from: a crash
+     before the append loses the reshape entirely (the membership layer
+     re-issues it), a crash after it replays the reshape on recovery. *)
+  Fault.hit "durable.journal.before";
+  journal t (encode_membership (Extend { name }));
+  Fault.hit "durable.apply.before";
+  t.node <- Node.extend_dimension t.node;
+  t.membership <- t.membership @ [ Extend { name } ]
+
+let retire_component t ~slot ~name =
+  Fault.hit "durable.journal.before";
+  journal t (encode_membership (Retire { slot; name }));
+  Fault.hit "durable.apply.before";
+  t.node <- Node.retire_component t.node ~slot;
+  t.membership <- t.membership @ [ Retire { slot; name } ]
+
+let membership_log t = t.membership
+
 let checkpoint t =
   Snapshot.save t.node ~path:(snapshot_path t.dir);
   Wal.close_writer t.wal;
   Wal.reset ~path:(wal_path t.dir);
   t.wal <- Wal.open_writer ~path:(wal_path t.dir);
-  t.journal_records <- 0
+  t.journal_records <- 0;
+  t.membership <- []
 
 let journal_records t = t.journal_records
 

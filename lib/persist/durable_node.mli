@@ -20,6 +20,12 @@
 
 type t
 
+type membership_op =
+  | Extend of { name : int }
+      (** Dimension grew by one for the joining site [name]. *)
+  | Retire of { slot : int; name : int }
+      (** Component [slot] (retired site [name]) was dropped. *)
+
 val open_or_create :
   ?policy:Edb_core.Node.resolution_policy ->
   ?mode:Edb_core.Node.propagation_mode ->
@@ -33,7 +39,12 @@ val open_or_create :
     starts fresh) and replays the journal. The directory is created if
     missing. Fails if the checkpoint is unreadable or does not match
     [id]/[n]/[shards] (default 1). The replay result reports recovered
-    records and whether a torn tail was discarded. *)
+    records and whether a torn tail was discarded.
+
+    [id] and [n] name the {e checkpoint} geometry: journaled membership
+    reshapes (tag-4 records) replay on top of it, so the recovered
+    {!node} may end at a different dimension or id — inspect it, and
+    {!membership_log}, after opening. *)
 
 val node : t -> Edb_core.Node.t
 (** The live node. Read through it freely; mutate only through the
@@ -59,6 +70,28 @@ val apply_push :
     missing the push. Stale pushes are journaled too (replay re-judges
     and drops them); a run with push disabled appends no tag-3 records,
     so its WAL stays byte-identical to pre-push builds. *)
+
+val extend_dimension : t -> name:int -> unit
+(** Journal, then apply, the join reshape: every vector gains a zero
+    component for site [name] (see [Edb_core.Node.extend_dimension]).
+    The journal append is the commit point — a crash before it loses
+    the reshape (the membership layer re-issues it), a crash after it
+    replays the reshape on recovery. *)
+
+val retire_component : t -> slot:int -> name:int -> unit
+(** Journal, then apply, the retirement reshape: component [slot]
+    (retired site [name]) is dropped from every vector (see
+    [Edb_core.Node.retire_component]). Same commit discipline as
+    {!extend_dimension}. Fence {e acknowledgements} are deliberately
+    not journaled: recovery re-judges any standing fence from the
+    recovered DBVVs, the same way replayed AE replies re-judge
+    freshness. *)
+
+val membership_log : t -> membership_op list
+(** Membership reshapes applied since the last checkpoint, oldest
+    first — the replayed tag-4 records plus any appended by this
+    process. After a crash the membership layer uses this to rebuild
+    its view (epoch, roster) before re-judging fences. *)
 
 val checkpoint : t -> unit
 (** Write a fresh snapshot atomically and reset the journal. *)

@@ -9,6 +9,7 @@ module Cluster = Edb_core.Cluster
 module Node = Edb_core.Node
 module Vv = Edb_vv.Version_vector
 module Operation = Edb_store.Operation
+module Group = Edb_membership.Group
 
 type stale = {
   count : int;
@@ -18,6 +19,8 @@ type stale = {
   p99 : float;
   max_ : float;
 }
+
+type membership_sample = { live : int; mean_components : float }
 
 type tick = {
   index : int;
@@ -30,6 +33,7 @@ type tick = {
   visible : int;
   counters : (string * int) list;
   staleness : stale option;
+  membership : membership_sample option;
 }
 
 type result = {
@@ -105,13 +109,228 @@ let compile_arrival (sc : Scenario.t) =
          phases counts)
 
 (* ------------------------------------------------------------------ *)
+(* The membership runner                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A scenario with a churn block runs on {!Edb_membership.Group}
+   instead of the simulator engine: membership is variable, so the
+   fixed-dimension cluster/driver machinery does not apply. The runner
+   is synchronous and fully deterministic — events execute in (time,
+   class, declaration) order with the same class tie-break as the
+   engine path (updates, then anti-entropy rounds, then faults, then
+   membership ops), and an anti-entropy round is one ring pass over the
+   current participant set followed by a controller pass. *)
+
+type churn_ev =
+  | Ev_update of int * string * Operation.t
+  | Ev_round
+  | Ev_crash of int
+  | Ev_recover of int
+  | Ev_join of int
+  | Ev_leave of int
+  | Ev_retire of int
+
+let run_churn (sc : Scenario.t) (churn : Scenario.churn) =
+  let g = Group.create ~shards:sc.shards ~n:sc.nodes () in
+  let timeline =
+    let evs = ref [] in
+    let idx = ref 0 in
+    let add at cls ev =
+      evs := (at, cls, !idx, ev) :: !evs;
+      incr idx
+    in
+    List.iter
+      (fun (at, node, item, op) -> add at 0 (Ev_update (node, item, op)))
+      (compile_arrival sc);
+    let rec rounds at = if at <= sc.deadline then begin add at 1 Ev_round; rounds (at +. sc.period) end in
+    rounds sc.first_at;
+    List.iter
+      (fun (f : Scenario.fault) ->
+        match f with
+        | Scenario.Crash { at; node } -> add at 2 (Ev_crash node)
+        | Scenario.Recover { at; node } -> add at 2 (Ev_recover node)
+        | Scenario.Partition _ | Scenario.Heal _ | Scenario.Loss _
+        | Scenario.Duplication _ ->
+          (* Rejected by validation for churn scenarios. *)
+          assert false)
+      sc.faults;
+    List.iter
+      (fun (op : Scenario.churn_op) ->
+        match op with
+        | Scenario.Join { at; donor } -> add at 3 (Ev_join donor)
+        | Scenario.Leave { at; name } -> add at 3 (Ev_leave name)
+        | Scenario.Retire { at; name } -> add at 3 (Ev_retire name))
+      churn.ops;
+    List.sort
+      (fun (ta, ca, ia, _) (tb, cb, ib, _) -> compare (ta, ca, ia) (tb, cb, ib))
+      !evs
+  in
+  let issued = ref 0 and attempted = ref 0 in
+  let issued_by = Hashtbl.create 16 in
+  let participants () =
+    Array.to_list (Group.roster g)
+    |> List.filter (fun name ->
+           Group.alive g ~name
+           &&
+           match Group.status g ~name with
+           | Group.Joining | Group.Active | Group.Draining -> true
+           | Group.Departed | Group.Retiring | Group.Retired -> false)
+  in
+  let exec = function
+    | Ev_update (node, item, op) -> (
+      (* The owner routing of [compile_arrival] names a stable member;
+         an update whose owner cannot accept it right now (crashed,
+         draining, departed) is simply not offered — membership churn
+         sheds that slice of the load. *)
+      match Group.update g ~name:node ~item op with
+      | Ok () ->
+        incr issued;
+        Hashtbl.replace issued_by node
+          (1 + Option.value ~default:0 (Hashtbl.find_opt issued_by node))
+      | Error _ -> ())
+    | Ev_round ->
+      (match participants () with
+      | [] | [ _ ] -> ()
+      | ps ->
+        let arr = Array.of_list ps in
+        let k = Array.length arr in
+        for i = 0 to k - 1 do
+          let a = arr.(i) and b = arr.((i + 1) mod k) in
+          match Group.sync g ~a ~b with
+          | Ok () -> incr attempted
+          | Error _ -> ()
+        done);
+      ignore (Group.observe g : Group.event list)
+    | Ev_crash n -> if Group.alive g ~name:n then Group.crash g ~name:n
+    | Ev_recover n ->
+      if not (Group.alive g ~name:n) then
+        ignore (Group.recover g ~name:n : (unit, string) Stdlib.result)
+    | Ev_join donor -> ignore (Group.join g ~donor : (int, string) Stdlib.result)
+    | Ev_leave name -> ignore (Group.leave g ~name : (unit, string) Stdlib.result)
+    | Ev_retire name -> ignore (Group.retire g ~name : (unit, string) Stdlib.result)
+  in
+  (* Updates globally visible: per origin, the slowest full-epoch
+     participant's DBVV component bounds how many of the origin's
+     issued updates every live replica holds. An origin that has been
+     retired contributes all of its updates — its fence proved them
+     uniformly replicated before the component was dropped.
+
+     The instantaneous bound collapses while a freshly appended
+     membership event leaves no member at the controller's epoch; the
+     sampler clamps to the running maximum, since global visibility is
+     monotone by definition. *)
+  let visible_now () =
+    let roster = Group.roster g in
+    let full =
+      List.filter
+        (fun name -> Group.member_epoch g ~name = Group.epoch g)
+        (participants ())
+    in
+    Hashtbl.fold
+      (fun origin count acc ->
+        let slot = ref None in
+        Array.iteri (fun i n -> if n = origin then slot := Some i) roster;
+        match (!slot, full) with
+        | None, _ -> acc + count
+        | Some _, [] -> acc
+        | Some s, full ->
+          let m =
+            List.fold_left
+              (fun m name ->
+                min m (Vv.get (Node.dbvv_view (Group.node g ~name)) s))
+              max_int full
+          in
+          acc + min count m)
+      issued_by 0
+  in
+  let settled () =
+    Group.pending_fences g = []
+    && Array.for_all
+         (fun name ->
+           match Group.status g ~name with
+           | Group.Active | Group.Departed | Group.Retired -> true
+           | Group.Joining | Group.Draining | Group.Retiring -> false)
+         (Group.roster g)
+    && Group.converged g
+  in
+  let sampler = Sampler.create () in
+  let ticks = ref [] in
+  let visible = ref 0 in
+  let converged_at = ref None in
+  let sample ~index ~time =
+    visible := max !visible (visible_now ());
+    ticks :=
+      {
+        index;
+        time;
+        alive = Group.live_count g;
+        attempted = !attempted;
+        lost = 0;
+        in_flight = 0;
+        issued = !issued;
+        visible = !visible;
+        counters = Sampler.sample sampler (Group.counters_total g);
+        staleness = None;
+        membership =
+          Some
+            {
+              live = Group.live_count g;
+              mean_components = Group.mean_vector_components g;
+            };
+      }
+      :: !ticks
+  in
+  sample ~index:0 ~time:0.0;
+  let pending = ref timeline in
+  let advance_to time =
+    let rec go () =
+      match !pending with
+      | (at, _, _, ev) :: rest when at <= time ->
+        pending := rest;
+        exec ev;
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let end_time = ref 0.0 in
+  let rec loop k =
+    let time = float_of_int k *. sc.tick in
+    if time <= sc.deadline then begin
+      advance_to time;
+      end_time := time;
+      sample ~index:k ~time;
+      let stop =
+        if sc.until_converged then
+          if time > sc.duration && settled () then begin
+            converged_at := Some time;
+            true
+          end
+          else time >= sc.deadline
+        else time >= sc.duration
+      in
+      if not stop then loop (k + 1)
+    end
+  in
+  loop 1;
+  {
+    scenario = sc;
+    converged_at = !converged_at;
+    end_time = !end_time;
+    ticks = List.rev !ticks;
+    issued = !issued;
+    visible = !visible;
+    staleness = Histogram.create ();
+    totals = Group.counters_total g;
+    attempted = !attempted;
+    lost = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run (sc : Scenario.t) =
-  (match Scenario.validate sc with
-  | Ok () -> ()
-  | Error msg -> invalid_arg (Printf.sprintf "Orchestrator.run: %s" msg));
+let run_classic (sc : Scenario.t) =
   (* Deterministic failpoint replay for armed Probability triggers. *)
   Edb_fault.Fault.seed_prng sc.seeds.engine;
   let push_config =
@@ -257,6 +476,7 @@ let run (sc : Scenario.t) =
         visible = !visible;
         counters = Sampler.sample sampler (driver.Driver.total_counters ());
         staleness;
+        membership = None;
       }
       :: !ticks
   in
@@ -293,6 +513,14 @@ let run (sc : Scenario.t) =
     attempted = Engine.sessions_attempted engine;
     lost = Engine.sessions_lost engine;
   }
+
+let run (sc : Scenario.t) =
+  (match Scenario.validate sc with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Orchestrator.run: %s" msg));
+  match sc.churn with
+  | Some churn -> run_churn sc churn
+  | None -> run_classic sc
 
 (* ------------------------------------------------------------------ *)
 (* JSON emission                                                       *)
@@ -345,6 +573,15 @@ let tick_json t =
         Json.Obj [ ("issued", Json.Int t.issued); ("visible", Json.Int t.visible) ] );
       ("counters", counters_json t.counters);
       ("staleness", stale_json t.staleness);
+      ( "membership",
+        match t.membership with
+        | None -> Json.Null
+        | Some m ->
+          Json.Obj
+            [
+              ("live", Json.Int m.live);
+              ("mean_vector_components", Json.Float m.mean_components);
+            ] );
     ]
 
 let to_json ~generated_by r =

@@ -40,6 +40,11 @@ type stale = {
 (** Summary of one staleness histogram (delays in virtual time).
     Percentiles are nondecreasing: [p50 <= p90 <= p99 <= max_]. *)
 
+type membership_sample = { live : int; mean_components : float }
+(** Per-tick membership hygiene of a churn run: participant count and
+    mean vector dimension over participants — the series that shows a
+    retirement's component drop land. *)
+
 type tick = {
   index : int;  (** 0 is the pre-run snapshot at time 0. *)
   time : float;
@@ -55,6 +60,9 @@ type tick = {
   staleness : stale option;
       (** Delays of updates that became visible {e this} tick;
           [None] when none did. *)
+  membership : membership_sample option;
+      (** [Some] on every tick of a churn run; [None] on classic
+          fixed-membership runs (emitted as JSON [null]). *)
 }
 
 type result = {
@@ -72,7 +80,20 @@ type result = {
 
 val run : Scenario.t -> result
 (** Raises [Invalid_argument] only on scenarios that fail
-    {!Scenario.validate} — validated scenarios always run. *)
+    {!Scenario.validate} — validated scenarios always run.
+
+    A scenario with a [churn] block runs on the synchronous membership
+    runner ({!Edb_membership.Group}) instead of the simulator engine:
+    events execute in (time, class, declaration) order with the same
+    class tie-break as the engine path (updates, anti-entropy rounds,
+    faults, then membership ops), an anti-entropy round is one ring
+    pass over the current participants plus a controller pass, and
+    convergence additionally requires every join, drain and retirement
+    fence to have resolved. Updates whose owner cannot accept them
+    (crashed, draining, departed) are shed, not queued; an update is
+    visible once every full-epoch participant's DBVV covers it, with a
+    retired origin's updates all visible (its fence proved them
+    uniformly replicated before the component drop). *)
 
 val to_json : generated_by:string -> result -> Edb_metrics.Json.t
 (** The [BENCH_timeseries.json] document: schema header, the scenario

@@ -31,6 +31,13 @@ type fault =
   | Loss of { at : float; p : float }
   | Duplication of { at : float; p : float }
 
+type churn_op =
+  | Join of { at : float; donor : int }
+  | Leave of { at : float; name : int }
+  | Retire of { at : float; name : int }
+
+type churn = { ops : churn_op list }
+
 type seeds = { driver : int; engine : int; workload : int }
 
 type t = {
@@ -54,6 +61,7 @@ type t = {
   push : push option;
   arrival : arrival;
   faults : fault list;
+  churn : churn option;
   duration : float;
   tick : float;
   until_converged : bool;
@@ -144,6 +152,19 @@ let json_of_fault f =
   | Duplication { at; p } ->
     tagged "duplication" [ ("at", Json.Float at); ("p", Json.Float p) ]
 
+let json_of_churn_op op =
+  let tagged kind rest = Json.Obj (("kind", Json.String kind) :: rest) in
+  match op with
+  | Join { at; donor } ->
+    tagged "join" [ ("at", Json.Float at); ("donor", Json.Int donor) ]
+  | Leave { at; name } ->
+    tagged "leave" [ ("at", Json.Float at); ("name", Json.Int name) ]
+  | Retire { at; name } ->
+    tagged "retire" [ ("at", Json.Float at); ("name", Json.Int name) ]
+
+let json_of_churn (c : churn) =
+  Json.Obj [ ("ops", Json.List (List.map json_of_churn_op c.ops)) ]
+
 let to_json t =
   Json.Obj
     ([
@@ -183,6 +204,11 @@ let to_json t =
     @ [
         ("arrival", json_of_arrival t.arrival);
         ("faults", Json.List (List.map json_of_fault t.faults));
+      ]
+    (* Emitted only when present, so fixed-membership scenario files
+       keep their canonical bytes. *)
+    @ (match t.churn with None -> [] | Some c -> [ ("churn", json_of_churn c) ])
+    @ [
         ("duration", Json.Float t.duration);
         ("tick", Json.Float t.tick);
         ("until_converged", Json.Bool t.until_converged);
@@ -296,6 +322,18 @@ let push_of_json j =
         flush_period = get_float "flush_period" p;
       }
 
+let churn_op_of_json o =
+  match get_string "kind" o with
+  | "join" -> Join { at = get_float "at" o; donor = get_int "donor" o }
+  | "leave" -> Leave { at = get_float "at" o; name = get_int "name" o }
+  | "retire" -> Retire { at = get_float "at" o; name = get_int "name" o }
+  | other -> bad "unknown churn op kind %S" other
+
+let churn_of_json j =
+  match Json.member "churn" j with
+  | None -> None
+  | Some c -> Some { ops = List.map churn_op_of_json (get_list "ops" c) }
+
 let fault_of_json f =
   match get_string "kind" f with
   | "crash" -> Crash { at = get_float "at" f; node = get_int "node" f }
@@ -404,7 +442,40 @@ let check t =
         if a = b then bad "fault: partition endpoints must differ"
       | Loss { p; _ } -> check_prob "fault loss" p
       | Duplication { p; _ } -> check_prob "fault duplication" p)
-    t.faults
+    t.faults;
+  match t.churn with
+  | None -> ()
+  | Some c ->
+    (match t.transport with
+    | Session -> ()
+    | Message _ ->
+      bad
+        "churn scenarios run the synchronous membership schedule (transport must \
+         be \"session\")");
+    if t.push <> None then bad "churn scenarios do not support the push channel";
+    if not t.single_writer then
+      bad "churn scenarios require single_writer (item ownership must survive \
+           membership changes)";
+    if t.topology <> Ring then
+      bad "churn scenarios use the ring schedule (topology must be \"ring\")";
+    List.iter
+      (fun f ->
+        match f with
+        | Crash _ | Recover _ -> ()
+        | Partition _ | Heal _ | Loss _ | Duplication _ ->
+          bad "churn scenarios support only crash/recover faults")
+      t.faults;
+    List.iter
+      (fun op ->
+        let at, who =
+          match op with
+          | Join { at; donor } -> (at, donor)
+          | Leave { at; name } | Retire { at; name } -> (at, name)
+        in
+        if not (Float.is_finite at && at >= 0.0 && at <= t.duration) then
+          bad "churn op at must be in [0, duration]";
+        if who < 0 then bad "churn op member must be >= 0")
+      c.ops
 
 let validate t = match check t with () -> Ok () | exception Bad msg -> Error msg
 
@@ -415,8 +486,8 @@ let known_keys =
   [
     "schema"; "name"; "description"; "nodes"; "shards"; "items"; "value_size";
     "zipf"; "single_writer"; "cache"; "seeds"; "topology"; "anti_entropy";
-    "network"; "transport"; "push"; "arrival"; "faults"; "duration"; "tick";
-    "until_converged"; "deadline";
+    "network"; "transport"; "push"; "arrival"; "faults"; "churn"; "duration";
+    "tick"; "until_converged"; "deadline";
   ]
 
 let reject_unknown_keys j =
@@ -463,6 +534,7 @@ let of_json j =
         push = push_of_json j;
         arrival = arrival_of_json j;
         faults = List.map fault_of_json (get_list "faults" j);
+        churn = churn_of_json j;
         duration = get_float "duration" j;
         tick = get_float "tick" j;
         until_converged = get_bool "until_converged" j;
@@ -520,6 +592,7 @@ let steady =
     push = None;
     arrival = Phases [ { from_ = 0.0; until = 40.0; rate = 2.0 } ];
     faults = [];
+    churn = None;
     duration = 40.0;
     tick = 2.0;
     until_converged = true;
@@ -669,8 +742,43 @@ let push_vs_pull =
     deadline = 200.0;
   }
 
+let membership_churn =
+  {
+    steady with
+    name = "membership-churn";
+    description =
+      "Steady load while the replica set itself churns: a newcomer joins from \
+       a live donor, a member drains out gracefully, and a crashed member is \
+       retired behind a two-phase fence — the per-tick membership series \
+       shows the live set shrink and the mean vector length drop when the \
+       dead component is garbage-collected.";
+    nodes = 6;
+    items = 48;
+    seeds = { driver = 91; engine = 92; workload = 93 };
+    topology = Ring;
+    arrival = Phases [ { from_ = 0.0; until = 40.0; rate = 2.0 } ];
+    faults = [ Crash { at = 18.0; node = 2 } ];
+    churn =
+      Some
+        {
+          ops =
+            [
+              Join { at = 6.0; donor = 0 };
+              Leave { at = 12.0; name = 1 };
+              Retire { at = 24.0; name = 2 };
+            ];
+        };
+    duration = 40.0;
+    tick = 2.0;
+    until_converged = true;
+    deadline = 160.0;
+  }
+
 let builtins =
-  [ steady; diurnal; churn; lossy_mesh; converged_idle; smoke; push_smoke; push_vs_pull ]
+  [
+    steady; diurnal; churn; lossy_mesh; converged_idle; smoke; push_smoke;
+    push_vs_pull; membership_churn;
+  ]
 
 let builtin name = List.find_opt (fun t -> String.equal t.name name) builtins
 

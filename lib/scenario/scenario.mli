@@ -79,6 +79,27 @@ type fault =
       (** Set the network loss probability to [p] at time [at]. *)
   | Duplication of { at : float; p : float }
 
+type churn_op =
+  | Join of { at : float; donor : int }
+      (** A fresh member bootstraps from [donor] at time [at]; skipped
+          if the donor is not a live active member then. *)
+  | Leave of { at : float; name : int }
+      (** [name] begins a graceful drain at time [at]. *)
+  | Retire of { at : float; name : int }
+      (** Start the retirement fence for [name] at time [at]; the op
+          requires the victim already departed or crashed (pair it with
+          a [Crash] fault). *)
+
+type churn = { ops : churn_op list }
+(** Dynamic-membership schedule. A scenario with a [churn] block runs
+    on the synchronous membership runner ({!Edb_membership.Group})
+    instead of the simulator engine: anti-entropy rounds are ring
+    sessions over the current participant set followed by a controller
+    pass, and every tick carries a membership sample (live-set size,
+    mean vector length). Requires session transport, no push channel,
+    single-writer updates, ring topology, and crash/recover faults
+    only. *)
+
 type seeds = { driver : int; engine : int; workload : int }
 (** [driver] seeds the protocol cluster, [engine] the simulator (peer
     choice, loss draws, retry jitter — and the {!Edb_fault.Fault}
@@ -111,6 +132,10 @@ type t = {
           parses to — the "push" key is simply absent). *)
   arrival : arrival;
   faults : fault list;
+  churn : churn option;
+      (** Membership schedule; [None] is the classic fixed-membership
+          run (and what every pre-churn scenario file parses to — the
+          "churn" key is simply absent). *)
   duration : float;  (** The workload window; ticks cover it. *)
   tick : float;  (** Sampling interval of the time series. *)
   until_converged : bool;
@@ -148,8 +173,9 @@ val of_string : string -> (t, string) result
 val builtins : t list
 (** [steady], [diurnal], [churn], [lossy-mesh], [converged-idle], the
     tiny [smoke] used by the tier-1 [@scenario] alias, [push-smoke]
-    (its push-channel counterpart behind [@push]) and [push-vs-pull]
-    (the E20 headline configuration). *)
+    (its push-channel counterpart behind [@push]), [push-vs-pull]
+    (the E20 headline configuration) and [membership-churn] (the
+    dynamic-membership schedule: join, graceful leave, retirement). *)
 
 val builtin : string -> t option
 

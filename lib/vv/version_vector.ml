@@ -78,6 +78,24 @@ let concurrent a b = compare_vv a b = Concurrent
 
 let sum t = Array.fold_left ( + ) 0 t
 
+let extend t =
+  let n = Array.length t in
+  let r = Array.make (n + 1) 0 in
+  Array.blit t 0 r 0 n;
+  r
+
+let remove_component t ~at =
+  let n = Array.length t in
+  if n <= 1 then invalid_arg "Version_vector.remove_component: dimension would be zero";
+  if at < 0 || at >= n then
+    invalid_arg
+      (Printf.sprintf "Version_vector.remove_component: index %d out of bounds [0,%d)"
+         at n);
+  let r = Array.make (n - 1) 0 in
+  Array.blit t 0 r 0 at;
+  Array.blit t (at + 1) r at (n - 1 - at);
+  r
+
 (* Early exit: stop scanning as soon as a witness is known in each
    direction — later components cannot change the answer. Top-level for
    the same no-closure reason as [compare_scan]; witnesses are encoded

@@ -82,6 +82,22 @@ val concurrent : t -> t -> bool
 val sum : t -> int
 (** [sum t] is the total number of updates reflected, across origins. *)
 
+val extend : t -> t
+(** [extend t] is a fresh [(dimension t + 1)]-dimensional copy of [t]
+    with a zero appended — the vector surgery performed when a new site
+    joins the replica set. Appending a zero preserves every existing
+    comparison: the new origin has, by definition, issued no updates
+    anyone has seen. *)
+
+val remove_component : t -> at:int -> t
+(** [remove_component t ~at] is a fresh [(dimension t - 1)]-dimensional
+    copy of [t] with component [at] dropped — the surgery performed when
+    a retired origin's slot is garbage-collected. Only safe when every
+    vector in the system carries the identical value in component [at]
+    (the retirement fence's guarantee); then the uniform drop preserves
+    all comparisons. Raises [Invalid_argument] on out-of-range [at] or
+    when the result would be zero-dimensional. *)
+
 val conflicting_components : t -> t -> (int * int) option
 (** [conflicting_components a b] is [Some (k, l)] with [a.(k) < b.(k)]
     and [a.(l) > b.(l)] when the vectors conflict — pinpointing the

@@ -202,6 +202,7 @@ let scenario =
         push;
         arrival;
         faults;
+        churn = None;
         duration;
         tick;
         until_converged;

@@ -10,7 +10,7 @@ module Workload = Edb_workload.Workload
 
 let test_all_tables_render () =
   let tables = Experiments.all ~quick:true () in
-  Alcotest.(check int) "nineteen experiments" 19 (List.length tables);
+  Alcotest.(check int) "twenty experiments" 20 (List.length tables);
   List.iter
     (fun (id, table) ->
       let rendered = Edb_metrics.Table.render table in

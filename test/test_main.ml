@@ -37,4 +37,5 @@ let () =
       ("wal", Test_wal.suite);
       ("fault", Test_fault.suite);
       ("integration", Test_integration.suite);
+      ("membership", Test_membership.suite);
     ]

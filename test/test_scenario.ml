@@ -68,7 +68,7 @@ let test_builtin_lookup () =
   Alcotest.(check (list string))
     "builtin names"
     [ "steady"; "diurnal"; "churn"; "lossy-mesh"; "converged-idle"; "smoke";
-      "push-smoke"; "push-vs-pull" ]
+      "push-smoke"; "push-vs-pull"; "membership-churn" ]
     Scenario.builtin_names;
   Alcotest.(check bool) "unknown name" true (Scenario.builtin "nope" = None);
   List.iter
@@ -260,6 +260,57 @@ let test_churn_run_consistent () =
        (fun (t : Orchestrator.tick) -> t.Orchestrator.alive < sc.Scenario.nodes)
        r.Orchestrator.ticks)
 
+(* The membership runner: the churn block routes the scenario onto the
+   synchronous Group path. Every tick must carry a membership sample,
+   visibility stays monotone across epoch changes, and the retirement's
+   component drop is visible in the mean-vector-length series. *)
+let test_membership_churn_run () =
+  let sc =
+    match Scenario.builtin "membership-churn" with
+    | Some sc -> sc
+    | None -> Alcotest.fail "no membership-churn builtin"
+  in
+  let r = Orchestrator.run sc in
+  Alcotest.(check bool) "converged" true (r.Orchestrator.converged_at <> None);
+  Alcotest.(check int) "every surviving update became visible"
+    r.Orchestrator.issued r.Orchestrator.visible;
+  List.iter
+    (fun (t : Orchestrator.tick) ->
+      match t.Orchestrator.membership with
+      | Some _ -> ()
+      | None -> Alcotest.failf "tick %d has no membership sample" t.Orchestrator.index)
+    r.Orchestrator.ticks;
+  let series =
+    List.filter_map (fun (t : Orchestrator.tick) -> t.Orchestrator.membership)
+      r.Orchestrator.ticks
+  in
+  let peak =
+    List.fold_left
+      (fun m (s : Orchestrator.membership_sample) -> max m s.mean_components)
+      0.0 series
+  in
+  let last = List.nth series (List.length series - 1) in
+  Alcotest.(check bool) "join grew the vectors past the initial dimension" true
+    (peak > float_of_int sc.Scenario.nodes);
+  Alcotest.(check bool) "retirement dropped the mean vector length" true
+    (last.Orchestrator.mean_components < peak);
+  let rec monotone = function
+    | (a : Orchestrator.tick) :: (b : Orchestrator.tick) :: rest ->
+      if b.Orchestrator.visible < a.Orchestrator.visible then
+        Alcotest.failf "visible dipped at tick %d" b.Orchestrator.index;
+      monotone (b :: rest)
+    | _ -> ()
+  in
+  monotone r.Orchestrator.ticks;
+  (* A classic run keeps the field empty — the JSON key is [null]. *)
+  let classic = Orchestrator.run steady in
+  List.iter
+    (fun (t : Orchestrator.tick) ->
+      if t.Orchestrator.membership <> None then
+        Alcotest.failf "classic tick %d grew a membership sample"
+          t.Orchestrator.index)
+    classic.Orchestrator.ticks
+
 let test_run_rejects_invalid () =
   let broken = { steady with Scenario.tick = 0.0 } in
   match Orchestrator.run broken with
@@ -284,6 +335,7 @@ let suite =
     Alcotest.test_case "post-restore sampling monotone" `Quick
       test_post_restore_sampling_monotone;
     Alcotest.test_case "churn run consistent" `Quick test_churn_run_consistent;
+    Alcotest.test_case "membership churn run" `Quick test_membership_churn_run;
     Alcotest.test_case "run rejects invalid scenario" `Quick test_run_rejects_invalid;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_parser_total;
