@@ -107,7 +107,7 @@ let check_micro path doc =
   (* The loss/retry sweep must carry the transport-robustness counters:
      future PR diffs key on the timeout/retry/abandoned columns. *)
   require_columns ~what:"E17 message-loss" "E17:"
-    [ "timeouts"; "retries"; "abandoned" ];
+    [ "timeouts"; "retries"; "abandoned"; "conns"; "conn retries" ];
   (* The sharding experiment must carry the per-shard skipping counter:
      E18's acceptance keys on converged shards shipping zero bytes. *)
   require_columns ~what:"E18 sharded-replicas" "E18:"
@@ -467,14 +467,17 @@ let check_timeseries path doc =
       fields;
     if List.map fst fields <> Counters.field_names then
       fail "%s: summary counters keys disagree with Counters.field_names" path;
-    (* The membership counters are probed by name: a library refactor
-       that drops or renames them must fail here, not silently emit a
-       series without them. *)
+    (* The membership and connection counters are probed by name: a
+       library refactor that drops or renames them must fail here, not
+       silently emit a series without them. *)
     List.iter
       (fun key ->
         if not (List.mem_assoc key fields) then
           fail "%s: summary counters lack %s" path key)
-      [ "joins_completed"; "retirements_completed"; "vector_components_gced" ]
+      [
+        "joins_completed"; "retirements_completed"; "vector_components_gced";
+        "connections_opened"; "connection_retries";
+      ]
   | _ -> fail "%s: summary lacks a counters object" path);
   (* A scenario with the push channel on must show it actually ran:
      updates streamed to peers and at least one applied as causally

@@ -18,6 +18,11 @@
                 walk a sample session showing negotiation and deltas
      scenario   run a declarative scenario (built-in or from a JSON
                 file) and report its per-tick time series
+     serve      run one node as a daemon over Unix/TCP sockets (WAL +
+                checkpoints on disk, anti-entropy on a timer)
+     cluster    boot an N-process cluster of serve daemons, drive
+                updates (with an optional kill -9 / restart mid-run)
+                and wait for checker-clean convergence
      demo       a tiny three-node walkthrough *)
 
 module Cluster = Edb_core.Cluster
@@ -864,6 +869,277 @@ let scenario_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let module Daemon = Edb_transport.Daemon in
+  let module Socket_transport = Edb_transport.Socket_transport in
+  let id =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "id" ] ~docv:"I" ~doc:"This node's id, in [0, n).")
+  in
+  let n =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable state directory (WAL + checkpoints; created if \
+             missing). Restarting over the same directory recovers.")
+  in
+  let listen =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Listen address: $(b,unix:)$(i,PATH) or \
+             $(b,tcp:)$(i,HOST):$(i,PORT) (port 0 picks a free port).")
+  in
+  let peers =
+    Arg.(
+      value & opt_all string []
+      & info [ "peer" ] ~docv:"ID=ADDR"
+          ~doc:
+            "A peer's address, e.g. $(b,--peer 1=unix:/tmp/n1.sock). \
+             Repeat for every other node.")
+  in
+  let ae_period =
+    Arg.(
+      value & opt float 0.05
+      & info [ "ae-period" ] ~docv:"SECS"
+          ~doc:"Seconds between anti-entropy pulls from a random peer.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"K"
+          ~doc:"Checkpoint when the journal reaches K records (0: never).")
+  in
+  let max_runtime =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-runtime" ] ~docv:"SECS"
+          ~doc:"Self-terminate after this many seconds.")
+  in
+  let parse_peer s =
+    match String.index_opt s '=' with
+    | None -> Error (`Msg (Printf.sprintf "bad --peer %S: expected ID=ADDR" s))
+    | Some eq -> (
+      match int_of_string_opt (String.sub s 0 eq) with
+      | None -> Error (`Msg (Printf.sprintf "bad --peer %S: ID not a number" s))
+      | Some id -> (
+        let addr = String.sub s (eq + 1) (String.length s - eq - 1) in
+        match Socket_transport.addr_of_string addr with
+        | Ok a -> Ok (id, a)
+        | Error m ->
+          Error (`Msg (Printf.sprintf "bad --peer %S: %s" s m))))
+  in
+  let run id n dir listen peers ae_period seed checkpoint_every max_runtime =
+    match Socket_transport.addr_of_string listen with
+    | Error m -> `Error (true, "bad --listen: " ^ m)
+    | Ok listen -> (
+      let rec parse acc = function
+        | [] -> Ok (List.rev acc)
+        | s :: rest -> (
+          match parse_peer s with
+          | Ok p -> parse (p :: acc) rest
+          | Error (`Msg m) -> Error m)
+      in
+      match parse [] peers with
+      | Error m -> `Error (true, m)
+      | Ok peers -> (
+        let config =
+          Daemon.Config.make ~ae_period ~seed ~checkpoint_every ?max_runtime
+            ~id ~n ~dir ~listen ~peers ()
+        in
+        match Daemon.serve config with
+        | Ok () -> `Ok ()
+        | Error m -> `Error (false, m)))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run one protocol node as a daemon: a durable node (WAL + \
+          checkpoints) served over Unix-domain or TCP sockets, answering \
+          propagation requests, applying pushes, and pulling from a random \
+          peer on an anti-entropy timer.")
+    Term.(
+      ret
+        (const run $ id $ n $ dir $ listen $ peers $ ae_period $ seed
+       $ checkpoint_every $ max_runtime))
+
+(* ------------------------------------------------------------------ *)
+(* cluster                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cluster_cmd =
+  let module Harness = Edb_transport.Harness in
+  let module Invariant = Edb_check.Invariant in
+  let n =
+    Arg.(
+      value & opt int 3
+      & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("unix", `Unix); ("tcp", `Tcp) ]) `Unix
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"Socket flavor: $(b,unix) (default) or $(b,tcp).")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Cluster directory (sockets + per-node state); default a fresh \
+             directory under the system temp dir.")
+  in
+  let updates =
+    Arg.(
+      value & opt int 24
+      & info [ "updates" ] ~docv:"K"
+          ~doc:"Scripted updates, issued round-robin across the nodes.")
+  in
+  let kill =
+    Arg.(
+      value
+      & opt (some int) (Some 1)
+      & info [ "kill" ] ~docv:"I"
+          ~doc:
+            "Mid-run, SIGKILL node I (nothing flushed), keep updating the \
+             others, then restart it over its WAL. $(b,--no-kill) to skip.")
+  in
+  let no_kill =
+    Arg.(value & flag & info [ "no-kill" ] ~doc:"Skip the kill/restart leg.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let deadline =
+    Arg.(
+      value & opt float 30.0
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:"Seconds to wait for convergence before failing.")
+  in
+  let run n kind dir updates kill no_kill seed deadline =
+    if n < 2 then `Error (true, "--n must be at least 2")
+    else begin
+      let dir =
+        match dir with
+        | Some d -> d
+        | None ->
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "edb-cluster-%d" (Unix.getpid ()))
+      in
+      let kill = if no_kill then None else kill in
+      (match kill with
+      | Some k when k < 0 || k >= n ->
+        invalid_arg (Printf.sprintf "--kill %d out of range [0, %d)" k n)
+      | _ -> ());
+      Printf.printf "booting %d daemons (%s sockets) under %s\n%!" n
+        (match kind with `Unix -> "unix" | `Tcp -> "tcp")
+        dir;
+      let h =
+        Harness.start ~kind ~seed ~max_runtime:(deadline +. 60.0) ~dir ~n ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Harness.shutdown h)
+        (fun () ->
+          let items = [| "alpha"; "beta"; "gamma"; "delta" |] in
+          let issued = ref 0 in
+          let update ~node =
+            (* Single-writer per item (the item name carries its owner):
+               cross-node updates to one item would be genuine concurrent
+               writes, reported as conflicts — which, under the paper's
+               report-only policy, correctly never merge. *)
+            let item =
+              Printf.sprintf "%s.%d" items.(!issued mod Array.length items) node
+            in
+            let op =
+              Operation.Set (Printf.sprintf "v%d from node %d" !issued node)
+            in
+            (match Harness.update h ~node ~item op with
+            | Ok () -> ()
+            | Error m -> failwith (Printf.sprintf "update on node %d: %s" node m));
+            incr issued
+          in
+          (* First leg: updates spread round-robin over every node. *)
+          let first = match kill with None -> updates | Some _ -> updates / 2 in
+          for i = 0 to first - 1 do
+            update ~node:(i mod n)
+          done;
+          (match kill with
+          | None -> ()
+          | Some victim ->
+            Printf.printf "kill -9 node %d mid-run, updating the others\n%!"
+              victim;
+            Harness.kill h ~node:victim;
+            (* Second leg lands only on survivors; the victim must catch
+               up from its WAL via anti-entropy after restart. *)
+            let survivors =
+              Array.of_list
+                (List.filter (fun i -> i <> victim) (List.init n Fun.id))
+            in
+            for i = 0 to updates - first - 1 do
+              update ~node:survivors.(i mod Array.length survivors)
+            done;
+            Printf.printf "restarting node %d over its WAL\n%!" victim;
+            Harness.restart h ~node:victim);
+          match
+            Harness.await_converged ~deadline
+              ~invariant:(fun node -> Invariant.check_node node)
+              h
+          with
+          | Error m -> `Error (false, Printf.sprintf "cluster did not converge: %s" m)
+          | Ok elapsed ->
+            Printf.printf "converged checker-clean in %.2fs (%d updates)\n"
+              elapsed !issued;
+            let total key =
+              List.fold_left
+                (fun acc node ->
+                  match Harness.counters_of h ~node with
+                  | Ok fields ->
+                    acc + (try List.assoc key fields with Not_found -> 0)
+                  | Error _ -> acc)
+                0
+                (List.init n Fun.id)
+            in
+            Printf.printf
+              "totals: %d conns opened, %d conn retries, %d wire bytes, %d \
+               timeouts, %d abandoned\n"
+              (total "connections_opened")
+              (total "connection_retries")
+              (total "wire_bytes_sent") (total "timeouts")
+              (total "sessions_abandoned");
+            `Ok ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Boot an N-process cluster of $(b,serve) daemons over real \
+          sockets, drive scripted updates (optionally SIGKILLing and \
+          restarting a daemon mid-run), and wait for every store to \
+          converge checker-clean.")
+    Term.(
+      ret
+        (const run $ n $ kind $ dir $ updates $ kill $ no_kill $ seed
+       $ deadline))
+
+(* ------------------------------------------------------------------ *)
 (* demo                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -895,5 +1171,6 @@ let () =
        (Cmd.group info
           [
             bench_cmd; simulate_cmd; check_cmd; chaos_cmd; shard_cmd;
-            member_cmd; push_cmd; wire_cmd; scenario_cmd; demo_cmd;
+            member_cmd; push_cmd; wire_cmd; scenario_cmd; serve_cmd;
+            cluster_cmd; demo_cmd;
           ]))

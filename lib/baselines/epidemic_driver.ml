@@ -1,9 +1,9 @@
 module Cluster = Edb_core.Cluster
 module Node = Edb_core.Node
 module Message = Edb_core.Message
-module Counters = Edb_metrics.Counters
 module Frame = Edb_persist.Frame
 module Channel = Edb_push.Channel
+module Transport = Edb_transport.Transport
 
 (* Transported messages are real encoded frames ({!Edb_persist.Frame}):
    the engine moves opaque bytes, both endpoints run the actual
@@ -41,15 +41,9 @@ let push_stream cluster channels =
         List.map
           (fun (dst, updates) ->
             let frame = Frame.encode_push node ~dst updates in
-            let c = Node.counters node in
-            c.Counters.messages <- c.Counters.messages + 1;
-            c.Counters.push_sent <- c.Counters.push_sent + List.length updates;
-            c.Counters.bytes_sent <-
-              c.Counters.bytes_sent + Message.push_bytes updates;
-            c.Counters.wire_bytes_sent <-
-              c.Counters.wire_bytes_sent + String.length frame;
-            c.Counters.push_wire_bytes <-
-              c.Counters.push_wire_bytes + String.length frame;
+            (* The shared charge, so the socket daemon's flush accounts
+               identically (Edb_transport.Transport.Charge). *)
+            Transport.Charge.push node ~updates frame;
             (dst, Frame_msg frame))
           batches);
     deliver =
@@ -88,13 +82,7 @@ let create ?seed ?policy ?mode ?cache ?shards ?push ~n () =
              re-encodes (fresh request id, current vectors). *)
           let node = Cluster.node cluster dst in
           let frame = Frame.encode_request node ~dst:src in
-          let c = Node.counters node in
-          c.Counters.messages <- c.Counters.messages + 1;
-          c.Counters.bytes_sent <-
-            c.Counters.bytes_sent
-            + Message.request_bytes (Node.propagation_request node);
-          c.Counters.wire_bytes_sent <-
-            c.Counters.wire_bytes_sent + String.length frame;
+          Transport.Charge.request node frame;
           Frame_msg frame);
       make_reply =
         (fun ~src ~dst msg ->

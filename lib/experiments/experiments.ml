@@ -988,7 +988,7 @@ let e17_table ~nodes ~period =
     ~columns:
       [
         "transport"; "loss"; "rounds"; "messages"; "bytes"; "timeouts"; "retries";
-        "abandoned";
+        "abandoned"; "conns"; "conn retries";
       ]
 
 let e17_row table ~transport_name ~loss ~rounds ~(totals : Counters.t) =
@@ -1002,6 +1002,8 @@ let e17_row table ~transport_name ~loss ~rounds ~(totals : Counters.t) =
       string_of_int totals.Counters.timeouts;
       string_of_int totals.Counters.retries;
       string_of_int totals.Counters.sessions_abandoned;
+      string_of_int totals.Counters.connections_opened;
+      string_of_int totals.Counters.connection_retries;
     ]
 
 let e17_scenario ~nodes ~period ~deadline ~loss ~transport =

@@ -18,6 +18,8 @@ type t = {
   mutable timeouts : int;
   mutable retries : int;
   mutable sessions_abandoned : int;
+  mutable connections_opened : int;
+  mutable connection_retries : int;
   mutable shards_skipped : int;
   mutable push_sent : int;
   mutable push_applied : int;
@@ -50,6 +52,8 @@ let create () =
     timeouts = 0;
     retries = 0;
     sessions_abandoned = 0;
+    connections_opened = 0;
+    connection_retries = 0;
     shards_skipped = 0;
     push_sent = 0;
     push_applied = 0;
@@ -81,6 +85,8 @@ let reset t =
   t.timeouts <- 0;
   t.retries <- 0;
   t.sessions_abandoned <- 0;
+  t.connections_opened <- 0;
+  t.connection_retries <- 0;
   t.shards_skipped <- 0;
   t.push_sent <- 0;
   t.push_applied <- 0;
@@ -112,6 +118,8 @@ let copy t =
     timeouts = t.timeouts;
     retries = t.retries;
     sessions_abandoned = t.sessions_abandoned;
+    connections_opened = t.connections_opened;
+    connection_retries = t.connection_retries;
     shards_skipped = t.shards_skipped;
     push_sent = t.push_sent;
     push_applied = t.push_applied;
@@ -143,6 +151,8 @@ let add_into acc t =
   acc.timeouts <- acc.timeouts + t.timeouts;
   acc.retries <- acc.retries + t.retries;
   acc.sessions_abandoned <- acc.sessions_abandoned + t.sessions_abandoned;
+  acc.connections_opened <- acc.connections_opened + t.connections_opened;
+  acc.connection_retries <- acc.connection_retries + t.connection_retries;
   acc.shards_skipped <- acc.shards_skipped + t.shards_skipped;
   acc.push_sent <- acc.push_sent + t.push_sent;
   acc.push_applied <- acc.push_applied + t.push_applied;
@@ -175,6 +185,8 @@ let diff ~after ~before =
     timeouts = after.timeouts - before.timeouts;
     retries = after.retries - before.retries;
     sessions_abandoned = after.sessions_abandoned - before.sessions_abandoned;
+    connections_opened = after.connections_opened - before.connections_opened;
+    connection_retries = after.connection_retries - before.connection_retries;
     shards_skipped = after.shards_skipped - before.shards_skipped;
     push_sent = after.push_sent - before.push_sent;
     push_applied = after.push_applied - before.push_applied;
@@ -219,6 +231,8 @@ let fields =
     ("timeouts", fun t -> t.timeouts);
     ("retries", fun t -> t.retries);
     ("sessions_abandoned", fun t -> t.sessions_abandoned);
+    ("connections_opened", fun t -> t.connections_opened);
+    ("connection_retries", fun t -> t.connection_retries);
     ("shards_skipped", fun t -> t.shards_skipped);
     ("push_sent", fun t -> t.push_sent);
     ("push_applied", fun t -> t.push_applied);

@@ -54,6 +54,18 @@ type t = {
   mutable sessions_abandoned : int;
       (** Sessions given up after exhausting the retry budget — left
           for a later anti-entropy round, the paper's recovery story. *)
+  mutable connections_opened : int;
+      (** Transport connections dialed to carry frames: one per
+          message-granular session attempt (initial send and every
+          retry re-dial) and one per flushed push frame. Charged
+          identically by the simulated transport ([Edb_sim.Engine])
+          and the socket transport ([Edb_transport.Socket_transport]),
+          where it counts actual [connect(2)] calls. *)
+  mutable connection_retries : int;
+      (** The subset of {!connections_opened} that were re-dials: a
+          session attempt re-sent after a timeout (simulated
+          transport) or a re-connect after a refused/timed-out dial
+          (socket transport). *)
   mutable shards_skipped : int;
       (** Shards skipped individually inside a propagation session
           because the recipient's per-shard DBVV already dominated the

@@ -184,6 +184,19 @@ let pull_from t ~source =
     Fault.hit "durable.apply.before";
     Node.Pulled (Node.accept_propagation t.node ~source:(Node.id source) reply)
 
+let accept_reply t ~source reply =
+  match reply with
+  | Message.You_are_current -> ()
+  | Message.Propagate _ | Message.Propagate_sharded _ ->
+    (* Same commit discipline as [pull_from], for replies that arrived
+       as decoded frames from a remote transport rather than from an
+       in-process source node. *)
+    Fault.hit "durable.journal.before";
+    journal t (encode_reply ~source reply);
+    Fault.hit "durable.apply.before";
+    let (_ : Node.accept_result) = Node.accept_propagation t.node ~source reply in
+    ()
+
 let apply_push t ~source update =
   (* Same journal-before-apply discipline as pull_from. The push itself
      is volatile, but once applied it becomes part of this node's state

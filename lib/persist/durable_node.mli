@@ -57,6 +57,13 @@ val pull_from : t -> source:Edb_core.Node.t -> Edb_core.Node.pull_result
 (** One propagation session pulling from [source]: the source's reply
     is journaled, then accepted. *)
 
+val accept_reply : t -> source:int -> Edb_core.Message.propagation_reply -> unit
+(** Journal, then accept, a propagation reply that arrived from a
+    remote transport already decoded (the socket daemon's session
+    path) — the same commit discipline as {!pull_from}, which covers
+    the in-process case. [You_are_current] is a no-op and journals
+    nothing. *)
+
 val fetch_out_of_bound_from :
   t -> source:Edb_core.Node.t -> string -> Edb_core.Node.oob_result
 (** One out-of-bound fetch; the reply is journaled, then accepted. *)

@@ -326,6 +326,70 @@ let decode_push node ~src data =
   updates
 
 (* ------------------------------------------------------------------ *)
+(* Framing over byte streams                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A frame is self-checking (Adler-32 trailer) but not self-delimiting,
+   so a byte stream needs a length prefix: 4-byte little-endian record
+   length, then the record bytes. The reader accumulates arbitrary
+   chunks — a TCP segment can end mid-prefix, mid-header or mid-checksum
+   — and yields complete records; validation of the record itself stays
+   with the frame decoders. *)
+
+let max_stream_record = 1 lsl 26 (* 64 MiB: no legitimate frame comes close *)
+
+let to_wire frame =
+  let len = String.length frame in
+  if len > max_stream_record then invalid_arg "Frame.to_wire: record too large";
+  let prefix = Bytes.create 4 in
+  Bytes.set_int32_le prefix 0 (Int32.of_int len);
+  Bytes.to_string prefix ^ frame
+
+module Reader = struct
+  type t = {
+    mutable buf : Bytes.t;  (* accumulated unconsumed bytes *)
+    mutable len : int;  (* live bytes in [buf], starting at 0 *)
+  }
+
+  let create () = { buf = Bytes.create 4_096; len = 0 }
+
+  let pending t = t.len
+
+  let feed t ?(off = 0) ?len data =
+    let len = match len with Some l -> l | None -> String.length data - off in
+    if off < 0 || len < 0 || off + len > String.length data then
+      invalid_arg "Frame.Reader.feed: bad slice";
+    let needed = t.len + len in
+    if needed > Bytes.length t.buf then begin
+      let cap = max needed (2 * Bytes.length t.buf) in
+      let bigger = Bytes.create cap in
+      Bytes.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end;
+    Bytes.blit_string data off t.buf t.len len;
+    t.len <- needed
+
+  let next t =
+    if t.len < 4 then None
+    else begin
+      let claimed = Int32.to_int (Bytes.get_int32_le t.buf 0) land 0xFFFFFFFF in
+      if claimed > max_stream_record then
+        raise
+          (R.Corrupt
+             (Printf.sprintf "stream record claims %d bytes (max %d)" claimed
+                max_stream_record));
+      if t.len - 4 < claimed then None
+      else begin
+        let record = Bytes.sub_string t.buf 4 claimed in
+        let rest = t.len - 4 - claimed in
+        Bytes.blit t.buf (4 + claimed) t.buf 0 rest;
+        t.len <- rest;
+        Some record
+      end
+    end
+end
+
+(* ------------------------------------------------------------------ *)
 (* In-process framed sessions                                          *)
 (* ------------------------------------------------------------------ *)
 

@@ -80,6 +80,43 @@ val decode_push :
     Raises {!Codec.Reader.Corrupt} on anything malformed; the receiver
     just drops such frames (anti-entropy repairs). *)
 
+(** {1 Framing over byte streams}
+
+    Frames are self-checking but not self-delimiting, so transports
+    that speak a byte stream (the socket transport, DESIGN.md §12)
+    carry each record behind a 4-byte little-endian length prefix.
+    {!Reader} is the incremental reassembly side: it accepts chunks cut
+    at {e any} byte boundary — mid-prefix, mid-header, mid-checksum —
+    and yields complete records in order. *)
+
+val max_stream_record : int
+(** Upper bound on a stream record's length (64 MiB); a prefix claiming
+    more is rejected as corrupt rather than allocated. *)
+
+val to_wire : string -> string
+(** [to_wire record] is the record behind its length prefix, ready to
+    write to a stream. [Invalid_argument] beyond
+    {!max_stream_record}. *)
+
+module Reader : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> ?off:int -> ?len:int -> string -> unit
+  (** Append a chunk (or the [off]/[len] slice of one) to the
+      reassembly buffer. *)
+
+  val next : t -> string option
+  (** The next complete record, if one has fully arrived; [None] means
+      feed more bytes. Raises {!Codec.Reader.Corrupt} when the stream
+      is unrecoverable (a length prefix claiming more than
+      {!max_stream_record}). *)
+
+  val pending : t -> int
+  (** Buffered bytes not yet returned as records. *)
+end
+
 val respond : ?domains:int -> Edb_core.Node.t -> src:int -> string -> string
 (** [respond node ~src frame] is the source side of one session
     message: decode the request, run the paper's [SendPropagation],

@@ -1,14 +1,19 @@
 module Prng = Edb_util.Prng
 module Driver = Edb_baselines.Driver
 module Counters = Edb_metrics.Counters
+module Transport = Edb_transport.Transport
+module Sim_transport = Edb_transport.Sim_transport
 
 type peer_policy = Random_peer | Ring
 
 (* Message-granular transport: per-attempt timeout, bounded exponential
    backoff with jitter (drawn from the engine PRNG, so runs replay from
    the seed), and a retry budget after which the session is abandoned
-   to a later anti-entropy round — the paper's recovery story. *)
-type retry_policy = {
+   to a later anti-entropy round — the paper's recovery story. The
+   policy and its timeout/backoff arithmetic are the transport seam's
+   ({!Edb_transport.Transport}), shared with the socket daemon; this
+   engine re-exports the canonical type. *)
+type retry_policy = Transport.retry_policy = {
   timeout : float;
   backoff_base : float;
   backoff_factor : float;
@@ -17,15 +22,7 @@ type retry_policy = {
   max_retries : int;
 }
 
-let default_retry_policy =
-  {
-    timeout = 4.0;
-    backoff_base = 0.5;
-    backoff_factor = 2.0;
-    backoff_max = 8.0;
-    jitter = 0.5;
-    max_retries = 3;
-  }
+let default_retry_policy = Transport.default_retry_policy
 
 type transport = Session_grain | Message_grain of retry_policy
 
@@ -118,31 +115,28 @@ let granular t =
   | Some g -> g
   | None -> assert false (* checked in [create] *)
 
-(* One directed hop [from_] -> [to_]: drawn against per-message loss,
-   delayed (possibly reordered), possibly duplicated — the same PRNG
-   draw order as the session-grain path (lost, delay, duplicated,
-   delay), so both transports consume randomness predictably. *)
+(* One directed hop [from_] -> [to_] through {!Sim_transport.hop},
+   which owns the PRNG draw order (blocked short-circuits; then lost,
+   delay, duplicated, delay) that replayed explorer schedules depend
+   on — the session-grain path below consumes randomness in the same
+   pattern. *)
 let send_message t ~from_ ~to_ make_event =
-  if
-    (not (Network.blocked t.network from_ to_))
-    && not (Network.lost t.network t.prng)
-  then begin
-    schedule_after t ~delay:(Network.delay t.network t.prng) (make_event ());
-    if Network.duplicated t.network t.prng then
-      schedule_after t ~delay:(Network.delay t.network t.prng) (make_event ())
-  end
+  Sim_transport.hop
+    ~blocked:(fun () -> Network.blocked t.network from_ to_)
+    ~lost:(fun () -> Network.lost t.network t.prng)
+    ~delay:(fun () -> Network.delay t.network t.prng)
+    ~duplicated:(fun () -> Network.duplicated t.network t.prng)
+    ~deliver:(fun delay -> schedule_after t ~delay (make_event ()))
 
 (* Like [send_message], but all draws come from the dedicated push
    stream — see the [push_prng] field note. *)
 let send_push t ~from_ ~to_ make_event =
-  if
-    (not (Network.blocked t.network from_ to_))
-    && not (Network.lost t.network t.push_prng)
-  then begin
-    schedule_after t ~delay:(Network.delay t.network t.push_prng) (make_event ());
-    if Network.duplicated t.network t.push_prng then
-      schedule_after t ~delay:(Network.delay t.network t.push_prng) (make_event ())
-  end
+  Sim_transport.hop
+    ~blocked:(fun () -> Network.blocked t.network from_ to_)
+    ~lost:(fun () -> Network.lost t.network t.push_prng)
+    ~delay:(fun () -> Network.delay t.network t.push_prng)
+    ~duplicated:(fun () -> Network.duplicated t.network t.push_prng)
+    ~deliver:(fun delay -> schedule_after t ~delay (make_event ()))
 
 (* (Re)issue one session attempt: build the request at the initiator,
    put it on the wire toward the source, and start the attempt's
@@ -150,6 +144,11 @@ let send_push t ~from_ ~to_ make_event =
    runs so the session eventually completes or abandons. *)
 let send_request t ~policy sid st =
   if t.alive.(st.s_dst) then begin
+    (* Each attempt is one transport dial, charged like the socket
+       transport charges connect(2): first send opens, re-sends after a
+       timeout are the retry subset. *)
+    Transport.Charge.dial ~retry:(st.attempt > 0)
+      (t.driver.Driver.counters ~node:st.s_dst);
     let msg = (granular t).Driver.make_request ~dst:st.s_dst ~src:st.s_src in
     send_message t ~from_:st.s_dst ~to_:st.s_src (fun () ->
         Request_delivery { sid; src = st.s_src; dst = st.s_dst; msg })
@@ -230,27 +229,24 @@ let rec execute t event =
         (* This attempt's reply did not arrive in time. *)
         (match t.transport with
         | Session_grain -> assert false
-        | Message_grain policy ->
+        | Message_grain policy -> (
           let c = t.driver.Driver.counters ~node:st.s_dst in
           c.Counters.timeouts <- c.Counters.timeouts + 1;
-          if st.attempt >= policy.max_retries then begin
+          (* The verdict and backoff curve come from the shared seam
+             ({!Transport.Flow}); only the jitter draw stays here, on
+             the engine PRNG, so schedules replay from the seed. *)
+          match Transport.Flow.on_timeout policy ~attempt:st.attempt with
+          | Transport.Flow.Abandon ->
             c.Counters.sessions_abandoned <- c.Counters.sessions_abandoned + 1;
             t.sessions_lost <- t.sessions_lost + 1;
             Hashtbl.remove t.sessions sid
-          end
-          else begin
+          | Transport.Flow.Retry { attempt; backoff } ->
             c.Counters.retries <- c.Counters.retries + 1;
-            st.attempt <- st.attempt + 1;
+            st.attempt <- attempt;
             let backoff =
-              Float.min policy.backoff_max
-                (policy.backoff_base
-                *. (policy.backoff_factor ** float_of_int (st.attempt - 1)))
+              Transport.Flow.jittered policy backoff ~u:(Prng.float t.prng 1.0)
             in
-            let backoff =
-              backoff *. (1.0 +. (policy.jitter *. Prng.float t.prng 1.0))
-            in
-            schedule_after t ~delay:backoff (Session_retry { sid })
-          end)
+            schedule_after t ~delay:backoff (Session_retry { sid })))
       end)
   | Session_retry { sid } -> (
     match Hashtbl.find_opt t.sessions sid with
@@ -271,6 +267,9 @@ let rec execute t event =
         if t.alive.(src) then
           List.iter
             (fun (dst, msg) ->
+              (* Each flushed frame is one fire-and-forget dial — never
+                 a retry; push has no acknowledgement to time out on. *)
+              Transport.Charge.dial (t.driver.Driver.counters ~node:src);
               send_push t ~from_:src ~to_:dst (fun () ->
                   Push_delivery { src; dst; msg }))
             (stream.Driver.flush ~src)

@@ -41,7 +41,7 @@ type peer_policy =
   | Random_peer  (** Each node pulls from one uniformly random peer. *)
   | Ring  (** Node [i] pulls from node [i-1 mod n]. *)
 
-type retry_policy = {
+type retry_policy = Edb_transport.Transport.retry_policy = {
   timeout : float;  (** Per-attempt reply deadline. *)
   backoff_base : float;  (** Delay before the first re-send. *)
   backoff_factor : float;  (** Multiplier per further attempt. *)
@@ -51,6 +51,10 @@ type retry_policy = {
           [\[1, 1+jitter)], drawn from the engine PRNG. *)
   max_retries : int;  (** Re-sends before the session is abandoned. *)
 }
+(** Re-exported from the transport seam
+    ({!Edb_transport.Transport.retry_policy}, the canonical home): the
+    socket daemon runs the very same policy and backoff arithmetic over
+    real connections. *)
 
 val default_retry_policy : retry_policy
 (** timeout 4.0, backoff 0.5 doubling to a cap of 8.0, jitter 0.5,

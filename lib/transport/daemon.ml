@@ -1,0 +1,467 @@
+module Node = Edb_core.Node
+module Message = Edb_core.Message
+module Counters = Edb_metrics.Counters
+module Operation = Edb_store.Operation
+module Prng = Edb_util.Prng
+module Frame = Edb_persist.Frame
+module Codec = Edb_persist.Codec
+module Wire = Edb_persist.Wire
+module Snapshot = Edb_persist.Snapshot
+module Durable_node = Edb_persist.Durable_node
+module Channel = Edb_push.Channel
+module T = Socket_transport
+
+(* One protocol node as a process: a {!Durable_node} (WAL + checkpoint)
+   served over a {!Socket_transport} select loop. The daemon is both
+   sides of the protocol at once — it answers inbound requests and
+   pushes, and runs its own anti-entropy timer as the initiator — so
+   the session state machine here must not block: an in-flight session
+   is just another fd in the select set, with its reply deadline and
+   backoff handled as timers. The timeout/retry arithmetic is the
+   shared {!Transport.Flow}; the counter charges are the shared
+   {!Transport.Charge}. *)
+
+module Config = struct
+  type t = {
+    id : int;
+    n : int;
+    dir : string;
+    listen : T.addr;
+    peers : (int * T.addr) list;
+    ae_period : float;
+    retry : Transport.retry_policy;
+    push : Channel.config option;
+    seed : int;
+    checkpoint_every : int;
+    max_runtime : float option;
+  }
+
+  let make ?(ae_period = 0.05) ?(retry = { Transport.default_retry_policy with timeout = 0.5 })
+      ?push ?(seed = 1) ?(checkpoint_every = 0) ?max_runtime ~id ~n ~dir ~listen ~peers
+      () =
+    { id; n; dir; listen; peers; ae_period; retry; push; seed; checkpoint_every; max_runtime }
+end
+
+(* The client-facing control protocol, one {!Codec} envelope per
+   record behind the ['C'] tag: how the harness (and `edb_cli cluster`)
+   drives updates, reads state, and shuts a daemon down. *)
+module Control = struct
+  type request =
+    | Ping
+    | Update of { item : string; op : Operation.t }
+    | Read of { item : string }
+    | Export
+    | Counters_req
+    | Checkpoint
+    | Quit
+
+  type reply =
+    | Ack
+    | Value of string option
+    | State of string
+    | Stats of (string * int) list
+    | Failed of string
+
+  let encode_request r =
+    Codec.Writer.with_scratch (fun w ->
+        (match r with
+        | Ping -> Codec.Writer.byte w 0
+        | Update { item; op } ->
+          Codec.Writer.byte w 1;
+          Codec.Writer.string w item;
+          Wire.encode_operation w op
+        | Read { item } ->
+          Codec.Writer.byte w 2;
+          Codec.Writer.string w item
+        | Export -> Codec.Writer.byte w 3
+        | Counters_req -> Codec.Writer.byte w 4
+        | Checkpoint -> Codec.Writer.byte w 5
+        | Quit -> Codec.Writer.byte w 6);
+        Codec.Writer.contents w)
+
+  let decode_request data =
+    let r = Codec.Reader.create data in
+    let req =
+      match Codec.Reader.byte r with
+      | 0 -> Ping
+      | 1 ->
+        let item = Codec.Reader.string r in
+        let op = Wire.decode_operation r in
+        Update { item; op }
+      | 2 -> Read { item = Codec.Reader.string r }
+      | 3 -> Export
+      | 4 -> Counters_req
+      | 5 -> Checkpoint
+      | 6 -> Quit
+      | tag -> raise (Codec.Reader.Corrupt (Printf.sprintf "unknown control request %d" tag))
+    in
+    Codec.Reader.expect_end r;
+    req
+
+  let encode_reply r =
+    Codec.Writer.with_scratch (fun w ->
+        (match r with
+        | Ack -> Codec.Writer.byte w 0
+        | Value v ->
+          Codec.Writer.byte w 1;
+          Codec.Writer.bool w (v <> None);
+          Codec.Writer.string w (Option.value v ~default:"")
+        | State s ->
+          Codec.Writer.byte w 2;
+          Codec.Writer.string w s
+        | Stats fields ->
+          Codec.Writer.byte w 3;
+          Codec.Writer.list w
+            (fun w (name, v) ->
+              Codec.Writer.string w name;
+              Codec.Writer.int w v)
+            fields
+        | Failed msg ->
+          Codec.Writer.byte w 4;
+          Codec.Writer.string w msg);
+        Codec.Writer.contents w)
+
+  let decode_reply data =
+    let r = Codec.Reader.create data in
+    let reply =
+      match Codec.Reader.byte r with
+      | 0 -> Ack
+      | 1 ->
+        let present = Codec.Reader.bool r in
+        let v = Codec.Reader.string r in
+        Value (if present then Some v else None)
+      | 2 -> State (Codec.Reader.string r)
+      | 3 ->
+        Stats
+          (Codec.Reader.list r (fun r ->
+               let name = Codec.Reader.string r in
+               let v = Codec.Reader.int r in
+               (name, v)))
+      | 4 -> Failed (Codec.Reader.string r)
+      | tag -> raise (Codec.Reader.Corrupt (Printf.sprintf "unknown control reply %d" tag))
+    in
+    Codec.Reader.expect_end r;
+    reply
+end
+
+(* The initiator-side session state machine, one at a time: either an
+   attempt is in flight (a dialed connection with a reply deadline) or
+   the session sits in its backoff window waiting to re-dial. *)
+type session = {
+  s_peer : int;
+  mutable attempt : int;
+  mutable sconn : T.conn option;
+  mutable deadline : float;
+  mutable retry_at : float;
+}
+
+type t = {
+  config : Config.t;
+  durable : Durable_node.t;
+  transport : T.t;
+  channel : Channel.t option;
+  prng : Prng.t;
+  started : float;
+  mutable conns : T.conn list;
+  mutable session : session option;
+  mutable next_ae : float;
+  mutable next_push : float;
+  mutable quit : bool;
+}
+
+let node t = Durable_node.node t.durable
+
+let counters t = Node.counters (node t)
+
+let close_session_conn s =
+  match s.sconn with
+  | Some conn ->
+    T.close_conn conn;
+    s.sconn <- None
+  | None -> ()
+
+let session_done t =
+  (match t.session with Some s -> close_session_conn s | None -> ());
+  t.session <- None
+
+(* A failed attempt — refused dial, send error, reply deadline passed,
+   peer closed mid-session, corrupt reply — all funnel here, mirroring
+   the simulated transport's single timeout failure mode. *)
+let session_attempt_failed t s =
+  close_session_conn s;
+  let c = counters t in
+  c.Counters.timeouts <- c.Counters.timeouts + 1;
+  match Transport.Flow.on_timeout t.config.Config.retry ~attempt:s.attempt with
+  | Transport.Flow.Abandon ->
+    c.Counters.sessions_abandoned <- c.Counters.sessions_abandoned + 1;
+    t.session <- None
+  | Transport.Flow.Retry { attempt; backoff } ->
+    c.Counters.retries <- c.Counters.retries + 1;
+    s.attempt <- attempt;
+    s.deadline <- 0.0;
+    s.retry_at <-
+      Unix.gettimeofday ()
+      +. Transport.Flow.jittered t.config.Config.retry backoff ~u:(Prng.float t.prng 1.0)
+
+let dial_session t s =
+  let nd = node t in
+  Transport.Charge.dial ~retry:(s.attempt > 0) (counters t);
+  s.retry_at <- 0.0;
+  match T.connect t.transport ~peer:s.s_peer with
+  | Error _ -> session_attempt_failed t s
+  | Ok conn -> (
+    (* Re-encode per attempt: fresh request id, current vectors. *)
+    let frame = Frame.encode_request nd ~dst:s.s_peer in
+    Transport.Charge.request nd frame;
+    match T.send conn (Transport.Record.frame frame) with
+    | Error _ ->
+      T.close_conn conn;
+      session_attempt_failed t s
+    | Ok () ->
+      s.sconn <- Some conn;
+      s.deadline <- Unix.gettimeofday () +. t.config.Config.retry.Transport.timeout)
+
+let start_session t ~peer =
+  if t.session = None then begin
+    let s = { s_peer = peer; attempt = 0; sconn = None; deadline = 0.0; retry_at = 0.0 } in
+    t.session <- Some s;
+    dial_session t s
+  end
+
+let session_reply t s frame =
+  match Frame.decode_reply (node t) ~src:s.s_peer frame with
+  | Frame.Nak _ | Frame.Reply (Message.You_are_current, _) -> session_done t
+  | Frame.Reply (reply, _) ->
+    Durable_node.accept_reply t.durable ~source:s.s_peer reply;
+    session_done t
+  | exception Codec.Reader.Corrupt _ -> session_attempt_failed t s
+
+let random_peer t =
+  let n = t.config.Config.n in
+  let peer = Prng.int t.prng (n - 1) in
+  if peer >= t.config.Config.id then peer + 1 else peer
+
+let flush_push t =
+  match t.channel with
+  | None -> ()
+  | Some channel ->
+    let nd = node t in
+    List.iter
+      (fun (dst, updates) ->
+        let frame = Frame.encode_push nd ~dst updates in
+        Transport.Charge.push nd ~updates frame;
+        Transport.Charge.dial (counters t);
+        (* Best effort end to end: a refused dial or failed write is a
+           lost push frame, repaired by anti-entropy. *)
+        match T.connect t.transport ~peer:dst with
+        | Error _ -> ()
+        | Ok conn ->
+          let (_ : (unit, string) result) = T.send conn (Transport.Record.frame frame) in
+          T.close_conn conn)
+      (Channel.flush channel ~ready:(fun peer -> Frame.push_ready nd ~dst:peer))
+
+let handle_control t conn payload =
+  let reply =
+    match Control.decode_request payload with
+    | exception Codec.Reader.Corrupt msg -> Control.Failed ("bad control request: " ^ msg)
+    | Control.Ping -> Control.Ack
+    | Control.Update { item; op } ->
+      Durable_node.update t.durable item op;
+      Control.Ack
+    | Control.Read { item } -> Control.Value (Node.read (node t) item)
+    | Control.Export -> Control.State (Snapshot.encode (node t))
+    | Control.Counters_req ->
+      let c = counters t in
+      Control.Stats (List.map (fun (name, get) -> (name, get c)) Counters.fields)
+    | Control.Checkpoint ->
+      Durable_node.checkpoint t.durable;
+      Control.Ack
+    | Control.Quit ->
+      t.quit <- true;
+      Control.Ack
+  in
+  let (_ : (unit, string) result) =
+    T.send conn (Transport.Record.control (Control.encode_reply reply))
+  in
+  ()
+
+let handle_server_record t conn record =
+  match Transport.Record.classify record with
+  | Error _ -> ()
+  | Ok (Transport.Record.Control payload) -> handle_control t conn payload
+  | Ok (Transport.Record.Frame frame) ->
+    let peer = T.peer conn in
+    (* The peer cache is indexed by the fixed dimension; frames from
+       outside it (control clients, confused peers) are dropped. *)
+    if peer >= 0 && peer < t.config.Config.n && peer <> t.config.Config.id then (
+      match
+        Transport.serve_frame
+          ~apply_push:(fun ~source u ->
+            let (_ : [ `Applied | `Stale ]) = Durable_node.apply_push t.durable ~source u in
+            ())
+          (node t) ~src:peer frame
+      with
+      | None -> ()
+      | Some reply ->
+        let (_ : (unit, string) result) =
+          T.send conn (Transport.Record.frame reply)
+        in
+        ())
+
+(* Drain every complete record buffered on [conn]; [`Closed] when the
+   connection should be dropped. *)
+let drain_conn t conn ~on_record =
+  let rec loop () =
+    match T.next_record conn with
+    | Some record ->
+      on_record t conn record;
+      loop ()
+    | None -> `Open
+    | exception Codec.Reader.Corrupt _ -> `Closed
+  in
+  loop ()
+
+let service_conn t conn ~on_record =
+  match T.read_into conn with
+  | `Eof | `Error _ ->
+    (* Flush what already arrived, then drop the connection. *)
+    let (_ : [ `Open | `Closed ]) = drain_conn t conn ~on_record in
+    `Closed
+  | `Data -> drain_conn t conn ~on_record
+
+let create config =
+  let { Config.id; n; dir; listen; peers; push; seed; _ } = config in
+  match Durable_node.open_or_create ~dir ~id ~n () with
+  | Error _ as e -> e
+  | Ok (durable, _replay) -> (
+    match T.create ~listen ~id ~peers () with
+    | Error _ as e ->
+      Durable_node.close durable;
+      e
+    | Ok transport ->
+      let now = Unix.gettimeofday () in
+      let channel = Option.map (fun c -> Channel.create ~config:c (Durable_node.node durable)) push in
+      Ok
+        {
+          config;
+          durable;
+          transport;
+          channel;
+          prng = Prng.create ~seed:(seed + id);
+          started = now;
+          conns = [];
+          session = None;
+          (* Stagger first rounds so an N-process boot doesn't dial in
+             lockstep. *)
+          next_ae = now +. (config.Config.ae_period *. (1.0 +. (float_of_int id /. float_of_int n)));
+          next_push =
+            (match push with Some c -> now +. c.Channel.flush_period | None -> infinity);
+          quit = false;
+        })
+
+let listen_addr t = T.listen_addr t.transport
+
+let step t =
+  let now = Unix.gettimeofday () in
+  (* Timers first: they may start or fail sessions, changing the fd
+     set select should watch. *)
+  (match t.session with
+  | Some s when s.sconn = None && s.retry_at > 0.0 && now >= s.retry_at -> dial_session t s
+  | Some s when s.sconn <> None && now >= s.deadline -> session_attempt_failed t s
+  | _ -> ());
+  if now >= t.next_ae then begin
+    t.next_ae <- now +. t.config.Config.ae_period;
+    if t.config.Config.n > 1 then start_session t ~peer:(random_peer t)
+  end;
+  if now >= t.next_push then begin
+    (match t.channel with
+    | Some c -> t.next_push <- now +. (Channel.config c).Channel.flush_period
+    | None -> t.next_push <- infinity);
+    flush_push t
+  end;
+  if t.config.Config.checkpoint_every > 0
+     && Durable_node.journal_records t.durable >= t.config.Config.checkpoint_every
+  then Durable_node.checkpoint t.durable;
+  (match t.config.Config.max_runtime with
+  | Some limit when now -. t.started >= limit -> t.quit <- true
+  | _ -> ());
+  if t.quit then ()
+  else begin
+    let next_timer =
+      List.fold_left min t.next_ae
+        [
+          t.next_push;
+          (match t.session with
+          | Some s when s.sconn <> None -> s.deadline
+          | Some s when s.retry_at > 0.0 -> s.retry_at
+          | _ -> infinity);
+        ]
+    in
+    let wait = Float.max 0.0 (Float.min 0.25 (next_timer -. now)) in
+    let server_fds = List.map T.fd t.conns in
+    let session_fd =
+      match t.session with Some { sconn = Some c; _ } -> [ T.fd c ] | _ -> []
+    in
+    let listen_fds = match T.listen_fd t.transport with Some fd -> [ fd ] | None -> [] in
+    let readable, _, _ =
+      try Unix.select (listen_fds @ server_fds @ session_fd) [] [] wait
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    let is_readable fd = List.memq fd readable in
+    (match T.listen_fd t.transport with
+    | Some lfd when is_readable lfd -> (
+      match T.accept ~timeout:0.0 t.transport with
+      | Ok conn -> t.conns <- conn :: t.conns
+      | Error _ -> ())
+    | _ -> ());
+    t.conns <-
+      List.filter
+        (fun conn ->
+          if not (is_readable (T.fd conn)) then true
+          else
+            match service_conn t conn ~on_record:handle_server_record with
+            | `Open -> true
+            | `Closed ->
+              T.close_conn conn;
+              false)
+        t.conns;
+    match t.session with
+    | Some ({ sconn = Some conn; _ } as s) when is_readable (T.fd conn) -> (
+      let on_record t _conn record =
+        match Transport.Record.classify record with
+        | Ok (Transport.Record.Frame frame) -> (
+          (* [session_reply] may close the connection; further buffered
+             records on it are duplicates and drop with it. *)
+          match t.session with
+          | Some s' when s' == s && s'.sconn <> None -> session_reply t s frame
+          | _ -> ())
+        | Ok (Transport.Record.Control _) | Error _ -> ()
+      in
+      match service_conn t conn ~on_record with
+      | `Open -> ()
+      | `Closed -> (
+        match t.session with
+        | Some s' when s' == s && s'.sconn <> None -> session_attempt_failed t s
+        | _ -> ()))
+    | _ -> ()
+  end
+
+let shutdown t =
+  session_done t;
+  List.iter T.close_conn t.conns;
+  t.conns <- [];
+  (match t.channel with Some c -> Channel.detach c | None -> ());
+  T.close t.transport;
+  Durable_node.close t.durable
+
+let serve config =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match create config with
+  | Error _ as e -> e
+  | Ok t ->
+    let finally () = shutdown t in
+    Fun.protect ~finally (fun () ->
+        while not t.quit do
+          step t
+        done);
+    Ok ()

@@ -1,0 +1,108 @@
+(** One protocol node as a long-running process: a
+    {!Edb_persist.Durable_node} (WAL + checkpoints) served over a
+    {!Socket_transport} select loop — the `edb_cli serve` engine.
+
+    The daemon is both protocol sides at once. Passively it answers
+    requests (reply or nak) and applies pushes, journaling before
+    applying. Actively it runs an anti-entropy timer that pulls from a
+    random peer through the shared session machinery — one in-flight
+    session whose reply deadline, retries and abandonment are timers
+    in the same select loop ({!Transport.Flow} arithmetic,
+    {!Transport.Charge} counters), so a slow peer never stops this
+    node from serving. An optional push channel flushes on its own
+    cadence, fire-and-forget.
+
+    Control clients (the {!Harness}, `edb_cli cluster`) speak
+    {!Control} records over the same listening socket. *)
+
+module Config : sig
+  type t = {
+    id : int;
+    n : int;
+    dir : string;  (** Durable state directory (created if missing). *)
+    listen : Socket_transport.addr;
+    peers : (int * Socket_transport.addr) list;
+    ae_period : float;  (** Seconds between anti-entropy rounds. *)
+    retry : Transport.retry_policy;
+    push : Edb_push.Channel.config option;
+    seed : int;  (** Peer choice and backoff jitter PRNG seed. *)
+    checkpoint_every : int;
+        (** Checkpoint when the journal reaches this many records;
+            [0] disables auto-checkpointing. *)
+    max_runtime : float option;
+        (** Self-terminate after this many seconds — the timeout
+            guard for scripted runs. *)
+  }
+
+  val make :
+    ?ae_period:float ->
+    ?retry:Transport.retry_policy ->
+    ?push:Edb_push.Channel.config ->
+    ?seed:int ->
+    ?checkpoint_every:int ->
+    ?max_runtime:float ->
+    id:int ->
+    n:int ->
+    dir:string ->
+    listen:Socket_transport.addr ->
+    peers:(int * Socket_transport.addr) list ->
+    unit ->
+    t
+  (** Defaults: 50 ms anti-entropy, the default retry policy tightened
+      to a 0.5 s per-attempt timeout, no push, no auto-checkpoint, no
+      runtime bound. *)
+end
+
+(** The client-facing control protocol: one {!Edb_persist.Codec}
+    envelope per record, behind the ['C'] stream tag. *)
+module Control : sig
+  type request =
+    | Ping
+    | Update of { item : string; op : Edb_store.Operation.t }
+    | Read of { item : string }
+    | Export  (** Answered with a {!Edb_persist.Snapshot} blob. *)
+    | Counters_req
+    | Checkpoint
+    | Quit  (** Acknowledged, then the daemon shuts down cleanly. *)
+
+  type reply =
+    | Ack
+    | Value of string option
+    | State of string
+    | Stats of (string * int) list
+    | Failed of string
+
+  val encode_request : request -> string
+
+  val decode_request : string -> request
+  (** Raises {!Edb_persist.Codec.Reader.Corrupt}. *)
+
+  val encode_reply : reply -> string
+
+  val decode_reply : string -> reply
+  (** Raises {!Edb_persist.Codec.Reader.Corrupt}. *)
+end
+
+type t
+
+val create : Config.t -> (t, string) result
+(** Open (or recover) the durable node and bind the listening socket.
+    Recovery replays the WAL over the latest checkpoint, so a daemon
+    restarted after [kill -9] resumes exactly where the journal ends. *)
+
+val node : t -> Edb_core.Node.t
+
+val listen_addr : t -> Socket_transport.addr option
+
+val step : t -> unit
+(** One select-loop iteration: fire due timers (anti-entropy dial,
+    session deadline or backoff, push flush, auto-checkpoint), then
+    wait briefly for readiness and service every readable
+    connection. *)
+
+val shutdown : t -> unit
+
+val serve : Config.t -> (unit, string) result
+(** [create], then {!step} until a [Quit] arrives (or [max_runtime]
+    passes), then {!shutdown} — ignoring [SIGPIPE] for the process, as
+    any socket writer must. *)

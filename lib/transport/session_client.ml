@@ -1,0 +1,100 @@
+module Node = Edb_core.Node
+module Message = Edb_core.Message
+module Counters = Edb_metrics.Counters
+module Frame = Edb_persist.Frame
+module Codec = Edb_persist.Codec
+
+(* The active (initiator) side of one message-granular anti-entropy
+   session, over any {!Transport.S}: dial, send the encoded request,
+   await the reply, accept it — with the shared {!Transport.Flow}
+   timeout/retry/abandon machinery and the shared {!Transport.Charge}
+   counter discipline. The simulation engine implements the same flow
+   inside its event queue (it cannot block); this blocking runner is
+   the seam's reference implementation, used by tests over the
+   in-memory transport and by one-shot socket clients. *)
+
+type outcome =
+  | Synced of [ `Propagated | `Current | `Nak ]
+      (** A reply arrived: data accepted, already current, or a nak
+          (the delta baseline was dropped; the next round ships an
+          absolute vector — a round lost, never correctness). *)
+  | Abandoned of string
+      (** Retry budget exhausted; the last error. Anti-entropy
+          repairs on a later round. *)
+
+module Make (T : Transport.S) = struct
+  let pull t ~node ~peer ?(policy = Transport.default_retry_policy)
+      ?(rand = fun () -> 0.0) ?accept () =
+    let accept =
+      match accept with
+      | Some f -> f
+      | None ->
+        fun ~source reply ->
+          let (_ : Node.accept_result) =
+            Node.accept_propagation node ~source reply
+          in
+          ()
+    in
+    let c = Node.counters node in
+    let rec attempt_loop attempt =
+      Transport.Charge.dial ~retry:(attempt > 0) c;
+      let result =
+        match T.connect t ~peer with
+        | Error e -> Error e
+        | Ok conn ->
+          Fun.protect ~finally:(fun () -> T.close_conn conn) @@ fun () -> (
+          (* Re-encode on every attempt: fresh request id, current
+             vectors — exactly what the engine's retry path does. *)
+          let frame = Frame.encode_request node ~dst:peer in
+          Transport.Charge.request node frame;
+          match T.send conn (Transport.Record.frame frame) with
+          | Error e -> Error e
+          | Ok () -> (
+            match T.recv ~timeout:policy.Transport.timeout conn with
+            | Error e -> Error e
+            | Ok record -> (
+              match Transport.Record.classify record with
+              | Error e -> Error e
+              | Ok (Transport.Record.Control _) -> Error "unexpected control record"
+              | Ok (Transport.Record.Frame reply) -> (
+                match Frame.decode_reply node ~src:peer reply with
+                | Frame.Nak _ -> Ok (Synced `Nak)
+                | Frame.Reply (Message.You_are_current, _) -> Ok (Synced `Current)
+                | Frame.Reply (r, _) ->
+                  accept ~source:peer r;
+                  Ok (Synced `Propagated)
+                | exception Codec.Reader.Corrupt msg ->
+                  Error ("corrupt reply: " ^ msg)))))
+      in
+      match result with
+      | Ok outcome -> outcome
+      | Error err -> (
+        (* Every failed attempt — refused dial, lost record, corrupt or
+           late reply — lands here as a timeout, the same single
+           failure mode the simulated transport has. *)
+        c.Counters.timeouts <- c.Counters.timeouts + 1;
+        match Transport.Flow.on_timeout policy ~attempt with
+        | Transport.Flow.Abandon ->
+          c.Counters.sessions_abandoned <- c.Counters.sessions_abandoned + 1;
+          Abandoned err
+        | Transport.Flow.Retry { attempt; backoff } ->
+          c.Counters.retries <- c.Counters.retries + 1;
+          T.pause t (Transport.Flow.jittered policy backoff ~u:(rand ()));
+          attempt_loop attempt)
+    in
+    attempt_loop 0
+
+  let push t ~node ~peer updates =
+    (* Fire-and-forget, like the engine's push flush: charged when
+       handed to the transport, no retry, no acknowledgement — a lost
+       push frame is repaired by the next anti-entropy session. *)
+    let frame = Frame.encode_push node ~dst:peer updates in
+    Transport.Charge.push node ~updates frame;
+    Transport.Charge.dial (Node.counters node);
+    match T.connect t ~peer with
+    | Error _ as e -> e
+    | Ok conn ->
+      let r = T.send conn (Transport.Record.frame frame) in
+      T.close_conn conn;
+      r
+end

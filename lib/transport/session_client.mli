@@ -1,0 +1,36 @@
+(** The initiator side of one anti-entropy session over any
+    {!Transport.S} — the blocking reference implementation of the
+    message-granular session layer, sharing {!Transport.Flow} (retry
+    arithmetic) and {!Transport.Charge} (counter discipline) with the
+    simulation engine's event-queue implementation and the daemon's
+    select loop. *)
+
+type outcome =
+  | Synced of [ `Propagated | `Current | `Nak ]
+  | Abandoned of string
+
+module Make (T : Transport.S) : sig
+  val pull :
+    T.t ->
+    node:Edb_core.Node.t ->
+    peer:int ->
+    ?policy:Transport.retry_policy ->
+    ?rand:(unit -> float) ->
+    ?accept:(source:int -> Edb_core.Message.propagation_reply -> unit) ->
+    unit ->
+    outcome
+  (** One session pulling [peer]'s updates into [node]: dial, send the
+      request (re-encoded fresh on every attempt), await the reply
+      within [policy.timeout], accept it (through [accept] when given,
+      so a durable node can journal first). Failed attempts charge
+      [timeouts] and retry with jittered exponential backoff ([rand]
+      supplies the uniform draw) until the budget abandons. *)
+
+  val push :
+    T.t ->
+    node:Edb_core.Node.t ->
+    peer:int ->
+    Edb_core.Message.push_update list ->
+    (unit, string) result
+  (** Flush one push frame: charged on hand-off, fire-and-forget. *)
+end

@@ -1,0 +1,83 @@
+module Node = Edb_core.Node
+
+(* The in-memory transport: the same seam the socket transport
+   implements, but synchronous and deterministic — a send is served by
+   the destination's registered handler on the spot, and the only
+   faults are the ones a test injects through [set_drop]. The
+   simulation engine does not route through endpoint objects (its
+   delivery is event-queue scheduling); it uses [hop] below, which owns
+   the fault draw order both it and the explorer schedules depend
+   on. *)
+
+(* One directed hop through a faulty network, in the draw order the
+   engine has always used and replayed schedules rely on: a blocked
+   pair short-circuits every draw; otherwise draw loss, then a delay
+   for the delivery, then duplication, then a delay for the duplicate.
+   The closures let the engine keep its own [Network] and PRNG streams
+   without this library depending on them. *)
+let hop ~blocked ~lost ~delay ~duplicated ~deliver =
+  if (not (blocked ())) && not (lost ()) then begin
+    deliver (delay ());
+    if duplicated () then deliver (delay ())
+  end
+
+type handler = src:int -> string -> string option
+
+type net = {
+  peers : (int, handler) Hashtbl.t;
+  mutable drop : unit -> bool;
+}
+
+let create_net () = { peers = Hashtbl.create 8; drop = (fun () -> false) }
+
+let set_drop net f = net.drop <- f
+
+let register net ~id handler = Hashtbl.replace net.peers id handler
+
+let unregister net ~id = Hashtbl.remove net.peers id
+
+let serve_node net node =
+  register net ~id:(Node.id node) (fun ~src record ->
+      match Transport.Record.classify record with
+      | Ok (Transport.Record.Frame frame) ->
+        Option.map Transport.Record.frame (Transport.serve_frame node ~src frame)
+      | Ok (Transport.Record.Control _) | Error _ -> None)
+
+type t = { net : net; ep_id : int }
+
+let endpoint net ~id = { net; ep_id = id }
+
+type conn = { ep : t; peer_id : int; rx : string Queue.t }
+
+let id t = t.ep_id
+
+let connect t ~peer =
+  if Hashtbl.mem t.net.peers peer then
+    Ok { ep = t; peer_id = peer; rx = Queue.create () }
+  else Error (Printf.sprintf "sim: peer %d not registered" peer)
+
+let send conn record =
+  (* A dropped record vanishes without error, like a lost datagram; the
+     caller only notices when [recv] times out. The reply direction
+     draws its own drop, so a test can lose either half of a session. *)
+  if conn.ep.net.drop () then Ok ()
+  else
+    match Hashtbl.find_opt conn.ep.net.peers conn.peer_id with
+    | None -> Error (Printf.sprintf "sim: peer %d went away" conn.peer_id)
+    | Some handler -> (
+      match handler ~src:conn.ep.ep_id record with
+      | None -> Ok ()
+      | Some reply ->
+        if not (conn.ep.net.drop ()) then Queue.push reply conn.rx;
+        Ok ())
+
+let recv ?timeout:_ conn =
+  match Queue.take_opt conn.rx with
+  | Some r -> Ok r
+  | None -> Error "sim: timeout (no reply queued)"
+
+let peer conn = conn.peer_id
+
+let close_conn _ = ()
+
+let pause _ _ = ()

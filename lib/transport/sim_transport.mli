@@ -1,0 +1,57 @@
+(** The in-memory transport: {!Transport.S} without an operating
+    system.
+
+    Two distinct consumers:
+
+    - The simulation engine delivers through {!hop}, which owns the
+      fault draw order ({e blocked, lost, delay, duplicated, delay})
+      that replayed explorer schedules depend on — the engine supplies
+      its own network model and PRNG streams as closures, keeping this
+      library free of simulation dependencies.
+
+    - Tests drive the shared session layer ({!Session_client}) over
+      endpoint objects: a {!net} maps node ids to synchronous
+      handlers, a send is served on the spot, and {!set_drop} injects
+      deterministic record loss so the retry/backoff machinery runs
+      the same code path it runs over sockets. *)
+
+val hop :
+  blocked:(unit -> bool) ->
+  lost:(unit -> bool) ->
+  delay:(unit -> float) ->
+  duplicated:(unit -> bool) ->
+  deliver:(float -> unit) ->
+  unit
+(** One directed hop: nothing is drawn for a blocked pair; otherwise
+    loss is drawn, then a delivery delay, then duplication, then the
+    duplicate's delay. [deliver] is called once per copy with its
+    delay. *)
+
+type handler = src:int -> string -> string option
+(** A registered endpoint's synchronous service function: given the
+    sender's id and a stream record, optionally produce the record to
+    queue back on the sender's connection. *)
+
+type net
+
+val create_net : unit -> net
+
+val set_drop : net -> (unit -> bool) -> unit
+(** Install the per-record drop predicate (default: never). Consulted
+    once per sent record and once per produced reply, so either half
+    of a session can be lost. *)
+
+val register : net -> id:int -> handler -> unit
+
+val unregister : net -> id:int -> unit
+(** Subsequent sends to [id] fail — a crashed peer. *)
+
+val serve_node : net -> Edb_core.Node.t -> unit
+(** Register [node] under its own id with the standard passive side:
+    {!Transport.serve_frame} behind {!Transport.Record} tagging. *)
+
+type t
+
+val endpoint : net -> id:int -> t
+
+include Transport.S with type t := t

@@ -1,0 +1,275 @@
+module Frame = Edb_persist.Frame
+module Codec = Edb_persist.Codec
+
+(* Unix-domain / TCP sockets behind the {!Transport.S} seam. A
+   connection carries length-prefixed stream records
+   ([Frame.to_wire]); the receive side reassembles them through
+   [Frame.Reader], so partial reads and short writes are invisible
+   above this module. Peer identity is established by an 8-byte
+   handshake (magic + little-endian id) right after connect — frames
+   do not carry a sender id, and the passive side needs one for
+   per-peer negotiation state. *)
+
+type addr = Unix_path of string | Tcp of { host : string; port : int }
+
+let addr_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp { host; port } -> Printf.sprintf "tcp:%s:%d" host port
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" ->
+    Ok (Unix_path (String.sub s (i + 1) (String.length s - i - 1)))
+  | Some i when String.sub s 0 i = "tcp" -> (
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match String.rindex_opt rest ':' with
+    | None -> Error (Printf.sprintf "bad tcp address %S (want tcp:HOST:PORT)" s)
+    | Some j -> (
+      let host = String.sub rest 0 j in
+      match int_of_string_opt (String.sub rest (j + 1) (String.length rest - j - 1)) with
+      | Some port -> Ok (Tcp { host; port })
+      | None -> Error (Printf.sprintf "bad tcp port in %S" s)))
+  | _ -> Error (Printf.sprintf "bad address %S (want unix:PATH or tcp:HOST:PORT)" s)
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> raise (Unix.Unix_error (Unix.EHOSTUNREACH, "gethostbyname", host)))
+
+let sockaddr_of_addr = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp { host; port } -> Unix.ADDR_INET (resolve_host host, port)
+
+let domain_of_addr = function Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+
+type t = {
+  ep_id : int;
+  peers : (int * addr) list;
+  listen_fd : Unix.file_descr option;
+  mutable listen_addr : addr option;
+  mutable closed : bool;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  peer_id : int;
+  reader : Frame.Reader.t;
+  chunk : Bytes.t;
+  mutable conn_closed : bool;
+}
+
+let chunk_size = 65536
+
+let magic = "EDB1"
+
+let handshake_len = 8
+
+(* Interrupted syscalls just retry; every other Unix error surfaces as
+   [Error] with its message. *)
+let rec retry_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
+let unix_result f =
+  match retry_eintr f with
+  | v -> Ok v
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+let write_all fd data =
+  let len = String.length data in
+  let bytes = Bytes.unsafe_of_string data in
+  let rec loop off =
+    if off < len then begin
+      let n = retry_eintr (fun () -> Unix.write fd bytes off (len - off)) in
+      if n = 0 then raise (Unix.Unix_error (Unix.EPIPE, "write", ""));
+      loop (off + n)
+    end
+  in
+  loop 0
+
+(* Read exactly [n] bytes (used only for the fixed-size handshake;
+   records flow through the incremental reader). *)
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec loop off =
+    if off < n then begin
+      let k = retry_eintr (fun () -> Unix.read fd buf off (n - off)) in
+      if k = 0 then failwith "peer closed during handshake";
+      loop (off + k)
+    end
+  in
+  loop 0;
+  Bytes.to_string buf
+
+let encode_handshake id =
+  let b = Bytes.create handshake_len in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_int32_le b 4 (Int32.of_int id);
+  Bytes.to_string b
+
+let decode_handshake s =
+  if String.length s <> handshake_len || String.sub s 0 4 <> magic then
+    Error "bad handshake"
+  else Ok (Int32.to_int (String.get_int32_le s 4))
+
+let create ?listen ~id ~peers () =
+  match listen with
+  | None -> Ok { ep_id = id; peers; listen_fd = None; listen_addr = None; closed = false }
+  | Some addr -> (
+    match
+      unix_result (fun () ->
+          (match addr with
+          | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+          | Tcp _ -> ());
+          let fd = Unix.socket (domain_of_addr addr) Unix.SOCK_STREAM 0 in
+          (match addr with
+          | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+          | Unix_path _ -> ());
+          Unix.bind fd (sockaddr_of_addr addr);
+          Unix.listen fd 64;
+          (* Port 0 asks the kernel to pick: read back what it chose. *)
+          let bound =
+            match (addr, Unix.getsockname fd) with
+            | Tcp { host; _ }, Unix.ADDR_INET (_, port) -> Tcp { host; port }
+            | _ -> addr
+          in
+          (fd, bound))
+    with
+    | Error _ as e -> e
+    | Ok (fd, bound) ->
+      Ok
+        {
+          ep_id = id;
+          peers;
+          listen_fd = Some fd;
+          listen_addr = Some bound;
+          closed = false;
+        })
+
+let id t = t.ep_id
+
+let listen_addr t = t.listen_addr
+
+let listen_fd t = t.listen_fd
+
+let make_conn fd peer_id =
+  { fd; peer_id; reader = Frame.Reader.create (); chunk = Bytes.create chunk_size; conn_closed = false }
+
+let connect t ~peer =
+  match List.assoc_opt peer t.peers with
+  | None -> Error (Printf.sprintf "no address for peer %d" peer)
+  | Some addr ->
+    unix_result (fun () ->
+        let fd = Unix.socket (domain_of_addr addr) Unix.SOCK_STREAM 0 in
+        match
+          Unix.connect fd (sockaddr_of_addr addr);
+          write_all fd (encode_handshake t.ep_id)
+        with
+        | () -> make_conn fd peer
+        | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e)
+
+let accept ?timeout t =
+  match t.listen_fd with
+  | None -> Error "endpoint is not listening"
+  | Some lfd -> (
+    let ready =
+      match timeout with
+      | None -> true
+      | Some tmo ->
+        let r, _, _ = retry_eintr (fun () -> Unix.select [ lfd ] [] [] tmo) in
+        r <> []
+    in
+    if not ready then Error "accept timeout"
+    else
+      match
+        unix_result (fun () ->
+            let fd, _ = Unix.accept lfd in
+            match
+              (* The handshake is 8 bytes from a local client; a peer
+                 that stalls it is broken, so bound the wait. *)
+              let r, _, _ = Unix.select [ fd ] [] [] 5.0 in
+              if r = [] then failwith "handshake timeout";
+              read_exact fd handshake_len
+            with
+            | hs -> (fd, hs)
+            | exception e ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              raise e)
+      with
+      | Error _ as e -> e
+      | Ok (fd, hs) -> (
+        match decode_handshake hs with
+        | Ok peer_id -> Ok (make_conn fd peer_id)
+        | Error _ as e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          e)
+      | exception Failure msg -> Error msg)
+
+let send conn record =
+  match unix_result (fun () -> write_all conn.fd (Frame.to_wire record)) with
+  | Ok () -> Ok ()
+  | Error _ as e -> e
+
+(* One read(2) into the reassembly reader. [`Data] includes reads that
+   completed buffered records; poll [next_record] after. *)
+let read_into conn =
+  match retry_eintr (fun () -> Unix.read conn.fd conn.chunk 0 chunk_size) with
+  | 0 -> `Eof
+  | n ->
+    Frame.Reader.feed conn.reader ~len:n (Bytes.unsafe_to_string conn.chunk);
+    `Data
+  | exception Unix.Unix_error (e, fn, _) ->
+    `Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+let next_record conn = Frame.Reader.next conn.reader
+
+let recv ?timeout conn =
+  let deadline = Option.map (fun tmo -> Unix.gettimeofday () +. tmo) timeout in
+  let rec loop () =
+    match Frame.Reader.next conn.reader with
+    | Some record -> Ok record
+    | None -> (
+      let wait =
+        match deadline with
+        | None -> -1.0
+        | Some d ->
+          let w = d -. Unix.gettimeofday () in
+          if w <= 0.0 then 0.0 else w
+      in
+      if wait = 0.0 then Error "recv timeout"
+      else
+        let r, _, _ = retry_eintr (fun () -> Unix.select [ conn.fd ] [] [] wait) in
+        if r = [] then Error "recv timeout"
+        else
+          match read_into conn with
+          | `Data -> loop ()
+          | `Eof -> Error "peer closed connection"
+          | `Error msg -> Error msg)
+  in
+  try loop () with Codec.Reader.Corrupt msg -> Error ("corrupt stream: " ^ msg)
+
+let peer conn = conn.peer_id
+
+let fd conn = conn.fd
+
+let close_conn conn =
+  if not conn.conn_closed then begin
+    conn.conn_closed <- true;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (match t.listen_fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    match t.listen_addr with
+    | Some (Unix_path p) -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+    | Some (Tcp _) | None -> ()
+  end
+
+let pause _ seconds = if seconds > 0.0 then retry_eintr (fun () -> Unix.sleepf seconds)

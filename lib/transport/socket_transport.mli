@@ -1,0 +1,62 @@
+(** {!Transport.S} over real sockets — Unix-domain first, TCP second.
+
+    A connection is a byte stream carrying length-prefixed records
+    ({!Edb_persist.Frame.to_wire}); receive reassembles through the
+    incremental {!Edb_persist.Frame.Reader}, so partial reads, short
+    writes and records split at any byte boundary are invisible to
+    callers. Connects send an 8-byte handshake (magic + little-endian
+    node id) so the passive side learns the peer identity its per-peer
+    wire negotiation state is keyed on.
+
+    Callers that multiplex many connections in a select loop (the
+    daemon) use the non-blocking surface — {!listen_fd}, {!fd},
+    {!read_into}, {!next_record} — instead of blocking {!recv}.
+
+    Writers should ignore [SIGPIPE] (the daemon and harness do) so a
+    send to a dead peer surfaces as an [Error], not a process kill. *)
+
+type addr = Unix_path of string | Tcp of { host : string; port : int }
+
+val addr_to_string : addr -> string
+(** ["unix:PATH"] or ["tcp:HOST:PORT"]. *)
+
+val addr_of_string : string -> (addr, string) result
+
+type t
+
+type conn
+
+val create :
+  ?listen:addr -> id:int -> peers:(int * addr) list -> unit -> (t, string) result
+(** An endpoint for node [id] that can dial every peer in [peers] and,
+    when [listen] is given, accept inbound connections there (an
+    existing Unix-socket path is replaced; TCP port [0] lets the
+    kernel choose — read {!listen_addr} back). *)
+
+val listen_addr : t -> addr option
+(** The bound address, with the kernel-chosen port filled in. *)
+
+val close : t -> unit
+(** Close the listening socket and unlink its Unix path. Established
+    connections are closed individually ({!close_conn}). *)
+
+include Transport.S with type t := t and type conn := conn
+
+val accept : ?timeout:float -> t -> (conn, string) result
+(** Accept one inbound connection and read its handshake; [Error] on
+    timeout (when given), a malformed handshake, or a peer that stalls
+    mid-handshake. *)
+
+(** {1 Select-loop surface} *)
+
+val listen_fd : t -> Unix.file_descr option
+
+val fd : conn -> Unix.file_descr
+
+val read_into : conn -> [ `Data | `Eof | `Error of string ]
+(** One [read(2)] into the connection's reassembly reader — call when
+    select reports the fd readable, then drain {!next_record}. *)
+
+val next_record : conn -> string option
+(** The next complete buffered record, if any. Raises
+    {!Edb_persist.Codec.Reader.Corrupt} on an unrecoverable stream. *)

@@ -1,0 +1,161 @@
+module Node = Edb_core.Node
+module Message = Edb_core.Message
+module Counters = Edb_metrics.Counters
+module Frame = Edb_persist.Frame
+module Codec = Edb_persist.Codec
+
+(* The transport seam (DESIGN.md §12). Everything a delivery substrate
+   needs to carry the protocol lives here — the retry policy and its
+   timeout/backoff arithmetic, the stream record tagging, the counter
+   charges both transports must apply identically, and the signature
+   ([S]) the simulated and socket transports implement. The simulation
+   engine and the socket daemon consume the same definitions, so a
+   behavior (say, the backoff curve) cannot drift between them. *)
+
+type retry_policy = {
+  timeout : float;
+  backoff_base : float;
+  backoff_factor : float;
+  backoff_max : float;
+  jitter : float;
+  max_retries : int;
+}
+
+let default_retry_policy =
+  {
+    timeout = 4.0;
+    backoff_base = 0.5;
+    backoff_factor = 2.0;
+    backoff_max = 8.0;
+    jitter = 0.5;
+    max_retries = 3;
+  }
+
+module Flow = struct
+  (* The session retry machine, shared verbatim between the simulation
+     engine's event handlers and the daemon's select loop. The float
+     arithmetic (min-then-multiply order, [attempt - 1] exponent) is
+     load-bearing: explorer schedules replay byte-identically only if
+     every transport computes the same backoff from the same draws. *)
+
+  type verdict = Abandon | Retry of { attempt : int; backoff : float }
+
+  let on_timeout policy ~attempt =
+    if attempt >= policy.max_retries then Abandon
+    else
+      let attempt = attempt + 1 in
+      let backoff =
+        Float.min policy.backoff_max
+          (policy.backoff_base
+          *. (policy.backoff_factor ** float_of_int (attempt - 1)))
+      in
+      Retry { attempt; backoff }
+
+  let jittered policy backoff ~u = backoff *. (1.0 +. (policy.jitter *. u))
+end
+
+module Record = struct
+  (* One stream record is a tag byte then the payload: ['F'] carries an
+     encoded {!Frame} (request, reply, nak, push), ['C'] a control
+     message private to the daemon (client commands, admin). Frames
+     stay byte-identical to the simulated transport's — the tag lives
+     outside them, alongside the length prefix. *)
+
+  type t = Frame of string | Control of string
+
+  let frame payload = "F" ^ payload
+
+  let control payload = "C" ^ payload
+
+  let classify record =
+    if String.length record = 0 then Error "empty stream record"
+    else
+      let body = String.sub record 1 (String.length record - 1) in
+      match record.[0] with
+      | 'F' -> Ok (Frame body)
+      | 'C' -> Ok (Control body)
+      | c -> Error (Printf.sprintf "unknown stream record tag %C" c)
+end
+
+module Charge = struct
+  (* Counter charges shared by every frame-shipping path — the
+     simulation engine, the socket daemon, and the blocking session
+     client — so [wire_bytes_sent] and the connection counters mean the
+     same thing on both transports. *)
+
+  let request node frame =
+    let c = Node.counters node in
+    c.Counters.messages <- c.Counters.messages + 1;
+    c.Counters.bytes_sent <-
+      c.Counters.bytes_sent + Message.request_bytes (Node.propagation_request node);
+    c.Counters.wire_bytes_sent <- c.Counters.wire_bytes_sent + String.length frame
+
+  let push node ~updates frame =
+    let c = Node.counters node in
+    c.Counters.messages <- c.Counters.messages + 1;
+    c.Counters.push_sent <- c.Counters.push_sent + List.length updates;
+    c.Counters.bytes_sent <- c.Counters.bytes_sent + Message.push_bytes updates;
+    c.Counters.wire_bytes_sent <- c.Counters.wire_bytes_sent + String.length frame;
+    c.Counters.push_wire_bytes <- c.Counters.push_wire_bytes + String.length frame
+
+  let dial ?(retry = false) (c : Counters.t) =
+    c.Counters.connections_opened <- c.Counters.connections_opened + 1;
+    if retry then c.Counters.connection_retries <- c.Counters.connection_retries + 1
+end
+
+(* Frame kind, from the header byte at payload offset 2 (see
+   [Frame]: version; advertised; kind). Locally produced frames are
+   well-formed, so a raw peek suffices; anything shorter than a header
+   plus checksum trailer is garbage. *)
+let frame_kind frame =
+  if String.length frame < 7 then None
+  else
+    match Char.code frame.[2] with
+    | 0 -> Some `Request
+    | 1 -> Some `Reply
+    | 2 -> Some `Nak
+    | 3 -> Some `Push
+    | _ -> None
+
+let serve_frame ?apply_push node ~src frame =
+  let apply_push =
+    match apply_push with
+    | Some f -> f
+    | None ->
+      fun ~source u ->
+        let (_ : [ `Applied | `Stale ]) = Node.apply_push node ~source u in
+        ()
+  in
+  match frame_kind frame with
+  | Some `Request ->
+    (* [respond] answers an undecodable request with a nak itself. *)
+    Some (Frame.respond node ~src frame)
+  | Some `Push ->
+    (try List.iter (apply_push ~source:src) (Frame.decode_push node ~src frame)
+     with Codec.Reader.Corrupt _ -> ());
+    None
+  | Some (`Reply | `Nak) | None ->
+    (* Replies and naks outside a session context — late duplicates of a
+       completed session — and garbage both drop silently; anti-entropy
+       repairs whatever they would have carried. *)
+    None
+
+module type S = sig
+  type t
+
+  type conn
+
+  val id : t -> int
+
+  val connect : t -> peer:int -> (conn, string) result
+
+  val send : conn -> string -> (unit, string) result
+
+  val recv : ?timeout:float -> conn -> (string, string) result
+
+  val peer : conn -> int
+
+  val close_conn : conn -> unit
+
+  val pause : t -> float -> unit
+end

@@ -1,0 +1,149 @@
+(** The transport seam (DESIGN.md §12).
+
+    The protocol's delivery path used to be hard-wired into the
+    simulation engine; this module is the extracted interface every
+    substrate implements instead. It owns the pieces that must not
+    drift between transports:
+
+    - the {!retry_policy} and the {!Flow} timeout/backoff machine the
+      message-granular session layer runs on (the simulation engine's
+      event handlers and the socket daemon's select loop call the same
+      functions, with the same float arithmetic);
+    - the {!Record} tagging that multiplexes protocol frames and
+      control messages over one byte stream;
+    - the {!Charge} counter discipline, so [wire_bytes_sent] and the
+      connection counters mean the same thing everywhere;
+    - the {!S} signature the in-memory ({!Sim_transport}) and socket
+      ({!Socket_transport}) transports implement, and over which
+      {!Session_client} runs one anti-entropy session.
+
+    Frames themselves ({!Edb_persist.Frame}) are transport-agnostic
+    bytes; a stream transport adds a length prefix
+    ({!Edb_persist.Frame.to_wire}) and the {!Record} tag, nothing
+    else — the simulated and socket transports ship byte-identical
+    protocol payloads. *)
+
+(** {1 Retry policy} *)
+
+type retry_policy = {
+  timeout : float;  (** Per-attempt reply deadline, seconds. *)
+  backoff_base : float;
+  backoff_factor : float;
+  backoff_max : float;
+  jitter : float;
+      (** Multiplicative jitter bound: the backoff is scaled by
+          [1 + jitter * u] for a uniform draw [u] in [\[0, 1)]. *)
+  max_retries : int;  (** Attempts beyond the first before abandoning. *)
+}
+
+val default_retry_policy : retry_policy
+(** 4 s timeout, 0.5 s base doubling to an 8 s cap, 0.5 jitter, 3
+    retries — the values the simulation has always used (the canonical
+    definition moved here from [Edb_sim.Engine], which re-exports
+    it). *)
+
+(** The session retry machine: pure decisions from (policy, attempt),
+    so every transport — and every replayed explorer schedule —
+    computes identical backoffs from identical draws. *)
+module Flow : sig
+  type verdict =
+    | Abandon  (** Retry budget exhausted: leave it to anti-entropy. *)
+    | Retry of { attempt : int; backoff : float }
+        (** Re-send as attempt [attempt] (1-based beyond the first
+            send) after [backoff] seconds, {e before} jitter. *)
+
+  val on_timeout : retry_policy -> attempt:int -> verdict
+  (** Verdict when attempt [attempt] (0-based) timed out. *)
+
+  val jittered : retry_policy -> float -> u:float -> float
+  (** [jittered policy backoff ~u] applies the policy's multiplicative
+      jitter using the caller's uniform draw [u] — the caller owns the
+      randomness source (the engine draws from its replayable PRNG). *)
+end
+
+(** {1 Stream records} *)
+
+(** One stream record is a tag byte then the payload: ['F'] an encoded
+    protocol frame, ['C'] a daemon control message. The tag sits
+    outside the frame bytes, which stay identical to the simulated
+    transport's. *)
+module Record : sig
+  type t = Frame of string | Control of string
+
+  val frame : string -> string
+
+  val control : string -> string
+
+  val classify : string -> (t, string) result
+end
+
+(** {1 Counter charges} *)
+
+(** The charges every frame-shipping path applies, so both transports
+    account identically (see the counter docs in
+    {!Edb_metrics.Counters}). *)
+module Charge : sig
+  val request : Edb_core.Node.t -> string -> unit
+  (** Charge sending the encoded request [frame]: one message, the
+      modeled request bytes, and the frame's true length as wire
+      bytes. *)
+
+  val push : Edb_core.Node.t -> updates:Edb_core.Message.push_update list -> string -> unit
+  (** Charge flushing one push frame carrying [updates]. *)
+
+  val dial : ?retry:bool -> Edb_metrics.Counters.t -> unit
+  (** Charge one transport dial ([connections_opened]); [retry] also
+      charges [connection_retries]. *)
+end
+
+(** {1 Frame dispatch} *)
+
+val frame_kind : string -> [ `Request | `Reply | `Nak | `Push ] option
+(** Peek a frame's kind from its header byte; [None] for garbage. *)
+
+val serve_frame :
+  ?apply_push:(source:int -> Edb_core.Message.push_update -> unit) ->
+  Edb_core.Node.t ->
+  src:int ->
+  string ->
+  string option
+(** The passive (server) side of frame dispatch, shared by the daemon
+    and the in-memory transport: a request is answered (reply or nak)
+    through {!Edb_persist.Frame.respond} — the returned frame should go
+    back on the same connection — a push is decoded and applied (via
+    [apply_push] when given, so a durable node can journal it), and
+    anything else (late replies, garbage) drops silently, repaired by
+    anti-entropy. *)
+
+(** {1 The transport signature} *)
+
+(** What a delivery substrate provides: dial a peer, move whole
+    records, tear down. Implementations: {!Sim_transport} (in-memory,
+    deterministic, faultable) and {!Socket_transport} (Unix-domain and
+    TCP sockets). [recv] returns whole records — stream transports
+    reassemble them through {!Edb_persist.Frame.Reader}. *)
+module type S = sig
+  type t
+  (** One endpoint, owning this node's connections. *)
+
+  type conn
+  (** One established, peer-identified connection. *)
+
+  val id : t -> int
+
+  val connect : t -> peer:int -> (conn, string) result
+
+  val send : conn -> string -> (unit, string) result
+
+  val recv : ?timeout:float -> conn -> (string, string) result
+  (** The next whole record; [Error] on timeout, peer close, or a
+      corrupt stream. *)
+
+  val peer : conn -> int
+
+  val close_conn : conn -> unit
+
+  val pause : t -> float -> unit
+  (** Sleep between retry attempts — wall-clock for sockets, a no-op
+      for the synchronous in-memory transport. *)
+end

@@ -20,6 +20,7 @@ let () =
       ("two-phase-gossip", Test_two_phase.suite);
       ("sim", Test_sim.suite);
       ("transport", Test_transport.suite);
+      ("transport-seam", Test_transport_seam.suite);
       ("workload", Test_workload.suite);
       ("metrics", Test_metrics.suite);
       ("experiments", Test_experiments.suite);

@@ -1,0 +1,442 @@
+(* The transport seam (DESIGN.md §12): the shared retry/backoff
+   arithmetic, counter charges and frame dispatch that the simulation
+   engine, the blocking session client and the socket daemon all run;
+   the session client over the in-memory transport against the
+   in-process framed pull; and the real thing — multi-process daemons
+   over Unix-domain and TCP sockets, including kill -9 crash recovery
+   from the WAL. *)
+
+module Node = Edb_core.Node
+module Message = Edb_core.Message
+module Operation = Edb_store.Operation
+module Counters = Edb_metrics.Counters
+module Frame = Edb_persist.Frame
+module Transport = Edb_transport.Transport
+module Sim_transport = Edb_transport.Sim_transport
+module Socket_transport = Edb_transport.Socket_transport
+module Harness = Edb_transport.Harness
+module Invariant = Edb_check.Invariant
+module Session_client = Edb_transport.Session_client
+module Session = Session_client.Make (Edb_transport.Sim_transport)
+
+let set v = Operation.Set v
+
+let check_node node = Invariant.check_node node
+
+(* ---------- the shared retry arithmetic ---------- *)
+
+(* The backoff ladder of the default policy, pinned: the engine's
+   event-queue retries, the session client and the daemon's select loop
+   must all compute these exact floats from these exact inputs. *)
+let test_flow_arithmetic () =
+  let p = Transport.default_retry_policy in
+  (match Transport.Flow.on_timeout p ~attempt:0 with
+  | Transport.Flow.Retry { attempt = 1; backoff } ->
+    Alcotest.(check (float 0.0)) "first backoff" 0.5 backoff
+  | _ -> Alcotest.fail "attempt 0 should retry");
+  (match Transport.Flow.on_timeout p ~attempt:1 with
+  | Transport.Flow.Retry { attempt = 2; backoff } ->
+    Alcotest.(check (float 0.0)) "second backoff" 1.0 backoff
+  | _ -> Alcotest.fail "attempt 1 should retry");
+  (match Transport.Flow.on_timeout p ~attempt:2 with
+  | Transport.Flow.Retry { attempt = 3; backoff } ->
+    Alcotest.(check (float 0.0)) "third backoff" 2.0 backoff
+  | _ -> Alcotest.fail "attempt 2 should retry");
+  (match Transport.Flow.on_timeout p ~attempt:3 with
+  | Transport.Flow.Abandon -> ()
+  | _ -> Alcotest.fail "attempt 3 exhausts the budget");
+  (* The cap engages exactly where the uncapped ladder would pass it. *)
+  (match Transport.Flow.on_timeout { p with max_retries = 10 } ~attempt:6 with
+  | Transport.Flow.Retry { backoff; _ } ->
+    Alcotest.(check (float 0.0)) "capped backoff" p.Transport.backoff_max backoff
+  | _ -> Alcotest.fail "attempt 6 should retry under a larger budget");
+  (* Jitter stretches multiplicatively by the caller's uniform draw. *)
+  Alcotest.(check (float 0.0)) "u = 0 leaves the backoff" 2.0
+    (Transport.Flow.jittered p 2.0 ~u:0.0);
+  Alcotest.(check (float 0.0)) "u = 1 stretches by 1 + jitter" 3.0
+    (Transport.Flow.jittered p 2.0 ~u:1.0)
+
+(* ---------- record tagging and frame dispatch ---------- *)
+
+let test_record_tagging () =
+  (match Transport.Record.classify (Transport.Record.frame "abc") with
+  | Ok (Transport.Record.Frame "abc") -> ()
+  | _ -> Alcotest.fail "frame record");
+  (match Transport.Record.classify (Transport.Record.control "xyz") with
+  | Ok (Transport.Record.Control "xyz") -> ()
+  | _ -> Alcotest.fail "control record");
+  (match Transport.Record.classify "Qgarbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown tag must not classify");
+  match Transport.Record.classify "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty record must not classify"
+
+let negotiated_pair () =
+  let a = Node.create ~id:0 ~n:2 () in
+  let b = Node.create ~id:1 ~n:2 () in
+  Node.update a "x" (set "v1");
+  Frame.sync_pair b a;
+  Frame.sync_pair a b;
+  (a, b)
+
+let test_frame_kind () =
+  let a, b = negotiated_pair () in
+  let request = Frame.encode_request b ~dst:0 in
+  let reply = Frame.respond a ~src:1 request in
+  let nak = Frame.encode_nak a ~dst:1 ~req_id:3 in
+  Node.update a "x" (set "v2");
+  let push =
+    Frame.encode_push a ~dst:1
+      [
+        {
+          Message.item = "x";
+          seq = 2;
+          ivv = Edb_vv.Version_vector.of_array [| 2; 0 |];
+          value = "v2";
+        };
+      ]
+  in
+  Alcotest.(check bool) "request" true (Transport.frame_kind request = Some `Request);
+  Alcotest.(check bool) "reply" true (Transport.frame_kind reply = Some `Reply);
+  Alcotest.(check bool) "nak" true (Transport.frame_kind nak = Some `Nak);
+  Alcotest.(check bool) "push" true (Transport.frame_kind push = Some `Push);
+  Alcotest.(check bool) "short garbage" true (Transport.frame_kind "ab" = None)
+
+(* The passive side: requests are answered, pushes applied, everything
+   else — late replies, naks, garbage — dropped silently. *)
+let test_serve_frame () =
+  let a, b = negotiated_pair () in
+  let request = Frame.encode_request b ~dst:0 in
+  (match Transport.serve_frame a ~src:1 request with
+  | Some reply -> (
+    match Frame.decode_reply b ~src:0 reply with
+    | Frame.Reply _ -> ()
+    | Frame.Nak _ -> Alcotest.fail "request over live state must not nak")
+  | None -> Alcotest.fail "request must be answered");
+  let reply = Frame.respond a ~src:1 (Frame.encode_request b ~dst:0) in
+  Alcotest.(check bool) "a stray reply drops" true
+    (Transport.serve_frame a ~src:1 reply = None);
+  Alcotest.(check bool) "garbage drops" true
+    (Transport.serve_frame a ~src:1 "\x02\x02\x01not a frame" = None);
+  (* A push reaches the injected application hook. *)
+  Node.update a "x" (set "v2");
+  let push =
+    Frame.encode_push a ~dst:1
+      [
+        {
+          Message.item = "x";
+          seq = 2;
+          ivv = Edb_vv.Version_vector.of_array [| 2; 0 |];
+          value = "v2";
+        };
+      ]
+  in
+  let seen = ref [] in
+  Alcotest.(check bool) "push produces no reply" true
+    (Transport.serve_frame
+       ~apply_push:(fun ~source u -> seen := (source, u.Message.item) :: !seen)
+       b ~src:0 push
+    = None);
+  Alcotest.(check bool) "push applied through the hook" true (!seen = [ (0, "x") ])
+
+(* ---------- the session client over the in-memory transport ---------- *)
+
+let fresh_pair () =
+  let source = Node.create ~id:0 ~n:2 () in
+  let recipient = Node.create ~id:1 ~n:2 () in
+  Node.update source "alpha" (set "a1");
+  Node.update source "beta" (set (String.make 48 'b'));
+  Node.update source "alpha" (set "a2");
+  (source, recipient)
+
+let sim_endpoint source recipient =
+  let net = Sim_transport.create_net () in
+  Sim_transport.serve_node net source;
+  (net, Sim_transport.endpoint net ~id:(Node.id recipient))
+
+(* One session through the full seam — endpoint, record tagging, frame
+   dispatch — must leave both nodes exactly where the in-process framed
+   pull leaves a control pair, and charge the same message and wire-byte
+   counters; only the connection counters differ (the in-process pull
+   opens none). *)
+let test_sim_session_matches_frame_pull () =
+  let source, recipient = fresh_pair () in
+  let _net, ep = sim_endpoint source recipient in
+  (match Session.pull ep ~node:recipient ~peer:0 () with
+  | Session_client.Synced `Propagated -> ()
+  | _ -> Alcotest.fail "first pull must propagate");
+  let control_source, control_recipient = fresh_pair () in
+  let (_ : Node.pull_result) =
+    Frame.pull ~recipient:control_recipient ~source:control_source ()
+  in
+  Alcotest.(check bool) "recipient state identical" true
+    (Node.export_state recipient = Node.export_state control_recipient);
+  Alcotest.(check bool) "source state identical" true
+    (Node.export_state source = Node.export_state control_source);
+  let c = Node.counters recipient and cc = Node.counters control_recipient in
+  Alcotest.(check int) "wire bytes charged identically" cc.Counters.wire_bytes_sent
+    c.Counters.wire_bytes_sent;
+  Alcotest.(check int) "messages charged identically" cc.Counters.messages
+    c.Counters.messages;
+  Alcotest.(check int) "bytes charged identically" cc.Counters.bytes_sent
+    c.Counters.bytes_sent;
+  let sc = Node.counters source and scc = Node.counters control_source in
+  Alcotest.(check int) "source wire bytes identical" scc.Counters.wire_bytes_sent
+    sc.Counters.wire_bytes_sent;
+  Alcotest.(check int) "one connection opened" 1 c.Counters.connections_opened;
+  Alcotest.(check int) "no connection retries" 0 c.Counters.connection_retries;
+  Alcotest.(check int) "in-process pull opens none" 0 cc.Counters.connections_opened;
+  (* A second session is answered you-are-current. *)
+  match Session.pull ep ~node:recipient ~peer:0 () with
+  | Session_client.Synced `Current -> ()
+  | _ -> Alcotest.fail "second pull must be current"
+
+(* Total record loss: the full backoff ladder runs, every attempt
+   charges a dial and a timeout, and the session is abandoned with the
+   connection counters telling the story. *)
+let test_sim_total_loss_abandons () =
+  let source, recipient = fresh_pair () in
+  let net, ep = sim_endpoint source recipient in
+  Sim_transport.set_drop net (fun () -> true);
+  (match Session.pull ep ~node:recipient ~peer:0 () with
+  | Session_client.Abandoned _ -> ()
+  | Session_client.Synced _ -> Alcotest.fail "total loss cannot sync");
+  let p = Transport.default_retry_policy in
+  let attempts = p.Transport.max_retries + 1 in
+  let c = Node.counters recipient in
+  Alcotest.(check int) "a timeout per attempt" attempts c.Counters.timeouts;
+  Alcotest.(check int) "a retry per re-send" p.Transport.max_retries
+    c.Counters.retries;
+  Alcotest.(check int) "abandoned once" 1 c.Counters.sessions_abandoned;
+  Alcotest.(check int) "a dial per attempt" attempts c.Counters.connections_opened;
+  Alcotest.(check int) "re-dials are connection retries" p.Transport.max_retries
+    c.Counters.connection_retries;
+  Alcotest.(check bool) "recipient saw nothing" true
+    (Node.read recipient "alpha" = None)
+
+(* Losing only the first record: one retry completes the session, and
+   the re-dial shows up in [connection_retries]. *)
+let test_sim_first_loss_recovers () =
+  let source, recipient = fresh_pair () in
+  let net, ep = sim_endpoint source recipient in
+  let records = ref 0 in
+  (* The drop predicate is consulted once per sent record and once per
+     produced reply: losing exactly the first draw loses the first
+     request on the wire. *)
+  Sim_transport.set_drop net (fun () ->
+      incr records;
+      !records = 1);
+  (match Session.pull ep ~node:recipient ~peer:0 () with
+  | Session_client.Synced `Propagated -> ()
+  | _ -> Alcotest.fail "retry must complete the session");
+  let c = Node.counters recipient in
+  Alcotest.(check int) "one timeout" 1 c.Counters.timeouts;
+  Alcotest.(check int) "one retry" 1 c.Counters.retries;
+  Alcotest.(check int) "nothing abandoned" 0 c.Counters.sessions_abandoned;
+  Alcotest.(check int) "two dials" 2 c.Counters.connections_opened;
+  Alcotest.(check int) "one was a re-dial" 1 c.Counters.connection_retries;
+  Alcotest.(check bool) "data arrived" true (Node.read recipient "alpha" = Some "a2")
+
+(* A crashed peer: the dial itself fails, charged like any other
+   attempt. *)
+let test_sim_dead_peer_abandons () =
+  let source, recipient = fresh_pair () in
+  let net, ep = sim_endpoint source recipient in
+  Sim_transport.unregister net ~id:0;
+  (match Session.pull ep ~node:recipient ~peer:0 () with
+  | Session_client.Abandoned _ -> ()
+  | Session_client.Synced _ -> Alcotest.fail "a dead peer cannot sync");
+  let p = Transport.default_retry_policy in
+  let c = Node.counters recipient in
+  Alcotest.(check int) "a dial per attempt" (p.Transport.max_retries + 1)
+    c.Counters.connections_opened
+
+(* ---------- the socket transport, in one process ---------- *)
+
+let temp_dir =
+  lazy
+    (let dir =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "edb-seam-%d" (Unix.getpid ()))
+     in
+     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+     dir)
+
+(* One full session over a real Unix-domain socket: handshake, record
+   framing across the stream, frame dispatch, reply — and the states
+   land exactly where the in-memory seam lands them. *)
+let test_socket_unix_session () =
+  let source, recipient = fresh_pair () in
+  let path = Filename.concat (Lazy.force temp_dir) "seam.sock" in
+  let listen = Socket_transport.Unix_path path in
+  let server =
+    match Socket_transport.create ~listen ~id:0 ~peers:[] () with
+    | Ok t -> t
+    | Error e -> Alcotest.fail ("server create: " ^ e)
+  in
+  let client =
+    match Socket_transport.create ~id:1 ~peers:[ (0, listen) ] () with
+    | Ok t -> t
+    | Error e -> Alcotest.fail ("client create: " ^ e)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Socket_transport.close server;
+      Socket_transport.close client)
+    (fun () ->
+      let conn =
+        match Socket_transport.connect client ~peer:0 with
+        | Ok c -> c
+        | Error e -> Alcotest.fail ("connect: " ^ e)
+      in
+      let request = Frame.encode_request recipient ~dst:0 in
+      (match Socket_transport.send conn (Transport.Record.frame request) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("send: " ^ e));
+      let server_conn =
+        match Socket_transport.accept ~timeout:5.0 server with
+        | Ok c -> c
+        | Error e -> Alcotest.fail ("accept: " ^ e)
+      in
+      (* The handshake identified the dialing node. *)
+      Alcotest.(check int) "handshake peer id" 1
+        (Socket_transport.peer server_conn);
+      (match Socket_transport.recv ~timeout:5.0 server_conn with
+      | Error e -> Alcotest.fail ("server recv: " ^ e)
+      | Ok record -> (
+        match Transport.Record.classify record with
+        | Ok (Transport.Record.Frame frame) -> (
+          Alcotest.(check string) "frame bytes survive the stream" request frame;
+          match Transport.serve_frame source ~src:1 frame with
+          | Some reply -> (
+            match
+              Socket_transport.send server_conn (Transport.Record.frame reply)
+            with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail ("reply send: " ^ e))
+          | None -> Alcotest.fail "request must be answered")
+        | _ -> Alcotest.fail "expected a frame record"));
+      (match Socket_transport.recv ~timeout:5.0 conn with
+      | Error e -> Alcotest.fail ("client recv: " ^ e)
+      | Ok record -> (
+        match Transport.Record.classify record with
+        | Ok (Transport.Record.Frame frame) -> (
+          match Frame.decode_reply recipient ~src:0 frame with
+          | Frame.Reply (reply, _) ->
+            let (_ : Node.accept_result) =
+              Node.accept_propagation recipient ~source:0 reply
+            in
+            ()
+          | Frame.Nak _ -> Alcotest.fail "live state must not nak")
+        | _ -> Alcotest.fail "expected a frame record"));
+      Socket_transport.close_conn conn;
+      Socket_transport.close_conn server_conn;
+      Alcotest.(check bool) "replicated over the socket" true
+        (Node.read recipient "alpha" = Some "a2"
+        && Node.read recipient "beta" <> None);
+      match check_node recipient with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("invariants: " ^ e))
+
+(* ---------- multi-process daemons ---------- *)
+
+let cluster_dir name =
+  let dir = Filename.concat (Lazy.force temp_dir) name in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  dir
+
+let require = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let await h =
+  match Harness.await_converged ~deadline:20.0 ~invariant:check_node h with
+  | Ok (_ : float) -> ()
+  | Error e -> Alcotest.fail ("convergence: " ^ e)
+
+(* Two daemons over Unix-domain sockets: single-writer updates on each
+   side replicate both ways through the anti-entropy timers, and the
+   connection counters show real dials happened. *)
+let test_daemon_pair_converges () =
+  let h = Harness.start ~seed:21 ~dir:(cluster_dir "pair") ~n:2 () in
+  Fun.protect
+    ~finally:(fun () -> Harness.shutdown h)
+    (fun () ->
+      require (Harness.update h ~node:0 ~item:"a.0" (set "from zero"));
+      require (Harness.update h ~node:1 ~item:"b.1" (set "from one"));
+      await h;
+      Alcotest.(check bool) "node 1 sees node 0's write" true
+        (require (Harness.read h ~node:1 ~item:"a.0") = Some "from zero");
+      Alcotest.(check bool) "node 0 sees node 1's write" true
+        (require (Harness.read h ~node:0 ~item:"b.1") = Some "from one");
+      let c0 = require (Harness.counters_of h ~node:0) in
+      Alcotest.(check bool) "real connections were opened" true
+        (List.assoc "connections_opened" c0 > 0);
+      Alcotest.(check bool) "wire bytes were charged" true
+        (List.assoc "wire_bytes_sent" c0 > 0))
+
+(* kill -9 mid-run: nothing is flushed, the WAL on disk is all there
+   is. The restarted daemon must recover its own pre-kill writes from
+   the journal and catch up on what it missed through anti-entropy. *)
+let test_daemon_crash_recovery () =
+  let h = Harness.start ~seed:33 ~dir:(cluster_dir "crash") ~n:2 () in
+  Fun.protect
+    ~finally:(fun () -> Harness.shutdown h)
+    (fun () ->
+      require (Harness.update h ~node:0 ~item:"a.0" (set "pre-kill zero"));
+      require (Harness.update h ~node:1 ~item:"b.1" (set "pre-kill one"));
+      await h;
+      Harness.kill h ~node:1;
+      Alcotest.(check bool) "daemon 1 is gone" false (Harness.running h ~node:1);
+      (* The survivor keeps writing while node 1 is down. *)
+      require (Harness.update h ~node:0 ~item:"c.0" (set "while down"));
+      require (Harness.update h ~node:0 ~item:"a.0" (set "overwritten"));
+      Harness.restart h ~node:1;
+      await h;
+      (* Node 1 recovered its own write from the WAL... *)
+      Alcotest.(check bool) "own write recovered" true
+        (require (Harness.read h ~node:1 ~item:"b.1") = Some "pre-kill one");
+      (* ...and caught up on everything it missed. *)
+      Alcotest.(check bool) "missed write caught up" true
+        (require (Harness.read h ~node:1 ~item:"c.0") = Some "while down");
+      Alcotest.(check bool) "overwrite caught up" true
+        (require (Harness.read h ~node:1 ~item:"a.0") = Some "overwritten");
+      Alcotest.(check bool) "survivor unscathed" true
+        (require (Harness.read h ~node:0 ~item:"b.1") = Some "pre-kill one"))
+
+(* The same harness over TCP (kernel-chosen ports). *)
+let test_daemon_tcp_smoke () =
+  let h = Harness.start ~kind:`Tcp ~seed:44 ~dir:(cluster_dir "tcp") ~n:2 () in
+  Fun.protect
+    ~finally:(fun () -> Harness.shutdown h)
+    (fun () ->
+      require (Harness.update h ~node:0 ~item:"a.0" (set "over tcp"));
+      await h;
+      Alcotest.(check bool) "replicated over tcp" true
+        (require (Harness.read h ~node:1 ~item:"a.0") = Some "over tcp"))
+
+let suite =
+  [
+    Alcotest.test_case "flow: backoff ladder arithmetic" `Quick
+      test_flow_arithmetic;
+    Alcotest.test_case "record tagging" `Quick test_record_tagging;
+    Alcotest.test_case "frame kind peek" `Quick test_frame_kind;
+    Alcotest.test_case "serve_frame dispatch" `Quick test_serve_frame;
+    Alcotest.test_case "sim session = in-process framed pull" `Quick
+      test_sim_session_matches_frame_pull;
+    Alcotest.test_case "sim: total loss abandons, fully charged" `Quick
+      test_sim_total_loss_abandons;
+    Alcotest.test_case "sim: first loss recovers via retry" `Quick
+      test_sim_first_loss_recovers;
+    Alcotest.test_case "sim: dead peer abandons" `Quick
+      test_sim_dead_peer_abandons;
+    Alcotest.test_case "socket: one session over a unix socket" `Quick
+      test_socket_unix_session;
+    Alcotest.test_case "daemons: 2-process unix cluster converges" `Quick
+      test_daemon_pair_converges;
+    Alcotest.test_case "daemons: kill -9 recovery from the WAL" `Quick
+      test_daemon_crash_recovery;
+    Alcotest.test_case "daemons: tcp smoke" `Quick test_daemon_tcp_smoke;
+  ]

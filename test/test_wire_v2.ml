@@ -366,6 +366,154 @@ let test_fuzz_blobs_valid () =
         Alcotest.fail (Printf.sprintf "fixture %s invalid: %s" name msg))
     (Lazy.force fuzz_blobs)
 
+(* ---------- stream framing: the incremental reader ---------- *)
+
+(* One fixture frame of every kind, produced by the real encoders over
+   a negotiated pair — request, reply, nak and push all ride the same
+   stream framing in the socket transport. *)
+let stream_fixture_frames () =
+  let a = Node.create ~id:0 ~n:2 () in
+  let b = Node.create ~id:1 ~n:2 () in
+  Node.update a "x" (set "first");
+  Node.update a "y" (set (String.make 40 'p'));
+  (* Negotiate v2 both ways so the push frame is encodable. *)
+  Frame.sync_pair b a;
+  Frame.sync_pair a b;
+  let request = Frame.encode_request b ~dst:0 in
+  let reply = Frame.respond a ~src:1 request in
+  let nak = Frame.encode_nak a ~dst:1 ~req_id:7 in
+  Node.update a "x" (set "pushed");
+  let push =
+    Frame.encode_push a ~dst:1
+      [ { Message.item = "x"; seq = 3; ivv = Vv.of_array [| 3; 0 |]; value = "pushed" } ]
+  in
+  [ ("request", request); ("reply", reply); ("nak", nak); ("push", push) ]
+
+(* Feeding a wire stream cut at every possible boundary — including
+   mid-length-prefix, mid-header and mid-checksum — must reassemble
+   exactly the original records, in order, with nothing left pending. *)
+let test_reader_all_split_points () =
+  let frames = stream_fixture_frames () in
+  let stream = String.concat "" (List.map (fun (_, f) -> Frame.to_wire f) frames) in
+  let expected = List.map snd frames in
+  let drain reader acc =
+    let rec go acc =
+      match Frame.Reader.next reader with
+      | Some record -> go (record :: acc)
+      | None -> acc
+    in
+    go acc
+  in
+  for cut = 0 to String.length stream do
+    let reader = Frame.Reader.create () in
+    Frame.Reader.feed reader ~off:0 ~len:cut stream;
+    let acc = drain reader [] in
+    Frame.Reader.feed reader ~off:cut ~len:(String.length stream - cut) stream;
+    let acc = drain reader acc in
+    if List.rev acc <> expected then
+      Alcotest.fail (Printf.sprintf "split at byte %d reassembled wrongly" cut);
+    Alcotest.(check int)
+      (Printf.sprintf "nothing pending after split at %d" cut)
+      0
+      (Frame.Reader.pending reader)
+  done
+
+(* The pathological stream: one byte per feed. *)
+let test_reader_byte_at_a_time () =
+  let frames = stream_fixture_frames () in
+  let stream = String.concat "" (List.map (fun (_, f) -> Frame.to_wire f) frames) in
+  let reader = Frame.Reader.create () in
+  let acc = ref [] in
+  String.iteri
+    (fun i _ ->
+      Frame.Reader.feed reader ~off:i ~len:1 stream;
+      let rec go () =
+        match Frame.Reader.next reader with
+        | Some record ->
+          acc := record :: !acc;
+          go ()
+        | None -> ()
+      in
+      go ())
+    stream;
+  Alcotest.(check bool) "all records, in order" true
+    (List.rev !acc = List.map snd frames);
+  Alcotest.(check int) "drained" 0 (Frame.Reader.pending reader)
+
+(* Random chunking over a long stream (sizes drawn from the generator):
+   the reader must be insensitive to chunk geometry. *)
+let prop_reader_random_chunks =
+  QCheck2.Test.make ~name:"Frame.Reader: random chunk sizes reassemble" ~count:60
+    QCheck2.Gen.(list_size (int_range 1 80) (int_range 1 17))
+    (fun sizes ->
+      let frames = stream_fixture_frames () in
+      let stream =
+        String.concat "" (List.map (fun (_, f) -> Frame.to_wire f) frames)
+      in
+      (* Repeat the fixture stream so the chunk list spans several
+         records regardless of the drawn sizes. *)
+      let stream = stream ^ stream ^ stream in
+      let expected =
+        List.concat (List.init 3 (fun _ -> List.map snd frames))
+      in
+      let reader = Frame.Reader.create () in
+      let acc = ref [] in
+      let pos = ref 0 in
+      let feed len =
+        let len = min len (String.length stream - !pos) in
+        if len > 0 then begin
+          Frame.Reader.feed reader ~off:!pos ~len stream;
+          pos := !pos + len;
+          let rec go () =
+            match Frame.Reader.next reader with
+            | Some r ->
+              acc := r :: !acc;
+              go ()
+            | None -> ()
+          in
+          go ()
+        end
+      in
+      List.iter feed sizes;
+      feed (String.length stream - !pos);
+      List.rev !acc = expected && Frame.Reader.pending reader = 0)
+
+(* A length prefix claiming more than [max_stream_record] must raise
+   Corrupt as soon as the prefix is complete — before any allocation —
+   even when the prefix itself arrives byte by byte. *)
+let test_reader_oversized_claim () =
+  let prefix = Bytes.create 4 in
+  Bytes.set_int32_le prefix 0 (Int32.of_int (Frame.max_stream_record + 1));
+  let prefix = Bytes.to_string prefix in
+  let reader = Frame.Reader.create () in
+  Frame.Reader.feed reader ~off:0 ~len:3 prefix;
+  Alcotest.(check bool) "incomplete prefix: no record" true
+    (Frame.Reader.next reader = None);
+  Frame.Reader.feed reader ~off:3 ~len:1 prefix;
+  expect_corrupt "oversized stream record" (fun () -> Frame.Reader.next reader);
+  (* At the limit itself the claim is accepted and waits for bytes. *)
+  let ok = Bytes.create 4 in
+  Bytes.set_int32_le ok 0 (Int32.of_int Frame.max_stream_record);
+  let reader = Frame.Reader.create () in
+  Frame.Reader.feed reader (Bytes.to_string ok);
+  Alcotest.(check bool) "limit-sized claim pends" true
+    (Frame.Reader.next reader = None)
+
+(* to_wire round-trips a record unchanged (prefix + payload, nothing
+   else), so the socket transport ships byte-identical frames. *)
+let test_to_wire_roundtrip () =
+  List.iter
+    (fun (name, frame) ->
+      let wire = Frame.to_wire frame in
+      Alcotest.(check int)
+        (name ^ ": prefix adds 4 bytes")
+        (String.length frame + 4) (String.length wire);
+      Alcotest.(check string)
+        (name ^ ": payload unchanged")
+        frame
+        (String.sub wire 4 (String.length frame)))
+    (stream_fixture_frames ())
+
 let suite =
   [
     Alcotest.test_case "default version constants" `Quick test_default_version;
@@ -379,4 +527,12 @@ let suite =
     Alcotest.test_case "fuzz fixtures valid" `Quick test_fuzz_blobs_valid;
     QCheck_alcotest.to_alcotest prop_fuzz_bit_flips;
     QCheck_alcotest.to_alcotest prop_fuzz_garbage;
+    Alcotest.test_case "stream reader: every split point" `Quick
+      test_reader_all_split_points;
+    Alcotest.test_case "stream reader: byte at a time" `Quick
+      test_reader_byte_at_a_time;
+    QCheck_alcotest.to_alcotest prop_reader_random_chunks;
+    Alcotest.test_case "stream reader: oversized claim is corrupt" `Quick
+      test_reader_oversized_claim;
+    Alcotest.test_case "to_wire round-trip" `Quick test_to_wire_roundtrip;
   ]
