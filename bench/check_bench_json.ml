@@ -52,6 +52,31 @@ let check_micro path doc =
       "e18 sharded skip"; "e18 sync-all"; "e19 reply codec v1";
       "e19 reply codec v2"; "e21 join bootstrap"; "e21 idle pull";
     ];
+  (* The daemon-path instances (E22): every fan-out present with a
+     finite positive rate, and the concurrent loop must not lose to the
+     single-session one — sessions/sec at fan-out=4 at least the
+     fan-out=1 rate (lower ns_per_op). The committed trajectory shows
+     ~4x; >= 1x is the regression floor here so a bench_smoke.json
+     generated on a loaded box doesn't flake tier-1, while a
+     multi-session loop that got slower than the old serial one still
+     fails. *)
+  let daemon_ns metric fanout =
+    let name = Printf.sprintf "edb e22 daemon %s fan-out=%d" metric fanout in
+    match List.assoc_opt name benchmarks with
+    | None -> fail "%s: no %S benchmark" path name
+    | Some entry -> (
+      match Option.bind (Json.member "ns_per_op" entry) Json.to_float_opt with
+      | Some v when Float.is_finite v && v > 0.0 -> v
+      | _ ->
+        fail "%s: benchmark %S lacks a finite positive ns_per_op" path name)
+  in
+  List.iter
+    (fun metric ->
+      List.iter (fun fanout -> ignore (daemon_ns metric fanout)) [ 1; 4; 8 ])
+    [ "sessions"; "visibility" ];
+  if daemon_ns "sessions" 4 > daemon_ns "sessions" 1 then
+    fail "%s: e22 daemon sessions fan-out=4 slower than fan-out=1 (%g > %g ns)"
+      path (daemon_ns "sessions" 4) (daemon_ns "sessions" 1);
   let experiments =
     require "experiments list"
       (Option.bind (Json.member "experiments" doc) Json.to_list_opt)

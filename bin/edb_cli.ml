@@ -933,6 +933,14 @@ let serve_cmd =
       & info [ "max-runtime" ] ~docv:"SECS"
           ~doc:"Self-terminate after this many seconds.")
   in
+  let max_sessions =
+    Arg.(
+      value & opt int 4
+      & info [ "max-sessions" ] ~docv:"K"
+          ~doc:
+            "Concurrent anti-entropy sessions kept in flight (clamped to \
+             n-1 peers). 1 restores the old one-session-at-a-time loop.")
+  in
   let parse_peer s =
     match String.index_opt s '=' with
     | None -> Error (`Msg (Printf.sprintf "bad --peer %S: expected ID=ADDR" s))
@@ -946,7 +954,7 @@ let serve_cmd =
         | Error m ->
           Error (`Msg (Printf.sprintf "bad --peer %S: %s" s m))))
   in
-  let run id n dir listen peers ae_period seed checkpoint_every max_runtime =
+  let run id n dir listen peers ae_period seed checkpoint_every max_runtime max_sessions =
     match Socket_transport.addr_of_string listen with
     | Error m -> `Error (true, "bad --listen: " ^ m)
     | Ok listen -> (
@@ -962,7 +970,7 @@ let serve_cmd =
       | Ok peers -> (
         let config =
           Daemon.Config.make ~ae_period ~seed ~checkpoint_every ?max_runtime
-            ~id ~n ~dir ~listen ~peers ()
+            ~max_sessions ~id ~n ~dir ~listen ~peers ()
         in
         match Daemon.serve config with
         | Ok () -> `Ok ()
@@ -978,7 +986,7 @@ let serve_cmd =
     Term.(
       ret
         (const run $ id $ n $ dir $ listen $ peers $ ae_period $ seed
-       $ checkpoint_every $ max_runtime))
+       $ checkpoint_every $ max_runtime $ max_sessions))
 
 (* ------------------------------------------------------------------ *)
 (* cluster                                                             *)
@@ -1033,7 +1041,15 @@ let cluster_cmd =
       & info [ "deadline" ] ~docv:"SECS"
           ~doc:"Seconds to wait for convergence before failing.")
   in
-  let run n kind dir updates kill no_kill seed deadline =
+  let max_sessions =
+    Arg.(
+      value & opt int 4
+      & info [ "max-sessions" ] ~docv:"K"
+          ~doc:
+            "Concurrent anti-entropy sessions per daemon (clamped to n-1 \
+             peers).")
+  in
+  let run n kind dir updates kill no_kill seed deadline max_sessions =
     if n < 2 then `Error (true, "--n must be at least 2")
     else begin
       let dir =
@@ -1053,7 +1069,7 @@ let cluster_cmd =
         (match kind with `Unix -> "unix" | `Tcp -> "tcp")
         dir;
       let h =
-        Harness.start ~kind ~seed ~max_runtime:(deadline +. 60.0) ~dir ~n ()
+        Harness.start ~kind ~seed ~max_runtime:(deadline +. 60.0) ~max_sessions ~dir ~n ()
       in
       Fun.protect
         ~finally:(fun () -> Harness.shutdown h)
@@ -1137,7 +1153,7 @@ let cluster_cmd =
     Term.(
       ret
         (const run $ n $ kind $ dir $ updates $ kill $ no_kill $ seed
-       $ deadline))
+       $ deadline $ max_sessions))
 
 (* ------------------------------------------------------------------ *)
 (* demo                                                                *)

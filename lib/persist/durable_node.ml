@@ -18,6 +18,13 @@ type t = {
      recovered DBVVs — acknowledgements are deliberately not persisted,
      exactly as AcceptPropagation re-judges freshness on replay. *)
   mutable membership : membership_op list;
+  (* Group commit (opt-in, daemon event loop): with [group_commit] set,
+     [journal] appends without flushing and [sync] releases the whole
+     batch with one flush. [unsynced] counts records owed to the next
+     sync. Default off: every other caller keeps the append-is-flushed
+     commit point. *)
+  mutable group_commit : bool;
+  mutable unsynced : int;
 }
 
 let snapshot_path dir = Filename.concat dir "node.snap"
@@ -153,14 +160,35 @@ let open_or_create ?policy ?mode ?(shards = 1) ~dir ~id ~n () =
               wal;
               journal_records = replay_result.records;
               membership = List.rev !membership;
+              group_commit = false;
+              unsynced = 0;
             },
             replay_result ))
 
 let node t = t.node
 
 let journal t record =
-  Wal.append t.wal record;
+  Wal.append ~flush:(not t.group_commit) t.wal record;
+  if t.group_commit then t.unsynced <- t.unsynced + 1;
   t.journal_records <- t.journal_records + 1
+
+(* Sync releases the current group-commit batch; under group commit the
+   sync — not the append — is the commit point, and a crash between
+   them recovers to the state before every unsynced record, exactly as
+   if those sessions never ran (each journal record is one complete
+   session effect, appended in completion order, so the synced prefix
+   is always a valid history). *)
+let sync t =
+  if t.unsynced > 0 then begin
+    Wal.sync t.wal;
+    t.unsynced <- 0
+  end
+
+let unsynced_records t = t.unsynced
+
+let set_group_commit t enabled =
+  if (not enabled) && t.group_commit then sync t;
+  t.group_commit <- enabled
 
 let update t item op =
   journal t (encode_update item op);
@@ -235,6 +263,7 @@ let retire_component t ~slot ~name =
 let membership_log t = t.membership
 
 let checkpoint t =
+  sync t;
   Snapshot.save t.node ~path:(snapshot_path t.dir);
   Wal.close_writer t.wal;
   Wal.reset ~path:(wal_path t.dir);

@@ -100,8 +100,30 @@ val membership_log : t -> membership_op list
     process. After a crash the membership layer uses this to rebuild
     its view (epoch, roster) before re-judging fences. *)
 
+val set_group_commit : t -> bool -> unit
+(** Switch group commit on or off (default off). While on, journal
+    appends buffer in the WAL channel and the caller owes a {!sync}
+    before acting on the journaled state externally — the sync, not the
+    append, becomes the commit point, and a crash before it recovers to
+    the state before every unsynced record (each record is one complete
+    session effect, appended in completion order, so the synced prefix
+    is always a valid pre/post-session history). Turning group commit
+    off syncs any pending batch first. *)
+
+val sync : t -> unit
+(** Release the current group-commit batch with one WAL flush. The
+    daemon calls this once per event-loop turn, after every handler has
+    journaled and before any reply buffered in that turn is written to
+    a socket — so no reply ever precedes the durability of its commit
+    record. A no-op when nothing is pending. *)
+
+val unsynced_records : t -> int
+(** Journal records appended since the last {!sync} (0 unless group
+    commit is on). *)
+
 val checkpoint : t -> unit
-(** Write a fresh snapshot atomically and reset the journal. *)
+(** Write a fresh snapshot atomically and reset the journal (syncing
+    any pending group-commit batch first). *)
 
 val journal_records : t -> int
 (** Records appended to the journal since the last checkpoint. *)

@@ -17,7 +17,7 @@ let open_writer ~path =
 
 module Fault = Edb_fault.Fault
 
-let append w record =
+let append ?(flush = true) w record =
   let header = Bytes.create 8 in
   Bytes.set_int64_le header 0 (Int64.of_int (String.length record));
   output_bytes w.channel header;
@@ -29,7 +29,7 @@ let append w record =
        yet, finish the frame normally (a mid-frame flush is invisible). *)
     let half = String.length record / 2 in
     output_string w.channel (String.sub record 0 half);
-    flush w.channel;
+    Stdlib.flush w.channel;
     Fault.hit "wal.append.partial";
     output_string w.channel (String.sub record half (String.length record - half))
   end
@@ -37,7 +37,16 @@ let append w record =
   let trailer = Bytes.create 4 in
   Bytes.set_int32_le trailer 0 (Int32.of_int (adler32 record));
   output_bytes w.channel trailer;
-  flush w.channel
+  if flush then Stdlib.flush w.channel
+
+(* Group commit: callers append several records with [~flush:false] and
+   release the whole batch with one [sync]. Until the sync, the records
+   live in the channel buffer only — a crash loses the unsynced suffix
+   as if those appends never happened (each is a complete frame, so
+   replay stops cleanly at the synced prefix, or at worst in the torn
+   tail of the record being written when the crash hit the flush
+   itself). *)
+let sync w = Stdlib.flush w.channel
 
 let close_writer w = close_out w.channel
 

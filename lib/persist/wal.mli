@@ -28,11 +28,21 @@ val open_writer : path:string -> writer
 (** [open_writer ~path] opens (creating if needed) the log for
     appending. *)
 
-val append : writer -> string -> unit
-(** [append w record] frames, writes and flushes one record. Carries
-    the ["wal.append.partial"] failpoint ({!Edb_fault.Fault}): when it
-    fires, the header and half the payload are flushed and the append
-    "crashes" by raising, leaving a torn tail on disk. *)
+val append : ?flush:bool -> writer -> string -> unit
+(** [append w record] frames, writes and flushes one record. With
+    [~flush:false] the frame is written to the channel buffer but not
+    flushed — the caller owes a later {!sync} (group commit); a crash
+    before the sync loses the unsynced suffix as if those appends never
+    happened. Carries the ["wal.append.partial"] failpoint
+    ({!Edb_fault.Fault}): when it fires, the header and half the
+    payload are flushed and the append "crashes" by raising, leaving a
+    torn tail on disk. *)
+
+val sync : writer -> unit
+(** [sync w] flushes every record appended so far to the OS — the
+    commit point for a group-commit batch built with
+    [append ~flush:false]. Idempotent; a no-op when nothing is
+    pending. *)
 
 val close_writer : writer -> unit
 

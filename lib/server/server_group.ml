@@ -105,10 +105,18 @@ let sync_database_wire ?(domains = 1) t ~db =
    separate PRNGs (deterministically seeded at creation), separate
    counters — so fanning work out over domains cannot race and the
    result is bitwise-identical to the sequential order: tasks are
-   indexed up front and each domain writes only its own slots. *)
+   indexed up front and each domain writes only its own slots.
+
+   Workers are clamped to the runtime's recommended domain count: on a
+   single-core container [~domains:4] must degrade to the sequential
+   [Array.map] at zero overhead, not spawn three domains (~1 ms each)
+   that only contend for the one CPU — that spawn cost was the whole
+   `e16 sync-all domains=4` regression. *)
 let parallel_map ~domains f items =
   let len = Array.length items in
-  let workers = min (max 1 domains) len in
+  let workers =
+    min (min (max 1 domains) (Domain.recommended_domain_count ())) len
+  in
   if workers <= 1 then Array.map f items
   else begin
     let results = Array.make len None in

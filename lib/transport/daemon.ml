@@ -14,11 +14,16 @@ module T = Socket_transport
 (* One protocol node as a process: a {!Durable_node} (WAL + checkpoint)
    served over a {!Socket_transport} select loop. The daemon is both
    sides of the protocol at once — it answers inbound requests and
-   pushes, and runs its own anti-entropy timer as the initiator — so
-   the session state machine here must not block: an in-flight session
-   is just another fd in the select set, with its reply deadline and
-   backoff handled as timers. The timeout/retry arithmetic is the
-   shared {!Transport.Flow}; the counter charges are the shared
+   pushes, and runs its own anti-entropy timer as the initiator — and
+   nothing in the loop may block: up to [max_sessions] initiator
+   sessions are in flight at once (a table of per-peer state machines,
+   each just another fd in the select set with its reply deadline and
+   backoff handled as timers), every connection is non-blocking with a
+   per-connection output buffer (writable-fd interest, partial-write
+   resumption), and the WAL group-commits once per loop turn — no
+   record buffered for a peer is released to the wire before the batch
+   holding its commit record is durable. The timeout/retry arithmetic
+   is the shared {!Transport.Flow}; the counter charges are the shared
    {!Transport.Charge}. *)
 
 module Config = struct
@@ -34,12 +39,26 @@ module Config = struct
     seed : int;
     checkpoint_every : int;
     max_runtime : float option;
+    max_sessions : int;
   }
 
   let make ?(ae_period = 0.05) ?(retry = { Transport.default_retry_policy with timeout = 0.5 })
-      ?push ?(seed = 1) ?(checkpoint_every = 0) ?max_runtime ~id ~n ~dir ~listen ~peers
-      () =
-    { id; n; dir; listen; peers; ae_period; retry; push; seed; checkpoint_every; max_runtime }
+      ?push ?(seed = 1) ?(checkpoint_every = 0) ?max_runtime ?(max_sessions = 4) ~id ~n
+      ~dir ~listen ~peers () =
+    {
+      id;
+      n;
+      dir;
+      listen;
+      peers;
+      ae_period;
+      retry;
+      push;
+      seed;
+      checkpoint_every;
+      max_runtime;
+      max_sessions = max 1 max_sessions;
+    }
 end
 
 (* The client-facing control protocol, one {!Codec} envelope per
@@ -144,9 +163,10 @@ module Control = struct
     reply
 end
 
-(* The initiator-side session state machine, one at a time: either an
-   attempt is in flight (a dialed connection with a reply deadline) or
-   the session sits in its backoff window waiting to re-dial. *)
+(* An initiator-side session state machine, one per peer, at most
+   [max_sessions] at a time: either an attempt is in flight (a dialed
+   non-blocking connection with a reply deadline) or the session sits
+   in its backoff window waiting to re-dial. *)
 type session = {
   s_peer : int;
   mutable attempt : int;
@@ -162,8 +182,18 @@ type t = {
   channel : Channel.t option;
   prng : Prng.t;
   started : float;
+  (* Accepted connections: peers' sessions and push streams, control
+     clients. Non-blocking; a freshly accepted one is anonymous
+     ([T.peer conn = -1]) until its handshake arrives via read. *)
   mutable conns : T.conn list;
-  mutable session : session option;
+  (* In-flight initiator sessions, keyed by peer — the single
+     [mutable session : session option] this table replaced is the
+     [max_sessions = 1] special case. *)
+  sessions : (int, session) Hashtbl.t;
+  (* Persistent non-blocking push connections, one per peer dialed on
+     first flush: a slow push peer accumulates buffered frames (up to
+     the transport's cap) instead of stalling the loop. *)
+  push_conns : (int, T.conn) Hashtbl.t;
   mutable next_ae : float;
   mutable next_push : float;
   mutable quit : bool;
@@ -180,9 +210,9 @@ let close_session_conn s =
     s.sconn <- None
   | None -> ()
 
-let session_done t =
-  (match t.session with Some s -> close_session_conn s | None -> ());
-  t.session <- None
+let session_done t s =
+  close_session_conn s;
+  Hashtbl.remove t.sessions s.s_peer
 
 (* A failed attempt — refused dial, send error, reply deadline passed,
    peer closed mid-session, corrupt reply — all funnel here, mirroring
@@ -194,7 +224,7 @@ let session_attempt_failed t s =
   match Transport.Flow.on_timeout t.config.Config.retry ~attempt:s.attempt with
   | Transport.Flow.Abandon ->
     c.Counters.sessions_abandoned <- c.Counters.sessions_abandoned + 1;
-    t.session <- None
+    Hashtbl.remove t.sessions s.s_peer
   | Transport.Flow.Retry { attempt; backoff } ->
     c.Counters.retries <- c.Counters.retries + 1;
     s.attempt <- attempt;
@@ -207,7 +237,11 @@ let dial_session t s =
   let nd = node t in
   Transport.Charge.dial ~retry:(s.attempt > 0) (counters t);
   s.retry_at <- 0.0;
-  match T.connect t.transport ~peer:s.s_peer with
+  (* Non-blocking dial: the handshake and request only enter the
+     connection's output buffer here; the loop's flush phase drives
+     them out, and a connect still in progress just reports [`Blocked]
+     until the kernel finishes it. *)
+  match T.dial t.transport ~peer:s.s_peer with
   | Error _ -> session_attempt_failed t s
   | Ok conn -> (
     (* Re-encode per attempt: fresh request id, current vectors. *)
@@ -222,24 +256,60 @@ let dial_session t s =
       s.deadline <- Unix.gettimeofday () +. t.config.Config.retry.Transport.timeout)
 
 let start_session t ~peer =
-  if t.session = None then begin
+  if not (Hashtbl.mem t.sessions peer) then begin
     let s = { s_peer = peer; attempt = 0; sconn = None; deadline = 0.0; retry_at = 0.0 } in
-    t.session <- Some s;
+    Hashtbl.replace t.sessions peer s;
     dial_session t s
   end
 
 let session_reply t s frame =
   match Frame.decode_reply (node t) ~src:s.s_peer frame with
-  | Frame.Nak _ | Frame.Reply (Message.You_are_current, _) -> session_done t
+  | Frame.Nak _ | Frame.Reply (Message.You_are_current, _) -> session_done t s
   | Frame.Reply (reply, _) ->
     Durable_node.accept_reply t.durable ~source:s.s_peer reply;
-    session_done t
+    session_done t s
   | exception Codec.Reader.Corrupt _ -> session_attempt_failed t s
 
-let random_peer t =
-  let n = t.config.Config.n in
-  let peer = Prng.int t.prng (n - 1) in
-  if peer >= t.config.Config.id then peer + 1 else peer
+let session_capacity t = min t.config.Config.max_sessions (t.config.Config.n - 1)
+
+(* Each anti-entropy tick tops the session table up to capacity with
+   uniformly chosen distinct peers that are not already in-session —
+   with [max_sessions = 1] this is exactly the old one-random-peer
+   tick. *)
+let top_up_sessions t =
+  let cap = session_capacity t in
+  let active = Hashtbl.length t.sessions in
+  if cap > active then begin
+    let free = ref [] in
+    for p = t.config.Config.n - 1 downto 0 do
+      if p <> t.config.Config.id && not (Hashtbl.mem t.sessions p) then free := p :: !free
+    done;
+    let free = Array.of_list !free in
+    let avail = Array.length free in
+    let need = min (cap - active) avail in
+    for k = 0 to need - 1 do
+      let j = k + Prng.int t.prng (avail - k) in
+      let picked = free.(j) in
+      free.(j) <- free.(k);
+      free.(k) <- picked;
+      start_session t ~peer:picked
+    done
+  end
+
+let drop_push_conn t dst conn =
+  T.close_conn conn;
+  Hashtbl.remove t.push_conns dst
+
+let push_conn t dst =
+  match Hashtbl.find_opt t.push_conns dst with
+  | Some conn -> Some conn
+  | None -> (
+    Transport.Charge.dial (counters t);
+    match T.dial t.transport ~peer:dst with
+    | Error _ -> None
+    | Ok conn ->
+      Hashtbl.replace t.push_conns dst conn;
+      Some conn)
 
 let flush_push t =
   match t.channel with
@@ -250,14 +320,15 @@ let flush_push t =
       (fun (dst, updates) ->
         let frame = Frame.encode_push nd ~dst updates in
         Transport.Charge.push nd ~updates frame;
-        Transport.Charge.dial (counters t);
-        (* Best effort end to end: a refused dial or failed write is a
-           lost push frame, repaired by anti-entropy. *)
-        match T.connect t.transport ~peer:dst with
-        | Error _ -> ()
-        | Ok conn ->
-          let (_ : (unit, string) result) = T.send conn (Transport.Record.frame frame) in
-          T.close_conn conn)
+        (* Best effort end to end: a refused dial, a dead stream or an
+           overflowing buffer is a lost push frame, repaired by
+           anti-entropy. *)
+        match push_conn t dst with
+        | None -> ()
+        | Some conn -> (
+          match T.send conn (Transport.Record.frame frame) with
+          | Ok () -> ()
+          | Error _ -> drop_push_conn t dst conn))
       (Channel.flush channel ~ready:(fun peer -> Frame.push_ready nd ~dst:peer))
 
 let handle_control t conn payload =
@@ -341,6 +412,9 @@ let create config =
     | Ok transport ->
       let now = Unix.gettimeofday () in
       let channel = Option.map (fun c -> Channel.create ~config:c (Durable_node.node durable)) push in
+      (* Group commit: handlers journal with the batch open, one WAL
+         flush per loop turn releases it (see [finalize_turn]). *)
+      Durable_node.set_group_commit durable true;
       Ok
         {
           config;
@@ -350,7 +424,8 @@ let create config =
           prng = Prng.create ~seed:(seed + id);
           started = now;
           conns = [];
-          session = None;
+          sessions = Hashtbl.create 8;
+          push_conns = Hashtbl.create 8;
           (* Stagger first rounds so an N-process boot doesn't dial in
              lockstep. *)
           next_ae = now +. (config.Config.ae_period *. (1.0 +. (float_of_int id /. float_of_int n)));
@@ -361,17 +436,62 @@ let create config =
 
 let listen_addr t = T.listen_addr t.transport
 
+let all_sessions t = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions []
+
+(* The turn's closing barrier, in this order: one WAL flush commits
+   every record the turn's handlers journaled (group commit), and only
+   then is any buffered output released to the wire — so no reply, ack
+   or push ever reaches a peer before the batch holding its commit
+   record is durable. A write error on flush is the connection's
+   failure point: sessions funnel it through the retry machinery,
+   server and push connections are dropped. *)
+let finalize_turn t =
+  Durable_node.sync t.durable;
+  t.conns <-
+    List.filter
+      (fun conn ->
+        (not (T.want_write conn))
+        ||
+        match T.flush_output conn with
+        | `Drained | `Blocked -> true
+        | `Error _ ->
+          T.close_conn conn;
+          false)
+      t.conns;
+  List.iter
+    (fun s ->
+      match s.sconn with
+      | Some conn when T.want_write conn -> (
+        match T.flush_output conn with
+        | `Drained | `Blocked -> ()
+        | `Error _ -> session_attempt_failed t s)
+      | _ -> ())
+    (all_sessions t);
+  let dead_push =
+    Hashtbl.fold
+      (fun dst conn acc ->
+        if not (T.want_write conn) then acc
+        else
+          match T.flush_output conn with
+          | `Drained | `Blocked -> acc
+          | `Error _ -> (dst, conn) :: acc)
+      t.push_conns []
+  in
+  List.iter (fun (dst, conn) -> drop_push_conn t dst conn) dead_push
+
 let step t =
   let now = Unix.gettimeofday () in
   (* Timers first: they may start or fail sessions, changing the fd
      set select should watch. *)
-  (match t.session with
-  | Some s when s.sconn = None && s.retry_at > 0.0 && now >= s.retry_at -> dial_session t s
-  | Some s when s.sconn <> None && now >= s.deadline -> session_attempt_failed t s
-  | _ -> ());
+  List.iter
+    (fun s ->
+      if Hashtbl.mem t.sessions s.s_peer then
+        if s.sconn = None && s.retry_at > 0.0 && now >= s.retry_at then dial_session t s
+        else if s.sconn <> None && now >= s.deadline then session_attempt_failed t s)
+    (all_sessions t);
   if now >= t.next_ae then begin
     t.next_ae <- now +. t.config.Config.ae_period;
-    if t.config.Config.n > 1 then start_session t ~peer:(random_peer t)
+    if t.config.Config.n > 1 then top_up_sessions t
   end;
   if now >= t.next_push then begin
     (match t.channel with
@@ -385,34 +505,54 @@ let step t =
   (match t.config.Config.max_runtime with
   | Some limit when now -. t.started >= limit -> t.quit <- true
   | _ -> ());
-  if t.quit then ()
+  if t.quit then finalize_turn t
   else begin
     let next_timer =
-      List.fold_left min t.next_ae
-        [
-          t.next_push;
-          (match t.session with
-          | Some s when s.sconn <> None -> s.deadline
-          | Some s when s.retry_at > 0.0 -> s.retry_at
-          | _ -> infinity);
-        ]
+      Hashtbl.fold
+        (fun _ s acc ->
+          min acc
+            (if s.sconn <> None then s.deadline
+             else if s.retry_at > 0.0 then s.retry_at
+             else infinity))
+        t.sessions
+        (min t.next_ae t.next_push)
     in
     let wait = Float.max 0.0 (Float.min 0.25 (next_timer -. now)) in
-    let server_fds = List.map T.fd t.conns in
-    let session_fd =
-      match t.session with Some { sconn = Some c; _ } -> [ T.fd c ] | _ -> []
+    let session_conns =
+      Hashtbl.fold
+        (fun _ s acc -> match s.sconn with Some c -> (s, c) :: acc | None -> acc)
+        t.sessions []
     in
+    let push_streams = Hashtbl.fold (fun dst c acc -> (dst, c) :: acc) t.push_conns [] in
     let listen_fds = match T.listen_fd t.transport with Some fd -> [ fd ] | None -> [] in
+    let read_fds =
+      listen_fds @ List.map T.fd t.conns
+      @ List.map (fun (_, c) -> T.fd c) session_conns
+      @ List.map (fun (_, c) -> T.fd c) push_streams
+    in
+    (* Writable interest only where output is actually pending — a
+       connection with a drained buffer costs select nothing. *)
+    let write_interest conns = List.filter_map (fun c -> if T.want_write c then Some (T.fd c) else None) conns in
+    let write_fds =
+      write_interest t.conns
+      @ write_interest (List.map snd session_conns)
+      @ write_interest (List.map snd push_streams)
+    in
     let readable, _, _ =
-      try Unix.select (listen_fds @ server_fds @ session_fd) [] [] wait
+      try Unix.select read_fds write_fds [] wait
       with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
     in
     let is_readable fd = List.memq fd readable in
     (match T.listen_fd t.transport with
-    | Some lfd when is_readable lfd -> (
-      match T.accept ~timeout:0.0 t.transport with
-      | Ok conn -> t.conns <- conn :: t.conns
-      | Error _ -> ())
+    | Some lfd when is_readable lfd ->
+      let rec accept_loop () =
+        match T.accept_nonblocking t.transport with
+        | Ok (Some conn) ->
+          t.conns <- conn :: t.conns;
+          accept_loop ()
+        | Ok None | Error _ -> ()
+      in
+      accept_loop ()
     | _ -> ());
     t.conns <-
       List.filter
@@ -425,31 +565,62 @@ let step t =
               T.close_conn conn;
               false)
         t.conns;
-    match t.session with
-    | Some ({ sconn = Some conn; _ } as s) when is_readable (T.fd conn) -> (
-      let on_record t _conn record =
-        match Transport.Record.classify record with
-        | Ok (Transport.Record.Frame frame) -> (
-          (* [session_reply] may close the connection; further buffered
-             records on it are duplicates and drop with it. *)
-          match t.session with
-          | Some s' when s' == s && s'.sconn <> None -> session_reply t s frame
-          | _ -> ())
-        | Ok (Transport.Record.Control _) | Error _ -> ()
-      in
-      match service_conn t conn ~on_record with
-      | `Open -> ()
-      | `Closed -> (
-        match t.session with
-        | Some s' when s' == s && s'.sconn <> None -> session_attempt_failed t s
-        | _ -> ()))
-    | _ -> ()
+    List.iter
+      (fun (s, conn) ->
+        if is_readable (T.fd conn) then begin
+          let on_record t _conn record =
+            match Transport.Record.classify record with
+            | Ok (Transport.Record.Frame frame) -> (
+              (* [session_reply] may close the connection; further
+                 buffered records on it are duplicates and drop with
+                 it. *)
+              match Hashtbl.find_opt t.sessions s.s_peer with
+              | Some s' when s' == s && s'.sconn <> None -> session_reply t s frame
+              | _ -> ())
+            | Ok (Transport.Record.Control _) | Error _ -> ()
+          in
+          match service_conn t conn ~on_record with
+          | `Open -> ()
+          | `Closed -> (
+            match Hashtbl.find_opt t.sessions s.s_peer with
+            | Some s' when s' == s && s'.sconn <> None -> session_attempt_failed t s
+            | _ -> ())
+        end)
+      session_conns;
+    (* Push streams are write-only; a readable one is the peer closing
+       (or resetting) it. *)
+    List.iter
+      (fun (dst, conn) ->
+        if is_readable (T.fd conn) then
+          match T.read_into conn with
+          | `Eof | `Error _ -> drop_push_conn t dst conn
+          | `Data -> ())
+      push_streams;
+    finalize_turn t
   end
 
 let shutdown t =
-  session_done t;
+  (* Give pending output — typically the ack to the Quit that got us
+     here — a brief, bounded chance to drain. *)
+  let deadline = Unix.gettimeofday () +. 0.2 in
+  let rec drain () =
+    let pending = List.filter T.want_write t.conns in
+    if pending <> [] && Unix.gettimeofday () < deadline then begin
+      (try ignore (Unix.select [] (List.map T.fd pending) [] 0.05)
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      List.iter
+        (fun conn -> ignore (T.flush_output conn : [ `Drained | `Blocked | `Error of string ]))
+        pending;
+      drain ()
+    end
+  in
+  drain ();
+  List.iter (fun s -> close_session_conn s) (all_sessions t);
+  Hashtbl.reset t.sessions;
   List.iter T.close_conn t.conns;
   t.conns <- [];
+  Hashtbl.iter (fun _ conn -> T.close_conn conn) t.push_conns;
+  Hashtbl.reset t.push_conns;
   (match t.channel with Some c -> Channel.detach c | None -> ());
   T.close t.transport;
   Durable_node.close t.durable

@@ -2,15 +2,20 @@
     {!Edb_persist.Durable_node} (WAL + checkpoints) served over a
     {!Socket_transport} select loop — the `edb_cli serve` engine.
 
-    The daemon is both protocol sides at once. Passively it answers
-    requests (reply or nak) and applies pushes, journaling before
-    applying. Actively it runs an anti-entropy timer that pulls from a
-    random peer through the shared session machinery — one in-flight
-    session whose reply deadline, retries and abandonment are timers
-    in the same select loop ({!Transport.Flow} arithmetic,
-    {!Transport.Charge} counters), so a slow peer never stops this
-    node from serving. An optional push channel flushes on its own
-    cadence, fire-and-forget.
+    The daemon is both protocol sides at once, and nothing in its loop
+    blocks. Passively it answers requests (reply or nak) and applies
+    pushes, journaling before applying. Actively each anti-entropy
+    tick tops a table of per-peer initiator sessions up to
+    [max_sessions] distinct random peers — every in-flight session is
+    just another fd in the select set, its reply deadline, retries and
+    abandonment handled as timers ({!Transport.Flow} arithmetic,
+    {!Transport.Charge} counters). Every connection is non-blocking
+    with a per-connection output buffer (writable-fd interest,
+    partial-write resumption), so a slow peer never stops this node
+    from serving; and the WAL group-commits once per loop turn — no
+    buffered reply is released to the wire before the batch holding
+    its commit record is durable. An optional push channel flushes on
+    its own cadence over persistent per-peer streams, fire-and-forget.
 
     Control clients (the {!Harness}, `edb_cli cluster`) speak
     {!Control} records over the same listening socket. *)
@@ -32,6 +37,9 @@ module Config : sig
     max_runtime : float option;
         (** Self-terminate after this many seconds — the timeout
             guard for scripted runs. *)
+    max_sessions : int;
+        (** Concurrent initiator sessions the anti-entropy timer keeps
+            in flight (clamped to [n - 1] live peers; at least 1). *)
   }
 
   val make :
@@ -41,6 +49,7 @@ module Config : sig
     ?seed:int ->
     ?checkpoint_every:int ->
     ?max_runtime:float ->
+    ?max_sessions:int ->
     id:int ->
     n:int ->
     dir:string ->
@@ -50,7 +59,7 @@ module Config : sig
     t
   (** Defaults: 50 ms anti-entropy, the default retry policy tightened
       to a 0.5 s per-attempt timeout, no push, no auto-checkpoint, no
-      runtime bound. *)
+      runtime bound, 4 concurrent sessions. *)
 end
 
 (** The client-facing control protocol: one {!Edb_persist.Codec}

@@ -77,7 +77,8 @@ let spawn t i =
   | pid -> proc.pid <- Some pid
 
 let start ?(kind = `Unix) ?(ae_period = 0.03) ?retry ?push ?(seed = 1)
-    ?(checkpoint_every = 0) ?(max_runtime = 120.0) ?(control_timeout = 5.0) ~dir ~n () =
+    ?(checkpoint_every = 0) ?(max_runtime = 120.0) ?(control_timeout = 5.0) ?max_sessions
+    ~dir ~n () =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let addrs =
@@ -100,7 +101,7 @@ let start ?(kind = `Unix) ?(ae_period = 0.03) ?retry ?push ?(seed = 1)
   in
   let make_config i =
     Daemon.Config.make ~ae_period ?retry ?push ~seed:(seed + (1000 * i)) ~checkpoint_every
-      ~max_runtime ~id:i ~n ~dir:procs.(i).p_dir ~listen:addrs.(i)
+      ~max_runtime ?max_sessions ~id:i ~n ~dir:procs.(i).p_dir ~listen:addrs.(i)
       ~peers:(List.filter (fun (j, _) -> j <> i) all_peers)
       ()
   in

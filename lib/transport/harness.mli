@@ -24,6 +24,7 @@ val start :
   ?checkpoint_every:int ->
   ?max_runtime:float ->
   ?control_timeout:float ->
+  ?max_sessions:int ->
   dir:string ->
   n:int ->
   unit ->
@@ -32,7 +33,9 @@ val start :
     state subdirectory and — for [`Unix] — one socket per node).
     Daemons self-terminate after [max_runtime] (default 120 s), the
     harness's outermost hang guard. Control dials retry for
-    [control_timeout] (default 5 s), covering daemon boot time. *)
+    [control_timeout] (default 5 s), covering daemon boot time.
+    [max_sessions] is passed through to every daemon (the concurrent
+    anti-entropy fan-out; the daemon's default is 4). *)
 
 val running : t -> node:int -> bool
 

@@ -48,16 +48,36 @@ type t = {
   peers : (int * addr) list;
   listen_fd : Unix.file_descr option;
   mutable listen_addr : addr option;
+  mutable listen_nonblock : bool;
   mutable closed : bool;
 }
 
 type conn = {
   fd : Unix.file_descr;
-  peer_id : int;
+  (* -1 on an accepted non-blocking connection until its inbound
+     handshake completes ([hs_need] reaches 0). *)
+  mutable peer_id : int;
   reader : Frame.Reader.t;
   chunk : Bytes.t;
   mutable conn_closed : bool;
+  mutable nonblocking : bool;
+  (* Pending output. [send] on a non-blocking connection only appends
+     here (coalescing any number of records); [flush_output] pushes the
+     bytes with as few write(2) calls as the socket accepts, resuming
+     mid-record across calls via [out_pos] (the consumed prefix). *)
+  out : Buffer.t;
+  mutable out_pos : int;
+  (* Inbound handshake bytes still owed (accepted non-blocking
+     connections read their 8-byte handshake through the same
+     [read_into] path as records). *)
+  mutable hs_need : int;
+  hs_buf : Bytes.t;
 }
+
+(* A slow peer that stops reading accumulates output here; past this
+   cap the connection is declared broken rather than letting one peer
+   grow the buffer without bound. *)
+let max_pending_output = 8 * 1024 * 1024
 
 let chunk_size = 65536
 
@@ -115,7 +135,16 @@ let decode_handshake s =
 
 let create ?listen ~id ~peers () =
   match listen with
-  | None -> Ok { ep_id = id; peers; listen_fd = None; listen_addr = None; closed = false }
+  | None ->
+    Ok
+      {
+        ep_id = id;
+        peers;
+        listen_fd = None;
+        listen_addr = None;
+        listen_nonblock = false;
+        closed = false;
+      }
   | Some addr -> (
     match
       unix_result (fun () ->
@@ -144,6 +173,7 @@ let create ?listen ~id ~peers () =
           peers;
           listen_fd = Some fd;
           listen_addr = Some bound;
+          listen_nonblock = false;
           closed = false;
         })
 
@@ -154,7 +184,18 @@ let listen_addr t = t.listen_addr
 let listen_fd t = t.listen_fd
 
 let make_conn fd peer_id =
-  { fd; peer_id; reader = Frame.Reader.create (); chunk = Bytes.create chunk_size; conn_closed = false }
+  {
+    fd;
+    peer_id;
+    reader = Frame.Reader.create ();
+    chunk = Bytes.create chunk_size;
+    conn_closed = false;
+    nonblocking = false;
+    out = Buffer.create 256;
+    out_pos = 0;
+    hs_need = 0;
+    hs_buf = Bytes.create handshake_len;
+  }
 
 let connect t ~peer =
   match List.assoc_opt peer t.peers with
@@ -208,19 +249,168 @@ let accept ?timeout t =
           e)
       | exception Failure msg -> Error msg)
 
+(* ------------------------------------------------------------------ *)
+(* Non-blocking surface: dial, deferred-handshake accept, buffered     *)
+(* sends with partial-write resumption.                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Dial a peer without blocking: the connect is issued non-blocking
+   (EINPROGRESS is success-so-far) and the outbound handshake is queued
+   in the output buffer rather than written inline, so the caller's
+   event loop drives it out through [flush_output] alongside whatever
+   records it coalesces behind it. A connect failure that the kernel
+   can report immediately (ECONNREFUSED on a Unix socket, no listener)
+   still surfaces here as [Error]; late failures surface from the first
+   flush or read. *)
+let dial t ~peer =
+  match List.assoc_opt peer t.peers with
+  | None -> Error (Printf.sprintf "no address for peer %d" peer)
+  | Some addr ->
+    unix_result (fun () ->
+        let fd = Unix.socket (domain_of_addr addr) Unix.SOCK_STREAM 0 in
+        match
+          Unix.set_nonblock fd;
+          (try Unix.connect fd (sockaddr_of_addr addr)
+           with
+           | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+           -> ());
+          let conn = make_conn fd peer in
+          conn.nonblocking <- true;
+          Buffer.add_string conn.out (encode_handshake t.ep_id);
+          conn
+        with
+        | conn -> conn
+        | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e)
+
+(* Accept without blocking (the listening fd is switched to
+   non-blocking on first use): [Ok None] means nothing was pending —
+   including the benign race where the peer aborted between select and
+   accept. The inbound handshake is *not* read here; the connection
+   starts with [peer conn = -1] and learns its identity through
+   [read_into] once the 8 bytes arrive, so a peer that stalls its
+   handshake cannot stall the loop. *)
+let accept_nonblocking t =
+  match t.listen_fd with
+  | None -> Error "endpoint is not listening"
+  | Some lfd -> (
+    if not t.listen_nonblock then begin
+      Unix.set_nonblock lfd;
+      t.listen_nonblock <- true
+    end;
+    match retry_eintr (fun () -> Unix.accept lfd) with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      let conn = make_conn fd (-1) in
+      conn.nonblocking <- true;
+      conn.hs_need <- handshake_len;
+      Ok (Some conn)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+    -> Ok None
+    | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+
+let pending_output conn = Buffer.length conn.out - conn.out_pos
+
+let want_write conn = pending_output conn > 0
+
+let handshake_done conn = conn.hs_need = 0 && conn.peer_id >= 0
+
+(* Push buffered output out with as few write(2) calls as the socket
+   accepts. [`Blocked] (EAGAIN et al., including a connect still in
+   progress) leaves the unsent suffix for the next call — partial
+   writes resume at [out_pos], possibly mid-record; the receiving
+   Frame.Reader reassembles regardless of where the split landed. *)
+let flush_output conn =
+  let len = Buffer.length conn.out in
+  if conn.out_pos >= len then `Drained
+  else begin
+    let data = Buffer.to_bytes conn.out in
+    let result =
+      let rec loop () =
+        let remaining = len - conn.out_pos in
+        if remaining = 0 then `Drained
+        else
+          match Unix.write conn.fd data conn.out_pos remaining with
+          | 0 -> `Error "write: wrote 0 bytes"
+          | n ->
+            conn.out_pos <- conn.out_pos + n;
+            loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | exception
+              Unix.Unix_error
+                ( (Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINPROGRESS | Unix.ENOTCONN),
+                  _,
+                  _ ) -> `Blocked
+          | exception Unix.Unix_error (e, fn, _) ->
+            `Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+      in
+      loop ()
+    in
+    (match result with
+    | `Drained ->
+      Buffer.clear conn.out;
+      conn.out_pos <- 0
+    | `Blocked when conn.out_pos > chunk_size ->
+      (* Compact a long-consumed prefix so a slow peer doesn't keep the
+         whole history buffered. *)
+      let rest = Bytes.sub_string data conn.out_pos (len - conn.out_pos) in
+      Buffer.clear conn.out;
+      Buffer.add_string conn.out rest;
+      conn.out_pos <- 0
+    | `Blocked | `Error _ -> ());
+    result
+  end
+
+(* On a non-blocking connection [send] only buffers — no syscall — so
+   records queued while a group-commit batch is open cannot reach the
+   wire before the loop's WAL sync; the event loop releases them
+   afterwards via [flush_output], coalesced into one write. Blocking
+   connections keep the write-it-now semantics. *)
 let send conn record =
-  match unix_result (fun () -> write_all conn.fd (Frame.to_wire record)) with
-  | Ok () -> Ok ()
-  | Error _ as e -> e
+  if conn.nonblocking then begin
+    if pending_output conn > max_pending_output then
+      Error "output buffer overflow (slow peer)"
+    else begin
+      Buffer.add_string conn.out (Frame.to_wire record);
+      Ok ()
+    end
+  end
+  else
+    match unix_result (fun () -> write_all conn.fd (Frame.to_wire record)) with
+    | Ok () -> Ok ()
+    | Error _ as e -> e
 
 (* One read(2) into the reassembly reader. [`Data] includes reads that
-   completed buffered records; poll [next_record] after. *)
+   completed buffered records (poll [next_record] after) and spurious
+   wakeups that fed nothing. On accepted non-blocking connections the
+   first 8 bytes are the peer's handshake and are consumed here before
+   any record bytes reach the reader. *)
 let read_into conn =
   match retry_eintr (fun () -> Unix.read conn.fd conn.chunk 0 chunk_size) with
   | 0 -> `Eof
   | n ->
-    Frame.Reader.feed conn.reader ~len:n (Bytes.unsafe_to_string conn.chunk);
-    `Data
+    if conn.hs_need > 0 then begin
+      let take = min conn.hs_need n in
+      Bytes.blit conn.chunk 0 conn.hs_buf (handshake_len - conn.hs_need) take;
+      conn.hs_need <- conn.hs_need - take;
+      if conn.hs_need > 0 then `Data
+      else
+        match decode_handshake (Bytes.to_string conn.hs_buf) with
+        | Error msg -> `Error msg
+        | Ok peer_id ->
+          conn.peer_id <- peer_id;
+          if n > take then
+            Frame.Reader.feed conn.reader ~off:take ~len:(n - take)
+              (Bytes.unsafe_to_string conn.chunk);
+          `Data
+    end
+    else begin
+      Frame.Reader.feed conn.reader ~len:n (Bytes.unsafe_to_string conn.chunk);
+      `Data
+    end
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> `Data
   | exception Unix.Unix_error (e, fn, _) ->
     `Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
 

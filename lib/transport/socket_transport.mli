@@ -60,3 +60,45 @@ val read_into : conn -> [ `Data | `Eof | `Error of string ]
 val next_record : conn -> string option
 (** The next complete buffered record, if any. Raises
     {!Edb_persist.Codec.Reader.Corrupt} on an unrecoverable stream. *)
+
+(** {1 Non-blocking surface}
+
+    The daemon's event loop never blocks on a peer: connects are
+    initiated with {!dial} (handshake queued, not written), inbound
+    connections arrive through {!accept_nonblocking} with the
+    handshake deferred to {!read_into}, and every write goes through a
+    per-connection output buffer — {!send} on such a connection only
+    appends (coalescing any number of records), and {!flush_output}
+    pushes bytes when select reports the fd writable, resuming
+    mid-record after a partial write. *)
+
+val dial : t -> peer:int -> (conn, string) result
+(** Open a non-blocking connection to [peer]: the connect is issued
+    without waiting (a connect-in-progress is success-so-far; late
+    failures surface from the first {!flush_output} or {!read_into})
+    and the outbound handshake is queued in the output buffer. *)
+
+val accept_nonblocking : t -> (conn option, string) result
+(** Accept one pending inbound connection without blocking ([Ok None]
+    when there is none). The returned connection reports
+    [{!peer} conn = -1] until its 8-byte handshake has been consumed by
+    {!read_into} — check {!handshake_done} before trusting the id. *)
+
+val handshake_done : conn -> bool
+(** Whether the inbound handshake has completed (always true for dialed
+    and blocking-accepted connections). *)
+
+val pending_output : conn -> int
+(** Bytes buffered but not yet written. *)
+
+val want_write : conn -> bool
+(** [pending_output conn > 0] — whether the event loop should watch
+    this fd for writability. *)
+
+val flush_output : conn -> [ `Drained | `Blocked | `Error of string ]
+(** Write as much pending output as the socket accepts. [`Blocked]
+    means the socket would block (or the connect is still in
+    progress) — retry when select reports the fd writable; the unsent
+    suffix, possibly starting mid-record, is kept. Sends on a
+    non-blocking connection past an 8 MiB backlog fail instead of
+    growing the buffer without bound. *)

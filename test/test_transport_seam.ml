@@ -417,6 +417,151 @@ let test_daemon_tcp_smoke () =
       Alcotest.(check bool) "replicated over tcp" true
         (require (Harness.read h ~node:1 ~item:"a.0") = Some "over tcp"))
 
+(* ---------- WAL group commit: the sync is the commit point ---------- *)
+
+(* Under group commit, appends buffer in the WAL channel and only
+   {!Durable_node.sync} makes them durable. What a crash would find on
+   disk at any instant is the file as the OS has it — snapshot it by
+   copying, and replay the copy. The synced prefix must be exactly the
+   records synced so far, never a partial batch, and recovery from that
+   prefix must be a valid pre/post-session state. *)
+let test_group_commit_sync_prefix () =
+  let module Durable = Edb_persist.Durable_node in
+  let module Wal = Edb_persist.Wal in
+  let dir = cluster_dir "gcwal" in
+  let crash_dir = cluster_dir "gcwal-crash" in
+  let wal = Filename.concat dir "node.wal" in
+  let copy_wal () =
+    let ic = open_in_bin wal in
+    let data = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let oc = open_out_bin (Filename.concat crash_dir "node.wal") in
+    output_string oc data;
+    close_out oc
+  in
+  let replay_count () =
+    copy_wal ();
+    match
+      Wal.replay ~path:(Filename.concat crash_dir "node.wal") ~f:(fun _ -> ())
+    with
+    | Ok r ->
+      Alcotest.(check bool) "no torn tail in a group-commit batch" false
+        r.Wal.torn_tail;
+      r.Wal.records
+    | Error e -> Alcotest.fail ("replay: " ^ e)
+  in
+  let d, _ = require (Durable.open_or_create ~dir ~id:0 ~n:2 ()) in
+  Durable.set_group_commit d true;
+  Durable.update d "a" (set "1");
+  Durable.update d "b" (set "2");
+  Alcotest.(check int) "two records pending" 2 (Durable.unsynced_records d);
+  Alcotest.(check int) "nothing durable before the sync" 0 (replay_count ());
+  Durable.sync d;
+  Alcotest.(check int) "sync drains the batch" 0 (Durable.unsynced_records d);
+  Alcotest.(check int) "the whole batch is durable" 2 (replay_count ());
+  (* The next batch stays invisible until its own sync: what's on disk
+     is always an exact prefix at a batch boundary. *)
+  Durable.update d "c" (set "3");
+  Alcotest.(check int) "on disk: still the synced prefix" 2 (replay_count ());
+  (* Recovery from the crash image is the exact pre-session state for
+     the unsynced update, post-session for the synced ones. *)
+  let r, replayed =
+    require (Durable.open_or_create ~dir:crash_dir ~id:0 ~n:2 ())
+  in
+  Alcotest.(check int) "recovery replays the prefix" 2 replayed.Wal.records;
+  Alcotest.(check bool) "synced updates recovered" true
+    (Node.read (Durable.node r) "a" = Some "1"
+    && Node.read (Durable.node r) "b" = Some "2");
+  Alcotest.(check bool) "unsynced update rolled back whole" true
+    (Node.read (Durable.node r) "c" = None);
+  Durable.close r;
+  (* Turning group commit off syncs the pending batch. *)
+  Durable.set_group_commit d false;
+  Alcotest.(check int) "disabling group commit syncs" 3 (replay_count ());
+  Durable.close d
+
+(* ---------- N-daemon soak: concurrency, control load, kill -9 ---------- *)
+
+(* Five daemons with the concurrent event loop (max_sessions = 4,
+   fast anti-entropy ticks): overlapping initiator sessions, a stream
+   of control writes racing them, and a mid-batch kill -9 — with group
+   commit on, the Ack discipline means any acknowledged write must
+   survive the crash (no reply precedes the durability of its commit
+   record), and the cluster must converge checker-clean around the
+   outage. *)
+let test_daemon_soak_concurrent () =
+  let n = 5 in
+  let h =
+    Harness.start ~ae_period:0.01 ~max_sessions:4 ~seed:55
+      ~dir:(cluster_dir "soak") ~n ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Harness.shutdown h)
+    (fun () ->
+      let write round node =
+        require
+          (Harness.update h ~node
+             ~item:(Printf.sprintf "r%d.n%d" round node)
+             (set (Printf.sprintf "round %d from %d" round node)))
+      in
+      (* Two full rounds of interleaved writes while anti-entropy
+         sessions overlap underneath — no convergence barrier between
+         writes, so sessions, pushes and control traffic race. *)
+      for round = 0 to 1 do
+        for node = 0 to n - 1 do
+          write round node
+        done
+      done;
+      (* Mid-batch crash: node 2 acknowledges one more write and is
+         immediately SIGKILLed — nothing further is flushed. The Ack
+         came after the group-commit sync, so the write must be in the
+         WAL. *)
+      write 2 2;
+      Harness.kill h ~node:2;
+      Alcotest.(check bool) "node 2 is down" false (Harness.running h ~node:2);
+      (* Survivors keep the load up while node 2 is dead. *)
+      for node = 0 to n - 1 do
+        if node <> 2 then write 3 node
+      done;
+      Harness.restart h ~node:2;
+      (* The recovered daemon serves immediately and keeps accepting
+         writes. *)
+      write 4 2;
+      for node = 0 to n - 1 do
+        if node <> 2 then write 4 node
+      done;
+      (match Harness.await_converged ~deadline:30.0 ~invariant:check_node h with
+      | Ok (_ : float) -> ()
+      | Error e -> Alcotest.fail ("soak convergence: " ^ e));
+      (* The acknowledged pre-kill write survived kill -9 on the
+         crashed node itself... *)
+      Alcotest.(check bool) "acked write survived the crash" true
+        (require (Harness.read h ~node:2 ~item:"r2.n2")
+        = Some "round 2 from 2");
+      (* ...and every write of every round is visible everywhere. *)
+      for node = 0 to n - 1 do
+        for round = 0 to 1 do
+          for origin = 0 to n - 1 do
+            let item = Printf.sprintf "r%d.n%d" round origin in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s visible on node %d" item node)
+              true
+              (require (Harness.read h ~node ~item)
+              = Some (Printf.sprintf "round %d from %d" round origin))
+          done
+        done
+      done;
+      let sessions_of node =
+        let c = require (Harness.counters_of h ~node) in
+        List.assoc "propagation_sessions" c + List.assoc "noop_sessions" c
+      in
+      let total = ref 0 in
+      for node = 0 to n - 1 do
+        total := !total + sessions_of node
+      done;
+      Alcotest.(check bool) "anti-entropy actually ran concurrently" true
+        (!total > n))
+
 let suite =
   [
     Alcotest.test_case "flow: backoff ladder arithmetic" `Quick
@@ -439,4 +584,8 @@ let suite =
     Alcotest.test_case "daemons: kill -9 recovery from the WAL" `Quick
       test_daemon_crash_recovery;
     Alcotest.test_case "daemons: tcp smoke" `Quick test_daemon_tcp_smoke;
+    Alcotest.test_case "wal: group commit syncs an exact prefix" `Quick
+      test_group_commit_sync_prefix;
+    Alcotest.test_case "daemons: 5-process soak with kill -9 under load" `Quick
+      test_daemon_soak_concurrent;
   ]
